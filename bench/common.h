@@ -1,0 +1,86 @@
+// Shared benchmark scaffolding: kernel builders, the standard comparison
+// configurations, table printing, and timing helpers.
+#ifndef DIRCACHE_BENCH_COMMON_H_
+#define DIRCACHE_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/diskfs.h"
+#include "src/storage/memfs.h"
+#include "src/util/clock.h"
+#include "src/vfs/kernel.h"
+#include "src/vfs/task.h"
+#include "src/workload/latency.h"
+#include "src/workload/tree_gen.h"
+
+namespace dircache {
+namespace bench {
+
+struct Env {
+  std::unique_ptr<Kernel> kernel;
+  TaskPtr task;
+  TreeInfo tree;  // workload tree, when the bench generates one
+
+  Task& T() { return *task; }
+};
+
+inline Env MakeEnv(const CacheConfig& cfg,
+                   uint64_t disk_blocks = 1 << 17,
+                   uint64_t max_inodes = 1 << 16) {
+  Env env;
+  KernelConfig kc;
+  kc.cache = cfg;
+  kc.signature_seed = 0xbe7c4;
+  env.kernel = std::make_unique<Kernel>(kc);
+  DiskFsOptions opt;
+  opt.num_blocks = disk_blocks;
+  opt.max_inodes = max_inodes;
+  opt.buffer_cache_blocks = 16384;
+  auto st = env.kernel->MountRootFs(std::make_shared<DiskFs>(opt));
+  if (!st.ok()) {
+    std::fprintf(stderr, "mount root failed\n");
+    std::abort();
+  }
+  env.task = env.kernel->CreateInitTask(MakeCred(0, 0));
+  return env;
+}
+
+// The two headline configurations of every experiment.
+inline CacheConfig Unmodified() { return CacheConfig::Baseline(); }
+inline CacheConfig Optimized() { return CacheConfig::Optimized(); }
+
+// ---------------------------------------------------------------------------
+// Output helpers: every bench prints a self-describing block so the full
+// run (`for b in build/bench/*; do $b; done`) reads as a lab notebook.
+
+inline void Banner(const std::string& id, const std::string& what) {
+  std::printf("\n==========================================================\n");
+  std::printf("%s — %s\n", id.c_str(), what.c_str());
+  std::printf("==========================================================\n");
+}
+
+inline double GainPct(double unmod, double opt) {
+  // Positive = optimized is better (lower time / higher throughput noted
+  // separately by the caller).
+  return unmod == 0 ? 0 : (unmod - opt) / unmod * 100.0;
+}
+
+// Run fn() once and return wall seconds (+simulated device seconds charged
+// to `task` during the run).
+template <typename Fn>
+double TimedSeconds(Task& task, Fn&& fn) {
+  uint64_t io0 = task.io_clock().nanos();
+  Stopwatch sw;
+  fn();
+  uint64_t real = sw.ElapsedNanos();
+  uint64_t io = task.io_clock().nanos() - io0;
+  return static_cast<double>(real + io) * 1e-9;
+}
+
+}  // namespace bench
+}  // namespace dircache
+
+#endif  // DIRCACHE_BENCH_COMMON_H_

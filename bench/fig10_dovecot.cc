@@ -1,0 +1,71 @@
+// Figure 10: Dovecot-style IMAP throughput — mark/unmark random messages in
+// maildir mailboxes of increasing size (§6.3). Marking = one rename + a
+// full directory rescan, the pattern directory-completeness caching (§5.1)
+// accelerates.
+//
+// Two series are reported:
+//  - "fs-only": the emulator does nothing but the filesystem work, so the
+//    full dcache gain is visible undiluted;
+//  - "server": each operation additionally pays a fixed CPU cost modeling
+//    Dovecot's protocol/index work, calibrated (8 ms) so the baseline's FS
+//    share of an operation is in the ~5-20% range a real IMAP server shows
+//    — this is the series comparable to the paper's +7.8..12.2%.
+#include "bench/common.h"
+#include "src/workload/maildir.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+constexpr uint64_t kProtocolWorkNs = 8'000'000;
+
+double MeasureOpsPerSec(const CacheConfig& cfg, size_t mailbox_size,
+                        uint64_t protocol_ns, int ops) {
+  Env env = MakeEnv(cfg, 1 << 18, 1 << 17);
+  Task& t = env.T();
+  MaildirServer server(t, "/mail");
+  if (!server.CreateMailbox("inbox", mailbox_size).ok()) {
+    return 0;
+  }
+  server.set_protocol_work_ns(protocol_ns);
+  Rng rng(5);
+  for (int i = 0; i < 5; ++i) {
+    (void)server.MarkRandom("inbox", rng);
+  }
+  Stopwatch sw;
+  for (int i = 0; i < ops; ++i) {
+    (void)server.MarkRandom("inbox", rng);
+  }
+  return ops / sw.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Figure 10",
+         "Dovecot IMAP mark/unmark throughput vs mailbox size (ops/sec)");
+  std::printf("%8s | %10s %10s %8s | %10s %10s %8s\n", "mailbox",
+              "fs-base", "fs-opt", "gain", "srv-base", "srv-opt", "gain");
+  for (size_t size : {500u, 1000u, 1500u, 2000u, 2500u, 3000u}) {
+    int fs_ops = size >= 2000 ? 300 : 800;
+    double fs_base = MeasureOpsPerSec(Unmodified(), size, 0, fs_ops);
+    double fs_opt = MeasureOpsPerSec(Optimized(), size, 0, fs_ops);
+    int srv_ops = 60;
+    double srv_base =
+        MeasureOpsPerSec(Unmodified(), size, kProtocolWorkNs, srv_ops);
+    double srv_opt =
+        MeasureOpsPerSec(Optimized(), size, kProtocolWorkNs, srv_ops);
+    std::printf("%8zu | %10.0f %10.0f %+7.1f%% | %10.1f %10.1f %+7.1f%%\n",
+                size, fs_base, fs_opt, (fs_opt / fs_base - 1.0) * 100.0,
+                srv_base, srv_opt, (srv_opt / srv_base - 1.0) * 100.0);
+  }
+  std::printf(
+      "\nPaper (full Dovecot server): +7.8%% to +12.2%%, larger mailboxes\n"
+      "gaining more — compare the `srv` series. The fs-only series shows\n"
+      "the undiluted directory-cache effect.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Figure 1: fraction of execution time spent in path-based system calls
+// for common utilities, warm cache, on the unmodified baseline.
+//
+// Reproduced with the per-task syscall profiler (our ftrace stand-in): each
+// emulated application runs once to warm the cache, then a measured run
+// records per-syscall-category time against total wall time.
+#include "bench/common.h"
+#include "src/workload/apps.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+struct Row {
+  const char* app;
+  double total_s;
+  SyscallProfile profile;
+};
+
+double Pct(const SyscallProfile& p, SyscallKind k, double total_ns) {
+  return total_ns == 0
+             ? 0
+             : static_cast<double>(p.ns[static_cast<size_t>(k)]) /
+                   total_ns * 100.0;
+}
+
+void PrintRow(const Row& r) {
+  double total_ns = r.total_s * 1e9;
+  double stat_access = Pct(r.profile, SyscallKind::kStat, total_ns) +
+                       Pct(r.profile, SyscallKind::kAccess, total_ns);
+  double open = Pct(r.profile, SyscallKind::kOpen, total_ns);
+  double chmod = Pct(r.profile, SyscallKind::kChmodChown, total_ns);
+  double unlink = Pct(r.profile, SyscallKind::kUnlink, total_ns) +
+                  Pct(r.profile, SyscallKind::kMkdirRmdir, total_ns);
+  double readdir = Pct(r.profile, SyscallKind::kReaddir, total_ns);
+  double all = stat_access + open + chmod + unlink + readdir;
+  std::printf("%-12s %14.1f%% %9.1f%% %12.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+              r.app, stat_access, open, chmod, unlink, readdir, all);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Figure 1",
+         "% of execution time in path-based syscalls (warm cache, baseline "
+         "kernel)");
+
+  Env env = MakeEnv(Unmodified(), 1 << 18, 1 << 17);
+  Task& t = env.T();
+  TreeSpec spec;
+  spec.approx_files = 4000;
+  auto tree = GenerateSourceTree(t, "/src", spec);
+  if (!tree.ok()) {
+    std::fprintf(stderr, "tree generation failed\n");
+    return 1;
+  }
+
+  std::printf("%-12s %15s %10s %13s %10s %10s %10s\n", "app",
+              "access/stat", "open", "chmod/chown", "unlink+dir", "readdir",
+              "total");
+
+  SyscallProfile profile;
+  auto measure = [&](const char* name, auto&& fn) {
+    fn();  // warm the cache
+    profile.Reset();
+    t.set_profiler(&profile);
+    Stopwatch sw;
+    fn();
+    double secs = sw.ElapsedSeconds();
+    t.set_profiler(nullptr);
+    PrintRow(Row{name, secs, profile});
+  };
+
+  measure("find", [&] { (void)RunFind(t, "/src", "core"); });
+  measure("du -s", [&] { (void)RunDu(t, "/src"); });
+  measure("updatedb", [&] { (void)RunUpdatedb(t, "/src", "/db"); });
+  measure("git-status", [&] { (void)RunGitStatus(t, *tree); });
+  measure("git-diff", [&] { (void)RunGitDiff(t, *tree); });
+  MakeOptions mo;
+  mo.cpu_work_per_file = 2000;
+  measure("make", [&] { (void)RunMake(t, *tree, mo); });
+  // tar and rm mutate; give each a fresh area per run (the warm run warms
+  // the source side).
+  int round = 0;
+  measure("tar-x", [&] {
+    (void)RunTarExtract(t, *tree, "/tar" + std::to_string(round++));
+  });
+  // rm -r needs a fresh victim per run; prepare it outside the measurement.
+  (void)RunTarExtract(t, *tree, "/rmwarm");
+  (void)RunRmRecursive(t, "/rmwarm");  // warm the deletion paths
+  (void)RunTarExtract(t, *tree, "/rmtarget");
+  {
+    profile.Reset();
+    t.set_profiler(&profile);
+    Stopwatch sw;
+    (void)RunRmRecursive(t, "/rmtarget");
+    double secs = sw.ElapsedSeconds();
+    t.set_profiler(nullptr);
+    PrintRow(Row{"rm-r", secs, profile});
+  }
+
+  std::printf(
+      "\nNote: Figure 1 in the paper reports 6-54%% across these utilities\n"
+      "on ftrace-instrumented Linux; the emulators reproduce the syscall\n"
+      "mix, with stat/open dominating everywhere except rm.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 2: stat latency on the 8-component path across "kernel versions".
+//
+// We cannot boot 2.6.36–4.0 kernels in-process; instead the baseline's
+// synchronization regime is staged to model each era's dcache (see
+// DESIGN.md): a global lookup lock (pre-scalability ~2.6.36), fine-grained
+// locked walks (~3.0), the optimistic seqcount walk (3.14 and 4.0 — the
+// plateau), and finally the paper's optimized 3.14.
+#include "bench/common.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+constexpr const char* kPath = "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF";
+
+void Build(Task& t) {
+  std::string p;
+  for (const char* d : {"XXX", "YYY", "ZZZ", "AAA", "BBB", "CCC", "DDD"}) {
+    p += "/";
+    p += d;
+    (void)t.Mkdir(p);
+  }
+  auto fd = t.Open(p + "/FFF", kOCreat | kOWrite);
+  if (fd.ok()) {
+    (void)t.Close(*fd);
+  }
+}
+
+double MeasureStat(const CacheConfig& cfg) {
+  Env env = MakeEnv(cfg);
+  Build(env.T());
+  (void)env.T().StatPath(kPath);
+  return MeasureLatency([&] { (void)env.T().StatPath(kPath); }, 40'000'000)
+      .p50_ns;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Figure 2",
+         "stat latency of the paper's 8-component micro-benchmark path (XXX/.../FFF) across staged "
+         "kernel eras");
+
+  struct Stage {
+    const char* label;
+    CacheConfig cfg;
+  };
+  CacheConfig global = Unmodified();
+  global.locking = LockingMode::kGlobalLock;
+  CacheConfig fine = Unmodified();
+  fine.locking = LockingMode::kFineGrained;
+  Stage stages[] = {
+      {"v2.6.36 (global-lock era)", global},
+      {"v3.0    (fine-grained era)", fine},
+      {"v3.14   (optimistic walk; paper baseline)", Unmodified()},
+      {"v4.0    (optimistic walk; plateau)", Unmodified()},
+      {"v3.14opt (this paper)", Optimized()},
+  };
+
+  std::printf("%-44s %12s\n", "kernel stage", "stat (ns)");
+  double baseline = 0;
+  double opt = 0;
+  for (const Stage& s : stages) {
+    double ns = MeasureStat(s.cfg);
+    std::printf("%-44s %12.0f\n", s.label, ns);
+    if (std::string_view(s.label).find("baseline") !=
+        std::string_view::npos) {
+      baseline = ns;
+    }
+    if (std::string_view(s.label).find("this paper") !=
+        std::string_view::npos) {
+      opt = ns;
+    }
+  }
+  std::printf("\noptimized vs v3.14 baseline: %.1f%% lower latency "
+              "(paper: 26%%)\n",
+              GainPct(baseline, opt));
+  return 0;
+}

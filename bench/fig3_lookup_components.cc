@@ -1,0 +1,96 @@
+// Figure 3: principal sources of path lookup latency, decomposed into the
+// paper's five phases (initialization, permission check, path scanning &
+// hashing, hash table lookup, finalization) for four path lengths, on the
+// unmodified and optimized kernels.
+#include "bench/common.h"
+#include "src/vfs/walk.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+struct PathCase {
+  const char* label;
+  const char* path;
+};
+
+const PathCase kCases[] = {
+    {"Path1 (FFF)", "/FFF"},
+    {"Path2 (XXX/FFF)", "/XXX/FFF"},
+    {"Path3 (XXX/YYY/ZZZ/FFF)", "/XXX/YYY/ZZZ/FFF"},
+    {"Path4 (XXX/.../DDD/FFF)", "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF"},
+};
+
+void Build(Task& t) {
+  std::string p;
+  auto mkfile = [&](const std::string& f) {
+    auto fd = t.Open(f, kOCreat | kOWrite);
+    if (fd.ok()) {
+      (void)t.Close(*fd);
+    }
+  };
+  mkfile("/FFF");
+  for (const char* d : {"XXX", "YYY", "ZZZ", "AAA", "BBB", "CCC", "DDD"}) {
+    p += "/";
+    p += d;
+    (void)t.Mkdir(p);
+    mkfile(p + "/FFF");
+  }
+  mkfile("/XXX/FFF");
+  mkfile("/XXX/YYY/ZZZ/FFF");
+}
+
+void Decompose(const char* config_label, const CacheConfig& cfg) {
+  Env env = MakeEnv(cfg);
+  Build(env.T());
+  std::printf("\n[%s]\n", config_label);
+  std::printf("%-26s %8s %8s %10s %9s %9s %9s\n", "path", "init", "perm",
+              "scan+hash", "ht-look", "finalize", "total");
+  for (const PathCase& pc : kCases) {
+    // Warm.
+    for (int i = 0; i < 1000; ++i) {
+      (void)env.T().StatPath(pc.path);
+    }
+    WalkPhaseProfile profile;
+    g_walk_profile = &profile;
+    constexpr int kIters = 60000;
+    Stopwatch sw;
+    for (int i = 0; i < kIters; ++i) {
+      (void)env.T().StatPath(pc.path);
+    }
+    uint64_t total = sw.ElapsedNanos();
+    g_walk_profile = nullptr;
+    auto per = [&](uint64_t v) {
+      return static_cast<double>(v) / kIters;
+    };
+    double instrumented = per(profile.init_ns) + per(profile.permission_ns) +
+                          per(profile.hash_ns) + per(profile.lookup_ns) +
+                          per(profile.finalize_ns);
+    // "init" in the paper covers walk setup; we report the residual of the
+    // measured total over the instrumented phases as part of init.
+    double init = per(profile.init_ns) +
+                  std::max(0.0, per(total) - instrumented);
+    std::printf("%-26s %8.0f %8.0f %10.0f %9.0f %9.0f %9.0f\n", pc.label,
+                init, per(profile.permission_ns), per(profile.hash_ns),
+                per(profile.lookup_ns), per(profile.finalize_ns), per(total));
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Figure 3",
+         "decomposition of lookup latency (ns/op; timer overhead inflates "
+         "totals vs Figure 6)");
+  Decompose("unmodified", Unmodified());
+  Decompose("optimized", Optimized());
+  std::printf(
+      "\nExpected shape (paper): per-component costs (permission, hash\n"
+      "lookups) grow with path length on the baseline; the optimized kernel\n"
+      "leaves scanning+hashing as the only length-dependent phase.\n");
+  return 0;
+}

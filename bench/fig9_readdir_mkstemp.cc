@@ -1,0 +1,95 @@
+// Figure 9: readdir latency (log scale in the paper) and mkstemp latency on
+// directories of increasing size — directory completeness caching (§5.1).
+#include "bench/common.h"
+#include "src/workload/apps.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+double MeasureReaddir(Env& env, const std::string& dir) {
+  Task& t = env.T();
+  auto list_once = [&] {
+    auto dfd = t.Open(dir, kORead | kODirectory);
+    if (!dfd.ok()) {
+      return;
+    }
+    while (true) {
+      auto batch = t.ReadDirFd(*dfd, 128);
+      if (!batch.ok() || batch->empty()) {
+        break;
+      }
+    }
+    (void)t.Close(*dfd);
+  };
+  list_once();  // warm (and, on the optimized kernel, set DIR_COMPLETE)
+  return MeasureLatency(list_once, 60'000'000, 8).p50_ns / 1000.0;  // µs
+}
+
+double MeasureMkstemp(Env& env, const std::string& dir) {
+  Task& t = env.T();
+  Rng rng(99);
+  std::vector<std::string> created;
+  auto r = MeasureLatency(
+      [&] {
+        auto name = RunMkstemp(t, dir, rng);
+        if (name.ok()) {
+          created.push_back(*name);
+          if (created.size() >= 256) {
+            for (const auto& f : created) {
+              (void)t.Unlink(f);
+            }
+            created.clear();
+          }
+        }
+      },
+      30'000'000, 8);
+  for (const auto& f : created) {
+    (void)t.Unlink(f);
+  }
+  return r.p50_ns / 1000.0;  // µs
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Figure 9",
+         "readdir and mkstemp latency vs directory size (µs/op)");
+  std::printf("%10s | %14s %14s %8s | %14s %14s\n", "dir size",
+              "readdir-base", "readdir-opt", "gain", "mkstemp-base",
+              "mkstemp-opt");
+  for (size_t size : {10u, 100u, 1000u, 10000u}) {
+    Env base = MakeEnv(Unmodified(), 1 << 18, 1 << 17);
+    Env opt = MakeEnv(Optimized(), 1 << 18, 1 << 17);
+    double rd_base = 0;
+    double rd_opt = 0;
+    double mk_base = 0;
+    double mk_opt = 0;
+    {
+      auto files = GenerateFlatDir(base.T(), "/big", size, "f", 16);
+      if (!files.ok()) {
+        return 1;
+      }
+      rd_base = MeasureReaddir(base, "/big");
+      mk_base = MeasureMkstemp(base, "/big");
+    }
+    {
+      auto files = GenerateFlatDir(opt.T(), "/big", size, "f", 16);
+      if (!files.ok()) {
+        return 1;
+      }
+      rd_opt = MeasureReaddir(opt, "/big");
+      mk_opt = MeasureMkstemp(opt, "/big");
+    }
+    std::printf("%10zu | %14.1f %14.1f %7.0f%% | %14.1f %14.1f\n", size,
+                rd_base, rd_opt, GainPct(rd_base, rd_opt), mk_base, mk_opt);
+  }
+  std::printf(
+      "\nPaper: readdir improves 46-74%% (more for larger directories);\n"
+      "mkstemp improves 1-8%%. Both rely on DIR_COMPLETE (§5.1).\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Google-benchmark microbenchmarks of the primitive operations, on both
+// kernels. Complements the paper-figure binaries with statistically
+// managed per-op numbers (useful for regression tracking).
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "src/workload/apps.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+// One environment per configuration, shared across benchmark registrations
+// (google-benchmark may run fixtures repeatedly; building trees is slow).
+Env& EnvFor(bool optimized) {
+  static Env base = [] {
+    Env e = MakeEnv(Unmodified());
+    return e;
+  }();
+  static Env opt = [] {
+    Env e = MakeEnv(Optimized());
+    return e;
+  }();
+  static bool initialized = [] {
+    for (Env* e : {&base, &opt}) {
+      Task& t = e->T();
+      std::string p;
+      for (const char* d :
+           {"XXX", "YYY", "ZZZ", "AAA", "BBB", "CCC", "DDD"}) {
+        p += "/";
+        p += d;
+        (void)t.Mkdir(p);
+      }
+      auto fd = t.Open(p + "/FFF", kOCreat | kOWrite);
+      if (fd.ok()) {
+        (void)t.Close(*fd);
+      }
+      (void)GenerateFlatDir(t, "/flat", 1000, "f", 16);
+    }
+    return true;
+  }();
+  (void)initialized;
+  return optimized ? opt : base;
+}
+
+void BM_Stat8Comp(benchmark::State& state) {
+  Env& env = EnvFor(state.range(0) != 0);
+  for (auto _ : state) {
+    auto r = env.T().StatPath("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Stat8Comp)->Arg(0)->Arg(1);
+
+void BM_Stat1Comp(benchmark::State& state) {
+  Env& env = EnvFor(state.range(0) != 0);
+  for (auto _ : state) {
+    auto r = env.T().StatPath("/XXX");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Stat1Comp)->Arg(0)->Arg(1);
+
+void BM_OpenClose(benchmark::State& state) {
+  Env& env = EnvFor(state.range(0) != 0);
+  for (auto _ : state) {
+    auto fd = env.T().Open("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF", kORead);
+    if (fd.ok()) {
+      (void)env.T().Close(*fd);
+    }
+  }
+}
+BENCHMARK(BM_OpenClose)->Arg(0)->Arg(1);
+
+void BM_StatNegative(benchmark::State& state) {
+  Env& env = EnvFor(state.range(0) != 0);
+  for (auto _ : state) {
+    auto r = env.T().StatPath("/XXX/YYY/ZZZ/MISSING");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_StatNegative)->Arg(0)->Arg(1);
+
+void BM_ReaddirFlat1000(benchmark::State& state) {
+  Env& env = EnvFor(state.range(0) != 0);
+  for (auto _ : state) {
+    auto dfd = env.T().Open("/flat", kORead | kODirectory);
+    if (!dfd.ok()) {
+      continue;
+    }
+    while (true) {
+      auto batch = env.T().ReadDirFd(*dfd, 128);
+      if (!batch.ok() || batch->empty()) {
+        break;
+      }
+      benchmark::DoNotOptimize(batch->size());
+    }
+    (void)env.T().Close(*dfd);
+  }
+}
+BENCHMARK(BM_ReaddirFlat1000)->Arg(0)->Arg(1);
+
+void BM_PathHash(benchmark::State& state) {
+  static PathSigner signer(42);
+  const char* comps[] = {"XXX", "YYY", "ZZZ", "AAA",
+                         "BBB", "CCC", "DDD", "FFF"};
+  for (auto _ : state) {
+    HashState st = signer.RootState();
+    for (int i = 0; i < state.range(0); ++i) {
+      signer.AppendComponent(st, comps[i]);
+    }
+    Signature sig = signer.Finalize(st);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_PathHash)->Arg(1)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Network file systems (§4.3): the paper's prototype disables direct
+// lookup for NFSv2/3-style stateless protocols ("the client must revalidate
+// all path components at the server — effectively forcing a cache miss and
+// nullifying any benefit to the hit path") and expects the optimizations to
+// benefit callback-based protocols (AFS, NFSv4.1). This bench demonstrates
+// both halves with the simulated RemoteFs.
+#include "bench/common.h"
+#include "src/storage/remotefs.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+struct NetPoint {
+  double stat_us;       // wall + charged RPC time per stat
+  double rpcs_per_op;
+  uint64_t fast_hits;
+};
+
+NetPoint Measure(const CacheConfig& cfg, RemoteProtocol protocol) {
+  Env env = MakeEnv(cfg);
+  Task& t = env.T();
+  RemoteFs::Options opt;
+  opt.protocol = protocol;
+  opt.rpc_latency_ns = 200'000;  // LAN round trip
+  auto fs = std::make_shared<RemoteFs>(opt);
+  RemoteFs* raw = fs.get();
+  (void)t.Mkdir("/net");
+  if (!t.Mount("/net", fs).ok()) {
+    return {};
+  }
+  std::string p = "/net";
+  for (const char* d : {"a", "b", "c"}) {
+    p += "/";
+    p += d;
+    (void)t.Mkdir(p);
+  }
+  auto fd = t.Open(p + "/file", kOCreat | kOWrite);
+  if (fd.ok()) {
+    (void)t.Close(*fd);
+  }
+  std::string target = p + "/file";
+  (void)t.StatPath(target);
+
+  constexpr int kOps = 20000;
+  uint64_t rpcs0 = raw->rpcs();
+  uint64_t fast0 = env.kernel->stats().fastpath_hits.value();
+  t.io_clock().Reset();
+  Stopwatch sw;
+  for (int i = 0; i < kOps; ++i) {
+    (void)t.StatPath(target);
+  }
+  NetPoint point;
+  point.stat_us =
+      (sw.ElapsedSeconds() +
+       static_cast<double>(t.io_clock().nanos()) * 1e-9) *
+      1e6 / kOps;
+  point.rpcs_per_op =
+      static_cast<double>(raw->rpcs() - rpcs0) / kOps;
+  point.fast_hits = env.kernel->stats().fastpath_hits.value() - fast0;
+  return point;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Network FS (§4.3)",
+         "warm stat of /net/a/b/c/file over a simulated remote mount "
+         "(200 µs RPC)");
+  std::printf("%-12s %-10s | %12s %10s %12s\n", "protocol", "kernel",
+              "stat (µs)", "RPCs/op", "fastpath");
+  for (auto protocol : {RemoteProtocol::kStateless, RemoteProtocol::kCallback}) {
+    const char* pname =
+        protocol == RemoteProtocol::kStateless ? "NFSv3-like" : "AFS-like";
+    for (bool optimized : {false, true}) {
+      NetPoint pt = Measure(optimized ? Optimized() : Unmodified(), protocol);
+      std::printf("%-12s %-10s | %12.2f %10.2f %12llu\n", pname,
+                  optimized ? "optimized" : "baseline", pt.stat_us,
+                  pt.rpcs_per_op,
+                  static_cast<unsigned long long>(pt.fast_hits));
+    }
+  }
+  std::printf(
+      "\nExpected (§4.3): stateless protocols pay per-component RPCs either\n"
+      "way (no fastpath benefit, by design); callback-based protocols serve\n"
+      "hot lookups from the cache, where the optimized kernel's fastpath\n"
+      "applies in full.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Table 2: application execution time with a cold cache — dentries dropped
+// and each file system's buffer cache emptied before the measured run, so
+// every lookup misses to the (simulated) device. Reported time is wall
+// seconds plus the virtual device time charged to the task.
+#include <algorithm>
+#include <functional>
+
+#include "bench/common.h"
+#include "src/workload/apps.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+struct AppCase {
+  const char* name;
+  std::function<void(Env&)> prepare;
+  std::function<void(Env&)> run;
+};
+
+struct ColdResult {
+  double seconds;
+  double hit_pct;
+};
+
+ColdResult RunCold(const CacheConfig& cfg, const AppCase& app,
+                   const TreeSpec& spec) {
+  Env env = MakeEnv(cfg, 1 << 18, 1 << 17);
+  auto tree = GenerateSourceTree(env.T(), "/src", spec);
+  if (!tree.ok()) {
+    std::abort();
+  }
+  env.tree = *tree;
+  app.prepare(env);
+  env.kernel->DropCaches();
+  CacheStats& stats = env.kernel->stats();
+  stats.ResetAll();
+  env.T().io_clock().Reset();
+  Stopwatch sw;
+  app.run(env);
+  ColdResult r;
+  r.seconds = sw.ElapsedSeconds() +
+              static_cast<double>(env.T().io_clock().nanos()) * 1e-9;
+  uint64_t hits = stats.dcache_hits.value() + stats.fastpath_hits.value();
+  uint64_t misses = stats.dcache_misses.value();
+  r.hit_pct = hits + misses == 0
+                  ? 100.0
+                  : 100.0 * static_cast<double>(hits) /
+                        static_cast<double>(hits + misses);
+  return r;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Table 2",
+         "application execution time, cold cache (wall + simulated device "
+         "seconds)");
+
+  TreeSpec spec;
+  spec.approx_files = 6000;
+  spec.seed = 17;
+
+  std::vector<AppCase> apps;
+  apps.push_back({"find -name", [](Env&) {},
+                  [](Env& e) { (void)RunFind(e.T(), "/src", "core"); }});
+  int tar_round = 0;
+  apps.push_back({"tar x", [](Env&) {},
+                  [&](Env& e) {
+                    (void)RunTarExtract(e.T(), e.tree,
+                                        "/tarx" + std::to_string(tar_round++));
+                  }});
+  apps.push_back({"rm -r",
+                  [](Env& e) {
+                    (void)RunTarExtract(e.T(), e.tree, "/victim");
+                  },
+                  [](Env& e) { (void)RunRmRecursive(e.T(), "/victim"); }});
+  apps.push_back({"make", [](Env&) {},
+                  [](Env& e) {
+                    MakeOptions mo;
+                    mo.cpu_work_per_file = 2000;
+                    (void)RunMake(e.T(), e.tree, mo);
+                  }});
+  apps.push_back({"du -s", [](Env&) {},
+                  [](Env& e) { (void)RunDu(e.T(), "/src"); }});
+  apps.push_back({"updatedb", [](Env&) {},
+                  [](Env& e) {
+                    (void)RunUpdatedb(e.T(), "/src", "/locatedb");
+                  }});
+  apps.push_back({"git status", [](Env&) {},
+                  [](Env& e) { (void)RunGitStatus(e.T(), e.tree); }});
+  apps.push_back({"git diff", [](Env&) {},
+                  [](Env& e) { (void)RunGitDiff(e.T(), e.tree); }});
+
+  std::printf("%-12s | %10s %6s | %10s %6s | %8s\n", "app", "unmod(s)",
+              "hit%", "opt(s)", "hit%", "gain");
+  for (const AppCase& app : apps) {
+    ColdResult base = RunCold(Unmodified(), app, spec);
+    ColdResult opt = RunCold(Optimized(), app, spec);
+    std::printf("%-12s | %10.3f %5.1f%% | %10.3f %5.1f%% | %+7.1f%%\n",
+                app.name, base.seconds, base.hit_pct, opt.seconds,
+                opt.hit_pct, GainPct(base.seconds, opt.seconds));
+  }
+  std::printf(
+      "\nPaper (cold): all gains/losses within noise (-2.1%% .. +3.1%%) — "
+      "cold\nruns are device-bound, so the optimizations neither help nor "
+      "hurt.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Table 4 and the paper's accounting sections: lines-of-code inventory of
+// this implementation (the analog of the paper's adoption-cost table),
+// plus the space-overhead audit (§6.1), the signature collision budget
+// (§3.3), and the primary-hash chain-length statistics (§6.5).
+#include <cmath>
+#include <dirent.h>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/core/pcc.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+size_t CountLines(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return 0;
+  }
+  size_t lines = 0;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) {
+    if (c == '\n') {
+      ++lines;
+    }
+  }
+  std::fclose(f);
+  return lines;
+}
+
+size_t CountDirLines(const std::string& dir, size_t* files_out) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) {
+    return 0;
+  }
+  size_t total = 0;
+  size_t files = 0;
+  while (dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    bool is_source =
+        (name.size() > 3 && name.compare(name.size() - 3, 3, ".cc") == 0) ||
+        (name.size() > 4 && name.compare(name.size() - 4, 4, ".cpp") == 0) ||
+        (name.size() > 2 && name.compare(name.size() - 2, 2, ".h") == 0);
+    if (is_source) {
+      total += CountLines(dir + "/" + name);
+      ++files;
+    }
+  }
+  closedir(d);
+  if (files_out != nullptr) {
+    *files_out = files;
+  }
+  return total;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Table 4 + §3.3/§6.1/§6.5",
+         "code inventory, space overhead, collision budget, chain stats");
+
+#ifdef DIRCACHE_SOURCE_DIR
+  const std::string root = DIRCACHE_SOURCE_DIR;
+  std::printf("Lines of code by module (.h/.cc):\n");
+  size_t total = 0;
+  for (const char* dir :
+       {"src/util", "src/storage", "src/vfs", "src/core", "src/workload",
+        "tests", "bench", "examples"}) {
+    size_t files = 0;
+    size_t lines = CountDirLines(root + "/" + dir, &files);
+    total += lines;
+    std::printf("  %-14s %6zu lines in %2zu files\n", dir, lines, files);
+  }
+  std::printf("  %-14s %6zu lines\n", "TOTAL", total);
+  std::printf(
+      "\n(The paper's Table 4: ~2358 new LoC + ~900 LoC of hooks in a "
+      "kernel\nthat already provides the VFS; this repo also builds the "
+      "substrate.)\n");
+#endif
+
+  // --- §6.1 space overhead ---------------------------------------------------
+  std::printf("\nSpace overhead audit (§6.1):\n");
+  std::printf("  sizeof(Dentry)           = %4zu bytes (paper: 280)\n",
+              sizeof(Dentry));
+  std::printf("  sizeof(FastDentry) (ext) = %4zu bytes (paper: +88)\n",
+              sizeof(FastDentry));
+  std::printf("  sizeof(Dentry) w/o ext   = %4zu bytes (paper: 192)\n",
+              sizeof(Dentry) - sizeof(FastDentry));
+  std::printf("  sizeof(Inode)            = %4zu bytes\n", sizeof(Inode));
+  Pcc pcc(64 * 1024);
+  std::printf("  PCC: %zu entries x 16 B  = %zu KB per credential\n",
+              pcc.capacity_entries(), pcc.bytes() / 1024);
+  CacheConfig cfg = Optimized();
+  std::printf("  DLHT: 2^16 buckets x %zu B = %zu KB per namespace\n",
+              sizeof(void*) * 2,
+              cfg.dlht_buckets * sizeof(void*) * 2 / 1024);
+
+  // --- §3.3 collision budget --------------------------------------------------
+  // q ~= ln(1-p) * |H| / -n  with |H| = 2^240, n = 2^35 cached entries,
+  // p = 2^-128.
+  std::printf("\nSignature collision budget (§3.3):\n");
+  double log2_q = -128.0 + 240.0 - 35.0;  // ln(1-2^-128) ~= -2^-128
+  std::printf("  brute-force queries before p > 2^-128: q ~= 2^%.0f\n",
+              log2_q);
+  double years = std::pow(2.0, log2_q) / 1e11 / (365.25 * 24 * 3600);
+  std::printf("  at 100G lookups/sec: %.0f thousand years (paper: 48k)\n",
+              years / 1e3);
+
+  // --- §6.5 chain statistics ---------------------------------------------------
+  std::printf("\nPrimary hash chain lengths with a populated tree (§6.5):\n");
+  Env env = MakeEnv(Optimized(), 1 << 18, 1 << 17);
+  TreeSpec spec;
+  spec.approx_files = 20000;
+  auto tree = GenerateSourceTree(env.T(), "/src", spec);
+  if (tree.ok()) {
+    for (const auto& f : tree->files) {
+      (void)env.T().StatPath(f);
+    }
+    auto hist = env.kernel->dcache().ChainHistogram(10);
+    size_t buckets = env.kernel->dcache().bucket_count();
+    std::printf("  dentries cached: %zu in %zu buckets\n",
+                env.kernel->dcache().dentry_count(), buckets);
+    for (size_t len = 0; len < hist.size(); ++len) {
+      if (hist[len] == 0) {
+        continue;
+      }
+      std::printf("  chain length %zu%s: %5.1f%% of buckets\n", len,
+                  len + 1 == hist.size() ? "+" : " ",
+                  100.0 * static_cast<double>(hist[len]) /
+                      static_cast<double>(buckets));
+    }
+    std::printf("  (paper: 58%% empty, 34%% one, 7%% two, 1%% longer)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Abort-on-error helpers for example setup code. Examples demonstrate the
+// library API; a failure while building the demo world should be loud and
+// fatal, not silently ignored.
+#ifndef DIRCACHE_EXAMPLES_EXAMPLE_UTIL_H_
+#define DIRCACHE_EXAMPLES_EXAMPLE_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "src/util/result.h"
+
+namespace dircache {
+
+inline void Must(Status st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 std::string(ErrnoName(st.error())).c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T Must(Result<T> r, const char* what) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", what,
+                 std::string(ErrnoName(r.error())).c_str());
+    std::exit(1);
+  }
+  return std::move(*r);
+}
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_EXAMPLES_EXAMPLE_UTIL_H_

@@ -1,0 +1,88 @@
+// Quickstart: boot a simulated kernel, mount a file system, run a task
+// through the POSIX-ish API, and watch the paper's fastpath at work.
+//
+//   $ ./examples/quickstart
+//
+// Walks through: kernel + root FS setup, file/directory syscalls, a user
+// task with restricted permissions, and the cache statistics that show
+// DLHT/PCC hits (§3) and directory-completeness caching (§5.1).
+#include <cstdio>
+
+#include "examples/example_util.h"
+#include "src/storage/diskfs.h"
+#include "src/vfs/kernel.h"
+#include "src/vfs/task.h"
+
+using namespace dircache;
+
+int main() {
+  // 1. Boot a kernel with every paper optimization enabled.
+  KernelConfig config;
+  config.cache = CacheConfig::Optimized();
+  Kernel kernel(config);
+
+  // 2. Mount an ext-like file system (2 GiB simulated device) at /.
+  Must(kernel.MountRootFs(std::make_shared<DiskFs>()), "mount /");
+
+  // 3. An init task running as root.
+  TaskPtr root = kernel.CreateInitTask(MakeCred(0, 0));
+
+  // 4. Build a small tree.
+  Must(root->Mkdir("/home"), "mkdir /home");
+  Must(root->Mkdir("/home/alice", 0750), "mkdir /home/alice");
+  Must(root->Chown("/home/alice", 1000, 1000), "chown");
+  auto fd = root->Open("/home/alice/notes.txt", kOCreat | kOWrite, 0640);
+  if (fd.ok()) {
+    Must(root->WriteFd(*fd, "the directory cache is the fast path\n"),
+         "write");
+    Must(root->Close(*fd), "close");
+  }
+  Must(root->Chown("/home/alice/notes.txt", 1000, 1000), "chown");
+  Must(root->Symlink("/home/alice", "/alice"), "symlink");
+
+  // 5. A user task: fork, drop privileges (the cred swap is COW — a fresh
+  //    credential gets a fresh Prefix Check Cache, §4.1).
+  TaskPtr alice = root->Fork();
+  alice->SetCred(MakeCred(1000, 1000));
+
+  // 6. Resolve paths. The first lookup walks component-at-a-time and
+  //    memoizes; repeats hit the DLHT + PCC fastpath.
+  for (int i = 0; i < 3; ++i) {
+    auto st = alice->StatPath("/alice/notes.txt");  // through the symlink
+    if (st.ok()) {
+      std::printf("stat #%d: ino=%llu size=%llu mode=%o\n", i + 1,
+                  static_cast<unsigned long long>(st->ino),
+                  static_cast<unsigned long long>(st->size), st->mode);
+    }
+  }
+
+  // 7. Permission enforcement: bob can't get into alice's 0750 home.
+  TaskPtr bob = root->Fork();
+  bob->SetCred(MakeCred(1001, 1001));
+  auto denied = bob->StatPath("/home/alice/notes.txt");
+  std::printf("bob's stat: %s (expected EACCES)\n",
+              std::string(ErrnoName(denied.error())).c_str());
+
+  // 8. Directory listing — served from the cache once complete (§5.1).
+  auto dfd = alice->Open("/home/alice", kORead | kODirectory);
+  if (dfd.ok()) {
+    while (true) {
+      auto batch = alice->ReadDirFd(*dfd, 16);
+      if (!batch.ok() || batch->empty()) {
+        break;
+      }
+      for (const auto& e : *batch) {
+        std::printf("  dirent: %s (ino %llu)\n", e.name.c_str(),
+                    static_cast<unsigned long long>(e.ino));
+      }
+    }
+    Must(alice->Close(*dfd), "close");
+  }
+
+  // 9. The paper's machinery, visible in the statistics.
+  std::printf("\ncache stats: %s\n", kernel.stats().ToString().c_str());
+  std::printf("fastpath hits: %llu (every repeat lookup above)\n",
+              static_cast<unsigned long long>(
+                  kernel.stats().fastpath_hits.value()));
+  return 0;
+}

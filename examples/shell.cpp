@@ -1,0 +1,211 @@
+// A tiny batch shell over the simulated kernel — the fifth example and a
+// handy debugging tool. Reads commands from stdin (or a script passed as
+// argv[1]) and executes them against an optimized kernel.
+//
+//   $ echo 'mkdir /a
+//   write /a/f hello-world
+//   ls /
+//   stat /a/f
+//   cat /a/f
+//   ln -s /a /link
+//   stat /link/f
+//   stats' | ./examples/shell
+//
+// Commands: mkdir ls stat lstat cat write rm rmdir mv ln ln -s cd pwd
+// chmod chown mount-mem umount su stats drop help
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "src/storage/diskfs.h"
+#include "src/storage/memfs.h"
+#include "src/vfs/kernel.h"
+#include "src/vfs/task.h"
+
+using namespace dircache;
+
+namespace {
+
+void PrintStat(const Stat& st, const std::string& path) {
+  const char* type = st.IsDir() ? "dir" : st.IsSymlink() ? "link" : "file";
+  std::printf("%-5s %04o uid=%u gid=%u nlink=%u size=%llu ino=%llu  %s\n",
+              type, st.mode, st.uid, st.gid, st.nlink,
+              static_cast<unsigned long long>(st.size),
+              static_cast<unsigned long long>(st.ino), path.c_str());
+}
+
+int Run(std::istream& in) {
+  KernelConfig config;
+  config.cache = CacheConfig::Optimized();
+  Kernel kernel(config);
+  kernel.MountRootFs(std::make_shared<DiskFs>());
+  TaskPtr task = kernel.CreateInitTask(MakeCred(0, 0));
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream ss(line);
+    std::string cmd;
+    ss >> cmd;
+    if (cmd.empty() || cmd[0] == '#') {
+      continue;
+    }
+    auto report = [&](const Status& st) {
+      if (!st.ok()) {
+        std::printf("error: %s\n", std::string(ErrnoName(st.error())).c_str());
+      }
+    };
+    if (cmd == "help") {
+      std::printf(
+          "mkdir ls stat lstat cat write rm rmdir mv ln [-s] cd pwd chmod "
+          "chown mount-mem umount su stats drop\n");
+    } else if (cmd == "mkdir") {
+      std::string p;
+      ss >> p;
+      report(task->Mkdir(p));
+    } else if (cmd == "ls") {
+      std::string p = ".";
+      ss >> p;
+      auto dfd = task->Open(p, kORead | kODirectory);
+      if (!dfd.ok()) {
+        report(Status(dfd.error()));
+        continue;
+      }
+      while (true) {
+        auto batch = task->ReadDirFd(*dfd, 64);
+        if (!batch.ok() || batch->empty()) {
+          break;
+        }
+        for (const auto& e : *batch) {
+          std::printf("%s%s\n", e.name.c_str(),
+                      e.type == FileType::kDirectory ? "/" : "");
+        }
+      }
+      report(task->Close(*dfd));
+    } else if (cmd == "stat" || cmd == "lstat") {
+      std::string p;
+      ss >> p;
+      auto st = cmd == "stat" ? task->StatPath(p) : task->LstatPath(p);
+      if (st.ok()) {
+        PrintStat(*st, p);
+      } else {
+        report(Status(st.error()));
+      }
+    } else if (cmd == "cat") {
+      std::string p;
+      ss >> p;
+      auto fd = task->Open(p, kORead);
+      if (!fd.ok()) {
+        report(Status(fd.error()));
+        continue;
+      }
+      std::string buf;
+      while (true) {
+        auto n = task->ReadFd(*fd, 4096, &buf);
+        if (!n.ok() || *n == 0) {
+          break;
+        }
+        fwrite(buf.data(), 1, buf.size(), stdout);
+      }
+      std::printf("\n");
+      report(task->Close(*fd));
+    } else if (cmd == "write") {
+      std::string p, data;
+      ss >> p;
+      std::getline(ss, data);
+      if (!data.empty() && data.front() == ' ') {
+        data.erase(0, 1);
+      }
+      auto fd = task->Open(p, kOCreat | kOWrite | kOTrunc);
+      if (!fd.ok()) {
+        report(Status(fd.error()));
+        continue;
+      }
+      auto w = task->WriteFd(*fd, data);
+      if (!w.ok()) {
+        report(Status(w.error()));
+      }
+      report(task->Close(*fd));
+    } else if (cmd == "rm") {
+      std::string p;
+      ss >> p;
+      report(task->Unlink(p));
+    } else if (cmd == "rmdir") {
+      std::string p;
+      ss >> p;
+      report(task->Rmdir(p));
+    } else if (cmd == "mv") {
+      std::string a, b;
+      ss >> a >> b;
+      report(task->Rename(a, b));
+    } else if (cmd == "ln") {
+      std::string a, b;
+      ss >> a >> b;
+      if (a == "-s") {
+        std::string target = b;
+        ss >> b;
+        report(task->Symlink(target, b));
+      } else {
+        report(task->Link(a, b));
+      }
+    } else if (cmd == "cd") {
+      std::string p;
+      ss >> p;
+      report(task->Chdir(p));
+    } else if (cmd == "pwd") {
+      auto cwd = task->Getcwd();
+      if (cwd.ok()) {
+        std::printf("%s\n", cwd->c_str());
+      } else {
+        report(Status(cwd.error()));
+      }
+    } else if (cmd == "chmod") {
+      std::string mode, p;
+      ss >> mode >> p;
+      report(task->Chmod(
+          p, static_cast<uint16_t>(std::strtoul(mode.c_str(), nullptr, 8))));
+    } else if (cmd == "chown") {
+      unsigned uid = 0, gid = 0;
+      std::string p;
+      ss >> uid >> gid >> p;
+      report(task->Chown(p, uid, gid));
+    } else if (cmd == "mount-mem") {
+      std::string p;
+      ss >> p;
+      report(task->Mount(p, std::make_shared<MemFs>()));
+    } else if (cmd == "umount") {
+      std::string p;
+      ss >> p;
+      report(task->Umount(p));
+    } else if (cmd == "su") {
+      unsigned uid = 0, gid = 0;
+      ss >> uid >> gid;
+      task->SetCred(MakeCred(uid, gid));
+      std::printf("now uid=%u gid=%u\n", uid, gid);
+    } else if (cmd == "stats") {
+      std::printf("%s\n", kernel.stats().ToString().c_str());
+    } else if (cmd == "drop") {
+      kernel.DropCaches();
+      std::printf("caches dropped\n");
+    } else {
+      std::printf("unknown command '%s' (try help)\n", cmd.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    return Run(script);
+  }
+  return Run(std::cin);
+}

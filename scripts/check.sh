@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Full local validation: Release build + tests, then (optionally) Debug and
+# AddressSanitizer passes, then the benchmark sweep.
+#
+#   scripts/check.sh            # release build + ctest
+#   scripts/check.sh --full     # + debug & asan test passes
+#   scripts/check.sh --bench    # + run every benchmark binary
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=0
+BENCH=0
+for arg in "$@"; do
+  case "$arg" in
+    --full) FULL=1 ;;
+    --bench) BENCH=1 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== release build =="
+cmake -B build -G Ninja >/dev/null
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+if [[ "$FULL" == 1 ]]; then
+  echo "== debug build (asserts on) =="
+  cmake -B build-debug -G Ninja -DCMAKE_BUILD_TYPE=Debug >/dev/null
+  cmake --build build-debug
+  ctest --test-dir build-debug --output-on-failure
+
+  echo "== address sanitizer =="
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >/dev/null
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure
+fi
+
+if [[ "$BENCH" == 1 ]]; then
+  echo "== benchmarks =="
+  for b in build/bench/*; do
+    [[ -f "$b" && -x "$b" ]] || continue
+    "$b"
+  done
+fi
+
+echo "all checks passed"

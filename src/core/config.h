@@ -1,0 +1,90 @@
+// Feature flags for the directory cache.
+//
+// Every optimization from the paper toggles independently so experiments can
+// attribute gains (and reproduce "unmodified Linux" by disabling them all).
+// LockingMode additionally stages the baseline's synchronization regime to
+// model the kernel-era progression in the paper's Figure 2.
+#ifndef DIRCACHE_CORE_CONFIG_H_
+#define DIRCACHE_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dircache {
+
+// Synchronization regime of the baseline (slowpath) walk.
+enum class LockingMode {
+  // One big lock around every lookup — models the pre-scalability era
+  // (~2.6.x) for the Figure 2 progression.
+  kGlobalLock,
+  // Fine-grained: shared tree lock + per-component reference counting —
+  // models the pre-RCU-walk era (~3.0).
+  kFineGrained,
+  // Optimistic lock-free walk with seqcount validation and a locked
+  // fallback — models Linux 3.14 (the paper's baseline).
+  kOptimistic,
+};
+
+// How ".." is treated on the fastpath (§4.2 / §6.1).
+enum class DotDotMode {
+  // POSIX/Linux semantics: each ".." costs an extra fastpath permission
+  // lookup on the directory being exited.
+  kPosix,
+  // Plan 9 lexical semantics: ".." is resolved by textual truncation before
+  // hashing, keeping the lookup a single probe.
+  kLexical,
+};
+
+struct CacheConfig {
+  // --- Baseline knobs --------------------------------------------------
+  LockingMode locking = LockingMode::kOptimistic;
+  // Primary dentry hash table buckets (Linux default: 262144).
+  size_t dcache_buckets = 1 << 18;
+  // Whether the baseline caches negative dentries at all (Linux does).
+  bool negative_dentries = true;
+
+  // --- §3: fastpath ----------------------------------------------------
+  bool fastpath = false;         // DLHT + PCC direct lookup
+  size_t dlht_buckets = 1 << 16; // per-namespace direct lookup hash table
+  size_t pcc_bytes = 64 * 1024;  // per-credential prefix check cache
+  // §6.5 future-work extension: grow a thrashing PCC (×2 per step, up to
+  // pcc_max_bytes) instead of the paper's statically-sized table.
+  bool pcc_autosize = false;
+  size_t pcc_max_bytes = 1024 * 1024;
+  DotDotMode dotdot = DotDotMode::kPosix;
+  // Cache symlink resolutions as alias dentries (§4.2).
+  bool symlink_aliases = true;
+  // §3.3 hardening (described but not implemented in the paper's
+  // prototype): root-credential lookups skip signature-based acceleration,
+  // so a brute-forced signature collision can never steer a privileged
+  // process (e.g. a setuid helper fed an attacker path) to the wrong file.
+  bool fastpath_for_privileged = true;
+
+  // --- §5.1: directory completeness -------------------------------------
+  bool dir_completeness = false;
+
+  // --- §5.2: aggressive negative caching ---------------------------------
+  bool negative_on_unlink = false;   // keep negatives after unlink/rename
+  bool negative_on_pseudo_fs = false;  // negatives in proc-like file systems
+  bool deep_negative = false;          // negative children under negatives
+  // Cap on deep-negative chain length created per lookup (memory guard).
+  size_t deep_negative_limit = 8;
+
+  // A fully optimized configuration (every paper feature on).
+  static CacheConfig Optimized() {
+    CacheConfig c;
+    c.fastpath = true;
+    c.dir_completeness = true;
+    c.negative_on_unlink = true;
+    c.negative_on_pseudo_fs = true;
+    c.deep_negative = true;
+    return c;
+  }
+
+  // The unmodified-Linux-3.14 baseline.
+  static CacheConfig Baseline() { return CacheConfig{}; }
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_CORE_CONFIG_H_

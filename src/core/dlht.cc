@@ -1,0 +1,76 @@
+#include "src/core/dlht.h"
+
+#include <cassert>
+
+namespace dircache {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+Dlht::Dlht(size_t buckets) : buckets_(buckets), mask_(buckets - 1) {
+  assert(IsPowerOfTwo(buckets));
+}
+
+Dlht::~Dlht() {
+  // The owning namespace unhashes all dentries before destroying the table.
+  // Nothing to free here: nodes are embedded in dentries.
+}
+
+FastDentry* Dlht::Lookup(const Signature& sig, CacheStats* stats) const {
+  const Bucket& bucket = BucketFor(sig);
+  for (HNode* n = bucket.chain.First(); n != nullptr;
+       n = n->next.load(std::memory_order_acquire)) {
+    auto* fd = FromHNode<FastDentry, &FastDentry::dlht_node>(n);
+    // The signature words are plain data guarded by state_seq (kernel
+    // seqcount idiom): sample, compare, re-validate. A dentry whose
+    // signature is being rewritten has been unhashed first, but a reader
+    // may still be standing on it during the grace period.
+    uint32_t s = fd->state_seq.ReadBegin();
+    bool match = fd->signature == sig;
+    if (fd->state_seq.ReadRetry(s)) {
+      continue;  // concurrent rewrite; treat as non-match
+    }
+    if (match) {
+      return fd;
+    }
+    if (stats != nullptr) {
+      stats->dlht_collisions.Add();
+    }
+  }
+  return nullptr;
+}
+
+void Dlht::Insert(FastDentry* fd) {
+  assert(fd->on_dlht == nullptr);
+  Bucket& bucket = BucketFor(fd->signature);
+  SpinGuard guard(bucket.lock);
+  bucket.chain.PushFront(&fd->dlht_node);
+  fd->on_dlht = this;
+}
+
+void Dlht::RemoveFromCurrent(FastDentry* fd) {
+  Dlht* table = fd->on_dlht;
+  if (table == nullptr) {
+    return;
+  }
+  Bucket& bucket = table->BucketFor(fd->signature);
+  SpinGuard guard(bucket.lock);
+  bucket.chain.Remove(&fd->dlht_node);
+  fd->on_dlht = nullptr;
+}
+
+size_t Dlht::SizeSlow() const {
+  size_t n = 0;
+  for (const Bucket& bucket : buckets_) {
+    for (HNode* node = bucket.chain.First(); node != nullptr;
+         node = node->next.load(std::memory_order_acquire)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace dircache

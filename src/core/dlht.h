@@ -1,0 +1,72 @@
+// Direct Lookup Hash Table (DLHT), §3.1.
+//
+// A per-mount-namespace hash table mapping full-canonical-path signatures to
+// dentries. Lazily populated from slowpath results; entries are removed for
+// coherence with directory-tree mutations (§3.2) and on eviction. A dentry
+// is on at most one DLHT under one signature at a time, which keeps mount
+// aliases and namespaces coherent (§4.3).
+//
+// Readers probe buckets lock-free (epoch-protected); writers serialize on
+// per-bucket spinlocks. All Insert/Remove calls for a given dentry must be
+// serialized by its owner (the VFS holds the dentry lock), which is what
+// makes `on_dlht` safe to read there.
+#ifndef DIRCACHE_CORE_DLHT_H_
+#define DIRCACHE_CORE_DLHT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/fast_dentry.h"
+#include "src/util/hash.h"
+#include "src/util/spinlock.h"
+#include "src/util/stats.h"
+
+namespace dircache {
+
+class Dlht {
+ public:
+  // `buckets` must be a power of two (paper default: 2^16).
+  explicit Dlht(size_t buckets);
+  ~Dlht();
+  Dlht(const Dlht&) = delete;
+  Dlht& operator=(const Dlht&) = delete;
+
+  // Lock-free probe. The caller must be inside an epoch read guard and must
+  // re-validate the returned dentry (seq checks) before trusting it.
+  // Counts skipped chain entries into `stats` for the collision statistic.
+  FastDentry* Lookup(const Signature& sig, CacheStats* stats) const;
+
+  // Publish `fd` under fd->signature. If `fd` is currently on another table
+  // (or on this one under an old signature), the caller must Remove it
+  // first. Caller holds the owning dentry's lock.
+  void Insert(FastDentry* fd);
+
+  // Remove `fd` from whatever table holds it (no-op when unhashed). Caller
+  // holds the owning dentry's lock. Static because an invalidation may need
+  // to evict a dentry from a *different* namespace's table (§4.3).
+  static void RemoveFromCurrent(FastDentry* fd);
+
+  size_t bucket_count() const { return buckets_.size(); }
+  // Approximate number of entries (for the space report).
+  size_t SizeSlow() const;
+
+ private:
+  struct Bucket {
+    SpinLock lock;
+    HListHead chain;
+  };
+
+  Bucket& BucketFor(const Signature& sig) {
+    return buckets_[sig.bucket & mask_];
+  }
+  const Bucket& BucketFor(const Signature& sig) const {
+    return buckets_[sig.bucket & mask_];
+  }
+
+  std::vector<Bucket> buckets_;
+  size_t mask_;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_CORE_DLHT_H_

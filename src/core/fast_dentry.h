@@ -1,0 +1,70 @@
+// FastDentry: the per-dentry state added for the paper's fastpath (Fig. 5).
+//
+// Embedded by value in every Dentry (the paper grows the dentry from 192 to
+// 280 bytes the same way). Holds the full-path signature, the resumable hash
+// state children extend from, the DLHT chain linkage, the mount the path was
+// resolved under, and the version counter the PCC validates against.
+//
+// This header deliberately depends only on util types; the owning Dentry is
+// opaque here, which keeps the core library free of a dependency on the VFS.
+#ifndef DIRCACHE_CORE_FAST_DENTRY_H_
+#define DIRCACHE_CORE_FAST_DENTRY_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/hash.h"
+#include "src/util/hlist.h"
+#include "src/util/spinlock.h"
+
+namespace dircache {
+
+class Dlht;
+struct Mount;
+
+// Field order is cache-conscious: everything a DLHT probe + PCC validation
+// touches (dlht_node, signature, state_seq, seq, mount) is packed at the
+// tail, directly adjacent to the owning Dentry's own hot tail fields
+// (inode/flags/refs), so a fastpath hit on a cold dentry touches the fewest
+// possible lines.
+struct FastDentry {
+  // --- cold-ish: used when extending/recomputing paths ---------------------
+  HashState hash_state;  // resumable prefix state (children extend this)
+
+  // For symlink dentries: the signature of the resolved target path, so a
+  // trailing-symlink follow costs one extra DLHT probe (§4.2). Guarded by
+  // state_seq like signature/hash_state/mount.
+  Signature target_sig;
+  std::atomic<bool> has_target_sig{false};
+
+  // Set when signature/hash_state describe the dentry's current canonical
+  // path (they are computed lazily and dropped on rename).
+  std::atomic<bool> path_valid{false};
+
+  // DLHT membership: the table currently holding this dentry — at most one
+  // at a time, even across mount aliases and namespaces (§4.3). Guarded by
+  // the DLHT bucket lock.
+  Dlht* on_dlht = nullptr;
+
+  // --- hot: the fastpath probe path ----------------------------------------
+  HNode dlht_node;
+
+  Signature signature;  // 240-bit signature + bucket of the canonical path
+
+  // Guards signature/hash_state/mount against torn reads by lock-free
+  // fastpath walkers (writers hold the dentry lock).
+  SeqCount state_seq;
+
+  // Version counter validated by PCC entries. Every value is drawn from a
+  // kernel-global monotonic source, so a (dentry pointer, seq) pair can
+  // never recur across free/reallocation (§3.1). 0 = never initialized.
+  std::atomic<uint32_t> seq{0};
+
+  // Mount point this path was resolved under, for flag checks after a
+  // direct hit (§4.3). Null until first published.
+  std::atomic<Mount*> mount{nullptr};
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_CORE_FAST_DENTRY_H_

@@ -1,0 +1,147 @@
+#include "src/core/pcc.h"
+
+#include <algorithm>
+
+namespace dircache {
+
+namespace {
+
+size_t RoundDownPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) {
+    p *= 2;
+  }
+  return p;
+}
+
+uint64_t MixPointer(uint64_t key) {
+  // fmix64: dentry addresses share high bits; spread them over the sets.
+  key ^= key >> 33;
+  key *= 0xff51afd7ed558ccdULL;
+  key ^= key >> 33;
+  return key;
+}
+
+}  // namespace
+
+Pcc::Pcc(size_t bytes, bool track_occupancy)
+    : track_occupancy_(track_occupancy) {
+  size_t entries = std::max<size_t>(bytes / sizeof(Entry), kWays);
+  sets_ = RoundDownPow2(entries / kWays);
+  set_mask_ = sets_ - 1;
+  entries_ = std::vector<Entry>(sets_ * kWays);
+}
+
+void Pcc::NoteLookup(bool hit) {
+  if (!track_occupancy_) {
+    return;
+  }
+  if (!hit) {
+    window_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint32_t n = window_lookups_.fetch_add(1, std::memory_order_relaxed) + 1;
+  constexpr uint32_t kWindow = 4096;
+  if (n >= kWindow) {
+    uint32_t misses = window_misses_.load(std::memory_order_relaxed);
+    window_lookups_.store(0, std::memory_order_relaxed);
+    window_misses_.store(0, std::memory_order_relaxed);
+    if (misses * 2 > n) {
+      grow_hint_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t Pcc::SetFor(uint64_t key) const { return MixPointer(key) & set_mask_; }
+
+bool Pcc::Lookup(const void* dentry, uint32_t seq) {
+  const uint64_t key = KeyFor(dentry);
+  Entry* set = &entries_[SetFor(key) * kWays];
+  for (size_t way = 0; way < kWays; ++way) {
+    Entry& e = set[way];
+    // key / meta / key re-check: if the key is stable across the meta read,
+    // the meta belongs to that key (writers clear the key before rewriting
+    // meta, and publish the new key last).
+    uint64_t k1 = e.key.load(std::memory_order_acquire);
+    if (k1 != key) {
+      continue;
+    }
+    uint64_t meta = e.meta.load(std::memory_order_acquire);
+    uint64_t k2 = e.key.load(std::memory_order_acquire);
+    if (k2 != key) {
+      continue;
+    }
+    if (static_cast<uint32_t>(meta >> 32) != seq) {
+      NoteLookup(false);
+      return false;  // stale memo for this dentry
+    }
+    // Touch the LRU tick (best effort: a plain load+store race only skews
+    // LRU slightly, never correctness — the seq half is rewritten intact).
+    uint32_t now = tick_.load(std::memory_order_relaxed) + 1;
+    tick_.store(now, std::memory_order_relaxed);
+    e.meta.store((meta & 0xffffffff00000000ULL) | now,
+                 std::memory_order_release);
+    NoteLookup(true);
+    return true;
+  }
+  NoteLookup(false);
+  return false;
+}
+
+void Pcc::Insert(const void* dentry, uint32_t seq) {
+  const uint64_t key = KeyFor(dentry);
+  Entry* set = &entries_[SetFor(key) * kWays];
+  uint32_t now = tick_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t meta = (static_cast<uint64_t>(seq) << 32) | now;
+
+  // Prefer updating an existing entry for this dentry, then an empty way,
+  // then the LRU way.
+  Entry* match = nullptr;
+  Entry* empty = nullptr;
+  Entry* lru = nullptr;
+  uint32_t lru_tick = ~0u;
+  for (size_t way = 0; way < kWays; ++way) {
+    Entry& e = set[way];
+    uint64_t k = e.key.load(std::memory_order_acquire);
+    if (k == key) {
+      match = &e;
+      break;
+    }
+    if (k == 0) {
+      if (empty == nullptr) {
+        empty = &e;
+      }
+      continue;
+    }
+    uint32_t t =
+        static_cast<uint32_t>(e.meta.load(std::memory_order_relaxed));
+    if (t <= lru_tick) {
+      lru = &e;
+      lru_tick = t;
+    }
+  }
+  Entry* victim = match != nullptr ? match : (empty != nullptr ? empty : lru);
+  // Claim the slot (key = kBusy) so two racing writers cannot interleave
+  // one dentry's key with another's metadata; publish the key last so
+  // readers' key/meta/key protocol stays sound. kBusy (1) can never be a
+  // real key: keys are dentry pointers >> 3.
+  constexpr uint64_t kBusy = 1;
+  uint64_t observed = victim->key.load(std::memory_order_relaxed);
+  do {
+    if (observed == kBusy) {
+      return;  // another writer owns the slot right now; drop this memo
+    }
+  } while (!victim->key.compare_exchange_weak(observed, kBusy,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_relaxed));
+  victim->meta.store(meta, std::memory_order_release);
+  victim->key.store(key, std::memory_order_release);
+}
+
+void Pcc::Flush() {
+  for (Entry& e : entries_) {
+    e.key.store(0, std::memory_order_release);
+    e.meta.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dircache

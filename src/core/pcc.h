@@ -1,0 +1,100 @@
+// Prefix Check Cache (PCC), §3.1 / §4.1.
+//
+// A per-credential memo of prefix-check results: "this credential was
+// recently allowed to search every directory from the root to this dentry,
+// when the dentry's version counter was S". Entries are (dentry pointer,
+// sequence) pairs; they invalidate themselves when the dentry's counter
+// moves (bumped recursively on any ancestor permission or structure change),
+// so the PCC itself never needs to be walked on invalidation.
+//
+// The table is set-associative with per-set LRU, sized in bytes (paper
+// default 64 KB), and safely shared by all processes holding the same cred.
+// Lookups and inserts are lock-free; a racy entry can only produce a miss
+// (forcing the slowpath), never a false hit — see the key re-check below.
+#ifndef DIRCACHE_CORE_PCC_H_
+#define DIRCACHE_CORE_PCC_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace dircache {
+
+class Pcc {
+ public:
+  static constexpr size_t kWays = 4;
+
+  // `bytes` is the total table size; entries are 16 bytes each. When
+  // `track_occupancy` is set, lookups maintain a miss-rate window so a
+  // kernel policy can grow the table (§6.5's future-work item: a
+  // "production system would dynamically resize the PCC").
+  explicit Pcc(size_t bytes, bool track_occupancy = false);
+
+  // True if (dentry, seq) is present — i.e. the memoized prefix check for
+  // this credential is still current.
+  bool Lookup(const void* dentry, uint32_t seq);
+
+  // Thrash detector: true when, over the last sampling window, more than
+  // half of the lookups missed — the updatedb-beyond-PCC pattern (§6.3).
+  bool ShouldGrow() const {
+    return grow_hint_.load(std::memory_order_relaxed);
+  }
+  void ClearGrowHint() {
+    grow_hint_.store(false, std::memory_order_relaxed);
+  }
+
+  // Record a passed prefix check.
+  void Insert(const void* dentry, uint32_t seq);
+
+  // Drop every entry (used for the global version-counter wraparound,
+  // §3.1, and by tests).
+  void Flush();
+
+  // Version-counter wraparound handling: when the kernel-wide PCC epoch
+  // moves, every PCC self-flushes on its next use (§3.1).
+  void EnsureEpoch(uint64_t global_epoch) {
+    if (epoch_.load(std::memory_order_acquire) != global_epoch) {
+      Flush();
+      epoch_.store(global_epoch, std::memory_order_release);
+    }
+  }
+
+  size_t sets() const { return sets_; }
+  size_t capacity_entries() const { return sets_ * kWays; }
+  size_t bytes() const { return capacity_entries() * sizeof(Entry); }
+
+ private:
+  struct Entry {
+    // Dentry pointer >> 3 (dentries are 8-aligned); 0 = empty. The paper
+    // packs the 32 unique pointer bits tighter; we keep the shifted word.
+    std::atomic<uint64_t> key{0};
+    // Packed (seq << 32 | lru tick).
+    std::atomic<uint64_t> meta{0};
+  };
+
+  static uint64_t KeyFor(const void* dentry) {
+    return reinterpret_cast<uintptr_t>(dentry) >> 3;
+  }
+  size_t SetFor(uint64_t key) const;
+
+  void NoteLookup(bool hit);
+
+  size_t sets_;
+  size_t set_mask_;
+  std::vector<Entry> entries_;
+  std::atomic<uint32_t> tick_{1};
+  std::atomic<uint64_t> epoch_{0};
+
+  // Occupancy tracking (enabled only under the auto-resize policy).
+  bool track_occupancy_ = false;
+  std::atomic<uint32_t> window_lookups_{0};
+  std::atomic<uint32_t> window_misses_{0};
+  std::atomic<bool> grow_hint_{false};
+};
+
+using PccPtr = std::shared_ptr<Pcc>;
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_CORE_PCC_H_

@@ -1,0 +1,57 @@
+// Path signing for the fastpath (§3.3).
+//
+// PathSigner owns the per-boot random key material and provides the
+// canonical-path incremental hashing protocol: the canonical form of a
+// dentry's path is the concatenation of "/<component>" for every component
+// from the namespace root (the root itself hashes as the empty string).
+// Children extend their parent's stored HashState, so hashing a relative
+// path never re-touches the prefix (§3.1).
+#ifndef DIRCACHE_CORE_SIGNATURE_H_
+#define DIRCACHE_CORE_SIGNATURE_H_
+
+#include <string_view>
+
+#include "src/util/hash.h"
+
+namespace dircache {
+
+class PathSigner {
+ public:
+  // `seed` keys the hash function; pass entropy in production, a fixed
+  // value in reproducible experiments. (Paper: random key at boot, §3.3.)
+  explicit PathSigner(uint64_t seed)
+      : key_(seed), hasher_(&key_) {}
+
+  PathSigner(const PathSigner&) = delete;
+  PathSigner& operator=(const PathSigner&) = delete;
+
+  // State of the namespace root (hash of the empty path).
+  HashState RootState() const { return hasher_.Init(); }
+
+  // Extend `state` with "/<name>". False if PATH_MAX would be exceeded.
+  bool AppendComponent(HashState& state, std::string_view name) const {
+    // Short components (the overwhelming majority) fold in one Update via
+    // a stack buffer; long ones take two.
+    if (name.size() < kBufLen) {
+      char buf[kBufLen];
+      buf[0] = '/';
+      std::memcpy(buf + 1, name.data(), name.size());
+      return hasher_.Update(state, std::string_view(buf, name.size() + 1));
+    }
+    return hasher_.Update(state, "/") && hasher_.Update(state, name);
+  }
+
+  Signature Finalize(const HashState& state) const {
+    return hasher_.Finalize(state);
+  }
+
+ private:
+  static constexpr size_t kBufLen = 72;
+
+  PathHashKey key_;
+  PathHasher hasher_;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_CORE_SIGNATURE_H_

@@ -1,0 +1,67 @@
+#include "src/storage/block_device.h"
+
+#include <cstring>
+
+namespace dircache {
+
+thread_local VirtualClock* IoChargeScope::current_ = nullptr;
+
+BlockDevice::BlockDevice(uint64_t num_blocks, DiskModel model)
+    : num_blocks_(num_blocks), model_(model) {
+  blocks_.resize(num_blocks);
+}
+
+Block* BlockDevice::BlockAt(uint64_t block_no) {
+  auto& slot = blocks_[block_no];
+  if (slot == nullptr) {
+    slot = std::make_unique<Block>();
+    slot->fill(0);
+  }
+  return slot.get();
+}
+
+uint64_t BlockDevice::ChargeFor(uint64_t block_no) {
+  uint64_t cost = model_.transfer_ns;
+  cost += (block_no == last_block_ + 1) ? model_.sequential_ns
+                                        : model_.seek_ns;
+  last_block_ = block_no;
+  return cost;
+}
+
+Status BlockDevice::Read(uint64_t block_no, Block* out) {
+  if (block_no >= num_blocks_) {
+    return Errno::kEIO;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t cost = ChargeFor(block_no);
+  total_io_ns_.Add(cost);
+  reads_.Add();
+  IoChargeScope::Charge(cost);
+  if (read_faults_ > 0) {
+    --read_faults_;
+    io_errors_.Add();
+    return Errno::kEIO;
+  }
+  std::memcpy(out->data(), BlockAt(block_no)->data(), kBlockSize);
+  return Status::Ok();
+}
+
+Status BlockDevice::Write(uint64_t block_no, const Block& data) {
+  if (block_no >= num_blocks_) {
+    return Errno::kEIO;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t cost = ChargeFor(block_no);
+  total_io_ns_.Add(cost);
+  writes_.Add();
+  IoChargeScope::Charge(cost);
+  if (write_faults_ > 0) {
+    --write_faults_;
+    io_errors_.Add();
+    return Errno::kEIO;
+  }
+  std::memcpy(BlockAt(block_no)->data(), data.data(), kBlockSize);
+  return Status::Ok();
+}
+
+}  // namespace dircache

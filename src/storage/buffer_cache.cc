@@ -1,0 +1,152 @@
+#include "src/storage/buffer_cache.h"
+
+#include <cassert>
+
+namespace dircache {
+
+BufferRef::~BufferRef() {
+  if (cache_ != nullptr) {
+    cache_->Unpin(buf_);
+  }
+}
+
+BufferRef& BufferRef::operator=(BufferRef&& o) noexcept {
+  if (this != &o) {
+    if (cache_ != nullptr) {
+      cache_->Unpin(buf_);
+    }
+    cache_ = o.cache_;
+    buf_ = o.buf_;
+    o.cache_ = nullptr;
+    o.buf_ = nullptr;
+  }
+  return *this;
+}
+
+void BufferRef::MarkDirty() {
+  std::lock_guard<std::mutex> lock(cache_->mu_);
+  buf_->dirty = true;
+}
+
+BufferCache::BufferCache(BlockDevice* device, size_t capacity_blocks)
+    : device_(device), capacity_(capacity_blocks) {}
+
+BufferCache::~BufferCache() {
+  // Destructors cannot report I/O failure; outside test fault injection the
+  // simulated device never fails (and injected failures drop the write, as a
+  // real dying disk would).
+  (void)Sync();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [no, buf] : map_) {
+    buf->lru.Unlink();
+  }
+  map_.clear();
+}
+
+Result<BufferRef> BufferCache::Get(uint64_t block_no) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto r = GetLocked(block_no, /*read_device=*/true);
+  if (!r.ok()) {
+    return r.error();
+  }
+  return BufferRef(this, *r);
+}
+
+Result<BufferRef> BufferCache::GetForOverwrite(uint64_t block_no) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto r = GetLocked(block_no, /*read_device=*/false);
+  if (!r.ok()) {
+    return r.error();
+  }
+  (*r)->dirty = true;
+  return BufferRef(this, *r);
+}
+
+Result<Buffer*> BufferCache::GetLocked(uint64_t block_no, bool read_device) {
+  auto it = map_.find(block_no);
+  if (it != map_.end()) {
+    hits_.Add();
+    Buffer* buf = it->second.get();
+    lru_.MoveToFront(buf);
+    ++buf->pins;
+    return buf;
+  }
+  misses_.Add();
+  auto owned = std::make_unique<Buffer>();
+  Buffer* buf = owned.get();
+  buf->block_no = block_no;
+  if (read_device) {
+    DIRCACHE_RETURN_IF_ERROR(device_->Read(block_no, &buf->data));
+  }
+  map_.emplace(block_no, std::move(owned));
+  lru_.PushFront(buf);
+  ++buf->pins;
+  EvictIfNeededLocked();
+  return buf;
+}
+
+void BufferCache::Unpin(Buffer* buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(buf->pins > 0);
+  --buf->pins;
+}
+
+void BufferCache::EvictIfNeededLocked() {
+  while (map_.size() > capacity_) {
+    // Scan from the LRU end (back) toward the front for an unpinned victim.
+    Buffer* victim = lru_.Back();
+    while (victim != nullptr && victim->pins > 0) {
+      victim = lru_.PrevOf(victim);
+    }
+    if (victim == nullptr) {
+      return;  // everything is pinned
+    }
+    if (victim->dirty && !WriteBackLocked(victim).ok()) {
+      return;
+    }
+    victim->lru.Unlink();
+    map_.erase(victim->block_no);
+  }
+}
+
+Status BufferCache::WriteBackLocked(Buffer* buf) {
+  DIRCACHE_RETURN_IF_ERROR(device_->Write(buf->block_no, buf->data));
+  buf->dirty = false;
+  return Status::Ok();
+}
+
+Status BufferCache::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [no, buf] : map_) {
+    if (buf->dirty) {
+      DIRCACHE_RETURN_IF_ERROR(WriteBackLocked(buf.get()));
+    }
+  }
+  return Status::Ok();
+}
+
+void BufferCache::Drop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = map_.begin(); it != map_.end();) {
+    Buffer* buf = it->second.get();
+    if (buf->pins > 0) {
+      ++it;
+      continue;
+    }
+    if (buf->dirty) {
+      if (!WriteBackLocked(buf).ok()) {
+        ++it;
+        continue;
+      }
+    }
+    buf->lru.Unlink();
+    it = map_.erase(it);
+  }
+}
+
+size_t BufferCache::cached_blocks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace dircache

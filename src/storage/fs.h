@@ -1,0 +1,148 @@
+// Low-level file system interface: the boundary between the VFS and a
+// concrete file system implementation (ext4, proc, ...), mirroring Linux's
+// inode_operations / file_operations contract as it pertains to metadata.
+//
+// The directory cache sits *above* this interface; a dcache miss results in
+// one of these calls. The two provided implementations are DiskFs (ext-like,
+// block-backed, charges simulated I/O) and MemFs (pseudo file system in the
+// style of proc/sysfs: no I/O, optionally no negative dentries).
+#ifndef DIRCACHE_STORAGE_FS_H_
+#define DIRCACHE_STORAGE_FS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace dircache {
+
+using InodeNum = uint64_t;
+
+enum class FileType : uint8_t {
+  kRegular = 1,
+  kDirectory = 2,
+  kSymlink = 3,
+  kCharDev = 4,
+  kBlockDev = 5,
+  kFifo = 6,
+  kSocket = 7,
+};
+
+// Permission/mode bits (standard POSIX octal values).
+inline constexpr uint16_t kModeSetUid = 04000;
+inline constexpr uint16_t kModeSetGid = 02000;
+inline constexpr uint16_t kModeSticky = 01000;
+inline constexpr uint16_t kModeRUsr = 0400;
+inline constexpr uint16_t kModeWUsr = 0200;
+inline constexpr uint16_t kModeXUsr = 0100;
+inline constexpr uint16_t kModeRGrp = 0040;
+inline constexpr uint16_t kModeWGrp = 0020;
+inline constexpr uint16_t kModeXGrp = 0010;
+inline constexpr uint16_t kModeROth = 0004;
+inline constexpr uint16_t kModeWOth = 0002;
+inline constexpr uint16_t kModeXOth = 0001;
+inline constexpr uint16_t kModePermMask = 07777;
+
+// Attributes of an on-disk inode, as returned to the VFS.
+struct InodeAttr {
+  InodeNum ino = 0;
+  FileType type = FileType::kRegular;
+  uint16_t mode = 0;  // permission bits (kModePermMask subset)
+  uint32_t uid = 0;
+  uint32_t gid = 0;
+  uint32_t nlink = 1;
+  uint64_t size = 0;
+  uint64_t mtime = 0;
+  uint64_t ctime = 0;
+};
+
+// A directory entry as reported by ReadDir. Note (§5.1): this carries the
+// inode number and type but *not* full attributes — exactly the information
+// gap that forces the VFS to create inode-less dentries from readdir
+// results.
+struct DirEntry {
+  std::string name;
+  InodeNum ino = 0;
+  FileType type = FileType::kRegular;
+};
+
+// Subset of attributes updated by SetAttr (chmod/chown/truncate).
+struct AttrUpdate {
+  std::optional<uint16_t> mode;
+  std::optional<uint32_t> uid;
+  std::optional<uint32_t> gid;
+  std::optional<uint64_t> size;
+};
+
+// Result of a ReadDir chunk. `next_offset` is the opaque continuation
+// cursor to pass to the next call (a byte position for DiskFs, an entry
+// index for MemFs) — like getdents, each chunk costs O(chunk), not
+// O(position).
+struct ReadDirResult {
+  std::vector<DirEntry> entries;
+  bool eof = false;
+  uint64_t next_offset = 0;
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::string_view TypeName() const = 0;
+  virtual InodeNum RootIno() const = 0;
+
+  // True if lookups that fail with ENOENT should produce negative dentries
+  // by default. Pseudo file systems return false (Linux behaviour the
+  // paper's aggressive-negative-caching optimization overrides, §5.2).
+  virtual bool WantsNegativeDentries() const { return true; }
+
+  // True when cached dentries from this file system must be re-verified
+  // with the backing store on every lookup (stateless network protocols,
+  // §4.3). Such file systems get no fastpath: the walker revalidates each
+  // component via Revalidate().
+  virtual bool NeedsRevalidation() const { return false; }
+  virtual Status Revalidate(InodeNum ino) { return Status::Ok(); }
+
+  virtual Result<InodeAttr> GetAttr(InodeNum ino) = 0;
+  virtual Status SetAttr(InodeNum ino, const AttrUpdate& update) = 0;
+
+  // Resolve one component in directory `dir`. ENOENT if absent.
+  virtual Result<InodeNum> Lookup(InodeNum dir, std::string_view name) = 0;
+
+  virtual Result<InodeNum> Create(InodeNum dir, std::string_view name,
+                                  FileType type, uint16_t mode, uint32_t uid,
+                                  uint32_t gid) = 0;
+  virtual Result<InodeNum> SymlinkCreate(InodeNum dir, std::string_view name,
+                                         std::string_view target,
+                                         uint32_t uid, uint32_t gid) = 0;
+  virtual Status Link(InodeNum dir, std::string_view name,
+                      InodeNum target) = 0;
+  virtual Status Unlink(InodeNum dir, std::string_view name) = 0;
+  virtual Status Rmdir(InodeNum dir, std::string_view name) = 0;
+  virtual Status Rename(InodeNum old_dir, std::string_view old_name,
+                        InodeNum new_dir, std::string_view new_name) = 0;
+
+  virtual Result<std::string> ReadLink(InodeNum ino) = 0;
+
+  // Read directory entries starting at opaque `offset` (entry index). The
+  // low-level FS reparses its on-disk format on every call, which is what
+  // makes uncached readdir expensive (§5.1).
+  virtual Result<ReadDirResult> ReadDir(InodeNum dir, uint64_t offset,
+                                        size_t max_entries) = 0;
+
+  // File data plane (enough for workloads that read/write small files).
+  virtual Result<size_t> Read(InodeNum ino, uint64_t offset, size_t len,
+                              std::string* out) = 0;
+  virtual Result<size_t> Write(InodeNum ino, uint64_t offset,
+                               std::string_view data) = 0;
+
+  // Drop clean cached state (buffer cache) — used by cold-cache runs.
+  virtual void DropCaches() {}
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_STORAGE_FS_H_

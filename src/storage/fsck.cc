@@ -1,0 +1,24 @@
+#include "src/storage/fsck.h"
+
+#include <sstream>
+
+namespace dircache {
+
+std::string FsckReport::Summary() const {
+  std::ostringstream os;
+  os << (clean() ? "CLEAN" : "CORRUPT") << ": " << inodes_checked
+     << " inodes, " << directories_checked << " directories, "
+     << blocks_referenced << " blocks";
+  if (!clean()) {
+    os << ", " << errors.size() << " error(s); first: " << errors.front();
+  }
+  return os.str();
+}
+
+FsckReport RunFsck(DiskFs& fs) {
+  FsckReport report;
+  fs.Fsck(&report);
+  return report;
+}
+
+}  // namespace dircache

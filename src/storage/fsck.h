@@ -1,0 +1,41 @@
+// DiskFs consistency checker (fsck).
+//
+// Walks the on-disk structures the way e2fsck does, verifying that the
+// cached VFS view and the persistent format cannot drift apart silently:
+//  - every directory tree entry points at an allocated, live inode;
+//  - every live inode is reachable and its link count matches the number
+//    of directory entries referencing it (+1 per subdirectory for dirs);
+//  - data/indirect blocks referenced by inodes are marked allocated and
+//    are referenced exactly once;
+//  - allocated blocks/inodes not referenced anywhere are reported leaks;
+//  - every directory block's checksum tail verifies.
+//
+// Tests run it after randomized workloads; a production user would run it
+// after crash-recovery experiments.
+#ifndef DIRCACHE_STORAGE_FSCK_H_
+#define DIRCACHE_STORAGE_FSCK_H_
+
+#include <string>
+#include <vector>
+
+#include "src/storage/diskfs.h"
+
+namespace dircache {
+
+struct FsckReport {
+  std::vector<std::string> errors;
+  uint64_t inodes_checked = 0;
+  uint64_t directories_checked = 0;
+  uint64_t blocks_referenced = 0;
+
+  bool clean() const { return errors.empty(); }
+  std::string Summary() const;
+};
+
+// Full consistency check. The file system must be quiescent (no concurrent
+// mutations) for the duration.
+FsckReport RunFsck(DiskFs& fs);
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_STORAGE_FSCK_H_

@@ -1,0 +1,95 @@
+#include "src/storage/remotefs.h"
+
+#include "src/storage/block_device.h"
+
+namespace dircache {
+
+RemoteFs::RemoteFs(Options options)
+    : options_(options),
+      server_(MemFs::Options{/*wants_negative_dentries=*/true, "remote"}) {}
+
+void RemoteFs::ChargeRpc() {
+  rpcs_.Add();
+  IoChargeScope::Charge(options_.rpc_latency_ns);
+}
+
+Status RemoteFs::Revalidate(InodeNum ino) {
+  ChargeRpc();  // GETATTR round trip
+  auto attr = server_.GetAttr(ino);
+  return attr.ok() ? Status::Ok() : Status(attr.error());
+}
+
+Result<InodeAttr> RemoteFs::GetAttr(InodeNum ino) {
+  ChargeRpc();
+  return server_.GetAttr(ino);
+}
+
+Status RemoteFs::SetAttr(InodeNum ino, const AttrUpdate& update) {
+  ChargeRpc();
+  return server_.SetAttr(ino, update);
+}
+
+Result<InodeNum> RemoteFs::Lookup(InodeNum dir, std::string_view name) {
+  ChargeRpc();
+  return server_.Lookup(dir, name);
+}
+
+Result<InodeNum> RemoteFs::Create(InodeNum dir, std::string_view name,
+                                  FileType type, uint16_t mode, uint32_t uid,
+                                  uint32_t gid) {
+  ChargeRpc();
+  return server_.Create(dir, name, type, mode, uid, gid);
+}
+
+Result<InodeNum> RemoteFs::SymlinkCreate(InodeNum dir, std::string_view name,
+                                         std::string_view target,
+                                         uint32_t uid, uint32_t gid) {
+  ChargeRpc();
+  return server_.SymlinkCreate(dir, name, target, uid, gid);
+}
+
+Status RemoteFs::Link(InodeNum dir, std::string_view name, InodeNum target) {
+  ChargeRpc();
+  return server_.Link(dir, name, target);
+}
+
+Status RemoteFs::Unlink(InodeNum dir, std::string_view name) {
+  ChargeRpc();
+  return server_.Unlink(dir, name);
+}
+
+Status RemoteFs::Rmdir(InodeNum dir, std::string_view name) {
+  ChargeRpc();
+  return server_.Rmdir(dir, name);
+}
+
+Status RemoteFs::Rename(InodeNum old_dir, std::string_view old_name,
+                        InodeNum new_dir, std::string_view new_name) {
+  ChargeRpc();
+  return server_.Rename(old_dir, old_name, new_dir, new_name);
+}
+
+Result<std::string> RemoteFs::ReadLink(InodeNum ino) {
+  ChargeRpc();
+  return server_.ReadLink(ino);
+}
+
+Result<ReadDirResult> RemoteFs::ReadDir(InodeNum dir, uint64_t offset,
+                                        size_t max_entries) {
+  ChargeRpc();
+  return server_.ReadDir(dir, offset, max_entries);
+}
+
+Result<size_t> RemoteFs::Read(InodeNum ino, uint64_t offset, size_t len,
+                              std::string* out) {
+  ChargeRpc();
+  return server_.Read(ino, offset, len, out);
+}
+
+Result<size_t> RemoteFs::Write(InodeNum ino, uint64_t offset,
+                               std::string_view data) {
+  ChargeRpc();
+  return server_.Write(ino, offset, data);
+}
+
+}  // namespace dircache

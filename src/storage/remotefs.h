@@ -1,0 +1,92 @@
+// RemoteFs: a simulated network file system (§4.3).
+//
+// Wraps an in-memory "server" namespace behind a per-RPC latency charge.
+// Two client consistency models:
+//
+//  - kStateless (NFSv2/v3-like): close-to-open consistency on a stateless
+//    protocol. The client must revalidate every path component against the
+//    server on every lookup — the paper's §4.3 observation that this
+//    "effectively forc[es] a cache miss and nullif[ies] any benefit to the
+//    hit path". The VFS honours this via NeedsRevalidation(): dentries from
+//    such a file system are never served from the fastpath, and the
+//    slowpath pays one RPC per component.
+//
+//  - kCallback (AFS/NFSv4.1-like): the server issues callbacks/delegations
+//    on directory modification; cached state is trusted until recalled, so
+//    the full fastpath applies. (All mutations here go through this one
+//    client, so recalls are never needed; a multi-client simulation would
+//    invalidate affected subtrees on recall exactly like a local rename.)
+#ifndef DIRCACHE_STORAGE_REMOTEFS_H_
+#define DIRCACHE_STORAGE_REMOTEFS_H_
+
+#include <memory>
+
+#include "src/storage/memfs.h"
+#include "src/util/stats.h"
+
+namespace dircache {
+
+enum class RemoteProtocol {
+  kStateless,  // NFSv2/v3: revalidate per component, no fastpath benefit
+  kCallback,   // AFS / NFSv4.1: cached entries trusted until recalled
+};
+
+class RemoteFs final : public FileSystem {
+ public:
+  struct Options {
+    RemoteProtocol protocol = RemoteProtocol::kStateless;
+    uint64_t rpc_latency_ns = 200'000;  // one round trip to the server
+  };
+
+  explicit RemoteFs(Options options);
+
+  std::string_view TypeName() const override {
+    return options_.protocol == RemoteProtocol::kStateless ? "nfs3"
+                                                           : "afs";
+  }
+  InodeNum RootIno() const override { return server_.RootIno(); }
+  bool WantsNegativeDentries() const override { return true; }
+
+  // True when every cached lookup must be re-verified with the server
+  // (stateless protocols). Consulted by the VFS walker.
+  bool NeedsRevalidation() const override {
+    return options_.protocol == RemoteProtocol::kStateless;
+  }
+
+  // One revalidation round trip (GETATTR-style); ESTALE if gone.
+  Status Revalidate(InodeNum ino) override;
+
+  Result<InodeAttr> GetAttr(InodeNum ino) override;
+  Status SetAttr(InodeNum ino, const AttrUpdate& update) override;
+  Result<InodeNum> Lookup(InodeNum dir, std::string_view name) override;
+  Result<InodeNum> Create(InodeNum dir, std::string_view name, FileType type,
+                          uint16_t mode, uint32_t uid, uint32_t gid) override;
+  Result<InodeNum> SymlinkCreate(InodeNum dir, std::string_view name,
+                                 std::string_view target, uint32_t uid,
+                                 uint32_t gid) override;
+  Status Link(InodeNum dir, std::string_view name, InodeNum target) override;
+  Status Unlink(InodeNum dir, std::string_view name) override;
+  Status Rmdir(InodeNum dir, std::string_view name) override;
+  Status Rename(InodeNum old_dir, std::string_view old_name, InodeNum new_dir,
+                std::string_view new_name) override;
+  Result<std::string> ReadLink(InodeNum ino) override;
+  Result<ReadDirResult> ReadDir(InodeNum dir, uint64_t offset,
+                                size_t max_entries) override;
+  Result<size_t> Read(InodeNum ino, uint64_t offset, size_t len,
+                      std::string* out) override;
+  Result<size_t> Write(InodeNum ino, uint64_t offset,
+                       std::string_view data) override;
+
+  uint64_t rpcs() const { return rpcs_.value(); }
+
+ private:
+  void ChargeRpc();
+
+  const Options options_;
+  MemFs server_;  // authoritative server-side namespace
+  Counter rpcs_;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_STORAGE_REMOTEFS_H_

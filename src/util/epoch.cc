@@ -1,0 +1,154 @@
+#include "src/util/epoch.h"
+
+#include <thread>
+#include <utility>
+
+namespace dircache {
+namespace {
+
+std::atomic<uint64_t> g_domain_ids{1};
+
+}  // namespace
+
+EpochDomain& EpochDomain::Global() {
+  static EpochDomain* domain = new EpochDomain();  // intentionally leaked
+  return *domain;
+}
+
+EpochDomain::EpochDomain() : id_(g_domain_ids.fetch_add(1)) {}
+
+EpochDomain::~EpochDomain() {
+  // Contract: no thread is inside a ReadGuard and no concurrent Retire.
+  for (auto& head : limbo_) {
+    FreeList(head);
+    head = nullptr;
+  }
+  Slot* s = slots_.load(std::memory_order_acquire);
+  while (s != nullptr) {
+    Slot* next = s->next;
+    delete s;
+    s = next;
+  }
+}
+
+EpochDomain::Slot* EpochDomain::SlotForThisThread() {
+  // Per-thread cache of (domain id -> slot). Keyed by id, not pointer, so a
+  // new domain reusing a freed domain's address cannot match a stale entry.
+  // The last-used domain (in practice: the global one) resolves with a
+  // single compare — this sits on the lock-free lookup hot path.
+  thread_local uint64_t tl_last_id = 0;
+  thread_local Slot* tl_last_slot = nullptr;
+  if (tl_last_id == id_) {
+    return tl_last_slot;
+  }
+  thread_local std::vector<std::pair<uint64_t, Slot*>> tl_slots;
+  for (auto& [id, slot] : tl_slots) {
+    if (id == id_) {
+      tl_last_id = id_;
+      tl_last_slot = slot;
+      return slot;
+    }
+  }
+  auto* slot = new Slot();
+  Slot* head = slots_.load(std::memory_order_relaxed);
+  do {
+    slot->next = head;
+  } while (!slots_.compare_exchange_weak(head, slot,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
+  tl_slots.emplace_back(id_, slot);
+  tl_last_id = id_;
+  tl_last_slot = slot;
+  return slot;
+}
+
+void EpochDomain::Enter() {
+  Slot* slot = SlotForThisThread();
+  if (slot->nesting++ == 0) {
+    // seq_cst: the pin must be visible before any shared loads inside the
+    // critical section.
+    slot->epoch.store(global_epoch_.load(std::memory_order_seq_cst),
+                      std::memory_order_seq_cst);
+  }
+}
+
+void EpochDomain::Exit() {
+  Slot* slot = SlotForThisThread();
+  if (--slot->nesting == 0) {
+    slot->epoch.store(0, std::memory_order_release);
+  }
+}
+
+EpochDomain::ReadGuard::ReadGuard(EpochDomain& d) : domain_(d) {
+  domain_.Enter();
+}
+
+EpochDomain::ReadGuard::~ReadGuard() { domain_.Exit(); }
+
+void EpochDomain::Retire(void* obj, void (*deleter)(void*)) {
+  auto* node = new Retired{obj, deleter, nullptr};
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  size_t idx = e % 3;
+  // The slot for the current epoch is always free of older garbage: any list
+  // parked there was freed when the epoch advanced past it.
+  if (limbo_epoch_[idx] != e && limbo_[idx] != nullptr) {
+    FreeList(limbo_[idx]);
+    limbo_[idx] = nullptr;
+  }
+  limbo_epoch_[idx] = e;
+  node->next = limbo_[idx];
+  limbo_[idx] = node;
+  if (++retire_since_advance_ >= 64) {
+    retire_since_advance_ = 0;
+    TryAdvance();
+  }
+}
+
+void EpochDomain::TryAdvance() {
+  // Caller holds limbo_mu_.
+  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
+       s = s->next) {
+    uint64_t pinned = s->epoch.load(std::memory_order_seq_cst);
+    if (pinned != 0 && pinned != e) {
+      return;  // a straggling reader is pinned to an older epoch
+    }
+  }
+  uint64_t new_e = e + 1;
+  global_epoch_.store(new_e, std::memory_order_seq_cst);
+  // Everything retired at epoch <= new_e - 2 is now unreachable.
+  for (size_t i = 0; i < 3; ++i) {
+    if (limbo_[i] != nullptr && limbo_epoch_[i] + 2 <= new_e) {
+      FreeList(limbo_[i]);
+      limbo_[i] = nullptr;
+    }
+  }
+}
+
+void EpochDomain::Synchronize() {
+  uint64_t target = global_epoch_.load(std::memory_order_seq_cst) + 2;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(limbo_mu_);
+      TryAdvance();
+      if (global_epoch_.load(std::memory_order_seq_cst) >= target) {
+        return;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void EpochDomain::FreeList(Retired* head) {
+  while (head != nullptr) {
+    Retired* next = head->next;
+    head->deleter(head->obj);
+    freed_total_.fetch_add(1, std::memory_order_relaxed);
+    delete head;
+    head = next;
+  }
+}
+
+}  // namespace dircache

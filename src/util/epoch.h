@@ -1,0 +1,102 @@
+// Epoch-based reclamation (EBR): a user-space stand-in for kernel RCU.
+//
+// The dcache read path (both the Linux-like optimistic slowpath and the
+// paper's DLHT fastpath) traverses hash chains without taking locks, so a
+// dentry removed by a concurrent writer must not be freed while a reader may
+// still hold a pointer to it. Linux defers freeing through RCU; we defer it
+// through epochs: readers enter a critical section pinned to the current
+// epoch, writers retire objects into per-epoch limbo lists, and an object is
+// freed only after every reader active at retire time has left.
+#ifndef DIRCACHE_UTIL_EPOCH_H_
+#define DIRCACHE_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dircache {
+
+class EpochDomain {
+ public:
+  // The process-wide domain. All caches share it (as all kernel subsystems
+  // share RCU); sharing only delays reclamation, never breaks it.
+  static EpochDomain& Global();
+
+  EpochDomain();
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // RAII read-side critical section (rcu_read_lock/unlock). Reentrant.
+  class ReadGuard {
+   public:
+    explicit ReadGuard(EpochDomain& d);
+    ~ReadGuard();
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+
+   private:
+    EpochDomain& domain_;
+  };
+
+  // Defer `deleter(obj)` until all current readers have exited.
+  void Retire(void* obj, void (*deleter)(void*));
+
+  template <typename T>
+  void RetireObject(T* obj) {
+    Retire(obj, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  // Block until everything retired before this call is freed (tests,
+  // shutdown). Must not be called inside a ReadGuard.
+  void Synchronize();
+
+  // Statistics (approximate, for the space-overhead report).
+  uint64_t retired_count() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  uint64_t freed_count() const {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Retired {
+    void* obj;
+    void (*deleter)(void*);
+    Retired* next;
+  };
+
+  // Per-thread participation record. Never freed: a registered slot outlives
+  // its thread and is reused via the free list.
+  struct Slot {
+    std::atomic<uint64_t> epoch{0};  // 0 = quiescent, else pinned epoch
+    uint32_t nesting = 0;            // owner-thread only
+    Slot* next = nullptr;            // registration list (append-only)
+  };
+
+  Slot* SlotForThisThread();
+  void Enter();
+  void Exit();
+  // Attempt to advance the global epoch; frees limbo lists that became safe.
+  void TryAdvance();
+  void FreeList(Retired* head);
+
+  const uint64_t id_;  // unique per instance; keys the per-thread slot cache
+
+  std::atomic<uint64_t> global_epoch_{2};  // starts >1 so epoch-2 is valid
+  std::atomic<Slot*> slots_{nullptr};      // lock-free append-only list
+
+  std::mutex limbo_mu_;
+  // Limbo lists for epochs e, e-1, e-2 (index = epoch % 3).
+  Retired* limbo_[3] = {nullptr, nullptr, nullptr};
+  uint64_t limbo_epoch_[3] = {0, 0, 0};
+  uint32_t retire_since_advance_ = 0;
+
+  std::atomic<uint64_t> retired_total_{0};
+  std::atomic<uint64_t> freed_total_{0};
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_UTIL_EPOCH_H_

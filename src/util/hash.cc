@@ -1,0 +1,38 @@
+#include "src/util/hash.h"
+
+#include "src/util/rng.h"
+
+namespace dircache {
+
+// Pairwise multilinear hashing (Lemire & Kaser, "Strongly universal string
+// hashing is fast"): per lane,
+//
+//   H = k[0] + sum_pairs (k[2i] + m[2i]) * (k[2i+1] + m[2i+1])
+//       (+ (k[last_word] + m[last_word]) for an odd tail)
+//       + k[len] * (length + 1)                          (mod 2^64)
+//
+// with m the 32-bit little-endian words of the input. One 64x64 multiply
+// per two words per lane keeps hashing a small fraction of a lookup. The
+// key material is stored position-major (all four lanes' keys for word i
+// are adjacent), so folding one pair touches exactly one cache line. The
+// family is strongly universal up to the lazy final reduction we skip
+// (documented deviation from the paper's GF(2^61-1) field; see DESIGN.md).
+
+PathHashKey::PathHashKey(uint64_t seed) {
+  // Positions: [0] additive constant, [1..kMaxPathLen/4] per-word keys,
+  // [last] the length key used at Finalize().
+  words_per_lane_ = static_cast<uint32_t>(kMaxPathLen / 4 + 2);
+  keys_.resize(static_cast<size_t>(HashState::kLanes) * words_per_lane_);
+  Rng rng(seed);
+  for (auto& k : keys_) {
+    do {
+      k = rng.Next();
+    } while (k == 0);
+  }
+}
+
+
+
+
+
+}  // namespace dircache

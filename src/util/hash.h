@@ -1,0 +1,252 @@
+// Keyed 2-universal multilinear string hashing (Lemire & Kaser style) with
+// resumable state, plus a cheap byte hash for the primary dentry hash table.
+//
+// The paper's fastpath identifies a dentry by a 240-bit signature of its full
+// canonical path plus a 16-bit bucket index, both produced by a keyed
+// pairwise multilinear hash with per-boot random material (§3.3). The
+// intermediate state is stored in each dentry so hashing a relative path can
+// resume from the cwd's prefix instead of re-hashing from the root (§3.1).
+#ifndef DIRCACHE_UTIL_HASH_H_
+#define DIRCACHE_UTIL_HASH_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace dircache {
+
+// 240-bit path signature + 16-bit hash bucket index.
+//
+// Four 64-bit lanes give 256 output bits, split exactly as §3.3 describes:
+// 240 signature bits plus a 16-bit bucket index taken from the low bits
+// (safe to expose alongside the signature in this construction).
+struct Signature {
+  std::array<uint64_t, 4> words{};
+  uint16_t bucket = 0;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.words == b.words;  // bucket is derived; words decide equality
+  }
+  friend bool operator!=(const Signature& a, const Signature& b) {
+    return !(a == b);
+  }
+};
+
+// Bijective 64-bit finalizer (MurmurHash3 fmix64). Applied per output
+// lane: being a bijection it preserves the multilinear family's collision
+// probabilities exactly, while diffusing structured inputs (file123 vs
+// file124) across every output bit — the bucket index needs that.
+inline uint64_t Fmix64(uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+// Running multilinear hash state; cheap to copy (dentries embed one so
+// children can resume from the parent's prefix).
+struct HashState {
+  static constexpr int kLanes = 4;  // 4 x 64-bit lanes = 240-bit sig + index
+
+  std::array<uint64_t, kLanes> sum{};
+  uint64_t open_word = 0;       // first word of an incomplete pair
+  uint32_t words_consumed = 0;  // 4-byte blocks folded in so far
+  uint32_t pending_len = 0;     // bytes buffered toward the next block
+  std::array<uint8_t, 4> pending{};
+
+  // Total bytes hashed so far.
+  uint64_t length() const {
+    return static_cast<uint64_t>(words_consumed) * 4 + pending_len;
+  }
+};
+
+// Per-boot random key material for path hashing. One instance per simulated
+// kernel; ~40 KB. Thread-safe after construction (read-only).
+class PathHashKey {
+ public:
+  // Maximum path length this key can hash, matching Linux's PATH_MAX.
+  static constexpr size_t kMaxPathLen = 4096;
+
+  explicit PathHashKey(uint64_t seed);
+
+  // Key for `lane` at word position `pos` (0 = the additive constant).
+  // Position-major layout: the four lanes' keys for one word position are
+  // contiguous (one cache line per folded pair).
+  const uint64_t& KeyAt(int lane, uint32_t pos) const {
+    return keys_[static_cast<size_t>(pos) * HashState::kLanes +
+                 static_cast<size_t>(lane)];
+  }
+
+  uint32_t words_per_lane() const { return words_per_lane_; }
+
+ private:
+  uint32_t words_per_lane_;
+  std::vector<uint64_t> keys_;
+};
+
+// Pairwise multilinear hasher (Lemire & Kaser) over Z/2^64; per lane:
+//
+//   H = k[0] + sum_pairs (k[2i]+m[2i])*(k[2i+1]+m[2i+1]) + k[len]*(len+1)
+//
+// with m the little-endian 32-bit words of the input. Distinct random keys
+// per position make the family (almost) strongly universal; folding the
+// byte length in at Finalize() separates prefixes from padded tails.
+class PathHasher {
+ public:
+  explicit PathHasher(const PathHashKey* key) : key_(key) {}
+
+  // Fresh state (hash of the empty string prefix).
+  HashState Init() const;
+
+  // Fold `bytes` into `state`. Returns false (state unchanged beyond the
+  // consumed prefix) if the total length would exceed kMaxPathLen.
+  bool Update(HashState& state, std::string_view bytes) const;
+
+  // Produce the signature for the bytes consumed so far. `state` is not
+  // modified; callers may continue updating it afterwards.
+  Signature Finalize(const HashState& state) const;
+
+ private:
+  void FoldWord(HashState& state, uint32_t word) const;
+
+  const PathHashKey* key_;
+};
+
+inline HashState PathHasher::Init() const {
+  HashState s;
+  const uint64_t* k0 = &key_->KeyAt(0, 0);
+  for (int lane = 0; lane < HashState::kLanes; ++lane) {
+    s.sum[static_cast<size_t>(lane)] = k0[lane];
+  }
+  return s;
+}
+
+inline void PathHasher::FoldWord(HashState& state, uint32_t word) const {
+  uint32_t idx = ++state.words_consumed;  // 1-based word position
+  if ((idx & 1) != 0) {
+    state.open_word = word;  // first of a pair: wait for the partner
+    return;
+  }
+  // One cache line holds both positions' keys for all four lanes.
+  const uint64_t* k0 = &key_->KeyAt(0, idx - 1);
+  const uint64_t* k1 = &key_->KeyAt(0, idx);
+  const uint64_t a = state.open_word;
+  const uint64_t b = word;
+  uint64_t* sum = state.sum.data();
+  sum[0] += (k0[0] + a) * (k1[0] + b);
+  sum[1] += (k0[1] + a) * (k1[1] + b);
+  sum[2] += (k0[2] + a) * (k1[2] + b);
+  sum[3] += (k0[3] + a) * (k1[3] + b);
+}
+
+inline bool PathHasher::Update(HashState& state, std::string_view bytes) const {
+  if (state.length() + bytes.size() > PathHashKey::kMaxPathLen) {
+    return false;
+  }
+  const char* p = bytes.data();
+  size_t n = bytes.size();
+  // Complete a buffered partial word first.
+  if (state.pending_len > 0) {
+    size_t take = std::min<size_t>(4 - state.pending_len, n);
+    std::memcpy(state.pending.data() + state.pending_len, p, take);
+    state.pending_len += static_cast<uint32_t>(take);
+    p += take;
+    n -= take;
+    if (state.pending_len < 4) {
+      return true;
+    }
+    uint32_t w;
+    std::memcpy(&w, state.pending.data(), 4);
+    FoldWord(state, w);
+    state.pending_len = 0;
+  }
+  // Fold whole 32-bit words.
+  while (n >= 4) {
+    uint32_t w;
+    std::memcpy(&w, p, 4);
+    FoldWord(state, w);
+    p += 4;
+    n -= 4;
+  }
+  // Buffer the tail.
+  if (n > 0) {
+    std::memcpy(state.pending.data(), p, n);
+    state.pending_len = static_cast<uint32_t>(n);
+  }
+  return true;
+}
+
+inline Signature PathHasher::Finalize(const HashState& state) const {
+  std::array<uint64_t, HashState::kLanes> sums = state.sum;
+  uint32_t words = state.words_consumed;
+  uint64_t open_word = state.open_word;
+  bool have_open = (words & 1) != 0;
+
+  // Fold the zero-padded partial word (if any).
+  if (state.pending_len > 0) {
+    uint32_t w = 0;
+    std::memcpy(&w, state.pending.data(), state.pending_len);
+    uint32_t idx = words + 1;
+    if (!have_open) {
+      open_word = w;
+      have_open = true;
+    } else {
+      const uint64_t* k0 = &key_->KeyAt(0, idx - 1);
+      const uint64_t* k1 = &key_->KeyAt(0, idx);
+      for (int lane = 0; lane < HashState::kLanes; ++lane) {
+        sums[static_cast<size_t>(lane)] +=
+            (k0[lane] + open_word) * (k1[lane] + w);
+      }
+      have_open = false;
+    }
+    ++words;
+  }
+  // Odd tail: fold the lone word as a pair with an implicit zero partner,
+  // (k_n + m_n) * k_{n+1} — the multiplication by a fresh key is what
+  // spreads small input deltas into the (universal) high output bits.
+  if (have_open) {
+    const uint64_t* kw = &key_->KeyAt(0, words);
+    const uint64_t* kp = &key_->KeyAt(0, words + 1);
+    for (int lane = 0; lane < HashState::kLanes; ++lane) {
+      sums[static_cast<size_t>(lane)] +=
+          (kw[lane] + open_word) * kp[lane];
+    }
+  }
+  // Mix the exact byte length so prefixes and zero-padded tails differ.
+  const uint64_t* klen = &key_->KeyAt(0, key_->words_per_lane() - 1);
+  uint64_t len_plus_one = state.length() + 1;
+  Signature sig;
+  for (int lane = 0; lane < HashState::kLanes; ++lane) {
+    auto li = static_cast<size_t>(lane);
+    sig.words[li] = Fmix64(sums[li] + klen[lane] * len_plus_one);
+  }
+  // Bucket index from the low bits, which are safe to expose alongside the
+  // signature (§3.3 discusses exactly this split).
+  sig.bucket = static_cast<uint16_t>(sig.words[3]);
+  return sig;
+}
+
+// FNV-1a with a 64-bit seed: the primary dentry hash table key, mirroring
+// Linux's hash of (parent dentry pointer, component name).
+inline uint64_t HashBytes64(uint64_t seed, std::string_view bytes) {
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  // Final avalanche (fmix64 from MurmurHash3).
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_UTIL_HASH_H_

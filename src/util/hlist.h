@@ -1,0 +1,76 @@
+// Hash-chain list safe for lock-free readers (kernel hlist + RCU idiom).
+//
+// Writers serialize externally (per-bucket spinlock) and splice nodes with
+// release stores; readers traverse `next` pointers with acquire loads and
+// never see a torn chain. A removed node keeps its own `next` pointer so
+// readers standing on it can finish their traversal; its memory must be
+// reclaimed through the epoch domain, never freed directly.
+#ifndef DIRCACHE_UTIL_HLIST_H_
+#define DIRCACHE_UTIL_HLIST_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+
+namespace dircache {
+
+struct HNode {
+  std::atomic<HNode*> next{nullptr};
+  HNode* prev = nullptr;  // writer-side only, guarded by the bucket lock
+  bool hashed = false;    // writer-side only
+
+  HNode() = default;
+  HNode(const HNode&) = delete;
+  HNode& operator=(const HNode&) = delete;
+};
+
+// A bucket head. All mutating calls require the caller to hold the bucket's
+// writer lock; First()/HNode::next reads are safe without it.
+class HListHead {
+ public:
+  HNode* First() const { return first_.load(std::memory_order_acquire); }
+
+  void PushFront(HNode* node) {
+    assert(!node->hashed);
+    HNode* old = first_.load(std::memory_order_relaxed);
+    // Publish the node's own links before making it reachable.
+    node->next.store(old, std::memory_order_relaxed);
+    node->prev = nullptr;
+    node->hashed = true;
+    if (old != nullptr) {
+      old->prev = node;
+    }
+    first_.store(node, std::memory_order_release);
+  }
+
+  void Remove(HNode* node) {
+    assert(node->hashed);
+    HNode* next = node->next.load(std::memory_order_relaxed);
+    if (node->prev != nullptr) {
+      node->prev->next.store(next, std::memory_order_release);
+    } else {
+      first_.store(next, std::memory_order_release);
+    }
+    if (next != nullptr) {
+      next->prev = node->prev;
+    }
+    // Leave node->next intact for concurrent readers; clear writer state.
+    node->prev = nullptr;
+    node->hashed = false;
+  }
+
+ private:
+  std::atomic<HNode*> first_{nullptr};
+};
+
+// Recover the containing object from an embedded HNode.
+template <typename T, HNode T::* Member>
+T* FromHNode(HNode* n) {
+  auto offset =
+      reinterpret_cast<std::ptrdiff_t>(&(static_cast<T*>(nullptr)->*Member));
+  return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - offset);
+}
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_UTIL_HLIST_H_

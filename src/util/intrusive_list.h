@@ -1,0 +1,136 @@
+// Intrusive doubly-linked list in the style of the Linux kernel's list_head.
+//
+// The dcache threads every dentry onto several lists at once (sibling list,
+// LRU list, alias list, hash chain); intrusive nodes let one allocation join
+// all of them without per-list heap traffic, exactly as the kernel does.
+#ifndef DIRCACHE_UTIL_INTRUSIVE_LIST_H_
+#define DIRCACHE_UTIL_INTRUSIVE_LIST_H_
+
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+
+namespace dircache {
+
+// A list node; embed one per list the object participates in.
+// A default-constructed node is "unlinked" (points to itself).
+struct ListNode {
+  ListNode* prev;
+  ListNode* next;
+
+  ListNode() { Reset(); }
+  ListNode(const ListNode&) = delete;
+  ListNode& operator=(const ListNode&) = delete;
+  ~ListNode() { assert(!linked()); }
+
+  bool linked() const { return next != this; }
+
+  void Reset() {
+    prev = this;
+    next = this;
+  }
+
+  // Unlink from whatever list this node is on (no-op when unlinked).
+  void Unlink() {
+    prev->next = next;
+    next->prev = prev;
+    Reset();
+  }
+};
+
+// IntrusiveList<T, &T::member>: a list of T threaded through T::member.
+//
+// The list does not own its elements; callers manage lifetime. Removal is
+// O(1) via ListNode::Unlink() without a reference to the list.
+template <typename T, ListNode T::* Member>
+class IntrusiveList {
+ public:
+  IntrusiveList() = default;
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+  ~IntrusiveList() { assert(empty()); }
+
+  bool empty() const { return !head_.linked(); }
+
+  static T* FromNode(ListNode* n) {
+    // Recover the containing object from the embedded node.
+    auto offset = reinterpret_cast<std::ptrdiff_t>(
+        &(static_cast<T*>(nullptr)->*Member));
+    return reinterpret_cast<T*>(reinterpret_cast<char*>(n) - offset);
+  }
+
+  void PushFront(T* obj) { InsertAfter(&head_, obj); }
+  void PushBack(T* obj) { InsertAfter(head_.prev, obj); }
+
+  T* Front() { return empty() ? nullptr : FromNode(head_.next); }
+  T* Back() { return empty() ? nullptr : FromNode(head_.prev); }
+
+  // Element before `obj` (toward the front), or nullptr at the front.
+  T* PrevOf(T* obj) {
+    ListNode* p = (obj->*Member).prev;
+    return p == &head_ ? nullptr : FromNode(p);
+  }
+
+  // Pop and return the first element, or nullptr when empty.
+  T* PopFront() {
+    if (empty()) {
+      return nullptr;
+    }
+    T* obj = Front();
+    (obj->*Member).Unlink();
+    return obj;
+  }
+
+  // Move an element to the front (LRU touch). The element must be on this
+  // list (unchecked).
+  void MoveToFront(T* obj) {
+    (obj->*Member).Unlink();
+    PushFront(obj);
+  }
+
+  size_t CountSlow() const {
+    size_t n = 0;
+    for (const ListNode* p = head_.next; p != &head_; p = p->next) {
+      ++n;
+    }
+    return n;
+  }
+
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = T*;
+    using difference_type = std::ptrdiff_t;
+
+    explicit Iterator(ListNode* n) : n_(n) {}
+    T* operator*() const { return FromNode(n_); }
+    Iterator& operator++() {
+      n_ = n_->next;
+      return *this;
+    }
+    bool operator!=(const Iterator& o) const { return n_ != o.n_; }
+    bool operator==(const Iterator& o) const { return n_ == o.n_; }
+
+   private:
+    ListNode* n_;
+  };
+
+  Iterator begin() { return Iterator(head_.next); }
+  Iterator end() { return Iterator(&head_); }
+
+ private:
+  void InsertAfter(ListNode* pos, T* obj) {
+    ListNode* n = &(obj->*Member);
+    assert(!n->linked());
+    n->prev = pos;
+    n->next = pos->next;
+    pos->next->prev = n;
+    pos->next = n;
+  }
+
+  ListNode head_;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_UTIL_INTRUSIVE_LIST_H_

@@ -1,0 +1,59 @@
+#include "src/util/result.h"
+
+namespace dircache {
+
+std::string_view ErrnoName(Errno e) {
+  switch (e) {
+    case Errno::kOk:
+      return "OK";
+    case Errno::kEPERM:
+      return "EPERM";
+    case Errno::kENOENT:
+      return "ENOENT";
+    case Errno::kEIO:
+      return "EIO";
+    case Errno::kEBADF:
+      return "EBADF";
+    case Errno::kEACCES:
+      return "EACCES";
+    case Errno::kEBUSY:
+      return "EBUSY";
+    case Errno::kEEXIST:
+      return "EEXIST";
+    case Errno::kEXDEV:
+      return "EXDEV";
+    case Errno::kENODEV:
+      return "ENODEV";
+    case Errno::kENOTDIR:
+      return "ENOTDIR";
+    case Errno::kEISDIR:
+      return "EISDIR";
+    case Errno::kEINVAL:
+      return "EINVAL";
+    case Errno::kENFILE:
+      return "ENFILE";
+    case Errno::kEMFILE:
+      return "EMFILE";
+    case Errno::kENOSPC:
+      return "ENOSPC";
+    case Errno::kEROFS:
+      return "EROFS";
+    case Errno::kEMLINK:
+      return "EMLINK";
+    case Errno::kERANGE:
+      return "ERANGE";
+    case Errno::kENAMETOOLONG:
+      return "ENAMETOOLONG";
+    case Errno::kENOTEMPTY:
+      return "ENOTEMPTY";
+    case Errno::kELOOP:
+      return "ELOOP";
+    case Errno::kEOVERFLOW:
+      return "EOVERFLOW";
+    case Errno::kESTALE:
+      return "ESTALE";
+  }
+  return "E???";
+}
+
+}  // namespace dircache

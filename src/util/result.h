@@ -1,0 +1,119 @@
+// Error codes and a lightweight expected-style result type.
+//
+// The VFS layer reports failures with POSIX-style errno values, mirroring the
+// kernel interface the paper's system implements. Result<T> carries either a
+// value or an Errno; it never throws, keeping the lookup hot path free of
+// exception machinery.
+#ifndef DIRCACHE_UTIL_RESULT_H_
+#define DIRCACHE_UTIL_RESULT_H_
+
+#include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace dircache {
+
+// Subset of POSIX errno values used by the VFS layer.
+enum class Errno : int {
+  kOk = 0,
+  kEPERM = 1,
+  kENOENT = 2,
+  kEIO = 5,
+  kEBADF = 9,
+  kEACCES = 13,
+  kEBUSY = 16,
+  kEEXIST = 17,
+  kEXDEV = 18,
+  kENODEV = 19,
+  kENOTDIR = 20,
+  kEISDIR = 21,
+  kEINVAL = 22,
+  kENFILE = 23,
+  kEMFILE = 24,
+  kENOSPC = 28,
+  kEROFS = 30,
+  kEMLINK = 31,
+  kERANGE = 34,
+  kENAMETOOLONG = 36,
+  kENOTEMPTY = 39,
+  kELOOP = 40,
+  kEOVERFLOW = 75,
+  kESTALE = 116,
+};
+
+// Human-readable name for an errno value (for logs and test failures).
+std::string_view ErrnoName(Errno e);
+
+// Result<T>: either a value of type T or an Errno. Modeled on
+// std::expected<T, Errno> (not available in libstdc++ 12's C++20 mode).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Implicit conversions keep call sites terse: `return Errno::kENOENT;`
+  // and `return value;` both work.
+  Result(Errno e) : v_(e) { assert(e != Errno::kOk); }  // NOLINT
+  Result(T value) : v_(std::move(value)) {}             // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  Errno error() const { return ok() ? Errno::kOk : std::get<Errno>(v_); }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T alternative) const& {
+    return ok() ? value() : std::move(alternative);
+  }
+
+ private:
+  std::variant<Errno, T> v_;
+};
+
+// Result<void> analog: success or an errno.
+class [[nodiscard]] Status {
+ public:
+  Status() : e_(Errno::kOk) {}
+  Status(Errno e) : e_(e) {}  // NOLINT
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return e_ == Errno::kOk; }
+  explicit operator bool() const { return ok(); }
+  Errno error() const { return e_; }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.e_ == b.e_;
+  }
+
+ private:
+  Errno e_;
+};
+
+// Propagate an error from an expression yielding Status or Result<T>.
+#define DIRCACHE_RETURN_IF_ERROR(expr)             \
+  do {                                             \
+    if (auto _st = (expr); !_st.ok()) {            \
+      return _st.error();                          \
+    }                                              \
+  } while (0)
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_UTIL_RESULT_H_

@@ -1,0 +1,80 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// Used for hash-key generation and workload synthesis. Deterministic seeding
+// keeps experiments reproducible run-to-run; the dcache seeds its signature
+// key from entropy at "boot" unless a test pins the seed.
+#ifndef DIRCACHE_UTIL_RNG_H_
+#define DIRCACHE_UTIL_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace dircache {
+
+// splitmix64: used to expand a single seed into xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna. Fast, high-quality, 256-bit state.
+// Satisfies UniformRandomBitGenerator so it plugs into <random>.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eedf00ddeadbeefULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& w : s_) {
+      w = SplitMix64(sm);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound) via Lemire's multiply-shift reduction.
+  uint64_t Below(uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Bernoulli trial with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_UTIL_RNG_H_

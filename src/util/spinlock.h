@@ -1,0 +1,124 @@
+// Small spinlocks and sequence counters mirroring the kernel primitives the
+// dcache is built on (spinlock_t, seqcount_t, seqlock_t).
+#ifndef DIRCACHE_UTIL_SPINLOCK_H_
+#define DIRCACHE_UTIL_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace dircache {
+
+// Test-and-test-and-set spinlock. Dentry locks are held for a handful of
+// instructions, so spinning (with a yield fallback for the single-CPU case)
+// beats a futex-backed mutex.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() {
+    int spins = 0;
+    while (locked_.exchange(true, std::memory_order_acquire)) {
+      while (locked_.load(std::memory_order_relaxed)) {
+        if (++spins > 64) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard for SpinLock (also works with std::lock_guard; this one allows
+// early release).
+class SpinGuard {
+ public:
+  explicit SpinGuard(SpinLock& l) : lock_(&l) { lock_->lock(); }
+  ~SpinGuard() { Release(); }
+  SpinGuard(const SpinGuard&) = delete;
+  SpinGuard& operator=(const SpinGuard&) = delete;
+
+  void Release() {
+    if (lock_ != nullptr) {
+      lock_->unlock();
+      lock_ = nullptr;
+    }
+  }
+
+ private:
+  SpinLock* lock_;
+};
+
+// Sequence counter for optimistic readers (seqcount_t). Writers make the
+// count odd for the duration of the update; readers retry when they observe
+// an odd value or a change across their critical section.
+class SeqCount {
+ public:
+  // Reader API: sample, do reads, validate.
+  uint32_t ReadBegin() const {
+    uint32_t s;
+    do {
+      s = seq_.load(std::memory_order_acquire);
+    } while (s & 1u);
+    return s;
+  }
+
+  bool ReadRetry(uint32_t snapshot) const {
+    std::atomic_thread_fence(std::memory_order_acquire);
+    return seq_.load(std::memory_order_relaxed) != snapshot;
+  }
+
+  // Writer API (caller provides mutual exclusion among writers).
+  void WriteBegin() {
+    seq_.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+  }
+
+  void WriteEnd() {
+    std::atomic_thread_fence(std::memory_order_release);
+    seq_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Raw value (even = quiescent). Used for version-stamping.
+  uint32_t Value() const { return seq_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint32_t> seq_{0};
+};
+
+// Seqlock: a SeqCount paired with a writer lock (seqlock_t). Linux's global
+// rename_lock has exactly this shape.
+class SeqLock {
+ public:
+  uint32_t ReadBegin() const { return seq_.ReadBegin(); }
+  bool ReadRetry(uint32_t snapshot) const { return seq_.ReadRetry(snapshot); }
+
+  void WriteLock() {
+    lock_.lock();
+    seq_.WriteBegin();
+  }
+
+  void WriteUnlock() {
+    seq_.WriteEnd();
+    lock_.unlock();
+  }
+
+ private:
+  SpinLock lock_;
+  SeqCount seq_;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_UTIL_SPINLOCK_H_

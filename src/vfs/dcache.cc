@@ -1,0 +1,399 @@
+#include "src/vfs/dcache.h"
+
+#include <cassert>
+#include <unordered_set>
+
+#include "src/core/dlht.h"
+#include "src/util/epoch.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/vfs/kernel.h"
+
+namespace dircache {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p *= 2;
+  }
+  return p;
+}
+
+}  // namespace
+
+DentryCache::DentryCache(Kernel* kernel, const CacheConfig& config)
+    : kernel_(kernel),
+      buckets_(RoundUpPow2(config.dcache_buckets)),
+      bucket_mask_(buckets_.size() - 1),
+      hash_seed_(0x6ca32015d15cULL) {}
+
+DentryCache::~DentryCache() = default;
+
+uint64_t DentryCache::KeyFor(const Dentry* parent,
+                             std::string_view name) const {
+  // Keyed by (parent dentry virtual address, component name), §2.2. Kernel
+  // object addresses are stable and process-wide, exactly as in Linux.
+  uint64_t seed = hash_seed_ ^ reinterpret_cast<uintptr_t>(parent);
+  return HashBytes64(seed, name);
+}
+
+Dentry* DentryCache::LookupRcu(const Dentry* parent,
+                               std::string_view name) const {
+  const uint64_t key = KeyFor(parent, name);
+  const HBucket& bucket = BucketForKey(key);
+  for (HNode* n = bucket.chain.First(); n != nullptr;
+       n = n->next.load(std::memory_order_acquire)) {
+    auto* d = FromHNode<Dentry, &Dentry::hash_node>(n);
+    if (d->hash_key != key || d->IsDead()) {
+      continue;
+    }
+    if (d->parent() == parent && d->name() == name) {
+      return d;
+    }
+  }
+  return nullptr;
+}
+
+Dentry* DentryCache::LookupRef(Dentry* parent, std::string_view name) {
+  const uint64_t key = KeyFor(parent, name);
+  HBucket& bucket = BucketForKey(key);
+  SpinGuard guard(bucket.lock);
+  kernel_->stats().locks_taken.Add();
+  for (HNode* n = bucket.chain.First(); n != nullptr;
+       n = n->next.load(std::memory_order_acquire)) {
+    auto* d = FromHNode<Dentry, &Dentry::hash_node>(n);
+    if (d->hash_key != key) {
+      continue;
+    }
+    if (d->parent() == parent && d->name() == name && d->DgetLive()) {
+      return d;
+    }
+  }
+  return nullptr;
+}
+
+Result<Dentry*> DentryCache::AddChild(Dentry* parent, std::string_view name,
+                                      Inode* inode, uint32_t flags,
+                                      InodeNum stub_ino, FileType stub_type,
+                                      Dentry* alias_target) {
+  auto drop_inputs = [&] {
+    if (inode != nullptr) {
+      inode->sb()->Iput(inode);
+    }
+    if (alias_target != nullptr) {
+      Dput(alias_target);
+    }
+  };
+  SpinGuard parent_guard(parent->lock);
+  if (parent->IsDead()) {
+    parent_guard.Release();
+    drop_inputs();
+    return Errno::kESTALE;
+  }
+  Dentry* fresh = nullptr;
+  if ((flags & kDentAlias) != 0) {
+    // Aliases are invisible to the primary hash; dedupe via the children
+    // list instead.
+    for (Dentry* child : parent->children) {
+      if (child->TestFlags(kDentAlias) && child->name() == name &&
+          child->DgetLive()) {
+        parent_guard.Release();
+        drop_inputs();
+        return child;
+      }
+    }
+    fresh = new Dentry(parent->sb(), parent, std::string(name), inode, flags);
+    fresh->alias_target.store(alias_target, std::memory_order_release);
+    fresh->fast.seq.store(NewVersion(), std::memory_order_release);
+  } else {
+    const uint64_t key = KeyFor(parent, name);
+    HBucket& bucket = BucketForKey(key);
+    SpinGuard bucket_guard(bucket.lock);
+    // Re-check for a concurrent instantiation of the same name.
+    for (HNode* n = bucket.chain.First(); n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      auto* d = FromHNode<Dentry, &Dentry::hash_node>(n);
+      if (d->hash_key == key && d->parent() == parent && d->name() == name &&
+          d->DgetLive()) {
+        bucket_guard.Release();
+        parent_guard.Release();
+        drop_inputs();
+        return d;
+      }
+    }
+    fresh = new Dentry(parent->sb(), parent, std::string(name), inode, flags);
+    fresh->hash_key = key;
+    fresh->stub_ino = stub_ino;
+    fresh->stub_type = stub_type;
+    fresh->fast.seq.store(NewVersion(), std::memory_order_release);
+    bucket.chain.PushFront(&fresh->hash_node);
+  }
+  parent->children.PushBack(fresh);
+  parent_guard.Release();
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return fresh;
+}
+
+Dentry* DentryCache::MakeRoot(SuperBlock* sb, Inode* inode) {
+  auto* d = new Dentry(sb, nullptr, "", inode, kDentRoot);
+  d->fast.seq.store(NewVersion(), std::memory_order_release);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return d;
+}
+
+void DentryCache::Dput(Dentry* d) {
+  if (d->DputNeedsRelease()) {
+    Release(d);
+    return;
+  }
+  if (d->ref_count() == 0 && !d->IsDead()) {
+    // Last user for now: park on the LRU so Shrink can find it.
+    SpinGuard guard(d->lock);
+    if (!d->IsDead() && d->ref_count() == 0 &&
+        !d->TestFlags(kDentOnLru)) {
+      d->SetFlags(kDentOnLru);
+      SpinGuard lru_guard(lru_lock_);
+      lru_.PushFront(d);
+    }
+  }
+}
+
+void DentryCache::Release(Dentry* d) {
+  {
+    SpinGuard lru_guard(lru_lock_);
+    if (d->lru_node.linked()) {
+      d->lru_node.Unlink();
+    }
+  }
+  Inode* inode = d->inode();
+  if (inode != nullptr) {
+    inode->sb()->Iput(inode);
+    d->set_inode(nullptr);
+  }
+  Dentry* alias = d->alias_target.exchange(nullptr);
+  Dentry* parent = d->parent();
+  count_.fetch_sub(1, std::memory_order_relaxed);
+  EpochDomain::Global().RetireObject(d);
+  if (alias != nullptr) {
+    Dput(alias);
+  }
+  if (parent != nullptr) {
+    Dput(parent);  // may cascade up the (bounded-depth) ancestor chain
+  }
+}
+
+void DentryCache::Kill(Dentry* d) {
+  Dentry* parent = d->parent();
+  if (parent != nullptr) {
+    parent->lock.lock();
+  }
+  d->lock.lock();
+  if (d->IsDead()) {
+    d->lock.unlock();
+    if (parent != nullptr) {
+      parent->lock.unlock();
+    }
+    return;
+  }
+  Dlht::RemoveFromCurrent(&d->fast);
+  if (d->hash_node.hashed) {
+    HBucket& bucket = BucketForKey(d->hash_key);
+    SpinGuard guard(bucket.lock);
+    bucket.chain.Remove(&d->hash_node);
+  }
+  if (d->child_node.linked()) {
+    d->child_node.Unlink();
+  }
+  bool release = d->MarkDead();
+  d->lock.unlock();
+  if (parent != nullptr) {
+    parent->lock.unlock();
+  }
+  if (release) {
+    Release(d);
+  }
+}
+
+void DentryCache::KillCachedChildren(Dentry* dir) {
+  std::vector<Dentry*> children;
+  {
+    SpinGuard guard(dir->lock);
+    for (Dentry* child : dir->children) {
+      children.push_back(child);
+    }
+  }
+  for (Dentry* child : children) {
+    KillCachedChildren(child);
+    Kill(child);
+  }
+}
+
+void DentryCache::MoveDentry(Dentry* d, Dentry* new_parent,
+                             std::string_view new_name) {
+  Dentry* old_parent = d->parent();
+  // Lock both parents in address order, then the dentry.
+  Dentry* first = old_parent < new_parent ? old_parent : new_parent;
+  Dentry* second = old_parent < new_parent ? new_parent : old_parent;
+  first->lock.lock();
+  if (second != first) {
+    second->lock.lock();
+  }
+  d->lock.lock();
+
+  // Unhash under the old key.
+  if (d->hash_node.hashed) {
+    HBucket& bucket = BucketForKey(d->hash_key);
+    SpinGuard guard(bucket.lock);
+    bucket.chain.Remove(&d->hash_node);
+  }
+  if (d->child_node.linked()) {
+    d->child_node.Unlink();
+  }
+
+  new_parent->DgetHeld();
+  d->set_name(std::string(new_name));
+  d->set_parent(new_parent);
+  d->hash_key = KeyFor(new_parent, new_name);
+  {
+    HBucket& bucket = BucketForKey(d->hash_key);
+    SpinGuard guard(bucket.lock);
+    bucket.chain.PushFront(&d->hash_node);
+  }
+  new_parent->children.PushBack(d);
+
+  d->lock.unlock();
+  if (second != first) {
+    second->lock.unlock();
+  }
+  first->lock.unlock();
+  Dput(old_parent);  // the reference the dentry held on its old parent
+}
+
+size_t DentryCache::Shrink(size_t max) {
+  size_t evicted = 0;
+  while (evicted < max) {
+    Dentry* d = nullptr;
+    {
+      SpinGuard lru_guard(lru_lock_);
+      d = lru_.Back();
+      if (d == nullptr) {
+        break;
+      }
+      d->lru_node.Unlink();
+      d->ClearFlags(kDentOnLru);
+    }
+    Dentry* parent = d->parent();
+    if (parent != nullptr) {
+      parent->lock.lock();
+    }
+    d->lock.lock();
+    // Children, mounts, open files, and tasks all hold references, so a
+    // successful freeze (count 0 -> dead) proves the dentry is an unused
+    // leaf that is safe to tear down.
+    if (!d->FreezeForEviction()) {
+      d->lock.unlock();
+      if (parent != nullptr) {
+        parent->lock.unlock();
+      }
+      continue;  // busy; it re-enters the LRU at its next idle moment
+    }
+    Dlht::RemoveFromCurrent(&d->fast);
+    if (d->hash_node.hashed) {
+      HBucket& bucket = BucketForKey(d->hash_key);
+      SpinGuard guard(bucket.lock);
+      bucket.chain.Remove(&d->hash_node);
+    }
+    if (d->child_node.linked()) {
+      d->child_node.Unlink();
+    }
+    if (parent != nullptr) {
+      // Losing a cached child for space reasons invalidates directory
+      // completeness (§5.1).
+      parent->ClearFlags(kDentDirComplete);
+      parent->child_evict_gen.fetch_add(1, std::memory_order_acq_rel);
+    }
+    d->lock.unlock();
+    if (parent != nullptr) {
+      parent->lock.unlock();
+    }
+    Release(d);
+    ++evicted;
+  }
+  return evicted;
+}
+
+size_t DentryCache::ShrinkAll() {
+  size_t total = 0;
+  while (true) {
+    size_t n = Shrink(1024);
+    total += n;
+    if (n == 0) {
+      break;
+    }
+  }
+  return total;
+}
+
+void DentryCache::InvalidateSubtree(Dentry* dir) {
+  BumpInvalidation();
+  kernel_->stats().invalidation_walks.Add();
+  std::vector<Dentry*> stack{dir};
+  // Visited set guards against mount cycles (a bind mount of an ancestor
+  // inside the subtree would otherwise loop forever).
+  std::unordered_set<Dentry*> visited;
+  while (!stack.empty()) {
+    Dentry* d = stack.back();
+    stack.pop_back();
+    if (!visited.insert(d).second) {
+      continue;
+    }
+    {
+      SpinGuard guard(d->lock);
+      d->fast.seq.store(NewVersion(), std::memory_order_release);
+      d->fast.path_valid.store(false, std::memory_order_release);
+      Dlht::RemoveFromCurrent(&d->fast);
+      for (Dentry* child : d->children) {
+        stack.push_back(child);
+      }
+    }
+    // Prefix checks span mount boundaries: everything cached under a mount
+    // whose mountpoint lies in this subtree depends on the changed
+    // directory's permissions too (§3.2).
+    if (d->TestFlags(kDentMountpoint)) {
+      for (Mount* m : kernel_->MountsOn(d)) {
+        stack.push_back(m->root);
+      }
+    }
+    kernel_->stats().invalidated_dentries.Add();
+  }
+}
+
+uint32_t DentryCache::NewVersion() {
+  while (true) {
+    uint64_t v = version_counter_.fetch_add(1, std::memory_order_acq_rel);
+    auto low = static_cast<uint32_t>(v);
+    if (low == 0) {
+      // 32-bit wraparound: invalidate every active PCC (§3.1).
+      kernel_->BumpPccEpoch();
+      continue;
+    }
+    return low;
+  }
+}
+
+std::vector<size_t> DentryCache::ChainHistogram(size_t max_len) const {
+  std::vector<size_t> histogram(max_len + 1, 0);
+  for (const HBucket& bucket : buckets_) {
+    size_t len = 0;
+    for (HNode* n = bucket.chain.First(); n != nullptr;
+         n = n->next.load(std::memory_order_acquire)) {
+      ++len;
+    }
+    histogram[std::min(len, max_len)] += 1;
+  }
+  return histogram;
+}
+
+}  // namespace dircache

@@ -1,0 +1,142 @@
+// The dentry cache: primary hash table, LRU, lifecycle, and the paper's
+// coherence machinery (§2.2, §3.2).
+//
+// The primary hash table is keyed by (parent dentry pointer, component
+// name), exactly as in Linux. Lock-free readers probe chains under an epoch
+// guard; writers take per-bucket spinlocks. Subtree invalidation implements
+// §3.2: before a directory's permissions or position change, every cached
+// descendant's version counter is bumped (lazily invalidating PCC entries
+// everywhere) and evicted from its DLHT; a global invalidation counter stops
+// in-flight slowpath results from being re-cached stale.
+#ifndef DIRCACHE_VFS_DCACHE_H_
+#define DIRCACHE_VFS_DCACHE_H_
+
+#include <atomic>
+#include <string_view>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/util/spinlock.h"
+#include "src/util/stats.h"
+#include "src/vfs/dentry.h"
+
+namespace dircache {
+
+class Kernel;
+
+class DentryCache {
+ public:
+  DentryCache(Kernel* kernel, const CacheConfig& config);
+  ~DentryCache();
+  DentryCache(const DentryCache&) = delete;
+  DentryCache& operator=(const DentryCache&) = delete;
+
+  // --- lookup in the primary hash table ---------------------------------
+  // Lock-free probe; returns an UNREFERENCED dentry (caller must be inside
+  // an epoch read guard and must validate before trusting).
+  Dentry* LookupRcu(const Dentry* parent, std::string_view name) const;
+
+  // Locked probe; returns a referenced dentry or null.
+  Dentry* LookupRef(Dentry* parent, std::string_view name);
+
+  // --- instantiation ------------------------------------------------------
+  // Create, hash, and parent a child dentry. Consumes `inode` (may be
+  // null for negatives/stubs). If a live child with this name appears
+  // concurrently, returns that one instead (the inode reference is dropped).
+  // The returned dentry carries a reference for the caller. Fails only if
+  // `parent` died concurrently (ESTALE).
+  // Alias dentries (kDentAlias) are not hashed in the primary table (they
+  // are only reachable through the DLHT, §4.2); `alias_target` must carry a
+  // reference, which the alias dentry adopts.
+  Result<Dentry*> AddChild(Dentry* parent, std::string_view name,
+                           Inode* inode, uint32_t flags, InodeNum stub_ino = 0,
+                           FileType stub_type = FileType::kRegular,
+                           Dentry* alias_target = nullptr);
+
+  // Create the (unhashed, parentless) root dentry for a superblock.
+  Dentry* MakeRoot(SuperBlock* sb, Inode* inode);
+
+  // --- references -----------------------------------------------------------
+  void Dput(Dentry* d);
+
+  // --- removal ---------------------------------------------------------------
+  // Unhash + mark dead (unlink/rmdir/rename-victim). Safe with or without
+  // the caller holding a reference.
+  void Kill(Dentry* d);
+
+  // Kill all cached children of `dir`, recursively (rmdir of a directory
+  // whose cached children are negatives/stubs; symlink alias drop).
+  void KillCachedChildren(Dentry* dir);
+
+  // d_move: relink `d` under (new_parent, new_name) — rename support.
+  // Caller holds the tree write lock and wraps the call in a rename_seq
+  // write section; the subtree must already have been invalidated (§3.2).
+  void MoveDentry(Dentry* d, Dentry* new_parent, std::string_view new_name);
+
+  // --- eviction ----------------------------------------------------------
+  // Evict up to `max` unused dentries from the LRU tail. Returns the count
+  // evicted. Eviction clears the parent's DIR_COMPLETE flag (§5.1).
+  size_t Shrink(size_t max);
+  // Evict everything unused (echo 2 > drop_caches). Returns count.
+  size_t ShrinkAll();
+
+  // --- §3.2 coherence ------------------------------------------------------
+  // Bump version counters and evict from DLHTs across the whole cached
+  // subtree rooted at `dir` (inclusive). Caller holds the tree write lock.
+  void InvalidateSubtree(Dentry* dir);
+
+  // Fresh version-counter value (global monotonic; handles 32-bit
+  // wraparound by bumping the kernel-wide PCC epoch, §3.1).
+  uint32_t NewVersion();
+
+  // Global invalidation counter (read around slowpath walks).
+  uint64_t invalidation_counter() const {
+    return invalidation_counter_.load(std::memory_order_acquire);
+  }
+  void BumpInvalidation() {
+    invalidation_counter_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // --- introspection -------------------------------------------------------
+  size_t dentry_count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  size_t bucket_count() const { return buckets_.size(); }
+  // Chain-length histogram of the primary hash table (for §6.5 statistics).
+  std::vector<size_t> ChainHistogram(size_t max_len = 10) const;
+
+ private:
+  struct HBucket {
+    SpinLock lock;
+    HListHead chain;
+  };
+
+  uint64_t KeyFor(const Dentry* parent, std::string_view name) const;
+  HBucket& BucketForKey(uint64_t key) {
+    return buckets_[key & bucket_mask_];
+  }
+  const HBucket& BucketForKey(uint64_t key) const {
+    return buckets_[key & bucket_mask_];
+  }
+
+  // Final teardown of a dead, unreferenced dentry (and, transitively, of
+  // parents whose last reference this drop releases).
+  void Release(Dentry* d);
+  void LruRemove(Dentry* d);
+
+  Kernel* const kernel_;
+  std::vector<HBucket> buckets_;
+  size_t bucket_mask_;
+  uint64_t hash_seed_;
+
+  SpinLock lru_lock_;
+  IntrusiveList<Dentry, &Dentry::lru_node> lru_;  // front = most recent
+
+  std::atomic<uint64_t> version_counter_{1};
+  std::atomic<uint64_t> invalidation_counter_{1};
+  std::atomic<size_t> count_{0};
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_DCACHE_H_

@@ -1,0 +1,29 @@
+#include "src/vfs/dentry.h"
+
+#include "src/util/epoch.h"
+
+namespace dircache {
+
+Dentry::Dentry(SuperBlock* sb, Dentry* parent, std::string name, Inode* inode,
+               uint32_t initial_flags)
+    : sb_(sb),
+      name_(new std::string(std::move(name))),
+      parent_(parent),
+      inode_(inode),
+      flags_(initial_flags) {
+  if (parent != nullptr) {
+    parent->DgetHeld();
+  }
+}
+
+Dentry::~Dentry() {
+  delete name_.load(std::memory_order_relaxed);
+}
+
+void Dentry::set_name(std::string n) {
+  const auto* fresh = new std::string(std::move(n));
+  const std::string* old = name_.exchange(fresh, std::memory_order_acq_rel);
+  EpochDomain::Global().RetireObject(const_cast<std::string*>(old));
+}
+
+}  // namespace dircache

@@ -1,0 +1,176 @@
+// Dentries: cached (parent, name) -> inode mappings (§2.2).
+//
+// A dentry is threaded onto the structures Linux uses (§2.2): the primary
+// hash chain, its parent's children list, and the LRU list; plus the
+// paper's FastDentry extension (signature, DLHT linkage, PCC version
+// counter). Negative dentries have no inode; readdir stubs (§5.1) know
+// their inode number and type but have no materialized Inode; alias
+// dentries (§4.2) redirect a literal symlink-crossing path to its target.
+//
+// Reference counting uses a lockref-style packed word: bit 31 is the dead
+// bit, set exactly once when the dentry is unhashed for good. Lock-free
+// walkers acquire references with a CAS that fails on dead dentries, which
+// makes "observed on a hash chain during the grace period" safe. The
+// release of the final reference frees the dentry through the epoch domain.
+#ifndef DIRCACHE_VFS_DENTRY_H_
+#define DIRCACHE_VFS_DENTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "src/core/fast_dentry.h"
+#include "src/util/hlist.h"
+#include "src/util/intrusive_list.h"
+#include "src/util/spinlock.h"
+#include "src/vfs/inode.h"
+
+namespace dircache {
+
+class Dentry;
+struct Mount;
+
+// Dentry state flags (Dentry::flags, atomic).
+inline constexpr uint32_t kDentNegative = 1u << 0;     // cached ENOENT
+inline constexpr uint32_t kDentEnotdir = 1u << 1;      // cached ENOTDIR (§5.2)
+inline constexpr uint32_t kDentStub = 1u << 2;         // readdir stub (§5.1)
+inline constexpr uint32_t kDentDirComplete = 1u << 3;  // §5.1
+inline constexpr uint32_t kDentOnLru = 1u << 4;
+inline constexpr uint32_t kDentAlias = 1u << 5;        // symlink alias (§4.2)
+inline constexpr uint32_t kDentMountpoint = 1u << 6;   // mount hangs here
+inline constexpr uint32_t kDentRoot = 1u << 7;         // superblock root
+
+// Reference word: bit 31 = dead, low 31 bits = count.
+inline constexpr uint32_t kRefDead = 1u << 31;
+inline constexpr uint32_t kRefCountMask = kRefDead - 1;
+
+class Dentry {
+ public:
+  // Creates a dentry with one reference, holding a reference on `parent`
+  // (which may be null for superblock roots) and consuming a reference on
+  // `inode` (null for negatives/stubs).
+  Dentry(SuperBlock* sb, Dentry* parent, std::string name, Inode* inode,
+         uint32_t initial_flags);
+  ~Dentry();
+  Dentry(const Dentry&) = delete;
+  Dentry& operator=(const Dentry&) = delete;
+
+  SuperBlock* sb() const { return sb_; }
+
+  // --- identity (atomic: lock-free readers; writers hold lock + tree lock)
+  const std::string& name() const {
+    return *name_.load(std::memory_order_acquire);
+  }
+  Dentry* parent() const { return parent_.load(std::memory_order_acquire); }
+  Inode* inode() const { return inode_.load(std::memory_order_acquire); }
+
+  // Writers (rename / unlink / stub materialization); caller holds lock.
+  void set_name(std::string n);  // epoch-retires the old string
+  void set_parent(Dentry* p) {
+    parent_.store(p, std::memory_order_release);
+  }
+  void set_inode(Inode* i) { inode_.store(i, std::memory_order_release); }
+
+  // --- flags
+  uint32_t flags() const { return flags_.load(std::memory_order_acquire); }
+  bool TestFlags(uint32_t mask) const { return (flags() & mask) != 0; }
+  void SetFlags(uint32_t mask) {
+    flags_.fetch_or(mask, std::memory_order_acq_rel);
+  }
+  void ClearFlags(uint32_t mask) {
+    flags_.fetch_and(~mask, std::memory_order_acq_rel);
+  }
+
+  bool IsNegative() const { return TestFlags(kDentNegative); }
+  bool IsStub() const { return TestFlags(kDentStub); }
+  // Positive = has (or can materialize) an inode.
+  bool IsPositive() const { return !IsNegative(); }
+
+  // --- reference counting -------------------------------------------------
+  // Acquire a reference on a dentry found on a hash chain; fails if dead.
+  bool DgetLive() {
+    uint32_t v = refs_.load(std::memory_order_seq_cst);
+    while (true) {
+      if ((v & kRefDead) != 0) {
+        return false;
+      }
+      if (refs_.compare_exchange_weak(v, v + 1, std::memory_order_seq_cst)) {
+        return true;
+      }
+    }
+  }
+
+  // Add a reference when the caller already holds one.
+  void DgetHeld() {
+    uint32_t prev = refs_.fetch_add(1, std::memory_order_relaxed);
+    (void)prev;
+  }
+
+  // Set the dead bit. Returns true if this caller must release the dentry
+  // (the count was already zero); otherwise the final Dput releases it.
+  bool MarkDead() {
+    uint32_t prev = refs_.fetch_or(kRefDead, std::memory_order_seq_cst);
+    if ((prev & kRefDead) != 0) {
+      return false;  // someone else killed it first
+    }
+    return (prev & kRefCountMask) == 0;
+  }
+
+  // Drop a reference. Returns true if this was the final reference on a
+  // dead dentry and the caller must release it.
+  bool DputNeedsRelease() {
+    uint32_t prev = refs_.fetch_sub(1, std::memory_order_seq_cst);
+    return prev == (kRefDead | 1);
+  }
+
+  uint32_t ref_count() const {
+    return refs_.load(std::memory_order_relaxed) & kRefCountMask;
+  }
+  bool IsDead() const {
+    return (refs_.load(std::memory_order_seq_cst) & kRefDead) != 0;
+  }
+
+  // Freeze an unreferenced, live dentry for eviction: atomically moves
+  // count 0 -> dead. Fails if referenced or already dead.
+  bool FreezeForEviction() {
+    uint32_t expected = 0;
+    return refs_.compare_exchange_strong(expected, kRefDead,
+                                         std::memory_order_seq_cst);
+  }
+
+  // --- stub / alias payload ------------------------------------------------
+  InodeNum stub_ino = 0;           // kDentStub: inode number from readdir
+  FileType stub_type = FileType::kRegular;
+  std::atomic<Dentry*> alias_target{nullptr};  // kDentAlias: holds a ref
+
+  // --- linkage --------------------------------------------------------------
+  SpinLock lock;  // guards children list, DLHT moves, stub materialization
+
+  HNode hash_node;    // primary hash chain (bucket lock)
+  uint64_t hash_key = 0;
+
+  ListNode child_node;  // position in parent->children (parent's lock)
+  IntrusiveList<Dentry, &Dentry::child_node> children;  // this->lock
+  // Bumped when a child is evicted for space; snapshot-compared to decide
+  // whether a readdir scan may set kDentDirComplete (§5.1).
+  std::atomic<uint64_t> child_evict_gen{0};
+  // Cached child counts (this->lock): total and negative/stub split is not
+  // tracked; completeness logic only needs eviction detection.
+
+  ListNode lru_node;  // dcache LRU (LRU lock)
+
+  // --- the paper's extension (§3, Fig. 5) -----------------------------------
+  FastDentry fast;
+
+ private:
+  SuperBlock* const sb_;
+  std::atomic<const std::string*> name_;
+  std::atomic<Dentry*> parent_;
+  std::atomic<Inode*> inode_;
+  std::atomic<uint32_t> flags_;
+  std::atomic<uint32_t> refs_{1};
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_DENTRY_H_

@@ -1,0 +1,107 @@
+#include "src/vfs/inode.h"
+
+#include <cassert>
+
+namespace dircache {
+
+Inode::Inode(SuperBlock* sb, const InodeAttr& attr)
+    : sb_(sb),
+      ino_(attr.ino),
+      type_(attr.type),
+      mode_(attr.mode),
+      uid_(attr.uid),
+      gid_(attr.gid),
+      nlink_(attr.nlink),
+      size_(attr.size),
+      mtime_(attr.mtime),
+      ctime_(attr.ctime),
+      label_(new std::string()) {}
+
+Inode::~Inode() {
+  delete label_.load(std::memory_order_relaxed);
+  delete link_target_.load(std::memory_order_relaxed);
+}
+
+const std::string* Inode::cache_link_target(std::string target) {
+  const auto* fresh = new std::string(std::move(target));
+  const std::string* expected = nullptr;
+  if (link_target_.compare_exchange_strong(expected, fresh,
+                                           std::memory_order_acq_rel)) {
+    return fresh;
+  }
+  delete fresh;
+  return expected;
+}
+
+void Inode::set_security_label(std::string label) {
+  const auto* fresh = new std::string(std::move(label));
+  const std::string* old = label_.exchange(fresh, std::memory_order_acq_rel);
+  EpochDomain::Global().RetireObject(const_cast<std::string*>(old));
+}
+
+SuperBlock::SuperBlock(Kernel* kernel, std::shared_ptr<FileSystem> fs,
+                       uint64_t dev_id)
+    : kernel_(kernel),
+      fs_(std::move(fs)),
+      dev_id_(dev_id),
+      needs_revalidation_(fs_->NeedsRevalidation()) {}
+
+SuperBlock::~SuperBlock() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [ino, inode] : map_) {
+    delete inode;  // all references must have been dropped by teardown
+  }
+  map_.clear();
+}
+
+Result<Inode*> SuperBlock::Iget(InodeNum ino) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(ino);
+    if (it != map_.end()) {
+      it->second->refs_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Read attributes outside the map lock (may do simulated I/O).
+  auto attr = fs_->GetAttr(ino);
+  if (!attr.ok()) {
+    return attr.error();
+  }
+  return IgetWithAttr(*attr);
+}
+
+Inode* SuperBlock::IgetWithAttr(const InodeAttr& attr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(attr.ino);
+  if (it != map_.end()) {
+    it->second->refs_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  auto* inode = new Inode(this, attr);  // created with one reference
+  map_.emplace(attr.ino, inode);
+  return inode;
+}
+
+void SuperBlock::IgetHeld(Inode* inode) {
+  uint32_t prev = inode->refs_.fetch_add(1, std::memory_order_relaxed);
+  assert(prev > 0);
+  (void)prev;
+}
+
+void SuperBlock::Iput(Inode* inode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (inode->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    map_.erase(inode->ino_);
+    // Lock-free walkers may still be reading attribute words during the
+    // grace period; reclaim through the epoch domain.
+    EpochDomain::Global().RetireObject(inode);
+  }
+}
+
+size_t SuperBlock::cached_inodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace dircache

@@ -1,0 +1,126 @@
+#include "src/vfs/kernel.h"
+
+#include <random>
+
+#include "src/util/epoch.h"
+#include "src/vfs/task.h"
+
+namespace dircache {
+
+Kernel::Kernel(const KernelConfig& config) : config_(config) {
+  uint64_t seed = config_.signature_seed;
+  if (seed == 0) {
+    std::random_device rd;
+    seed = (static_cast<uint64_t>(rd()) << 32) | rd();
+  }
+  signer_ = std::make_unique<PathSigner>(seed);
+  dcache_ = std::make_unique<DentryCache>(this, config_.cache);
+}
+
+Kernel::~Kernel() {
+  // Contract: all tasks and file handles have been destroyed by now.
+  for (auto& ns : namespaces_) {
+    ns->DetachAll();
+  }
+  dcache_->ShrinkAll();
+  // Let deferred frees run before superblocks disappear.
+  EpochDomain::Global().Synchronize();
+}
+
+SuperBlock* Kernel::RegisterFs(std::shared_ptr<FileSystem> fs) {
+  std::lock_guard<std::mutex> lock(sb_mu_);
+  for (auto& sb : superblocks_) {
+    if (sb->fs() == fs.get()) {
+      return sb.get();  // mount alias of an already-registered instance
+    }
+  }
+  superblocks_.push_back(
+      std::make_unique<SuperBlock>(this, std::move(fs), next_dev_id_++));
+  return superblocks_.back().get();
+}
+
+Status Kernel::MountRootFs(std::shared_ptr<FileSystem> fs) {
+  if (root_ns_ != nullptr) {
+    return Errno::kEBUSY;
+  }
+  SuperBlock* sb = RegisterFs(std::move(fs));
+  auto root_inode = sb->Iget(sb->fs()->RootIno());
+  if (!root_inode.ok()) {
+    return root_inode.error();
+  }
+  Dentry* root_dentry = dcache_->MakeRoot(sb, *root_inode);
+  root_ns_ = std::make_shared<MountNamespace>(this,
+                                              config_.cache.dlht_buckets);
+  auto* m = new Mount(root_ns_.get(), sb, root_dentry, nullptr, nullptr,
+                      MountFlags{});
+  root_ns_->SetRootMount(m);
+  namespaces_.push_back(root_ns_);
+  return Status::Ok();
+}
+
+std::vector<Mount*> Kernel::MountsOn(Dentry* mountpoint) {
+  std::vector<Mount*> result;
+  std::lock_guard<std::mutex> lock(sb_mu_);
+  for (const auto& ns : namespaces_) {
+    for (Mount* m : ns->AllMounts()) {
+      if (m->mountpoint == mountpoint &&
+          m->attached.load(std::memory_order_acquire)) {
+        result.push_back(m);
+      }
+    }
+  }
+  return result;
+}
+
+MountNamespacePtr Kernel::CloneNamespace(
+    const MountNamespacePtr& source,
+    std::unordered_map<const Mount*, Mount*>* remap_out) {
+  auto clone = std::make_shared<MountNamespace>(this,
+                                                config_.cache.dlht_buckets);
+  std::unordered_map<const Mount*, Mount*> remap;
+  // all_mounts_ preserves creation order, so parents precede children.
+  for (Mount* m : source->AllMounts()) {
+    Mount* new_parent =
+        m->parent == nullptr ? nullptr : remap.at(m->parent);
+    if (m->parent == nullptr) {
+      m->root->DgetHeld();
+      auto* copy = new Mount(clone.get(), m->sb, m->root, nullptr, nullptr,
+                             m->flags);
+      clone->SetRootMount(copy);
+      remap.emplace(m, copy);
+    } else {
+      auto added = clone->AddMount(m->sb, m->root, new_parent,
+                                   m->mountpoint, m->flags);
+      if (added.ok()) {
+        remap.emplace(m, *added);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(sb_mu_);
+    namespaces_.push_back(clone);
+  }
+  if (remap_out != nullptr) {
+    *remap_out = std::move(remap);
+  }
+  return clone;
+}
+
+std::shared_ptr<Task> Kernel::CreateInitTask(CredPtr cred) {
+  Mount* rm = root_ns_->root_mount();
+  PathHandle root = PathHandle::Acquire(rm, rm->root);
+  PathHandle cwd = root;
+  return std::make_shared<Task>(this, std::move(cred), root_ns_,
+                                std::move(root), std::move(cwd));
+}
+
+void Kernel::DropCaches() {
+  std::unique_lock<std::shared_mutex> tree(tree_mutex_);
+  dcache_->ShrinkAll();
+  std::lock_guard<std::mutex> lock(sb_mu_);
+  for (auto& sb : superblocks_) {
+    sb->fs()->DropCaches();
+  }
+}
+
+}  // namespace dircache

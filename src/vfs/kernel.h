@@ -1,0 +1,127 @@
+// The simulated kernel: configuration, the dentry cache, security stack,
+// path signer, superblock registry, namespaces, and the global
+// synchronization objects the walk and mutation paths share.
+//
+// Synchronization model (documented in DESIGN.md):
+//  - Optimistic walks take no locks; they validate a global rename seqcount
+//    (rename_lock analog) and per-structure seqcounts, with memory safety
+//    from epoch-based reclamation.
+//  - Locked walks hold tree_lock shared.
+//  - Structure/permission mutations hold tree_lock exclusive and wrap
+//    structural changes in rename_seq writes.
+#ifndef DIRCACHE_VFS_KERNEL_H_
+#define DIRCACHE_VFS_KERNEL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/signature.h"
+#include "src/util/spinlock.h"
+#include "src/util/stats.h"
+#include "src/vfs/dcache.h"
+#include "src/vfs/lsm.h"
+#include "src/vfs/mount.h"
+
+namespace dircache {
+
+class Task;
+
+struct KernelConfig {
+  CacheConfig cache;
+  // Seed for the signature hash key; 0 draws entropy at boot (§3.3).
+  uint64_t signature_seed = 0;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(const KernelConfig& config);
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  const CacheConfig& config() const { return config_.cache; }
+  DentryCache& dcache() { return *dcache_; }
+  CacheStats& stats() { return stats_; }
+  SecurityStack& security() { return security_; }
+  const PathSigner& signer() const { return *signer_; }
+
+  // --- global synchronization ---------------------------------------------
+  std::shared_mutex& tree_lock() { return tree_mutex_; }
+  SeqCount& rename_seq() { return rename_seq_; }
+  // Serializes whole walks in the kGlobalLock era (Figure 2 staging).
+  std::mutex& global_walk_lock() { return global_walk_mutex_; }
+
+  // --- PCC epoch (version-counter wraparound, §3.1) -------------------------
+  uint64_t pcc_epoch() const {
+    return pcc_epoch_.load(std::memory_order_acquire);
+  }
+  void BumpPccEpoch() {
+    pcc_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  // --- file systems and namespaces ----------------------------------------
+  // Create a superblock for `fs` (does not mount it).
+  SuperBlock* RegisterFs(std::shared_ptr<FileSystem> fs);
+
+  // Install the root file system (must be the first mount).
+  Status MountRootFs(std::shared_ptr<FileSystem> fs);
+
+  MountNamespacePtr root_ns() const { return root_ns_; }
+
+  // Every mount (across all namespaces) whose mountpoint is `dentry`.
+  // Used by subtree invalidation to propagate across mount boundaries.
+  std::vector<Mount*> MountsOn(Dentry* mountpoint);
+
+  // Clone a namespace: a private copy of the mount tree with its own DLHT.
+  // `remap_out` (optional) receives the old-mount -> new-mount mapping so
+  // callers can translate held paths (e.g. a task's root/cwd).
+  MountNamespacePtr CloneNamespace(
+      const MountNamespacePtr& source,
+      std::unordered_map<const Mount*, Mount*>* remap_out = nullptr);
+
+  // --- tasks ----------------------------------------------------------------
+  // The first task: cwd = root = the root mount. Must follow MountRootFs.
+  std::shared_ptr<Task> CreateInitTask(CredPtr cred);
+
+  // --- memory-pressure / cold-cache helpers ---------------------------------
+  // Drop all unused dentries and each file system's clean buffers.
+  void DropCaches();
+
+ private:
+  friend class Task;
+
+  KernelConfig config_;
+  CacheStats stats_;
+  std::unique_ptr<PathSigner> signer_;
+  std::unique_ptr<DentryCache> dcache_;
+  SecurityStack security_;
+
+  std::shared_mutex tree_mutex_;
+  SeqCount rename_seq_;
+  std::mutex global_walk_mutex_;
+  std::atomic<uint64_t> pcc_epoch_{1};
+
+  std::mutex sb_mu_;
+  std::vector<std::unique_ptr<SuperBlock>> superblocks_;
+  uint64_t next_dev_id_ = 1;
+
+  MountNamespacePtr root_ns_;
+  std::vector<MountNamespacePtr> namespaces_;
+};
+
+// Recover the owning dentry from its embedded FastDentry (the VFS knows the
+// layout; the core library treats dentries as opaque).
+inline Dentry* DentryFromFast(FastDentry* fd) {
+  auto offset = reinterpret_cast<std::ptrdiff_t>(
+      &(static_cast<Dentry*>(nullptr)->*(&Dentry::fast)));
+  return reinterpret_cast<Dentry*>(reinterpret_cast<char*>(fd) - offset);
+}
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_KERNEL_H_

@@ -1,0 +1,33 @@
+#include "src/vfs/lsm.h"
+
+namespace dircache {
+
+Status GenericPermission(const Cred& cred, const Inode& inode, int mask) {
+  const uint16_t mode = inode.mode();
+
+  if (cred.uid() == kRootUid) {
+    // Root may read/write anything and search any directory; executing a
+    // regular file still requires at least one execute bit.
+    if ((mask & kMayExec) != 0 && !inode.IsDir() &&
+        (mode & (kModeXUsr | kModeXGrp | kModeXOth)) == 0) {
+      return Errno::kEACCES;
+    }
+    return Status::Ok();
+  }
+
+  int shift;
+  if (cred.uid() == inode.uid()) {
+    shift = 6;  // owner bits
+  } else if (cred.InGroup(inode.gid())) {
+    shift = 3;  // group bits
+  } else {
+    shift = 0;  // other bits
+  }
+  int granted = (mode >> shift) & 07;
+  if ((mask & ~granted) != 0) {
+    return Errno::kEACCES;
+  }
+  return Status::Ok();
+}
+
+}  // namespace dircache

@@ -1,0 +1,75 @@
+// Linux Security Module framework analog (§4.1).
+//
+// Permission checks run the default DAC (Unix permission bits) and then
+// every stacked module; any veto denies. Modules may implement arbitrary
+// logic over the cred, inode, and dentry — the PCC never interprets their
+// rules, it only memoizes outcomes, which is exactly the paper's claim of
+// LSM compatibility. Modules must call Kernel-provided invalidation when
+// their *policy* changes (mirroring the real patch's LSM integration work).
+#ifndef DIRCACHE_VFS_LSM_H_
+#define DIRCACHE_VFS_LSM_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/vfs/cred.h"
+#include "src/vfs/inode.h"
+
+namespace dircache {
+
+class Dentry;
+
+class SecurityModule {
+ public:
+  virtual ~SecurityModule() = default;
+
+  virtual std::string_view Name() const = 0;
+
+  // Veto hook for inode access. `mask` is a kMay* combination; `dentry`
+  // names the object (may be null for inode-only checks). Return kEACCES
+  // to deny.
+  virtual Status InodePermission(const Cred& cred, const Inode& inode,
+                                 int mask, const Dentry* dentry) = 0;
+
+  // Label a freshly created inode (inheritance policies).
+  virtual void InodeInitSecurity(const Inode& dir, Inode& inode) {}
+};
+
+// Default DAC: classic owner/group/other permission bits, with root's
+// customary privileges.
+Status GenericPermission(const Cred& cred, const Inode& inode, int mask);
+
+class SecurityStack {
+ public:
+  // Full check: DAC then every module.
+  Status Permission(const Cred& cred, const Inode& inode, int mask,
+                    const Dentry* dentry) const {
+    DIRCACHE_RETURN_IF_ERROR(GenericPermission(cred, inode, mask));
+    for (const auto& module : modules_) {
+      DIRCACHE_RETURN_IF_ERROR(
+          module->InodePermission(cred, inode, mask, dentry));
+    }
+    return Status::Ok();
+  }
+
+  void InitSecurity(const Inode& dir, Inode& inode) const {
+    for (const auto& module : modules_) {
+      module->InodeInitSecurity(dir, inode);
+    }
+  }
+
+  void AddModule(std::unique_ptr<SecurityModule> module) {
+    modules_.push_back(std::move(module));
+  }
+
+  bool empty() const { return modules_.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<SecurityModule>> modules_;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_LSM_H_

@@ -1,0 +1,102 @@
+#include "src/vfs/lsm_modules.h"
+
+#include "src/vfs/dentry.h"
+
+namespace dircache {
+
+Status LabelLsm::InodePermission(const Cred& cred, const Inode& inode,
+                                 int mask, const Dentry* dentry) {
+  if (cred.security_label().empty()) {
+    return Status::Ok();
+  }
+  const std::string& object = inode.security_label();
+  if (object.empty()) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = rules_.find({cred.security_label(), object});
+  int allowed = it == rules_.end() ? 0 : it->second;
+  if ((mask & ~allowed) != 0) {
+    return Errno::kEACCES;
+  }
+  return Status::Ok();
+}
+
+void LabelLsm::InodeInitSecurity(const Inode& dir, Inode& inode) {
+  const std::string& parent_label = dir.security_label();
+  if (!parent_label.empty()) {
+    inode.set_security_label(parent_label);
+  }
+}
+
+void LabelLsm::Allow(const std::string& subject, const std::string& object,
+                     int allowed_mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_[{subject, object}] = allowed_mask;
+}
+
+void LabelLsm::ClearRule(const std::string& subject,
+                         const std::string& object) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.erase({subject, object});
+}
+
+Status PathLsm::InodePermission(const Cred& cred, const Inode& inode,
+                                int mask, const Dentry* dentry) {
+  if (cred.security_label().empty() || dentry == nullptr) {
+    return Status::Ok();
+  }
+  std::vector<Rule> rules;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = profiles_.find(cred.security_label());
+    if (it == profiles_.end()) {
+      return Status::Ok();
+    }
+    rules = it->second;
+  }
+  const std::string path = DentryPath(dentry);
+  const Rule* best = nullptr;
+  for (const Rule& rule : rules) {
+    if (path.size() >= rule.prefix.size() &&
+        path.compare(0, rule.prefix.size(), rule.prefix) == 0 &&
+        (path.size() == rule.prefix.size() ||
+         path[rule.prefix.size()] == '/' || rule.prefix == "/")) {
+      if (best == nullptr || rule.prefix.size() > best->prefix.size()) {
+        best = &rule;
+      }
+    }
+  }
+  if (best == nullptr) {
+    return Status::Ok();  // no rule: unconstrained
+  }
+  if ((mask & ~best->allowed_mask) != 0) {
+    return Errno::kEACCES;
+  }
+  return Status::Ok();
+}
+
+void PathLsm::SetProfile(const std::string& subject, std::vector<Rule> rules) {
+  std::lock_guard<std::mutex> lock(mu_);
+  profiles_[subject] = std::move(rules);
+}
+
+std::string DentryPath(const Dentry* dentry) {
+  if (dentry->TestFlags(kDentRoot)) {
+    return "/";
+  }
+  std::vector<const Dentry*> chain;
+  for (const Dentry* d = dentry;
+       d != nullptr && !d->TestFlags(kDentRoot) && chain.size() < 512;
+       d = d->parent()) {
+    chain.push_back(d);
+  }
+  std::string path;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    path.push_back('/');
+    path.append((*it)->name());
+  }
+  return path;
+}
+
+}  // namespace dircache

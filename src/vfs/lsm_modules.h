@@ -1,0 +1,71 @@
+// Sample security modules: a label-based LSM (SELinux-shaped) and a
+// path-based LSM (AppArmor-shaped).
+//
+// Both exist to prove the PCC memoizes outcomes of *arbitrary* permission
+// logic (§4.1): one keys decisions off inode labels, the other recomputes
+// the dentry's path and applies prefix rules. After any policy change the
+// caller must invalidate affected subtrees (Kernel::RelabelSubtree /
+// InvalidateAllPrefixChecks), matching the coherence contract in §3.2.
+#ifndef DIRCACHE_VFS_LSM_MODULES_H_
+#define DIRCACHE_VFS_LSM_MODULES_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/vfs/lsm.h"
+
+namespace dircache {
+
+// Label-based mandatory access control. Subjects are cred security labels,
+// objects are inode labels (inherited from the parent directory at creation
+// unless relabeled). Policy: (subject, object) -> allowed kMay* mask.
+// Unlabeled subjects/objects are unconstrained.
+class LabelLsm final : public SecurityModule {
+ public:
+  std::string_view Name() const override { return "labellsm"; }
+
+  Status InodePermission(const Cred& cred, const Inode& inode, int mask,
+                         const Dentry* dentry) override;
+  void InodeInitSecurity(const Inode& dir, Inode& inode) override;
+
+  // Policy edits. The caller owns invalidating cached prefix checks.
+  void Allow(const std::string& subject, const std::string& object,
+             int allowed_mask);
+  void ClearRule(const std::string& subject, const std::string& object);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, std::string>, int> rules_;
+};
+
+// Path-prefix profiles. A profile (matched by the cred's label) is a list
+// of (path prefix, allowed kMay* mask) rules; the most specific matching
+// prefix wins. Creds without a profile are unconstrained.
+class PathLsm final : public SecurityModule {
+ public:
+  std::string_view Name() const override { return "pathlsm"; }
+
+  Status InodePermission(const Cred& cred, const Inode& inode, int mask,
+                         const Dentry* dentry) override;
+
+  struct Rule {
+    std::string prefix;  // canonical path prefix, e.g. "/home/alice"
+    int allowed_mask;
+  };
+
+  void SetProfile(const std::string& subject, std::vector<Rule> rules);
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::vector<Rule>> profiles_;
+};
+
+// Rebuild the canonical path of a dentry by walking parents (slow; used by
+// PathLsm and by diagnostics). Requires an epoch read guard.
+std::string DentryPath(const Dentry* dentry);
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_LSM_MODULES_H_

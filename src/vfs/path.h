@@ -1,0 +1,95 @@
+// PathHandle: an owning (mount, dentry) pair — the kernel's struct path.
+#ifndef DIRCACHE_VFS_PATH_H_
+#define DIRCACHE_VFS_PATH_H_
+
+#include <utility>
+
+#include "src/vfs/kernel.h"
+
+namespace dircache {
+
+// Holds one dentry reference and one mount reference. Copyable (copies take
+// additional references) and movable.
+class PathHandle {
+ public:
+  PathHandle() = default;
+
+  // Adopts already-acquired references.
+  static PathHandle Adopt(Mount* mnt, Dentry* dentry) {
+    PathHandle p;
+    p.mnt_ = mnt;
+    p.dentry_ = dentry;
+    return p;
+  }
+
+  // Takes new references (caller's references are untouched). The dentry
+  // must be alive (callers pass dentries they hold references on).
+  static PathHandle Acquire(Mount* mnt, Dentry* dentry) {
+    dentry->DgetHeld();
+    if (mnt != nullptr) {
+      mnt->Get();
+    }
+    return Adopt(mnt, dentry);
+  }
+
+  PathHandle(const PathHandle& o) : mnt_(o.mnt_), dentry_(o.dentry_) {
+    if (dentry_ != nullptr) {
+      dentry_->DgetHeld();
+    }
+    if (mnt_ != nullptr) {
+      mnt_->Get();
+    }
+  }
+
+  PathHandle& operator=(const PathHandle& o) {
+    if (this != &o) {
+      PathHandle copy(o);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+
+  PathHandle(PathHandle&& o) noexcept : mnt_(o.mnt_), dentry_(o.dentry_) {
+    o.mnt_ = nullptr;
+    o.dentry_ = nullptr;
+  }
+
+  PathHandle& operator=(PathHandle&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      mnt_ = o.mnt_;
+      dentry_ = o.dentry_;
+      o.mnt_ = nullptr;
+      o.dentry_ = nullptr;
+    }
+    return *this;
+  }
+
+  ~PathHandle() { Reset(); }
+
+  void Reset() {
+    if (dentry_ != nullptr) {
+      dentry_->sb()->kernel()->dcache().Dput(dentry_);
+      dentry_ = nullptr;
+    }
+    if (mnt_ != nullptr) {
+      mnt_->ns->MountPut(mnt_);
+      mnt_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return dentry_ != nullptr; }
+  Mount* mnt() const { return mnt_; }
+  Dentry* dentry() const { return dentry_; }
+  Inode* inode() const {
+    return dentry_ == nullptr ? nullptr : dentry_->inode();
+  }
+
+ private:
+  Mount* mnt_ = nullptr;
+  Dentry* dentry_ = nullptr;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_PATH_H_

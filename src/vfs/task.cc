@@ -1,0 +1,1440 @@
+#include "src/vfs/task.h"
+
+#include <cassert>
+
+#include "src/storage/block_device.h"
+#include "src/util/epoch.h"
+#include "src/vfs/lsm.h"
+
+namespace dircache {
+
+namespace {
+
+SyscallKind KindForAttr() { return SyscallKind::kChmodChown; }
+
+// Refresh a directory inode's cached size/nlink from the low-level FS after
+// a mutation that may have grown or shrunk its entry blocks (ext4 maintains
+// i_size for directories the same way).
+void RefreshDirInode(Inode* dir_inode) {
+  auto attr = dir_inode->sb()->fs()->GetAttr(dir_inode->ino());
+  if (attr.ok()) {
+    dir_inode->set_size(attr->size);
+    dir_inode->set_nlink(attr->nlink);
+  }
+}
+
+}  // namespace
+
+// Task::Mount (the syscall) shadows the Mount struct inside member
+// functions; refer to the type through this alias there.
+using VfsMount = Mount;
+
+// RAII syscall prologue: installs the I/O charge target and records latency
+// into the task profiler when armed.
+class Task::Scope {
+ public:
+  Scope(Task* task, SyscallKind kind)
+      : task_(task), kind_(kind), charge_(&task->io_clock_) {
+    if (task_->profiler_ != nullptr) {
+      start_ = NowNanos();
+    }
+  }
+  ~Scope() {
+    if (task_->profiler_ != nullptr) {
+      task_->profiler_->Record(kind_, NowNanos() - start_);
+    }
+  }
+
+ private:
+  Task* task_;
+  SyscallKind kind_;
+  IoChargeScope charge_;
+  uint64_t start_ = 0;
+};
+
+Task::Task(Kernel* kernel, CredPtr cred, MountNamespacePtr ns,
+           PathHandle root, PathHandle cwd)
+    : kernel_(kernel),
+      cred_(std::move(cred)),
+      ns_(std::move(ns)),
+      root_(std::move(root)),
+      cwd_(std::move(cwd)) {}
+
+Task::~Task() = default;
+
+std::shared_ptr<Task> Task::Fork() {
+  auto child = std::make_shared<Task>(kernel_, cred_, ns_, root_, cwd_);
+  return child;
+}
+
+void Task::SetCred(CredPtr cred) {
+  // commit_creds dedup (§4.1): identical identity keeps the current cred
+  // object, preserving its (warm) PCC.
+  if (cred_ != nullptr && cred != nullptr && cred_->SameIdentity(*cred)) {
+    return;
+  }
+  cred_ = std::move(cred);
+}
+
+Status Task::UnshareMountNs() {
+  std::unordered_map<const VfsMount*, VfsMount*> remap;
+  MountNamespacePtr clone = kernel_->CloneNamespace(ns_, &remap);
+  auto translate = [&](const PathHandle& h) -> Result<PathHandle> {
+    auto it = remap.find(h.mnt());
+    if (it == remap.end()) {
+      return Errno::kEINVAL;
+    }
+    return PathHandle::Acquire(it->second, h.dentry());
+  };
+  auto new_root = translate(root_);
+  if (!new_root.ok()) {
+    return new_root.error();
+  }
+  auto new_cwd = translate(cwd_);
+  if (!new_cwd.ok()) {
+    return new_cwd.error();
+  }
+  ns_ = std::move(clone);
+  root_ = *std::move(new_root);
+  cwd_ = *std::move(new_cwd);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Internal helpers
+
+Result<PathHandle> Task::ResolveArg(FdNum dirfd, std::string_view path,
+                                    int wflags, std::string* last_out) {
+  PathWalker walker(kernel_);
+  if (dirfd == kAtFdCwd || dirfd < 0 || path.empty() ||
+      path.front() == '/') {
+    return walker.Resolve(*this, nullptr, path, wflags, last_out);
+  }
+  auto file = GetFile(dirfd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  Inode* base_inode = (*file)->path().inode();
+  if (base_inode == nullptr || !base_inode->IsDir()) {
+    return Errno::kENOTDIR;
+  }
+  return walker.Resolve(*this, &(*file)->path(), path, wflags, last_out);
+}
+
+Result<File*> Task::GetFile(FdNum fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<size_t>(fd)] == nullptr) {
+    return Errno::kEBADF;
+  }
+  return fds_[static_cast<size_t>(fd)].get();
+}
+
+Result<FdNum> Task::InstallFile(std::unique_ptr<File> f) {
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (fds_[i] == nullptr) {
+      fds_[i] = std::move(f);
+      return static_cast<FdNum>(i);
+    }
+  }
+  if (fds_.size() >= 4096) {
+    return Errno::kEMFILE;
+  }
+  fds_.push_back(std::move(f));
+  return static_cast<FdNum>(fds_.size() - 1);
+}
+
+size_t Task::open_files() const {
+  size_t n = 0;
+  for (const auto& f : fds_) {
+    if (f != nullptr) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+Stat Task::StatFromInode(const Inode& inode) {
+  Stat st;
+  st.dev = inode.sb()->dev_id();
+  st.ino = inode.ino();
+  st.type = inode.type();
+  st.mode = inode.mode();
+  st.uid = inode.uid();
+  st.gid = inode.gid();
+  st.nlink = inode.nlink();
+  st.size = inode.size();
+  st.mtime = inode.mtime();
+  st.ctime = inode.ctime();
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// stat / access
+
+Result<Stat> Task::DoStat(const PathHandle* base, std::string_view path,
+                          bool follow) {
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, base, path, follow ? kWalkFollow : 0);
+  if (!p.ok()) {
+    return p.error();
+  }
+  Inode* inode = p->inode();
+  if (inode == nullptr) {
+    return Errno::kENOENT;
+  }
+  return StatFromInode(*inode);
+}
+
+Result<Stat> Task::StatPath(std::string_view path) {
+  Scope s(this, SyscallKind::kStat);
+  return DoStat(nullptr, path, /*follow=*/true);
+}
+
+Result<Stat> Task::LstatPath(std::string_view path) {
+  Scope s(this, SyscallKind::kStat);
+  return DoStat(nullptr, path, /*follow=*/false);
+}
+
+Result<Stat> Task::FstatAt(FdNum dirfd, std::string_view path, int flags) {
+  Scope s(this, SyscallKind::kStat);
+  bool follow = (flags & kAtSymlinkNoFollow) == 0;
+  if (dirfd == kAtFdCwd || path.empty() || path.front() == '/') {
+    return DoStat(nullptr, path, follow);
+  }
+  auto file = GetFile(dirfd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  return DoStat(&(*file)->path(), path, follow);
+}
+
+Result<Stat> Task::Fstat(FdNum fd) {
+  Scope s(this, SyscallKind::kStat);
+  auto file = GetFile(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  Inode* inode = (*file)->path().inode();
+  if (inode == nullptr) {
+    return Errno::kEBADF;
+  }
+  return StatFromInode(*inode);
+}
+
+Status Task::Access(std::string_view path, int may_mask) {
+  Scope s(this, SyscallKind::kAccess);
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, path, kWalkFollow);
+  if (!p.ok()) {
+    return p.error();
+  }
+  if (may_mask == 0) {
+    return Status::Ok();  // F_OK: existence only
+  }
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  return kernel_->security().Permission(*cred_, *p->inode(), may_mask,
+                                        p->dentry());
+}
+
+// ---------------------------------------------------------------------------
+// open / close
+
+Result<FdNum> Task::Open(std::string_view path, int flags, uint16_t mode) {
+  Scope s(this, SyscallKind::kOpen);
+  return DoOpen(nullptr, path, flags, mode);
+}
+
+Result<FdNum> Task::OpenAt(FdNum dirfd, std::string_view path, int flags,
+                           uint16_t mode) {
+  Scope s(this, SyscallKind::kOpen);
+  if (dirfd == kAtFdCwd || path.empty() || path.front() == '/') {
+    return DoOpen(nullptr, path, flags, mode);
+  }
+  auto file = GetFile(dirfd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  return DoOpen(&(*file)->path(), path, flags, mode);
+}
+
+Result<FdNum> Task::DoOpen(const PathHandle* base, std::string_view path,
+                           int flags, uint16_t mode) {
+  PathWalker walker(kernel_);
+  const bool want_write = (flags & kOWrite) != 0;
+  int wf = (flags & kONoFollow) != 0 ? 0 : kWalkFollow;
+  if ((flags & kODirectory) != 0) {
+    wf |= kWalkDirectory;
+  }
+
+  PathHandle p;
+  if ((flags & kOCreat) != 0) {
+    std::string last;
+    auto parent = walker.Resolve(*this, base, path, wf | kWalkParent, &last);
+    if (!parent.ok()) {
+      return parent.error();
+    }
+    std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+    EpochDomain::ReadGuard guard(EpochDomain::Global());
+    Dentry* dir = parent->dentry();
+    if (dir->IsDead()) {
+      return Errno::kESTALE;
+    }
+    auto child = PathWalker::LookupOrInstantiate(*this, dir, last);
+    Dentry* existing = nullptr;
+    if (child.ok()) {
+      if ((*child)->IsNegative()) {
+        kernel_->dcache().Dput(*child);
+      } else {
+        existing = *child;
+      }
+    } else if (child.error() != Errno::kENOENT) {
+      return child.error();
+    }
+
+    if (existing != nullptr) {
+      kernel_->dcache().Dput(existing);
+      if ((flags & kOExcl) != 0) {
+        return Errno::kEEXIST;
+      }
+      // The file exists: re-resolve without create intent (handles
+      // trailing symlinks and mount crossings uniformly).
+      tree.unlock();
+      auto full = walker.Resolve(*this, base, path, wf);
+      if (!full.ok()) {
+        return full.error();
+      }
+      p = *std::move(full);
+    } else {
+      // Create it.
+      Inode* dir_inode = dir->inode();
+      Status perm = kernel_->security().Permission(
+          *cred_, *dir_inode, kMayWrite | kMayExec, dir);
+      if (!perm.ok()) {
+        return perm.error();
+      }
+      if (parent->mnt()->flags.read_only) {
+        return Errno::kEROFS;
+      }
+      IoChargeScope charge(&io_clock_);
+      FileSystem* fs = dir->sb()->fs();
+      auto ino = fs->Create(dir_inode->ino(), last, FileType::kRegular,
+                            mode, cred_->uid(), cred_->gid());
+      if (!ino.ok()) {
+        return ino.error();
+      }
+      auto inode = dir->sb()->Iget(*ino);
+      if (!inode.ok()) {
+        return inode.error();
+      }
+      kernel_->security().InitSecurity(*dir_inode, **inode);
+      RefreshDirInode(dir_inode);
+      // Replace any cached negative dentry (and its deep children).
+      if (Dentry* neg = kernel_->dcache().LookupRef(dir, last)) {
+        kernel_->dcache().KillCachedChildren(neg);
+        kernel_->dcache().Kill(neg);
+        kernel_->dcache().Dput(neg);
+      }
+      auto fresh = kernel_->dcache().AddChild(dir, last, *inode, 0);
+      if (!fresh.ok()) {
+        return fresh.error();
+      }
+      dir_inode->set_mtime(dir_inode->mtime() + 1);
+      VfsMount* m = parent->mnt();
+      m->Get();
+      p = PathHandle::Adopt(m, *fresh);
+    }
+  } else {
+    auto full = walker.Resolve(*this, base, path, wf);
+    if (!full.ok()) {
+      return full.error();
+    }
+    p = *std::move(full);
+  }
+
+  Inode* inode = p.inode();
+  if (inode == nullptr) {
+    return Errno::kENOENT;
+  }
+  if (inode->IsSymlink()) {
+    return Errno::kELOOP;  // O_NOFOLLOW hit a symlink
+  }
+  if (inode->IsDir() && want_write) {
+    return Errno::kEISDIR;
+  }
+  int may = 0;
+  if ((flags & kORead) != 0) {
+    may |= kMayRead;
+  }
+  if (want_write) {
+    may |= kMayWrite;
+  }
+  if (may != 0) {
+    EpochDomain::ReadGuard guard(EpochDomain::Global());
+    Status perm =
+        kernel_->security().Permission(*cred_, *inode, may, p.dentry());
+    if (!perm.ok()) {
+      return perm.error();
+    }
+  }
+  if (want_write && p.mnt() != nullptr && p.mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+  if ((flags & kOTrunc) != 0 && want_write && inode->IsRegularFile()) {
+    IoChargeScope charge(&io_clock_);
+    AttrUpdate update;
+    update.size = 0;
+    DIRCACHE_RETURN_IF_ERROR(
+        inode->sb()->fs()->SetAttr(inode->ino(), update));
+    inode->set_size(0);
+  }
+  auto file = std::make_unique<File>(std::move(p), flags);
+  if ((flags & kOAppend) != 0) {
+    file->offset = inode->size();
+  }
+  return InstallFile(std::move(file));
+}
+
+Status Task::Close(FdNum fd) {
+  Scope s(this, SyscallKind::kOther);
+  if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<size_t>(fd)] == nullptr) {
+    return Errno::kEBADF;
+  }
+  fds_[static_cast<size_t>(fd)] = nullptr;
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// attribute changes (chmod / chown / label)
+
+Status Task::Chmod(std::string_view path, uint16_t mode) {
+  Scope s(this, KindForAttr());
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, path, kWalkFollow);
+  if (!p.ok()) {
+    return p.error();
+  }
+  Inode* inode = p->inode();
+  if (cred_->uid() != kRootUid && cred_->uid() != inode->uid()) {
+    return Errno::kEPERM;
+  }
+  if (p->mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  if (inode->IsDir() && kernel_->config().fastpath) {
+    // §3.2: invalidate cached prefix checks through this directory BEFORE
+    // the permission change becomes visible.
+    kernel_->dcache().InvalidateSubtree(p->dentry());
+  }
+  IoChargeScope charge(&io_clock_);
+  AttrUpdate update;
+  update.mode = mode;
+  DIRCACHE_RETURN_IF_ERROR(inode->sb()->fs()->SetAttr(inode->ino(), update));
+  inode->set_mode(mode & kModePermMask);
+  inode->set_ctime(inode->ctime() + 1);
+  if (inode->IsDir() && kernel_->config().fastpath) {
+    // Invalidate again AFTER the change: an overlapping slowpath walk may
+    // have read the old mode after the first invalidation; bumping the
+    // version counters now retires anything it memoized (§3.2).
+    kernel_->dcache().InvalidateSubtree(p->dentry());
+  }
+  return Status::Ok();
+}
+
+Status Task::Chown(std::string_view path, Uid uid, Gid gid) {
+  Scope s(this, KindForAttr());
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, path, kWalkFollow);
+  if (!p.ok()) {
+    return p.error();
+  }
+  Inode* inode = p->inode();
+  if (cred_->uid() != kRootUid) {
+    // Non-root: may only change the group, to a group it belongs to.
+    if (uid != inode->uid() || cred_->uid() != inode->uid() ||
+        !cred_->InGroup(gid)) {
+      return Errno::kEPERM;
+    }
+  }
+  if (p->mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  if (inode->IsDir() && kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(p->dentry());
+  }
+  IoChargeScope charge(&io_clock_);
+  AttrUpdate update;
+  update.uid = uid;
+  update.gid = gid;
+  DIRCACHE_RETURN_IF_ERROR(inode->sb()->fs()->SetAttr(inode->ino(), update));
+  inode->set_uid(uid);
+  inode->set_gid(gid);
+  inode->set_ctime(inode->ctime() + 1);
+  if (inode->IsDir() && kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(p->dentry());  // see Chmod
+  }
+  return Status::Ok();
+}
+
+Status Task::SetSecurityLabel(std::string_view path, std::string label) {
+  Scope s(this, KindForAttr());
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, path, kWalkFollow);
+  if (!p.ok()) {
+    return p.error();
+  }
+  if (cred_->uid() != kRootUid) {
+    return Errno::kEPERM;
+  }
+  Inode* inode = p->inode();
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  if (inode->IsDir() && kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(p->dentry());
+  }
+  inode->set_security_label(std::move(label));
+  if (inode->IsDir() && kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(p->dentry());  // see Chmod
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// cwd / root
+
+Status Task::Chdir(std::string_view path) {
+  Scope s(this, SyscallKind::kOther);
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, path, kWalkFollow | kWalkDirectory);
+  if (!p.ok()) {
+    return p.error();
+  }
+  {
+    EpochDomain::ReadGuard guard(EpochDomain::Global());
+    Status perm = kernel_->security().Permission(*cred_, *p->inode(),
+                                                 kMayExec, p->dentry());
+    if (!perm.ok()) {
+      return perm.error();
+    }
+  }
+  cwd_ = *std::move(p);
+  return Status::Ok();
+}
+
+Status Task::Chroot(std::string_view path) {
+  Scope s(this, SyscallKind::kOther);
+  if (cred_->uid() != kRootUid) {
+    return Errno::kEPERM;
+  }
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, path, kWalkFollow | kWalkDirectory);
+  if (!p.ok()) {
+    return p.error();
+  }
+  root_ = *p;
+  cwd_ = *std::move(p);
+  return Status::Ok();
+}
+
+Result<std::string> Task::Getcwd() {
+  Scope s(this, SyscallKind::kOther);
+  std::shared_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  VfsMount* mnt = cwd_.mnt();
+  Dentry* d = cwd_.dentry();
+  std::string out;
+  std::vector<std::string> parts;
+  while (!(d == root_.dentry() && mnt == root_.mnt())) {
+    if (d == mnt->root) {
+      if (mnt->parent == nullptr) {
+        break;
+      }
+      d = mnt->mountpoint;
+      mnt = mnt->parent;
+      continue;
+    }
+    parts.push_back(d->name());
+    d = d->parent();
+    if (d == nullptr) {
+      return Errno::kESTALE;
+    }
+  }
+  if (parts.empty()) {
+    return std::string("/");
+  }
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    out.push_back('/');
+    out.append(*it);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// mkdir / rmdir / unlink
+
+Status Task::Mkdir(std::string_view path, uint16_t mode) {
+  Scope s(this, SyscallKind::kMkdirRmdir);
+  return DoMkdir(nullptr, path, mode);
+}
+
+Status Task::MkdirAt(FdNum dirfd, std::string_view path, uint16_t mode) {
+  Scope s(this, SyscallKind::kMkdirRmdir);
+  if (dirfd == kAtFdCwd || path.empty() || path.front() == '/') {
+    return DoMkdir(nullptr, path, mode);
+  }
+  auto file = GetFile(dirfd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  return DoMkdir(&(*file)->path(), path, mode);
+}
+
+Status Task::DoMkdir(const PathHandle* base, std::string_view path,
+                     uint16_t mode) {
+  PathWalker walker(kernel_);
+  std::string last;
+  auto parent = walker.Resolve(*this, base, path, kWalkParent, &last);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  Dentry* dir = parent->dentry();
+  if (dir->IsDead()) {
+    return Errno::kESTALE;
+  }
+  Inode* dir_inode = dir->inode();
+  Status perm = kernel_->security().Permission(*cred_, *dir_inode,
+                                               kMayWrite | kMayExec, dir);
+  if (!perm.ok()) {
+    return perm.error();
+  }
+  if (parent->mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+  auto existing = PathWalker::LookupOrInstantiate(*this, dir, last);
+  if (existing.ok()) {
+    bool positive = (*existing)->IsPositive();
+    Dentry* neg = *existing;
+    if (positive) {
+      kernel_->dcache().Dput(neg);
+      return Errno::kEEXIST;
+    }
+    kernel_->dcache().KillCachedChildren(neg);
+    kernel_->dcache().Kill(neg);
+    kernel_->dcache().Dput(neg);
+  } else if (existing.error() != Errno::kENOENT) {
+    return existing.error();
+  }
+  IoChargeScope charge(&io_clock_);
+  FileSystem* fs = dir->sb()->fs();
+  auto ino = fs->Create(dir_inode->ino(), last, FileType::kDirectory, mode,
+                        cred_->uid(), cred_->gid());
+  if (!ino.ok()) {
+    return ino.error();
+  }
+  auto inode = dir->sb()->Iget(*ino);
+  if (!inode.ok()) {
+    return inode.error();
+  }
+  kernel_->security().InitSecurity(*dir_inode, **inode);
+  // A brand-new directory has all (zero) children cached (§5.1).
+  uint32_t flags =
+      kernel_->config().dir_completeness ? kDentDirComplete : 0u;
+  auto fresh = kernel_->dcache().AddChild(dir, last, *inode, flags);
+  if (!fresh.ok()) {
+    return fresh.error();
+  }
+  kernel_->dcache().Dput(*fresh);
+  RefreshDirInode(dir_inode);
+  dir_inode->set_mtime(dir_inode->mtime() + 1);
+  return Status::Ok();
+}
+
+Status Task::Unlink(std::string_view path) {
+  Scope s(this, SyscallKind::kUnlink);
+  return DoUnlink(nullptr, path, /*rmdir=*/false);
+}
+
+Status Task::Rmdir(std::string_view path) {
+  Scope s(this, SyscallKind::kMkdirRmdir);
+  return DoUnlink(nullptr, path, /*rmdir=*/true);
+}
+
+Status Task::UnlinkAt(FdNum dirfd, std::string_view path, bool rmdir) {
+  Scope s(this, rmdir ? SyscallKind::kMkdirRmdir : SyscallKind::kUnlink);
+  if (dirfd == kAtFdCwd || path.empty() || path.front() == '/') {
+    return DoUnlink(nullptr, path, rmdir);
+  }
+  auto file = GetFile(dirfd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  return DoUnlink(&(*file)->path(), path, rmdir);
+}
+
+Status Task::DoUnlink(const PathHandle* base, std::string_view path,
+                      bool rmdir) {
+  PathWalker walker(kernel_);
+  std::string last;
+  auto parent = walker.Resolve(*this, base, path, kWalkParent, &last);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  Dentry* dir = parent->dentry();
+  if (dir->IsDead()) {
+    return Errno::kESTALE;
+  }
+  Inode* dir_inode = dir->inode();
+  Status perm = kernel_->security().Permission(*cred_, *dir_inode,
+                                               kMayWrite | kMayExec, dir);
+  if (!perm.ok()) {
+    return perm.error();
+  }
+  if (parent->mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+  auto child = PathWalker::LookupOrInstantiate(*this, dir, last);
+  if (!child.ok()) {
+    return child.error();
+  }
+  Dentry* victim = *child;
+  if (victim->IsNegative()) {
+    Errno e =
+        victim->TestFlags(kDentEnotdir) ? Errno::kENOTDIR : Errno::kENOENT;
+    kernel_->dcache().Dput(victim);
+    return e;
+  }
+  if (victim->IsStub()) {
+    // Materialize so type checks work; easiest through a real resolve.
+    kernel_->dcache().Dput(victim);
+    tree.unlock();
+    auto full = walker.Resolve(*this, base, path, 0);
+    if (!full.ok()) {
+      return full.error();
+    }
+    tree.lock();
+    victim = full->dentry();
+    victim->DgetHeld();
+  }
+  Inode* victim_inode = victim->inode();
+  auto put_victim = [&] { kernel_->dcache().Dput(victim); };
+  if (rmdir && !victim_inode->IsDir()) {
+    put_victim();
+    return Errno::kENOTDIR;
+  }
+  if (!rmdir && victim_inode->IsDir()) {
+    put_victim();
+    return Errno::kEISDIR;
+  }
+  if (victim->TestFlags(kDentMountpoint) &&
+      ns_->MountAt(parent->mnt(), victim) != nullptr) {
+    put_victim();
+    return Errno::kEBUSY;
+  }
+  // Sticky directory: only the owner of the entry/directory (or root) may
+  // remove.
+  if ((dir_inode->mode() & kModeSticky) != 0 && cred_->uid() != kRootUid &&
+      cred_->uid() != victim_inode->uid() &&
+      cred_->uid() != dir_inode->uid()) {
+    put_victim();
+    return Errno::kEPERM;
+  }
+
+  // §3.2: invalidate before the structure changes.
+  if (kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(victim);
+  }
+  IoChargeScope charge(&io_clock_);
+  FileSystem* fs = dir->sb()->fs();
+  Status st = rmdir ? fs->Rmdir(dir_inode->ino(), last)
+                    : fs->Unlink(dir_inode->ino(), last);
+  if (!st.ok()) {
+    put_victim();
+    return st;
+  }
+  victim_inode->set_nlink(victim_inode->nlink() > 0
+                              ? victim_inode->nlink() - 1
+                              : 0);
+  RefreshDirInode(dir_inode);
+  dir_inode->set_mtime(dir_inode->mtime() + 1);
+  kernel_->dcache().KillCachedChildren(victim);
+  kernel_->dcache().Kill(victim);
+  put_victim();
+  // §5.2: keep a negative dentry for the removed name.
+  if (kernel_->config().negative_on_unlink) {
+    auto neg = kernel_->dcache().AddChild(dir, last, nullptr, kDentNegative);
+    if (neg.ok()) {
+      kernel_->dcache().Dput(*neg);
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// rename
+
+Status Task::Rename(std::string_view oldpath, std::string_view newpath) {
+  Scope s(this, SyscallKind::kRename);
+  return DoRename(nullptr, oldpath, nullptr, newpath);
+}
+
+Status Task::RenameAt(FdNum olddirfd, std::string_view oldpath,
+                      FdNum newdirfd, std::string_view newpath) {
+  Scope s(this, SyscallKind::kRename);
+  const PathHandle* ob = nullptr;
+  const PathHandle* nb = nullptr;
+  if (olddirfd != kAtFdCwd && !oldpath.empty() && oldpath.front() != '/') {
+    auto f = GetFile(olddirfd);
+    if (!f.ok()) {
+      return f.error();
+    }
+    ob = &(*f)->path();
+  }
+  if (newdirfd != kAtFdCwd && !newpath.empty() && newpath.front() != '/') {
+    auto f = GetFile(newdirfd);
+    if (!f.ok()) {
+      return f.error();
+    }
+    nb = &(*f)->path();
+  }
+  return DoRename(ob, oldpath, nb, newpath);
+}
+
+Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
+                      const PathHandle* newbase, std::string_view newpath) {
+  PathWalker walker(kernel_);
+  std::string old_last;
+  std::string new_last;
+  auto oldp = walker.Resolve(*this, oldbase, oldpath, kWalkParent,
+                             &old_last);
+  if (!oldp.ok()) {
+    return oldp.error();
+  }
+  auto newp = walker.Resolve(*this, newbase, newpath, kWalkParent,
+                             &new_last);
+  if (!newp.ok()) {
+    return newp.error();
+  }
+  if (oldp->dentry()->sb() != newp->dentry()->sb()) {
+    return Errno::kEXDEV;
+  }
+  if (oldp->mnt() != newp->mnt()) {
+    return Errno::kEXDEV;  // across bind mounts, like Linux
+  }
+  if (oldp->mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  Dentry* old_dir = oldp->dentry();
+  Dentry* new_dir = newp->dentry();
+  if (old_dir->IsDead() || new_dir->IsDead()) {
+    return Errno::kESTALE;
+  }
+  for (Dentry* dirp : {old_dir, new_dir}) {
+    Status perm = kernel_->security().Permission(
+        *cred_, *dirp->inode(), kMayWrite | kMayExec, dirp);
+    if (!perm.ok()) {
+      return perm.error();
+    }
+  }
+
+  auto moved = PathWalker::LookupOrInstantiate(*this, old_dir, old_last);
+  if (!moved.ok()) {
+    return moved.error();
+  }
+  Dentry* src = *moved;
+  auto put_src = [&] { kernel_->dcache().Dput(src); };
+  if (src->IsNegative()) {
+    put_src();
+    return Errno::kENOENT;
+  }
+  // Sticky source directory: only the entry's or directory's owner (or
+  // root) may move the entry out.
+  if ((old_dir->inode()->mode() & kModeSticky) != 0 &&
+      cred_->uid() != kRootUid && src->inode() != nullptr &&
+      cred_->uid() != src->inode()->uid() &&
+      cred_->uid() != old_dir->inode()->uid()) {
+    put_src();
+    return Errno::kEPERM;
+  }
+  if (src->IsStub()) {
+    put_src();
+    return Errno::kEBUSY;  // extremely rare; retry resolves it
+  }
+  // Moving a directory into its own subtree is forbidden.
+  if (src->inode()->IsDir()) {
+    for (Dentry* a = new_dir; a != nullptr; a = a->parent()) {
+      if (a == src) {
+        put_src();
+        return Errno::kEINVAL;
+      }
+      if (a->parent() == a) {
+        break;
+      }
+    }
+  }
+
+  Dentry* target = nullptr;
+  {
+    auto existing =
+        PathWalker::LookupOrInstantiate(*this, new_dir, new_last);
+    if (existing.ok()) {
+      if ((*existing)->IsNegative()) {
+        kernel_->dcache().Dput(*existing);
+      } else {
+        target = *existing;
+      }
+    } else if (existing.error() != Errno::kENOENT) {
+      put_src();
+      return existing.error();
+    }
+  }
+  if (target == src) {
+    kernel_->dcache().Dput(target);
+    put_src();
+    return Status::Ok();  // same entry: POSIX no-op
+  }
+  // Busy mountpoints may be neither moved nor replaced (POSIX EBUSY).
+  if (src->TestFlags(kDentMountpoint) &&
+      ns_->MountAt(oldp->mnt(), src) != nullptr) {
+    if (target != nullptr) {
+      kernel_->dcache().Dput(target);
+    }
+    put_src();
+    return Errno::kEBUSY;
+  }
+  if (target != nullptr && target->TestFlags(kDentMountpoint) &&
+      ns_->MountAt(newp->mnt(), target) != nullptr) {
+    kernel_->dcache().Dput(target);
+    put_src();
+    return Errno::kEBUSY;
+  }
+
+  // §3.2: invalidate the moved subtree (and the replaced target) before the
+  // structural change; block fastpath hits on stale paths.
+  if (kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(src);
+    if (target != nullptr) {
+      kernel_->dcache().InvalidateSubtree(target);
+    }
+  }
+
+  kernel_->rename_seq().WriteBegin();
+  IoChargeScope charge(&io_clock_);
+  FileSystem* fs = old_dir->sb()->fs();
+  Status st = fs->Rename(old_dir->inode()->ino(), old_last,
+                         new_dir->inode()->ino(), new_last);
+  if (st.ok()) {
+    if (target != nullptr) {
+      kernel_->dcache().KillCachedChildren(target);
+      kernel_->dcache().Kill(target);
+    }
+    // Kill any cached negative at the destination name (we may have raced
+    // with LookupOrInstantiate above returning a negative we dropped).
+    if (Dentry* neg = kernel_->dcache().LookupRef(new_dir, new_last)) {
+      if (neg != src) {
+        kernel_->dcache().KillCachedChildren(neg);
+        kernel_->dcache().Kill(neg);
+      }
+      kernel_->dcache().Dput(neg);
+    }
+    kernel_->dcache().MoveDentry(src, new_dir, new_last);
+    RefreshDirInode(old_dir->inode());
+    RefreshDirInode(new_dir->inode());
+    old_dir->inode()->set_mtime(old_dir->inode()->mtime() + 1);
+    new_dir->inode()->set_mtime(new_dir->inode()->mtime() + 1);
+  }
+  kernel_->rename_seq().WriteEnd();
+  if (target != nullptr) {
+    kernel_->dcache().Dput(target);
+  }
+  put_src();
+  if (!st.ok()) {
+    return st;
+  }
+  // §5.2: the source name now does not exist — cache that.
+  if (kernel_->config().negative_on_unlink) {
+    auto neg =
+        kernel_->dcache().AddChild(old_dir, old_last, nullptr, kDentNegative);
+    if (neg.ok()) {
+      kernel_->dcache().Dput(*neg);
+    }
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// link / symlink / readlink / truncate
+
+Status Task::Link(std::string_view oldpath, std::string_view newpath) {
+  Scope s(this, SyscallKind::kLinkSymlink);
+  PathWalker walker(kernel_);
+  auto oldp = walker.Resolve(*this, nullptr, oldpath, 0);
+  if (!oldp.ok()) {
+    return oldp.error();
+  }
+  Inode* target_inode = oldp->inode();
+  if (target_inode->IsDir()) {
+    return Errno::kEPERM;
+  }
+  std::string last;
+  auto newp = walker.Resolve(*this, nullptr, newpath, kWalkParent, &last);
+  if (!newp.ok()) {
+    return newp.error();
+  }
+  if (oldp->dentry()->sb() != newp->dentry()->sb()) {
+    return Errno::kEXDEV;
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  Dentry* dir = newp->dentry();
+  if (dir->IsDead()) {
+    return Errno::kESTALE;
+  }
+  Inode* dir_inode = dir->inode();
+  Status perm = kernel_->security().Permission(*cred_, *dir_inode,
+                                               kMayWrite | kMayExec, dir);
+  if (!perm.ok()) {
+    return perm.error();
+  }
+  if (newp->mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+  IoChargeScope charge(&io_clock_);
+  Status st =
+      dir->sb()->fs()->Link(dir_inode->ino(), last, target_inode->ino());
+  if (!st.ok()) {
+    return st;
+  }
+  if (Dentry* neg = kernel_->dcache().LookupRef(dir, last)) {
+    kernel_->dcache().KillCachedChildren(neg);
+    kernel_->dcache().Kill(neg);
+    kernel_->dcache().Dput(neg);
+  }
+  dir->sb()->IgetHeld(target_inode);
+  auto fresh = kernel_->dcache().AddChild(dir, last, target_inode, 0);
+  if (fresh.ok()) {
+    kernel_->dcache().Dput(*fresh);
+  }
+  target_inode->set_nlink(target_inode->nlink() + 1);
+  RefreshDirInode(dir_inode);
+  dir_inode->set_mtime(dir_inode->mtime() + 1);
+  return Status::Ok();
+}
+
+Status Task::Symlink(std::string_view target, std::string_view linkpath) {
+  Scope s(this, SyscallKind::kLinkSymlink);
+  PathWalker walker(kernel_);
+  std::string last;
+  auto parent = walker.Resolve(*this, nullptr, linkpath, kWalkParent, &last);
+  if (!parent.ok()) {
+    return parent.error();
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  Dentry* dir = parent->dentry();
+  if (dir->IsDead()) {
+    return Errno::kESTALE;
+  }
+  Inode* dir_inode = dir->inode();
+  Status perm = kernel_->security().Permission(*cred_, *dir_inode,
+                                               kMayWrite | kMayExec, dir);
+  if (!perm.ok()) {
+    return perm.error();
+  }
+  if (parent->mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+  IoChargeScope charge(&io_clock_);
+  auto ino = dir->sb()->fs()->SymlinkCreate(dir_inode->ino(), last, target,
+                                            cred_->uid(), cred_->gid());
+  if (!ino.ok()) {
+    return ino.error();
+  }
+  auto inode = dir->sb()->Iget(*ino);
+  if (!inode.ok()) {
+    return inode.error();
+  }
+  kernel_->security().InitSecurity(*dir_inode, **inode);
+  if (Dentry* neg = kernel_->dcache().LookupRef(dir, last)) {
+    kernel_->dcache().KillCachedChildren(neg);
+    kernel_->dcache().Kill(neg);
+    kernel_->dcache().Dput(neg);
+  }
+  auto fresh = kernel_->dcache().AddChild(dir, last, *inode, 0);
+  if (fresh.ok()) {
+    kernel_->dcache().Dput(*fresh);
+  }
+  RefreshDirInode(dir_inode);
+  dir_inode->set_mtime(dir_inode->mtime() + 1);
+  return Status::Ok();
+}
+
+Result<std::string> Task::ReadLink(std::string_view path) {
+  Scope s(this, SyscallKind::kOther);
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, path, 0);
+  if (!p.ok()) {
+    return p.error();
+  }
+  Inode* inode = p->inode();
+  if (!inode->IsSymlink()) {
+    return Errno::kEINVAL;
+  }
+  if (const std::string* cached = inode->cached_link_target()) {
+    return *cached;
+  }
+  IoChargeScope charge(&io_clock_);
+  auto target = inode->sb()->fs()->ReadLink(inode->ino());
+  if (!target.ok()) {
+    return target.error();
+  }
+  return *inode->cache_link_target(*std::move(target));
+}
+
+Status Task::Truncate(std::string_view path, uint64_t size) {
+  Scope s(this, SyscallKind::kOther);
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, path, kWalkFollow);
+  if (!p.ok()) {
+    return p.error();
+  }
+  Inode* inode = p->inode();
+  if (inode->IsDir()) {
+    return Errno::kEISDIR;
+  }
+  {
+    EpochDomain::ReadGuard guard(EpochDomain::Global());
+    Status perm = kernel_->security().Permission(*cred_, *inode, kMayWrite,
+                                                 p->dentry());
+    if (!perm.ok()) {
+      return perm.error();
+    }
+  }
+  if (p->mnt()->flags.read_only) {
+    return Errno::kEROFS;
+  }
+  IoChargeScope charge(&io_clock_);
+  AttrUpdate update;
+  update.size = size;
+  DIRCACHE_RETURN_IF_ERROR(inode->sb()->fs()->SetAttr(inode->ino(), update));
+  inode->set_size(size);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// fd I/O
+
+Result<size_t> Task::ReadFd(FdNum fd, size_t len, std::string* out) {
+  Scope s(this, SyscallKind::kReadWrite);
+  auto file = GetFile(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  auto r = Pread(fd, (*file)->offset, len, out);
+  if (r.ok()) {
+    (*file)->offset += *r;
+  }
+  return r;
+}
+
+Result<size_t> Task::WriteFd(FdNum fd, std::string_view data) {
+  Scope s(this, SyscallKind::kReadWrite);
+  auto file = GetFile(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  uint64_t off = (*file)->offset;
+  if (((*file)->flags() & kOAppend) != 0) {
+    off = (*file)->path().inode()->size();
+  }
+  auto r = Pwrite(fd, off, data);
+  if (r.ok()) {
+    (*file)->offset = off + *r;
+  }
+  return r;
+}
+
+Result<size_t> Task::Pread(FdNum fd, uint64_t offset, size_t len,
+                           std::string* out) {
+  auto file = GetFile(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  if (((*file)->flags() & kORead) == 0) {
+    return Errno::kEBADF;
+  }
+  Inode* inode = (*file)->path().inode();
+  if (inode->IsDir()) {
+    return Errno::kEISDIR;
+  }
+  IoChargeScope charge(&io_clock_);
+  return inode->sb()->fs()->Read(inode->ino(), offset, len, out);
+}
+
+Result<size_t> Task::Pwrite(FdNum fd, uint64_t offset,
+                            std::string_view data) {
+  auto file = GetFile(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  if (((*file)->flags() & kOWrite) == 0) {
+    return Errno::kEBADF;
+  }
+  Inode* inode = (*file)->path().inode();
+  if (inode->IsDir()) {
+    return Errno::kEISDIR;
+  }
+  IoChargeScope charge(&io_clock_);
+  SpinGuard guard(inode->lock);
+  auto r = inode->sb()->fs()->Write(inode->ino(), offset, data);
+  if (r.ok()) {
+    inode->set_size(std::max<uint64_t>(inode->size(), offset + *r));
+    inode->set_mtime(inode->mtime() + 1);
+  }
+  return r;
+}
+
+Result<uint64_t> Task::Lseek(FdNum fd, uint64_t offset) {
+  Scope s(this, SyscallKind::kOther);
+  auto file = GetFile(fd);
+  if (!file.ok()) {
+    return file.error();
+  }
+  (*file)->offset = offset;
+  if ((*file)->path().inode() != nullptr &&
+      (*file)->path().inode()->IsDir()) {
+    // Seeking a directory stream interrupts the completeness scan (§5.1)
+    // unless it rewinds to the start.
+    (*file)->dir_offset = offset;
+    if (offset == 0) {
+      (*file)->scan_from_zero = true;
+      (*file)->scan_seeked = false;
+      (*file)->scan_mode_decided = false;
+      (*file)->have_snapshot = false;
+      (*file)->snapshot.clear();
+    } else {
+      (*file)->scan_seeked = true;
+    }
+  }
+  return offset;
+}
+
+// ---------------------------------------------------------------------------
+// readdir (§5.1)
+
+Result<std::vector<DirEntry>> Task::ReadDirFd(FdNum fd, size_t max_entries) {
+  Scope s(this, SyscallKind::kReaddir);
+  auto filer = GetFile(fd);
+  if (!filer.ok()) {
+    return filer.error();
+  }
+  File* file = *filer;
+  Dentry* dir = file->path().dentry();
+  Inode* dir_inode = file->path().inode();
+  if (dir_inode == nullptr || !dir_inode->IsDir()) {
+    return Errno::kENOTDIR;
+  }
+  const CacheConfig& cfg = kernel_->config();
+
+  // Decide the scan mode once per scan: cached (DIR_COMPLETE) or FS-backed.
+  if (!file->scan_mode_decided) {
+    file->scan_mode_decided = true;
+    file->scan_uses_cache =
+        cfg.dir_completeness && dir->TestFlags(kDentDirComplete);
+    if (!file->scan_uses_cache) {
+      file->scan_evict_gen =
+          dir->child_evict_gen.load(std::memory_order_acquire);
+      file->scan_from_zero = file->dir_offset == 0;
+    }
+  }
+
+  std::vector<DirEntry> out;
+  if (file->scan_uses_cache) {
+    kernel_->stats().readdir_cached.Add();
+    if (!file->have_snapshot) {
+      // One pass over the cached children builds a snapshot this stream
+      // serves from (getdents snapshot semantics).
+      EpochDomain::ReadGuard eguard(EpochDomain::Global());
+      SpinGuard guard(dir->lock);
+      for (Dentry* child : dir->children) {
+        if (child->IsNegative() || child->TestFlags(kDentAlias) ||
+            child->IsDead()) {
+          continue;
+        }
+        DirEntry e;
+        e.name = child->name();
+        if (child->IsStub()) {
+          e.ino = child->stub_ino;
+          e.type = child->stub_type;
+        } else if (Inode* ci = child->inode()) {
+          e.ino = ci->ino();
+          e.type = ci->type();
+        } else {
+          continue;
+        }
+        file->snapshot.push_back(std::move(e));
+      }
+      file->have_snapshot = true;
+    }
+    uint64_t index = file->dir_offset;
+    while (index < file->snapshot.size() && out.size() < max_entries) {
+      out.push_back(file->snapshot[index++]);
+    }
+    file->dir_offset = index;
+    return out;
+  }
+
+  kernel_->stats().readdir_uncached.Add();
+  IoChargeScope charge(&io_clock_);
+  FileSystem* fs = dir->sb()->fs();
+  auto r = fs->ReadDir(dir_inode->ino(), file->dir_offset, max_entries);
+  if (!r.ok()) {
+    return r.error();
+  }
+  file->dir_offset = r->next_offset;
+
+  if (cfg.dir_completeness) {
+    // Instantiate inode-less stub dentries for listed children (§5.1).
+    std::shared_lock<std::shared_mutex> tree(kernel_->tree_lock());
+    for (const DirEntry& e : r->entries) {
+      if (Dentry* existing = kernel_->dcache().LookupRef(dir, e.name)) {
+        kernel_->dcache().Dput(existing);
+        continue;
+      }
+      auto stub = kernel_->dcache().AddChild(dir, e.name, nullptr, kDentStub,
+                                             e.ino, e.type);
+      if (stub.ok()) {
+        kernel_->dcache().Dput(*stub);
+      }
+    }
+    if (r->eof && file->scan_from_zero && !file->scan_seeked &&
+        dir->child_evict_gen.load(std::memory_order_acquire) ==
+            file->scan_evict_gen) {
+      dir->SetFlags(kDentDirComplete);
+    }
+  }
+  return std::move(r->entries);
+}
+
+// ---------------------------------------------------------------------------
+// mounts
+
+Status Task::Mount(std::string_view target, std::shared_ptr<FileSystem> fs,
+                   MountFlags flags) {
+  Scope s(this, SyscallKind::kOther);
+  if (cred_->uid() != kRootUid) {
+    return Errno::kEPERM;
+  }
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, target,
+                          kWalkFollow | kWalkDirectory);
+  if (!p.ok()) {
+    return p.error();
+  }
+  SuperBlock* sb = kernel_->RegisterFs(std::move(fs));
+  auto root_inode = sb->Iget(sb->fs()->RootIno());
+  if (!root_inode.ok()) {
+    return root_inode.error();
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  // Find (or create) the superblock's root dentry. Mount aliases reuse it.
+  Dentry* fs_root = nullptr;
+  bool fresh_root = false;
+  for (VfsMount* m : ns_->AllMounts()) {
+    if (m->sb == sb) {
+      fs_root = m->root;
+      break;
+    }
+  }
+  if (fs_root == nullptr) {
+    fs_root = kernel_->dcache().MakeRoot(sb, *root_inode);
+    fresh_root = true;
+  } else {
+    sb->Iput(*root_inode);  // the existing root dentry already pins it
+  }
+  if (kernel_->config().fastpath) {
+    // The covered subtree's paths now lead elsewhere (§4.3).
+    kernel_->dcache().InvalidateSubtree(p->dentry());
+  }
+  auto m = ns_->AddMount(sb, fs_root, p->mnt(), p->dentry(), flags);
+  if (m.ok() && kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(p->dentry());  // see Chmod
+  }
+  if (fresh_root) {
+    // AddMount took its own reference; drop MakeRoot's so teardown
+    // accounting balances (an unused fresh root just becomes evictable).
+    kernel_->dcache().Dput(fs_root);
+  }
+  if (!m.ok()) {
+    return m.error();
+  }
+  return Status::Ok();
+}
+
+Status Task::BindMount(std::string_view source, std::string_view target) {
+  Scope s(this, SyscallKind::kOther);
+  if (cred_->uid() != kRootUid) {
+    return Errno::kEPERM;
+  }
+  PathWalker walker(kernel_);
+  auto src = walker.Resolve(*this, nullptr, source,
+                            kWalkFollow | kWalkDirectory);
+  if (!src.ok()) {
+    return src.error();
+  }
+  auto dst = walker.Resolve(*this, nullptr, target,
+                            kWalkFollow | kWalkDirectory);
+  if (!dst.ok()) {
+    return dst.error();
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  if (kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(dst->dentry());
+  }
+  auto m = ns_->AddMount(src->dentry()->sb(), src->dentry(), dst->mnt(),
+                         dst->dentry(), src->mnt()->flags);
+  if (!m.ok()) {
+    return m.error();
+  }
+  if (kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(dst->dentry());  // see Chmod
+  }
+  return Status::Ok();
+}
+
+Status Task::Umount(std::string_view target) {
+  Scope s(this, SyscallKind::kOther);
+  if (cred_->uid() != kRootUid) {
+    return Errno::kEPERM;
+  }
+  PathWalker walker(kernel_);
+  auto p = walker.Resolve(*this, nullptr, target, kWalkFollow);
+  if (!p.ok()) {
+    return p.error();
+  }
+  VfsMount* m = p->mnt();
+  if (m->parent == nullptr || p->dentry() != m->root) {
+    return Errno::kEINVAL;
+  }
+  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+  if (kernel_->config().fastpath) {
+    // Everything resolved under this mount loses its canonical path.
+    kernel_->dcache().InvalidateSubtree(m->root);
+  }
+  DIRCACHE_RETURN_IF_ERROR(ns_->RemoveMount(m));
+  if (kernel_->config().fastpath) {
+    kernel_->dcache().InvalidateSubtree(m->root);  // see Chmod
+  }
+  // References held by the mount (root + mountpoint) are dropped at
+  // namespace teardown; the mount object itself lives until then.
+  return Status::Ok();
+}
+
+}  // namespace dircache

@@ -1,0 +1,59 @@
+// Shared VFS types: identities, permission masks, stat results, open flags.
+#ifndef DIRCACHE_VFS_TYPES_H_
+#define DIRCACHE_VFS_TYPES_H_
+
+#include <cstdint>
+
+#include "src/storage/fs.h"
+
+namespace dircache {
+
+using Uid = uint32_t;
+using Gid = uint32_t;
+
+inline constexpr Uid kRootUid = 0;
+
+// Permission request masks (kernel MAY_* values).
+inline constexpr int kMayExec = 1;  // search, for directories
+inline constexpr int kMayRead = 4;
+inline constexpr int kMayWrite = 2;
+
+// open() flags.
+inline constexpr int kORead = 0x1;
+inline constexpr int kOWrite = 0x2;
+inline constexpr int kORdWr = kORead | kOWrite;
+inline constexpr int kOCreat = 0x40;
+inline constexpr int kOExcl = 0x80;
+inline constexpr int kOTrunc = 0x200;
+inline constexpr int kOAppend = 0x400;
+inline constexpr int kODirectory = 0x10000;
+inline constexpr int kONoFollow = 0x20000;
+
+// fstatat()-style flags.
+inline constexpr int kAtSymlinkNoFollow = 0x100;
+// *at() dirfd meaning "relative to the cwd".
+inline constexpr int kAtFdCwd = -100;
+
+// stat() result.
+struct Stat {
+  uint64_t dev = 0;  // superblock identity
+  InodeNum ino = 0;
+  FileType type = FileType::kRegular;
+  uint16_t mode = 0;
+  Uid uid = 0;
+  Gid gid = 0;
+  uint32_t nlink = 0;
+  uint64_t size = 0;
+  uint64_t mtime = 0;
+  uint64_t ctime = 0;
+
+  bool IsDir() const { return type == FileType::kDirectory; }
+  bool IsSymlink() const { return type == FileType::kSymlink; }
+  bool IsRegular() const { return type == FileType::kRegular; }
+};
+
+using FdNum = int;
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_TYPES_H_

@@ -1,0 +1,1417 @@
+#include "src/vfs/walk.h"
+
+#include <cassert>
+#include <shared_mutex>
+#include <vector>
+
+#include "src/core/dlht.h"
+#include "src/core/pcc.h"
+#include "src/storage/block_device.h"
+#include "src/util/clock.h"
+#include "src/util/epoch.h"
+#include "src/vfs/task.h"
+
+namespace dircache {
+
+thread_local WalkPhaseProfile* g_walk_profile = nullptr;
+thread_local bool PathWalker::force_fastpath_miss = false;
+thread_local bool PathWalker::forbid_slowpath = false;
+
+namespace {
+
+// §3.2 "Directory References": a walk that starts below the task root (cwd
+// or dirfd) only verifies permissions from that base. Its results may be
+// memoized in the PCC only while the base's own prefix check is still
+// current — otherwise a process retaining rights through an open directory
+// reference would launder them into cacheable full-path grants.
+thread_local Dentry* g_untrusted_base = nullptr;
+
+class UntrustedBaseScope {
+ public:
+  explicit UntrustedBaseScope(Dentry* base) : prev_(g_untrusted_base) {
+    g_untrusted_base = base;
+  }
+  ~UntrustedBaseScope() { g_untrusted_base = prev_; }
+
+ private:
+  Dentry* prev_;
+};
+
+}  // namespace
+
+namespace {
+
+constexpr int kMaxSymlinkDepth = 40;
+constexpr size_t kMaxNameLen = 255;
+
+// Iterates '/'-separated components of a path.
+class ComponentCursor {
+ public:
+  explicit ComponentCursor(std::string_view path) : rest_(path) {}
+
+  // Next component, or empty view when exhausted.
+  std::string_view Next() {
+    SkipSlashes();
+    if (rest_.empty()) {
+      return {};
+    }
+    size_t n = rest_.find('/');
+    std::string_view comp = rest_.substr(0, n);
+    rest_ = (n == std::string_view::npos) ? std::string_view{}
+                                          : rest_.substr(n);
+    return comp;
+  }
+
+  // True if no components remain.
+  bool AtEnd() const {
+    for (char c : rest_) {
+      if (c != '/') {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  std::string_view rest() const { return rest_; }
+
+ private:
+  void SkipSlashes() {
+    while (!rest_.empty() && rest_.front() == '/') {
+      rest_.remove_prefix(1);
+    }
+  }
+
+  std::string_view rest_;
+};
+
+// Phase instrumentation (Figure 3). Zero-cost when no profile is armed.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(uint64_t WalkPhaseProfile::* field) : field_(field) {
+    if (g_walk_profile != nullptr) {
+      t0_ = NowNanos();
+    }
+  }
+  ~PhaseTimer() {
+    if (g_walk_profile != nullptr) {
+      g_walk_profile->*field_ += NowNanos() - t0_;
+    }
+  }
+
+ private:
+  uint64_t WalkPhaseProfile::* field_;
+  uint64_t t0_ = 0;
+};
+
+// Copy a dentry's canonical hash state if it is valid for `ns`.
+bool CopyStateIfValid(const Dentry* d, const MountNamespace* ns,
+                      HashState* out) {
+  const FastDentry& fd = d->fast;
+  if (!fd.path_valid.load(std::memory_order_acquire)) {
+    return false;
+  }
+  uint32_t s = fd.state_seq.ReadBegin();
+  *out = fd.hash_state;
+  Mount* m = fd.mount.load(std::memory_order_acquire);
+  if (fd.state_seq.ReadRetry(s)) {
+    return false;
+  }
+  if (!fd.path_valid.load(std::memory_order_acquire)) {
+    return false;
+  }
+  return m != nullptr && m->ns == ns;
+}
+
+// Forward declarations of the locked-walk helpers (defined below).
+Result<const std::string*> ReadLinkTarget(Task& task, Dentry* link);
+Result<Dentry*> MissLookup(Task& task, Dentry* parent, std::string_view name);
+Status MaterializeStub(Task& task, Dentry* stub);
+Dentry* MakeAlias(Task& task, Mount* mnt, Dentry* alias_parent,
+                  std::string_view name, Dentry* target,
+                  uint64_t inval_snapshot);
+void RecordSymlinkTarget(Task& task, Mount* link_mnt, Dentry* link,
+                         Mount* final_mnt, Dentry* final_d,
+                         uint64_t inval_snapshot);
+Dentry* BuildDeepNegatives(Task& task, Mount* mnt, Dentry* from,
+                           std::string_view first, std::string_view rest,
+                           uint32_t neg_flags, uint64_t inval_snapshot);
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Canonical path state maintenance (§3.1, §4.3)
+
+// Compute (and memoize) the canonical hash state of `d` as reached through
+// `mnt`. Fills ancestors on the way. Fails on over-long paths or dead
+// parents. Requires: caller in epoch guard, holds a reference on d.
+static Result<HashState> EnsurePathState(Kernel* kernel, Dentry* d,
+                                         Mount* mnt) {
+  HashState st;
+  if (CopyStateIfValid(d, mnt->ns, &st)) {
+    return st;
+  }
+  const PathSigner& signer = kernel->signer();
+  if (d == mnt->root) {  // covers bind-mount roots too, not just sb roots
+    if (mnt->parent == nullptr) {
+      st = signer.RootState();
+    } else {
+      auto base = EnsurePathState(kernel, mnt->mountpoint, mnt->parent);
+      if (!base.ok()) {
+        return base.error();
+      }
+      st = *base;
+    }
+  } else {
+    Dentry* p = d->parent();
+    if (p == nullptr) {
+      return Errno::kESTALE;
+    }
+    auto base = EnsurePathState(kernel, p, mnt);
+    if (!base.ok()) {
+      return base.error();
+    }
+    st = *base;
+    if (!signer.AppendComponent(st, d->name())) {
+      return Errno::kENAMETOOLONG;
+    }
+  }
+  // Publish (mount-alias replacement semantics, §4.3).
+  SpinGuard guard(d->lock);
+  HashState raced;
+  if (CopyStateIfValid(d, mnt->ns, &raced)) {
+    return raced;  // a racer published first
+  }
+  bool had_other_path = d->fast.path_valid.load(std::memory_order_acquire);
+  Dlht::RemoveFromCurrent(&d->fast);
+  d->fast.path_valid.store(false, std::memory_order_release);
+  d->fast.state_seq.WriteBegin();
+  d->fast.hash_state = st;
+  d->fast.signature = kernel->signer().Finalize(st);
+  d->fast.mount.store(mnt, std::memory_order_release);
+  d->fast.state_seq.WriteEnd();
+  if (had_other_path) {
+    // The dentry was cached under an aliased path; the prefix check results
+    // may differ, so invalidate them (§4.3).
+    d->fast.seq.store(kernel->dcache().NewVersion(),
+                      std::memory_order_release);
+  }
+  d->fast.path_valid.store(true, std::memory_order_release);
+  return st;
+}
+
+// Publish `d` (already state-valid) into `ns`'s DLHT and memoize the prefix
+// check in `pcc`. `inval_snapshot` was read before the walk's permission
+// checks; a concurrent invalidation forces a skip (§3.2).
+static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
+                     uint64_t inval_snapshot) {
+  if (!kernel->config().fastpath) {
+    return;
+  }
+  if (d->sb()->needs_revalidation()) {
+    return;  // §4.3: no direct lookup on stateless network file systems
+  }
+  DentryCache& dc = kernel->dcache();
+  if (dc.invalidation_counter() != inval_snapshot) {
+    return;
+  }
+  auto st = EnsurePathState(kernel, d, mnt);
+  if (!st.ok()) {
+    return;
+  }
+  Dlht& dlht = mnt->ns->dlht();
+  uint32_t seq;
+  {
+    SpinGuard guard(d->lock);
+    if (!d->fast.path_valid.load(std::memory_order_acquire)) {
+      return;  // raced with an invalidation
+    }
+    if (d->fast.on_dlht != &dlht) {
+      Dlht::RemoveFromCurrent(&d->fast);
+      dlht.Insert(&d->fast);
+    }
+    seq = d->fast.seq.load(std::memory_order_acquire);
+  }
+  if (dc.invalidation_counter() != inval_snapshot) {
+    return;  // a mutation overlapped our walk; don't memoize its results
+  }
+  const CacheConfig& cfg = kernel->config();
+  Pcc* pcc = task.cred()->GetOrCreatePcc(cfg.pcc_bytes, cfg.pcc_autosize);
+  pcc->EnsureEpoch(kernel->pcc_epoch());
+  if (g_untrusted_base != nullptr) {
+    // Relative walk: memoize only if the base's own prefix check is still
+    // valid (§3.2, directory references).
+    uint32_t base_seq =
+        g_untrusted_base->fast.seq.load(std::memory_order_acquire);
+    if (!pcc->Lookup(g_untrusted_base, base_seq)) {
+      return;
+    }
+  }
+  pcc->Insert(d, seq);
+  if (cfg.pcc_autosize && pcc->ShouldGrow()) {
+    // §6.5 future work: the PCC is thrashing (working set exceeds it);
+    // grow it rather than keep taking slowpaths.
+    task.cred()->GrowPcc(cfg.pcc_max_bytes);
+  }
+}
+
+// Memoize prefix checks for the intermediate directories a successful walk
+// descended through: a walk that reached directory D verified search
+// permission on every ancestor of D, which is exactly D's prefix check.
+// Gated like Populate(): skipped if a concurrent invalidation overlapped
+// the walk, or if a stale-base relative walk may not memoize (§3.2).
+struct PrefixDirs {
+  static constexpr size_t kMax = 24;
+  std::array<std::pair<Dentry*, uint32_t>, kMax> dirs;
+  size_t count = 0;
+
+  void Note(Dentry* d) {
+    if (count < kMax) {
+      dirs[count++] = {d, d->fast.seq.load(std::memory_order_acquire)};
+    }
+  }
+};
+
+static void PopulatePrefixDirs(Kernel* kernel, Task& task,
+                               const PrefixDirs& prefixes,
+                               uint64_t inval_snapshot) {
+  if (!kernel->config().fastpath || prefixes.count == 0) {
+    return;
+  }
+  if (kernel->dcache().invalidation_counter() != inval_snapshot) {
+    return;
+  }
+  const CacheConfig& pcfg = kernel->config();
+  Pcc* pcc = task.cred()->GetOrCreatePcc(pcfg.pcc_bytes, pcfg.pcc_autosize);
+  pcc->EnsureEpoch(kernel->pcc_epoch());
+  if (g_untrusted_base != nullptr) {
+    uint32_t base_seq =
+        g_untrusted_base->fast.seq.load(std::memory_order_acquire);
+    if (!pcc->Lookup(g_untrusted_base, base_seq)) {
+      return;
+    }
+  }
+  for (size_t i = 0; i < prefixes.count; ++i) {
+    pcc->Insert(prefixes.dirs[i].first, prefixes.dirs[i].second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PathWalker
+
+Result<PathHandle> PathWalker::Resolve(Task& task, const PathHandle* base,
+                                       std::string_view path, int wflags,
+                                       std::string* last_out) {
+  if (path.empty()) {
+    return Errno::kENOENT;
+  }
+  if (path.size() > PathHashKey::kMaxPathLen) {
+    return Errno::kENAMETOOLONG;
+  }
+  CacheStats& stats = kernel_->stats();
+  stats.lookups.Add();
+
+  std::string_view effective = path;
+  if ((wflags & kWalkParent) != 0) {
+    // Split off the final component; resolve the prefix as a directory.
+    std::string_view p = path;
+    while (!p.empty() && p.back() == '/') {
+      p.remove_suffix(1);
+    }
+    size_t slash = p.find_last_of('/');
+    std::string_view last =
+        (slash == std::string_view::npos) ? p : p.substr(slash + 1);
+    if (last.empty() || last == "." || last == "..") {
+      return Errno::kEINVAL;
+    }
+    if (last.size() > kMaxNameLen) {
+      return Errno::kENAMETOOLONG;
+    }
+    if (last_out != nullptr) {
+      *last_out = std::string(last);
+    }
+    std::string_view prefix =
+        (slash == std::string_view::npos)
+            ? (path.front() == '/' ? std::string_view("/")
+                                   : std::string_view("."))
+            : p.substr(0, slash == 0 ? 1 : slash);
+    effective = prefix;
+    wflags = (wflags & ~kWalkParent) | kWalkFollow | kWalkDirectory;
+  }
+
+  const PathHandle& start =
+      effective.front() == '/'
+          ? task.root()
+          : (base != nullptr && *base ? *base : task.cwd());
+  UntrustedBaseScope base_scope(
+      start.dentry() == task.root().dentry() ? nullptr : start.dentry());
+
+  const CacheConfig& rcfg = kernel_->config();
+  bool privileged_blocked =
+      !rcfg.fastpath_for_privileged && task.cred()->uid() == kRootUid;
+  if (rcfg.fastpath && !force_fastpath_miss && !privileged_blocked) {
+    Result<PathHandle> result = Errno::kENOENT;
+    if (TryFastResolve(task, start, effective, wflags, &result)) {
+      stats.fastpath_hits.Add();
+      return result;
+    }
+    stats.fastpath_misses.Add();
+  }
+  assert(!forbid_slowpath && "slowpath forbidden by test hook");
+  return SlowResolve(task, start, effective, wflags, nullptr);
+}
+
+Result<PathHandle> PathWalker::SlowResolve(Task& task,
+                                           const PathHandle& start,
+                                           std::string_view path, int wflags,
+                                           std::string* last_out) {
+  kernel_->stats().slowpath_walks.Add();
+  switch (kernel_->config().locking) {
+    case LockingMode::kGlobalLock: {
+      std::lock_guard<std::mutex> big(kernel_->global_walk_lock());
+      kernel_->stats().locks_taken.Add();
+      return LockedWalk(task, start, path, wflags, last_out);
+    }
+    case LockingMode::kFineGrained:
+      return LockedWalk(task, start, path, wflags, last_out);
+    case LockingMode::kOptimistic: {
+      bool fell_back = false;
+      auto r = OptimisticWalk(task, start, path, wflags, last_out,
+                              &fell_back);
+      if (!fell_back) {
+        return r;
+      }
+      kernel_->stats().slowpath_retries.Add();
+      return LockedWalk(task, start, path, wflags, last_out);
+    }
+  }
+  return Errno::kEINVAL;
+}
+
+// ---------------------------------------------------------------------------
+// Optimistic walk (rcu-walk analog): traverses cached state only, takes no
+// references and no locks, validates the global rename seqcount at the end.
+// Falls back on any miss, stub, or symlink that needs resolution.
+
+Result<PathHandle> PathWalker::OptimisticWalk(Task& task,
+                                              const PathHandle& start,
+                                              std::string_view path,
+                                              int wflags,
+                                              std::string* last_out,
+                                              bool* fell_back) {
+  *fell_back = false;
+  Kernel* k = kernel_;
+  CacheStats& stats = k->stats();
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  uint32_t rseq = k->rename_seq().ReadBegin();
+  uint64_t inval_snapshot = k->dcache().invalidation_counter();
+
+  Mount* mnt = start.mnt();
+  Dentry* d = start.dentry();
+  const Cred& cred = *task.cred();
+  PrefixDirs prefixes;
+
+  ComponentCursor cur(path);
+  auto bail = [&]() {
+    *fell_back = true;
+    return Result<PathHandle>(Errno::kENOENT);  // value unused
+  };
+  auto validated_error = [&](Errno e) -> Result<PathHandle> {
+    if (k->rename_seq().ReadRetry(rseq)) {
+      return bail();
+    }
+    return e;
+  };
+
+  while (true) {
+    std::string_view comp;
+    {
+      PhaseTimer t(&WalkPhaseProfile::hash_ns);
+      comp = cur.Next();
+    }
+    if (comp.empty()) {
+      break;
+    }
+    if (comp.size() > kMaxNameLen) {
+      return validated_error(Errno::kENAMETOOLONG);
+    }
+    Inode* dir_inode = d->inode();
+    bool on_negative_chain = d->IsNegative();
+    if (dir_inode == nullptr && !on_negative_chain) {
+      return bail();  // stub or dying; locked walk sorts it out
+    }
+    if (!on_negative_chain) {
+      if (!dir_inode->IsDir()) {
+        if (k->config().deep_negative) {
+          return bail();  // build ENOTDIR negatives under the locked walk
+        }
+        return validated_error(Errno::kENOTDIR);
+      }
+      PhaseTimer t(&WalkPhaseProfile::permission_ns);
+      Status st = k->security().Permission(cred, *dir_inode, kMayExec, d);
+      if (!st.ok()) {
+        return validated_error(st.error());
+      }
+      prefixes.Note(d);
+    }
+    if (on_negative_chain && (comp == "." || comp == "..")) {
+      // "." or ".." under a nonexistent directory: the directory itself is
+      // missing, so the walk fails here (POSIX); ENOTDIR for file chains.
+      return validated_error(d->TestFlags(kDentEnotdir) ? Errno::kENOTDIR
+                                                        : Errno::kENOENT);
+    }
+    if (comp == ".") {
+      continue;
+    }
+    if (comp == "..") {
+      // Walk up, respecting the task root and mount boundaries.
+      while (true) {
+        if (d == task.root().dentry() && mnt == task.root().mnt()) {
+          break;  // stay at root
+        }
+        if (d == mnt->root) {
+          if (mnt->parent == nullptr) {
+            break;
+          }
+          d = mnt->mountpoint;
+          mnt = mnt->parent;
+          continue;
+        }
+        Dentry* p = d->parent();
+        if (p == nullptr) {
+          return bail();
+        }
+        d = p;
+        break;
+      }
+      continue;
+    }
+
+    Dentry* child;
+    {
+      PhaseTimer t(&WalkPhaseProfile::lookup_ns);
+      child = k->dcache().LookupRcu(d, comp);
+    }
+    if (child == nullptr) {
+      return bail();
+    }
+    if (child->sb()->needs_revalidation()) {
+      return bail();  // revalidation is an FS call: take the locked path
+    }
+    stats.dcache_hits.Add();
+    if (child->IsNegative()) {
+      stats.negative_hits.Add();
+      bool last = cur.AtEnd();
+      if (!last && k->config().deep_negative) {
+        // Descend through the cached deep-negative chain (§5.2): its
+        // children are themselves negative dentries in the primary hash.
+        // If a link of the chain is missing we fall back to build it.
+        d = child;
+        continue;
+      }
+      return validated_error(child->TestFlags(kDentEnotdir)
+                                 ? Errno::kENOTDIR
+                                 : Errno::kENOENT);
+    }
+    if (on_negative_chain) {
+      return bail();  // a positive child under a negative? resolve locked
+    }
+    if (child->IsStub()) {
+      return bail();
+    }
+    // Cross mount points.
+    while (child->TestFlags(kDentMountpoint)) {
+      Mount* covered = task.ns()->MountAt(mnt, child);
+      if (covered == nullptr) {
+        break;
+      }
+      mnt = covered;
+      child = covered->root;
+    }
+    Inode* ci = child->inode();
+    if (ci == nullptr) {
+      return bail();
+    }
+    if (ci->IsSymlink()) {
+      if (cur.AtEnd() && (wflags & kWalkFollow) == 0) {
+        d = child;
+        break;
+      }
+      return bail();  // symlink resolution runs locked
+    }
+    d = child;
+  }
+
+  // Final classification.
+  if (d->IsNegative()) {
+    return validated_error(d->TestFlags(kDentEnotdir) ? Errno::kENOTDIR
+                                                      : Errno::kENOENT);
+  }
+  Inode* fi = d->inode();
+  if (fi == nullptr) {
+    return bail();
+  }
+  if ((wflags & kWalkDirectory) != 0 && !fi->IsDir()) {
+    return validated_error(Errno::kENOTDIR);
+  }
+  // Legitimize: take references, then re-validate the rename seqcount.
+  {
+    PhaseTimer t(&WalkPhaseProfile::finalize_ns);
+    if (!d->DgetLive()) {
+      return bail();
+    }
+    if (k->rename_seq().ReadRetry(rseq)) {
+      k->dcache().Dput(d);
+      return bail();
+    }
+    mnt->Get();
+  }
+  PathHandle result = PathHandle::Adopt(mnt, d);
+  {
+    PhaseTimer t(&WalkPhaseProfile::finalize_ns);
+    Populate(k, task, mnt, d, inval_snapshot);
+    PopulatePrefixDirs(k, task, prefixes, inval_snapshot);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Locked walk (ref-walk analog): holds the tree lock shared, takes a
+// reference per step, consults the low-level FS on misses, resolves
+// symlinks, and builds negative/stub/alias dentries as configured.
+
+namespace {
+
+struct RefPos {
+  Kernel* k;
+  Mount* mnt = nullptr;
+  Dentry* d = nullptr;
+
+  void Set(Mount* m, Dentry* dent) {
+    mnt = m;
+    d = dent;
+  }
+  void MoveTo(Mount* m, Dentry* dent) {
+    // Takes ownership of the caller's references on (m, dent).
+    if (d != nullptr) {
+      k->dcache().Dput(d);
+    }
+    if (mnt != nullptr) {
+      mnt->ns->MountPut(mnt);
+    }
+    mnt = m;
+    d = dent;
+  }
+  void Drop() {
+    if (d != nullptr) {
+      k->dcache().Dput(d);
+      d = nullptr;
+    }
+    if (mnt != nullptr) {
+      mnt->ns->MountPut(mnt);
+      mnt = nullptr;
+    }
+  }
+};
+
+}  // namespace
+
+Result<PathHandle> PathWalker::LockedWalk(Task& task, const PathHandle& start,
+                                          std::string_view path, int wflags,
+                                          std::string* last_out) {
+  Kernel* k = kernel_;
+  const CacheConfig& cfg = k->config();
+  CacheStats& stats = k->stats();
+
+  std::shared_lock<std::shared_mutex> tree(k->tree_lock());
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  uint64_t inval_snapshot = k->dcache().invalidation_counter();
+  const Cred& cred = *task.cred();
+
+  RefPos pos{k};
+  start.dentry()->DgetHeld();
+  start.mnt()->Get();
+  pos.Set(start.mnt(), start.dentry());
+  PrefixDirs prefixes;
+
+  // Pending path segments; symlink targets are pushed in front. A segment
+  // is "literal" if its components come from the caller's path (alias
+  // dentries are built only for literal components, §4.2).
+  struct Segment {
+    std::string text;
+    bool literal;
+  };
+  std::vector<Segment> pending;
+  pending.push_back(Segment{std::string(path), true});
+  size_t seg = 0;
+  int link_depth = 0;
+  // Active symlink alias chain (§4.2); holds a reference when non-null.
+  // alias_mnt is the mount the literal (pre-symlink) path runs under.
+  Dentry* alias_parent = nullptr;
+  Mount* alias_mnt = nullptr;
+  // Trailing symlink crossed with kWalkFollow (for target_sig memoization).
+  Dentry* trailing_symlink = nullptr;
+  Mount* trailing_symlink_mnt = nullptr;
+
+  auto drop_alias_parent = [&] {
+    if (alias_parent != nullptr) {
+      k->dcache().Dput(alias_parent);
+      alias_parent = nullptr;
+    }
+  };
+  auto drop_trailing = [&] {
+    if (trailing_symlink != nullptr) {
+      k->dcache().Dput(trailing_symlink);
+      trailing_symlink = nullptr;
+      trailing_symlink_mnt = nullptr;
+    }
+  };
+  auto fail = [&](Errno e) -> Result<PathHandle> {
+    drop_alias_parent();
+    drop_trailing();
+    pos.Drop();
+    return e;
+  };
+
+  ComponentCursor cur(pending[seg].text);
+  while (true) {
+    std::string_view comp;
+    {
+      PhaseTimer t(&WalkPhaseProfile::hash_ns);
+      comp = cur.Next();
+      while (comp.empty() && seg + 1 < pending.size()) {
+        cur = ComponentCursor(pending[++seg].text);
+        comp = cur.Next();
+      }
+    }
+    if (comp.empty()) {
+      break;
+    }
+    if (comp.size() > kMaxNameLen) {
+      return fail(Errno::kENAMETOOLONG);
+    }
+    bool is_last = cur.AtEnd() && seg + 1 == pending.size();
+    bool comp_literal = pending[seg].literal;
+
+    Inode* dir_inode = pos.d->inode();
+    if (dir_inode == nullptr) {
+      return fail(Errno::kENOENT);
+    }
+    if (!dir_inode->IsDir()) {
+      // Intermediate non-directory: cached ENOTDIR chain (§5.2).
+      if (cfg.deep_negative) {
+        Dentry* deep = BuildDeepNegatives(task, pos.mnt, pos.d, comp,
+                                          cur.rest(),
+                                          kDentNegative | kDentEnotdir,
+                                          inval_snapshot);
+        if (deep != nullptr) {
+          k->dcache().Dput(deep);
+        }
+      }
+      return fail(Errno::kENOTDIR);
+    }
+    {
+      PhaseTimer t(&WalkPhaseProfile::permission_ns);
+      Status st = k->security().Permission(cred, *dir_inode, kMayExec, pos.d);
+      if (!st.ok()) {
+        return fail(st.error());
+      }
+    }
+    prefixes.Note(pos.d);
+    if (comp == ".") {
+      continue;
+    }
+    if (comp == "..") {
+      drop_alias_parent();
+      // Populate the directory we are leaving so the fastpath's per-dot-dot
+      // permission probe can hit next time (§4.2).
+      Populate(k, task, pos.mnt, pos.d, inval_snapshot);
+      while (true) {
+        if (pos.d == task.root().dentry() && pos.mnt == task.root().mnt()) {
+          break;
+        }
+        if (pos.d == pos.mnt->root) {
+          if (pos.mnt->parent == nullptr) {
+            break;
+          }
+          Dentry* mp = pos.mnt->mountpoint;
+          Mount* pm = pos.mnt->parent;
+          mp->DgetHeld();
+          pm->Get();
+          pos.MoveTo(pm, mp);
+          continue;
+        }
+        Dentry* p = pos.d->parent();
+        if (p == nullptr) {
+          return fail(Errno::kESTALE);
+        }
+        p->DgetHeld();
+        pos.mnt->Get();
+        pos.MoveTo(pos.mnt, p);
+        break;
+      }
+      continue;
+    }
+
+    Dentry* child;
+    {
+      PhaseTimer t(&WalkPhaseProfile::lookup_ns);
+      child = k->dcache().LookupRef(pos.d, comp);
+    }
+    if (child != nullptr && child->sb()->needs_revalidation() &&
+        child->IsPositive() && !child->IsStub()) {
+      // Close-to-open consistency on a stateless protocol: one round trip
+      // per cached component (§4.3).
+      Inode* ci = child->inode();
+      Status ok = ci != nullptr
+                      ? child->sb()->fs()->Revalidate(ci->ino())
+                      : Status(Errno::kESTALE);
+      if (!ok.ok()) {
+        // The server-side object is gone; drop the stale dentry and
+        // re-resolve from the server.
+        k->dcache().KillCachedChildren(child);
+        k->dcache().Kill(child);
+        k->dcache().Dput(child);
+        child = nullptr;
+      }
+    }
+    if (child != nullptr) {
+      stats.dcache_hits.Add();
+    } else {
+      stats.dcache_misses.Add();
+      auto miss = MissLookup(task, pos.d, comp);
+      if (!miss.ok()) {
+        return fail(miss.error());
+      }
+      child = *miss;
+    }
+
+    if (child->IsNegative()) {
+      stats.negative_hits.Add();
+      Errno e =
+          child->TestFlags(kDentEnotdir) ? Errno::kENOTDIR : Errno::kENOENT;
+      Dentry* final_neg = child;  // carries the child's reference
+      if (!is_last && cfg.deep_negative &&
+          !child->TestFlags(kDentEnotdir)) {
+        Dentry* deep = BuildDeepNegatives(task, pos.mnt, child, {},
+                                          cur.rest(), kDentNegative,
+                                          inval_snapshot);
+        if (deep != nullptr) {
+          k->dcache().Dput(final_neg);
+          final_neg = deep;
+        }
+      } else if (is_last) {
+        // Memoize the negative result for fast ENOENT (§5.2).
+        Populate(k, task, pos.mnt, final_neg, inval_snapshot);
+      }
+      k->dcache().Dput(final_neg);
+      return fail(e);
+    }
+
+    if (child->IsStub()) {
+      Status st = MaterializeStub(task, child);
+      if (!st.ok()) {
+        k->dcache().Dput(child);
+        return fail(st.error());
+      }
+    }
+
+    // Cross mount points: the new position's mount reference is built in
+    // `nmnt` and handed to pos.MoveTo together with `child`.
+    Mount* nmnt = pos.mnt;
+    nmnt->Get();
+    while (child->TestFlags(kDentMountpoint)) {
+      Mount* covered = task.ns()->MountAt(nmnt, child);
+      if (covered == nullptr) {
+        break;
+      }
+      covered->Get();
+      nmnt->ns->MountPut(nmnt);
+      nmnt = covered;
+      Dentry* root = covered->root;
+      root->DgetHeld();
+      k->dcache().Dput(child);
+      child = root;
+    }
+
+    Inode* ci = child->inode();
+    if (ci == nullptr) {
+      nmnt->ns->MountPut(nmnt);
+      k->dcache().Dput(child);
+      return fail(Errno::kENOENT);
+    }
+
+    if (ci->IsSymlink()) {
+      if (is_last && (wflags & kWalkFollow) == 0) {
+        pos.MoveTo(nmnt, child);
+        break;
+      }
+      nmnt->ns->MountPut(nmnt);
+      if (++link_depth > kMaxSymlinkDepth) {
+        k->dcache().Dput(child);
+        return fail(Errno::kELOOP);
+      }
+      auto target = ReadLinkTarget(task, child);
+      if (!target.ok()) {
+        k->dcache().Dput(child);
+        return fail(target.error());
+      }
+      // Target-signature and alias memoization are sound only for
+      // single-hop resolutions: a change to an INTERMEDIATE symlink in a
+      // multi-link chain bumps no version counter on the final target, so
+      // multi-hop chains must always re-resolve on the slowpath (§4.2).
+      if (link_depth > 1) {
+        drop_trailing();
+        drop_alias_parent();
+      } else {
+        if (is_last) {
+          drop_trailing();
+          child->DgetHeld();
+          trailing_symlink = child;
+          trailing_symlink_mnt = pos.mnt;
+        }
+        if (cfg.fastpath && cfg.symlink_aliases) {
+          drop_alias_parent();
+          child->DgetHeld();
+          alias_parent = child;
+          alias_mnt = pos.mnt;
+        }
+      }
+      const std::string& t = **target;
+      // Splice: remaining components of the current segment stay pending;
+      // the target is walked first. Copy the remainder before clearing —
+      // cur.rest() aliases pending[seg]'s storage.
+      std::string rest_copy(cur.rest());
+      bool rest_literal = pending[seg].literal;
+      std::vector<Segment> tail(pending.begin() + seg + 1, pending.end());
+      pending.clear();
+      pending.push_back(Segment{t, false});
+      pending.push_back(Segment{std::move(rest_copy), rest_literal});
+      for (auto& s : tail) {
+        pending.push_back(std::move(s));
+      }
+      seg = 0;
+      cur = ComponentCursor(pending[0].text);
+      if (!t.empty() && t.front() == '/') {
+        Dentry* rd = task.root().dentry();
+        Mount* rm = task.root().mnt();
+        rd->DgetHeld();
+        rm->Get();
+        pos.MoveTo(rm, rd);
+      }
+      k->dcache().Dput(child);
+      continue;
+    }
+
+    // Build/extend the symlink alias chain (§4.2) — only for components
+    // that come from the caller's literal path, never for spliced
+    // symlink-target components.
+    if (alias_parent != nullptr && comp_literal && cfg.fastpath &&
+        cfg.symlink_aliases) {
+      Dentry* alias = MakeAlias(task, alias_mnt, alias_parent, comp, child,
+                                inval_snapshot);
+      drop_alias_parent();
+      alias_parent = alias;  // may be null on failure; chain just stops
+    }
+
+    pos.MoveTo(nmnt, child);
+  }
+
+  drop_alias_parent();
+
+  Inode* fi = pos.d->inode();
+  if (fi == nullptr) {
+    return fail(Errno::kENOENT);
+  }
+  if ((wflags & kWalkDirectory) != 0 && !fi->IsDir()) {
+    return fail(Errno::kENOTDIR);
+  }
+
+  {
+    PhaseTimer t(&WalkPhaseProfile::finalize_ns);
+    Populate(k, task, pos.mnt, pos.d, inval_snapshot);
+    PopulatePrefixDirs(k, task, prefixes, inval_snapshot);
+    if (trailing_symlink != nullptr) {
+      RecordSymlinkTarget(task, trailing_symlink_mnt, trailing_symlink,
+                          pos.mnt, pos.d, inval_snapshot);
+      drop_trailing();
+    }
+  }
+  return PathHandle::Adopt(pos.mnt, pos.d);
+}
+
+// ---------------------------------------------------------------------------
+// Locked-walk helpers
+
+namespace {
+
+Result<const std::string*> ReadLinkTarget(Task& task, Dentry* link) {
+  Inode* inode = link->inode();
+  if (const std::string* cached = inode->cached_link_target()) {
+    return cached;
+  }
+  IoChargeScope charge(&task.io_clock());
+  auto target = inode->sb()->fs()->ReadLink(inode->ino());
+  if (!target.ok()) {
+    return target.error();
+  }
+  return inode->cache_link_target(*std::move(target));
+}
+
+// Consult the low-level FS for a component miss; instantiates a positive or
+// negative dentry as configured. Returns a referenced dentry, or ENOENT
+// when nothing may be cached (baseline pseudo-FS behaviour, §5.2).
+Result<Dentry*> MissLookup(Task& task, Dentry* parent,
+                           std::string_view name) {
+  Kernel* k = parent->sb()->kernel();
+  const CacheConfig& cfg = k->config();
+  Inode* dir_inode = parent->inode();
+  std::lock_guard<std::mutex> io(dir_inode->io_mu);
+  // A racer may have instantiated the child while we waited.
+  if (Dentry* again = k->dcache().LookupRef(parent, name)) {
+    return again;
+  }
+  if (cfg.dir_completeness && parent->TestFlags(kDentDirComplete)) {
+    // Everything under this directory is cached: the miss is definitive
+    // without consulting the file system (§5.1).
+    k->stats().dir_complete_hits.Add();
+    return k->dcache().AddChild(parent, name, nullptr, kDentNegative);
+  }
+  FileSystem* fs = parent->sb()->fs();
+  IoChargeScope charge(&task.io_clock());
+  auto ino = fs->Lookup(dir_inode->ino(), name);
+  if (!ino.ok()) {
+    if (ino.error() != Errno::kENOENT) {
+      return ino.error();
+    }
+    bool want_negative =
+        cfg.negative_dentries &&
+        (fs->WantsNegativeDentries() || cfg.negative_on_pseudo_fs);
+    if (!want_negative) {
+      return Errno::kENOENT;
+    }
+    return k->dcache().AddChild(parent, name, nullptr, kDentNegative);
+  }
+  auto inode = parent->sb()->Iget(*ino);
+  if (!inode.ok()) {
+    return inode.error();
+  }
+  return k->dcache().AddChild(parent, name, *inode, 0);
+}
+
+// Attach a real inode to a readdir stub dentry (§5.1).
+Status MaterializeStub(Task& task, Dentry* stub) {
+  if (!stub->IsStub()) {
+    return Status::Ok();
+  }
+  IoChargeScope charge(&task.io_clock());
+  auto inode = stub->sb()->Iget(stub->stub_ino);
+  if (!inode.ok()) {
+    return inode.error() == Errno::kESTALE ? Errno::kENOENT : inode.error();
+  }
+  SpinGuard guard(stub->lock);
+  if (!stub->IsStub()) {
+    stub->sb()->Iput(*inode);  // racer won
+    return Status::Ok();
+  }
+  stub->set_inode(*inode);
+  stub->ClearFlags(kDentStub);
+  return Status::Ok();
+}
+
+// Create (or refresh) the alias child `name` of `alias_parent` redirecting
+// to `target` (§4.2). Returns a referenced alias dentry or null.
+Dentry* MakeAlias(Task& task, Mount* mnt, Dentry* alias_parent,
+                  std::string_view name, Dentry* target,
+                  uint64_t inval_snapshot) {
+  Kernel* k = alias_parent->sb()->kernel();
+  if (!target->DgetLive()) {
+    return nullptr;
+  }
+  auto alias = k->dcache().AddChild(alias_parent, name, nullptr, kDentAlias,
+                                    0, FileType::kRegular, target);
+  if (!alias.ok()) {
+    return nullptr;  // AddChild dropped the target reference
+  }
+  Dentry* a = *alias;
+  if (a->alias_target.load(std::memory_order_acquire) != target) {
+    // Reused an existing alias whose target moved; retarget it.
+    SpinGuard guard(a->lock);
+    Dentry* old = a->alias_target.load(std::memory_order_acquire);
+    if (old != target && target->DgetLive()) {
+      a->alias_target.store(target, std::memory_order_release);
+      a->fast.seq.store(k->dcache().NewVersion(), std::memory_order_release);
+      if (old != nullptr) {
+        guard.Release();
+        k->dcache().Dput(old);
+      }
+    }
+  }
+  Populate(k, task, mnt, a, inval_snapshot);
+  return a;
+}
+
+// Memoize a trailing symlink's resolved-target signature and publish the
+// symlink itself, enabling the fastpath's one-extra-probe follow (§4.2).
+void RecordSymlinkTarget(Task& task, Mount* link_mnt, Dentry* link,
+                         Mount* final_mnt, Dentry* final_d,
+                         uint64_t inval_snapshot) {
+  Kernel* k = link->sb()->kernel();
+  if (!k->config().fastpath) {
+    return;
+  }
+  auto fst = EnsurePathState(k, final_d, final_mnt);
+  if (!fst.ok()) {
+    return;
+  }
+  Signature fsig = k->signer().Finalize(*fst);
+  auto lst = EnsurePathState(k, link, link_mnt);
+  if (!lst.ok()) {
+    return;
+  }
+  {
+    SpinGuard guard(link->lock);
+    if (!link->fast.path_valid.load(std::memory_order_acquire)) {
+      return;
+    }
+    link->fast.state_seq.WriteBegin();
+    link->fast.target_sig = fsig;
+    link->fast.state_seq.WriteEnd();
+    link->fast.has_target_sig.store(true, std::memory_order_release);
+  }
+  Populate(k, task, link_mnt, link, inval_snapshot);
+}
+
+// Build a chain of negative dentries for the unreachable suffix of a path
+// (§5.2): under a negative dentry (ENOENT chains) or under a regular file
+// (ENOTDIR chains). Returns the deepest dentry created (referenced), or
+// null when nothing was built. If the full suffix fit within the limit, the
+// final dentry is published for direct negative lookups.
+Dentry* BuildDeepNegatives(Task& task, Mount* mnt, Dentry* from,
+                           std::string_view first, std::string_view rest,
+                           uint32_t neg_flags, uint64_t inval_snapshot) {
+  Kernel* k = from->sb()->kernel();
+  const CacheConfig& cfg = k->config();
+  Dentry* cur = from;
+  bool cur_owned = false;  // `from`'s reference belongs to the caller
+  size_t created = 0;
+  bool complete = true;
+  ComponentCursor cursor(rest);
+  std::string_view comp = first.empty() ? cursor.Next() : first;
+  bool first_done = first.empty();
+  while (!comp.empty()) {
+    if (comp == "." || comp == ".." || comp.size() > kMaxNameLen) {
+      complete = false;
+      break;
+    }
+    if (created >= cfg.deep_negative_limit) {
+      complete = false;
+      break;
+    }
+    auto child = k->dcache().AddChild(cur, comp, nullptr, neg_flags);
+    if (!child.ok()) {
+      complete = false;
+      break;
+    }
+    if (cur_owned) {
+      k->dcache().Dput(cur);
+    }
+    cur = *child;
+    cur_owned = true;
+    ++created;
+    if (!first_done) {
+      first_done = true;
+      comp = cursor.Next();
+    } else {
+      comp = cursor.Next();
+    }
+  }
+  if (!cur_owned) {
+    return nullptr;
+  }
+  if (complete) {
+    Populate(k, task, mnt, cur, inval_snapshot);
+  }
+  return cur;
+}
+
+}  // namespace
+
+Result<Dentry*> PathWalker::LookupOrInstantiate(Task& task, Dentry* parent,
+                                                std::string_view name) {
+  Kernel* k = parent->sb()->kernel();
+  if (Dentry* d = k->dcache().LookupRef(parent, name)) {
+    k->stats().dcache_hits.Add();
+    return d;
+  }
+  k->stats().dcache_misses.Add();
+  return MissLookup(task, parent, name);
+}
+
+// ---------------------------------------------------------------------------
+// The fastpath (§3.1): canonicalize-while-hash, one DLHT probe, one PCC
+// probe. Returns true when it produced a definitive outcome in *result.
+
+bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
+                                std::string_view path, int wflags,
+                                Result<PathHandle>* result) {
+  Kernel* k = kernel_;
+  const CacheConfig& cfg = k->config();
+  CacheStats& stats = k->stats();
+  MountNamespace* ns = task.ns().get();
+  const PathSigner& signer = k->signer();
+
+  EpochDomain::ReadGuard guard(EpochDomain::Global());
+  PhaseTimer init_timer(&WalkPhaseProfile::init_ns);
+
+  Pcc* pcc = task.cred()->GetOrCreatePcc(cfg.pcc_bytes, cfg.pcc_autosize);
+  pcc->EnsureEpoch(k->pcc_epoch());
+
+  Dentry* base = start.dentry();
+  HashState st;
+  if (!CopyStateIfValid(base, ns, &st)) {
+    return false;  // base state unknown: the slowpath will fill it
+  }
+
+  // Plan 9 lexical mode keeps a small stack of prefix states so ".."
+  // truncates textually (§4.2). Fixed-size: deeper paths take the slowpath.
+  constexpr size_t kMaxLexicalDepth = 16;
+  std::array<HashState, kMaxLexicalDepth> lexical_stack;
+  size_t lexical_depth = 0;
+  ComponentCursor cur(path);
+  bool trailing_dot = false;  // path ends in "." or "..": final must be a
+                              // directory, and a preceding symlink is
+                              // followed (POSIX trailing-dot semantics)
+  {
+    PhaseTimer t(&WalkPhaseProfile::hash_ns);
+    std::string_view comp;
+    while (!(comp = cur.Next()).empty()) {
+      trailing_dot = comp == "." || comp == "..";
+      if (comp == ".") {
+        continue;
+      }
+      if (comp == "..") {
+        if (cfg.dotdot == DotDotMode::kLexical) {
+          // Plan 9 semantics: textual truncation (§4.2).
+          if (lexical_depth == 0) {
+            return false;  // ".." above the walk base: give up
+          }
+          st = lexical_stack[--lexical_depth];
+          continue;
+        }
+        // POSIX semantics: one extra fastpath permission probe on the
+        // directory being exited (§4.2).
+        Signature psig = signer.Finalize(st);
+        FastDentry* pfd;
+        {
+          PhaseTimer lt(&WalkPhaseProfile::lookup_ns);
+          pfd = ns->dlht().Lookup(psig, &stats);
+        }
+        if (pfd == nullptr) {
+          stats.dlht_misses.Add();
+          return false;
+        }
+        Dentry* pd = DentryFromFast(pfd);
+        uint32_t pseq = pfd->seq.load(std::memory_order_acquire);
+        if (!pcc->Lookup(pd, pseq)) {
+          stats.pcc_misses.Add();
+          return false;
+        }
+        Mount* pm = pfd->mount.load(std::memory_order_acquire);
+        if (pm == nullptr || pd == pm->root || pd->IsNegative()) {
+          return false;  // mount boundary / nonsense: slowpath handles it
+        }
+        // The PCC hit covers the prefix *to* this directory; leaving it via
+        // ".." additionally requires search permission *on* it, checked
+        // directly (it is never part of any memoized prefix).
+        Inode* pi = pd->inode();
+        if (pi == nullptr || !pi->IsDir() ||
+            !k->security().Permission(*task.cred(), *pi, kMayExec, pd).ok()) {
+          return false;
+        }
+        Dentry* parent = pd->parent();
+        if (parent == nullptr || !CopyStateIfValid(parent, ns, &st)) {
+          return false;
+        }
+        continue;
+      }
+      if (comp.size() > kMaxNameLen) {
+        return false;
+      }
+      if (cfg.dotdot == DotDotMode::kLexical) {
+        if (lexical_depth == kMaxLexicalDepth) {
+          return false;
+        }
+        lexical_stack[lexical_depth++] = st;
+      }
+      if (!signer.AppendComponent(st, comp)) {
+        return false;
+      }
+    }
+  }
+
+  if (trailing_dot) {
+    wflags |= kWalkDirectory | kWalkFollow;
+  }
+
+  Signature sig;
+  {
+    PhaseTimer t(&WalkPhaseProfile::hash_ns);
+    sig = signer.Finalize(st);
+  }
+
+  FastDentry* fd;
+  {
+    PhaseTimer t(&WalkPhaseProfile::lookup_ns);
+    fd = ns->dlht().Lookup(sig, &stats);
+  }
+  if (fd == nullptr) {
+    stats.dlht_misses.Add();
+    return false;
+  }
+  Dentry* d = DentryFromFast(fd);
+  uint32_t seq = fd->seq.load(std::memory_order_acquire);
+  {
+    PhaseTimer t(&WalkPhaseProfile::permission_ns);
+    if (!pcc->Lookup(d, seq)) {
+      // Last-hop fallback: the PCC holds one entry per dentry, so trees
+      // much larger than the PCC evict file entries first (§6.3 discusses
+      // exactly this updatedb sensitivity). A DLHT hit is still usable if
+      // the *parent directory's* prefix check is memoized and its search
+      // permission passes a direct check: DLHT membership plus a stable
+      // version counter proves the path is current, and parent-prefix +
+      // parent-exec covers the full prefix chain.
+      Dentry* parent = d->parent();
+      bool ok = false;
+      if (parent != nullptr && !d->TestFlags(kDentAlias) &&
+          parent != d) {
+        uint32_t pseq = parent->fast.seq.load(std::memory_order_acquire);
+        if (pcc->Lookup(parent, pseq)) {
+          Inode* pi = parent->inode();
+          ok = pi != nullptr && pi->IsDir() &&
+               k->security()
+                   .Permission(*task.cred(), *pi, kMayExec, parent)
+                   .ok() &&
+               fd->seq.load(std::memory_order_acquire) == seq;
+        }
+      }
+      if (!ok) {
+        stats.pcc_misses.Add();
+        return false;
+      }
+    }
+  }
+
+  PhaseTimer fin_timer(&WalkPhaseProfile::finalize_ns);
+  uint32_t dflags = d->flags();
+  Inode* inode = d->inode();
+
+  // Trailing symlink with follow: one extra probe via the memoized target
+  // signature (§4.2).
+  if ((dflags & (kDentNegative | kDentAlias)) == 0 && inode != nullptr &&
+      inode->IsSymlink() && (wflags & kWalkFollow) != 0) {
+    if (!fd->has_target_sig.load(std::memory_order_acquire)) {
+      return false;
+    }
+    Signature tsig;
+    uint32_t s = fd->state_seq.ReadBegin();
+    tsig = fd->target_sig;
+    if (fd->state_seq.ReadRetry(s)) {
+      return false;
+    }
+    FastDentry* tfd = ns->dlht().Lookup(tsig, &stats);
+    if (tfd == nullptr) {
+      return false;
+    }
+    Dentry* td = DentryFromFast(tfd);
+    uint32_t tseq = tfd->seq.load(std::memory_order_acquire);
+    if (!pcc->Lookup(td, tseq)) {
+      return false;
+    }
+    if (fd->seq.load(std::memory_order_acquire) != seq) {
+      return false;
+    }
+    d = td;
+    fd = tfd;
+    seq = tseq;
+    dflags = d->flags();
+    inode = d->inode();
+  }
+
+  // Symlink alias: redirect to the target, PCC-checking it separately
+  // (§4.2).
+  if ((dflags & kDentAlias) != 0) {
+    Dentry* target = d->alias_target.load(std::memory_order_acquire);
+    if (target == nullptr) {
+      return false;
+    }
+    uint32_t tseq = target->fast.seq.load(std::memory_order_acquire);
+    if (!pcc->Lookup(target, tseq)) {
+      return false;
+    }
+    if (fd->seq.load(std::memory_order_acquire) != seq) {
+      return false;
+    }
+    d = target;
+    fd = &target->fast;
+    seq = tseq;
+    dflags = d->flags();
+    inode = d->inode();
+    if (inode != nullptr && inode->IsSymlink() &&
+        (wflags & kWalkFollow) != 0) {
+      return false;  // nested redirections: slowpath
+    }
+  }
+
+  if ((dflags & kDentNegative) != 0) {
+    if (d->sb()->needs_revalidation()) {
+      return false;
+    }
+    Errno e =
+        (dflags & kDentEnotdir) != 0 ? Errno::kENOTDIR : Errno::kENOENT;
+    if (fd->seq.load(std::memory_order_seq_cst) != seq) {
+      return false;
+    }
+    *result = e;  // fast negative hit (§5.2)
+    return true;
+  }
+  if ((dflags & kDentStub) != 0 || inode == nullptr) {
+    return false;
+  }
+  if (d->sb()->needs_revalidation()) {
+    // Stateless network protocols must re-verify each component with the
+    // server (§4.3): no direct lookup for them.
+    return false;
+  }
+  if ((wflags & kWalkDirectory) != 0 && !inode->IsDir()) {
+    if (fd->seq.load(std::memory_order_seq_cst) != seq) {
+      return false;
+    }
+    *result = Errno::kENOTDIR;
+    return true;
+  }
+  if (inode->IsSymlink() && (wflags & kWalkFollow) != 0) {
+    return false;
+  }
+
+  Mount* m = fd->mount.load(std::memory_order_acquire);
+  if (m == nullptr || m->ns != ns) {
+    return false;
+  }
+  if ((dflags & kDentMountpoint) != 0 &&
+      task.ns()->MountAt(m, d) != nullptr) {
+    return false;  // something is mounted over this path: slowpath crosses
+  }
+
+  if (!d->DgetLive()) {
+    return false;
+  }
+  if (fd->seq.load(std::memory_order_seq_cst) != seq) {
+    k->dcache().Dput(d);
+    return false;
+  }
+  m->Get();
+  *result = PathHandle::Adopt(m, d);
+  return true;
+}
+
+}  // namespace dircache

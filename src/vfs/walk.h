@@ -1,0 +1,94 @@
+// Path resolution: the Linux-like slowpath (optimistic + locked) and the
+// paper's direct-lookup fastpath (§3).
+//
+// Resolution strategy per lookup:
+//   1. If the fastpath is enabled, hash the canonical path incrementally
+//      (resuming from the cwd's stored state for relative paths), probe the
+//      namespace DLHT, and validate the per-cred PCC (§3.1). A hit returns
+//      in O(1) hash-table operations; any irregularity falls through.
+//   2. Otherwise walk component-at-a-time: optimistically (no locks,
+//      validated by the global rename seqcount, memory-safe under epochs)
+//      with a locked fallback — mirroring Linux rcu-walk/ref-walk.
+//   3. After a successful slowpath, populate the DLHT and PCC, guarded by
+//      the global invalidation counter (§3.2), and build symlink alias
+//      dentries / deep negative dentries as configured (§4.2, §5.2).
+#ifndef DIRCACHE_VFS_WALK_H_
+#define DIRCACHE_VFS_WALK_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/vfs/path.h"
+
+namespace dircache {
+
+class Task;
+
+// Walk flags.
+inline constexpr int kWalkFollow = 1;     // follow a trailing symlink
+inline constexpr int kWalkDirectory = 2;  // final must be a directory
+// Resolve to the *parent* of the last component; the last component string
+// is returned through `last_out` (used by create/unlink/rename/mkdir).
+inline constexpr int kWalkParent = 4;
+
+// Optional instrumentation of walk phases (Figure 3). When set (not null),
+// the walker accumulates per-phase nanoseconds into this thread's profile.
+struct WalkPhaseProfile {
+  uint64_t init_ns = 0;
+  uint64_t permission_ns = 0;
+  uint64_t hash_ns = 0;     // path scanning & hashing
+  uint64_t lookup_ns = 0;   // hash table lookups
+  uint64_t finalize_ns = 0;
+};
+extern thread_local WalkPhaseProfile* g_walk_profile;
+
+class PathWalker {
+ public:
+  explicit PathWalker(Kernel* kernel) : kernel_(kernel) {}
+
+  // Resolve `path` for `task` starting from `base` (empty base = cwd for
+  // relative paths; absolute paths always restart from the task root).
+  // With kWalkParent, returns the parent directory and sets `last_out`.
+  Result<PathHandle> Resolve(Task& task, const PathHandle* base,
+                             std::string_view path, int wflags,
+                             std::string* last_out = nullptr);
+
+  // Find the child in the dcache or instantiate it from the low-level FS
+  // (positive or negative dentry). Used by the mutation syscalls under the
+  // exclusive tree lock. Returns a referenced dentry, or ENOENT when the
+  // component is absent and may not be cached.
+  static Result<Dentry*> LookupOrInstantiate(Task& task, Dentry* parent,
+                                             std::string_view name);
+
+  // Testing/experiment hook: force the fastpath to be skipped (models the
+  // "fastpath miss + slowpath" worst case of Figure 6).
+  static thread_local bool force_fastpath_miss;
+  // Testing hook: forbid slowpath (asserts fastpath coverage in tests).
+  static thread_local bool forbid_slowpath;
+
+ private:
+  struct Ctx;
+
+  // Fastpath attempt. Returns true if it produced a definitive outcome
+  // (hit or fast negative) in *result.
+  bool TryFastResolve(Task& task, const PathHandle& start,
+                      std::string_view path, int wflags,
+                      Result<PathHandle>* result);
+
+  // Slowpath drivers.
+  Result<PathHandle> SlowResolve(Task& task, const PathHandle& start,
+                                 std::string_view path, int wflags,
+                                 std::string* last_out);
+  Result<PathHandle> OptimisticWalk(Task& task, const PathHandle& start,
+                                    std::string_view path, int wflags,
+                                    std::string* last_out, bool* fell_back);
+  Result<PathHandle> LockedWalk(Task& task, const PathHandle& start,
+                                std::string_view path, int wflags,
+                                std::string* last_out);
+
+  Kernel* const kernel_;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_WALK_H_

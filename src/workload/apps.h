@@ -1,0 +1,77 @@
+// Trace-faithful emulators of the command-line applications in the paper's
+// Tables 1 and 2 (§6.3): find, tar x, rm -r, make (-jN), du -s, updatedb,
+// git status, git diff. Each issues the same syscall pattern as the real
+// tool — the mix of *at() single-component lookups vs. multi-component
+// paths, readdir usage, negative lookups (make's header probing), and data
+// reads — so the directory-cache behaviour matches the paper's
+// characterization (path length, components, hit%, neg%).
+#ifndef DIRCACHE_WORKLOAD_APPS_H_
+#define DIRCACHE_WORKLOAD_APPS_H_
+
+#include <string>
+
+#include "src/workload/tree_gen.h"
+
+namespace dircache {
+
+struct AppResult {
+  uint64_t entries_visited = 0;  // files+dirs touched
+  uint64_t bytes_processed = 0;
+  uint64_t matches = 0;  // find hits / changed files / etc.
+  PathStats paths;       // arguments passed to path syscalls
+};
+
+// find <root> -name '<substring>': openat/getdents traversal with
+// fstatat-by-dirfd on each entry (single-component lookups).
+Result<AppResult> RunFind(Task& task, const std::string& root,
+                          const std::string& name_substring);
+
+// du -s <root>: same traversal shape, summing sizes.
+Result<AppResult> RunDu(Task& task, const std::string& root);
+
+// tar xzf: materialize `manifest` under `dst_root` — mkdir -p per parent,
+// O_CREAT|O_EXCL create + content write per file (multi-component paths).
+Result<AppResult> RunTarExtract(Task& task, const TreeInfo& manifest,
+                                const std::string& dst_root,
+                                size_t content_bytes = 512);
+
+// rm -r <root>: post-order traversal, unlinkat/rmdir everything.
+Result<AppResult> RunRmRecursive(Task& task, const std::string& root);
+
+// make: per source file, stat the source and its object, probe a set of
+// include paths for headers (most do not exist -> negative lookups, ~20%
+// of lookups as in Table 1), read the source, write the object. The
+// cpu_work knob adds synthetic compile cost so the path-syscall share of
+// runtime can be tuned to the paper's (~small for make).
+struct MakeOptions {
+  size_t include_dirs = 4;        // -I search path length
+  size_t headers_per_file = 6;    // #include probes per source
+  size_t cpu_work_per_file = 0;   // iterations of synthetic compile work
+  bool incremental = false;       // only stat, skip "compiling" (warm make)
+};
+Result<AppResult> RunMake(Task& task, const TreeInfo& tree,
+                          const MakeOptions& options);
+
+// make -jN: the same per-file work sharded over N worker tasks running on
+// their own threads (each worker is a forked task, as gcc processes are).
+Result<AppResult> RunMakeParallel(Task& task, const TreeInfo& tree,
+                                  const MakeOptions& options, int jobs);
+
+// updatedb -U <root>: full traversal emitting canonical paths to a database
+// file (single-component fstatat pattern, §6.3).
+Result<AppResult> RunUpdatedb(Task& task, const std::string& root,
+                              const std::string& db_path);
+
+// git status: lstat every tracked file by full path + directory scans for
+// untracked files. git diff: lstat every tracked file, re-read a subset.
+Result<AppResult> RunGitStatus(Task& task, const TreeInfo& tree);
+Result<AppResult> RunGitDiff(Task& task, const TreeInfo& tree,
+                             double reread_fraction = 0.05);
+
+// mkstemp(3): O_CREAT|O_EXCL loop with random names in `dir`. Returns the
+// created path in result.paths; result.matches = attempts needed.
+Result<std::string> RunMkstemp(Task& task, const std::string& dir, Rng& rng);
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_WORKLOAD_APPS_H_

@@ -1,0 +1,142 @@
+#include "src/workload/maildir.h"
+
+#include "src/util/clock.h"
+
+namespace dircache {
+
+namespace {
+
+Status EnsureDir(Task& task, const std::string& path) {
+  Status st = task.Mkdir(path);
+  if (!st.ok() && st.error() != Errno::kEEXIST) {
+    return st;
+  }
+  return Status::Ok();
+}
+
+bool IsSeen(const std::string& name) {
+  return name.size() >= 4 &&
+         name.compare(name.size() - 4, 4, ":2,S") == 0;
+}
+
+}  // namespace
+
+Status MaildirServer::CreateMailbox(const std::string& name, size_t messages,
+                                    size_t body_bytes) {
+  DIRCACHE_RETURN_IF_ERROR(EnsureDir(task_, root_));
+  DIRCACHE_RETURN_IF_ERROR(EnsureDir(task_, root_ + "/" + name));
+  for (const char* sub : {"cur", "new", "tmp"}) {
+    DIRCACHE_RETURN_IF_ERROR(
+        EnsureDir(task_, root_ + "/" + name + "/" + sub));
+  }
+  std::string body(body_bytes, 'm');
+  std::string dir = MailboxDir(name);
+  for (size_t i = 0; i < messages; ++i) {
+    std::string file =
+        dir + "/" + std::to_string(next_uid_++) + ".msg.host:2,";
+    auto fd = task_.Open(file, kOCreat | kOExcl | kOWrite);
+    if (!fd.ok()) {
+      return fd.error();
+    }
+    auto w = task_.WriteFd(*fd, body);
+    if (!w.ok()) {
+      return w.error();
+    }
+    DIRCACHE_RETURN_IF_ERROR(task_.Close(*fd));
+  }
+  return Status::Ok();
+}
+
+Result<size_t> MaildirServer::Rescan(const std::string& mailbox) {
+  std::string dir = MailboxDir(mailbox);
+  auto dfd = task_.Open(dir, kORead | kODirectory);
+  if (!dfd.ok()) {
+    return dfd.error();
+  }
+  size_t count = 0;
+  while (true) {
+    auto batch = task_.ReadDirFd(*dfd, 128);
+    if (!batch.ok()) {
+      (void)task_.Close(*dfd);
+      return batch.error();
+    }
+    if (batch->empty()) {
+      break;
+    }
+    count += batch->size();
+  }
+  DIRCACHE_RETURN_IF_ERROR(task_.Close(*dfd));
+  return count;
+}
+
+Status MaildirServer::MarkRandom(const std::string& mailbox, Rng& rng) {
+  std::string dir = MailboxDir(mailbox);
+  // Pick a message: scan the directory (Dovecot keeps an in-memory list,
+  // refreshed by rescans; we sample from a listing to stay self-contained).
+  auto dfd = task_.Open(dir, kORead | kODirectory);
+  if (!dfd.ok()) {
+    return dfd.error();
+  }
+  std::vector<std::string> names;
+  while (true) {
+    auto batch = task_.ReadDirFd(*dfd, 128);
+    if (!batch.ok()) {
+      (void)task_.Close(*dfd);
+      return batch.error();
+    }
+    if (batch->empty()) {
+      break;
+    }
+    for (auto& e : *batch) {
+      names.push_back(std::move(e.name));
+    }
+  }
+  DIRCACHE_RETURN_IF_ERROR(task_.Close(*dfd));
+  if (names.empty()) {
+    return Errno::kENOENT;
+  }
+  const std::string& victim = names[rng.Below(names.size())];
+  std::string from = dir + "/" + victim;
+  std::string to;
+  if (IsSeen(victim)) {
+    to = dir + "/" + victim.substr(0, victim.size() - 1);  // drop 'S'
+  } else {
+    to = from + "S";
+  }
+  DIRCACHE_RETURN_IF_ERROR(task_.Rename(from, to));
+  // Dovecot re-reads the directory to sync its view after the change.
+  auto rescan = Rescan(mailbox);
+  if (!rescan.ok()) {
+    return rescan.error();
+  }
+  if (protocol_work_ns_ > 0) {
+    uint64_t until = NowNanos() + protocol_work_ns_;
+    while (NowNanos() < until) {
+    }
+  }
+  ++operations_;
+  return Status::Ok();
+}
+
+Status MaildirServer::Deliver(const std::string& mailbox, size_t body_bytes) {
+  std::string body(body_bytes, 'd');
+  std::string tmp = root_ + "/" + mailbox + "/tmp/" +
+                    std::to_string(next_uid_) + ".msg.host";
+  std::string cur = MailboxDir(mailbox) + "/" +
+                    std::to_string(next_uid_) + ".msg.host:2,";
+  ++next_uid_;
+  auto fd = task_.Open(tmp, kOCreat | kOExcl | kOWrite);
+  if (!fd.ok()) {
+    return fd.error();
+  }
+  auto w = task_.WriteFd(*fd, body);
+  if (!w.ok()) {
+    return w.error();
+  }
+  DIRCACHE_RETURN_IF_ERROR(task_.Close(*fd));
+  DIRCACHE_RETURN_IF_ERROR(task_.Rename(tmp, cur));
+  ++operations_;
+  return Status::Ok();
+}
+
+}  // namespace dircache

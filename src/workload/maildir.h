@@ -1,0 +1,59 @@
+// Maildir mail store + Dovecot-style IMAP server loop (§5.1, §6.3).
+//
+// Maildir keeps one file per message; flags are encoded in the file name
+// (":2,S" = seen, etc.). Marking a message renames its file and forces the
+// server to re-read the directory to sync its message list — the exact
+// readdir-heavy pattern the paper's Figure 10 measures.
+#ifndef DIRCACHE_WORKLOAD_MAILDIR_H_
+#define DIRCACHE_WORKLOAD_MAILDIR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/vfs/task.h"
+
+namespace dircache {
+
+class MaildirServer {
+ public:
+  MaildirServer(Task& task, std::string root) : task_(task),
+                                                root_(std::move(root)) {}
+
+  // Fixed CPU cost per IMAP operation modeling the non-filesystem work a
+  // real Dovecot does (protocol parsing, index/cache file maintenance,
+  // mmap'd index updates). 0 = pure-FS mode. Figure 10 calibrates this so
+  // the baseline's FS share of an operation matches the real server's.
+  void set_protocol_work_ns(uint64_t ns) { protocol_work_ns_ = ns; }
+
+  // Create mailbox `name` with `messages` files of `body_bytes` each.
+  Status CreateMailbox(const std::string& name, size_t messages,
+                       size_t body_bytes = 256);
+
+  // One IMAP operation: pick a random message in `mailbox`, toggle its
+  // \Seen flag (rename), then re-scan the directory like Dovecot does.
+  Status MarkRandom(const std::string& mailbox, Rng& rng);
+
+  // Deliver a new message (what an MDA does concurrently).
+  Status Deliver(const std::string& mailbox, size_t body_bytes = 256);
+
+  // Full directory rescan; returns the message count.
+  Result<size_t> Rescan(const std::string& mailbox);
+
+  uint64_t operations() const { return operations_; }
+
+ private:
+  std::string MailboxDir(const std::string& name) const {
+    return root_ + "/" + name + "/cur";
+  }
+
+  Task& task_;
+  std::string root_;
+  uint64_t next_uid_ = 1;
+  uint64_t operations_ = 0;
+  uint64_t protocol_work_ns_ = 0;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_WORKLOAD_MAILDIR_H_

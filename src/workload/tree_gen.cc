@@ -1,0 +1,142 @@
+#include "src/workload/tree_gen.h"
+
+#include <array>
+
+namespace dircache {
+
+namespace {
+
+constexpr std::array<std::string_view, 24> kDirWords = {
+    "arch",  "block", "crypto", "drivers", "fs",    "include",
+    "init",  "ipc",   "kernel", "lib",     "mm",    "net",
+    "sound", "tools", "util",   "core",    "sched", "video",
+    "gpu",   "usb",   "pci",    "input",   "media", "char"};
+
+constexpr std::array<std::string_view, 20> kFileStems = {
+    "main",   "core",   "utils",  "device", "driver", "inode", "super",
+    "namei",  "file",   "buffer", "queue",  "sched",  "table", "cache",
+    "config", "memory", "socket", "proto",  "stats",  "debug"};
+
+constexpr std::array<std::string_view, 5> kFileExts = {".c", ".h", ".o",
+                                                       ".S", ".txt"};
+
+std::string RandomDirName(Rng& rng, size_t salt) {
+  std::string name(kDirWords[rng.Below(kDirWords.size())]);
+  if (rng.Chance(0.5)) {
+    name += std::to_string(salt % 97);
+  }
+  return name;
+}
+
+std::string RandomFileName(Rng& rng, size_t salt) {
+  std::string name(kFileStems[rng.Below(kFileStems.size())]);
+  name += std::to_string(salt);
+  name += kFileExts[rng.Below(kFileExts.size())];
+  return name;
+}
+
+Status EnsureDir(Task& task, const std::string& path) {
+  Status st = task.Mkdir(path);
+  if (!st.ok() && st.error() != Errno::kEEXIST) {
+    return st;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<TreeInfo> GenerateSourceTree(Task& task, const std::string& root,
+                                    const TreeSpec& spec) {
+  Rng rng(spec.seed);
+  TreeInfo info;
+  info.root = root;
+  DIRCACHE_RETURN_IF_ERROR(EnsureDir(task, root));
+  info.dirs.push_back(root);
+
+  // Breadth-first directory skeleton until the file budget is plausible.
+  std::vector<std::pair<std::string, size_t>> frontier{{root, 0}};
+  size_t dir_budget =
+      spec.approx_files /
+          ((spec.files_per_dir_min + spec.files_per_dir_max) / 2) +
+      1;
+  size_t salt = 0;
+  while (!frontier.empty() && info.dirs.size() < dir_budget) {
+    auto [dir, depth] = frontier.front();
+    frontier.erase(frontier.begin());
+    if (depth >= spec.max_depth) {
+      continue;
+    }
+    for (size_t i = 0; i < spec.dirs_per_dir && info.dirs.size() < dir_budget;
+         ++i) {
+      std::string name = RandomDirName(rng, ++salt);
+      std::string path = dir + "/" + name;
+      Status st = task.Mkdir(path);
+      if (!st.ok()) {
+        continue;  // duplicate name: fine, skip
+      }
+      info.dirs.push_back(path);
+      frontier.emplace_back(path, depth + 1);
+    }
+  }
+
+  // Fill directories with files.
+  std::string content(spec.file_content_bytes, 'x');
+  size_t dir_idx = 0;
+  while (info.files.size() < spec.approx_files) {
+    const std::string& dir = info.dirs[dir_idx % info.dirs.size()];
+    ++dir_idx;
+    size_t n = spec.files_per_dir_min +
+               rng.Below(spec.files_per_dir_max - spec.files_per_dir_min + 1);
+    for (size_t i = 0; i < n && info.files.size() < spec.approx_files; ++i) {
+      std::string path = dir + "/" + RandomFileName(rng, ++salt);
+      auto fd = task.Open(path, kOCreat | kOExcl | kOWrite);
+      if (!fd.ok()) {
+        continue;
+      }
+      if (!content.empty()) {
+        (void)task.WriteFd(*fd, content);
+      }
+      (void)task.Close(*fd);
+      info.files.push_back(path);
+    }
+  }
+
+  // Sprinkle symlinks pointing at random files.
+  size_t nlinks = static_cast<size_t>(
+      static_cast<double>(info.files.size()) * spec.symlink_fraction);
+  for (size_t i = 0; i < nlinks; ++i) {
+    const std::string& target = info.files[rng.Below(info.files.size())];
+    const std::string& dir = info.dirs[rng.Below(info.dirs.size())];
+    std::string path = dir + "/link" + std::to_string(i);
+    if (task.Symlink(target, path).ok()) {
+      info.symlinks.push_back(path);
+    }
+  }
+  return info;
+}
+
+Result<std::vector<std::string>> GenerateFlatDir(Task& task,
+                                                 const std::string& dir,
+                                                 size_t count,
+                                                 const std::string& prefix,
+                                                 size_t content_bytes) {
+  DIRCACHE_RETURN_IF_ERROR(EnsureDir(task, dir));
+  std::vector<std::string> files;
+  files.reserve(count);
+  std::string content(content_bytes, 'm');
+  for (size_t i = 0; i < count; ++i) {
+    std::string path = dir + "/" + prefix + std::to_string(i);
+    auto fd = task.Open(path, kOCreat | kOExcl | kOWrite);
+    if (!fd.ok()) {
+      return fd.error();
+    }
+    if (!content.empty()) {
+      (void)task.WriteFd(*fd, content);
+    }
+    (void)task.Close(*fd);
+    files.push_back(std::move(path));
+  }
+  return files;
+}
+
+}  // namespace dircache

@@ -1,0 +1,83 @@
+// Synthetic file-tree generation.
+//
+// The paper's application experiments run over the Linux kernel source tree
+// (~52k files, §6.3). GenerateSourceTree builds a statistically similar
+// tree: the same depth distribution, directory fan-out, C-project name
+// shapes (~8-character components, Table 1), a small symlink population,
+// and small file contents so data-plane syscalls do realistic work.
+#ifndef DIRCACHE_WORKLOAD_TREE_GEN_H_
+#define DIRCACHE_WORKLOAD_TREE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/vfs/task.h"
+
+namespace dircache {
+
+struct TreeSpec {
+  uint64_t seed = 42;
+  size_t approx_files = 8000;   // regular files to create
+  size_t max_depth = 5;         // directory nesting below the root
+  size_t dirs_per_dir = 6;      // fan-out of interior directories
+  size_t files_per_dir_min = 2;
+  size_t files_per_dir_max = 24;
+  double symlink_fraction = 0.01;  // of files, re-pointed at other files
+  size_t file_content_bytes = 512;
+};
+
+struct TreeInfo {
+  std::string root;
+  std::vector<std::string> dirs;      // absolute paths, parents first
+  std::vector<std::string> files;     // absolute paths of regular files
+  std::vector<std::string> symlinks;  // absolute paths of symlinks
+
+  size_t total_entries() const {
+    return dirs.size() + files.size() + symlinks.size();
+  }
+};
+
+// Create the tree under `root` (created if missing). Deterministic for a
+// given spec.
+Result<TreeInfo> GenerateSourceTree(Task& task, const std::string& root,
+                                    const TreeSpec& spec);
+
+// Create one flat directory with `count` files named like maildir messages
+// or plain "fNNNN" entries.
+Result<std::vector<std::string>> GenerateFlatDir(Task& task,
+                                                 const std::string& dir,
+                                                 size_t count,
+                                                 const std::string& prefix,
+                                                 size_t content_bytes = 64);
+
+// Path statistics accumulator (Table 1's l / # columns).
+struct PathStats {
+  uint64_t paths = 0;
+  uint64_t bytes = 0;
+  uint64_t components = 0;
+
+  void Note(std::string_view path) {
+    ++paths;
+    bytes += path.size();
+    bool in_comp = false;
+    for (char c : path) {
+      if (c == '/') {
+        in_comp = false;
+      } else if (!in_comp) {
+        in_comp = true;
+        ++components;
+      }
+    }
+  }
+  double AvgLen() const {
+    return paths == 0 ? 0 : static_cast<double>(bytes) / paths;
+  }
+  double AvgComponents() const {
+    return paths == 0 ? 0 : static_cast<double>(components) / paths;
+  }
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_WORKLOAD_TREE_GEN_H_

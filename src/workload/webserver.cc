@@ -1,0 +1,47 @@
+#include "src/workload/webserver.h"
+
+namespace dircache {
+
+Result<std::string> AutoIndexServer::HandleRequest(const std::string& dir) {
+  auto dfd = task_.Open(dir, kORead | kODirectory);
+  if (!dfd.ok()) {
+    return dfd.error();
+  }
+  std::string page;
+  page.reserve(4096);
+  page += "<html><head><title>Index of ";
+  page += dir;
+  page += "</title></head><body><table>\n";
+  while (true) {
+    auto batch = task_.ReadDirFd(*dfd, 128);
+    if (!batch.ok()) {
+      (void)task_.Close(*dfd);
+      return batch.error();
+    }
+    if (batch->empty()) {
+      break;
+    }
+    for (const DirEntry& e : *batch) {
+      auto st = task_.FstatAt(*dfd, e.name, 0);
+      page += "<tr><td><a href=\"";
+      page += e.name;
+      page += "\">";
+      page += e.name;
+      page += "</a></td><td>";
+      if (st.ok()) {
+        page += std::to_string(st->size);
+        page += "</td><td>";
+        page += std::to_string(st->mtime);
+      } else {
+        page += "?</td><td>?";
+      }
+      page += "</td></tr>\n";
+    }
+  }
+  DIRCACHE_RETURN_IF_ERROR(task_.Close(*dfd));
+  page += "</table></body></html>\n";
+  ++requests_;
+  return page;
+}
+
+}  // namespace dircache

@@ -1,0 +1,31 @@
+// Apache-autoindex-style directory listing service (Table 3, §6.3).
+//
+// Each request generates the listing page dynamically: open the directory,
+// read every entry, stat each entry for size/mtime, and render HTML. No
+// application-level caching, exactly as the paper configures Apache.
+#ifndef DIRCACHE_WORKLOAD_WEBSERVER_H_
+#define DIRCACHE_WORKLOAD_WEBSERVER_H_
+
+#include <string>
+
+#include "src/vfs/task.h"
+
+namespace dircache {
+
+class AutoIndexServer {
+ public:
+  explicit AutoIndexServer(Task& task) : task_(task) {}
+
+  // Serve GET <dir>/ — returns the rendered page.
+  Result<std::string> HandleRequest(const std::string& dir);
+
+  uint64_t requests() const { return requests_; }
+
+ private:
+  Task& task_;
+  uint64_t requests_ = 0;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_WORKLOAD_WEBSERVER_H_

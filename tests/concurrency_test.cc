@@ -1,0 +1,229 @@
+// Concurrency: lock-free readers racing structural mutations (§3.2).
+// Readers must never crash, never see torn state, and never observe a
+// result that was not true at some point during the race window.
+#include <atomic>
+#include <thread>
+
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class ConcurrencyTest : public ::testing::TestWithParam<bool> {
+ protected:
+  ConcurrencyTest()
+      : world_(GetParam() ? CacheConfig::Optimized()
+                          : CacheConfig::Baseline()) {}
+  TestWorld world_;
+};
+
+TEST_P(ConcurrencyTest, StatsRaceRenames) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Mkdir("/a"));
+  ASSERT_OK(t.Mkdir("/a/b"));
+  auto fd = t.Open("/a/b/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(t.Close(*fd));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> oks{0};
+  std::atomic<uint64_t> enoents{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      TaskPtr task = world_.root->Fork();
+      while (!stop.load(std::memory_order_acquire)) {
+        for (const char* p : {"/a/b/f", "/a2/b/f"}) {
+          auto r = task->StatPath(p);
+          if (r.ok()) {
+            oks.fetch_add(1);
+            // Any successful stat must describe the real file.
+            EXPECT_TRUE(r->IsRegular());
+          } else {
+            EXPECT_TRUE(r.error() == Errno::kENOENT ||
+                        r.error() == Errno::kENOTDIR)
+                << ErrnoName(r.error());
+            enoents.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  // The mutator bounces the top directory between two names, continuing
+  // until the readers have observed both outcomes (a single-CPU scheduler
+  // may not run them for the first few thousand renames).
+  TaskPtr mut = world_.root->Fork();
+  int i = 0;
+  for (; i < 200000; ++i) {
+    ASSERT_OK(mut->Rename((i & 1) != 0 ? "/a2" : "/a",
+                          (i & 1) != 0 ? "/a" : "/a2"));
+    if (i >= 600 && oks.load() > 0 && enoents.load() > 0) {
+      break;
+    }
+    if ((i & 255) == 0) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_GT(oks.load(), 0u);
+  EXPECT_GT(enoents.load(), 0u);
+}
+
+TEST_P(ConcurrencyTest, PermissionRevocationIsNeverLeaked) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Mkdir("/home"));
+  ASSERT_OK(t.Mkdir("/home/alice", 0755));
+  auto fd = t.Open("/home/alice/secret", kOCreat | kOWrite, 0644);
+  ASSERT_OK(fd);
+  ASSERT_OK(t.Close(*fd));
+
+  std::atomic<bool> stop{false};
+  // Monotonic phase word (never repeats, so the reader's stable-window
+  // check cannot be fooled by a full mutator cycle): low 2 bits encode the
+  // state — 0 = open (0755), 1 = closed (0700), 2 = transitioning.
+  std::atomic<uint64_t> phase{2};
+  std::atomic<uint64_t> violations{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&] {
+      TaskPtr alice = world_.UserTask(1000, 1000);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t before = phase.load(std::memory_order_acquire);
+        auto r = alice->StatPath("/home/alice/secret");
+        uint64_t after = phase.load(std::memory_order_acquire);
+        // Only a definitive claim when the phase word was stable around
+        // the op (exact equality: the word never repeats).
+        if (before == after) {
+          if ((before & 3) == 1 && r.ok()) {
+            violations.fetch_add(1);
+            ADD_FAILURE() << "stale GRANT after revocation";
+          }
+          if ((before & 3) == 0 && !r.ok()) {
+            violations.fetch_add(1);
+            ADD_FAILURE() << "stale DENIAL after restore: "
+                          << ErrnoName(r.error());
+          }
+        }
+      }
+    });
+  }
+  for (uint64_t i = 1; i <= 200; ++i) {
+    // A stable phase word of state 1 (or 0) implies the corresponding
+    // chmod fully completed and no other transition overlapped the window.
+    phase.store(i * 16 + 2, std::memory_order_release);
+    ASSERT_OK(t.Chmod("/home/alice", 0700));
+    phase.store(i * 16 + 1, std::memory_order_release);
+    std::this_thread::yield();
+    phase.store(i * 16 + 6, std::memory_order_release);
+    ASSERT_OK(t.Chmod("/home/alice", 0755));
+    phase.store(i * 16 + 4, std::memory_order_release);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) {
+    r.join();
+  }
+  EXPECT_EQ(violations.load(), 0u);
+}
+
+TEST_P(ConcurrencyTest, CreateUnlinkChurnWithReaders) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Mkdir("/churn"));
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  // Two creator/deleter threads on disjoint names, one readdir thread, one
+  // stat thread.
+  for (int w = 0; w < 2; ++w) {
+    workers.emplace_back([&, w] {
+      TaskPtr task = world_.root->Fork();
+      for (int i = 0; i < 300; ++i) {
+        std::string p = "/churn/w" + std::to_string(w) + "_" +
+                        std::to_string(i % 10);
+        auto fd = task->Open(p, kOCreat | kOWrite);
+        if (fd.ok()) {
+          (void)task->Close(*fd);
+        }
+        (void)task->Unlink(p);
+      }
+    });
+  }
+  workers.emplace_back([&] {
+    TaskPtr task = world_.root->Fork();
+    while (!stop.load(std::memory_order_acquire)) {
+      auto dfd = task->Open("/churn", kORead | kODirectory);
+      if (!dfd.ok()) {
+        continue;
+      }
+      while (true) {
+        auto b = task->ReadDirFd(*dfd, 16);
+        if (!b.ok() || b->empty()) {
+          break;
+        }
+        for (auto& e : *b) {
+          EXPECT_TRUE(e.name.rfind("w", 0) == 0) << e.name;
+        }
+      }
+      (void)task->Close(*dfd);
+    }
+  });
+  workers.emplace_back([&] {
+    TaskPtr task = world_.root->Fork();
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)task->StatPath("/churn/w0_3");
+      (void)task->StatPath("/churn/w1_7");
+      (void)task->StatPath("/churn/none");
+    }
+  });
+  workers[0].join();
+  workers[1].join();
+  stop.store(true, std::memory_order_release);
+  workers[2].join();
+  workers[3].join();
+}
+
+TEST_P(ConcurrencyTest, EvictionRacesLookups) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Mkdir("/pool"));
+  for (int i = 0; i < 200; ++i) {
+    auto fd = t.Open("/pool/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(t.Close(*fd));
+  }
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) {
+    readers.emplace_back([&, i] {
+      TaskPtr task = world_.root->Fork();
+      Rng rng(static_cast<uint64_t>(i) + 1);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::string p = "/pool/f" + std::to_string(rng.Below(200));
+        auto r = task->StatPath(p);
+        EXPECT_TRUE(r.ok()) << ErrnoName(r.error()) << " for " << p;
+      }
+    });
+  }
+  for (int round = 0; round < 100; ++round) {
+    std::unique_lock<std::shared_mutex> tree(world_.kernel->tree_lock());
+    world_.kernel->dcache().Shrink(64);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) {
+    r.join();
+  }
+  // Everything must still resolve afterwards.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_OK(t.StatPath("/pool/f" + std::to_string(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKernels, ConcurrencyTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Optimized" : "Baseline";
+                         });
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,181 @@
+// Directory-completeness caching (§5.1): when DIR_COMPLETE is set, when it
+// must NOT be set, miss elision, readdir-from-cache coherence, and stub
+// dentry materialization.
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class DirCompleteTest : public ::testing::Test {
+ protected:
+  DirCompleteTest() : world_(CacheConfig::Optimized()) {}
+
+  Task& T() { return *world_.root; }
+  DentryCache& dc() { return world_.kernel->dcache(); }
+
+  Dentry* DirDentry(const std::string& name) {
+    Dentry* d = dc().LookupRef(world_.root->root().dentry(), name);
+    EXPECT_NE(d, nullptr);
+    if (d != nullptr) {
+      dc().Dput(d);  // return unreferenced; tests only read flags
+    }
+    return d;
+  }
+
+  void ListAll(const std::string& dir, size_t batch = 7,
+               std::set<std::string>* out = nullptr) {
+    auto dfd = T().Open(dir, kORead | kODirectory);
+    ASSERT_OK(dfd);
+    while (true) {
+      auto b = T().ReadDirFd(*dfd, batch);
+      ASSERT_OK(b);
+      if (b->empty()) {
+        break;
+      }
+      if (out != nullptr) {
+        for (auto& e : *b) {
+          out->insert(e.name);
+        }
+      }
+    }
+    ASSERT_OK(T().Close(*dfd));
+  }
+
+  TestWorld world_;
+};
+
+TEST_F(DirCompleteTest, MkdirStartsComplete) {
+  ASSERT_OK(T().Mkdir("/fresh"));
+  EXPECT_TRUE(DirDentry("fresh")->TestFlags(kDentDirComplete));
+  // A miss inside it never consults the FS (§5.1 file-creation case).
+  uint64_t misses = world_.kernel->stats().dcache_misses.value();
+  uint64_t elided = world_.kernel->stats().dir_complete_hits.value();
+  EXPECT_ERR(T().StatPath("/fresh/nothing"), Errno::kENOENT);
+  EXPECT_EQ(world_.kernel->stats().dir_complete_hits.value(), elided + 1);
+  (void)misses;
+}
+
+TEST_F(DirCompleteTest, FullScanSetsCompleteness) {
+  // Build a directory through the FS directly so the dcache has no entries.
+  ASSERT_OK(T().Mkdir("/scan"));
+  for (int i = 0; i < 20; ++i) {
+    auto fd = T().Open("/scan/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().Close(*fd));
+  }
+  // Drop the cache so /scan's children are unknown; re-instantiate the
+  // directory dentry itself with a stat.
+  world_.kernel->DropCaches();
+  ASSERT_OK(T().StatPath("/scan"));
+  Dentry* scan = DirDentry("scan");
+  EXPECT_FALSE(scan->TestFlags(kDentDirComplete));
+  ListAll("/scan");
+  EXPECT_TRUE(scan->TestFlags(kDentDirComplete));
+  // Second scan is served from the cache.
+  uint64_t cached = world_.kernel->stats().readdir_cached.value();
+  std::set<std::string> names;
+  ListAll("/scan", 7, &names);
+  EXPECT_GT(world_.kernel->stats().readdir_cached.value(), cached);
+  EXPECT_EQ(names.size(), 20u);
+}
+
+TEST_F(DirCompleteTest, SeekInterruptsCompletenessScan) {
+  ASSERT_OK(T().Mkdir("/seeky"));
+  for (int i = 0; i < 10; ++i) {
+    auto fd = T().Open("/seeky/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().Close(*fd));
+  }
+  world_.kernel->DropCaches();
+  ASSERT_OK(T().StatPath("/seeky"));
+  Dentry* dir = DirDentry("seeky");
+  auto dfd = T().Open("/seeky", kORead | kODirectory);
+  ASSERT_OK(dfd);
+  auto b = T().ReadDirFd(*dfd, 4);
+  ASSERT_OK(b);
+  // A seek into the middle of the stream disqualifies this scan (§5.1).
+  ASSERT_OK(T().Lseek(*dfd, b->empty() ? 1 : 5));
+  while (true) {
+    auto more = T().ReadDirFd(*dfd, 64);
+    ASSERT_OK(more);
+    if (more->empty()) {
+      break;
+    }
+  }
+  ASSERT_OK(T().Close(*dfd));
+  EXPECT_FALSE(dir->TestFlags(kDentDirComplete));
+}
+
+TEST_F(DirCompleteTest, ReaddirStubsMaterializeOnStat) {
+  ASSERT_OK(T().Mkdir("/stubs"));
+  for (int i = 0; i < 5; ++i) {
+    auto fd = T().Open("/stubs/s" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().WriteFd(*fd, "content!"));
+    ASSERT_OK(T().Close(*fd));
+  }
+  world_.kernel->DropCaches();
+  // A listing creates inode-less stub dentries (§5.1).
+  ListAll("/stubs");
+  Dentry* dir = DirDentry("stubs");
+  Dentry* stub = dc().LookupRef(dir, "s3");
+  ASSERT_NE(stub, nullptr);
+  EXPECT_TRUE(stub->IsStub());
+  EXPECT_EQ(stub->inode(), nullptr);
+  dc().Dput(stub);
+  // Stat materializes the inode from the stub's inode number.
+  auto st = T().StatPath("/stubs/s3");
+  ASSERT_OK(st);
+  EXPECT_EQ(st->size, 8u);
+  Dentry* real = dc().LookupRef(dir, "s3");
+  ASSERT_NE(real, nullptr);
+  EXPECT_FALSE(real->IsStub());
+  EXPECT_NE(real->inode(), nullptr);
+  dc().Dput(real);
+}
+
+TEST_F(DirCompleteTest, CreateAndUnlinkKeepCompleteness) {
+  ASSERT_OK(T().Mkdir("/mix"));
+  Dentry* dir = DirDentry("mix");
+  EXPECT_TRUE(dir->TestFlags(kDentDirComplete));
+  auto fd = T().Open("/mix/a", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  EXPECT_TRUE(dir->TestFlags(kDentDirComplete));  // coherent insert
+  ASSERT_OK(T().Unlink("/mix/a"));
+  EXPECT_TRUE(dir->TestFlags(kDentDirComplete));  // coherent removal
+  // And listings reflect reality throughout.
+  std::set<std::string> names;
+  ListAll("/mix", 7, &names);
+  EXPECT_TRUE(names.empty());
+}
+
+TEST_F(DirCompleteTest, CompletenessAcceleratesCreation) {
+  // mkstemp-style creation under a complete directory never asks the FS
+  // whether the random name exists (§5.1).
+  ASSERT_OK(T().Mkdir("/tmpd"));
+  uint64_t elided_before = world_.kernel->stats().dir_complete_hits.value();
+  for (int i = 0; i < 32; ++i) {
+    auto fd = T().Open("/tmpd/rand" + std::to_string(i * 7919),
+                       kOCreat | kOExcl | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().Close(*fd));
+  }
+  EXPECT_GE(world_.kernel->stats().dir_complete_hits.value(),
+            elided_before + 32);
+}
+
+TEST_F(DirCompleteTest, BaselineNeverSetsFlag) {
+  TestWorld baseline(CacheConfig::Baseline());
+  ASSERT_OK(baseline.root->Mkdir("/plain"));
+  Dentry* d = baseline.kernel->dcache().LookupRef(
+      baseline.root->root().dentry(), "plain");
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->TestFlags(kDentDirComplete));
+  baseline.kernel->dcache().Dput(d);
+}
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,142 @@
+// Direct Lookup Hash Table and Prefix Check Cache unit tests (§3.1).
+#include <gtest/gtest.h>
+
+#include "src/core/dlht.h"
+#include "src/core/pcc.h"
+#include "src/core/signature.h"
+#include "src/util/stats.h"
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+Signature SigOf(const PathSigner& signer, std::string_view a,
+                std::string_view b = {}) {
+  HashState st = signer.RootState();
+  EXPECT_TRUE(signer.AppendComponent(st, a));
+  if (!b.empty()) {
+    EXPECT_TRUE(signer.AppendComponent(st, b));
+  }
+  return signer.Finalize(st);
+}
+
+TEST(DlhtTest, InsertLookupRemove) {
+  PathSigner signer(1);
+  Dlht table(1 << 8);
+  FastDentry fd;
+  fd.signature = SigOf(signer, "etc", "passwd");
+  CacheStats stats;
+  EXPECT_EQ(table.Lookup(fd.signature, &stats), nullptr);
+  table.Insert(&fd);
+  EXPECT_EQ(table.Lookup(fd.signature, &stats), &fd);
+  EXPECT_EQ(table.SizeSlow(), 1u);
+  // A different signature misses even when it shares the bucket.
+  Signature other = SigOf(signer, "etc", "shadow");
+  other.bucket = fd.signature.bucket;
+  EXPECT_EQ(table.Lookup(other, &stats), nullptr);
+  Dlht::RemoveFromCurrent(&fd);
+  EXPECT_EQ(table.Lookup(fd.signature, &stats), nullptr);
+  EXPECT_EQ(fd.on_dlht, nullptr);
+  Dlht::RemoveFromCurrent(&fd);  // idempotent
+}
+
+TEST(DlhtTest, OneTableAtATime) {
+  PathSigner signer(2);
+  Dlht t1(1 << 6);
+  Dlht t2(1 << 6);
+  FastDentry fd;
+  fd.signature = SigOf(signer, "a");
+  t1.Insert(&fd);
+  EXPECT_EQ(fd.on_dlht, &t1);
+  // Moving to another table requires removal first (§4.3 discipline).
+  Dlht::RemoveFromCurrent(&fd);
+  t2.Insert(&fd);
+  EXPECT_EQ(fd.on_dlht, &t2);
+  CacheStats stats;
+  EXPECT_EQ(t1.Lookup(fd.signature, &stats), nullptr);
+  EXPECT_EQ(t2.Lookup(fd.signature, &stats), &fd);
+  Dlht::RemoveFromCurrent(&fd);
+}
+
+TEST(DlhtTest, ChainsHoldManyEntries) {
+  PathSigner signer(3);
+  Dlht table(1 << 2);  // tiny: force chains
+  std::vector<std::unique_ptr<FastDentry>> entries;
+  CacheStats stats;
+  for (int i = 0; i < 64; ++i) {
+    auto fd = std::make_unique<FastDentry>();
+    fd->signature = SigOf(signer, "f" + std::to_string(i));
+    table.Insert(fd.get());
+    entries.push_back(std::move(fd));
+  }
+  for (auto& fd : entries) {
+    EXPECT_EQ(table.Lookup(fd->signature, &stats), fd.get());
+  }
+  EXPECT_GT(stats.dlht_collisions.value(), 0u);  // chains were probed
+  for (auto& fd : entries) {
+    Dlht::RemoveFromCurrent(fd.get());
+  }
+  EXPECT_EQ(table.SizeSlow(), 0u);
+}
+
+TEST(PccTest, InsertLookupSeqMismatch) {
+  // Keys are pointer>>3: like dentries, test objects must be 8-aligned.
+  Pcc pcc(4096);
+  alignas(8) int64_t target;
+  pcc.Insert(&target, 7);
+  EXPECT_TRUE(pcc.Lookup(&target, 7));
+  EXPECT_FALSE(pcc.Lookup(&target, 8));  // stale sequence = invalid memo
+  alignas(8) int64_t other;
+  EXPECT_FALSE(pcc.Lookup(&other, 7));
+  // Updating the same key replaces the sequence.
+  pcc.Insert(&target, 9);
+  EXPECT_FALSE(pcc.Lookup(&target, 7));
+  EXPECT_TRUE(pcc.Lookup(&target, 9));
+}
+
+TEST(PccTest, FlushDropsEverything) {
+  Pcc pcc(4096);
+  std::vector<int64_t> keys(100);
+  for (auto& k : keys) {
+    pcc.Insert(&k, 1);
+  }
+  pcc.Flush();
+  for (auto& k : keys) {
+    EXPECT_FALSE(pcc.Lookup(&k, 1));
+  }
+}
+
+TEST(PccTest, EpochChangeSelfFlushes) {
+  Pcc pcc(4096);
+  alignas(8) int64_t key;
+  pcc.EnsureEpoch(1);
+  pcc.Insert(&key, 5);
+  EXPECT_TRUE(pcc.Lookup(&key, 5));
+  pcc.EnsureEpoch(2);  // version-counter wraparound (§3.1)
+  EXPECT_FALSE(pcc.Lookup(&key, 5));
+  pcc.EnsureEpoch(2);  // idempotent
+}
+
+TEST(PccTest, CapacityEvictsLruNotHot) {
+  Pcc pcc(1024);  // 64 entries, 16 sets
+  EXPECT_EQ(pcc.capacity_entries(), 64u);
+  // A hot entry touched between inserts should survive set pressure.
+  std::vector<uint64_t> storage(4096);
+  alignas(8) int64_t hot;
+  pcc.Insert(&hot, 1);
+  for (size_t i = 0; i < storage.size(); ++i) {
+    pcc.Insert(&storage[i], 2);
+    EXPECT_TRUE(pcc.Lookup(&hot, 1)) << "evicted after " << i;
+  }
+}
+
+TEST(PccTest, SizesRoundToPowerOfTwoSets) {
+  Pcc pcc(64 * 1024);
+  EXPECT_EQ(pcc.capacity_entries(), 4096u);  // paper's default geometry
+  EXPECT_EQ(pcc.bytes(), 64u * 1024u);
+  Pcc tiny(1);
+  EXPECT_GE(tiny.capacity_entries(), Pcc::kWays);
+}
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,113 @@
+// Epoch-based reclamation: deferred frees, reader protection, concurrency.
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/util/epoch.h"
+
+namespace dircache {
+namespace {
+
+struct Tracked {
+  explicit Tracked(std::atomic<int>* counter) : counter(counter) {
+    counter->fetch_add(1);
+  }
+  ~Tracked() { counter->fetch_sub(1); }
+  std::atomic<int>* counter;
+};
+
+TEST(EpochTest, SynchronizeFreesRetired) {
+  EpochDomain domain;
+  std::atomic<int> live{0};
+  for (int i = 0; i < 100; ++i) {
+    domain.RetireObject(new Tracked(&live));
+  }
+  EXPECT_EQ(live.load(), 100);  // not freed synchronously
+  domain.Synchronize();
+  EXPECT_EQ(live.load(), 0);
+  EXPECT_GE(domain.freed_count(), 100u);
+}
+
+TEST(EpochTest, ReaderBlocksReclamation) {
+  EpochDomain domain;
+  std::atomic<int> live{0};
+  std::atomic<bool> reader_in{false};
+  std::atomic<bool> release_reader{false};
+
+  std::thread reader([&] {
+    EpochDomain::ReadGuard guard(domain);
+    reader_in.store(true);
+    while (!release_reader.load()) {
+      std::this_thread::yield();
+    }
+  });
+  while (!reader_in.load()) {
+    std::this_thread::yield();
+  }
+  // Retire while the reader is pinned: many TryAdvance attempts happen,
+  // but nothing retired after the pin may be freed... (the reader joined
+  // the current epoch; retire enough to trigger advancement attempts).
+  for (int i = 0; i < 1000; ++i) {
+    domain.RetireObject(new Tracked(&live));
+  }
+  EXPECT_EQ(live.load(), 1000);  // reclamation stalled behind the reader
+  release_reader.store(true);
+  reader.join();
+  domain.Synchronize();
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST(EpochTest, ReentrantGuards) {
+  EpochDomain domain;
+  std::atomic<int> live{0};
+  {
+    EpochDomain::ReadGuard outer(domain);
+    {
+      EpochDomain::ReadGuard inner(domain);
+      domain.RetireObject(new Tracked(&live));
+    }
+    // Still inside the outer guard: object must survive.
+    EXPECT_EQ(live.load(), 1);
+  }
+  domain.Synchronize();
+  EXPECT_EQ(live.load(), 0);
+}
+
+TEST(EpochTest, ConcurrentReadersAndRetirers) {
+  EpochDomain domain;
+  std::atomic<int> live{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        EpochDomain::ReadGuard guard(domain);
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (int i = 0; i < 20000; ++i) {
+    domain.RetireObject(new Tracked(&live));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) {
+    r.join();
+  }
+  domain.Synchronize();
+  EXPECT_EQ(live.load(), 0);
+  EXPECT_EQ(domain.retired_count(), 20000u);
+}
+
+TEST(EpochTest, DistinctDomainsAreIndependent) {
+  auto d1 = std::make_unique<EpochDomain>();
+  auto d2 = std::make_unique<EpochDomain>();
+  std::atomic<int> live{0};
+  EpochDomain::ReadGuard guard(*d1);  // pins d1 only
+  d2->RetireObject(new Tracked(&live));
+  d2->Synchronize();  // must not deadlock on d1's reader
+  EXPECT_EQ(live.load(), 0);
+}
+
+}  // namespace
+}  // namespace dircache

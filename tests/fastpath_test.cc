@@ -1,0 +1,290 @@
+// Fastpath mechanics (§3): DLHT/PCC hits, coherence with chmod/chown/
+// rename (§3.2), credential isolation, directory-reference semantics,
+// symlink aliases (§4.2), and the Figure 6 test hooks.
+#include "src/core/pcc.h"
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class FastpathTest : public ::testing::Test {
+ protected:
+  FastpathTest() : world_(CacheConfig::Optimized()) {
+    Task& t = *world_.root;
+    EXPECT_OK(t.Mkdir("/home"));
+    EXPECT_OK(t.Mkdir("/home/alice"));
+    EXPECT_OK(t.Mkdir("/home/alice/docs"));
+    auto fd = t.Open("/home/alice/docs/file", kOCreat | kOWrite);
+    EXPECT_OK(fd);
+    EXPECT_OK(t.Close(*fd));
+    EXPECT_OK(t.Chmod("/home", 0755));
+    EXPECT_OK(t.Chmod("/home/alice", 0755));
+    EXPECT_OK(t.Chmod("/home/alice/docs", 0755));
+  }
+
+  uint64_t FastHits() { return world_.kernel->stats().fastpath_hits.value(); }
+
+  TestWorld world_;
+};
+
+TEST_F(FastpathTest, SecondLookupHitsFastpath) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.StatPath("/home/alice/docs/file"));  // slowpath, populates
+  uint64_t before = FastHits();
+  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  EXPECT_EQ(FastHits(), before + 1);
+}
+
+TEST_F(FastpathTest, FastpathSurvivesSlowpathForbidden) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  PathWalker::forbid_slowpath = true;
+  EXPECT_OK(t.StatPath("/home/alice/docs/file"));
+  PathWalker::forbid_slowpath = false;
+}
+
+TEST_F(FastpathTest, ChmodOfAncestorInvalidatesPrefixChecks) {
+  TaskPtr alice = world_.UserTask(1000, 1000);
+  ASSERT_OK(alice->StatPath("/home/alice/docs/file"));
+  ASSERT_OK(alice->StatPath("/home/alice/docs/file"));  // fastpath warm
+  // Root revokes search permission on an ancestor.
+  ASSERT_OK(world_.root->Chmod("/home/alice", 0700));
+  // Alice (uid 1000, not the owner — dirs are root-owned here) must now be
+  // denied, with NO stale fastpath grant.
+  EXPECT_ERR(alice->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+  // Restore and verify recovery.
+  ASSERT_OK(world_.root->Chmod("/home/alice", 0755));
+  EXPECT_OK(alice->StatPath("/home/alice/docs/file"));
+  EXPECT_OK(alice->StatPath("/home/alice/docs/file"));
+}
+
+TEST_F(FastpathTest, ChownOfAncestorInvalidates) {
+  TaskPtr bob = world_.UserTask(1001, 1001);
+  ASSERT_OK(world_.root->Chmod("/home/alice", 0750));
+  ASSERT_OK(world_.root->Chown("/home/alice", 1001, 1001));
+  EXPECT_OK(bob->StatPath("/home/alice/docs/file"));
+  EXPECT_OK(bob->StatPath("/home/alice/docs/file"));  // warm
+  ASSERT_OK(world_.root->Chown("/home/alice", 0, 0));
+  EXPECT_ERR(bob->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+}
+
+TEST_F(FastpathTest, RenameInvalidatesOldPath) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  ASSERT_OK(t.Rename("/home/alice/docs", "/home/alice/papers"));
+  EXPECT_ERR(t.StatPath("/home/alice/docs/file"), Errno::kENOENT);
+  EXPECT_OK(t.StatPath("/home/alice/papers/file"));
+  EXPECT_OK(t.StatPath("/home/alice/papers/file"));
+}
+
+TEST_F(FastpathTest, CredentialsDoNotShareGrants) {
+  TaskPtr alice = world_.UserTask(1000, 1000);
+  TaskPtr bob = world_.UserTask(1001, 1001);
+  ASSERT_OK(world_.root->Mkdir("/private"));
+  ASSERT_OK(world_.root->Chown("/private", 1000, 1000));
+  ASSERT_OK(world_.root->Chmod("/private", 0700));
+  auto fd = alice->Open("/private/secret", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(alice->Close(*fd));
+  // Alice warms her PCC on the path.
+  ASSERT_OK(alice->StatPath("/private/secret"));
+  ASSERT_OK(alice->StatPath("/private/secret"));
+  // Bob must not ride Alice's memoized prefix checks.
+  EXPECT_ERR(bob->StatPath("/private/secret"), Errno::kEACCES);
+}
+
+TEST_F(FastpathTest, SameCredSharesPcc) {
+  TaskPtr a1 = world_.UserTask(1000, 1000);
+  TaskPtr a2 = a1->Fork();  // same cred object
+  ASSERT_OK(a1->StatPath("/home/alice/docs/file"));
+  uint64_t before = FastHits();
+  ASSERT_OK(a2->StatPath("/home/alice/docs/file"));
+  EXPECT_EQ(FastHits(), before + 1);  // a2 benefits from a1's prefix check
+  EXPECT_EQ(a1->cred().get(), a2->cred().get());
+}
+
+TEST_F(FastpathTest, CommitCredsDedupPreservesPcc) {
+  TaskPtr alice = world_.UserTask(1000, 1000);
+  const Cred* cred_before = alice->cred().get();
+  // Re-applying an identical identity must keep the cred (and its PCC).
+  alice->SetCred(MakeCred(1000, 1000));
+  EXPECT_EQ(alice->cred().get(), cred_before);
+  // A different identity replaces it.
+  alice->SetCred(MakeCred(1000, 2000));
+  EXPECT_NE(alice->cred().get(), cred_before);
+}
+
+TEST_F(FastpathTest, NegativeLookupsHitFastpath) {
+  Task& t = *world_.root;
+  EXPECT_ERR(t.StatPath("/home/alice/docs/nope"), Errno::kENOENT);
+  uint64_t before = FastHits();
+  EXPECT_ERR(t.StatPath("/home/alice/docs/nope"), Errno::kENOENT);
+  EXPECT_EQ(FastHits(), before + 1);
+  // Creating the file must kill the negative.
+  auto fd = t.Open("/home/alice/docs/nope", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(t.Close(*fd));
+  EXPECT_OK(t.StatPath("/home/alice/docs/nope"));
+}
+
+TEST_F(FastpathTest, DeepNegativesServeFullPaths) {
+  Task& t = *world_.root;
+  EXPECT_ERR(t.StatPath("/home/alice/gone/x/y/z"), Errno::kENOENT);
+  uint64_t before = FastHits();
+  EXPECT_ERR(t.StatPath("/home/alice/gone/x/y/z"), Errno::kENOENT);
+  EXPECT_EQ(FastHits(), before + 1);
+  // Creating the intermediate as a file flips the suffix to ENOTDIR.
+  auto fd = t.Open("/home/alice/gone", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(t.Close(*fd));
+  EXPECT_ERR(t.StatPath("/home/alice/gone/x/y/z"), Errno::kENOTDIR);
+}
+
+TEST_F(FastpathTest, EnotdirDeepNegatives) {
+  Task& t = *world_.root;
+  auto fd = t.Open("/plainfile", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(t.Close(*fd));
+  EXPECT_ERR(t.StatPath("/plainfile/below"), Errno::kENOTDIR);
+  uint64_t before = FastHits();
+  EXPECT_ERR(t.StatPath("/plainfile/below"), Errno::kENOTDIR);
+  EXPECT_EQ(FastHits(), before + 1);  // cached ENOTDIR (§5.2)
+}
+
+TEST_F(FastpathTest, TrailingSymlinkFollowUsesTargetSignature) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Symlink("/home/alice/docs/file", "/shortcut"));
+  ASSERT_OK(t.StatPath("/shortcut"));  // slowpath: memoizes target sig
+  uint64_t before = FastHits();
+  ASSERT_OK(t.StatPath("/shortcut"));
+  EXPECT_EQ(FastHits(), before + 1);
+}
+
+TEST_F(FastpathTest, MidPathSymlinkAliasHits) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Symlink("/home/alice", "/al"));
+  ASSERT_OK(t.StatPath("/al/docs/file"));  // builds alias chain
+  uint64_t before = FastHits();
+  ASSERT_OK(t.StatPath("/al/docs/file"));
+  EXPECT_EQ(FastHits(), before + 1);
+  // Target-side permission changes must invalidate alias-path access too.
+  TaskPtr alice = world_.UserTask(1000, 1000);
+  ASSERT_OK(alice->StatPath("/al/docs/file"));
+  ASSERT_OK(alice->StatPath("/al/docs/file"));
+  ASSERT_OK(world_.root->Chmod("/home/alice/docs", 0700));
+  EXPECT_ERR(alice->StatPath("/al/docs/file"), Errno::kEACCES);
+}
+
+TEST_F(FastpathTest, SymlinkRemovalDropsAliases) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Symlink("/home/alice", "/al2"));
+  ASSERT_OK(t.StatPath("/al2/docs/file"));
+  ASSERT_OK(t.StatPath("/al2/docs/file"));
+  ASSERT_OK(t.Unlink("/al2"));
+  EXPECT_ERR(t.StatPath("/al2/docs/file"), Errno::kENOENT);
+}
+
+TEST_F(FastpathTest, DotDotPathsStayCorrect) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Mkdir("/home/alice/music"));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_OK(t.StatPath("/home/alice/music/../docs/file"));
+  }
+  // Permission change on the dir being exited must be honored.
+  TaskPtr alice = world_.UserTask(1000, 1000);
+  EXPECT_OK(alice->StatPath("/home/alice/music/../docs/file"));
+  EXPECT_OK(alice->StatPath("/home/alice/music/../docs/file"));
+  ASSERT_OK(world_.root->Chmod("/home/alice/music", 0700));
+  // POSIX semantics: alice needs search permission on music to pass
+  // through it, even though ".." leaves immediately.
+  EXPECT_ERR(alice->StatPath("/home/alice/music/../docs/file"),
+             Errno::kEACCES);
+}
+
+TEST_F(FastpathTest, DirectoryReferenceSemantics) {
+  // §3.2: a process keeps using its cwd after an ancestor permission
+  // revocation, but that must not leak cacheable full-path grants.
+  TaskPtr alice = world_.UserTask(1000, 1000);
+  ASSERT_OK(world_.root->Chmod("/home/alice", 0755));
+  ASSERT_OK(alice->Chdir("/home/alice/docs"));
+  EXPECT_OK(alice->StatPath("file"));
+  ASSERT_OK(world_.root->Chmod("/home/alice", 0700));  // revoke
+  // Relative access through the retained cwd still works...
+  EXPECT_OK(alice->StatPath("file"));
+  EXPECT_OK(alice->StatPath("file"));
+  // ...but absolute access is now denied — including right after the
+  // relative lookups above (no PCC laundering).
+  EXPECT_ERR(alice->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+}
+
+TEST_F(FastpathTest, ForcedMissFallsBackCorrectly) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  PathWalker::force_fastpath_miss = true;
+  uint64_t before = FastHits();
+  EXPECT_OK(t.StatPath("/home/alice/docs/file"));
+  EXPECT_EQ(FastHits(), before);  // fastpath bypassed
+  PathWalker::force_fastpath_miss = false;
+}
+
+TEST_F(FastpathTest, PrivilegedBypassDisablesAcceleration) {
+  // §3.3: "disallowing signature-based lookup acceleration for privileged
+  // binaries" — implemented here behind a config flag.
+  CacheConfig cfg = CacheConfig::Optimized();
+  cfg.fastpath_for_privileged = false;
+  TestWorld hardened(cfg);
+  Task& root = *hardened.root;
+  ASSERT_OK(root.Mkdir("/sys"));
+  auto fd = root.Open("/sys/shadow", kOCreat | kOWrite, 0600);
+  ASSERT_OK(fd);
+  ASSERT_OK(root.Close(*fd));
+  ASSERT_OK(root.StatPath("/sys/shadow"));
+  uint64_t fast_before = hardened.kernel->stats().fastpath_hits.value();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_OK(root.StatPath("/sys/shadow"));  // root: slowpath only
+  }
+  EXPECT_EQ(hardened.kernel->stats().fastpath_hits.value(), fast_before);
+  // Unprivileged tasks still ride the fastpath.
+  ASSERT_OK(root.Chmod("/sys", 0755));
+  ASSERT_OK(root.Chmod("/sys/shadow", 0644));
+  TaskPtr user = hardened.UserTask(1000, 1000);
+  ASSERT_OK(user->StatPath("/sys/shadow"));
+  ASSERT_OK(user->StatPath("/sys/shadow"));
+  EXPECT_GT(hardened.kernel->stats().fastpath_hits.value(), fast_before);
+}
+
+TEST_F(FastpathTest, PccEpochFlushOnWraparound) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  // Simulate the version-counter wraparound: bump the global PCC epoch.
+  world_.kernel->BumpPccEpoch();
+  uint64_t before = FastHits();
+  EXPECT_OK(t.StatPath("/home/alice/docs/file"));  // PCC self-flushed: slow
+  EXPECT_EQ(FastHits(), before);
+  EXPECT_OK(t.StatPath("/home/alice/docs/file"));  // repopulated
+  EXPECT_EQ(FastHits(), before + 1);
+}
+
+TEST_F(FastpathTest, LabelLsmDecisionsAreMemoizedAndInvalidated) {
+  auto lsm = std::make_unique<LabelLsm>();
+  LabelLsm* lsm_ptr = lsm.get();
+  world_.kernel->security().AddModule(std::move(lsm));
+  ASSERT_OK(world_.root->SetSecurityLabel("/home/alice", "alice_home"));
+  TaskPtr agent = world_.UserTask(1000, 1000, {}, "agent_t");
+  // No rule: (agent_t, alice_home) denied for exec.
+  EXPECT_ERR(agent->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+  lsm_ptr->Allow("agent_t", "alice_home", kMayRead | kMayExec);
+  // Policy changed: caller must invalidate (the LSM contract). Relabeling
+  // with the same label reuses the subtree invalidation path.
+  ASSERT_OK(world_.root->SetSecurityLabel("/home/alice", "alice_home"));
+  EXPECT_OK(agent->StatPath("/home/alice/docs/file"));
+  EXPECT_OK(agent->StatPath("/home/alice/docs/file"));  // memoized
+  lsm_ptr->ClearRule("agent_t", "alice_home");
+  ASSERT_OK(world_.root->SetSecurityLabel("/home/alice", "alice_home"));
+  EXPECT_ERR(agent->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+}
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,213 @@
+// Media-failure injection: the simulated block device can be told to fail
+// the next N reads or writes with EIO. These tests pin the error-path
+// invariants a production VFS must keep:
+//   - an EIO lookup propagates to the caller and is NOT cached as ENOENT
+//     (no negative dentry for a failed read);
+//   - the buffer cache neither caches a failed read nor clears the dirty
+//     bit on a failed write-back;
+//   - once the fault clears, every operation recovers with no residue.
+#include "src/storage/buffer_cache.h"
+#include "src/storage/fsck.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class FaultInjectionTest : public ::testing::TestWithParam<CacheConfig> {
+ protected:
+  FaultInjectionTest()
+      : fs_(std::make_shared<DiskFs>(SmallDisk())),
+        world_(GetParam(), fs_) {}
+
+  static DiskFsOptions SmallDisk() {
+    DiskFsOptions opt;
+    opt.num_blocks = 1 << 14;
+    opt.max_inodes = 1 << 12;
+    opt.buffer_cache_blocks = 64;
+    return opt;
+  }
+
+  Task& T() { return *world_.root; }
+
+  std::shared_ptr<DiskFs> fs_;
+  TestWorld world_;
+};
+
+TEST_P(FaultInjectionTest, ColdLookupEioIsNotCachedAsNegative) {
+  ASSERT_OK(T().Mkdir("/d"));
+  auto fd = T().Open("/d/f", kOCreat | kOWrite, 0644);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  world_.kernel->DropCaches();
+
+  // Every device read fails while the fault is armed; the cold lookup must
+  // surface EIO, not invent ENOENT.
+  fs_->device().InjectReadFaults(1000);
+  auto st = T().StatPath("/d/f");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.error(), Errno::kEIO);
+  EXPECT_GT(fs_->device().io_errors(), 0u);
+
+  // Fault clears: the same path must resolve — proving neither a negative
+  // dentry nor a poisoned buffer survived the failure.
+  fs_->device().InjectReadFaults(0);
+  ASSERT_OK(T().StatPath("/d/f"));
+  ASSERT_OK(T().StatPath("/d/f"));  // and again via whatever cache applies
+}
+
+TEST_P(FaultInjectionTest, ReaddirEioPropagatesAndRecovers) {
+  ASSERT_OK(T().Mkdir("/dir"));
+  for (int i = 0; i < 20; ++i) {
+    auto fd = T().Open("/dir/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().Close(*fd));
+  }
+  world_.kernel->DropCaches();
+
+  fs_->device().InjectReadFaults(1000);
+  auto dirfd = T().Open("/dir", kORead);
+  if (dirfd.ok()) {  // opening may already need the faulted device
+    auto entries = T().ReadDirFd(*dirfd);
+    EXPECT_FALSE(entries.ok());
+    ASSERT_OK(T().Close(*dirfd));
+  }
+  fs_->device().InjectReadFaults(0);
+
+  auto fd2 = T().Open("/dir", kORead);
+  ASSERT_OK(fd2);
+  auto entries = T().ReadDirFd(*fd2);
+  ASSERT_OK(entries);
+  EXPECT_EQ(entries->size(), 20u);  // dot entries are not emitted
+  ASSERT_OK(T().Close(*fd2));
+}
+
+TEST_P(FaultInjectionTest, TransientEioDoesNotCorruptTheTree) {
+  // Random churn with intermittent read faults, then an fsck-clean check:
+  // failed reads must never be allowed to damage on-disk state.
+  Rng rng(42);
+  ASSERT_OK(T().Mkdir("/w"));
+  for (int round = 0; round < 200; ++round) {
+    if (round % 17 == 0) {
+      fs_->device().InjectReadFaults(static_cast<uint32_t>(rng.Next() % 4));
+    }
+    std::string name = "/w/n" + std::to_string(rng.Next() % 32);
+    switch (rng.Next() % 4) {
+      case 0: {
+        auto fd = T().Open(name, kOCreat | kOWrite, 0644);
+        if (fd.ok()) {
+          (void)T().Close(*fd);
+        }
+        break;
+      }
+      case 1:
+        (void)T().Unlink(name);
+        break;
+      case 2:
+        (void)T().StatPath(name);
+        break;
+      default:
+        world_.kernel->DropCaches();
+        break;
+    }
+  }
+  fs_->device().InjectReadFaults(0);
+  world_.kernel->DropCaches();
+  FsckReport report = RunFsck(*fs_);
+  EXPECT_TRUE(report.clean()) << report.Summary();
+}
+
+TEST(FaultInjectionOptimizedTest, DirCompletenessServesMissesDespiteFaults) {
+  // §5.1 side effect: once a directory is DIR_COMPLETE, misses under it are
+  // answered from the cache — even while the device is returning errors.
+  // (The same is true of any warm cache hit; this pins the strongest case,
+  // where the *absence* of a name is served without touching the device.)
+  auto fs = std::make_shared<DiskFs>();
+  TestWorld world(CacheConfig::Optimized(), fs);
+  Task& t = *world.root;
+  ASSERT_OK(t.Mkdir("/spool"));
+  auto fd = t.Open("/spool/job1", kOCreat | kOWrite, 0644);
+  ASSERT_OK(fd);
+  ASSERT_OK(t.Close(*fd));
+  // A full readdir marks /spool DIR_COMPLETE.
+  auto dfd = t.Open("/spool", kORead);
+  ASSERT_OK(dfd);
+  for (;;) {
+    auto batch = t.ReadDirFd(*dfd);
+    ASSERT_OK(batch);
+    if (batch->empty()) {
+      break;
+    }
+  }
+  ASSERT_OK(t.Close(*dfd));
+
+  fs->device().InjectReadFaults(1000);
+  uint64_t reads_before = fs->device().reads();
+  EXPECT_ERR(t.StatPath("/spool/job2"), Errno::kENOENT);  // not EIO
+  EXPECT_OK(t.StatPath("/spool/job1"));                   // warm hit
+  EXPECT_EQ(fs->device().reads(), reads_before);  // device never consulted
+  fs->device().InjectReadFaults(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, FaultInjectionTest,
+                         ::testing::Values(CacheConfig::Baseline(),
+                                           CacheConfig::Optimized()),
+                         [](const auto& info) {
+                           return info.index == 0 ? "baseline" : "optimized";
+                         });
+
+// ---------------------------------------------------------------------------
+// Storage-layer invariants, below the VFS.
+
+TEST(BufferCacheFaultTest, FailedReadIsNotCached) {
+  BlockDevice dev(64);
+  BufferCache cache(&dev, 16);
+  dev.InjectReadFaults(1);
+  auto r = cache.Get(3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), Errno::kEIO);
+  // The failed fill must not have left a zero-filled buffer behind.
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+  auto ok = cache.Get(3);
+  ASSERT_OK(ok);
+}
+
+TEST(BufferCacheFaultTest, FailedWritebackKeepsBufferDirty) {
+  BlockDevice dev(64);
+  BufferCache cache(&dev, 16);
+  {
+    auto buf = cache.GetForOverwrite(5);
+    ASSERT_OK(buf);
+    buf->data()[0] = 0xAB;
+    buf->MarkDirty();
+  }
+  dev.InjectWriteFaults(1);
+  EXPECT_FALSE(cache.Sync().ok());
+  // Dirty data survives the failed write-back and lands on the next sync.
+  ASSERT_OK(cache.Sync());
+  cache.Drop();
+  auto back = cache.Get(5);
+  ASSERT_OK(back);
+  EXPECT_EQ(back->data()[0], 0xAB);
+}
+
+TEST(BlockDeviceFaultTest, InjectedFaultsCountDownAndLeaveDataIntact) {
+  BlockDevice dev(8);
+  Block b{};
+  b[0] = 0x42;
+  ASSERT_OK(dev.Write(1, b));
+  dev.InjectWriteFaults(2);
+  b[0] = 0x99;
+  EXPECT_FALSE(dev.Write(1, b).ok());
+  EXPECT_FALSE(dev.Write(1, b).ok());
+  EXPECT_EQ(dev.io_errors(), 2u);
+  Block out{};
+  ASSERT_OK(dev.Read(1, &out));
+  EXPECT_EQ(out[0], 0x42);  // both faulted writes were dropped
+  ASSERT_OK(dev.Write(1, b));  // injection exhausted
+  ASSERT_OK(dev.Read(1, &out));
+  EXPECT_EQ(out[0], 0x99);
+}
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,169 @@
+// Properties of the path signature scheme (§3.3): determinism, keyedness,
+// prefix-resume equivalence, length separation, and index distribution.
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/core/signature.h"
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+
+namespace dircache {
+namespace {
+
+TEST(HashTest, DeterministicForSameKey) {
+  PathHashKey key(1234);
+  PathHasher hasher(&key);
+  auto sig = [&](std::string_view s) {
+    HashState st = hasher.Init();
+    EXPECT_TRUE(hasher.Update(st, s));
+    return hasher.Finalize(st);
+  };
+  EXPECT_EQ(sig("/usr/include/stdio.h"), sig("/usr/include/stdio.h"));
+  EXPECT_NE(sig("/usr/include/stdio.h"), sig("/usr/include/stdlib.h"));
+}
+
+TEST(HashTest, DifferentKeysDisagree) {
+  // The signature is keyed per boot: the same path hashes differently
+  // under different keys (blocks offline collision search, §3.3).
+  PathHashKey k1(1);
+  PathHashKey k2(2);
+  PathHasher h1(&k1);
+  PathHasher h2(&k2);
+  HashState s1 = h1.Init();
+  HashState s2 = h2.Init();
+  ASSERT_TRUE(h1.Update(s1, "/etc/passwd"));
+  ASSERT_TRUE(h2.Update(s2, "/etc/passwd"));
+  EXPECT_NE(h1.Finalize(s1), h2.Finalize(s2));
+}
+
+TEST(HashTest, SplitUpdatesEqualWholeUpdates) {
+  // Resumable state: hashing in arbitrary chunks gives the same result —
+  // the property that lets children extend the parent's stored state.
+  PathHashKey key(99);
+  PathHasher hasher(&key);
+  const std::string path = "/home/alice/projects/dircache/src/vfs/walk.cc";
+  HashState whole = hasher.Init();
+  ASSERT_TRUE(hasher.Update(whole, path));
+  Signature expected = hasher.Finalize(whole);
+  for (size_t split1 = 1; split1 < path.size(); split1 += 3) {
+    for (size_t split2 = split1; split2 < path.size(); split2 += 7) {
+      HashState st = hasher.Init();
+      ASSERT_TRUE(hasher.Update(st, path.substr(0, split1)));
+      ASSERT_TRUE(hasher.Update(st, path.substr(split1, split2 - split1)));
+      ASSERT_TRUE(hasher.Update(st, path.substr(split2)));
+      EXPECT_EQ(hasher.Finalize(st), expected)
+          << "splits at " << split1 << "," << split2;
+    }
+  }
+}
+
+TEST(HashTest, FinalizeDoesNotConsumeState) {
+  PathHashKey key(5);
+  PathHasher hasher(&key);
+  HashState st = hasher.Init();
+  ASSERT_TRUE(hasher.Update(st, "/a"));
+  Signature mid = hasher.Finalize(st);
+  ASSERT_TRUE(hasher.Update(st, "/b"));
+  Signature full = hasher.Finalize(st);
+  EXPECT_NE(mid, full);
+  // Recompute /a/b from scratch; must match the resumed value.
+  HashState st2 = hasher.Init();
+  ASSERT_TRUE(hasher.Update(st2, "/a/b"));
+  EXPECT_EQ(hasher.Finalize(st2), full);
+}
+
+TEST(HashTest, PrefixAndPaddingSeparation) {
+  // Zero-padding and prefix relationships must not collide: "/ab" vs
+  // "/ab\0..." style confusions are prevented by length folding.
+  PathHashKey key(7);
+  PathHasher hasher(&key);
+  auto sig = [&](std::string_view s) {
+    HashState st = hasher.Init();
+    EXPECT_TRUE(hasher.Update(st, s));
+    return hasher.Finalize(st);
+  };
+  EXPECT_NE(sig("/ab"), sig(std::string("/ab\0", 4)));
+  EXPECT_NE(sig("/abcd"), sig("/abcd/efg"));
+  EXPECT_NE(sig(""), sig(std::string("\0", 1)));
+}
+
+TEST(HashTest, NoCollisionsInLargeSample) {
+  PathHashKey key(42);
+  PathHasher hasher(&key);
+  Rng rng(3);
+  std::set<std::array<uint64_t, 4>> seen;
+  for (int i = 0; i < 200000; ++i) {
+    std::string path = "/d" + std::to_string(rng.Below(50));
+    path += "/f" + std::to_string(i);
+    HashState st = hasher.Init();
+    ASSERT_TRUE(hasher.Update(st, path));
+    Signature sig = hasher.Finalize(st);
+    EXPECT_TRUE(seen.insert(sig.words).second) << "collision at " << path;
+  }
+}
+
+TEST(HashTest, BucketIndexIsReasonablyUniform) {
+  PathHashKey key(11);
+  PathHasher hasher(&key);
+  std::array<int, 64> histogram{};
+  constexpr int kSamples = 64 * 1024;
+  for (int i = 0; i < kSamples; ++i) {
+    HashState st = hasher.Init();
+    std::string path = "/x/file" + std::to_string(i);
+    ASSERT_TRUE(hasher.Update(st, path));
+    histogram[hasher.Finalize(st).bucket % 64] += 1;
+  }
+  // Every 64th of the space should hold ~1024 +- 40%.
+  for (int count : histogram) {
+    EXPECT_GT(count, 1024 * 6 / 10);
+    EXPECT_LT(count, 1024 * 14 / 10);
+  }
+}
+
+TEST(HashTest, RejectsOverlongPaths) {
+  PathHashKey key(1);
+  PathHasher hasher(&key);
+  HashState st = hasher.Init();
+  std::string big(PathHashKey::kMaxPathLen, 'x');
+  EXPECT_TRUE(hasher.Update(st, big));
+  EXPECT_FALSE(hasher.Update(st, "y"));  // would exceed PATH_MAX
+}
+
+TEST(PathSignerTest, AppendComponentMatchesSlashJoin) {
+  PathSigner signer(77);
+  HashState st = signer.RootState();
+  ASSERT_TRUE(signer.AppendComponent(st, "usr"));
+  ASSERT_TRUE(signer.AppendComponent(st, "include"));
+  ASSERT_TRUE(signer.AppendComponent(st, "stdio.h"));
+  Signature via_components = signer.Finalize(st);
+
+  // The canonical string is "/usr/include/stdio.h".
+  PathHashKey key(77);
+  PathHasher hasher(&key);
+  HashState st2 = hasher.Init();
+  ASSERT_TRUE(hasher.Update(st2, "/usr/include/stdio.h"));
+  EXPECT_EQ(hasher.Finalize(st2), via_components);
+}
+
+TEST(PathSignerTest, LongComponentTakesSlowPathConsistently) {
+  PathSigner signer(13);
+  std::string longname(200, 'n');
+  HashState st = signer.RootState();
+  ASSERT_TRUE(signer.AppendComponent(st, longname));
+  PathHashKey key(13);
+  PathHasher hasher(&key);
+  HashState st2 = hasher.Init();
+  ASSERT_TRUE(hasher.Update(st2, "/" + longname));
+  EXPECT_EQ(hasher.Finalize(st2), signer.Finalize(st));
+}
+
+TEST(HashBytes64Test, SeedSensitivity) {
+  EXPECT_NE(HashBytes64(1, "name"), HashBytes64(2, "name"));
+  EXPECT_EQ(HashBytes64(1, "name"), HashBytes64(1, "name"));
+  EXPECT_NE(HashBytes64(1, "name"), HashBytes64(1, "namf"));
+}
+
+}  // namespace
+}  // namespace dircache

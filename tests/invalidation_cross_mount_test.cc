@@ -1,0 +1,114 @@
+// Regression tests for the two §3.2/§4.3 interaction bugs the randomized
+// equivalence oracle uncovered: subtree invalidation must cross mount
+// boundaries, and rename must refuse busy mountpoints.
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class CrossMountTest : public ::testing::Test {
+ protected:
+  CrossMountTest() : world_(CacheConfig::Optimized()) {}
+  Task& T() { return *world_.root; }
+  TestWorld world_;
+};
+
+TEST_F(CrossMountTest, PermissionChangeAboveMountpointInvalidatesInside) {
+  ASSERT_OK(T().Mkdir("/outer", 0755));
+  ASSERT_OK(T().Mkdir("/outer/mnt"));
+  auto fs = std::make_shared<MemFs>();
+  ASSERT_OK(fs->Create(MemFs::kRootIno, "inside", FileType::kRegular, 0644,
+                       0, 0));
+  ASSERT_OK(T().Mount("/outer/mnt", fs));
+
+  TaskPtr user = world_.UserTask(1000, 1000);
+  ASSERT_OK(user->StatPath("/outer/mnt/inside"));
+  ASSERT_OK(user->StatPath("/outer/mnt/inside"));  // fastpath warm
+  // Revoke search permission ABOVE the mountpoint: cached prefix checks
+  // for dentries INSIDE the mounted FS must die with it.
+  ASSERT_OK(T().Chmod("/outer", 0700));
+  EXPECT_ERR(user->StatPath("/outer/mnt/inside"), Errno::kEACCES);
+  // Missing-name results inside the mount are equally protected.
+  ASSERT_OK(T().Chmod("/outer", 0755));
+  EXPECT_ERR(user->StatPath("/outer/mnt/nothing"), Errno::kENOENT);
+  EXPECT_ERR(user->StatPath("/outer/mnt/nothing"), Errno::kENOENT);
+  ASSERT_OK(T().Chmod("/outer", 0700));
+  EXPECT_ERR(user->StatPath("/outer/mnt/nothing"), Errno::kEACCES);
+}
+
+TEST_F(CrossMountTest, RootPermissionChangeReachesEveryMount) {
+  ASSERT_OK(T().Mkdir("/m1"));
+  auto fs = std::make_shared<MemFs>();
+  ASSERT_OK(fs->Create(MemFs::kRootIno, "f", FileType::kRegular, 0644, 0,
+                       0));
+  ASSERT_OK(T().Mount("/m1", fs));
+  TaskPtr user = world_.UserTask(1000, 1000);
+  ASSERT_OK(user->StatPath("/m1/f"));
+  ASSERT_OK(user->StatPath("/m1/f"));
+  // chmod of "/" itself (via the dot-dot alias the oracle used).
+  ASSERT_OK(T().Chmod("/..", 0700));
+  EXPECT_ERR(user->StatPath("/m1/f"), Errno::kEACCES);
+  ASSERT_OK(T().Chmod("/", 0755));
+  EXPECT_OK(user->StatPath("/m1/f"));
+}
+
+TEST_F(CrossMountTest, BindMountCycleDoesNotHangInvalidation) {
+  // Bind "/" inside its own subtree: the invalidation walk crosses into
+  // the bind and must terminate via its visited set.
+  ASSERT_OK(T().Mkdir("/a"));
+  ASSERT_OK(T().Mkdir("/a/loop"));
+  ASSERT_OK(T().BindMount("/", "/a/loop"));
+  ASSERT_OK(T().StatPath("/a/loop/a/loop"));
+  // Mounts are keyed by (mount, dentry), so the inner "loop" is the plain
+  // underlying (empty) directory — nothing is mounted there (Linux
+  // semantics for a recursive-looking bind of "/").
+  EXPECT_ERR(T().StatPath("/a/loop/a/loop/a"), Errno::kENOENT);
+  ASSERT_OK(T().Chmod("/a", 0700));  // invalidates; must not loop forever
+  ASSERT_OK(T().Chmod("/a", 0755));
+  EXPECT_OK(T().StatPath("/a/loop/a"));
+}
+
+TEST_F(CrossMountTest, ClonedNamespaceSeesInvalidationFromOriginal) {
+  // A cloned mount namespace gets its own DLHT, but dentries (and their
+  // version counters) are shared — a permission change made in the original
+  // namespace must defeat fastpath hits in the clone.
+  ASSERT_OK(T().Mkdir("/priv", 0755));
+  ASSERT_OK(T().Mkdir("/priv/sub", 0755));
+  auto fd = T().Open("/priv/sub/f", kOCreat | kOWrite, 0644);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+
+  TaskPtr user = world_.UserTask(1000, 1000);
+  ASSERT_OK(user->UnshareMountNs());
+  ASSERT_OK(user->StatPath("/priv/sub/f"));
+  ASSERT_OK(user->StatPath("/priv/sub/f"));  // warm the clone's DLHT + PCC
+  ASSERT_OK(T().Chmod("/priv", 0700));       // in the ORIGINAL namespace
+  EXPECT_ERR(user->StatPath("/priv/sub/f"), Errno::kEACCES);
+  ASSERT_OK(T().Chmod("/priv", 0755));
+  EXPECT_OK(user->StatPath("/priv/sub/f"));
+
+  // And the reverse direction: a root task that unshared first still
+  // invalidates walks in the original namespace.
+  TaskPtr admin = T().Fork();
+  ASSERT_OK(admin->UnshareMountNs());
+  TaskPtr orig_user = world_.UserTask(1000, 1000);
+  ASSERT_OK(orig_user->StatPath("/priv/sub/f"));
+  ASSERT_OK(orig_user->StatPath("/priv/sub/f"));
+  ASSERT_OK(admin->Chmod("/priv/sub", 0700));
+  EXPECT_ERR(orig_user->StatPath("/priv/sub/f"), Errno::kEACCES);
+}
+
+TEST_F(CrossMountTest, RenameOfOrOntoMountpointIsBusy) {
+  ASSERT_OK(T().Mkdir("/mp"));
+  ASSERT_OK(T().Mkdir("/plain"));
+  ASSERT_OK(T().Mount("/mp", std::make_shared<MemFs>()));
+  EXPECT_ERR(T().Rename("/mp", "/elsewhere"), Errno::kEBUSY);
+  EXPECT_ERR(T().Rename("/plain", "/mp"), Errno::kEBUSY);
+  // After unmounting, both directions work again.
+  ASSERT_OK(T().Umount("/mp"));
+  ASSERT_OK(T().Rename("/plain", "/mp"));
+  EXPECT_OK(T().Rename("/mp", "/elsewhere"));
+}
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,152 @@
+// Permission semantics: the DAC matrix, root privileges, sticky bits,
+// group membership, and the two sample LSMs — on both kernels (permission
+// outcomes must be config-independent).
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class PermissionTest : public ::testing::TestWithParam<bool> {
+ protected:
+  PermissionTest()
+      : world_(GetParam() ? CacheConfig::Optimized()
+                          : CacheConfig::Baseline()) {}
+  Task& Root() { return *world_.root; }
+  TestWorld world_;
+};
+
+TEST_P(PermissionTest, OwnerGroupOtherBits) {
+  ASSERT_OK(Root().Mkdir("/data", 0755));
+  auto fd = Root().Open("/data/file", kOCreat | kOWrite, 0640);
+  ASSERT_OK(fd);
+  ASSERT_OK(Root().Close(*fd));
+  ASSERT_OK(Root().Chown("/data/file", 1000, 2000));
+
+  TaskPtr owner = world_.UserTask(1000, 999);
+  TaskPtr groupie = world_.UserTask(1500, 2000);
+  TaskPtr groupie2 = world_.UserTask(1501, 50, {2000});  // supplementary
+  TaskPtr other = world_.UserTask(1600, 1600);
+
+  EXPECT_OK(owner->Open("/data/file", kORdWr));
+  EXPECT_OK(groupie->Open("/data/file", kORead));
+  EXPECT_ERR(groupie->Open("/data/file", kOWrite), Errno::kEACCES);
+  EXPECT_OK(groupie2->Open("/data/file", kORead));
+  EXPECT_ERR(other->Open("/data/file", kORead), Errno::kEACCES);
+  // access() agrees.
+  EXPECT_OK(other->Access("/data/file", 0));  // F_OK: existence
+  EXPECT_ERR(other->Access("/data/file", kMayRead), Errno::kEACCES);
+}
+
+TEST_P(PermissionTest, SearchPermissionGatesTraversal) {
+  ASSERT_OK(Root().Mkdir("/gate", 0711));  // x but not r for others
+  auto fd = Root().Open("/gate/known", kOCreat | kOWrite, 0644);
+  ASSERT_OK(fd);
+  ASSERT_OK(Root().Close(*fd));
+  TaskPtr user = world_.UserTask(1000, 1000);
+  // Search permission allows lookup of a known name...
+  EXPECT_OK(user->StatPath("/gate/known"));
+  // ...but not enumeration: read permission is required to open the
+  // directory for listing.
+  EXPECT_ERR(user->Open("/gate", kORead | kODirectory), Errno::kEACCES);
+  // Remove search permission entirely: lookup now fails.
+  ASSERT_OK(Root().Chmod("/gate", 0700));
+  EXPECT_ERR(user->StatPath("/gate/known"), Errno::kEACCES);
+}
+
+TEST_P(PermissionTest, RootOverridesDacExceptExec) {
+  ASSERT_OK(Root().Mkdir("/locked", 0000));
+  auto fd = Root().Open("/locked/f", kOCreat | kOWrite, 0000);
+  ASSERT_OK(fd);
+  ASSERT_OK(Root().Close(*fd));
+  // Root reads and writes anything.
+  EXPECT_OK(Root().Open("/locked/f", kORdWr));
+  EXPECT_OK(Root().StatPath("/locked/f"));
+  // Exec of a file with no x bits is denied even for root.
+  EXPECT_ERR(Root().Access("/locked/f", kMayExec), Errno::kEACCES);
+  // Search of a directory is always allowed for root.
+  EXPECT_OK(Root().Access("/locked", kMayExec));
+}
+
+TEST_P(PermissionTest, StickyDirectoryProtectsEntries) {
+  ASSERT_OK(Root().Mkdir("/tmp", 01777));
+  TaskPtr alice = world_.UserTask(1000, 1000);
+  TaskPtr bob = world_.UserTask(1001, 1001);
+  auto fd = alice->Open("/tmp/alices", kOCreat | kOWrite, 0666);
+  ASSERT_OK(fd);
+  ASSERT_OK(alice->Close(*fd));
+  // Bob may not unlink or rename Alice's file in a sticky dir.
+  EXPECT_ERR(bob->Unlink("/tmp/alices"), Errno::kEPERM);
+  EXPECT_ERR(bob->Rename("/tmp/alices", "/tmp/stolen"), Errno::kEPERM);
+  // Alice (the owner) may.
+  EXPECT_OK(alice->Unlink("/tmp/alices"));
+}
+
+TEST_P(PermissionTest, ChmodChownRequireOwnership) {
+  auto fd = Root().Open("/owned", kOCreat | kOWrite, 0644);
+  ASSERT_OK(fd);
+  ASSERT_OK(Root().Close(*fd));
+  ASSERT_OK(Root().Chown("/owned", 1000, 1000));
+  TaskPtr owner = world_.UserTask(1000, 1000, {3000});
+  TaskPtr stranger = world_.UserTask(1001, 1001);
+  EXPECT_ERR(stranger->Chmod("/owned", 0777), Errno::kEPERM);
+  EXPECT_OK(owner->Chmod("/owned", 0600));
+  // Owner may change group only to one of its groups.
+  EXPECT_OK(owner->Chown("/owned", 1000, 3000));
+  EXPECT_ERR(owner->Chown("/owned", 1000, 4000), Errno::kEPERM);
+  EXPECT_ERR(owner->Chown("/owned", 1002, 3000), Errno::kEPERM);
+  EXPECT_OK(Root().Chown("/owned", 1002, 4000));  // root may do anything
+}
+
+TEST_P(PermissionTest, LabelLsmEnforcesAndInheritsLabels) {
+  auto lsm = std::make_unique<LabelLsm>();
+  LabelLsm* rules = lsm.get();
+  world_.kernel->security().AddModule(std::move(lsm));
+  ASSERT_OK(Root().Mkdir("/classified"));
+  ASSERT_OK(Root().SetSecurityLabel("/classified", "topsecret"));
+  // New children inherit the parent label.
+  auto fd = Root().Open("/classified/doc", kOCreat | kOWrite, 0777);
+  ASSERT_OK(fd);
+  ASSERT_OK(Root().Close(*fd));
+  ASSERT_OK(Root().Chmod("/classified", 0777));
+
+  TaskPtr agent = world_.UserTask(1000, 1000, {}, "agent_t");
+  // DAC would allow, the LSM vetoes (no rule).
+  EXPECT_ERR(agent->Open("/classified/doc", kORead), Errno::kEACCES);
+  rules->Allow("agent_t", "topsecret", kMayRead | kMayExec);
+  ASSERT_OK(Root().SetSecurityLabel("/classified", "topsecret"));  // resync
+  EXPECT_OK(agent->Open("/classified/doc", kORead));
+  EXPECT_ERR(agent->Open("/classified/doc", kOWrite), Errno::kEACCES);
+  // Unlabeled subjects are unconstrained by this module.
+  TaskPtr plain = world_.UserTask(1001, 1001);
+  EXPECT_OK(plain->Open("/classified/doc", kORead));
+}
+
+TEST_P(PermissionTest, PathLsmProfilesConfine) {
+  auto lsm = std::make_unique<PathLsm>();
+  PathLsm* profiles = lsm.get();
+  world_.kernel->security().AddModule(std::move(lsm));
+  ASSERT_OK(Root().Mkdir("/srv", 0777));
+  ASSERT_OK(Root().Mkdir("/srv/www", 0777));
+  ASSERT_OK(Root().Mkdir("/home", 0777));
+  auto fd = Root().Open("/srv/www/index.html", kOCreat | kOWrite, 0666);
+  ASSERT_OK(fd);
+  ASSERT_OK(Root().Close(*fd));
+  fd = Root().Open("/home/secret", kOCreat | kOWrite, 0666);
+  ASSERT_OK(fd);
+  ASSERT_OK(Root().Close(*fd));
+
+  profiles->SetProfile("httpd", {PathLsm::Rule{"/srv", kMayRead | kMayExec},
+                                 PathLsm::Rule{"/", kMayExec}});
+  TaskPtr httpd = world_.UserTask(33, 33, {}, "httpd");
+  EXPECT_OK(httpd->Open("/srv/www/index.html", kORead));
+  EXPECT_ERR(httpd->Open("/srv/www/index.html", kOWrite), Errno::kEACCES);
+  EXPECT_ERR(httpd->Open("/home/secret", kORead), Errno::kEACCES);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKernels, PermissionTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Optimized" : "Baseline";
+                         });
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,217 @@
+// Mount points, bind mounts (aliases), pseudo file systems, namespaces,
+// and chroot (§4.3).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class MountTest : public ::testing::TestWithParam<bool> {
+ protected:
+  MountTest()
+      : world_(GetParam() ? CacheConfig::Optimized()
+                          : CacheConfig::Baseline()) {}
+  Task& T() { return *world_.root; }
+  TestWorld world_;
+};
+
+TEST_P(MountTest, MountAndCrossInto) {
+  ASSERT_OK(T().Mkdir("/mnt"));
+  auto fs = std::make_shared<MemFs>();
+  ASSERT_OK(fs->Create(MemFs::kRootIno, "inside", FileType::kRegular, 0644,
+                       0, 0));
+  ASSERT_OK(T().Mount("/mnt", fs));
+  auto st = T().StatPath("/mnt/inside");
+  ASSERT_OK(st);
+  EXPECT_OK(T().StatPath("/mnt/inside"));  // repeat: fastpath crossing
+  // The mount root's stat shows the mounted FS, not the covered dir.
+  auto root_st = T().StatPath("/mnt");
+  ASSERT_OK(root_st);
+  EXPECT_EQ(root_st->ino, MemFs::kRootIno);
+  EXPECT_NE(root_st->dev, 1u);  // different superblock than the root FS
+}
+
+TEST_P(MountTest, MountShadowsCoveredContents) {
+  ASSERT_OK(T().Mkdir("/cover"));
+  auto fd = T().Open("/cover/original", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().StatPath("/cover/original"));
+  ASSERT_OK(T().StatPath("/cover/original"));  // warm the caches
+  ASSERT_OK(T().Mount("/cover", std::make_shared<MemFs>()));
+  EXPECT_ERR(T().StatPath("/cover/original"), Errno::kENOENT);
+  // Unmount restores visibility.
+  ASSERT_OK(T().Umount("/cover"));
+  EXPECT_OK(T().StatPath("/cover/original"));
+  EXPECT_OK(T().StatPath("/cover/original"));
+}
+
+TEST_P(MountTest, ReadOnlyMountRejectsWrites) {
+  ASSERT_OK(T().Mkdir("/ro"));
+  MountFlags flags;
+  flags.read_only = true;
+  auto fs = std::make_shared<MemFs>();
+  ASSERT_OK(fs->Create(MemFs::kRootIno, "f", FileType::kRegular, 0644, 0,
+                       0));
+  ASSERT_OK(T().Mount("/ro", fs, flags));
+  EXPECT_ERR(T().Open("/ro/new", kOCreat | kOWrite), Errno::kEROFS);
+  EXPECT_ERR(T().Open("/ro/f", kOWrite), Errno::kEROFS);
+  EXPECT_ERR(T().Unlink("/ro/f"), Errno::kEROFS);
+  EXPECT_ERR(T().Mkdir("/ro/d"), Errno::kEROFS);
+  EXPECT_OK(T().Open("/ro/f", kORead));
+}
+
+TEST_P(MountTest, BindMountAliasesContent) {
+  ASSERT_OK(T().Mkdir("/data"));
+  ASSERT_OK(T().Mkdir("/view"));
+  auto fd = T().Open("/data/file", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().WriteFd(*fd, "shared"));
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().BindMount("/data", "/view"));
+  auto st1 = T().StatPath("/data/file");
+  auto st2 = T().StatPath("/view/file");
+  ASSERT_OK(st1);
+  ASSERT_OK(st2);
+  EXPECT_EQ(st1->ino, st2->ino);
+  // Alternate between alias paths: the most-recent-path rule (§4.3) must
+  // keep both correct.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_OK(T().StatPath(i % 2 != 0 ? "/data/file" : "/view/file"));
+  }
+  // A write through the alias is visible through the origin.
+  fd = T().Open("/view/file", kOWrite | kOTrunc);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().WriteFd(*fd, "updated!"));
+  ASSERT_OK(T().Close(*fd));
+  auto st3 = T().StatPath("/data/file");
+  ASSERT_OK(st3);
+  EXPECT_EQ(st3->size, 8u);
+}
+
+TEST_P(MountTest, StackedMountsShadowAndUnwind) {
+  ASSERT_OK(T().Mkdir("/m1"));
+  auto fs1 = std::make_shared<MemFs>();
+  auto fs2 = std::make_shared<MemFs>();
+  ASSERT_OK(fs1->Create(MemFs::kRootIno, "one", FileType::kRegular, 0644, 0,
+                        0));
+  ASSERT_OK(fs2->Create(MemFs::kRootIno, "two", FileType::kRegular, 0644, 0,
+                        0));
+  ASSERT_OK(T().Mount("/m1", fs1));
+  // Mounting again stacks on top (Linux semantics) and shadows fs1.
+  ASSERT_OK(T().Mount("/m1", fs2));
+  EXPECT_OK(T().StatPath("/m1/two"));
+  EXPECT_ERR(T().StatPath("/m1/one"), Errno::kENOENT);
+  ASSERT_OK(T().Umount("/m1"));
+  EXPECT_OK(T().StatPath("/m1/one"));
+  EXPECT_ERR(T().Umount("/"), Errno::kEINVAL);
+  ASSERT_OK(T().Umount("/m1"));
+}
+
+TEST_P(MountTest, NamespaceIsolation) {
+  ASSERT_OK(T().Mkdir("/shared"));
+  ASSERT_OK(T().Mkdir("/private"));
+  auto fd = T().Open("/shared/base", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+
+  TaskPtr isolated = T().Fork();
+  ASSERT_OK(isolated->UnshareMountNs());
+  auto fs = std::make_shared<MemFs>();
+  ASSERT_OK(fs->Create(MemFs::kRootIno, "secret", FileType::kRegular, 0644,
+                       0, 0));
+  ASSERT_OK(isolated->Mount("/private", fs));
+  // Visible inside the namespace...
+  EXPECT_OK(isolated->StatPath("/private/secret"));
+  EXPECT_OK(isolated->StatPath("/private/secret"));
+  // ...but not outside (the host namespace has no such mount).
+  EXPECT_ERR(T().StatPath("/private/secret"), Errno::kENOENT);
+  // Shared underlying files remain visible to both.
+  EXPECT_OK(isolated->StatPath("/shared/base"));
+  EXPECT_OK(T().StatPath("/shared/base"));
+}
+
+TEST_P(MountTest, SamePathDifferentNamespacesDifferentFiles) {
+  ASSERT_OK(T().Mkdir("/app"));
+  TaskPtr ns1 = T().Fork();
+  ASSERT_OK(ns1->UnshareMountNs());
+  TaskPtr ns2 = T().Fork();
+  ASSERT_OK(ns2->UnshareMountNs());
+  auto fs1 = std::make_shared<MemFs>();
+  auto fs2 = std::make_shared<MemFs>();
+  ASSERT_OK(fs1->Create(MemFs::kRootIno, "cfg", FileType::kRegular, 0644, 0,
+                        0));
+  ASSERT_OK(fs2->Create(MemFs::kRootIno, "cfg", FileType::kRegular, 0644, 0,
+                        0));
+  ASSERT_OK(ns1->Mount("/app", fs1));
+  ASSERT_OK(ns2->Mount("/app", fs2));
+  auto st1 = ns1->StatPath("/app/cfg");
+  auto st2 = ns2->StatPath("/app/cfg");
+  ASSERT_OK(st1);
+  ASSERT_OK(st2);
+  EXPECT_NE(st1->dev, st2->dev);  // same path, different files (§4.3)
+  // Warm both, re-check: the per-namespace DLHTs must not cross-talk.
+  for (int i = 0; i < 3; ++i) {
+    auto r1 = ns1->StatPath("/app/cfg");
+    auto r2 = ns2->StatPath("/app/cfg");
+    ASSERT_OK(r1);
+    ASSERT_OK(r2);
+    EXPECT_NE(r1->dev, r2->dev);
+  }
+}
+
+TEST_P(MountTest, ChrootConfinesAndResolvesFromNewRoot) {
+  ASSERT_OK(T().Mkdir("/jail"));
+  ASSERT_OK(T().Mkdir("/jail/etc"));
+  auto fd = T().Open("/jail/etc/conf", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  fd = T().Open("/outside", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+
+  TaskPtr jailed = T().Fork();
+  ASSERT_OK(jailed->Chroot("/jail"));
+  EXPECT_OK(jailed->StatPath("/etc/conf"));
+  EXPECT_OK(jailed->StatPath("/etc/conf"));
+  EXPECT_ERR(jailed->StatPath("/outside"), Errno::kENOENT);
+  EXPECT_ERR(jailed->StatPath("/../outside"), Errno::kENOENT);
+  // The host keeps its view.
+  EXPECT_OK(T().StatPath("/outside"));
+  // And the same literal path means different things (chroot-aware
+  // signatures).
+  EXPECT_ERR(jailed->StatPath("/jail/etc/conf"), Errno::kENOENT);
+}
+
+TEST_P(MountTest, MountAliasSameInstanceTwice) {
+  // proc-style: one FS instance mounted at two places (§4.3).
+  ASSERT_OK(T().Mkdir("/proc1"));
+  ASSERT_OK(T().Mkdir("/proc2"));
+  auto proc = std::make_shared<MemFs>();
+  ASSERT_OK(proc->Create(MemFs::kRootIno, "version", FileType::kRegular,
+                         0444, 0, 0));
+  ASSERT_OK(T().Mount("/proc1", proc));
+  ASSERT_OK(T().Mount("/proc2", proc));
+  auto st1 = T().StatPath("/proc1/version");
+  auto st2 = T().StatPath("/proc2/version");
+  ASSERT_OK(st1);
+  ASSERT_OK(st2);
+  EXPECT_EQ(st1->ino, st2->ino);
+  EXPECT_EQ(st1->dev, st2->dev);  // same superblock: a true alias
+  // Ping-pong between the aliases; §4.3's one-DLHT-entry rule must keep
+  // every answer correct.
+  for (int i = 0; i < 6; ++i) {
+    auto st = T().StatPath(i % 2 != 0 ? "/proc1/version" : "/proc2/version");
+    ASSERT_OK(st);
+    EXPECT_EQ(st->ino, st1->ino);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKernels, MountTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Optimized" : "Baseline";
+                         });
+
+}  // namespace
+}  // namespace dircache

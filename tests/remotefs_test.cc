@@ -1,0 +1,95 @@
+// Network file system semantics (§4.3): stateless protocols revalidate
+// every cached component (and get no fastpath); callback-based protocols
+// trust the cache and get the full fastpath.
+#include "src/storage/remotefs.h"
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class RemoteFsTest : public ::testing::Test {
+ protected:
+  RemoteFsTest() : world_(CacheConfig::Optimized()) {}
+
+  // Mount a RemoteFs at /net and build a small tree in it.
+  RemoteFs* MountRemote(RemoteProtocol protocol) {
+    RemoteFs::Options opt;
+    opt.protocol = protocol;
+    opt.rpc_latency_ns = 1000;
+    auto fs = std::make_shared<RemoteFs>(opt);
+    RemoteFs* raw = fs.get();
+    EXPECT_OK(world_.root->Mkdir("/net"));
+    EXPECT_OK(world_.root->Mount("/net", fs));
+    EXPECT_OK(world_.root->Mkdir("/net/dir"));
+    auto fd = world_.root->Open("/net/dir/file", kOCreat | kOWrite);
+    EXPECT_TRUE(fd.ok());
+    if (fd.ok()) {
+      EXPECT_OK(world_.root->Close(*fd));
+    }
+    return raw;
+  }
+
+  TestWorld world_;
+};
+
+TEST_F(RemoteFsTest, StatelessRevalidatesEveryLookup) {
+  RemoteFs* fs = MountRemote(RemoteProtocol::kStateless);
+  ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  uint64_t rpcs_before = fs->rpcs();
+  uint64_t fast_before = world_.kernel->stats().fastpath_hits.value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  }
+  // Every lookup cost RPCs (per-component revalidation)...
+  EXPECT_GE(fs->rpcs(), rpcs_before + 20);  // >= 2 components x 10 stats
+  // ...and none rode the fastpath.
+  EXPECT_EQ(world_.kernel->stats().fastpath_hits.value(), fast_before);
+}
+
+TEST_F(RemoteFsTest, CallbackProtocolGetsFastpath) {
+  RemoteFs* fs = MountRemote(RemoteProtocol::kCallback);
+  ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  uint64_t rpcs_before = fs->rpcs();
+  uint64_t fast_before = world_.kernel->stats().fastpath_hits.value();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  }
+  // Cache hits all the way: no additional server traffic, fastpath rides.
+  EXPECT_EQ(fs->rpcs(), rpcs_before);
+  EXPECT_EQ(world_.kernel->stats().fastpath_hits.value(), fast_before + 10);
+}
+
+TEST_F(RemoteFsTest, StatelessSeesServerSideRemovals) {
+  RemoteFs* fs = MountRemote(RemoteProtocol::kStateless);
+  ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  // Simulate another client removing the file directly on the server.
+  auto dir = fs->Lookup(fs->RootIno(), "dir");
+  ASSERT_OK(dir);
+  // (Unlink through the FS interface = a server-side change this client's
+  // cache never saw.)
+  ASSERT_OK(fs->Unlink(*dir, "file"));
+  // The stale positive dentry is revalidated away on the next lookup.
+  EXPECT_ERR(world_.root->StatPath("/net/dir/file"), Errno::kENOENT);
+}
+
+TEST_F(RemoteFsTest, LocalFsUnaffectedByRemoteMount) {
+  (void)MountRemote(RemoteProtocol::kStateless);
+  auto fd = world_.root->Open("/local", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(world_.root->Close(*fd));
+  ASSERT_OK(world_.root->StatPath("/local"));
+  uint64_t fast_before = world_.kernel->stats().fastpath_hits.value();
+  ASSERT_OK(world_.root->StatPath("/local"));
+  EXPECT_EQ(world_.kernel->stats().fastpath_hits.value(), fast_before + 1);
+}
+
+TEST_F(RemoteFsTest, RpcLatencyIsCharged) {
+  RemoteFs* fs = MountRemote(RemoteProtocol::kStateless);
+  (void)fs;
+  world_.root->io_clock().Reset();
+  ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  EXPECT_GT(world_.root->io_clock().nanos(), 0u);
+}
+
+}  // namespace
+}  // namespace dircache

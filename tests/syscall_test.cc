@@ -1,0 +1,507 @@
+// POSIX-surface tests, parameterized across cache configurations: every
+// behaviour here must be identical with and without the paper's
+// optimizations (transparency is the paper's core compatibility claim).
+#include <algorithm>
+#include <set>
+
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+enum class Variant {
+  kBaseline,
+  kOptimized,
+  kFastpathOnly,
+  kDirCompleteOnly,
+  kNegativeOnly,
+  kLexical,
+  kGlobalLockEra,
+  kFineGrainedEra,
+  kBaselineMemfs,   // POSIX surface over the pseudo FS as the root
+  kOptimizedMemfs,
+};
+
+bool UsesMemfsRoot(Variant v) {
+  return v == Variant::kBaselineMemfs || v == Variant::kOptimizedMemfs;
+}
+
+CacheConfig ConfigFor(Variant v) {
+  switch (v) {
+    case Variant::kBaseline:
+    case Variant::kBaselineMemfs:
+      return CacheConfig::Baseline();
+    case Variant::kOptimized:
+    case Variant::kOptimizedMemfs:
+      return CacheConfig::Optimized();
+    case Variant::kFastpathOnly: {
+      CacheConfig c;
+      c.fastpath = true;
+      return c;
+    }
+    case Variant::kDirCompleteOnly: {
+      CacheConfig c;
+      c.dir_completeness = true;
+      return c;
+    }
+    case Variant::kNegativeOnly: {
+      CacheConfig c;
+      c.negative_on_unlink = true;
+      c.negative_on_pseudo_fs = true;
+      c.deep_negative = true;
+      return c;
+    }
+    case Variant::kLexical: {
+      CacheConfig c = CacheConfig::Optimized();
+      c.dotdot = DotDotMode::kLexical;
+      return c;
+    }
+    case Variant::kGlobalLockEra: {
+      CacheConfig c;
+      c.locking = LockingMode::kGlobalLock;
+      return c;
+    }
+    case Variant::kFineGrainedEra: {
+      CacheConfig c;
+      c.locking = LockingMode::kFineGrained;
+      return c;
+    }
+  }
+  return CacheConfig::Baseline();
+}
+
+class SyscallTest : public ::testing::TestWithParam<Variant> {
+ protected:
+  SyscallTest()
+      : world_(ConfigFor(GetParam()),
+               UsesMemfsRoot(GetParam())
+                   ? std::make_shared<MemFs>(
+                         MemFs::Options{/*wants_negative_dentries=*/false,
+                                        "memroot"})
+                   : nullptr) {}
+
+  Task& T() { return *world_.root; }
+  TestWorld world_;
+};
+
+TEST_P(SyscallTest, MkdirStatRoundTrip) {
+  ASSERT_OK(T().Mkdir("/a"));
+  ASSERT_OK(T().Mkdir("/a/b", 0700));
+  auto st = T().StatPath("/a/b");
+  ASSERT_OK(st);
+  EXPECT_TRUE(st->IsDir());
+  EXPECT_EQ(st->mode, 0700);
+  EXPECT_EQ(st->uid, 0u);
+}
+
+TEST_P(SyscallTest, CreateWriteReadFile) {
+  ASSERT_OK(T().Mkdir("/d"));
+  auto fd = T().Open("/d/file.txt", kOCreat | kORdWr, 0644);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().WriteFd(*fd, "hello world"));
+  ASSERT_OK(T().Lseek(*fd, 0));
+  std::string buf;
+  auto n = T().ReadFd(*fd, 64, &buf);
+  ASSERT_OK(n);
+  EXPECT_EQ(buf, "hello world");
+  ASSERT_OK(T().Close(*fd));
+  auto st = T().StatPath("/d/file.txt");
+  ASSERT_OK(st);
+  EXPECT_EQ(st->size, 11u);
+  EXPECT_TRUE(st->IsRegular());
+}
+
+TEST_P(SyscallTest, RepeatedStatsHitCache) {
+  ASSERT_OK(T().Mkdir("/x"));
+  ASSERT_OK(T().Mkdir("/x/y"));
+  auto fd = T().Open("/x/y/z", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_OK(T().StatPath("/x/y/z"));
+  }
+  if (world_.kernel->config().fastpath) {
+    // After warmup, almost all of those resolve on the fastpath.
+    EXPECT_GT(world_.kernel->stats().fastpath_hits.value(), 90u);
+  }
+}
+
+TEST_P(SyscallTest, EnoentOnMissing) {
+  ASSERT_OK(T().Mkdir("/p"));
+  EXPECT_ERR(T().StatPath("/p/missing"), Errno::kENOENT);
+  EXPECT_ERR(T().StatPath("/p/missing"), Errno::kENOENT);  // cached negative
+  EXPECT_ERR(T().StatPath("/nope/deep/path"), Errno::kENOENT);
+  EXPECT_ERR(T().StatPath("/nope/deep/path"), Errno::kENOENT);
+}
+
+TEST_P(SyscallTest, EnotdirOnFileComponent) {
+  auto fd = T().Open("/plain", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  EXPECT_ERR(T().StatPath("/plain/sub"), Errno::kENOTDIR);
+  EXPECT_ERR(T().StatPath("/plain/sub"), Errno::kENOTDIR);
+  EXPECT_ERR(T().StatPath("/plain/sub/deeper"), Errno::kENOTDIR);
+}
+
+TEST_P(SyscallTest, UnlinkRemovesAndNegativeCaches) {
+  auto fd = T().Open("/victim", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Unlink("/victim"));
+  EXPECT_ERR(T().StatPath("/victim"), Errno::kENOENT);
+  EXPECT_ERR(T().Unlink("/victim"), Errno::kENOENT);
+  // Re-create over the (possibly cached-negative) name.
+  auto fd2 = T().Open("/victim", kOCreat | kOWrite);
+  ASSERT_OK(fd2);
+  ASSERT_OK(T().Close(*fd2));
+  EXPECT_OK(T().StatPath("/victim"));
+}
+
+TEST_P(SyscallTest, RmdirSemantics) {
+  ASSERT_OK(T().Mkdir("/dir"));
+  ASSERT_OK(T().Mkdir("/dir/sub"));
+  EXPECT_ERR(T().Rmdir("/dir"), Errno::kENOTEMPTY);
+  ASSERT_OK(T().Rmdir("/dir/sub"));
+  ASSERT_OK(T().Rmdir("/dir"));
+  EXPECT_ERR(T().StatPath("/dir"), Errno::kENOENT);
+  auto fd = T().Open("/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  EXPECT_ERR(T().Rmdir("/f"), Errno::kENOTDIR);
+  EXPECT_ERR(T().Unlink("/"), Errno::kEINVAL);
+}
+
+TEST_P(SyscallTest, RenameFileBasic) {
+  ASSERT_OK(T().Mkdir("/a"));
+  ASSERT_OK(T().Mkdir("/b"));
+  auto fd = T().Open("/a/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().WriteFd(*fd, "data"));
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Rename("/a/f", "/b/g"));
+  EXPECT_ERR(T().StatPath("/a/f"), Errno::kENOENT);
+  auto st = T().StatPath("/b/g");
+  ASSERT_OK(st);
+  EXPECT_EQ(st->size, 4u);
+}
+
+TEST_P(SyscallTest, RenameDirectoryMovesSubtree) {
+  ASSERT_OK(T().Mkdir("/src"));
+  ASSERT_OK(T().Mkdir("/src/kid"));
+  auto fd = T().Open("/src/kid/leaf", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  // Warm the caches on the old paths.
+  ASSERT_OK(T().StatPath("/src/kid/leaf"));
+  ASSERT_OK(T().StatPath("/src/kid/leaf"));
+  ASSERT_OK(T().Rename("/src", "/dst"));
+  EXPECT_ERR(T().StatPath("/src/kid/leaf"), Errno::kENOENT);
+  EXPECT_OK(T().StatPath("/dst/kid/leaf"));
+  EXPECT_OK(T().StatPath("/dst/kid/leaf"));
+}
+
+TEST_P(SyscallTest, RenameOntoExistingFileReplaces) {
+  auto mk = [&](std::string_view p, std::string_view data) {
+    auto fd = T().Open(p, kOCreat | kOWrite | kOTrunc);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().WriteFd(*fd, data));
+    ASSERT_OK(T().Close(*fd));
+  };
+  mk("/one", "111");
+  mk("/two", "22222");
+  ASSERT_OK(T().Rename("/one", "/two"));
+  auto st = T().StatPath("/two");
+  ASSERT_OK(st);
+  EXPECT_EQ(st->size, 3u);
+  EXPECT_ERR(T().StatPath("/one"), Errno::kENOENT);
+}
+
+TEST_P(SyscallTest, RenameDirIntoOwnSubtreeFails) {
+  ASSERT_OK(T().Mkdir("/top"));
+  ASSERT_OK(T().Mkdir("/top/mid"));
+  EXPECT_ERR(T().Rename("/top", "/top/mid/inner"), Errno::kEINVAL);
+}
+
+TEST_P(SyscallTest, HardLinksShareInode) {
+  auto fd = T().Open("/orig", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().WriteFd(*fd, "shared"));
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Link("/orig", "/alias"));
+  auto st1 = T().StatPath("/orig");
+  auto st2 = T().StatPath("/alias");
+  ASSERT_OK(st1);
+  ASSERT_OK(st2);
+  EXPECT_EQ(st1->ino, st2->ino);
+  EXPECT_EQ(st2->nlink, 2u);
+  ASSERT_OK(T().Unlink("/orig"));
+  auto st3 = T().StatPath("/alias");
+  ASSERT_OK(st3);
+  EXPECT_EQ(st3->nlink, 1u);
+}
+
+TEST_P(SyscallTest, SymlinkResolution) {
+  ASSERT_OK(T().Mkdir("/real"));
+  auto fd = T().Open("/real/file", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Symlink("/real", "/link"));
+  // stat follows; lstat does not.
+  auto st = T().StatPath("/link");
+  ASSERT_OK(st);
+  EXPECT_TRUE(st->IsDir());
+  auto lst = T().LstatPath("/link");
+  ASSERT_OK(lst);
+  EXPECT_TRUE(lst->IsSymlink());
+  // Resolution through the link (repeatedly — exercises alias caching).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_OK(T().StatPath("/link/file"));
+  }
+  auto target = T().ReadLink("/link");
+  ASSERT_OK(target);
+  EXPECT_EQ(*target, "/real");
+}
+
+TEST_P(SyscallTest, RelativeSymlink) {
+  ASSERT_OK(T().Mkdir("/dir"));
+  ASSERT_OK(T().Mkdir("/dir/sub"));
+  auto fd = T().Open("/dir/sub/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Symlink("sub", "/dir/rel"));
+  EXPECT_OK(T().StatPath("/dir/rel/f"));
+  EXPECT_OK(T().StatPath("/dir/rel/f"));
+}
+
+TEST_P(SyscallTest, SymlinkLoopsReturnEloop) {
+  ASSERT_OK(T().Symlink("/self", "/self"));
+  EXPECT_ERR(T().StatPath("/self/x"), Errno::kELOOP);
+  ASSERT_OK(T().Symlink("/ping", "/pong"));
+  ASSERT_OK(T().Symlink("/pong", "/ping"));
+  EXPECT_ERR(T().StatPath("/ping/x"), Errno::kELOOP);
+}
+
+TEST_P(SyscallTest, DotAndDotDot) {
+  ASSERT_OK(T().Mkdir("/w"));
+  ASSERT_OK(T().Mkdir("/w/in"));
+  auto fd = T().Open("/w/file", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  EXPECT_OK(T().StatPath("/w/./file"));
+  EXPECT_OK(T().StatPath("/w/in/../file"));
+  EXPECT_OK(T().StatPath("/w/in/../file"));  // repeat: fastpath dot-dot
+  EXPECT_OK(T().StatPath("/w/in/../../w/file"));
+  // ".." above root stays at root.
+  EXPECT_OK(T().StatPath("/../../w/file"));
+}
+
+TEST_P(SyscallTest, ChdirAndRelativePaths) {
+  ASSERT_OK(T().Mkdir("/home"));
+  ASSERT_OK(T().Mkdir("/home/alice"));
+  auto fd = T().Open("/home/alice/doc", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Chdir("/home/alice"));
+  auto cwd = T().Getcwd();
+  ASSERT_OK(cwd);
+  EXPECT_EQ(*cwd, "/home/alice");
+  EXPECT_OK(T().StatPath("doc"));
+  EXPECT_OK(T().StatPath("doc"));  // relative fastpath (resumed hash state)
+  EXPECT_OK(T().StatPath("./doc"));
+  EXPECT_OK(T().StatPath("../alice/doc"));
+  ASSERT_OK(T().Chdir("/"));
+}
+
+TEST_P(SyscallTest, OpenAtAndFstatAt) {
+  ASSERT_OK(T().Mkdir("/base"));
+  auto dfd = T().Open("/base", kORead | kODirectory);
+  ASSERT_OK(dfd);
+  auto fd = T().OpenAt(*dfd, "child", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  auto st = T().FstatAt(*dfd, "child", 0);
+  ASSERT_OK(st);
+  EXPECT_TRUE(st->IsRegular());
+  ASSERT_OK(T().UnlinkAt(*dfd, "child"));
+  EXPECT_ERR(T().FstatAt(*dfd, "child", 0), Errno::kENOENT);
+  ASSERT_OK(T().Close(*dfd));
+}
+
+TEST_P(SyscallTest, ReaddirListsEntries) {
+  ASSERT_OK(T().Mkdir("/ls"));
+  std::set<std::string> expect;
+  for (int i = 0; i < 25; ++i) {
+    std::string name = "entry" + std::to_string(i);
+    auto fd = T().Open("/ls/" + name, kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().Close(*fd));
+    expect.insert(name);
+  }
+  ASSERT_OK(T().Mkdir("/ls/subdir"));
+  expect.insert("subdir");
+
+  for (int round = 0; round < 3; ++round) {  // round 2+ may serve cached
+    auto dfd = T().Open("/ls", kORead | kODirectory);
+    ASSERT_OK(dfd);
+    std::set<std::string> seen;
+    while (true) {
+      auto batch = T().ReadDirFd(*dfd, 7);
+      ASSERT_OK(batch);
+      if (batch->empty()) {
+        break;
+      }
+      for (auto& e : *batch) {
+        EXPECT_TRUE(seen.insert(e.name).second) << "duplicate " << e.name;
+        if (e.name == "subdir") {
+          EXPECT_EQ(e.type, FileType::kDirectory);
+        }
+      }
+    }
+    EXPECT_EQ(seen, expect) << "round " << round;
+    ASSERT_OK(T().Close(*dfd));
+  }
+}
+
+TEST_P(SyscallTest, ReaddirSeesConcurrentCreateAndUnlink) {
+  ASSERT_OK(T().Mkdir("/mix"));
+  for (int i = 0; i < 10; ++i) {
+    auto fd = T().Open("/mix/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().Close(*fd));
+  }
+  // Full listing to (possibly) set DIR_COMPLETE.
+  auto dfd = T().Open("/mix", kORead | kODirectory);
+  ASSERT_OK(dfd);
+  while (true) {
+    auto b = T().ReadDirFd(*dfd, 64);
+    ASSERT_OK(b);
+    if (b->empty()) {
+      break;
+    }
+  }
+  ASSERT_OK(T().Close(*dfd));
+  // Mutate, then list again; results must reflect the changes.
+  ASSERT_OK(T().Unlink("/mix/f3"));
+  auto fd = T().Open("/mix/fresh", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  dfd = T().Open("/mix", kORead | kODirectory);
+  ASSERT_OK(dfd);
+  std::set<std::string> seen;
+  while (true) {
+    auto b = T().ReadDirFd(*dfd, 64);
+    ASSERT_OK(b);
+    if (b->empty()) {
+      break;
+    }
+    for (auto& e : *b) {
+      seen.insert(e.name);
+    }
+  }
+  ASSERT_OK(T().Close(*dfd));
+  EXPECT_EQ(seen.count("f3"), 0u);
+  EXPECT_EQ(seen.count("fresh"), 1u);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST_P(SyscallTest, TruncateAndAppend) {
+  auto fd = T().Open("/t", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().WriteFd(*fd, "0123456789"));
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Truncate("/t", 4));
+  auto st = T().StatPath("/t");
+  ASSERT_OK(st);
+  EXPECT_EQ(st->size, 4u);
+  auto afd = T().Open("/t", kOWrite | kOAppend);
+  ASSERT_OK(afd);
+  ASSERT_OK(T().WriteFd(*afd, "xy"));
+  ASSERT_OK(T().Close(*afd));
+  st = T().StatPath("/t");
+  ASSERT_OK(st);
+  EXPECT_EQ(st->size, 6u);
+}
+
+TEST_P(SyscallTest, OpenFlagsSemantics) {
+  EXPECT_ERR(T().Open("/nothere", kORead), Errno::kENOENT);
+  auto fd = T().Open("/excl", kOCreat | kOExcl | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  EXPECT_ERR(T().Open("/excl", kOCreat | kOExcl | kOWrite), Errno::kEEXIST);
+  ASSERT_OK(T().Mkdir("/adir"));
+  EXPECT_ERR(T().Open("/adir", kOWrite), Errno::kEISDIR);
+  EXPECT_ERR(T().Open("/excl", kORead | kODirectory), Errno::kENOTDIR);
+  ASSERT_OK(T().Symlink("/excl", "/lnk"));
+  EXPECT_ERR(T().Open("/lnk", kORead | kONoFollow), Errno::kELOOP);
+  EXPECT_OK(T().Open("/lnk", kORead));
+}
+
+TEST_P(SyscallTest, UnlinkedButOpenFileStillUsable) {
+  auto fd = T().Open("/ghost", kOCreat | kORdWr);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().WriteFd(*fd, "spooky"));
+  ASSERT_OK(T().Unlink("/ghost"));
+  EXPECT_ERR(T().StatPath("/ghost"), Errno::kENOENT);
+  auto st = T().Fstat(*fd);
+  ASSERT_OK(st);
+  EXPECT_EQ(st->size, 6u);
+  ASSERT_OK(T().Close(*fd));
+}
+
+TEST_P(SyscallTest, DeepPathsWork) {
+  std::string path;
+  for (int i = 0; i < 12; ++i) {
+    path += "/level" + std::to_string(i);
+    ASSERT_OK(T().Mkdir(path));
+  }
+  auto fd = T().Open(path + "/leaf", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_OK(T().StatPath(path + "/leaf"));
+  }
+}
+
+TEST_P(SyscallTest, TrailingSlashRequiresDirectory) {
+  ASSERT_OK(T().Mkdir("/sd"));
+  auto fd = T().Open("/sd/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  EXPECT_OK(T().StatPath("/sd/"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SyscallTest,
+    ::testing::Values(Variant::kBaseline, Variant::kOptimized,
+                      Variant::kFastpathOnly, Variant::kDirCompleteOnly,
+                      Variant::kNegativeOnly, Variant::kLexical,
+                      Variant::kGlobalLockEra, Variant::kFineGrainedEra,
+                      Variant::kBaselineMemfs, Variant::kOptimizedMemfs),
+    [](const ::testing::TestParamInfo<Variant>& info) {
+      switch (info.param) {
+        case Variant::kBaseline:
+          return "Baseline";
+        case Variant::kOptimized:
+          return "Optimized";
+        case Variant::kFastpathOnly:
+          return "FastpathOnly";
+        case Variant::kDirCompleteOnly:
+          return "DirCompleteOnly";
+        case Variant::kNegativeOnly:
+          return "NegativeOnly";
+        case Variant::kLexical:
+          return "Lexical";
+        case Variant::kGlobalLockEra:
+          return "GlobalLockEra";
+        case Variant::kFineGrainedEra:
+          return "FineGrainedEra";
+        case Variant::kBaselineMemfs:
+          return "BaselineMemfs";
+        case Variant::kOptimizedMemfs:
+          return "OptimizedMemfs";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,78 @@
+// Shared test fixtures: a booted kernel with a DiskFs root and an init task.
+#ifndef DIRCACHE_TESTS_TEST_UTIL_H_
+#define DIRCACHE_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/storage/diskfs.h"
+#include "src/storage/memfs.h"
+#include "src/vfs/kernel.h"
+#include "src/vfs/lsm_modules.h"
+#include "src/vfs/task.h"
+
+namespace dircache {
+
+inline CacheConfig BaselineConfig() { return CacheConfig::Baseline(); }
+inline CacheConfig OptimizedConfig() { return CacheConfig::Optimized(); }
+
+// A booted kernel: DiskFs at /, a root task, ready for syscalls.
+struct TestWorld {
+  explicit TestWorld(CacheConfig cfg = CacheConfig::Baseline(),
+                     std::shared_ptr<FileSystem> rootfs = nullptr) {
+    KernelConfig kc;
+    kc.cache = cfg;
+    kc.signature_seed = 0x7e57;  // reproducible
+    kernel = std::make_unique<Kernel>(kc);
+    if (rootfs == nullptr) {
+      DiskFsOptions opt;
+      opt.num_blocks = 1 << 16;   // 256 MiB
+      opt.max_inodes = 1 << 15;
+      rootfs = std::make_shared<DiskFs>(opt);
+    }
+    EXPECT_TRUE(kernel->MountRootFs(std::move(rootfs)).ok());
+    root = kernel->CreateInitTask(MakeCred(0, 0));
+  }
+
+  ~TestWorld() {
+    root.reset();
+    kernel.reset();
+  }
+
+  // A task running as the given non-root user.
+  TaskPtr UserTask(Uid uid, Gid gid, std::vector<Gid> groups = {},
+                   std::string label = "") {
+    TaskPtr t = root->Fork();
+    t->SetCred(MakeCred(uid, gid, std::move(groups), std::move(label)));
+    return t;
+  }
+
+  std::unique_ptr<Kernel> kernel;
+  TaskPtr root;
+};
+
+#define ASSERT_OK(expr)                                              \
+  do {                                                               \
+    auto&& _r = (expr);                                                \
+    ASSERT_TRUE(_r.ok()) << "error: " << ErrnoName(_r.error());      \
+  } while (0)
+
+#define EXPECT_OK(expr)                                              \
+  do {                                                               \
+    auto&& _r = (expr);                                                \
+    EXPECT_TRUE(_r.ok()) << "error: " << ErrnoName(_r.error());      \
+  } while (0)
+
+#define EXPECT_ERR(expr, err)                                        \
+  do {                                                               \
+    auto&& _r = (expr);                                                \
+    EXPECT_FALSE(_r.ok());                                           \
+    EXPECT_EQ(_r.error(), (err))                                     \
+        << "got " << ErrnoName(_r.error());                          \
+  } while (0)
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,146 @@
+// VFS plumbing: the inode cache, credentials, PathHandle reference
+// management, the syscall profiler, and kernel teardown hygiene.
+#include "src/core/pcc.h"
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+TEST(InodeCacheTest, IgetDedupsAndRefCounts) {
+  TestWorld w;
+  auto fd = w.root->Open("/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  auto st = w.root->StatPath("/f");
+  ASSERT_OK(st);
+  // Reaching into the superblock: same ino yields the same object.
+  Dentry* d = w.kernel->dcache().LookupRef(w.root->root().dentry(), "f");
+  ASSERT_NE(d, nullptr);
+  SuperBlock* sb = d->sb();
+  auto i1 = sb->Iget(st->ino);
+  auto i2 = sb->Iget(st->ino);
+  ASSERT_OK(i1);
+  ASSERT_OK(i2);
+  EXPECT_EQ(*i1, *i2);
+  EXPECT_EQ((*i1)->ino(), st->ino);
+  sb->Iput(*i1);
+  sb->Iput(*i2);
+  w.kernel->dcache().Dput(d);
+  EXPECT_GE(sb->cached_inodes(), 1u);
+}
+
+TEST(InodeCacheTest, AttrsMirrorSyscalls) {
+  TestWorld w;
+  auto fd = w.root->Open("/attrs", kOCreat | kOWrite, 0640);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->WriteFd(*fd, "12345"));
+  ASSERT_OK(w.root->Close(*fd));
+  ASSERT_OK(w.root->Chmod("/attrs", 0600));
+  ASSERT_OK(w.root->Chown("/attrs", 5, 6));
+  auto st = w.root->StatPath("/attrs");
+  ASSERT_OK(st);
+  EXPECT_EQ(st->mode, 0600);
+  EXPECT_EQ(st->uid, 5u);
+  EXPECT_EQ(st->gid, 6u);
+  EXPECT_EQ(st->size, 5u);
+  EXPECT_EQ(st->nlink, 1u);
+}
+
+TEST(CredTest, IdentityAndGroups) {
+  auto a = MakeCred(1, 2, {30, 10, 20});
+  auto b = MakeCred(1, 2, {10, 20, 30});  // same groups, different order
+  auto c = MakeCred(1, 2, {10, 20});
+  EXPECT_TRUE(a->SameIdentity(*b));
+  EXPECT_FALSE(a->SameIdentity(*c));
+  EXPECT_TRUE(a->InGroup(2));   // primary gid
+  EXPECT_TRUE(a->InGroup(20));  // supplementary
+  EXPECT_FALSE(a->InGroup(99));
+  auto labeled = MakeCred(1, 2, {}, "role_t");
+  EXPECT_FALSE(labeled->SameIdentity(*MakeCred(1, 2)));
+  EXPECT_EQ(labeled->security_label(), "role_t");
+}
+
+TEST(CredTest, PccLazyCreationAndSharing) {
+  auto cred = MakeCred(7, 7);
+  EXPECT_EQ(cred->pcc(), nullptr);
+  Pcc* p1 = cred->GetOrCreatePcc(4096);
+  Pcc* p2 = cred->GetOrCreatePcc(8192);  // size ignored after creation
+  EXPECT_EQ(p1, p2);
+  EXPECT_EQ(p1->bytes(), 4096u);
+}
+
+TEST(PathHandleTest, CopyAndMoveManageReferences) {
+  TestWorld w;
+  ASSERT_OK(w.root->Mkdir("/ph"));
+  Dentry* d = w.kernel->dcache().LookupRef(w.root->root().dentry(), "ph");
+  ASSERT_NE(d, nullptr);
+  uint32_t base_refs = d->ref_count();
+  {
+    PathHandle h1 = PathHandle::Acquire(w.root->root().mnt(), d);
+    EXPECT_EQ(d->ref_count(), base_refs + 1);
+    PathHandle h2 = h1;  // copy adds a reference
+    EXPECT_EQ(d->ref_count(), base_refs + 2);
+    PathHandle h3 = std::move(h2);  // move transfers it
+    EXPECT_EQ(d->ref_count(), base_refs + 2);
+    h3.Reset();
+    EXPECT_EQ(d->ref_count(), base_refs + 1);
+  }
+  EXPECT_EQ(d->ref_count(), base_refs);
+  w.kernel->dcache().Dput(d);
+}
+
+TEST(ProfilerTest, RecordsPerSyscallTime) {
+  TestWorld w;
+  SyscallProfile profile;
+  w.root->set_profiler(&profile);
+  auto fd = w.root->Open("/p", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->WriteFd(*fd, "x"));
+  ASSERT_OK(w.root->Close(*fd));
+  ASSERT_OK(w.root->StatPath("/p"));
+  ASSERT_OK(w.root->StatPath("/p"));
+  ASSERT_OK(w.root->Unlink("/p"));
+  w.root->set_profiler(nullptr);
+  EXPECT_EQ(profile.calls[static_cast<size_t>(SyscallKind::kStat)], 2u);
+  EXPECT_EQ(profile.calls[static_cast<size_t>(SyscallKind::kOpen)], 1u);
+  EXPECT_EQ(profile.calls[static_cast<size_t>(SyscallKind::kUnlink)], 1u);
+  EXPECT_GT(profile.TotalNs(), 0u);
+  profile.Reset();
+  EXPECT_EQ(profile.TotalNs(), 0u);
+}
+
+TEST(TeardownTest, KernelsComeAndGoCleanly) {
+  // Exercise construction/teardown with live state several times; epoch
+  // reclamation and superblock destruction must not trip asserts or leak
+  // into later kernels.
+  for (int round = 0; round < 5; ++round) {
+    TestWorld w(round % 2 == 0 ? CacheConfig::Optimized()
+                               : CacheConfig::Baseline());
+    ASSERT_OK(w.root->Mkdir("/t"));
+    for (int i = 0; i < 50; ++i) {
+      auto fd = w.root->Open("/t/f" + std::to_string(i), kOCreat | kOWrite);
+      ASSERT_OK(fd);
+      ASSERT_OK(w.root->Close(*fd));
+      ASSERT_OK(w.root->StatPath("/t/f" + std::to_string(i)));
+    }
+    ASSERT_OK(w.root->Mount("/t", std::make_shared<MemFs>()));
+    TaskPtr other = w.root->Fork();
+    ASSERT_OK(other->UnshareMountNs());
+  }
+  SUCCEED();
+}
+
+TEST(StatsTest, ToStringMentionsEveryCounter) {
+  TestWorld w(CacheConfig::Optimized());
+  ASSERT_OK(w.root->Mkdir("/s"));
+  ASSERT_OK(w.root->StatPath("/s"));
+  std::string s = w.kernel->stats().ToString();
+  for (const char* key : {"lookups=", "fast_hit=", "slow=", "dc_hit=",
+                          "neg=", "pcc_miss=", "dlht_miss=", "inval_walks=",
+                          "locks="}) {
+    EXPECT_NE(s.find(key), std::string::npos) << key;
+  }
+}
+
+}  // namespace
+}  // namespace dircache

@@ -1,0 +1,186 @@
+// Path-walk edge cases on both kernels: name/path length limits, slash
+// runs, dot chains, symlink depth, *at() semantics, and the forced
+// fastpath-miss worst case.
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class WalkEdgeTest : public ::testing::TestWithParam<bool> {
+ protected:
+  WalkEdgeTest()
+      : world_(GetParam() ? CacheConfig::Optimized()
+                          : CacheConfig::Baseline()) {}
+  Task& T() { return *world_.root; }
+  TestWorld world_;
+};
+
+TEST_P(WalkEdgeTest, SlashRunsAndDotChainsNormalize) {
+  ASSERT_OK(T().Mkdir("/a"));
+  ASSERT_OK(T().Mkdir("/a/b"));
+  auto fd = T().Open("/a/b/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  for (const char* p :
+       {"//a/b/f", "/a//b//f", "/a/./b/./f", "/././a/b/f", "/a/b/f",
+        "/a/././b/f"}) {
+    EXPECT_OK(T().StatPath(p));
+    EXPECT_OK(T().StatPath(p));  // cached round
+  }
+  EXPECT_OK(T().StatPath("/a/b/"));
+  EXPECT_OK(T().StatPath("/a/b/."));
+  EXPECT_OK(T().StatPath("/a/b/.."));
+  EXPECT_ERR(T().StatPath("/a/b/f/."), Errno::kENOTDIR);
+  EXPECT_ERR(T().StatPath("/a/b/f/."), Errno::kENOTDIR);  // cached round
+}
+
+TEST_P(WalkEdgeTest, NameAndPathLengthLimits) {
+  std::string long_name(255, 'n');
+  ASSERT_OK(T().Mkdir("/" + long_name));
+  EXPECT_OK(T().StatPath("/" + long_name));
+  std::string too_long(256, 'n');
+  EXPECT_ERR(T().Mkdir("/" + too_long), Errno::kENAMETOOLONG);
+  EXPECT_ERR(T().StatPath("/" + too_long), Errno::kENAMETOOLONG);
+  // Whole-path limit (PATH_MAX = 4096).
+  std::string deep = "/" + long_name;
+  std::string path(5000, 'x');
+  EXPECT_ERR(T().StatPath("/" + path), Errno::kENAMETOOLONG);
+}
+
+TEST_P(WalkEdgeTest, EmptyAndRootPaths) {
+  EXPECT_ERR(T().StatPath(""), Errno::kENOENT);
+  EXPECT_OK(T().StatPath("/"));
+  auto st = T().StatPath("/");
+  ASSERT_OK(st);
+  EXPECT_TRUE(st->IsDir());
+  EXPECT_OK(T().StatPath("///"));
+  EXPECT_OK(T().StatPath("/.."));
+  EXPECT_OK(T().StatPath("/../.."));
+}
+
+TEST_P(WalkEdgeTest, SymlinkChainsUpToDepthLimit) {
+  auto fd = T().Open("/end", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  std::string prev = "/end";
+  // 30 chained links resolve; beyond 40 fails.
+  for (int i = 0; i < 30; ++i) {
+    std::string link = "/l" + std::to_string(i);
+    ASSERT_OK(T().Symlink(prev, link));
+    prev = link;
+  }
+  EXPECT_OK(T().StatPath(prev));
+  EXPECT_OK(T().StatPath(prev));
+  for (int i = 30; i < 45; ++i) {
+    std::string link = "/l" + std::to_string(i);
+    ASSERT_OK(T().Symlink(prev, link));
+    prev = link;
+  }
+  EXPECT_ERR(T().StatPath(prev), Errno::kELOOP);
+}
+
+TEST_P(WalkEdgeTest, SymlinkWithEmbeddedDotDot) {
+  ASSERT_OK(T().Mkdir("/p"));
+  ASSERT_OK(T().Mkdir("/p/q"));
+  ASSERT_OK(T().Mkdir("/p/r"));
+  auto fd = T().Open("/p/r/goal", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Symlink("../r/goal", "/p/q/jump"));
+  EXPECT_OK(T().StatPath("/p/q/jump"));
+  EXPECT_OK(T().StatPath("/p/q/jump"));
+}
+
+TEST_P(WalkEdgeTest, DanglingSymlink) {
+  ASSERT_OK(T().Symlink("/nowhere/far", "/dangle"));
+  EXPECT_ERR(T().StatPath("/dangle"), Errno::kENOENT);
+  EXPECT_ERR(T().StatPath("/dangle"), Errno::kENOENT);
+  EXPECT_OK(T().LstatPath("/dangle"));
+  EXPECT_ERR(T().Open("/dangle", kORead), Errno::kENOENT);
+  // Creating the target repairs resolution.
+  ASSERT_OK(T().Mkdir("/nowhere"));
+  auto fd = T().Open("/nowhere/far", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  EXPECT_OK(T().StatPath("/dangle"));
+}
+
+TEST_P(WalkEdgeTest, AtSyscallsFollowDirfdSemantics) {
+  ASSERT_OK(T().Mkdir("/base"));
+  ASSERT_OK(T().Mkdir("/base/sub"));
+  auto fd = T().Open("/base/sub/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  auto dfd = T().Open("/base", kORead | kODirectory);
+  ASSERT_OK(dfd);
+  EXPECT_OK(T().FstatAt(*dfd, "sub/f", 0));
+  EXPECT_OK(T().FstatAt(*dfd, "sub/f", 0));
+  // Absolute paths ignore the dirfd.
+  EXPECT_OK(T().FstatAt(*dfd, "/base/sub/f", 0));
+  // kAtFdCwd resolves relative to the cwd.
+  ASSERT_OK(T().Chdir("/base"));
+  EXPECT_OK(T().FstatAt(kAtFdCwd, "sub/f", 0));
+  ASSERT_OK(T().Chdir("/"));
+  // A non-directory dirfd fails.
+  auto ffd = T().Open("/base/sub/f", kORead);
+  ASSERT_OK(ffd);
+  EXPECT_ERR(T().FstatAt(*ffd, "x", 0), Errno::kENOTDIR);
+  EXPECT_ERR(T().FstatAt(999, "x", 0), Errno::kEBADF);
+  ASSERT_OK(T().MkdirAt(*dfd, "newdir"));
+  EXPECT_OK(T().StatPath("/base/newdir"));
+  ASSERT_OK(T().UnlinkAt(*dfd, "newdir", /*rmdir=*/true));
+}
+
+TEST_P(WalkEdgeTest, ForcedFastpathMissAlwaysCorrect) {
+  ASSERT_OK(T().Mkdir("/fm"));
+  auto fd = T().Open("/fm/file", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().StatPath("/fm/file"));
+  PathWalker::force_fastpath_miss = true;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_OK(T().StatPath("/fm/file"));
+    EXPECT_ERR(T().StatPath("/fm/none"), Errno::kENOENT);
+  }
+  PathWalker::force_fastpath_miss = false;
+}
+
+TEST_P(WalkEdgeTest, RenameAtAndReadLinkVariants) {
+  ASSERT_OK(T().Mkdir("/ra"));
+  auto dfd = T().Open("/ra", kORead | kODirectory);
+  ASSERT_OK(dfd);
+  auto fd = T().OpenAt(*dfd, "one", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().RenameAt(*dfd, "one", *dfd, "two"));
+  EXPECT_OK(T().FstatAt(*dfd, "two", 0));
+  EXPECT_ERR(T().FstatAt(*dfd, "one", 0), Errno::kENOENT);
+  ASSERT_OK(T().Symlink("two", "/ra/ln"));
+  auto target = T().ReadLink("/ra/ln");
+  ASSERT_OK(target);
+  EXPECT_EQ(*target, "two");
+  EXPECT_ERR(T().ReadLink("/ra/two"), Errno::kEINVAL);  // not a symlink
+}
+
+TEST_P(WalkEdgeTest, GetcwdTracksMoves) {
+  ASSERT_OK(T().Mkdir("/w1"));
+  ASSERT_OK(T().Mkdir("/w1/w2"));
+  ASSERT_OK(T().Chdir("/w1/w2"));
+  auto cwd = T().Getcwd();
+  ASSERT_OK(cwd);
+  EXPECT_EQ(*cwd, "/w1/w2");
+  // Renaming an ancestor is reflected by getcwd (the dentry moved).
+  ASSERT_OK(T().Rename("/w1", "/z1"));
+  cwd = T().Getcwd();
+  ASSERT_OK(cwd);
+  EXPECT_EQ(*cwd, "/z1/w2");
+  ASSERT_OK(T().Chdir("/"));
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKernels, WalkEdgeTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Optimized" : "Baseline";
+                         });
+
+}  // namespace
+}  // namespace dircache
