@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dovecot.dir/fig10_dovecot.cc.o"
+  "CMakeFiles/fig10_dovecot.dir/fig10_dovecot.cc.o.d"
+  "fig10_dovecot"
+  "fig10_dovecot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dovecot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_syscall_fraction.dir/fig1_syscall_fraction.cc.o"
+  "CMakeFiles/fig1_syscall_fraction.dir/fig1_syscall_fraction.cc.o.d"
+  "fig1_syscall_fraction"
+  "fig1_syscall_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_syscall_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

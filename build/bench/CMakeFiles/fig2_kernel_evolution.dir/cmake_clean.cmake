@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_kernel_evolution.dir/fig2_kernel_evolution.cc.o"
+  "CMakeFiles/fig2_kernel_evolution.dir/fig2_kernel_evolution.cc.o.d"
+  "fig2_kernel_evolution"
+  "fig2_kernel_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_kernel_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lookup_components.dir/fig3_lookup_components.cc.o"
+  "CMakeFiles/fig3_lookup_components.dir/fig3_lookup_components.cc.o.d"
+  "fig3_lookup_components"
+  "fig3_lookup_components.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lookup_components.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_chmod_rename.dir/fig7_chmod_rename.cc.o"
+  "CMakeFiles/fig7_chmod_rename.dir/fig7_chmod_rename.cc.o.d"
+  "fig7_chmod_rename"
+  "fig7_chmod_rename.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_chmod_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

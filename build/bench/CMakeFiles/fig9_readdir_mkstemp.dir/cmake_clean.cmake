@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_readdir_mkstemp.dir/fig9_readdir_mkstemp.cc.o"
+  "CMakeFiles/fig9_readdir_mkstemp.dir/fig9_readdir_mkstemp.cc.o.d"
+  "fig9_readdir_mkstemp"
+  "fig9_readdir_mkstemp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_readdir_mkstemp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

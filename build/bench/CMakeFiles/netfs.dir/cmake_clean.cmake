@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netfs.dir/netfs.cc.o"
+  "CMakeFiles/netfs.dir/netfs.cc.o.d"
+  "netfs"
+  "netfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_apps_warm.dir/table1_apps_warm.cc.o"
+  "CMakeFiles/table1_apps_warm.dir/table1_apps_warm.cc.o.d"
+  "table1_apps_warm"
+  "table1_apps_warm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_apps_warm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_apps_cold.dir/table2_apps_cold.cc.o"
+  "CMakeFiles/table2_apps_cold.dir/table2_apps_cold.cc.o.d"
+  "table2_apps_cold"
+  "table2_apps_cold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_apps_cold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_apache.dir/table3_apache.cc.o"
+  "CMakeFiles/table3_apache.dir/table3_apache.cc.o.d"
+  "table3_apache"
+  "table3_apache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_apache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containers.dir/containers.cpp.o"
+  "CMakeFiles/containers.dir/containers.cpp.o.d"
+  "containers"
+  "containers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filescan.dir/filescan.cpp.o"
+  "CMakeFiles/filescan.dir/filescan.cpp.o.d"
+  "filescan"
+  "filescan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filescan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailserver.dir/mailserver.cpp.o"
+  "CMakeFiles/mailserver.dir/mailserver.cpp.o.d"
+  "mailserver"
+  "mailserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircache_core.dir/dlht.cc.o"
+  "CMakeFiles/dircache_core.dir/dlht.cc.o.d"
+  "CMakeFiles/dircache_core.dir/pcc.cc.o"
+  "CMakeFiles/dircache_core.dir/pcc.cc.o.d"
+  "libdircache_core.a"
+  "libdircache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

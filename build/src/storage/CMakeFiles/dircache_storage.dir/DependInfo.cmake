@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_device.cc" "src/storage/CMakeFiles/dircache_storage.dir/block_device.cc.o" "gcc" "src/storage/CMakeFiles/dircache_storage.dir/block_device.cc.o.d"
+  "/root/repo/src/storage/buffer_cache.cc" "src/storage/CMakeFiles/dircache_storage.dir/buffer_cache.cc.o" "gcc" "src/storage/CMakeFiles/dircache_storage.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/storage/diskfs.cc" "src/storage/CMakeFiles/dircache_storage.dir/diskfs.cc.o" "gcc" "src/storage/CMakeFiles/dircache_storage.dir/diskfs.cc.o.d"
+  "/root/repo/src/storage/fsck.cc" "src/storage/CMakeFiles/dircache_storage.dir/fsck.cc.o" "gcc" "src/storage/CMakeFiles/dircache_storage.dir/fsck.cc.o.d"
+  "/root/repo/src/storage/memfs.cc" "src/storage/CMakeFiles/dircache_storage.dir/memfs.cc.o" "gcc" "src/storage/CMakeFiles/dircache_storage.dir/memfs.cc.o.d"
+  "/root/repo/src/storage/remotefs.cc" "src/storage/CMakeFiles/dircache_storage.dir/remotefs.cc.o" "gcc" "src/storage/CMakeFiles/dircache_storage.dir/remotefs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dircache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

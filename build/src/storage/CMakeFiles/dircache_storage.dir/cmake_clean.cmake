@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircache_storage.dir/block_device.cc.o"
+  "CMakeFiles/dircache_storage.dir/block_device.cc.o.d"
+  "CMakeFiles/dircache_storage.dir/buffer_cache.cc.o"
+  "CMakeFiles/dircache_storage.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/dircache_storage.dir/diskfs.cc.o"
+  "CMakeFiles/dircache_storage.dir/diskfs.cc.o.d"
+  "CMakeFiles/dircache_storage.dir/fsck.cc.o"
+  "CMakeFiles/dircache_storage.dir/fsck.cc.o.d"
+  "CMakeFiles/dircache_storage.dir/memfs.cc.o"
+  "CMakeFiles/dircache_storage.dir/memfs.cc.o.d"
+  "CMakeFiles/dircache_storage.dir/remotefs.cc.o"
+  "CMakeFiles/dircache_storage.dir/remotefs.cc.o.d"
+  "libdircache_storage.a"
+  "libdircache_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircache_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircache_util.dir/epoch.cc.o"
+  "CMakeFiles/dircache_util.dir/epoch.cc.o.d"
+  "CMakeFiles/dircache_util.dir/hash.cc.o"
+  "CMakeFiles/dircache_util.dir/hash.cc.o.d"
+  "CMakeFiles/dircache_util.dir/result.cc.o"
+  "CMakeFiles/dircache_util.dir/result.cc.o.d"
+  "CMakeFiles/dircache_util.dir/stats.cc.o"
+  "CMakeFiles/dircache_util.dir/stats.cc.o.d"
+  "libdircache_util.a"
+  "libdircache_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircache_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

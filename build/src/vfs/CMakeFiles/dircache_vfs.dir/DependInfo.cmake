@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vfs/cred.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/cred.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/cred.cc.o.d"
+  "/root/repo/src/vfs/dcache.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/dcache.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/dcache.cc.o.d"
+  "/root/repo/src/vfs/dentry.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/dentry.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/dentry.cc.o.d"
+  "/root/repo/src/vfs/inode.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/inode.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/inode.cc.o.d"
+  "/root/repo/src/vfs/kernel.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/kernel.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/kernel.cc.o.d"
+  "/root/repo/src/vfs/lsm.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/lsm.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/lsm.cc.o.d"
+  "/root/repo/src/vfs/lsm_modules.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/lsm_modules.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/lsm_modules.cc.o.d"
+  "/root/repo/src/vfs/mount.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/mount.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/mount.cc.o.d"
+  "/root/repo/src/vfs/task.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/task.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/task.cc.o.d"
+  "/root/repo/src/vfs/walk.cc" "src/vfs/CMakeFiles/dircache_vfs.dir/walk.cc.o" "gcc" "src/vfs/CMakeFiles/dircache_vfs.dir/walk.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dircache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dircache_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dircache_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

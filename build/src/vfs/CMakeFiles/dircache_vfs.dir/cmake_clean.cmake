@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircache_vfs.dir/cred.cc.o"
+  "CMakeFiles/dircache_vfs.dir/cred.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/dcache.cc.o"
+  "CMakeFiles/dircache_vfs.dir/dcache.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/dentry.cc.o"
+  "CMakeFiles/dircache_vfs.dir/dentry.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/inode.cc.o"
+  "CMakeFiles/dircache_vfs.dir/inode.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/kernel.cc.o"
+  "CMakeFiles/dircache_vfs.dir/kernel.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/lsm.cc.o"
+  "CMakeFiles/dircache_vfs.dir/lsm.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/lsm_modules.cc.o"
+  "CMakeFiles/dircache_vfs.dir/lsm_modules.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/mount.cc.o"
+  "CMakeFiles/dircache_vfs.dir/mount.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/task.cc.o"
+  "CMakeFiles/dircache_vfs.dir/task.cc.o.d"
+  "CMakeFiles/dircache_vfs.dir/walk.cc.o"
+  "CMakeFiles/dircache_vfs.dir/walk.cc.o.d"
+  "libdircache_vfs.a"
+  "libdircache_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircache_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

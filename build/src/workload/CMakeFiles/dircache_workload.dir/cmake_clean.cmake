@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircache_workload.dir/apps.cc.o"
+  "CMakeFiles/dircache_workload.dir/apps.cc.o.d"
+  "CMakeFiles/dircache_workload.dir/maildir.cc.o"
+  "CMakeFiles/dircache_workload.dir/maildir.cc.o.d"
+  "CMakeFiles/dircache_workload.dir/tree_gen.cc.o"
+  "CMakeFiles/dircache_workload.dir/tree_gen.cc.o.d"
+  "CMakeFiles/dircache_workload.dir/webserver.cc.o"
+  "CMakeFiles/dircache_workload.dir/webserver.cc.o.d"
+  "libdircache_workload.a"
+  "libdircache_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircache_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

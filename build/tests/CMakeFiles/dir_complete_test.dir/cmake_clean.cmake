@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dir_complete_test.dir/dir_complete_test.cc.o"
+  "CMakeFiles/dir_complete_test.dir/dir_complete_test.cc.o.d"
+  "dir_complete_test"
+  "dir_complete_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dir_complete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

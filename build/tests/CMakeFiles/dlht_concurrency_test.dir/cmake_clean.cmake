@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlht_concurrency_test.dir/dlht_concurrency_test.cc.o"
+  "CMakeFiles/dlht_concurrency_test.dir/dlht_concurrency_test.cc.o.d"
+  "dlht_concurrency_test"
+  "dlht_concurrency_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlht_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlht_pcc_test.dir/dlht_pcc_test.cc.o"
+  "CMakeFiles/dlht_pcc_test.dir/dlht_pcc_test.cc.o.d"
+  "dlht_pcc_test"
+  "dlht_pcc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlht_pcc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_table_test.dir/file_table_test.cc.o"
+  "CMakeFiles/file_table_test.dir/file_table_test.cc.o.d"
+  "file_table_test"
+  "file_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

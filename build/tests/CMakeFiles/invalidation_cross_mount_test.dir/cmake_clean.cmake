@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invalidation_cross_mount_test.dir/invalidation_cross_mount_test.cc.o"
+  "CMakeFiles/invalidation_cross_mount_test.dir/invalidation_cross_mount_test.cc.o.d"
+  "invalidation_cross_mount_test"
+  "invalidation_cross_mount_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invalidation_cross_mount_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

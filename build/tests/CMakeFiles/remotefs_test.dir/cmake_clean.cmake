@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/remotefs_test.dir/remotefs_test.cc.o"
+  "CMakeFiles/remotefs_test.dir/remotefs_test.cc.o.d"
+  "remotefs_test"
+  "remotefs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/remotefs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

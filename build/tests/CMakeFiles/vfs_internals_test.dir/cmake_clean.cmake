@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vfs_internals_test.dir/vfs_internals_test.cc.o"
+  "CMakeFiles/vfs_internals_test.dir/vfs_internals_test.cc.o.d"
+  "vfs_internals_test"
+  "vfs_internals_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vfs_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
