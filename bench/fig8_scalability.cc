@@ -1,14 +1,21 @@
 // Figure 8: stat/open latency of one shared path as threads are added.
 //
-// The design property under test is that neither the baseline optimistic
-// walk nor the fastpath takes locks or shared-cacheline writes on the read
-// path. NOTE: this host exposes a single CPU, so added threads time-slice
-// rather than run in parallel — per-operation latency under oversubscription
-// plus the lock-acquisition counter substitute for the paper's 12-core
+// The design property under test is that the read path of a warm lookup is
+// free of BOTH lock acquisitions and shared-cacheline writes: statistics go
+// to per-thread sharded slots, LRU recency is a per-dentry bit armed once,
+// and the PCC recency tick is refreshed only when the entry is not already
+// most-recent. We count the remaining shared writes the machinery performs
+// (`shared_writes`) next to lock acquisitions (`locks_taken`); both must be
+// ~0 per warm op. NOTE: this host exposes a single CPU, so added threads
+// time-slice rather than run in parallel — per-operation CPU time under
+// oversubscription plus the two counters substitute for the paper's 12-core
 // scaling curve (see DESIGN.md).
 #include <atomic>
+#include <cstdlib>
 #include <ctime>
+#include <fstream>
 #include <thread>
+#include <vector>
 
 #include "bench/common.h"
 
@@ -17,6 +24,26 @@ namespace bench {
 namespace {
 
 constexpr const char* kPath = "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF";
+
+int OpsPerThread() {
+  if (const char* s = std::getenv("FIG8_OPS")) {
+    int n = std::atoi(s);
+    if (n > 0) {
+      return n;
+    }
+  }
+  if (const char* q = std::getenv("FIG8_QUICK"); q != nullptr && *q == '1') {
+    return 4000;
+  }
+  return 40000;
+}
+
+std::vector<int> ThreadCounts() {
+  if (const char* q = std::getenv("FIG8_QUICK"); q != nullptr && *q == '1') {
+    return {1, 8};
+  }
+  return {1, 2, 4, 8, 12};
+}
 
 void Build(Task& t) {
   std::string p;
@@ -35,15 +62,25 @@ struct Point {
   double stat_ns;
   double open_ns;
   double locks_per_op;
+  double shared_writes_per_op;
 };
 
 Point Measure(const CacheConfig& cfg, int threads) {
   Env env = MakeEnv(cfg);
   Build(env.T());
-  (void)env.T().StatPath(kPath);
+  // Warm the caches past their one-time writes: the first few hits park the
+  // dentries on the LRU, arm the second-chance bits, and settle the PCC
+  // entries at the most-recent tick. Only then is the steady state measured.
+  for (int i = 0; i < 4; ++i) {
+    (void)env.T().StatPath(kPath);
+  }
+  if (auto fd = env.T().Open(kPath, kORead); fd.ok()) {
+    (void)env.T().Close(*fd);
+  }
 
-  constexpr int kOpsPerThread = 40000;
+  const int ops_per_thread = OpsPerThread();
   env.kernel->stats().locks_taken.Reset();
+  env.kernel->stats().shared_writes.Reset();
 
   auto run_phase = [&](bool do_open) -> double {
     std::atomic<bool> go{false};
@@ -59,7 +96,7 @@ Point Measure(const CacheConfig& cfg, int threads) {
         // lookup cost, which is what the paper's multi-core axis shows.
         timespec t0{};
         clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
-        for (int op = 0; op < kOpsPerThread; ++op) {
+        for (int op = 0; op < ops_per_thread; ++op) {
           if (do_open) {
             auto fd = task->Open(kPath, kORead);
             if (fd.ok()) {
@@ -80,18 +117,52 @@ Point Measure(const CacheConfig& cfg, int threads) {
     for (auto& w : workers) {
       w.join();
     }
-    // Mean per-op latency across threads (wall time per thread / ops).
+    // Mean per-op latency across threads (CPU time per thread / ops).
     return static_cast<double>(total_ns.load()) /
-           (static_cast<double>(threads) * kOpsPerThread);
+           (static_cast<double>(threads) * ops_per_thread);
   };
 
   Point pt;
   pt.stat_ns = run_phase(false);
   pt.open_ns = run_phase(true);
+  double total_ops = 2.0 * threads * ops_per_thread;
   pt.locks_per_op =
       static_cast<double>(env.kernel->stats().locks_taken.value()) /
-      (2.0 * threads * kOpsPerThread);
+      total_ops;
+  pt.shared_writes_per_op =
+      static_cast<double>(env.kernel->stats().shared_writes.value()) /
+      total_ops;
   return pt;
+}
+
+void WriteJson(const std::vector<int>& threads, const std::vector<Point>& base,
+               const std::vector<Point>& opt, int ops_per_thread,
+               bool lock_free, bool shared_write_free, double ratio_8t) {
+  std::ofstream out("BENCH_fig8.json");
+  if (!out) {
+    return;
+  }
+  auto point = [&](const Point& p) {
+    out << "{\"stat_ns\": " << p.stat_ns << ", \"open_ns\": " << p.open_ns
+        << ", \"locks_per_op\": " << p.locks_per_op
+        << ", \"shared_writes_per_op\": " << p.shared_writes_per_op << "}";
+  };
+  out << "{\n  \"benchmark\": \"fig8_scalability\",\n"
+      << "  \"ops_per_thread\": " << ops_per_thread << ",\n"
+      << "  \"points\": [\n";
+  for (size_t i = 0; i < threads.size(); ++i) {
+    out << "    {\"threads\": " << threads[i] << ", \"base\": ";
+    point(base[i]);
+    out << ", \"opt\": ";
+    point(opt[i]);
+    out << "}" << (i + 1 < threads.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n"
+      << "  \"verdict\": {\"fastpath_lock_free\": "
+      << (lock_free ? "true" : "false")
+      << ", \"fastpath_shared_write_free\": "
+      << (shared_write_free ? "true" : "false")
+      << ", \"opt_stat_8t_over_1t\": " << ratio_8t << "}\n}\n";
 }
 
 }  // namespace
@@ -104,20 +175,53 @@ int main() {
   Banner("Figure 8",
          "stat/open latency vs thread count on one path (single-CPU host: "
          "threads time-slice)");
-  std::printf("%8s | %12s %12s %10s | %12s %12s %10s\n", "threads",
-              "stat-base", "open-base", "locks/op", "stat-opt", "open-opt",
-              "locks/op");
-  for (int threads : {1, 2, 4, 8, 12}) {
+  const int ops_per_thread = OpsPerThread();
+  const std::vector<int> thread_counts = ThreadCounts();
+  std::printf("%8s | %10s %10s %9s %9s | %10s %10s %9s %9s\n", "threads",
+              "stat-base", "open-base", "locks/op", "shwr/op", "stat-opt",
+              "open-opt", "locks/op", "shwr/op");
+  std::vector<Point> base_pts;
+  std::vector<Point> opt_pts;
+  for (int threads : thread_counts) {
     Point base = Measure(Unmodified(), threads);
     Point opt = Measure(Optimized(), threads);
-    std::printf("%8d | %12.0f %12.0f %10.3f | %12.0f %12.0f %10.3f\n",
+    base_pts.push_back(base);
+    opt_pts.push_back(opt);
+    std::printf("%8d | %10.0f %10.0f %9.4f %9.4f | %10.0f %10.0f %9.4f "
+                "%9.4f\n",
                 threads, base.stat_ns, base.open_ns, base.locks_per_op,
-                opt.stat_ns, opt.open_ns, opt.locks_per_op);
+                base.shared_writes_per_op, opt.stat_ns, opt.open_ns,
+                opt.locks_per_op, opt.shared_writes_per_op);
   }
+
+  // Verdict on the optimized kernel's warm hit path. The threshold forgives
+  // a handful of one-time writes that leak past warmup (e.g. a thread's
+  // first refresh after a fork) but fails any per-op write traffic.
+  constexpr double kEps = 1e-3;
+  bool lock_free = true;
+  bool shared_write_free = true;
+  for (const Point& p : opt_pts) {
+    lock_free = lock_free && p.locks_per_op < kEps;
+    shared_write_free = shared_write_free && p.shared_writes_per_op < kEps;
+  }
+  double ratio_8t = 0.0;
+  for (size_t i = 0; i < thread_counts.size(); ++i) {
+    if (thread_counts[i] == 8 && opt_pts[0].stat_ns > 0) {
+      ratio_8t = opt_pts[i].stat_ns / opt_pts[0].stat_ns;
+    }
+  }
+  WriteJson(thread_counts, base_pts, opt_pts, ops_per_thread, lock_free,
+            shared_write_free, ratio_8t);
+
   std::printf(
-      "\nThe design property: ~0 lock acquisitions per read-side lookup in\n"
-      "both kernels (reads are optimistic/validated), so per-op CPU time\n"
-      "stays flat as threads are added — the paper's Figure 8 shows the\n"
-      "same flat curves (in wall time, on 12 real cores).\n");
-  return 0;
+      "\nThe design property: a warm read-side lookup takes no locks AND\n"
+      "performs no shared-cacheline writes beyond the returned reference —\n"
+      "stats are per-thread shards, the LRU recency bit and the PCC tick\n"
+      "are written only when not already set. Per-op CPU time therefore\n"
+      "stays flat as threads are added, matching the paper's Figure 8 flat\n"
+      "curves (in wall time, on 12 real cores).\n");
+  std::printf("verdict: fastpath locks/op %s, shared-writes/op %s\n",
+              lock_free ? "OK (~0)" : "FAIL (nonzero)",
+              shared_write_free ? "OK (~0)" : "FAIL (nonzero)");
+  return (lock_free && shared_write_free) ? 0 : 1;
 }

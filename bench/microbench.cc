@@ -43,12 +43,41 @@ Env& EnvFor(bool optimized) {
   return optimized ? opt : base;
 }
 
+// Attach per-op lock / shared-write counters to a benchmark's report: the
+// delta of the kernel-wide statistics across the timed loop, divided by the
+// iteration count. On a warm optimized hit path both must read 0.
+class StatCounterScope {
+ public:
+  explicit StatCounterScope(Env& env) : stats_(env.kernel->stats()) {
+    locks0_ = stats_.locks_taken.value();
+    writes0_ = stats_.shared_writes.value();
+  }
+  void Report(benchmark::State& state) {
+    double iters = static_cast<double>(state.iterations());
+    if (iters <= 0) {
+      return;
+    }
+    state.counters["locks_per_op"] = benchmark::Counter(
+        static_cast<double>(stats_.locks_taken.value() - locks0_) / iters);
+    state.counters["shared_writes_per_op"] = benchmark::Counter(
+        static_cast<double>(stats_.shared_writes.value() - writes0_) /
+        iters);
+  }
+
+ private:
+  CacheStats& stats_;
+  uint64_t locks0_;
+  uint64_t writes0_;
+};
+
 void BM_Stat8Comp(benchmark::State& state) {
   Env& env = EnvFor(state.range(0) != 0);
+  StatCounterScope counters(env);
   for (auto _ : state) {
     auto r = env.T().StatPath("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
     benchmark::DoNotOptimize(r);
   }
+  counters.Report(state);
 }
 BENCHMARK(BM_Stat8Comp)->Arg(0)->Arg(1);
 
@@ -63,12 +92,14 @@ BENCHMARK(BM_Stat1Comp)->Arg(0)->Arg(1);
 
 void BM_OpenClose(benchmark::State& state) {
   Env& env = EnvFor(state.range(0) != 0);
+  StatCounterScope counters(env);
   for (auto _ : state) {
     auto fd = env.T().Open("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF", kORead);
     if (fd.ok()) {
       (void)env.T().Close(*fd);
     }
   }
+  counters.Report(state);
 }
 BENCHMARK(BM_OpenClose)->Arg(0)->Arg(1);
 

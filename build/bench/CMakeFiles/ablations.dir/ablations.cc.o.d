@@ -212,17 +212,17 @@ bench/CMakeFiles/ablations.dir/ablations.cc.o: \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstddef /root/repo/src/util/align.h \
  /root/repo/src/storage/buffer_cache.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/storage/fs.h \
- /usr/include/c++/12/optional /root/repo/src/storage/memfs.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
+ /root/repo/src/storage/memfs.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vfs/kernel.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \
  /root/repo/src/core/signature.h /root/repo/src/util/hash.h \

@@ -223,8 +223,9 @@ bench/CMakeFiles/microbench.dir/microbench.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/result.h \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/util/stats.h /root/repo/src/storage/buffer_cache.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/util/stats.h /root/repo/src/util/align.h \
+ /root/repo/src/storage/buffer_cache.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \

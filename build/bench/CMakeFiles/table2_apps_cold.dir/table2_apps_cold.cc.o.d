@@ -222,12 +222,13 @@ bench/CMakeFiles/table2_apps_cold.dir/table2_apps_cold.cc.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/util/stats.h \
- /usr/include/c++/12/atomic /root/repo/src/storage/buffer_cache.h \
- /root/repo/src/util/intrusive_list.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
- /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
- /root/repo/src/storage/memfs.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/util/align.h /root/repo/src/storage/buffer_cache.h \
+ /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \
+ /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/storage/fs.h \
+ /usr/include/c++/12/optional /root/repo/src/storage/memfs.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/vfs/kernel.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \
  /root/repo/src/core/signature.h /root/repo/src/util/hash.h \

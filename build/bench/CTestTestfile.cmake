@@ -4,3 +4,7 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+if(CTEST_CONFIGURATION_TYPE MATCHES "^([Bb][Ee][Nn][Cc][Hh])$")
+  add_test(bench_smoke "/usr/bin/cmake" "-E" "env" "BUILD_DIR=/root/repo/build" "/root/repo/scripts/bench_smoke.sh")
+  set_tests_properties(bench_smoke PROPERTIES  TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;29;add_test;/root/repo/bench/CMakeLists.txt;0;")
+endif()

@@ -209,18 +209,19 @@ examples/CMakeFiles/mailserver.dir/mailserver.cpp.o: \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/stats.h \
- /usr/include/c++/12/atomic /root/repo/src/storage/buffer_cache.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/util/align.h /root/repo/src/storage/buffer_cache.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/storage/fs.h \
- /usr/include/c++/12/optional /root/repo/src/vfs/kernel.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \
- /root/repo/src/core/signature.h /root/repo/src/util/hash.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
+ /root/repo/src/vfs/kernel.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/core/config.h /root/repo/src/core/signature.h \
+ /root/repo/src/util/hash.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/util/spinlock.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

@@ -213,4 +213,5 @@ src/core/CMakeFiles/dircache_core.dir/dlht.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/util/stats.h
+ /root/repo/src/util/align.h /root/repo/src/util/stats.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h

@@ -211,4 +211,5 @@ src/storage/CMakeFiles/dircache_storage.dir/block_device.cc.o: \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstddef /root/repo/src/util/align.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

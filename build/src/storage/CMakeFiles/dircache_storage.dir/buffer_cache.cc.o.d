@@ -215,6 +215,6 @@ src/storage/CMakeFiles/dircache_storage.dir/buffer_cache.cc.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/util/stats.h \
- /usr/include/c++/12/atomic /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/util/align.h /root/repo/src/util/intrusive_list.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h

@@ -211,15 +211,16 @@ src/storage/CMakeFiles/dircache_storage.dir/diskfs.cc.o: \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstddef /root/repo/src/util/align.h \
  /root/repo/src/storage/buffer_cache.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/storage/fs.h \
- /usr/include/c++/12/optional /root/repo/src/util/crc32.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
+ /root/repo/src/util/crc32.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/nmmintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/smmintrin.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/tmmintrin.h \

@@ -212,12 +212,12 @@ src/storage/CMakeFiles/dircache_storage.dir/fsck.cc.o: \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstddef /root/repo/src/util/align.h \
  /root/repo/src/storage/buffer_cache.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/storage/fs.h \
- /usr/include/c++/12/optional
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/storage/fs.h /usr/include/c++/12/optional

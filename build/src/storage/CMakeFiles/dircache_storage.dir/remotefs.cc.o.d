@@ -215,7 +215,8 @@ src/storage/CMakeFiles/dircache_storage.dir/remotefs.cc.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/util/stats.h \
- /usr/include/c++/12/atomic /root/repo/src/storage/block_device.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/util/align.h /root/repo/src/storage/block_device.h \
  /usr/include/c++/12/array /root/repo/src/util/clock.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \

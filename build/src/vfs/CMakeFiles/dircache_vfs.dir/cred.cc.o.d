@@ -213,11 +213,13 @@ src/vfs/CMakeFiles/dircache_vfs.dir/cred.cc.o: /root/repo/src/vfs/cred.cc \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/util/align.h /usr/include/c++/12/cstddef \
  /root/repo/src/vfs/types.h /root/repo/src/storage/fs.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/result.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /root/repo/src/core/pcc.h /root/repo/src/util/epoch.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h
+ /root/repo/src/core/pcc.h /root/repo/src/util/stats.h \
+ /root/repo/src/util/epoch.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h

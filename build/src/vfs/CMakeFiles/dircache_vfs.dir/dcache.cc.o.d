@@ -164,10 +164,10 @@ src/vfs/CMakeFiles/dircache_vfs.dir/dcache.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/config.h \
- /usr/include/c++/12/cstddef /root/repo/src/util/spinlock.h \
- /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
- /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/tuple \
- /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/cstddef /root/repo/src/util/align.h \
+ /root/repo/src/util/spinlock.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
  /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
  /usr/include/c++/12/ext/atomicity.h \
@@ -193,7 +193,8 @@ src/vfs/CMakeFiles/dircache_vfs.dir/dcache.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/util/stats.h /root/repo/src/vfs/dentry.h \
+ /root/repo/src/util/stats.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/vfs/dentry.h \
  /root/repo/src/core/fast_dentry.h /root/repo/src/util/hash.h \
  /usr/include/c++/12/array /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /root/repo/src/util/hlist.h \
@@ -223,7 +224,6 @@ src/vfs/CMakeFiles/dircache_vfs.dir/dcache.cc.o: \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/storage/fs.h \
  /usr/include/c++/12/optional /root/repo/src/util/result.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/util/epoch.h \
  /root/repo/src/vfs/types.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/dlht.h \

@@ -197,9 +197,10 @@ src/vfs/CMakeFiles/dircache_vfs.dir/dentry.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/vfs/inode.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/util/align.h /root/repo/src/util/intrusive_list.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/vfs/inode.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/shared_ptr.h \

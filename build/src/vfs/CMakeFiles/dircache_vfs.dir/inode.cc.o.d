@@ -211,6 +211,7 @@ src/vfs/CMakeFiles/dircache_vfs.dir/inode.cc.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/util/epoch.h \
+ /root/repo/src/util/align.h /usr/include/c++/12/cstddef \
  /root/repo/src/util/spinlock.h /usr/include/c++/12/thread \
  /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
  /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \

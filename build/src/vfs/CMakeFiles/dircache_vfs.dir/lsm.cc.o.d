@@ -219,6 +219,7 @@ src/vfs/CMakeFiles/dircache_vfs.dir/lsm.cc.o: /root/repo/src/vfs/lsm.cc \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/util/align.h /usr/include/c++/12/cstddef \
  /root/repo/src/vfs/types.h /root/repo/src/storage/fs.h \
  /usr/include/c++/12/optional /root/repo/src/vfs/inode.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \

@@ -227,6 +227,7 @@ src/vfs/CMakeFiles/dircache_vfs.dir/lsm_modules.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/util/align.h /usr/include/c++/12/cstddef \
  /root/repo/src/vfs/types.h /root/repo/src/storage/fs.h \
  /usr/include/c++/12/optional /root/repo/src/vfs/inode.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -235,6 +236,5 @@ src/vfs/CMakeFiles/dircache_vfs.dir/lsm_modules.cc.o: \
  /root/repo/src/vfs/dentry.h /root/repo/src/core/fast_dentry.h \
  /root/repo/src/util/hash.h /usr/include/c++/12/array \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/hlist.h /usr/include/c++/12/cstddef \
- /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h
+ /root/repo/src/util/hlist.h /root/repo/src/util/intrusive_list.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h

@@ -220,17 +220,17 @@ src/vfs/CMakeFiles/dircache_vfs.dir/walk.cc.o: /root/repo/src/vfs/walk.cc \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/util/stats.h /root/repo/src/vfs/dcache.h \
- /root/repo/src/vfs/dentry.h /root/repo/src/core/fast_dentry.h \
- /root/repo/src/util/hlist.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
- /root/repo/src/vfs/inode.h /root/repo/src/storage/fs.h \
- /usr/include/c++/12/optional /root/repo/src/util/result.h \
- /usr/include/c++/12/variant /root/repo/src/util/epoch.h \
- /root/repo/src/vfs/types.h /root/repo/src/vfs/lsm.h \
- /root/repo/src/vfs/cred.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/util/align.h /root/repo/src/util/stats.h \
+ /root/repo/src/vfs/dcache.h /root/repo/src/vfs/dentry.h \
+ /root/repo/src/core/fast_dentry.h /root/repo/src/util/hlist.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \
+ /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/vfs/inode.h \
+ /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
+ /root/repo/src/util/result.h /usr/include/c++/12/variant \
+ /root/repo/src/util/epoch.h /root/repo/src/vfs/types.h \
+ /root/repo/src/vfs/lsm.h /root/repo/src/vfs/cred.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

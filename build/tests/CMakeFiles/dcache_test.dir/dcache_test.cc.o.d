@@ -304,9 +304,9 @@ tests/CMakeFiles/dcache_test.dir/dcache_test.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/util/stats.h /root/repo/tests/test_util.h \
- /root/repo/src/storage/diskfs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/util/align.h /root/repo/src/util/stats.h \
+ /root/repo/tests/test_util.h /root/repo/src/storage/diskfs.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/storage/block_device.h /root/repo/src/util/clock.h \
  /usr/include/c++/12/chrono /root/repo/src/util/result.h \
  /root/repo/src/storage/buffer_cache.h \

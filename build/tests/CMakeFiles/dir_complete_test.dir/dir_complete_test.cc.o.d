@@ -297,7 +297,8 @@ tests/CMakeFiles/dir_complete_test.dir/dir_complete_test.cc.o: \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/storage/block_device.h /root/repo/src/util/clock.h \
  /usr/include/c++/12/chrono /root/repo/src/util/result.h \
- /root/repo/src/util/stats.h /root/repo/src/storage/buffer_cache.h \
+ /root/repo/src/util/stats.h /root/repo/src/util/align.h \
+ /root/repo/src/storage/buffer_cache.h \
  /root/repo/src/util/intrusive_list.h /root/repo/src/storage/fs.h \
  /root/repo/src/storage/memfs.h /root/repo/src/vfs/kernel.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \

@@ -302,7 +302,7 @@ tests/CMakeFiles/dlht_concurrency_test.dir/dlht_concurrency_test.cc.o: \
  /root/repo/src/core/dlht.h /root/repo/src/core/fast_dentry.h \
  /root/repo/src/util/hash.h /usr/include/c++/12/cstring \
  /root/repo/src/util/hlist.h /root/repo/src/util/spinlock.h \
- /root/repo/src/util/stats.h /root/repo/src/core/pcc.h \
- /root/repo/src/core/signature.h /root/repo/src/util/epoch.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/src/util/rng.h
+ /root/repo/src/util/align.h /root/repo/src/util/stats.h \
+ /root/repo/src/core/pcc.h /root/repo/src/core/signature.h \
+ /root/repo/src/util/epoch.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/rng.h

@@ -300,4 +300,4 @@ tests/CMakeFiles/epoch_test.dir/epoch_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/util/epoch.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/unique_lock.h
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/align.h

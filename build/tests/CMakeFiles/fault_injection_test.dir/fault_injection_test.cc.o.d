@@ -215,12 +215,13 @@ tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o: \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant /root/repo/src/util/stats.h \
- /usr/include/c++/12/atomic /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/storage/fsck.h \
- /root/repo/src/storage/diskfs.h /root/repo/src/storage/fs.h \
- /usr/include/c++/12/optional /root/repo/src/util/rng.h \
- /root/repo/tests/test_util.h /root/miniconda/include/gtest/gtest.h \
+ /usr/include/c++/12/atomic /usr/include/c++/12/cstddef \
+ /root/repo/src/util/align.h /root/repo/src/util/intrusive_list.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/storage/fsck.h /root/repo/src/storage/diskfs.h \
+ /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
+ /root/repo/src/util/rng.h /root/repo/tests/test_util.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

@@ -212,18 +212,19 @@ tests/CMakeFiles/fsck_test.dir/fsck_test.cc.o: \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/util/stats.h /usr/include/c++/12/atomic \
+ /usr/include/c++/12/cstddef /root/repo/src/util/align.h \
  /root/repo/src/storage/buffer_cache.h /usr/include/c++/12/unordered_map \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/storage/fs.h \
- /usr/include/c++/12/optional /root/repo/src/util/rng.h \
- /root/repo/src/workload/apps.h /root/repo/src/workload/tree_gen.h \
- /root/repo/src/vfs/task.h /root/repo/src/vfs/cred.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
+ /root/repo/src/util/rng.h /root/repo/src/workload/apps.h \
+ /root/repo/src/workload/tree_gen.h /root/repo/src/vfs/task.h \
+ /root/repo/src/vfs/cred.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -221,15 +221,15 @@ tests/CMakeFiles/soak_test.dir/soak_test.cc.o: \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /usr/include/c++/12/variant \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/util/stats.h /root/repo/src/storage/buffer_cache.h \
+ /root/repo/src/util/stats.h /usr/include/c++/12/cstddef \
+ /root/repo/src/util/align.h /root/repo/src/storage/buffer_cache.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/util/intrusive_list.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
- /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
- /root/repo/src/util/rng.h /root/repo/tests/test_util.h \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \
+ /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/storage/fs.h \
+ /usr/include/c++/12/optional /root/repo/src/util/rng.h \
+ /root/repo/tests/test_util.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

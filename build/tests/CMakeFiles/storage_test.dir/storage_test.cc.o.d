@@ -296,7 +296,8 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/util/clock.h \
  /usr/include/c++/12/chrono /root/repo/src/util/result.h \
- /root/repo/src/util/stats.h /root/repo/src/storage/buffer_cache.h \
+ /root/repo/src/util/stats.h /root/repo/src/util/align.h \
+ /root/repo/src/storage/buffer_cache.h \
  /root/repo/src/util/intrusive_list.h /root/repo/src/storage/diskfs.h \
  /root/repo/src/storage/fs.h /root/repo/src/storage/memfs.h \
  /root/repo/tests/test_util.h /root/repo/src/vfs/kernel.h \

@@ -313,4 +313,4 @@ tests/CMakeFiles/util_test.dir/util_test.cc.o: \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/popcntintrin.h \
  /root/repo/src/util/hlist.h /root/repo/src/util/intrusive_list.h \
  /root/repo/src/util/result.h /root/repo/src/util/rng.h \
- /root/repo/src/util/spinlock.h
+ /root/repo/src/util/spinlock.h /root/repo/src/util/align.h

@@ -196,8 +196,10 @@ tests/CMakeFiles/vfs_internals_test.dir/vfs_internals_test.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/tests/test_util.h \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/util/stats.h \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/align.h \
+ /root/repo/tests/test_util.h /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/limits \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
@@ -281,8 +283,7 @@ tests/CMakeFiles/vfs_internals_test.dir/vfs_internals_test.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
@@ -297,7 +298,7 @@ tests/CMakeFiles/vfs_internals_test.dir/vfs_internals_test.cc.o: \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/storage/block_device.h /root/repo/src/util/clock.h \
  /usr/include/c++/12/chrono /root/repo/src/util/result.h \
- /root/repo/src/util/stats.h /root/repo/src/storage/buffer_cache.h \
+ /root/repo/src/storage/buffer_cache.h \
  /root/repo/src/util/intrusive_list.h /root/repo/src/storage/fs.h \
  /root/repo/src/storage/memfs.h /root/repo/src/vfs/kernel.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \

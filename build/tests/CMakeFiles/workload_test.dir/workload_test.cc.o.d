@@ -225,6 +225,7 @@ tests/CMakeFiles/workload_test.dir/workload_test.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/util/align.h /usr/include/c++/12/cstddef \
  /root/repo/src/vfs/types.h /root/repo/src/storage/fs.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
@@ -237,16 +238,15 @@ tests/CMakeFiles/workload_test.dir/workload_test.cc.o: \
  /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/core/config.h \
- /usr/include/c++/12/cstddef /root/repo/src/core/signature.h \
- /root/repo/src/util/hash.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/util/stats.h \
- /root/repo/src/vfs/dcache.h /root/repo/src/vfs/dentry.h \
- /root/repo/src/core/fast_dentry.h /root/repo/src/util/hlist.h \
- /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \
- /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/vfs/inode.h \
- /root/repo/src/util/epoch.h /root/repo/src/vfs/lsm.h \
- /root/repo/src/vfs/mount.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/core/signature.h /root/repo/src/util/hash.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/util/stats.h /root/repo/src/vfs/dcache.h \
+ /root/repo/src/vfs/dentry.h /root/repo/src/core/fast_dentry.h \
+ /root/repo/src/util/hlist.h /root/repo/src/util/intrusive_list.h \
+ /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
+ /root/repo/src/vfs/inode.h /root/repo/src/util/epoch.h \
+ /root/repo/src/vfs/lsm.h /root/repo/src/vfs/mount.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/dlht.h \
  /root/repo/src/vfs/walk.h /root/repo/src/workload/latency.h \
  /usr/include/c++/12/cmath /usr/include/math.h \

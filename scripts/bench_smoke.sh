@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Quick benchmark smoke pass: build Release, run a shortened Figure 8 plus
+# the stat/open microbenchmarks, and leave machine-readable results at the
+# repo root (BENCH_fig8.json, BENCH_micro.json). Exits nonzero if fig8's
+# verdict fails (the optimized warm hit path took locks or shared writes).
+#
+#   scripts/bench_smoke.sh            # uses ./build (configured if absent)
+#   BUILD_DIR=out scripts/bench_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fig8_scalability microbench
+
+echo "== fig8 (quick) =="
+FIG8_QUICK=1 "$BUILD_DIR/bench/fig8_scalability"
+
+echo "== microbench (quick) =="
+"$BUILD_DIR/bench/microbench" \
+  --benchmark_filter='BM_(Stat8Comp|Stat1Comp|OpenClose)' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+
+echo "wrote BENCH_fig8.json and BENCH_micro.json"

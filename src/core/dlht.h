@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/core/fast_dentry.h"
+#include "src/util/align.h"
 #include "src/util/hash.h"
 #include "src/util/spinlock.h"
 #include "src/util/stats.h"
@@ -51,10 +52,16 @@ class Dlht {
   size_t SizeSlow() const;
 
  private:
-  struct Bucket {
+  // One cache line per bucket, same rationale as the primary hash table:
+  // insert/remove writers on bucket i must not invalidate the line a
+  // lock-free fastpath probe of bucket i±1 is reading.
+  struct alignas(kCacheLineSize) Bucket {
     SpinLock lock;
     HListHead chain;
   };
+  static_assert(sizeof(Bucket) == kCacheLineSize &&
+                    alignof(Bucket) == kCacheLineSize,
+                "DLHT buckets must each own exactly one cache line");
 
   Bucket& BucketFor(const Signature& sig) {
     return buckets_[sig.bucket & mask_];

@@ -53,7 +53,7 @@ void Pcc::NoteLookup(bool hit) {
 
 size_t Pcc::SetFor(uint64_t key) const { return MixPointer(key) & set_mask_; }
 
-bool Pcc::Lookup(const void* dentry, uint32_t seq) {
+bool Pcc::Lookup(const void* dentry, uint32_t seq, CacheStats* stats) {
   const uint64_t key = KeyFor(dentry);
   Entry* set = &entries_[SetFor(key) * kWays];
   for (size_t way = 0; way < kWays; ++way) {
@@ -74,12 +74,23 @@ bool Pcc::Lookup(const void* dentry, uint32_t seq) {
       NoteLookup(false);
       return false;  // stale memo for this dentry
     }
-    // Touch the LRU tick (best effort: a plain load+store race only skews
-    // LRU slightly, never correctness — the seq half is rewritten intact).
-    uint32_t now = tick_.load(std::memory_order_relaxed) + 1;
-    tick_.store(now, std::memory_order_relaxed);
-    e.meta.store((meta & 0xffffffff00000000ULL) | now,
-                 std::memory_order_release);
+    // Touch the LRU tick — but only when this entry is not already the
+    // most recently used. A hot entry hit repeatedly is already at the
+    // global tick, so the warm path reads and never writes: a PCC shared
+    // by many threads of one credential would otherwise bounce `tick_`'s
+    // and the entry's cache lines on every single hit (the tick halves are
+    // best-effort: a plain load+store race only skews LRU slightly, never
+    // correctness — the seq half is rewritten intact).
+    uint32_t now = tick_.load(std::memory_order_relaxed);
+    if (static_cast<uint32_t>(meta) != now) {
+      uint32_t next = now + 1;
+      tick_.store(next, std::memory_order_relaxed);
+      e.meta.store((meta & 0xffffffff00000000ULL) | next,
+                   std::memory_order_release);
+      if (stats != nullptr) {
+        stats->shared_writes.Add();
+      }
+    }
     NoteLookup(true);
     return true;
   }

@@ -19,6 +19,8 @@
 #include <memory>
 #include <vector>
 
+#include "src/util/stats.h"
+
 namespace dircache {
 
 class Pcc {
@@ -32,8 +34,12 @@ class Pcc {
   explicit Pcc(size_t bytes, bool track_occupancy = false);
 
   // True if (dentry, seq) is present — i.e. the memoized prefix check for
-  // this credential is still current.
-  bool Lookup(const void* dentry, uint32_t seq);
+  // this credential is still current. A hit refreshes the entry's per-set
+  // recency tick only when the entry is not already the most recent, so a
+  // warm single-entry hit path performs no write at all; when a refresh
+  // does write (a shared line — the PCC is shared by every process holding
+  // this cred), it is counted into `stats->shared_writes` if provided.
+  bool Lookup(const void* dentry, uint32_t seq, CacheStats* stats = nullptr);
 
   // Thrash detector: true when, over the last sampling window, more than
   // half of the lookups missed — the updatedb-beyond-PCC pattern (§6.3).

@@ -1,0 +1,21 @@
+// Cache-line geometry shared by the hot-path data structures.
+//
+// The scalability result (Figure 8) depends on the read path never writing
+// a cache line another core reads: per-thread statistic slots, hash-table
+// buckets, and hot locks are all padded to kCacheLineSize so that two
+// logically independent updates can never contend on one physical line.
+#ifndef DIRCACHE_UTIL_ALIGN_H_
+#define DIRCACHE_UTIL_ALIGN_H_
+
+#include <cstddef>
+
+namespace dircache {
+
+// std::hardware_destructive_interference_size is still flaky across
+// toolchains (and ABI-fragile in headers); 64 bytes is correct for every
+// x86-64 and the common AArch64 parts this runs on.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_UTIL_ALIGN_H_

@@ -15,6 +15,8 @@
 #include <mutex>
 #include <vector>
 
+#include "src/util/align.h"
+
 namespace dircache {
 
 class EpochDomain {
@@ -68,12 +70,17 @@ class EpochDomain {
   };
 
   // Per-thread participation record. Never freed: a registered slot outlives
-  // its thread and is reused via the free list.
-  struct Slot {
+  // its thread and is reused via the free list. Cache-line aligned: each
+  // reader pins/unpins its own epoch word on every read-side critical
+  // section, and two threads' slots sharing a line would re-introduce
+  // exactly the cross-thread write traffic the lock-free read path avoids.
+  struct alignas(kCacheLineSize) Slot {
     std::atomic<uint64_t> epoch{0};  // 0 = quiescent, else pinned epoch
     uint32_t nesting = 0;            // owner-thread only
     Slot* next = nullptr;            // registration list (append-only)
   };
+  static_assert(sizeof(Slot) == kCacheLineSize,
+                "epoch slots must not share cache lines across threads");
 
   Slot* SlotForThisThread();
   void Enter();

@@ -7,11 +7,26 @@
 #include <cstdint>
 #include <thread>
 
+#include "src/util/align.h"
+
 namespace dircache {
 
+// Polite-spin hint: tells the core we are in a spin-wait so it can release
+// pipeline resources to the sibling hyperthread and slow the load loop that
+// would otherwise hammer the contended line.
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
 // Test-and-test-and-set spinlock. Dentry locks are held for a handful of
-// instructions, so spinning (with a yield fallback for the single-CPU case)
-// beats a futex-backed mutex.
+// instructions, so spinning (relax hint first, OS yield for the
+// oversubscribed/single-CPU case) beats a futex-backed mutex.
 class SpinLock {
  public:
   SpinLock() = default;
@@ -22,6 +37,7 @@ class SpinLock {
     int spins = 0;
     while (locked_.exchange(true, std::memory_order_acquire)) {
       while (locked_.load(std::memory_order_relaxed)) {
+        CpuRelax();
         if (++spins > 64) {
           std::this_thread::yield();
           spins = 0;
@@ -39,6 +55,16 @@ class SpinLock {
  private:
   std::atomic<bool> locked_{false};
 };
+
+// A SpinLock padded out to its own cache line, for locks that live next to
+// other hot data (e.g. the dcache's global LRU lock): contention on the
+// lock must not false-share with neighbours, and vice versa. Dentries embed
+// the unpadded SpinLock — padding every dentry lock would grow the dentry by
+// a line for no benefit, since the dentry's other hot fields share its fate
+// anyway.
+class alignas(kCacheLineSize) CacheAlignedSpinLock : public SpinLock {};
+static_assert(sizeof(CacheAlignedSpinLock) == kCacheLineSize,
+              "padded lock must own exactly one cache line");
 
 // RAII guard for SpinLock (also works with std::lock_guard; this one allows
 // early release).

@@ -6,24 +6,14 @@ namespace dircache {
 
 std::string CacheStats::ToString() const {
   std::ostringstream os;
-  os << "lookups=" << lookups.value()
-     << " fast_hit=" << fastpath_hits.value()
-     << " fast_miss=" << fastpath_misses.value()
-     << " slow=" << slowpath_walks.value()
-     << " slow_retry=" << slowpath_retries.value()
-     << " dc_hit=" << dcache_hits.value()
-     << " dc_miss=" << dcache_misses.value()
-     << " neg=" << negative_hits.value()
-     << " dir_complete=" << dir_complete_hits.value()
-     << " readdir_cached=" << readdir_cached.value()
-     << " readdir_fs=" << readdir_uncached.value()
-     << " pcc_hit=" << pcc_hits.value() << " pcc_miss=" << pcc_misses.value()
-     << " pcc_stale=" << pcc_stale.value()
-     << " dlht_hit=" << dlht_hits.value()
-     << " dlht_miss=" << dlht_misses.value()
-     << " inval_walks=" << invalidation_walks.value()
-     << " inval_dentries=" << invalidated_dentries.value()
-     << " locks=" << locks_taken.value();
+  bool first = true;
+  ForEachCounter([&](const char* label, const ShardedCounter& c) {
+    if (!first) {
+      os << ' ';
+    }
+    first = false;
+    os << label << '=' << c.value();
+  });
   return os.str();
 }
 

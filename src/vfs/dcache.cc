@@ -60,7 +60,9 @@ Dentry* DentryCache::LookupRef(Dentry* parent, std::string_view name) {
   const uint64_t key = KeyFor(parent, name);
   HBucket& bucket = BucketForKey(key);
   SpinGuard guard(bucket.lock);
-  kernel_->stats().locks_taken.Add();
+  CacheStats& stats = kernel_->stats();
+  stats.locks_taken.Add();
+  stats.shared_writes.Add();
   for (HNode* n = bucket.chain.First(); n != nullptr;
        n = n->next.load(std::memory_order_acquire)) {
     auto* d = FromHNode<Dentry, &Dentry::hash_node>(n);
@@ -68,6 +70,9 @@ Dentry* DentryCache::LookupRef(Dentry* parent, std::string_view name) {
       continue;
     }
     if (d->parent() == parent && d->name() == name && d->DgetLive()) {
+      if (d->MarkReferenced()) {
+        stats.shared_writes.Add();
+      }
       return d;
     }
   }
@@ -149,13 +154,23 @@ void DentryCache::Dput(Dentry* d) {
     return;
   }
   if (d->ref_count() == 0 && !d->IsDead()) {
-    // Last user for now: park on the LRU so Shrink can find it.
+    if (d->TestFlags(kDentOnLru)) {
+      // Already resident on the LRU. Recency is carried by the per-dentry
+      // reference bit (armed by the lookup that took this reference), so
+      // the steady-state hit path releases its reference without touching
+      // the dentry lock, the LRU lock, or the list — no shared writes.
+      return;
+    }
+    // First idle moment since creation (or since an eviction pass dropped
+    // it): park on the LRU so Shrink can find it.
     SpinGuard guard(d->lock);
     if (!d->IsDead() && d->ref_count() == 0 &&
         !d->TestFlags(kDentOnLru)) {
       d->SetFlags(kDentOnLru);
       SpinGuard lru_guard(lru_lock_);
       lru_.PushFront(d);
+      ++lru_len_;
+      kernel_->stats().shared_writes.Add();
     }
   }
 }
@@ -165,6 +180,7 @@ void DentryCache::Release(Dentry* d) {
     SpinGuard lru_guard(lru_lock_);
     if (d->lru_node.linked()) {
       d->lru_node.Unlink();
+      --lru_len_;
     }
   }
   Inode* inode = d->inode();
@@ -272,17 +288,48 @@ void DentryCache::MoveDentry(Dentry* d, Dentry* new_parent,
 }
 
 size_t DentryCache::Shrink(size_t max) {
+  return ShrinkInternal(max, /*second_chance=*/true);
+}
+
+size_t DentryCache::ShrinkInternal(size_t max, bool second_chance) {
   size_t evicted = 0;
+  // The clock hand grants each resident entry at most one rotation per
+  // call: the budget is the list length at entry, so a population of
+  // entirely-referenced entries cannot spin the scan forever — once every
+  // bit has been cleared, the tail is evicted like plain LRU.
+  size_t rotation_budget = 0;
+  if (second_chance) {
+    SpinGuard lru_guard(lru_lock_);
+    rotation_budget = lru_len_;
+  }
+  size_t rotations = 0;
   while (evicted < max) {
     Dentry* d = nullptr;
     {
       SpinGuard lru_guard(lru_lock_);
-      d = lru_.Back();
+      while (true) {
+        d = lru_.Back();
+        if (d == nullptr) {
+          break;
+        }
+        if (second_chance && rotations < rotation_budget &&
+            d->lru_referenced.load(std::memory_order_relaxed)) {
+          // Second chance: a lookup touched this entry since the last
+          // pass. Clear the bit and rotate it to the young end.
+          d->lru_referenced.store(false, std::memory_order_relaxed);
+          d->lru_node.Unlink();
+          lru_.PushFront(d);
+          ++rotations;
+          continue;
+        }
+        d->lru_node.Unlink();
+        --lru_len_;
+        d->ClearFlags(kDentOnLru);
+        break;
+      }
       if (d == nullptr) {
         break;
       }
-      d->lru_node.Unlink();
-      d->ClearFlags(kDentOnLru);
     }
     Dentry* parent = d->parent();
     if (parent != nullptr) {
@@ -327,7 +374,8 @@ size_t DentryCache::Shrink(size_t max) {
 size_t DentryCache::ShrinkAll() {
   size_t total = 0;
   while (true) {
-    size_t n = Shrink(1024);
+    // drop_caches semantics: reference bits do not protect anything here.
+    size_t n = ShrinkInternal(1024, /*second_chance=*/false);
     total += n;
     if (n == 0) {
       break;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/config.h"
+#include "src/util/align.h"
 #include "src/util/spinlock.h"
 #include "src/util/stats.h"
 #include "src/vfs/dentry.h"
@@ -74,10 +75,15 @@ class DentryCache {
   void MoveDentry(Dentry* d, Dentry* new_parent, std::string_view new_name);
 
   // --- eviction ----------------------------------------------------------
-  // Evict up to `max` unused dentries from the LRU tail. Returns the count
-  // evicted. Eviction clears the parent's DIR_COMPLETE flag (§5.1).
+  // Evict up to `max` unused dentries, scanning from the LRU tail with
+  // second-chance (clock) semantics: an entry whose `lru_referenced` bit is
+  // set is rotated back to the front with the bit cleared instead of being
+  // evicted, so entries kept hot by (lock-free) lookups survive a round.
+  // Returns the count evicted. Eviction clears the parent's DIR_COMPLETE
+  // flag (§5.1).
   size_t Shrink(size_t max);
-  // Evict everything unused (echo 2 > drop_caches). Returns count.
+  // Evict everything unused, ignoring reference bits (echo 2 >
+  // drop_caches). Returns count.
   size_t ShrinkAll();
 
   // --- §3.2 coherence ------------------------------------------------------
@@ -106,10 +112,16 @@ class DentryCache {
   std::vector<size_t> ChainHistogram(size_t max_len = 10) const;
 
  private:
-  struct HBucket {
+  // One cache line per bucket: a writer spinning on (or unlocking) bucket i
+  // must never invalidate the line a lock-free reader of bucket i±1 is
+  // probing. The sizing static_assert lives in dcache.cc.
+  struct alignas(kCacheLineSize) HBucket {
     SpinLock lock;
     HListHead chain;
   };
+  static_assert(sizeof(HBucket) == kCacheLineSize &&
+                    alignof(HBucket) == kCacheLineSize,
+                "primary hash buckets must each own exactly one cache line");
 
   uint64_t KeyFor(const Dentry* parent, std::string_view name) const;
   HBucket& BucketForKey(uint64_t key) {
@@ -122,15 +134,22 @@ class DentryCache {
   // Final teardown of a dead, unreferenced dentry (and, transitively, of
   // parents whose last reference this drop releases).
   void Release(Dentry* d);
-  void LruRemove(Dentry* d);
+  // Shared implementation of Shrink/ShrinkAll; `second_chance` toggles
+  // whether referenced entries get rotated back or evicted outright.
+  size_t ShrinkInternal(size_t max, bool second_chance);
 
   Kernel* const kernel_;
   std::vector<HBucket> buckets_;
   size_t bucket_mask_;
   uint64_t hash_seed_;
 
-  SpinLock lru_lock_;
+  // The LRU is touched only on dentry birth (first idle park), death, and
+  // eviction — never on lookup hits, which arm the per-dentry reference bit
+  // instead. Padded: this lock must not share a line with the list head or
+  // the counters below.
+  CacheAlignedSpinLock lru_lock_;
   IntrusiveList<Dentry, &Dentry::lru_node> lru_;  // front = most recent
+  size_t lru_len_ = 0;                            // guarded by lru_lock_
 
   std::atomic<uint64_t> version_counter_{1};
   std::atomic<uint64_t> invalidation_counter_{1};

@@ -159,6 +159,23 @@ class Dentry {
 
   ListNode lru_node;  // dcache LRU (LRU lock)
 
+  // Second-chance (clock) reference bit: lookup hits arm it instead of
+  // taking the LRU lock to reorder the list; Shrink() grants one extra
+  // round to entries with the bit set, clearing it as the clock hand
+  // passes. The store is conditional, so a warm hit path performs no write
+  // at all — the bit is already set.
+  std::atomic<bool> lru_referenced{false};
+
+  // Arm the reference bit. Returns true when this call actually wrote
+  // (callers count that write in the shared_writes statistic).
+  bool MarkReferenced() {
+    if (lru_referenced.load(std::memory_order_relaxed)) {
+      return false;
+    }
+    lru_referenced.store(true, std::memory_order_relaxed);
+    return true;
+  }
+
   // --- the paper's extension (§3, Fig. 5) -----------------------------------
   FastDentry fast;
 

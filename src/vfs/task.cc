@@ -1258,6 +1258,11 @@ Result<std::vector<DirEntry>> Task::ReadDirFd(FdNum fd, size_t max_entries) {
   std::vector<DirEntry> out;
   if (file->scan_uses_cache) {
     kernel_->stats().readdir_cached.Add();
+    // A cache-served scan is a use of the directory: arm its second-chance
+    // bit so the clock eviction keeps hot readdir targets resident.
+    if (dir->MarkReferenced()) {
+      kernel_->stats().shared_writes.Add();
+    }
     if (!file->have_snapshot) {
       // One pass over the cached children builds a snapshot this stream
       // serves from (getdents snapshot semantics).

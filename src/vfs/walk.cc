@@ -242,7 +242,7 @@ static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
     // valid (§3.2, directory references).
     uint32_t base_seq =
         g_untrusted_base->fast.seq.load(std::memory_order_acquire);
-    if (!pcc->Lookup(g_untrusted_base, base_seq)) {
+    if (!pcc->Lookup(g_untrusted_base, base_seq, &kernel->stats())) {
       return;
     }
   }
@@ -286,7 +286,7 @@ static void PopulatePrefixDirs(Kernel* kernel, Task& task,
   if (g_untrusted_base != nullptr) {
     uint32_t base_seq =
         g_untrusted_base->fast.seq.load(std::memory_order_acquire);
-    if (!pcc->Lookup(g_untrusted_base, base_seq)) {
+    if (!pcc->Lookup(g_untrusted_base, base_seq, &kernel->stats())) {
       return;
     }
   }
@@ -369,6 +369,7 @@ Result<PathHandle> PathWalker::SlowResolve(Task& task,
     case LockingMode::kGlobalLock: {
       std::lock_guard<std::mutex> big(kernel_->global_walk_lock());
       kernel_->stats().locks_taken.Add();
+      kernel_->stats().shared_writes.Add();
       return LockedWalk(task, start, path, wflags, last_out);
     }
     case LockingMode::kFineGrained:
@@ -563,6 +564,9 @@ Result<PathHandle> PathWalker::OptimisticWalk(Task& task,
       k->dcache().Dput(d);
       return bail();
     }
+    if (d->MarkReferenced()) {
+      stats.shared_writes.Add();
+    }
     mnt->Get();
   }
   PathHandle result = PathHandle::Adopt(mnt, d);
@@ -623,6 +627,9 @@ Result<PathHandle> PathWalker::LockedWalk(Task& task, const PathHandle& start,
   CacheStats& stats = k->stats();
 
   std::shared_lock<std::shared_mutex> tree(k->tree_lock());
+  // Even a shared acquisition is an RMW on the mutex word — a shared-line
+  // write the lock-free paths never pay.
+  stats.shared_writes.Add();
   EpochDomain::ReadGuard guard(EpochDomain::Global());
   uint64_t inval_snapshot = k->dcache().invalidation_counter();
   const Cred& cred = *task.cred();
@@ -1212,7 +1219,7 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
         }
         Dentry* pd = DentryFromFast(pfd);
         uint32_t pseq = pfd->seq.load(std::memory_order_acquire);
-        if (!pcc->Lookup(pd, pseq)) {
+        if (!pcc->Lookup(pd, pseq, &stats)) {
           stats.pcc_misses.Add();
           return false;
         }
@@ -1272,7 +1279,7 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
   uint32_t seq = fd->seq.load(std::memory_order_acquire);
   {
     PhaseTimer t(&WalkPhaseProfile::permission_ns);
-    if (!pcc->Lookup(d, seq)) {
+    if (!pcc->Lookup(d, seq, &stats)) {
       // Last-hop fallback: the PCC holds one entry per dentry, so trees
       // much larger than the PCC evict file entries first (§6.3 discusses
       // exactly this updatedb sensitivity). A DLHT hit is still usable if
@@ -1285,7 +1292,7 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
       if (parent != nullptr && !d->TestFlags(kDentAlias) &&
           parent != d) {
         uint32_t pseq = parent->fast.seq.load(std::memory_order_acquire);
-        if (pcc->Lookup(parent, pseq)) {
+        if (pcc->Lookup(parent, pseq, &stats)) {
           Inode* pi = parent->inode();
           ok = pi != nullptr && pi->IsDir() &&
                k->security()
@@ -1324,7 +1331,7 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
     }
     Dentry* td = DentryFromFast(tfd);
     uint32_t tseq = tfd->seq.load(std::memory_order_acquire);
-    if (!pcc->Lookup(td, tseq)) {
+    if (!pcc->Lookup(td, tseq, &stats)) {
       return false;
     }
     if (fd->seq.load(std::memory_order_acquire) != seq) {
@@ -1345,7 +1352,7 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
       return false;
     }
     uint32_t tseq = target->fast.seq.load(std::memory_order_acquire);
-    if (!pcc->Lookup(target, tseq)) {
+    if (!pcc->Lookup(target, tseq, &stats)) {
       return false;
     }
     if (fd->seq.load(std::memory_order_acquire) != seq) {
@@ -1371,6 +1378,9 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
     if (fd->seq.load(std::memory_order_seq_cst) != seq) {
       return false;
     }
+    if (d->MarkReferenced()) {
+      stats.shared_writes.Add();
+    }
     *result = e;  // fast negative hit (§5.2)
     return true;
   }
@@ -1385,6 +1395,9 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
   if ((wflags & kWalkDirectory) != 0 && !inode->IsDir()) {
     if (fd->seq.load(std::memory_order_seq_cst) != seq) {
       return false;
+    }
+    if (d->MarkReferenced()) {
+      stats.shared_writes.Add();
     }
     *result = Errno::kENOTDIR;
     return true;
@@ -1408,6 +1421,12 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
   if (fd->seq.load(std::memory_order_seq_cst) != seq) {
     k->dcache().Dput(d);
     return false;
+  }
+  // Arm the second-chance bit so the clock eviction sees this dentry as
+  // recently used. Conditional: a warm hit finds the bit already set and
+  // writes nothing — the fastpath hit loop stays shared-write-free.
+  if (d->MarkReferenced()) {
+    stats.shared_writes.Add();
   }
   m->Get();
   *result = PathHandle::Adopt(m, d);

@@ -110,6 +110,43 @@ TEST_F(DcacheTest, ShrinkEvictsOnlyUnreferencedLeaves) {
   EXPECT_LE(dc().dentry_count(), before + 2);
 }
 
+TEST_F(DcacheTest, ShrinkGivesReferencedDentriesASecondChance) {
+  Dentry* a = MakeFile("/sc_a");
+  Dentry* b = MakeFile("/sc_b");
+  {
+    // Drain the LRU of everything this fixture created so the list below
+    // contains exactly a and b. Both are referenced here, so the drain
+    // detaches them from the list without evicting them.
+    std::unique_lock<std::shared_mutex> tree(world_.kernel->tree_lock());
+    dc().ShrinkAll();
+  }
+  // Park b first (older), then a (younger). Plain LRU would evict b first;
+  // the clock gives b a second chance because its reference bit is armed
+  // (MakeFile's LookupRef touched it), while a's we clear by hand to model
+  // an entry no lookup has touched since it was parked.
+  dc().Dput(b);
+  dc().Dput(a);
+  a->lru_referenced.store(false, std::memory_order_relaxed);
+  {
+    std::unique_lock<std::shared_mutex> tree(world_.kernel->tree_lock());
+    EXPECT_EQ(dc().Shrink(1), 1u);
+  }
+  // The untouched (younger!) a was evicted; the referenced (older) b was
+  // rotated to the young end and survives.
+  EXPECT_EQ(dc().LookupRef(Root(), "sc_a"), nullptr);
+  Dentry* still = dc().LookupRef(Root(), "sc_b");
+  ASSERT_EQ(still, b);  // the lookup also re-arms b's reference bit
+  dc().Dput(still);
+  // Termination: the rotation budget is one pass, so a lone referenced
+  // entry still gets evicted by the next call — the clock degrades to LRU
+  // once every bit has been spent, it never spins.
+  {
+    std::unique_lock<std::shared_mutex> tree(world_.kernel->tree_lock());
+    EXPECT_EQ(dc().Shrink(1), 1u);
+  }
+  EXPECT_EQ(dc().LookupRef(Root(), "sc_b"), nullptr);
+}
+
 TEST_F(DcacheTest, EvictionClearsParentCompleteness) {
   ASSERT_OK(world_.root->Mkdir("/dir"));
   Dentry* dir = dc().LookupRef(Root(), "dir");
