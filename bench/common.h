@@ -29,10 +29,12 @@ struct Env {
 
 inline Env MakeEnv(const CacheConfig& cfg,
                    uint64_t disk_blocks = 1 << 17,
-                   uint64_t max_inodes = 1 << 16) {
+                   uint64_t max_inodes = 1 << 16,
+                   const ObsConfig& obs = {}) {
   Env env;
   KernelConfig kc;
   kc.cache = cfg;
+  kc.obs = obs;
   kc.signature_seed = 0xbe7c4;
   env.kernel = std::make_unique<Kernel>(kc);
   DiskFsOptions opt;

@@ -135,9 +135,30 @@ Point Measure(const CacheConfig& cfg, int threads) {
   return pt;
 }
 
+// Instrumented rerun. The verdict above is measured with observability OFF
+// so the shared-write-free property is judged on the undisturbed read path;
+// this pass re-runs the same warm stat/open loop on the optimized kernel
+// with the obs subsystem ON and returns its snapshot (per-op latency
+// percentiles + walk-outcome breakdown) for the JSON artifact.
+obs::ObsSnapshot ObservedRun(int ops) {
+  Env env = MakeEnv(Optimized(), 1 << 17, 1 << 16, ObsConfig::Enabled());
+  Build(env.T());
+  for (int i = 0; i < 4; ++i) {
+    (void)env.T().StatPath(kPath);
+  }
+  for (int op = 0; op < ops; ++op) {
+    (void)env.T().StatPath(kPath);
+    if (auto fd = env.T().Open(kPath, kORead); fd.ok()) {
+      (void)env.T().Close(*fd);
+    }
+  }
+  return env.kernel->Observe();
+}
+
 void WriteJson(const std::vector<int>& threads, const std::vector<Point>& base,
                const std::vector<Point>& opt, int ops_per_thread,
-               bool lock_free, bool shared_write_free, double ratio_8t) {
+               bool lock_free, bool shared_write_free, double ratio_8t,
+               const obs::ObsSnapshot& snap) {
   std::ofstream out("BENCH_fig8.json");
   if (!out) {
     return;
@@ -158,6 +179,7 @@ void WriteJson(const std::vector<int>& threads, const std::vector<Point>& base,
     out << "}" << (i + 1 < threads.size() ? "," : "") << "\n";
   }
   out << "  ],\n"
+      << "  \"obs\": " << snap.ToJson() << ",\n"
       << "  \"verdict\": {\"fastpath_lock_free\": "
       << (lock_free ? "true" : "false")
       << ", \"fastpath_shared_write_free\": "
@@ -210,8 +232,34 @@ int main() {
       ratio_8t = opt_pts[i].stat_ns / opt_pts[0].stat_ns;
     }
   }
+  // Instrumented pass (single-threaded, obs ON) for the JSON artifact: the
+  // per-op latency distribution and the walk-outcome breakdown.
+  obs::ObsSnapshot snap = ObservedRun(ops_per_thread);
+  std::printf("\nobserved (obs-enabled rerun, schema v%d):\n",
+              snap.schema_version);
+  for (obs::ObsOp op : {obs::ObsOp::kLookup, obs::ObsOp::kStat,
+                        obs::ObsOp::kOpen}) {
+    const obs::HistogramSummary& h = snap.Op(op);
+    std::printf("  %-8s p50 %6llu ns  p95 %6llu ns  p99 %6llu ns  "
+                "(n=%llu)\n",
+                obs::ObsOpName(op),
+                static_cast<unsigned long long>(h.P50()),
+                static_cast<unsigned long long>(h.P95()),
+                static_cast<unsigned long long>(h.P99()),
+                static_cast<unsigned long long>(h.count));
+  }
+  std::printf("  walk outcomes:");
+  for (size_t i = 0; i < obs::kWalkOutcomeCount; ++i) {
+    if (snap.outcomes[i] != 0) {
+      std::printf(" %s=%llu",
+                  obs::WalkOutcomeName(static_cast<obs::WalkOutcome>(i)),
+                  static_cast<unsigned long long>(snap.outcomes[i]));
+    }
+  }
+  std::printf("\n");
+
   WriteJson(thread_counts, base_pts, opt_pts, ops_per_thread, lock_free,
-            shared_write_free, ratio_8t);
+            shared_write_free, ratio_8t, snap);
 
   std::printf(
       "\nThe design property: a warm read-side lookup takes no locks AND\n"

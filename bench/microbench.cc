@@ -10,6 +10,20 @@ namespace dircache {
 namespace bench {
 namespace {
 
+void BuildTree(Task& t) {
+  std::string p;
+  for (const char* d : {"XXX", "YYY", "ZZZ", "AAA", "BBB", "CCC", "DDD"}) {
+    p += "/";
+    p += d;
+    (void)t.Mkdir(p);
+  }
+  auto fd = t.Open(p + "/FFF", kOCreat | kOWrite);
+  if (fd.ok()) {
+    (void)t.Close(*fd);
+  }
+  (void)GenerateFlatDir(t, "/flat", 1000, "f", 16);
+}
+
 // One environment per configuration, shared across benchmark registrations
 // (google-benchmark may run fixtures repeatedly; building trees is slow).
 Env& EnvFor(bool optimized) {
@@ -23,24 +37,26 @@ Env& EnvFor(bool optimized) {
   }();
   static bool initialized = [] {
     for (Env* e : {&base, &opt}) {
-      Task& t = e->T();
-      std::string p;
-      for (const char* d :
-           {"XXX", "YYY", "ZZZ", "AAA", "BBB", "CCC", "DDD"}) {
-        p += "/";
-        p += d;
-        (void)t.Mkdir(p);
-      }
-      auto fd = t.Open(p + "/FFF", kOCreat | kOWrite);
-      if (fd.ok()) {
-        (void)t.Close(*fd);
-      }
-      (void)GenerateFlatDir(t, "/flat", 1000, "f", 16);
+      BuildTree(e->T());
     }
     return true;
   }();
   (void)initialized;
   return optimized ? opt : base;
+}
+
+// A third, obs-enabled optimized environment. Kept separate so the plain
+// `opt` env measures the undisturbed read path (its shared_writes_per_op
+// verdict and headline per-op times stay comparable across PRs), while the
+// *Obs benchmarks price the recording cost and export the observed
+// distribution.
+Env& ObsEnv() {
+  static Env env = [] {
+    Env e = MakeEnv(Optimized(), 1 << 17, 1 << 16, ObsConfig::Enabled());
+    BuildTree(e.T());
+    return e;
+  }();
+  return env;
 }
 
 // Attach per-op lock / shared-write counters to a benchmark's report: the
@@ -68,6 +84,47 @@ class StatCounterScope {
   CacheStats& stats_;
   uint64_t locks0_;
   uint64_t writes0_;
+};
+
+// Attach the observed latency distribution of the timed loop to a
+// benchmark's report: the per-op histogram delta (HistogramSummary::Since)
+// yields p50/p95/p99, the walk-outcome deltas yield per-op rates, and
+// obs_schema_version records the introspection contract the numbers were
+// emitted under — BENCH_micro.json carries all of them as plain counters.
+class ObsCounterScope {
+ public:
+  ObsCounterScope(Env& env, obs::ObsOp op)
+      : env_(env), op_(op), before_(env.kernel->Observe()) {}
+  void Report(benchmark::State& state) {
+    obs::ObsSnapshot after = env_.kernel->Observe();
+    obs::HistogramSummary d = after.Op(op_).Since(before_.Op(op_));
+    state.counters["p50_ns"] =
+        benchmark::Counter(static_cast<double>(d.P50()));
+    state.counters["p95_ns"] =
+        benchmark::Counter(static_cast<double>(d.P95()));
+    state.counters["p99_ns"] =
+        benchmark::Counter(static_cast<double>(d.P99()));
+    state.counters["obs_schema_version"] =
+        benchmark::Counter(static_cast<double>(after.schema_version));
+    double iters = static_cast<double>(state.iterations());
+    if (iters <= 0) {
+      return;
+    }
+    for (size_t i = 0; i < obs::kWalkOutcomeCount; ++i) {
+      uint64_t delta = after.outcomes[i] - before_.outcomes[i];
+      if (delta != 0) {
+        std::string name = "walk_";
+        name += obs::WalkOutcomeName(static_cast<obs::WalkOutcome>(i));
+        state.counters[name] =
+            benchmark::Counter(static_cast<double>(delta) / iters);
+      }
+    }
+  }
+
+ private:
+  Env& env_;
+  obs::ObsOp op_;
+  obs::ObsSnapshot before_;
 };
 
 void BM_Stat8Comp(benchmark::State& state) {
@@ -102,6 +159,34 @@ void BM_OpenClose(benchmark::State& state) {
   counters.Report(state);
 }
 BENCHMARK(BM_OpenClose)->Arg(0)->Arg(1);
+
+// The same warm loops with recording ON: their time vs BM_Stat8Comp/1 and
+// BM_OpenClose/1 is the observability overhead, and their counters are the
+// observed distribution (the per-op tail the paper-figure binaries can't
+// show from means alone).
+void BM_Stat8CompObs(benchmark::State& state) {
+  Env& env = ObsEnv();
+  ObsCounterScope counters(env, obs::ObsOp::kStat);
+  for (auto _ : state) {
+    auto r = env.T().StatPath("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
+    benchmark::DoNotOptimize(r);
+  }
+  counters.Report(state);
+}
+BENCHMARK(BM_Stat8CompObs);
+
+void BM_OpenCloseObs(benchmark::State& state) {
+  Env& env = ObsEnv();
+  ObsCounterScope counters(env, obs::ObsOp::kOpen);
+  for (auto _ : state) {
+    auto fd = env.T().Open("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF", kORead);
+    if (fd.ok()) {
+      (void)env.T().Close(*fd);
+    }
+  }
+  counters.Report(state);
+}
+BENCHMARK(BM_OpenCloseObs);
 
 void BM_StatNegative(benchmark::State& state) {
   Env& env = EnvFor(state.range(0) != 0);

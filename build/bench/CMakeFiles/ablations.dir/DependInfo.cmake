@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/dircache_core.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/dircache_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/dircache_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/dircache_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -233,12 +233,15 @@ bench/CMakeFiles/fig8_scalability.dir/fig8_scalability.cc.o: \
  /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \
  /root/repo/src/core/signature.h /root/repo/src/util/hash.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/spinlock.h /root/repo/src/vfs/dcache.h \
- /root/repo/src/vfs/dentry.h /root/repo/src/core/fast_dentry.h \
- /root/repo/src/util/hlist.h /root/repo/src/vfs/inode.h \
- /root/repo/src/util/epoch.h /root/repo/src/vfs/types.h \
- /root/repo/src/vfs/lsm.h /root/repo/src/vfs/cred.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/obs/obs_config.h /root/repo/src/obs/observability.h \
+ /root/repo/src/obs/histogram.h /root/repo/src/obs/snapshot.h \
+ /root/repo/src/obs/walk_trace.h /root/repo/src/util/spinlock.h \
+ /root/repo/src/vfs/dcache.h /root/repo/src/vfs/dentry.h \
+ /root/repo/src/core/fast_dentry.h /root/repo/src/util/hlist.h \
+ /root/repo/src/vfs/inode.h /root/repo/src/util/epoch.h \
+ /root/repo/src/vfs/types.h /root/repo/src/vfs/lsm.h \
+ /root/repo/src/vfs/cred.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

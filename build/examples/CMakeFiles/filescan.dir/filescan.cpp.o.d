@@ -230,9 +230,12 @@ examples/CMakeFiles/filescan.dir/filescan.cpp.o: \
  /root/repo/src/core/config.h /root/repo/src/core/signature.h \
  /root/repo/src/util/hash.h /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/spinlock.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/obs/obs_config.h /root/repo/src/obs/observability.h \
+ /root/repo/src/obs/histogram.h /root/repo/src/obs/snapshot.h \
+ /root/repo/src/obs/walk_trace.h /root/repo/src/util/spinlock.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

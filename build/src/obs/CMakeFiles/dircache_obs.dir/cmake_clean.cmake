@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dircache_obs.dir/observability.cc.o"
+  "CMakeFiles/dircache_obs.dir/observability.cc.o.d"
+  "CMakeFiles/dircache_obs.dir/snapshot.cc.o"
+  "CMakeFiles/dircache_obs.dir/snapshot.cc.o.d"
+  "libdircache_obs.a"
+  "libdircache_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dircache_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -227,8 +227,14 @@ src/vfs/CMakeFiles/dircache_vfs.dir/dcache.cc.o: \
  /usr/include/c++/12/variant /root/repo/src/util/epoch.h \
  /root/repo/src/vfs/types.h /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/core/dlht.h \
- /root/repo/src/util/rng.h /root/repo/src/vfs/kernel.h \
- /usr/include/c++/12/shared_mutex /root/repo/src/core/signature.h \
+ /root/repo/src/util/clock.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/util/rng.h \
+ /root/repo/src/vfs/kernel.h /usr/include/c++/12/shared_mutex \
+ /root/repo/src/core/signature.h /root/repo/src/obs/obs_config.h \
+ /root/repo/src/obs/observability.h /root/repo/src/obs/histogram.h \
+ /root/repo/src/obs/snapshot.h /root/repo/src/obs/walk_trace.h \
  /root/repo/src/vfs/lsm.h /root/repo/src/vfs/cred.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -231,9 +231,12 @@ src/vfs/CMakeFiles/dircache_vfs.dir/mount.cc.o: \
  /usr/include/c++/12/variant /root/repo/src/util/epoch.h \
  /root/repo/src/vfs/types.h /root/repo/src/vfs/kernel.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \
- /root/repo/src/core/signature.h /root/repo/src/vfs/dcache.h \
- /root/repo/src/vfs/lsm.h /root/repo/src/vfs/cred.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/core/signature.h /root/repo/src/obs/obs_config.h \
+ /root/repo/src/obs/observability.h /root/repo/src/obs/histogram.h \
+ /root/repo/src/obs/snapshot.h /root/repo/src/obs/walk_trace.h \
+ /root/repo/src/vfs/dcache.h /root/repo/src/vfs/lsm.h \
+ /root/repo/src/vfs/cred.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

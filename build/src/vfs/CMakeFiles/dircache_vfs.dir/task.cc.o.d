@@ -236,13 +236,15 @@ src/vfs/CMakeFiles/dircache_vfs.dir/task.cc.o: /root/repo/src/vfs/task.cc \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/core/config.h \
  /root/repo/src/core/signature.h /root/repo/src/util/hash.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/stats.h /root/repo/src/vfs/dcache.h \
- /root/repo/src/vfs/dentry.h /root/repo/src/core/fast_dentry.h \
- /root/repo/src/util/hlist.h /root/repo/src/util/intrusive_list.h \
- /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \
- /root/repo/src/vfs/inode.h /root/repo/src/util/epoch.h \
- /root/repo/src/vfs/lsm.h /root/repo/src/vfs/mount.h \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/obs/obs_config.h /root/repo/src/obs/observability.h \
+ /root/repo/src/obs/histogram.h /root/repo/src/util/stats.h \
+ /root/repo/src/obs/snapshot.h /root/repo/src/obs/walk_trace.h \
+ /root/repo/src/vfs/dcache.h /root/repo/src/vfs/dentry.h \
+ /root/repo/src/core/fast_dentry.h /root/repo/src/util/hlist.h \
+ /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \
+ /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/vfs/inode.h \
+ /root/repo/src/util/epoch.h /root/repo/src/vfs/lsm.h \
+ /root/repo/src/vfs/mount.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/dlht.h \
  /root/repo/src/vfs/walk.h /root/repo/src/storage/block_device.h

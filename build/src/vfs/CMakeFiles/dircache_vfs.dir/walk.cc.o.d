@@ -213,21 +213,24 @@ src/vfs/CMakeFiles/dircache_vfs.dir/walk.cc.o: /root/repo/src/vfs/walk.cc \
  /usr/include/c++/12/cstddef /root/repo/src/core/signature.h \
  /root/repo/src/util/hash.h /usr/include/c++/12/array \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/util/spinlock.h /usr/include/c++/12/thread \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /root/repo/src/obs/obs_config.h /root/repo/src/obs/observability.h \
+ /root/repo/src/obs/histogram.h /root/repo/src/util/align.h \
+ /root/repo/src/util/stats.h /root/repo/src/obs/snapshot.h \
+ /root/repo/src/obs/walk_trace.h /root/repo/src/util/result.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/variant /root/repo/src/util/spinlock.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /root/repo/src/util/align.h /root/repo/src/util/stats.h \
  /root/repo/src/vfs/dcache.h /root/repo/src/vfs/dentry.h \
  /root/repo/src/core/fast_dentry.h /root/repo/src/util/hlist.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/util/intrusive_list.h /usr/include/c++/12/iterator \
  /usr/include/c++/12/bits/stream_iterator.h /root/repo/src/vfs/inode.h \
  /root/repo/src/storage/fs.h /usr/include/c++/12/optional \
- /root/repo/src/util/result.h /usr/include/c++/12/variant \
  /root/repo/src/util/epoch.h /root/repo/src/vfs/types.h \
  /root/repo/src/vfs/lsm.h /root/repo/src/vfs/cred.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \

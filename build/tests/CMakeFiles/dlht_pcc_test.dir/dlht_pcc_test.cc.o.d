@@ -314,11 +314,13 @@ tests/CMakeFiles/dlht_pcc_test.dir/dlht_pcc_test.cc.o: \
  /root/repo/src/util/intrusive_list.h /root/repo/src/storage/fs.h \
  /root/repo/src/storage/memfs.h /root/repo/src/vfs/kernel.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \
- /root/repo/src/vfs/dcache.h /root/repo/src/vfs/dentry.h \
- /root/repo/src/vfs/inode.h /root/repo/src/util/epoch.h \
- /root/repo/src/vfs/types.h /root/repo/src/vfs/lsm.h \
- /root/repo/src/vfs/cred.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/obs/obs_config.h /root/repo/src/obs/observability.h \
+ /root/repo/src/obs/histogram.h /root/repo/src/obs/snapshot.h \
+ /root/repo/src/obs/walk_trace.h /root/repo/src/vfs/dcache.h \
+ /root/repo/src/vfs/dentry.h /root/repo/src/vfs/inode.h \
+ /root/repo/src/util/epoch.h /root/repo/src/vfs/types.h \
+ /root/repo/src/vfs/lsm.h /root/repo/src/vfs/cred.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/vfs/mount.h /root/repo/src/vfs/lsm_modules.h \

@@ -242,7 +242,10 @@ tests/CMakeFiles/fsck_test.dir/fsck_test.cc.o: \
  /root/repo/src/vfs/kernel.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/core/config.h /root/repo/src/core/signature.h \
  /root/repo/src/util/hash.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /root/repo/src/vfs/dcache.h \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/obs/obs_config.h /root/repo/src/obs/observability.h \
+ /root/repo/src/obs/histogram.h /root/repo/src/obs/snapshot.h \
+ /root/repo/src/obs/walk_trace.h /root/repo/src/vfs/dcache.h \
  /root/repo/src/vfs/dentry.h /root/repo/src/core/fast_dentry.h \
  /root/repo/src/util/hlist.h /root/repo/src/vfs/inode.h \
  /root/repo/src/util/epoch.h /root/repo/src/vfs/lsm.h \

@@ -310,13 +310,15 @@ tests/CMakeFiles/soak_test.dir/soak_test.cc.o: \
  /root/repo/src/storage/memfs.h /root/repo/src/vfs/kernel.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/core/config.h \
  /root/repo/src/core/signature.h /root/repo/src/util/hash.h \
- /usr/include/c++/12/cstring /root/repo/src/util/spinlock.h \
- /root/repo/src/vfs/dcache.h /root/repo/src/vfs/dentry.h \
- /root/repo/src/core/fast_dentry.h /root/repo/src/util/hlist.h \
- /root/repo/src/vfs/inode.h /root/repo/src/util/epoch.h \
- /root/repo/src/vfs/types.h /root/repo/src/vfs/lsm.h \
- /root/repo/src/vfs/cred.h /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/cstring /root/repo/src/obs/obs_config.h \
+ /root/repo/src/obs/observability.h /root/repo/src/obs/histogram.h \
+ /root/repo/src/obs/snapshot.h /root/repo/src/obs/walk_trace.h \
+ /root/repo/src/util/spinlock.h /root/repo/src/vfs/dcache.h \
+ /root/repo/src/vfs/dentry.h /root/repo/src/core/fast_dentry.h \
+ /root/repo/src/util/hlist.h /root/repo/src/vfs/inode.h \
+ /root/repo/src/util/epoch.h /root/repo/src/vfs/types.h \
+ /root/repo/src/vfs/lsm.h /root/repo/src/vfs/cred.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/vfs/mount.h /root/repo/src/core/dlht.h \

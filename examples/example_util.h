@@ -16,7 +16,7 @@ namespace dircache {
 inline void Must(Status st, const char* what) {
   if (!st.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", what,
-                 std::string(ErrnoName(st.error())).c_str());
+                 std::string(st.error_name()).c_str());
     std::exit(1);
   }
 }
@@ -25,7 +25,7 @@ template <typename T>
 T Must(Result<T> r, const char* what) {
   if (!r.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", what,
-                 std::string(ErrnoName(r.error())).c_str());
+                 std::string(r.error_name()).c_str());
     std::exit(1);
   }
   return std::move(*r);

@@ -12,7 +12,11 @@
 //   stats' | ./examples/shell
 //
 // Commands: mkdir ls stat lstat cat write rm rmdir mv ln ln -s cd pwd
-// chmod chown mount-mem umount su stats drop help
+// chmod chown mount-mem umount su stats observe observe-json trace drop help
+//
+// `observe` prints the kernel's versioned observability snapshot (latency
+// histograms + walk outcomes, DESIGN.md §9); `trace` dumps the most recent
+// traced walks; `observe-json` emits the stable JSON form.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -40,6 +44,9 @@ void PrintStat(const Stat& st, const std::string& path) {
 int Run(std::istream& in) {
   KernelConfig config;
   config.cache = CacheConfig::Optimized();
+  // The shell is a debugging tool: run with full observability so `observe`
+  // and `trace` have something to show.
+  config.obs = ObsConfig::Enabled();
   Kernel kernel(config);
   kernel.MountRootFs(std::make_shared<DiskFs>());
   TaskPtr task = kernel.CreateInitTask(MakeCred(0, 0));
@@ -54,13 +61,14 @@ int Run(std::istream& in) {
     }
     auto report = [&](const Status& st) {
       if (!st.ok()) {
-        std::printf("error: %s\n", std::string(ErrnoName(st.error())).c_str());
+        std::printf("error: %s\n", std::string(st.error_name()).c_str());
       }
     };
     if (cmd == "help") {
       std::printf(
           "mkdir ls stat lstat cat write rm rmdir mv ln [-s] cd pwd chmod "
-          "chown mount-mem umount su stats drop\n");
+          "chown mount-mem umount su stats observe observe-json trace "
+          "drop\n");
     } else if (cmd == "mkdir") {
       std::string p;
       ss >> p;
@@ -186,6 +194,24 @@ int Run(std::istream& in) {
       std::printf("now uid=%u gid=%u\n", uid, gid);
     } else if (cmd == "stats") {
       std::printf("%s\n", kernel.stats().ToString().c_str());
+    } else if (cmd == "observe") {
+      std::printf("%s", kernel.Observe().ToText().c_str());
+    } else if (cmd == "observe-json") {
+      std::printf("%s\n", kernel.Observe().ToJson().c_str());
+    } else if (cmd == "trace") {
+      obs::ObsSnapshot snap = kernel.Observe();
+      if (snap.trace.empty()) {
+        std::printf("no traced walks yet\n");
+      }
+      for (const obs::WalkTraceEvent& ev : snap.trace) {
+        std::string_view err = ErrnoName(ev.err);
+        std::printf("%-20s err=%-12.*s comps=%-3u sym=%u mnt=%u retry=%u "
+                    "%llu ns\n",
+                    obs::WalkOutcomeName(ev.outcome),
+                    static_cast<int>(err.size()), err.data(), ev.components,
+                    ev.symlink_crossings, ev.mount_crossings, ev.retries,
+                    static_cast<unsigned long long>(ev.latency_ns));
+      }
     } else if (cmd == "drop") {
       kernel.DropCaches();
       std::printf("caches dropped\n");

@@ -269,11 +269,14 @@ int main(int argc, char** argv) {
   // design is transparent to applications — the paper's core requirement).
   for (size_t i = 0; i < base.outcomes.size(); ++i) {
     if (base.outcomes[i] != fast.outcomes[i]) {
-      std::fprintf(stderr,
-                   "MISMATCH at op %zu (%s %s): baseline errno %d, "
-                   "optimized errno %d\n",
-                   i, ops[i].verb.c_str(), ops[i].arg1.c_str(),
-                   base.outcomes[i], fast.outcomes[i]);
+      std::fprintf(
+          stderr,
+          "MISMATCH at op %zu (%s %s): baseline %s, optimized %s\n", i,
+          ops[i].verb.c_str(), ops[i].arg1.c_str(),
+          std::string(ErrnoName(static_cast<Errno>(base.outcomes[i])))
+              .c_str(),
+          std::string(ErrnoName(static_cast<Errno>(fast.outcomes[i])))
+              .c_str());
       return 1;
     }
   }

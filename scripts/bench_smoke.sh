@@ -2,7 +2,8 @@
 # Quick benchmark smoke pass: build Release, run a shortened Figure 8 plus
 # the stat/open microbenchmarks, and leave machine-readable results at the
 # repo root (BENCH_fig8.json, BENCH_micro.json). Exits nonzero if fig8's
-# verdict fails (the optimized warm hit path took locks or shared writes).
+# verdict fails (the optimized warm hit path took locks or shared writes)
+# or if either artifact is missing the expected obs schema version.
 #
 #   scripts/bench_smoke.sh            # uses ./build (configured if absent)
 #   BUILD_DIR=out scripts/bench_smoke.sh
@@ -23,5 +24,36 @@ echo "== microbench (quick) =="
   --benchmark_filter='BM_(Stat8Comp|Stat1Comp|OpenClose)' \
   --benchmark_min_time=0.05 \
   --benchmark_out=BENCH_micro.json --benchmark_out_format=json
+
+echo "== obs schema check =="
+# Both artifacts must carry the introspection schema version they were
+# emitted under (DESIGN.md §9): fig8 embeds a full Observe() snapshot, the
+# microbench posts obs_schema_version as a counter on each *Obs benchmark.
+if command -v python3 >/dev/null; then
+  python3 - <<'PY'
+import json
+
+OBS_SCHEMA = 1
+
+fig8 = json.load(open("BENCH_fig8.json"))
+got = fig8["obs"]["schema_version"]
+assert got == OBS_SCHEMA, f"BENCH_fig8.json obs schema {got} != {OBS_SCHEMA}"
+assert fig8["obs"]["ops"], "BENCH_fig8.json obs has no per-op histograms"
+assert fig8["obs"]["walk_outcomes"], "BENCH_fig8.json obs has no outcomes"
+
+micro = json.load(open("BENCH_micro.json"))
+versions = {
+    int(b["obs_schema_version"])
+    for b in micro["benchmarks"]
+    if "obs_schema_version" in b
+}
+assert versions == {OBS_SCHEMA}, f"BENCH_micro.json obs schemas: {versions}"
+print(f"obs schema v{OBS_SCHEMA} OK in BENCH_fig8.json and BENCH_micro.json")
+PY
+else
+  grep -q '"schema_version":1' BENCH_fig8.json
+  grep -Eq '"obs_schema_version": 1(\.0+)?' BENCH_micro.json
+  echo "obs schema v1 OK (grep fallback)"
+fi
 
 echo "wrote BENCH_fig8.json and BENCH_micro.json"

@@ -34,6 +34,9 @@ FastDentry* Dlht::Lookup(const Signature& sig, CacheStats* stats) const {
       continue;  // concurrent rewrite; treat as non-match
     }
     if (match) {
+      if (stats != nullptr) {
+        stats->dlht_hits.Add();
+      }
       return fd;
     }
     if (stats != nullptr) {

@@ -53,7 +53,8 @@ void Pcc::NoteLookup(bool hit) {
 
 size_t Pcc::SetFor(uint64_t key) const { return MixPointer(key) & set_mask_; }
 
-bool Pcc::Lookup(const void* dentry, uint32_t seq, CacheStats* stats) {
+bool Pcc::Lookup(const void* dentry, uint32_t seq, CacheStats* stats,
+                 PccMiss* miss) {
   const uint64_t key = KeyFor(dentry);
   Entry* set = &entries_[SetFor(key) * kWays];
   for (size_t way = 0; way < kWays; ++way) {
@@ -72,6 +73,12 @@ bool Pcc::Lookup(const void* dentry, uint32_t seq, CacheStats* stats) {
     }
     if (static_cast<uint32_t>(meta >> 32) != seq) {
       NoteLookup(false);
+      if (stats != nullptr) {
+        stats->pcc_stale.Add();
+      }
+      if (miss != nullptr) {
+        *miss = PccMiss::kStale;
+      }
       return false;  // stale memo for this dentry
     }
     // Touch the LRU tick — but only when this entry is not already the
@@ -92,9 +99,18 @@ bool Pcc::Lookup(const void* dentry, uint32_t seq, CacheStats* stats) {
       }
     }
     NoteLookup(true);
+    if (stats != nullptr) {
+      stats->pcc_hits.Add();
+    }
+    if (miss != nullptr) {
+      *miss = PccMiss::kNone;
+    }
     return true;
   }
   NoteLookup(false);
+  if (miss != nullptr) {
+    *miss = PccMiss::kCred;
+  }
   return false;
 }
 

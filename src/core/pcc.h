@@ -23,6 +23,15 @@
 
 namespace dircache {
 
+// Why a PCC lookup missed — the taxonomy the observability layer reports
+// (walk tracing distinguishes "no memo for this credential" from "memo
+// invalidated under us").
+enum class PccMiss : uint8_t {
+  kNone = 0,   // it hit
+  kCred,       // no entry for (cred, dentry): never checked or evicted
+  kStale,      // entry found but the dentry's version counter moved
+};
+
 class Pcc {
  public:
   static constexpr size_t kWays = 4;
@@ -39,7 +48,10 @@ class Pcc {
   // warm single-entry hit path performs no write at all; when a refresh
   // does write (a shared line — the PCC is shared by every process holding
   // this cred), it is counted into `stats->shared_writes` if provided.
-  bool Lookup(const void* dentry, uint32_t seq, CacheStats* stats = nullptr);
+  // `miss` (optional) receives why the lookup failed (PccMiss::kNone on a
+  // hit); `stats` additionally takes pcc_hits/pcc_stale bumps.
+  bool Lookup(const void* dentry, uint32_t seq, CacheStats* stats = nullptr,
+              PccMiss* miss = nullptr);
 
   // Thrash detector: true when, over the last sampling window, more than
   // half of the lookups missed — the updatedb-beyond-PCC pattern (§6.3).
@@ -58,12 +70,16 @@ class Pcc {
   void Flush();
 
   // Version-counter wraparound handling: when the kernel-wide PCC epoch
-  // moves, every PCC self-flushes on its next use (§3.1).
-  void EnsureEpoch(uint64_t global_epoch) {
+  // moves, every PCC self-flushes on its next use (§3.1). Returns true when
+  // this call performed the flush, so the walk tracer can attribute the
+  // misses that follow to the epoch bump rather than to eviction.
+  bool EnsureEpoch(uint64_t global_epoch) {
     if (epoch_.load(std::memory_order_acquire) != global_epoch) {
       Flush();
       epoch_.store(global_epoch, std::memory_order_release);
+      return true;
     }
+    return false;
   }
 
   size_t sets() const { return sets_; }

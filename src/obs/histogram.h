@@ -1,0 +1,171 @@
+// Sharded log2-bucket latency histograms (DESIGN.md §9).
+//
+// Each recorded value lands in bucket floor(log2(ns)) of a per-thread
+// shard, following the same sharding convention as ShardedCounter: a
+// thread's writes touch only its own shard, so concurrent recorders (up to
+// kStatsShardCount of them) never bounce each other's cache lines. The read
+// side merges shards and derives percentile estimates from the bucket
+// boundaries — O(shards * buckets), reporting-path only.
+//
+// Percentiles from log2 buckets are estimates with at most 2x relative
+// error (the bucket's geometric width); the maximum is tracked exactly.
+#ifndef DIRCACHE_OBS_HISTOGRAM_H_
+#define DIRCACHE_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "src/util/align.h"
+#include "src/util/stats.h"
+
+namespace dircache {
+namespace obs {
+
+// 0 maps to bucket 0; otherwise value v maps to bucket floor(log2(v)) + 1,
+// so bucket b (b >= 1) covers [2^(b-1), 2^b). The top bucket absorbs
+// everything at or above 2^62 (values with bit 63 set would otherwise index
+// one past the array).
+inline constexpr size_t kHistBuckets = 64;
+
+inline size_t BucketFor(uint64_t ns) {
+  if (ns == 0) {
+    return 0;
+  }
+  size_t b = static_cast<size_t>(64 - __builtin_clzll(ns));
+  return b >= kHistBuckets ? kHistBuckets - 1 : b;
+}
+
+// Lower edge of a bucket (inclusive); bucket 0 holds exact zeros.
+inline uint64_t BucketLow(size_t bucket) {
+  return bucket == 0 ? 0 : (1ull << (bucket - 1));
+}
+
+// Upper edge of a bucket (inclusive). The top bucket is open-ended (it
+// absorbs the clamped values — see BucketFor).
+inline uint64_t BucketHigh(size_t bucket) {
+  if (bucket == 0) {
+    return 0;
+  }
+  if (bucket >= kHistBuckets - 1) {
+    return ~0ull;
+  }
+  return (1ull << bucket) - 1;
+}
+
+// Merged, immutable view of one histogram — the snapshot form.
+struct HistogramSummary {
+  std::array<uint64_t, kHistBuckets> buckets{};
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t max_ns = 0;
+
+  // Estimated value at quantile q in [0,1]: the geometric midpoint of the
+  // bucket where the cumulative count crosses q * count.
+  uint64_t Quantile(double q) const {
+    if (count == 0) {
+      return 0;
+    }
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+    if (rank >= count) {
+      rank = count - 1;
+    }
+    uint64_t seen = 0;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      seen += buckets[b];
+      if (seen > rank) {
+        uint64_t lo = BucketLow(b);
+        uint64_t hi = BucketHigh(b);
+        // Clamp the top bucket's estimate to the observed maximum.
+        uint64_t mid = lo + (hi - lo) / 2;
+        return mid > max_ns && max_ns >= lo ? max_ns : mid;
+      }
+    }
+    return max_ns;
+  }
+
+  uint64_t P50() const { return Quantile(0.50); }
+  uint64_t P95() const { return Quantile(0.95); }
+  uint64_t P99() const { return Quantile(0.99); }
+
+  double MeanNs() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) /
+                            static_cast<double>(count);
+  }
+
+  // Difference against an earlier snapshot of the same histogram (for
+  // benchmark scopes that want the distribution of just their own loop).
+  HistogramSummary Since(const HistogramSummary& before) const {
+    HistogramSummary d;
+    for (size_t b = 0; b < kHistBuckets; ++b) {
+      d.buckets[b] = buckets[b] - before.buckets[b];
+      d.count += d.buckets[b];
+    }
+    d.sum_ns = sum_ns - before.sum_ns;
+    d.max_ns = max_ns;  // max is monotone; the window max is unknowable
+    return d;
+  }
+};
+
+// The recordable histogram. Write side: one relaxed RMW into the calling
+// thread's shard (plus a rare relaxed max update). Read side: Merge().
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+  LatencyHistogram(const LatencyHistogram&) = delete;
+  LatencyHistogram& operator=(const LatencyHistogram&) = delete;
+
+  void Record(uint64_t ns) {
+    Shard& s = shards_[internal::StatsShardId()];
+    s.buckets[BucketFor(ns)].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t m = s.max.load(std::memory_order_relaxed);
+    while (ns > m && !s.max.compare_exchange_weak(
+                         m, ns, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSummary Merge() const {
+    HistogramSummary out;
+    for (const Shard& s : shards_) {
+      for (size_t b = 0; b < kHistBuckets; ++b) {
+        uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+        out.buckets[b] += n;
+        out.count += n;
+      }
+      out.sum_ns += s.sum.load(std::memory_order_relaxed);
+      uint64_t m = s.max.load(std::memory_order_relaxed);
+      if (m > out.max_ns) {
+        out.max_ns = m;
+      }
+    }
+    return out;
+  }
+
+  void Reset() {
+    for (Shard& s : shards_) {
+      for (auto& b : s.buckets) {
+        b.store(0, std::memory_order_relaxed);
+      }
+      s.sum.store(0, std::memory_order_relaxed);
+      s.max.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  // A shard is written by the threads mapped to its slot only; aligning the
+  // shard (not each bucket) is enough — intra-shard sharing is same-thread.
+  struct alignas(kCacheLineSize) Shard {
+    std::array<std::atomic<uint64_t>, kHistBuckets> buckets{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  std::array<Shard, kStatsShardCount> shards_;
+};
+
+}  // namespace obs
+}  // namespace dircache
+
+#endif  // DIRCACHE_OBS_HISTOGRAM_H_

@@ -1,0 +1,50 @@
+// Observability configuration: the compile- and run-time switches for the
+// latency-histogram / walk-trace subsystem (DESIGN.md §9).
+//
+// The paper's argument is quantitative (hit ratios, per-component walk
+// costs, scalability knees), so the repro needs tails and outcome
+// breakdowns — but the measurement layer must never perturb the property it
+// measures. Two gates guarantee that:
+//
+//  - Compile time: defining DIRCACHE_OBS_OFF turns every recording entry
+//    point into an empty inline function (zero code on the hot path).
+//  - Run time: ObsConfig::enabled (default OFF) gates recording behind a
+//    single plain-bool branch. Disabled kernels allocate no histogram or
+//    trace memory at all, and the warm-hit read path stays exactly as
+//    shared-write-free as PR 1 left it.
+#ifndef DIRCACHE_OBS_OBS_CONFIG_H_
+#define DIRCACHE_OBS_OBS_CONFIG_H_
+
+#include <cstddef>
+
+namespace dircache {
+
+struct ObsConfig {
+  // Master run-time switch. Off by default: observability is opt-in so the
+  // headline benchmarks measure the undisturbed read path.
+  bool enabled = false;
+
+  // Capacity (events) of each per-thread walk-trace ring. Power of two.
+  size_t trace_ring_events = 128;
+
+  // Maximum number of (most recent) trace events included in a snapshot.
+  size_t trace_snapshot_limit = 32;
+
+  static ObsConfig Enabled() {
+    ObsConfig c;
+    c.enabled = true;
+    return c;
+  }
+};
+
+// Compile-time master switch: build with -DDIRCACHE_OBS_OFF to compile the
+// whole subsystem out (recording becomes empty inline functions).
+#ifdef DIRCACHE_OBS_OFF
+inline constexpr bool kObsCompiledIn = false;
+#else
+inline constexpr bool kObsCompiledIn = true;
+#endif
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_OBS_OBS_CONFIG_H_

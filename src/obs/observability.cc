@@ -1,0 +1,80 @@
+#include "src/obs/observability.h"
+
+#include <algorithm>
+
+namespace dircache {
+
+Observability::State::State(const ObsConfig& cfg)
+    : snapshot_limit(cfg.trace_snapshot_limit) {
+  rings.reserve(kStatsShardCount);
+  for (size_t i = 0; i < kStatsShardCount; ++i) {
+    rings.push_back(
+        std::make_unique<obs::WalkTraceRing>(cfg.trace_ring_events));
+  }
+}
+
+void Observability::Configure(const ObsConfig& cfg) {
+  if (!kObsCompiledIn || !cfg.enabled) {
+    state_.reset();
+    return;
+  }
+  state_ = std::make_unique<State>(cfg);
+}
+
+void Observability::RecordWalkSlow(const obs::WalkTraceEvent& ev) {
+  State& s = *state_;
+  s.outcomes[static_cast<size_t>(ev.outcome)].Add();
+  s.ops[static_cast<size_t>(obs::ObsOp::kLookup)].Record(ev.latency_ns);
+  s.rings[internal::StatsShardId()]->Record(ev);
+}
+
+obs::ObsSnapshot Observability::Snapshot(const CacheStats* stats) const {
+  obs::ObsSnapshot snap;
+  snap.enabled = enabled();
+  if (stats != nullptr) {
+    stats->ForEachCounter([&snap](const char* label,
+                                  const ShardedCounter& c) {
+      snap.counters.emplace_back(label, c.value());
+    });
+  }
+  if (!enabled()) {
+    return snap;
+  }
+  const State& s = *state_;
+  for (size_t op = 0; op < obs::kObsOpCount; ++op) {
+    snap.ops[op] = s.ops[op].Merge();
+  }
+  for (size_t o = 0; o < obs::kWalkOutcomeCount; ++o) {
+    snap.outcomes[o] = s.outcomes[o].value();
+  }
+  std::vector<obs::WalkTraceEvent> events;
+  for (const auto& ring : s.rings) {
+    ring->Drain(&events);
+  }
+  std::sort(events.begin(), events.end(),
+            [](const obs::WalkTraceEvent& a, const obs::WalkTraceEvent& b) {
+              return a.timestamp_ns < b.timestamp_ns;
+            });
+  if (events.size() > s.snapshot_limit) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(s.snapshot_limit));
+  }
+  snap.trace = std::move(events);
+  return snap;
+}
+
+void Observability::Reset() {
+  if (!enabled()) {
+    return;
+  }
+  for (auto& h : state_->ops) {
+    h.Reset();
+  }
+  for (auto& c : state_->outcomes) {
+    c.Reset();
+  }
+  // Trace rings are not cleared: the "most recent walks" window is already
+  // self-evicting, and zeroing slots under concurrent writers buys nothing.
+}
+
+}  // namespace dircache

@@ -1,0 +1,83 @@
+// Observability: per-kernel latency histograms + walk-outcome tracing
+// (DESIGN.md §9).
+//
+// One instance lives inside each Kernel. When disabled (the default) it
+// owns no memory and every recording entry point is a single plain-bool
+// branch — the warm-hit read path stays exactly as shared-write-free as the
+// scalability work left it. When enabled, recording goes to sharded
+// structures (histograms, outcome counters, trace rings) that follow the
+// same thread->shard mapping as ShardedCounter, so concurrent recorders do
+// not contend.
+//
+// The read side is Kernel::Observe(), which asks this class for a
+// versioned ObsSnapshot (see snapshot.h).
+#ifndef DIRCACHE_OBS_OBSERVABILITY_H_
+#define DIRCACHE_OBS_OBSERVABILITY_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/obs/histogram.h"
+#include "src/obs/obs_config.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/walk_trace.h"
+#include "src/util/stats.h"
+
+namespace dircache {
+
+class Observability {
+ public:
+  Observability() = default;
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  // Applies the config. Enabling allocates the recording state; disabling
+  // frees it. Not thread-safe against concurrent recorders — configure
+  // before the kernel starts serving (Kernel does this in its constructor).
+  void Configure(const ObsConfig& cfg);
+
+  bool enabled() const { return kObsCompiledIn && state_ != nullptr; }
+
+  void RecordLatency(obs::ObsOp op, uint64_t ns) {
+    if (!enabled()) {
+      return;
+    }
+    state_->ops[static_cast<size_t>(op)].Record(ns);
+  }
+
+  // Records one finished walk: outcome counter, lookup-latency histogram,
+  // and a slot in the calling thread's trace ring.
+  void RecordWalk(const obs::WalkTraceEvent& ev) {
+    if (!enabled()) {
+      return;
+    }
+    RecordWalkSlow(ev);
+  }
+
+  // Builds the versioned snapshot; `stats` (may be null) supplies the flat
+  // counter section.
+  obs::ObsSnapshot Snapshot(const CacheStats* stats) const;
+
+  void Reset();
+
+ private:
+  struct State {
+    explicit State(const ObsConfig& cfg);
+
+    std::array<obs::LatencyHistogram, obs::kObsOpCount> ops;
+    std::array<ShardedCounter, obs::kWalkOutcomeCount> outcomes;
+    // One trace ring per stats shard (same mapping as ShardedCounter).
+    std::vector<std::unique_ptr<obs::WalkTraceRing>> rings;
+    size_t snapshot_limit;
+  };
+
+  void RecordWalkSlow(const obs::WalkTraceEvent& ev);
+
+  std::unique_ptr<State> state_;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_OBS_OBSERVABILITY_H_

@@ -1,0 +1,128 @@
+#include "src/obs/snapshot.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "src/util/result.h"
+
+namespace dircache {
+namespace obs {
+
+namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                         ? static_cast<size_t>(n)
+                         : sizeof(buf) - 1);
+  }
+}
+
+void AppendOpJson(std::string* out, const HistogramSummary& h) {
+  Appendf(out,
+          "{\"count\":%" PRIu64 ",\"sum_ns\":%" PRIu64
+          ",\"mean_ns\":%.1f,\"p50_ns\":%" PRIu64 ",\"p95_ns\":%" PRIu64
+          ",\"p99_ns\":%" PRIu64 ",\"max_ns\":%" PRIu64 "}",
+          h.count, h.sum_ns, h.MeanNs(), h.P50(), h.P95(), h.P99(), h.max_ns);
+}
+
+void AppendEventJson(std::string* out, const WalkTraceEvent& ev) {
+  std::string_view err = ErrnoName(ev.err);
+  Appendf(out,
+          "{\"outcome\":\"%s\",\"err\":\"%.*s\",\"components\":%u,"
+          "\"symlinks\":%u,\"mounts\":%u,\"retries\":%u,\"latency_ns\":%" PRIu64
+          ",\"timestamp_ns\":%" PRIu64 "}",
+          WalkOutcomeName(ev.outcome), static_cast<int>(err.size()),
+          err.data(), ev.components, ev.symlink_crossings, ev.mount_crossings,
+          ev.retries, ev.latency_ns, ev.timestamp_ns);
+}
+
+}  // namespace
+
+std::string ObsSnapshot::ToText() const {
+  std::string out;
+  Appendf(&out, "obs snapshot (schema v%d, %s)\n", schema_version,
+          enabled ? "enabled" : "disabled");
+  Appendf(&out, "  latency (ns):\n");
+  for (size_t i = 0; i < kObsOpCount; ++i) {
+    const HistogramSummary& h = ops[i];
+    if (h.count == 0) {
+      continue;
+    }
+    Appendf(&out,
+            "    %-10s n=%-10" PRIu64 " p50=%-8" PRIu64 " p95=%-8" PRIu64
+            " p99=%-8" PRIu64 " max=%" PRIu64 "\n",
+            ObsOpName(static_cast<ObsOp>(i)), h.count, h.P50(), h.P95(),
+            h.P99(), h.max_ns);
+  }
+  Appendf(&out, "  walk outcomes (%" PRIu64 " walks):\n", TotalWalks());
+  for (size_t i = 0; i < kWalkOutcomeCount; ++i) {
+    if (outcomes[i] == 0) {
+      continue;
+    }
+    Appendf(&out, "    %-20s %" PRIu64 "\n",
+            WalkOutcomeName(static_cast<WalkOutcome>(i)), outcomes[i]);
+  }
+  if (!trace.empty()) {
+    Appendf(&out, "  recent walks (oldest first):\n");
+    for (const WalkTraceEvent& ev : trace) {
+      std::string_view err = ErrnoName(ev.err);
+      Appendf(&out,
+              "    %-20s err=%-12.*s comps=%-3u sym=%u mnt=%u retry=%u "
+              "%" PRIu64 "ns\n",
+              WalkOutcomeName(ev.outcome), static_cast<int>(err.size()),
+              err.data(), ev.components, ev.symlink_crossings,
+              ev.mount_crossings, ev.retries, ev.latency_ns);
+    }
+  }
+  if (!counters.empty()) {
+    Appendf(&out, "  counters:\n");
+    for (const auto& [label, value] : counters) {
+      Appendf(&out, "    %-16s %" PRIu64 "\n", label.c_str(), value);
+    }
+  }
+  return out;
+}
+
+std::string ObsSnapshot::ToJson() const {
+  std::string out;
+  Appendf(&out, "{\"schema_version\":%d,\"enabled\":%s,\"ops\":{",
+          schema_version, enabled ? "true" : "false");
+  for (size_t i = 0; i < kObsOpCount; ++i) {
+    Appendf(&out, "%s\"%s\":", i == 0 ? "" : ",",
+            ObsOpName(static_cast<ObsOp>(i)));
+    AppendOpJson(&out, ops[i]);
+  }
+  out += "},\"walk_outcomes\":{";
+  for (size_t i = 0; i < kWalkOutcomeCount; ++i) {
+    Appendf(&out, "%s\"%s\":%" PRIu64, i == 0 ? "" : ",",
+            WalkOutcomeName(static_cast<WalkOutcome>(i)), outcomes[i]);
+  }
+  out += "},\"trace\":[";
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    AppendEventJson(&out, trace[i]);
+  }
+  out += "],\"counters\":{";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    Appendf(&out, "%s\"%s\":%" PRIu64, i == 0 ? "" : ",",
+            counters[i].first.c_str(), counters[i].second);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace dircache

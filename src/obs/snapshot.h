@@ -1,0 +1,111 @@
+// ObsSnapshot: the versioned introspection surface (DESIGN.md §9).
+//
+// Kernel::Observe() returns one of these — a self-contained, immutable copy
+// of everything the observability subsystem knows: per-operation latency
+// histograms, the walk-outcome breakdown, the most recent traced walks, and
+// the flat cache counters that CacheStats::ToString() used to be the only
+// window onto. It renders to human-readable text (ToText) and to a stable,
+// versioned JSON object (ToJson) that the bench harness embeds verbatim in
+// its BENCH_*.json artifacts; scripts/bench_smoke.sh validates the schema
+// version on every run.
+//
+// Schema evolution contract: kObsSchemaVersion bumps whenever a field is
+// renamed, removed, or changes meaning. Adding fields is backward
+// compatible and does not bump the version.
+#ifndef DIRCACHE_OBS_SNAPSHOT_H_
+#define DIRCACHE_OBS_SNAPSHOT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/obs/histogram.h"
+#include "src/obs/walk_trace.h"
+
+namespace dircache {
+namespace obs {
+
+// Bump on any breaking schema change (see contract above).
+inline constexpr int kObsSchemaVersion = 1;
+
+// Operations with a dedicated latency histogram. Keep in sync with
+// ObsOpName(). kInvalidate is the write-side cost the paper's Figure 7
+// worries about (chmod/rename invalidation storms).
+enum class ObsOp : uint8_t {
+  kLookup = 0,  // every path resolution (recorded by the walker)
+  kOpen,
+  kStat,
+  kRename,
+  kChmod,
+  kReaddir,
+  kInvalidate,  // subtree invalidation passes (dcache write side)
+  kCount,
+};
+
+inline constexpr size_t kObsOpCount = static_cast<size_t>(ObsOp::kCount);
+
+inline const char* ObsOpName(ObsOp op) {
+  switch (op) {
+    case ObsOp::kLookup:
+      return "lookup";
+    case ObsOp::kOpen:
+      return "open";
+    case ObsOp::kStat:
+      return "stat";
+    case ObsOp::kRename:
+      return "rename";
+    case ObsOp::kChmod:
+      return "chmod";
+    case ObsOp::kReaddir:
+      return "readdir";
+    case ObsOp::kInvalidate:
+      return "invalidate";
+    case ObsOp::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+struct ObsSnapshot {
+  int schema_version = kObsSchemaVersion;
+  bool enabled = false;
+
+  // Per-operation latency distributions, indexed by ObsOp.
+  std::array<HistogramSummary, kObsOpCount> ops{};
+
+  // Walk-outcome breakdown, indexed by WalkOutcome.
+  std::array<uint64_t, kWalkOutcomeCount> outcomes{};
+
+  // Most recent traced walks, oldest first (bounded by the config's
+  // trace_snapshot_limit).
+  std::vector<WalkTraceEvent> trace;
+
+  // Flat cache counters (label, value), in CacheStats declaration order.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+
+  uint64_t TotalWalks() const {
+    uint64_t n = 0;
+    for (uint64_t v : outcomes) {
+      n += v;
+    }
+    return n;
+  }
+
+  const HistogramSummary& Op(ObsOp op) const {
+    return ops[static_cast<size_t>(op)];
+  }
+
+  // Human-readable report (examples/shell `observe`, debugging).
+  std::string ToText() const;
+
+  // Stable JSON object (no trailing newline). Field order is fixed; every
+  // number is decimal; the only floating-point field is mean_ns.
+  std::string ToJson() const;
+};
+
+}  // namespace obs
+}  // namespace dircache
+
+#endif  // DIRCACHE_OBS_SNAPSHOT_H_

@@ -1,0 +1,170 @@
+// Walk tracing: the outcome taxonomy and the per-thread trace rings
+// (DESIGN.md §9).
+//
+// Every path resolution is classified by *where* it was decided — the
+// question Figure 3 / §6.3 of the paper keep asking ("why did this lookup
+// fall off the fastpath?"). The classification plus the walk's shape
+// (component count, symlink/mount crossings, retries) and its latency are
+// recorded as one fixed-size event in a per-thread ring buffer.
+//
+// Ring design: one ring per stats shard (the same thread->shard mapping as
+// ShardedCounter, so a thread records into "its" ring and up to
+// kStatsShardCount concurrent threads never share a ring). Writers are
+// lock-free: a relaxed fetch_add claims a slot, the event is packed into
+// three atomic words, and a nonzero timestamp word published last (release)
+// doubles as the valid flag. Readers snapshot by sampling the timestamp
+// word before and after the payload; a torn slot is simply skipped.
+#ifndef DIRCACHE_OBS_WALK_TRACE_H_
+#define DIRCACHE_OBS_WALK_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/util/stats.h"
+
+namespace dircache {
+namespace obs {
+
+// Where a path resolution was decided. Keep in sync with WalkOutcomeName().
+enum class WalkOutcome : uint8_t {
+  kFastHit = 0,        // DLHT probe + PCC validation: done in O(1)
+  kFastNegative,       // fast ENOENT/ENOTDIR from a published negative
+  kFastMissDlht,       // signature absent from the DLHT
+  kFastMissPccCred,    // DLHT hit but no PCC entry for this credential
+  kFastMissPccStale,   // PCC entry found but its seq counter moved
+  kFastMissPccEpoch,   // PCC self-flushed on a global epoch bump this walk
+  kFastMissStructural, // symlink / mount boundary / base state / lexical cap
+  kSlowOptimistic,     // optimistic (lock-free) component walk completed
+  kSlowRetried,        // optimistic walk fell back to the locked walk
+  kSlowLocked,         // locked walk ran directly (locking mode / config)
+  kCount,
+};
+
+inline const char* WalkOutcomeName(WalkOutcome o) {
+  switch (o) {
+    case WalkOutcome::kFastHit:
+      return "fast_hit";
+    case WalkOutcome::kFastNegative:
+      return "fast_negative";
+    case WalkOutcome::kFastMissDlht:
+      return "fast_miss_dlht";
+    case WalkOutcome::kFastMissPccCred:
+      return "fast_miss_pcc_cred";
+    case WalkOutcome::kFastMissPccStale:
+      return "fast_miss_pcc_stale";
+    case WalkOutcome::kFastMissPccEpoch:
+      return "fast_miss_pcc_epoch";
+    case WalkOutcome::kFastMissStructural:
+      return "fast_miss_structural";
+    case WalkOutcome::kSlowOptimistic:
+      return "slow_optimistic";
+    case WalkOutcome::kSlowRetried:
+      return "slow_retried";
+    case WalkOutcome::kSlowLocked:
+      return "slow_locked";
+    case WalkOutcome::kCount:
+      break;
+  }
+  return "unknown";
+}
+
+inline constexpr size_t kWalkOutcomeCount =
+    static_cast<size_t>(WalkOutcome::kCount);
+
+// One traced walk, in unpacked (snapshot) form.
+struct WalkTraceEvent {
+  WalkOutcome outcome = WalkOutcome::kSlowLocked;
+  Errno err = Errno::kOk;          // final result of the resolution
+  uint16_t components = 0;         // slowpath components actually walked
+  uint8_t symlink_crossings = 0;
+  uint8_t mount_crossings = 0;
+  uint8_t retries = 0;             // optimistic->locked fallbacks
+  uint8_t wflags = 0;              // kWalk* flags of the request
+  uint64_t latency_ns = 0;
+  uint64_t timestamp_ns = 0;       // completion time (snapshot ordering key)
+};
+
+// Fixed-capacity lock-free ring of packed events.
+class WalkTraceRing {
+ public:
+  explicit WalkTraceRing(size_t capacity)
+      : slots_(RoundPow2(capacity)), mask_(slots_.size() - 1) {}
+  WalkTraceRing(const WalkTraceRing&) = delete;
+  WalkTraceRing& operator=(const WalkTraceRing&) = delete;
+
+  void Record(const WalkTraceEvent& ev) {
+    Slot& s = slots_[head_.fetch_add(1, std::memory_order_relaxed) & mask_];
+    uint64_t meta =
+        static_cast<uint64_t>(ev.outcome) |
+        (static_cast<uint64_t>(static_cast<uint16_t>(ev.err)) << 8) |
+        (static_cast<uint64_t>(ev.components) << 24) |
+        (static_cast<uint64_t>(ev.symlink_crossings) << 40) |
+        (static_cast<uint64_t>(ev.mount_crossings) << 48) |
+        (static_cast<uint64_t>(ev.retries & 0xf) << 56) |
+        (static_cast<uint64_t>(ev.wflags & 0xf) << 60);
+    // Invalidate, write payload, publish the timestamp last: a reader that
+    // sees the same nonzero timestamp on both sides of its payload reads
+    // observed a consistent slot.
+    s.ts.store(0, std::memory_order_relaxed);
+    s.meta.store(meta, std::memory_order_relaxed);
+    s.latency.store(ev.latency_ns, std::memory_order_relaxed);
+    s.ts.store(ev.timestamp_ns | 1, std::memory_order_release);
+  }
+
+  // Append all consistent events to `out` (unordered; caller sorts).
+  void Drain(std::vector<WalkTraceEvent>* out) const {
+    for (const Slot& s : slots_) {
+      uint64_t ts1 = s.ts.load(std::memory_order_acquire);
+      if (ts1 == 0) {
+        continue;
+      }
+      uint64_t meta = s.meta.load(std::memory_order_relaxed);
+      uint64_t latency = s.latency.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.ts.load(std::memory_order_relaxed) != ts1) {
+        continue;  // torn by a concurrent writer; skip
+      }
+      WalkTraceEvent ev;
+      ev.outcome = static_cast<WalkOutcome>(meta & 0xff);
+      ev.err = static_cast<Errno>(static_cast<int16_t>((meta >> 8) & 0xffff));
+      ev.components = static_cast<uint16_t>((meta >> 24) & 0xffff);
+      ev.symlink_crossings = static_cast<uint8_t>((meta >> 40) & 0xff);
+      ev.mount_crossings = static_cast<uint8_t>((meta >> 48) & 0xff);
+      ev.retries = static_cast<uint8_t>((meta >> 56) & 0xf);
+      ev.wflags = static_cast<uint8_t>((meta >> 60) & 0xf);
+      ev.latency_ns = latency;
+      ev.timestamp_ns = ts1 & ~1ull;
+      if (static_cast<size_t>(ev.outcome) < kWalkOutcomeCount) {
+        out->push_back(ev);
+      }
+    }
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> ts{0};  // 0 = empty; low bit forced to 1 when set
+    std::atomic<uint64_t> meta{0};
+    std::atomic<uint64_t> latency{0};
+  };
+
+  static size_t RoundPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p *= 2;
+    }
+    return p;
+  }
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> head_{0};
+  const size_t mask_;
+};
+
+}  // namespace obs
+}  // namespace dircache
+
+#endif  // DIRCACHE_OBS_WALK_TRACE_H_

@@ -59,6 +59,8 @@ class [[nodiscard]] Result {
   explicit operator bool() const { return ok(); }
 
   Errno error() const { return ok() ? Errno::kOk : std::get<Errno>(v_); }
+  // Symbolic errno name ("ENOENT"); the one spelling every layer renders.
+  std::string_view error_name() const { return ErrnoName(error()); }
 
   T& value() & {
     assert(ok());
@@ -97,6 +99,8 @@ class [[nodiscard]] Status {
   bool ok() const { return e_ == Errno::kOk; }
   explicit operator bool() const { return ok(); }
   Errno error() const { return e_; }
+  // Symbolic errno name ("ENOENT"); the one spelling every layer renders.
+  std::string_view error_name() const { return ErrnoName(e_); }
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.e_ == b.e_;

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/core/dlht.h"
+#include "src/util/clock.h"
 #include "src/util/epoch.h"
 #include "src/util/hash.h"
 #include "src/util/rng.h"
@@ -387,6 +388,9 @@ size_t DentryCache::ShrinkAll() {
 void DentryCache::InvalidateSubtree(Dentry* dir) {
   BumpInvalidation();
   kernel_->stats().invalidation_walks.Add();
+  // The write-side cost the paper's Figure 7 worries about: time the whole
+  // subtree pass into the obs invalidate histogram when enabled.
+  uint64_t t0 = kernel_->obs().enabled() ? NowNanos() : 0;
   std::vector<Dentry*> stack{dir};
   // Visited set guards against mount cycles (a bind mount of an ancestor
   // inside the subtree would otherwise loop forever).
@@ -415,6 +419,9 @@ void DentryCache::InvalidateSubtree(Dentry* dir) {
       }
     }
     kernel_->stats().invalidated_dentries.Add();
+  }
+  if (t0 != 0) {
+    kernel_->obs().RecordLatency(obs::ObsOp::kInvalidate, NowNanos() - t0);
   }
 }
 

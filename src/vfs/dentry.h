@@ -16,8 +16,10 @@
 #define DIRCACHE_VFS_DENTRY_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <type_traits>
 
 #include "src/core/fast_dentry.h"
 #include "src/util/hlist.h"
@@ -187,6 +189,32 @@ class Dentry {
   std::atomic<uint32_t> flags_;
   std::atomic<uint32_t> refs_{1};
 };
+
+// Recover the owning dentry from its embedded FastDentry (the VFS knows the
+// layout; the core library treats dentries as opaque). Lives next to the
+// `fast` member it depends on so the two cannot drift apart.
+//
+// Dentry is not standard-layout (it mixes access specifiers), so
+// offsetof on it is conditionally-supported; GCC/Clang define it for this
+// shape, and the assertions below pin down what the cast actually relies
+// on: `fast` is an embedded subobject at a fixed offset in every Dentry.
+static_assert(std::is_standard_layout_v<FastDentry>,
+              "FastDentry must be standard-layout: DentryFromFast converts "
+              "a FastDentry* back to its enclosing Dentry*");
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winvalid-offsetof"
+inline constexpr size_t kDentryFastOffset = offsetof(Dentry, fast);
+#pragma GCC diagnostic pop
+
+inline Dentry* DentryFromFast(FastDentry* fd) {
+  return reinterpret_cast<Dentry*>(reinterpret_cast<char*>(fd) -
+                                   kDentryFastOffset);
+}
+
+inline const Dentry* DentryFromFast(const FastDentry* fd) {
+  return reinterpret_cast<const Dentry*>(
+      reinterpret_cast<const char*>(fd) - kDentryFastOffset);
+}
 
 }  // namespace dircache
 

@@ -15,6 +15,7 @@ Kernel::Kernel(const KernelConfig& config) : config_(config) {
   }
   signer_ = std::make_unique<PathSigner>(seed);
   dcache_ = std::make_unique<DentryCache>(this, config_.cache);
+  obs_.Configure(config_.obs);
 }
 
 Kernel::~Kernel() {

@@ -21,6 +21,8 @@
 
 #include "src/core/config.h"
 #include "src/core/signature.h"
+#include "src/obs/obs_config.h"
+#include "src/obs/observability.h"
 #include "src/util/spinlock.h"
 #include "src/util/stats.h"
 #include "src/vfs/dcache.h"
@@ -35,6 +37,9 @@ struct KernelConfig {
   CacheConfig cache;
   // Seed for the signature hash key; 0 draws entropy at boot (§3.3).
   uint64_t signature_seed = 0;
+  // Observability (latency histograms + walk tracing). Off by default so
+  // the headline benchmarks measure the undisturbed read path.
+  ObsConfig obs;
 };
 
 class Kernel {
@@ -49,6 +54,15 @@ class Kernel {
   CacheStats& stats() { return stats_; }
   SecurityStack& security() { return security_; }
   const PathSigner& signer() const { return *signer_; }
+
+  // --- observability (DESIGN.md §9) ----------------------------------------
+  Observability& obs() { return obs_; }
+
+  // The introspection API: a versioned snapshot of latency histograms,
+  // walk-outcome counts, recent traces, and the flat cache counters.
+  // Supersedes reading stats().ToString(). Safe to call concurrently with
+  // lookups; always includes the counter section even when obs is disabled.
+  obs::ObsSnapshot Observe() const { return obs_.Snapshot(&stats_); }
 
   // --- global synchronization ---------------------------------------------
   std::shared_mutex& tree_lock() { return tree_mutex_; }
@@ -97,6 +111,7 @@ class Kernel {
 
   KernelConfig config_;
   CacheStats stats_;
+  Observability obs_;
   std::unique_ptr<PathSigner> signer_;
   std::unique_ptr<DentryCache> dcache_;
   SecurityStack security_;
@@ -113,14 +128,6 @@ class Kernel {
   MountNamespacePtr root_ns_;
   std::vector<MountNamespacePtr> namespaces_;
 };
-
-// Recover the owning dentry from its embedded FastDentry (the VFS knows the
-// layout; the core library treats dentries as opaque).
-inline Dentry* DentryFromFast(FastDentry* fd) {
-  auto offset = reinterpret_cast<std::ptrdiff_t>(
-      &(static_cast<Dentry*>(nullptr)->*(&Dentry::fast)));
-  return reinterpret_cast<Dentry*>(reinterpret_cast<char*>(fd) - offset);
-}
 
 }  // namespace dircache
 

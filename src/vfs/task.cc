@@ -4,6 +4,7 @@
 
 #include "src/storage/block_device.h"
 #include "src/util/epoch.h"
+#include "src/vfs/kernel.h"
 #include "src/vfs/lsm.h"
 
 namespace dircache {
@@ -11,6 +12,29 @@ namespace dircache {
 namespace {
 
 SyscallKind KindForAttr() { return SyscallKind::kChmodChown; }
+
+// Syscall kinds with a dedicated obs latency histogram (DESIGN.md §9).
+bool ObsOpForSyscall(SyscallKind kind, obs::ObsOp* op) {
+  switch (kind) {
+    case SyscallKind::kStat:
+      *op = obs::ObsOp::kStat;
+      return true;
+    case SyscallKind::kOpen:
+      *op = obs::ObsOp::kOpen;
+      return true;
+    case SyscallKind::kRename:
+      *op = obs::ObsOp::kRename;
+      return true;
+    case SyscallKind::kChmodChown:
+      *op = obs::ObsOp::kChmod;
+      return true;
+    case SyscallKind::kReaddir:
+      *op = obs::ObsOp::kReaddir;
+      return true;
+    default:
+      return false;
+  }
+}
 
 // Refresh a directory inode's cached size/nlink from the low-level FS after
 // a mutation that may have grown or shrunk its entry blocks (ext4 maintains
@@ -30,18 +54,27 @@ void RefreshDirInode(Inode* dir_inode) {
 using VfsMount = Mount;
 
 // RAII syscall prologue: installs the I/O charge target and records latency
-// into the task profiler when armed.
+// into the task profiler and/or the kernel's obs histograms when armed.
 class Task::Scope {
  public:
   Scope(Task* task, SyscallKind kind)
       : task_(task), kind_(kind), charge_(&task->io_clock_) {
-    if (task_->profiler_ != nullptr) {
+    obs_armed_ = task_->kernel_->obs().enabled() &&
+                 ObsOpForSyscall(kind, &obs_op_);
+    if (task_->profiler_ != nullptr || obs_armed_) {
       start_ = NowNanos();
     }
   }
   ~Scope() {
+    if (task_->profiler_ == nullptr && !obs_armed_) {
+      return;
+    }
+    uint64_t elapsed = NowNanos() - start_;
     if (task_->profiler_ != nullptr) {
-      task_->profiler_->Record(kind_, NowNanos() - start_);
+      task_->profiler_->Record(kind_, elapsed);
+    }
+    if (obs_armed_) {
+      task_->kernel_->obs().RecordLatency(obs_op_, elapsed);
     }
   }
 
@@ -50,6 +83,8 @@ class Task::Scope {
   SyscallKind kind_;
   IoChargeScope charge_;
   uint64_t start_ = 0;
+  bool obs_armed_ = false;
+  obs::ObsOp obs_op_ = obs::ObsOp::kStat;
 };
 
 Task::Task(Kernel* kernel, CredPtr cred, MountNamespacePtr ns,
@@ -185,20 +220,37 @@ Result<Stat> Task::DoStat(const PathHandle* base, std::string_view path,
   return StatFromInode(*inode);
 }
 
-Result<Stat> Task::StatPath(std::string_view path) {
+Result<Stat> Task::Statx(FdNum dirfd, std::string_view path, int flags,
+                         uint32_t mask) {
   Scope s(this, SyscallKind::kStat);
-  return DoStat(nullptr, path, /*follow=*/true);
-}
-
-Result<Stat> Task::LstatPath(std::string_view path) {
-  Scope s(this, SyscallKind::kStat);
-  return DoStat(nullptr, path, /*follow=*/false);
-}
-
-Result<Stat> Task::FstatAt(FdNum dirfd, std::string_view path, int flags) {
-  Scope s(this, SyscallKind::kStat);
+  if ((flags & ~(kAtSymlinkNoFollow | kAtEmptyPath)) != 0) {
+    return Errno::kEINVAL;
+  }
+  if ((mask & ~kStatxBasicStats) != 0) {
+    return Errno::kEINVAL;  // reserved field request
+  }
   bool follow = (flags & kAtSymlinkNoFollow) == 0;
-  if (dirfd == kAtFdCwd || path.empty() || path.front() == '/') {
+  if (path.empty()) {
+    if ((flags & kAtEmptyPath) == 0) {
+      return Errno::kENOENT;
+    }
+    // Stat the dirfd itself (or the cwd for kAtFdCwd).
+    Inode* inode;
+    if (dirfd == kAtFdCwd) {
+      inode = cwd_.inode();
+    } else {
+      auto file = GetFile(dirfd);
+      if (!file.ok()) {
+        return file.error();
+      }
+      inode = (*file)->path().inode();
+    }
+    if (inode == nullptr) {
+      return Errno::kEBADF;
+    }
+    return StatFromInode(*inode);
+  }
+  if (dirfd == kAtFdCwd || path.front() == '/') {
     return DoStat(nullptr, path, follow);
   }
   auto file = GetFile(dirfd);
@@ -208,17 +260,20 @@ Result<Stat> Task::FstatAt(FdNum dirfd, std::string_view path, int flags) {
   return DoStat(&(*file)->path(), path, follow);
 }
 
+Result<Stat> Task::StatPath(std::string_view path) {
+  return Statx(kAtFdCwd, path, 0);
+}
+
+Result<Stat> Task::LstatPath(std::string_view path) {
+  return Statx(kAtFdCwd, path, kAtSymlinkNoFollow);
+}
+
+Result<Stat> Task::FstatAt(FdNum dirfd, std::string_view path, int flags) {
+  return Statx(dirfd, path, flags & (kAtSymlinkNoFollow | kAtEmptyPath));
+}
+
 Result<Stat> Task::Fstat(FdNum fd) {
-  Scope s(this, SyscallKind::kStat);
-  auto file = GetFile(fd);
-  if (!file.ok()) {
-    return file.error();
-  }
-  Inode* inode = (*file)->path().inode();
-  if (inode == nullptr) {
-    return Errno::kEBADF;
-  }
-  return StatFromInode(*inode);
+  return Statx(fd, {}, kAtEmptyPath);
 }
 
 Status Task::Access(std::string_view path, int may_mask) {

@@ -110,6 +110,14 @@ class Task : public std::enable_shared_from_this<Task> {
   Status UnshareMountNs();
 
   // --- path syscalls ---------------------------------------------------------
+  // The unified stat entry point (statx(2) shape). `flags` accepts
+  // kAtSymlinkNoFollow and kAtEmptyPath (empty path + kAtEmptyPath stats
+  // `dirfd` itself, or the cwd for kAtFdCwd); any other bit is EINVAL.
+  // `mask` must be a subset of kStatxBasicStats (the simulated Stat always
+  // carries every field; the mask is validated, not partially filled).
+  // StatPath/LstatPath/FstatAt/Fstat below are thin shims over this.
+  Result<Stat> Statx(FdNum dirfd, std::string_view path, int flags,
+                     uint32_t mask = kStatxBasicStats);
   Result<Stat> StatPath(std::string_view path);
   Result<Stat> LstatPath(std::string_view path);
   Result<Stat> FstatAt(FdNum dirfd, std::string_view path, int flags);

@@ -29,10 +29,26 @@ inline constexpr int kOAppend = 0x400;
 inline constexpr int kODirectory = 0x10000;
 inline constexpr int kONoFollow = 0x20000;
 
-// fstatat()-style flags.
+// fstatat()/statx()-style flags.
 inline constexpr int kAtSymlinkNoFollow = 0x100;
+// With an empty path, operate on `dirfd` itself (statx/fstatat semantics).
+inline constexpr int kAtEmptyPath = 0x1000;
 // *at() dirfd meaning "relative to the cwd".
 inline constexpr int kAtFdCwd = -100;
+
+// statx() field-request mask. The simulated Stat always carries every
+// field, so the mask is a request validity contract (unknown bits are
+// EINVAL, like Linux rejects STATX__RESERVED), not a partial-fill protocol.
+inline constexpr uint32_t kStatxType = 0x001;
+inline constexpr uint32_t kStatxMode = 0x002;
+inline constexpr uint32_t kStatxNlink = 0x004;
+inline constexpr uint32_t kStatxUid = 0x008;
+inline constexpr uint32_t kStatxGid = 0x010;
+inline constexpr uint32_t kStatxMtime = 0x040;
+inline constexpr uint32_t kStatxCtime = 0x080;
+inline constexpr uint32_t kStatxIno = 0x100;
+inline constexpr uint32_t kStatxSize = 0x200;
+inline constexpr uint32_t kStatxBasicStats = 0x3df;  // all of the above
 
 // stat() result.
 struct Stat {

@@ -6,6 +6,7 @@
 
 #include "src/core/dlht.h"
 #include "src/core/pcc.h"
+#include "src/obs/observability.h"
 #include "src/storage/block_device.h"
 #include "src/util/clock.h"
 #include "src/util/epoch.h"
@@ -16,6 +17,74 @@ namespace dircache {
 thread_local WalkPhaseProfile* g_walk_profile = nullptr;
 thread_local bool PathWalker::force_fastpath_miss = false;
 thread_local bool PathWalker::forbid_slowpath = false;
+
+namespace {
+
+// Per-walk scratch for the observability tracer (DESIGN.md §9). Armed only
+// while a Resolve() on a kernel with obs enabled is on this thread's stack;
+// every recording helper below is a thread-local load + branch when
+// disarmed, so a kernel with obs disabled pays nothing else.
+struct WalkTraceScratch {
+  bool armed = false;
+  bool classified = false;  // an outcome site already fired
+  obs::WalkOutcome outcome = obs::WalkOutcome::kSlowLocked;
+  uint16_t components = 0;  // slowpath components actually walked
+  uint16_t symlinks = 0;    // symlink resolutions spliced in
+  uint16_t mounts = 0;      // mount boundaries crossed
+  uint16_t retries = 0;     // optimistic -> locked fallbacks
+};
+thread_local WalkTraceScratch g_walk_trace;
+
+// First classification wins: the site nearest the decision fires first and
+// later, more generic sites (e.g. the structural catch-all) are ignored.
+inline void TraceOutcome(obs::WalkOutcome o) {
+  if (g_walk_trace.armed && !g_walk_trace.classified) {
+    g_walk_trace.outcome = o;
+    g_walk_trace.classified = true;
+  }
+}
+
+inline void TraceComponent() {
+  if (g_walk_trace.armed) {
+    ++g_walk_trace.components;
+  }
+}
+
+inline void TraceSymlink() {
+  if (g_walk_trace.armed) {
+    ++g_walk_trace.symlinks;
+  }
+}
+
+inline void TraceMountCrossing() {
+  if (g_walk_trace.armed) {
+    ++g_walk_trace.mounts;
+  }
+}
+
+inline void TraceRetry() {
+  if (g_walk_trace.armed) {
+    ++g_walk_trace.retries;
+  }
+}
+
+// Maps a PCC miss to its walk outcome. Misses right after an epoch
+// self-flush are attributed to the epoch bump (§3.1 wraparound), not to
+// eviction or invalidation.
+inline obs::WalkOutcome PccMissOutcome(PccMiss miss, bool epoch_flushed) {
+  if (epoch_flushed) {
+    return obs::WalkOutcome::kFastMissPccEpoch;
+  }
+  return miss == PccMiss::kStale ? obs::WalkOutcome::kFastMissPccStale
+                                 : obs::WalkOutcome::kFastMissPccCred;
+}
+
+template <typename T>
+uint8_t ClampU8(T v) {
+  return v > 0xff ? 0xff : static_cast<uint8_t>(v);
+}
+
+}  // namespace
 
 namespace {
 
@@ -301,6 +370,37 @@ static void PopulatePrefixDirs(Kernel* kernel, Task& task,
 Result<PathHandle> PathWalker::Resolve(Task& task, const PathHandle* base,
                                        std::string_view path, int wflags,
                                        std::string* last_out) {
+  Observability& obs = kernel_->obs();
+  if (!obs.enabled()) {
+    return DoResolve(task, base, path, wflags, last_out);
+  }
+  // Trace this walk. Scratch is saved/restored so a walk nested inside
+  // another (task-level operations resolve several paths) records its own
+  // event without corrupting the outer one.
+  WalkTraceScratch saved = g_walk_trace;
+  g_walk_trace = WalkTraceScratch{};
+  g_walk_trace.armed = true;
+  uint64_t t0 = NowNanos();
+  Result<PathHandle> r = DoResolve(task, base, path, wflags, last_out);
+  uint64_t t1 = NowNanos();
+  obs::WalkTraceEvent ev;
+  ev.outcome = g_walk_trace.outcome;
+  ev.err = r.ok() ? Errno::kOk : r.error();
+  ev.components = g_walk_trace.components;
+  ev.symlink_crossings = ClampU8(g_walk_trace.symlinks);
+  ev.mount_crossings = ClampU8(g_walk_trace.mounts);
+  ev.retries = ClampU8(g_walk_trace.retries);
+  ev.wflags = static_cast<uint8_t>(wflags & 0xf);
+  ev.latency_ns = t1 - t0;
+  ev.timestamp_ns = t1;
+  g_walk_trace = saved;
+  obs.RecordWalk(ev);
+  return r;
+}
+
+Result<PathHandle> PathWalker::DoResolve(Task& task, const PathHandle* base,
+                                         std::string_view path, int wflags,
+                                         std::string* last_out) {
   if (path.empty()) {
     return Errno::kENOENT;
   }
@@ -352,9 +452,15 @@ Result<PathHandle> PathWalker::Resolve(Task& task, const PathHandle* base,
     Result<PathHandle> result = Errno::kENOENT;
     if (TryFastResolve(task, start, effective, wflags, &result)) {
       stats.fastpath_hits.Add();
+      TraceOutcome(result.ok() ? obs::WalkOutcome::kFastHit
+                               : obs::WalkOutcome::kFastNegative);
       return result;
     }
     stats.fastpath_misses.Add();
+    // If no specific miss site classified this walk, it fell off the
+    // fastpath for a structural reason (base state, lexical depth, mount
+    // boundary, symlink shape, ...).
+    TraceOutcome(obs::WalkOutcome::kFastMissStructural);
   }
   assert(!forbid_slowpath && "slowpath forbidden by test hook");
   return SlowResolve(task, start, effective, wflags, nullptr);
@@ -370,18 +476,23 @@ Result<PathHandle> PathWalker::SlowResolve(Task& task,
       std::lock_guard<std::mutex> big(kernel_->global_walk_lock());
       kernel_->stats().locks_taken.Add();
       kernel_->stats().shared_writes.Add();
+      TraceOutcome(obs::WalkOutcome::kSlowLocked);
       return LockedWalk(task, start, path, wflags, last_out);
     }
     case LockingMode::kFineGrained:
+      TraceOutcome(obs::WalkOutcome::kSlowLocked);
       return LockedWalk(task, start, path, wflags, last_out);
     case LockingMode::kOptimistic: {
       bool fell_back = false;
       auto r = OptimisticWalk(task, start, path, wflags, last_out,
                               &fell_back);
       if (!fell_back) {
+        TraceOutcome(obs::WalkOutcome::kSlowOptimistic);
         return r;
       }
       kernel_->stats().slowpath_retries.Add();
+      TraceRetry();
+      TraceOutcome(obs::WalkOutcome::kSlowRetried);
       return LockedWalk(task, start, path, wflags, last_out);
     }
   }
@@ -432,6 +543,7 @@ Result<PathHandle> PathWalker::OptimisticWalk(Task& task,
     if (comp.empty()) {
       break;
     }
+    TraceComponent();
     if (comp.size() > kMaxNameLen) {
       return validated_error(Errno::kENAMETOOLONG);
     }
@@ -525,6 +637,7 @@ Result<PathHandle> PathWalker::OptimisticWalk(Task& task,
       if (covered == nullptr) {
         break;
       }
+      TraceMountCrossing();
       mnt = covered;
       child = covered->root;
     }
@@ -693,6 +806,7 @@ Result<PathHandle> PathWalker::LockedWalk(Task& task, const PathHandle& start,
     if (comp.empty()) {
       break;
     }
+    TraceComponent();
     if (comp.size() > kMaxNameLen) {
       return fail(Errno::kENAMETOOLONG);
     }
@@ -831,6 +945,7 @@ Result<PathHandle> PathWalker::LockedWalk(Task& task, const PathHandle& start,
       if (covered == nullptr) {
         break;
       }
+      TraceMountCrossing();
       covered->Get();
       nmnt->ns->MountPut(nmnt);
       nmnt = covered;
@@ -853,6 +968,7 @@ Result<PathHandle> PathWalker::LockedWalk(Task& task, const PathHandle& start,
         break;
       }
       nmnt->ns->MountPut(nmnt);
+      TraceSymlink();
       if (++link_depth > kMaxSymlinkDepth) {
         k->dcache().Dput(child);
         return fail(Errno::kELOOP);
@@ -1171,7 +1287,7 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
   PhaseTimer init_timer(&WalkPhaseProfile::init_ns);
 
   Pcc* pcc = task.cred()->GetOrCreatePcc(cfg.pcc_bytes, cfg.pcc_autosize);
-  pcc->EnsureEpoch(k->pcc_epoch());
+  const bool epoch_flushed = pcc->EnsureEpoch(k->pcc_epoch());
 
   Dentry* base = start.dentry();
   HashState st;
@@ -1215,12 +1331,15 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
         }
         if (pfd == nullptr) {
           stats.dlht_misses.Add();
+          TraceOutcome(obs::WalkOutcome::kFastMissDlht);
           return false;
         }
         Dentry* pd = DentryFromFast(pfd);
         uint32_t pseq = pfd->seq.load(std::memory_order_acquire);
-        if (!pcc->Lookup(pd, pseq, &stats)) {
+        PccMiss pmiss = PccMiss::kNone;
+        if (!pcc->Lookup(pd, pseq, &stats, &pmiss)) {
           stats.pcc_misses.Add();
+          TraceOutcome(PccMissOutcome(pmiss, epoch_flushed));
           return false;
         }
         Mount* pm = pfd->mount.load(std::memory_order_acquire);
@@ -1273,13 +1392,15 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
   }
   if (fd == nullptr) {
     stats.dlht_misses.Add();
+    TraceOutcome(obs::WalkOutcome::kFastMissDlht);
     return false;
   }
   Dentry* d = DentryFromFast(fd);
   uint32_t seq = fd->seq.load(std::memory_order_acquire);
   {
     PhaseTimer t(&WalkPhaseProfile::permission_ns);
-    if (!pcc->Lookup(d, seq, &stats)) {
+    PccMiss pcc_miss = PccMiss::kNone;
+    if (!pcc->Lookup(d, seq, &stats, &pcc_miss)) {
       // Last-hop fallback: the PCC holds one entry per dentry, so trees
       // much larger than the PCC evict file entries first (§6.3 discusses
       // exactly this updatedb sensitivity). A DLHT hit is still usable if
@@ -1303,6 +1424,7 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
       }
       if (!ok) {
         stats.pcc_misses.Add();
+        TraceOutcome(PccMissOutcome(pcc_miss, epoch_flushed));
         return false;
       }
     }

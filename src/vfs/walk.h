@@ -69,6 +69,11 @@ class PathWalker {
  private:
   struct Ctx;
 
+  // Resolve() body; the public wrapper only adds walk tracing (obs).
+  Result<PathHandle> DoResolve(Task& task, const PathHandle* base,
+                               std::string_view path, int wflags,
+                               std::string* last_out);
+
   // Fastpath attempt. Returns true if it produced a definitive outcome
   // (hit or fast negative) in *result.
   bool TryFastResolve(Task& task, const PathHandle& start,

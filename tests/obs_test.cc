@@ -1,0 +1,282 @@
+// Observability subsystem tests (DESIGN.md §9): histogram bucketing, the
+// lock-free trace ring, the versioned snapshot, and — most load-bearing —
+// that a disabled kernel records nothing and keeps the warm hit path
+// shared-write-free.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/obs/histogram.h"
+#include "src/obs/snapshot.h"
+#include "src/obs/walk_trace.h"
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+using obs::BucketFor;
+using obs::BucketHigh;
+using obs::BucketLow;
+using obs::HistogramSummary;
+using obs::LatencyHistogram;
+using obs::ObsOp;
+using obs::WalkOutcome;
+using obs::WalkTraceEvent;
+using obs::WalkTraceRing;
+
+// --- histogram ------------------------------------------------------------
+
+TEST(Histogram, BucketEdges) {
+  EXPECT_EQ(BucketFor(0), 0u);
+  EXPECT_EQ(BucketFor(1), 1u);
+  EXPECT_EQ(BucketFor(2), 2u);
+  EXPECT_EQ(BucketFor(3), 2u);
+  EXPECT_EQ(BucketFor(4), 3u);
+  EXPECT_EQ(BucketFor(1023), 10u);
+  EXPECT_EQ(BucketFor(1024), 11u);
+  EXPECT_EQ(BucketFor(1ull << 63), 63u);  // clamped into the top bucket
+  EXPECT_EQ(BucketFor(~0ull), 63u);
+  // Every value must fall inside [BucketLow, BucketHigh] of its bucket.
+  for (uint64_t v : {0ull, 1ull, 2ull, 7ull, 8ull, 1000ull, 1ull << 40}) {
+    size_t b = BucketFor(v);
+    EXPECT_GE(v, BucketLow(b)) << v;
+    EXPECT_LE(v, BucketHigh(b)) << v;
+  }
+}
+
+TEST(Histogram, RecordMergeQuantiles) {
+  LatencyHistogram h;
+  // 90 fast ops around 100ns, 10 slow ops around 100us.
+  for (int i = 0; i < 90; ++i) {
+    h.Record(100);
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Record(100'000);
+  }
+  HistogramSummary s = h.Merge();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.max_ns, 100'000u);
+  EXPECT_EQ(s.sum_ns, 90u * 100 + 10u * 100'000);
+  // p50 lands in 100's bucket [64,127]; p99 in 100000's [65536,131071],
+  // clamped to the exact observed max.
+  EXPECT_GE(s.P50(), 64u);
+  EXPECT_LE(s.P50(), 127u);
+  EXPECT_GE(s.P99(), 65536u);
+  EXPECT_LE(s.P99(), 100'000u);
+  EXPECT_NEAR(s.MeanNs(), (90.0 * 100 + 10.0 * 100'000) / 100.0, 1e-9);
+
+  h.Reset();
+  EXPECT_EQ(h.Merge().count, 0u);
+  EXPECT_EQ(h.Merge().P99(), 0u);
+}
+
+TEST(Histogram, SinceIsTheLoopDelta) {
+  LatencyHistogram h;
+  h.Record(10);
+  h.Record(20);
+  HistogramSummary before = h.Merge();
+  for (int i = 0; i < 50; ++i) {
+    h.Record(1000);
+  }
+  HistogramSummary d = h.Merge().Since(before);
+  EXPECT_EQ(d.count, 50u);
+  EXPECT_EQ(d.sum_ns, 50u * 1000);
+  EXPECT_GE(d.P50(), 512u);
+  EXPECT_LE(d.P50(), 1023u);
+}
+
+// --- trace ring -----------------------------------------------------------
+
+TEST(WalkTraceRing, CapacityRoundsToPowerOfTwo) {
+  EXPECT_EQ(WalkTraceRing(1).capacity(), 1u);
+  EXPECT_EQ(WalkTraceRing(5).capacity(), 8u);
+  EXPECT_EQ(WalkTraceRing(128).capacity(), 128u);
+}
+
+TEST(WalkTraceRing, WraparoundKeepsTheNewestEvents) {
+  WalkTraceRing ring(8);
+  for (uint64_t i = 1; i <= 20; ++i) {
+    WalkTraceEvent ev;
+    ev.outcome = WalkOutcome::kFastHit;
+    ev.err = Errno::kOk;
+    ev.components = static_cast<uint16_t>(i);
+    ev.latency_ns = i * 10;
+    ev.timestamp_ns = i * 100;
+    ring.Record(ev);
+  }
+  std::vector<WalkTraceEvent> out;
+  ring.Drain(&out);
+  ASSERT_EQ(out.size(), 8u);
+  // The 8 survivors are events 13..20 (oldest overwritten), fields intact.
+  uint64_t min_ts = ~0ull;
+  for (const WalkTraceEvent& ev : out) {
+    EXPECT_EQ(ev.outcome, WalkOutcome::kFastHit);
+    EXPECT_EQ(ev.err, Errno::kOk);
+    EXPECT_EQ(ev.latency_ns, ev.components * 10u);
+    EXPECT_EQ(ev.timestamp_ns, ev.components * 100u);
+    min_ts = std::min(min_ts, ev.timestamp_ns);
+  }
+  EXPECT_EQ(min_ts, 13u * 100);
+}
+
+TEST(WalkTraceRing, PacksEveryField) {
+  WalkTraceRing ring(4);
+  WalkTraceEvent ev;
+  ev.outcome = WalkOutcome::kSlowRetried;
+  ev.err = Errno::kENOENT;
+  ev.components = 300;  // needs the full 16 bits
+  ev.symlink_crossings = 3;
+  ev.mount_crossings = 2;
+  ev.retries = 1;
+  ev.wflags = 0x5;
+  ev.latency_ns = 12345;
+  ev.timestamp_ns = 42;  // low bit is the valid flag; 42 survives (&~1)
+  ring.Record(ev);
+  std::vector<WalkTraceEvent> out;
+  ring.Drain(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].outcome, WalkOutcome::kSlowRetried);
+  EXPECT_EQ(out[0].err, Errno::kENOENT);
+  EXPECT_EQ(out[0].components, 300u);
+  EXPECT_EQ(out[0].symlink_crossings, 3u);
+  EXPECT_EQ(out[0].mount_crossings, 2u);
+  EXPECT_EQ(out[0].retries, 1u);
+  EXPECT_EQ(out[0].wflags, 0x5u);
+  EXPECT_EQ(out[0].latency_ns, 12345u);
+  EXPECT_EQ(out[0].timestamp_ns, 42u);
+}
+
+// --- kernel integration ---------------------------------------------------
+
+TEST(Observe, DisabledKernelRecordsNothing) {
+  TestWorld w(CacheConfig::Optimized());  // obs defaults to off
+  EXPECT_FALSE(w.kernel->obs().enabled());
+  ASSERT_OK(w.root->Mkdir("/d"));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_OK(w.root->StatPath("/d"));
+  }
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  EXPECT_EQ(snap.schema_version, obs::kObsSchemaVersion);
+  EXPECT_FALSE(snap.enabled);
+  EXPECT_EQ(snap.TotalWalks(), 0u);
+  EXPECT_EQ(snap.Op(ObsOp::kStat).count, 0u);
+  EXPECT_TRUE(snap.trace.empty());
+  // The flat counters are still there — Observe() supersedes
+  // stats().ToString() even with recording off.
+  EXPECT_FALSE(snap.counters.empty());
+}
+
+TEST(Observe, DisabledWarmHitPathStaysSharedWriteFree) {
+  TestWorld w(CacheConfig::Optimized());
+  ASSERT_OK(w.root->Mkdir("/a"));
+  ASSERT_OK(w.root->Mkdir("/a/b"));
+  auto fd = w.root->Open("/a/b/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  for (int i = 0; i < 4; ++i) {  // warm past the one-time writes
+    EXPECT_OK(w.root->StatPath("/a/b/f"));
+  }
+  uint64_t writes0 = w.kernel->stats().shared_writes.value();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_OK(w.root->StatPath("/a/b/f"));
+  }
+  EXPECT_EQ(w.kernel->stats().shared_writes.value(), writes0);
+}
+
+TEST(Observe, EnabledKernelClassifiesWalks) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  EXPECT_TRUE(w.kernel->obs().enabled());
+  ASSERT_OK(w.root->Mkdir("/a"));
+  auto fd = w.root->Open("/a/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  EXPECT_OK(w.root->StatPath("/a/f"));  // populates the fastpath
+  obs::ObsSnapshot before = w.kernel->Observe();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_OK(w.root->StatPath("/a/f"));
+  }
+  EXPECT_ERR(w.root->StatPath("/a/missing"), Errno::kENOENT);
+  obs::ObsSnapshot after = w.kernel->Observe();
+
+  auto hits = [](const obs::ObsSnapshot& s, WalkOutcome o) {
+    return s.outcomes[static_cast<size_t>(o)];
+  };
+  EXPECT_EQ(hits(after, WalkOutcome::kFastHit) -
+                hits(before, WalkOutcome::kFastHit),
+            10u);
+  EXPECT_EQ(after.TotalWalks() - before.TotalWalks(), 11u);
+  // Latency flowed into both the per-walk and the per-syscall histograms.
+  EXPECT_EQ(after.Op(ObsOp::kLookup).count - before.Op(ObsOp::kLookup).count,
+            11u);
+  EXPECT_EQ(after.Op(ObsOp::kStat).count - before.Op(ObsOp::kStat).count,
+            11u);
+  EXPECT_GT(after.Op(ObsOp::kStat).sum_ns, before.Op(ObsOp::kStat).sum_ns);
+  // The failed walk shows up in the trace with its errno.
+  ASSERT_FALSE(after.trace.empty());
+  const obs::WalkTraceEvent& last = after.trace.back();
+  EXPECT_EQ(last.err, Errno::kENOENT);
+}
+
+TEST(Observe, SnapshotJsonShape) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/j"));
+  EXPECT_OK(w.root->StatPath("/j"));
+  EXPECT_OK(w.root->StatPath("/j"));
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  std::string json = snap.ToJson();
+  // Versioned, fixed-field-order contract (scripts/bench_smoke.sh greps
+  // for the schema_version; renames here are schema bumps).
+  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+  for (const char* key :
+       {"\"ops\"", "\"walk_outcomes\"", "\"trace\"", "\"counters\"",
+        "\"lookup\"", "\"p50_ns\"", "\"p95_ns\"", "\"p99_ns\"",
+        "\"fast_hit\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // Field order is part of the contract: version first, ops before trace.
+  EXPECT_LT(json.find("\"schema_version\""), json.find("\"ops\""));
+  EXPECT_LT(json.find("\"ops\""), json.find("\"walk_outcomes\""));
+  EXPECT_LT(json.find("\"walk_outcomes\""), json.find("\"trace\""));
+
+  std::string text = snap.ToText();
+  EXPECT_NE(text.find("schema v1"), std::string::npos) << text;
+  EXPECT_NE(text.find("fast_hit"), std::string::npos);
+}
+
+TEST(Observe, ResetClearsHistogramsAndOutcomes) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/r"));
+  EXPECT_OK(w.root->StatPath("/r"));
+  ASSERT_GT(w.kernel->Observe().TotalWalks(), 0u);
+  w.kernel->obs().Reset();
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  EXPECT_EQ(snap.TotalWalks(), 0u);
+  EXPECT_EQ(snap.Op(ObsOp::kStat).count, 0u);
+}
+
+TEST(Observe, SyscallHistogramsCoverTheTaxonomy) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/ops"));
+  auto fd = w.root->Open("/ops/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  ASSERT_OK(w.root->Rename("/ops/f", "/ops/g"));
+  ASSERT_OK(w.root->Chmod("/ops/g", 0600));
+  auto dfd = w.root->Open("/ops", kORead | kODirectory);
+  ASSERT_OK(dfd);
+  EXPECT_OK(w.root->ReadDirFd(*dfd));
+  ASSERT_OK(w.root->Close(*dfd));
+
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  EXPECT_GT(snap.Op(ObsOp::kOpen).count, 0u);
+  EXPECT_GT(snap.Op(ObsOp::kRename).count, 0u);
+  EXPECT_GT(snap.Op(ObsOp::kChmod).count, 0u);
+  EXPECT_GT(snap.Op(ObsOp::kReaddir).count, 0u);
+  // Rename invalidates the renamed entry's subtree — the write-side cost
+  // has its own histogram.
+  EXPECT_GT(snap.Op(ObsOp::kInvalidate).count, 0u);
+}
+
+}  // namespace
+}  // namespace dircache

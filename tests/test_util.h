@@ -21,9 +21,11 @@ inline CacheConfig OptimizedConfig() { return CacheConfig::Optimized(); }
 // A booted kernel: DiskFs at /, a root task, ready for syscalls.
 struct TestWorld {
   explicit TestWorld(CacheConfig cfg = CacheConfig::Baseline(),
-                     std::shared_ptr<FileSystem> rootfs = nullptr) {
+                     std::shared_ptr<FileSystem> rootfs = nullptr,
+                     ObsConfig obs = {}) {
     KernelConfig kc;
     kc.cache = cfg;
+    kc.obs = obs;
     kc.signature_seed = 0x7e57;  // reproducible
     kernel = std::make_unique<Kernel>(kc);
     if (rootfs == nullptr) {
@@ -56,13 +58,13 @@ struct TestWorld {
 #define ASSERT_OK(expr)                                              \
   do {                                                               \
     auto&& _r = (expr);                                                \
-    ASSERT_TRUE(_r.ok()) << "error: " << ErrnoName(_r.error());      \
+    ASSERT_TRUE(_r.ok()) << "error: " << _r.error_name();           \
   } while (0)
 
 #define EXPECT_OK(expr)                                              \
   do {                                                               \
     auto&& _r = (expr);                                                \
-    EXPECT_TRUE(_r.ok()) << "error: " << ErrnoName(_r.error());      \
+    EXPECT_TRUE(_r.ok()) << "error: " << _r.error_name();           \
   } while (0)
 
 #define EXPECT_ERR(expr, err)                                        \
@@ -70,7 +72,7 @@ struct TestWorld {
     auto&& _r = (expr);                                                \
     EXPECT_FALSE(_r.ok());                                           \
     EXPECT_EQ(_r.error(), (err))                                     \
-        << "got " << ErrnoName(_r.error());                          \
+        << "got " << _r.error_name();                                  \
   } while (0)
 
 }  // namespace dircache
