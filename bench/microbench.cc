@@ -59,6 +59,22 @@ Env& ObsEnv() {
   return env;
 }
 
+// A fourth environment with the full continuous-telemetry stack running:
+// recording + the background sampler thread taking periodic snapshots while
+// the timed loop runs. Exists to prove the schema-v2 claim that the sampler
+// only *reads* the sharded recording state — the warm hit path must stay
+// shared-write-free (shared_writes_per_op = 0) with it enabled.
+Env& SamplerEnv() {
+  static Env env = [] {
+    ObsConfig obs = ObsConfig::EnabledWithSampler();
+    obs.sample_interval_ms = 10;  // sample aggressively while we measure
+    Env e = MakeEnv(Optimized(), 1 << 17, 1 << 16, obs);
+    BuildTree(e.T());
+    return e;
+  }();
+  return env;
+}
+
 // Attach per-op lock / shared-write counters to a benchmark's report: the
 // delta of the kernel-wide statistics across the timed loop, divided by the
 // iteration count. On a warm optimized hit path both must read 0.
@@ -187,6 +203,26 @@ void BM_OpenCloseObs(benchmark::State& state) {
   counters.Report(state);
 }
 BENCHMARK(BM_OpenCloseObs);
+
+// Warm stat loop with recording AND the background sampler running. The
+// StatCounterScope verdict is the PR's core zero-cost claim:
+// shared_writes_per_op must report 0 — continuous telemetry adds no shared
+// write to the warm hit path.
+void BM_Stat8CompObsSampler(benchmark::State& state) {
+  Env& env = SamplerEnv();
+  StatCounterScope counters(env);
+  ObsCounterScope obs_counters(env, obs::ObsOp::kStat);
+  for (auto _ : state) {
+    auto r = env.T().StatPath("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
+    benchmark::DoNotOptimize(r);
+  }
+  counters.Report(state);
+  obs_counters.Report(state);
+  obs::ObsTimeline tl = env.kernel->Timeline();
+  state.counters["timeline_samples"] =
+      benchmark::Counter(static_cast<double>(tl.samples_taken));
+}
+BENCHMARK(BM_Stat8CompObsSampler);
 
 void BM_StatNegative(benchmark::State& state) {
   Env& env = EnvFor(state.range(0) != 0);

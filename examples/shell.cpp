@@ -12,16 +12,25 @@
 //   stats' | ./examples/shell
 //
 // Commands: mkdir ls stat lstat cat write rm rmdir mv ln ln -s cd pwd
-// chmod chown mount-mem umount su stats observe observe-json trace drop help
+// chmod chown mount-mem umount su stats observe observe-json trace
+// trace-export audit drop help
 //
 // `observe` prints the kernel's versioned observability snapshot (latency
-// histograms + walk outcomes, DESIGN.md §9); `trace` dumps the most recent
-// traced walks; `observe-json` emits the stable JSON form.
+// histograms + walk outcomes + timeline/heat/journal, DESIGN.md §9–§10);
+// `trace` dumps the most recent traced walks; `observe-json` emits the
+// stable JSON form; `trace-export [file]` writes the coherence journal and
+// traced walks as Chrome trace-event JSON (load in chrome://tracing or
+// ui.perfetto.dev); `audit` runs the online invariant auditor.
+//
+// Observability (including the background sampler) is on by default; set
+// DIRCACHE_SHELL_OBS=0 to run with it disabled (the obs commands then fail
+// with a nonzero exit status instead of printing empty documents).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string_view>
 #include <vector>
 
 #include "src/storage/diskfs.h"
@@ -44,13 +53,19 @@ void PrintStat(const Stat& st, const std::string& path) {
 int Run(std::istream& in) {
   KernelConfig config;
   config.cache = CacheConfig::Optimized();
-  // The shell is a debugging tool: run with full observability so `observe`
-  // and `trace` have something to show.
-  config.obs = ObsConfig::Enabled();
+  // The shell is a debugging tool: run with full observability — sampler
+  // included — so `observe`, `trace`, and `trace-export` have something to
+  // show. DIRCACHE_SHELL_OBS=0 opts out.
+  const char* obs_env = std::getenv("DIRCACHE_SHELL_OBS");
+  if (obs_env == nullptr || std::string_view(obs_env) != "0") {
+    config.obs = ObsConfig::EnabledWithSampler();
+    config.obs.sample_interval_ms = 50;
+  }
   Kernel kernel(config);
   kernel.MountRootFs(std::make_shared<DiskFs>());
   TaskPtr task = kernel.CreateInitTask(MakeCred(0, 0));
 
+  int status = 0;
   std::string line;
   while (std::getline(in, line)) {
     std::istringstream ss(line);
@@ -68,7 +83,9 @@ int Run(std::istream& in) {
       std::printf(
           "mkdir ls stat lstat cat write rm rmdir mv ln [-s] cd pwd chmod "
           "chown mount-mem umount su stats observe observe-json trace "
-          "drop\n");
+          "trace-export [file] audit drop\n"
+          "observe-json/trace-export fail (exit nonzero) when observability "
+          "is disabled (DIRCACHE_SHELL_OBS=0)\n");
     } else if (cmd == "mkdir") {
       std::string p;
       ss >> p;
@@ -197,7 +214,46 @@ int Run(std::istream& in) {
     } else if (cmd == "observe") {
       std::printf("%s", kernel.Observe().ToText().c_str());
     } else if (cmd == "observe-json") {
+      if (!kernel.obs().enabled()) {
+        // An empty "{}" here would be indistinguishable from a kernel with
+        // nothing recorded yet; fail loudly instead.
+        std::fprintf(stderr,
+                     "observe-json: observability is disabled "
+                     "(unset DIRCACHE_SHELL_OBS)\n");
+        status = 1;
+        continue;
+      }
       std::printf("%s\n", kernel.Observe().ToJson().c_str());
+    } else if (cmd == "trace-export") {
+      std::string file;
+      ss >> file;
+      if (!kernel.obs().enabled()) {
+        std::fprintf(stderr,
+                     "trace-export: observability is disabled "
+                     "(unset DIRCACHE_SHELL_OBS)\n");
+        status = 1;
+        continue;
+      }
+      std::string trace = kernel.Observe().ToChromeTrace();
+      if (file.empty()) {
+        std::printf("%s\n", trace.c_str());
+      } else {
+        std::ofstream out(file);
+        if (!out) {
+          std::fprintf(stderr, "trace-export: cannot write %s\n",
+                       file.c_str());
+          status = 1;
+          continue;
+        }
+        out << trace << '\n';
+        std::printf("trace-export: wrote %s\n", file.c_str());
+      }
+    } else if (cmd == "audit") {
+      obs::AuditReport report = kernel.Audit();
+      std::printf("%s", report.ToText().c_str());
+      if (!report.clean()) {
+        status = 1;
+      }
     } else if (cmd == "trace") {
       obs::ObsSnapshot snap = kernel.Observe();
       if (snap.trace.empty()) {
@@ -219,7 +275,7 @@ int Run(std::istream& in) {
       std::printf("unknown command '%s' (try help)\n", cmd.c_str());
     }
   }
-  return 0;
+  return status;
 }
 
 }  // namespace

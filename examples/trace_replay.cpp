@@ -20,6 +20,9 @@
 //
 //   $ ./examples/trace_replay                # built-in demo trace
 //   $ ./examples/trace_replay mytrace.txt    # your own
+//   $ ./examples/trace_replay --trace-export replay.trace.json mytrace.txt
+//       # also dump the optimized replay's coherence journal + walk traces
+//       # as Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -191,10 +194,17 @@ int DoOp(Task& t, const TraceOp& op) {
   std::exit(1);
 }
 
+// `trace_export` (optional): enable observability and, after the replay,
+// write the Chrome trace-event JSON there. Recording perturbs the timing a
+// little, so it is off unless asked for.
 ReplayResult Replay(const CacheConfig& cfg,
-                    const std::vector<TraceOp>& ops, int repeat) {
+                    const std::vector<TraceOp>& ops, int repeat,
+                    const char* trace_export = nullptr) {
   KernelConfig config;
   config.cache = cfg;
+  if (trace_export != nullptr) {
+    config.obs = ObsConfig::Enabled();
+  }
   Kernel kernel(config);
   DiskFsOptions opt;
   opt.num_blocks = 1 << 17;
@@ -228,18 +238,41 @@ ReplayResult Replay(const CacheConfig& cfg,
   }
   result.seconds = sw.ElapsedSeconds();
   result.fast_hits = kernel.stats().fastpath_hits.value();
+  if (trace_export != nullptr) {
+    std::ofstream out(trace_export);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_export);
+      std::exit(1);
+    }
+    out << kernel.Observe().ToChromeTrace() << '\n';
+    std::printf("wrote Chrome trace to %s\n", trace_export);
+  }
   return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const char* trace_export = nullptr;
+  const char* trace_file = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-export") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-export needs a file argument\n");
+        return 1;
+      }
+      trace_export = argv[++i];
+    } else {
+      trace_file = argv[i];
+    }
+  }
+
   std::vector<TraceOp> ops;
   std::string error;
-  if (argc > 1) {
-    std::ifstream f(argv[1]);
+  if (trace_file != nullptr) {
+    std::ifstream f(trace_file);
     if (!f) {
-      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "cannot open %s\n", trace_file);
       return 1;
     }
     ops = ParseTrace(f, &error);
@@ -263,7 +296,8 @@ int main(int argc, char** argv) {
   // paper's optimizations live).
   constexpr int kRepeat = 2000;
   ReplayResult base = Replay(CacheConfig::Baseline(), ops, kRepeat);
-  ReplayResult fast = Replay(CacheConfig::Optimized(), ops, kRepeat);
+  ReplayResult fast =
+      Replay(CacheConfig::Optimized(), ops, kRepeat, trace_export);
 
   // Both kernels must agree on every first-pass outcome (the optimized
   // design is transparent to applications — the paper's core requirement).

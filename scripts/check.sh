@@ -4,15 +4,20 @@
 #
 #   scripts/check.sh            # release build + ctest
 #   scripts/check.sh --full     # + debug & asan test passes
+#   scripts/check.sh --tsan     # + thread sanitizer pass over the
+#                               #   concurrency-sensitive suites (labels
+#                               #   obs + concurrency)
 #   scripts/check.sh --bench    # + run every benchmark binary
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FULL=0
 BENCH=0
+TSAN=0
 for arg in "$@"; do
   case "$arg" in
     --full) FULL=1 ;;
+    --tsan) TSAN=1 ;;
     --bench) BENCH=1 ;;
     *) echo "unknown option: $arg" >&2; exit 2 ;;
   esac
@@ -35,6 +40,17 @@ if [[ "$FULL" == 1 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >/dev/null
   cmake --build build-asan
   ctest --test-dir build-asan --output-on-failure
+fi
+
+if [[ "$TSAN" == 1 ]]; then
+  echo "== thread sanitizer (obs + concurrency suites) =="
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan
+  # Only the suites with real cross-thread traffic: the lock-free walkers,
+  # the obs recorders/sampler, and the ring-buffer stress tests.
+  ctest --test-dir build-tsan --output-on-failure -L 'obs|concurrency'
 fi
 
 if [[ "$BENCH" == 1 ]]; then

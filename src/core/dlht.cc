@@ -54,15 +54,16 @@ void Dlht::Insert(FastDentry* fd) {
   fd->on_dlht = this;
 }
 
-void Dlht::RemoveFromCurrent(FastDentry* fd) {
+bool Dlht::RemoveFromCurrent(FastDentry* fd) {
   Dlht* table = fd->on_dlht;
   if (table == nullptr) {
-    return;
+    return false;
   }
   Bucket& bucket = table->BucketFor(fd->signature);
   SpinGuard guard(bucket.lock);
   bucket.chain.Remove(&fd->dlht_node);
   fd->on_dlht = nullptr;
+  return true;
 }
 
 size_t Dlht::SizeSlow() const {

@@ -42,14 +42,30 @@ class Dlht {
   // first. Caller holds the owning dentry's lock.
   void Insert(FastDentry* fd);
 
-  // Remove `fd` from whatever table holds it (no-op when unhashed). Caller
-  // holds the owning dentry's lock. Static because an invalidation may need
-  // to evict a dentry from a *different* namespace's table (§4.3).
-  static void RemoveFromCurrent(FastDentry* fd);
+  // Remove `fd` from whatever table holds it (no-op when unhashed, in which
+  // case false is returned). Caller holds the owning dentry's lock. Static
+  // because an invalidation may need to evict a dentry from a *different*
+  // namespace's table (§4.3).
+  static bool RemoveFromCurrent(FastDentry* fd);
 
   size_t bucket_count() const { return buckets_.size(); }
   // Approximate number of entries (for the space report).
   size_t SizeSlow() const;
+
+  // Audit iteration: invoke `fn(FastDentry*)` for every entry, one bucket
+  // at a time under that bucket's lock. Entries may be inserted or removed
+  // between buckets; callers wanting an exact view must quiesce writers
+  // first (Kernel::Audit holds the tree lock exclusive).
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) {
+    for (Bucket& bucket : buckets_) {
+      SpinGuard guard(bucket.lock);
+      for (HNode* n = bucket.chain.First(); n != nullptr;
+           n = n->next.load(std::memory_order_acquire)) {
+        fn(FromHNode<FastDentry, &FastDentry::dlht_node>(n));
+      }
+    }
+  }
 
  private:
   // One cache line per bucket, same rationale as the primary hash table:

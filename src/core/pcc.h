@@ -86,6 +86,23 @@ class Pcc {
   size_t capacity_entries() const { return sets_ * kWays; }
   size_t bytes() const { return capacity_entries() * sizeof(Entry); }
 
+  // Audit iteration: invoke `fn(key, seq)` for every occupied entry, where
+  // `key` is the shifted dentry pointer and `seq` the memoized version
+  // counter. Reads are racy by design (an audit expects quiescence); a torn
+  // pair can only produce a stale (key, seq) combination, which the caller
+  // treats like any other entry.
+  template <typename Fn>
+  void ForEachEntry(Fn&& fn) const {
+    for (const Entry& e : entries_) {
+      uint64_t key = e.key.load(std::memory_order_acquire);
+      if (key == 0) {
+        continue;
+      }
+      uint64_t meta = e.meta.load(std::memory_order_acquire);
+      fn(key, static_cast<uint32_t>(meta >> 32));
+    }
+  }
+
  private:
   struct Entry {
     // Dentry pointer >> 3 (dentries are 8-aligned); 0 = empty. The paper

@@ -1,0 +1,24 @@
+#include "src/obs/event_journal.h"
+
+namespace dircache {
+namespace obs {
+
+const char* JournalArgName(JournalEvent e, int arg) {
+  switch (e) {
+    case JournalEvent::kInvalidateSubtree:
+      return arg == 0 ? "dentries_bumped" : "dlht_evicted";
+    case JournalEvent::kRename:
+      return arg == 0 ? "lock_hold_ns" : "arg1";
+    case JournalEvent::kLockedWalk:
+      return arg == 0 ? "components" : "arg1";
+    case JournalEvent::kUnlink:
+      return arg == 0 ? "rmdir" : "arg1";
+    case JournalEvent::kEpochAdvance:
+      return arg == 0 ? "epoch" : "arg1";
+    default:
+      return arg == 0 ? "arg0" : "arg1";
+  }
+}
+
+}  // namespace obs
+}  // namespace dircache

@@ -96,13 +96,19 @@ struct HistogramSummary {
 
   // Difference against an earlier snapshot of the same histogram (for
   // benchmark scopes that want the distribution of just their own loop).
+  // Counters can move *backwards* between snapshots (ObsReset() mid-window,
+  // or `before` taken from a different kernel); a naive subtraction would
+  // wrap to ~2^64 and poison every derived percentile, so each delta is
+  // clamped at zero instead.
   HistogramSummary Since(const HistogramSummary& before) const {
     HistogramSummary d;
     for (size_t b = 0; b < kHistBuckets; ++b) {
-      d.buckets[b] = buckets[b] - before.buckets[b];
+      d.buckets[b] = buckets[b] >= before.buckets[b]
+                         ? buckets[b] - before.buckets[b]
+                         : 0;
       d.count += d.buckets[b];
     }
-    d.sum_ns = sum_ns - before.sum_ns;
+    d.sum_ns = sum_ns >= before.sum_ns ? sum_ns - before.sum_ns : 0;
     d.max_ns = max_ns;  // max is monotone; the window max is unknowable
     return d;
   }

@@ -30,9 +30,45 @@ struct ObsConfig {
   // Maximum number of (most recent) trace events included in a snapshot.
   size_t trace_snapshot_limit = 32;
 
+  // --- background sampler (timeline, schema v2) ---------------------------
+  // Opt-in on top of `enabled`: a background thread takes periodic snapshot
+  // deltas into a fixed ring, yielding rate/percentile time series and the
+  // watchdog flags. The sampler only *reads* the sharded recording state,
+  // so warm-hit lookups stay shared-write-free while it runs.
+  bool sampler = false;
+  uint64_t sample_interval_ms = 100;
+  // Ring capacity (samples); the oldest sample is overwritten.
+  size_t timeline_capacity = 128;
+  // Watchdog: flag a fastpath hit-rate collapse when a window with at least
+  // `watchdog_min_walks` walks hits below `watchdog_min_hit_rate`.
+  double watchdog_min_hit_rate = 0.10;
+  uint64_t watchdog_min_walks = 128;
+  // Watchdog: flag an invalidation-rate spike above this many subtree
+  // invalidation passes per second.
+  double watchdog_max_invalidations_per_sec = 10000.0;
+
+  // --- path heat sketches (schema v2) -------------------------------------
+  // Per-shard Space-Saving slot count (top-K candidates per shard) and the
+  // number of entries reported per sketch in a snapshot.
+  size_t heat_slots = 32;
+  size_t heat_snapshot_topk = 20;
+
+  // --- coherence event journal (schema v2) --------------------------------
+  // Capacity (events) of each per-shard journal ring. Power of two.
+  size_t journal_ring_events = 256;
+  // Maximum number of (most recent) journal events included in a snapshot.
+  size_t journal_snapshot_limit = 64;
+
   static ObsConfig Enabled() {
     ObsConfig c;
     c.enabled = true;
+    return c;
+  }
+
+  // Everything on, including the background sampler thread.
+  static ObsConfig EnabledWithSampler() {
+    ObsConfig c = Enabled();
+    c.sampler = true;
     return c;
   }
 };

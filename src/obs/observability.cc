@@ -1,17 +1,50 @@
 #include "src/obs/observability.h"
 
 #include <algorithm>
+#include <string_view>
 
 namespace dircache {
 
-Observability::State::State(const ObsConfig& cfg)
-    : snapshot_limit(cfg.trace_snapshot_limit) {
+namespace {
+
+// Obs-local seed for the heat-sketch hash family (see State::heat_key).
+constexpr uint64_t kHeatHashSeed = 0x0b5e7ull;
+
+// Parent directory of an observed path, for the miss-directory sketch.
+std::string_view DirnameOf(std::string_view path) {
+  while (path.size() > 1 && path.back() == '/') {
+    path.remove_suffix(1);
+  }
+  size_t pos = path.rfind('/');
+  if (pos == std::string_view::npos) {
+    return ".";
+  }
+  if (pos == 0) {
+    return "/";
+  }
+  return path.substr(0, pos);
+}
+
+}  // namespace
+
+Observability::State::State(const ObsConfig& c)
+    : cfg(c),
+      heat_key(kHeatHashSeed),
+      heat_hasher(&heat_key),
+      hot_paths(c.heat_slots),
+      slow_paths(c.heat_slots),
+      miss_dirs(c.heat_slots) {
   rings.reserve(kStatsShardCount);
+  journals.reserve(kStatsShardCount);
   for (size_t i = 0; i < kStatsShardCount; ++i) {
     rings.push_back(
         std::make_unique<obs::WalkTraceRing>(cfg.trace_ring_events));
+    journals.push_back(
+        std::make_unique<obs::JournalRing>(cfg.journal_ring_events));
   }
 }
+
+Observability::~Observability() = default;
 
 void Observability::Configure(const ObsConfig& cfg) {
   if (!kObsCompiledIn || !cfg.enabled) {
@@ -19,13 +52,62 @@ void Observability::Configure(const ObsConfig& cfg) {
     return;
   }
   state_ = std::make_unique<State>(cfg);
+  if (cfg.sampler) {
+    // The callback captures the raw State: the sampler is the State's last
+    // member, so its thread is joined before anything it reads dies.
+    State* s = state_.get();
+    state_->sampler = std::make_unique<obs::Sampler>(
+        cfg, [s] { return CoreSample(*s); });
+  }
 }
 
-void Observability::RecordWalkSlow(const obs::WalkTraceEvent& ev) {
+void Observability::RecordWalkSlow(const obs::WalkTraceEvent& ev,
+                                   std::string_view path) {
   State& s = *state_;
   s.outcomes[static_cast<size_t>(ev.outcome)].Add();
   s.ops[static_cast<size_t>(obs::ObsOp::kLookup)].Record(ev.latency_ns);
   s.rings[internal::StatsShardId()]->Record(ev);
+  if (path.empty()) {
+    return;
+  }
+  if (path.size() > PathHashKey::kMaxPathLen) {
+    path = path.substr(0, PathHashKey::kMaxPathLen);
+  }
+  HashState h = s.heat_hasher.Init();
+  s.heat_hasher.Update(h, path);
+  uint64_t key = s.heat_hasher.Finalize(h).words[0];
+  switch (ev.outcome) {
+    case obs::WalkOutcome::kFastHit:
+    case obs::WalkOutcome::kFastNegative:
+      s.hot_paths.Record(key, path);
+      return;
+    case obs::WalkOutcome::kFastMissDlht:
+    case obs::WalkOutcome::kFastMissPccCred:
+    case obs::WalkOutcome::kFastMissPccStale:
+    case obs::WalkOutcome::kFastMissPccEpoch:
+    case obs::WalkOutcome::kFastMissStructural: {
+      std::string_view dir = DirnameOf(path);
+      HashState dh = s.heat_hasher.Init();
+      s.heat_hasher.Update(dh, dir);
+      s.miss_dirs.Record(s.heat_hasher.Finalize(dh).words[0], dir);
+      break;  // a fastpath miss also ran the slowpath: fall through below
+    }
+    default:
+      break;
+  }
+  s.slow_paths.Record(key, path);
+}
+
+obs::ObsSnapshot Observability::CoreSample(const State& s) {
+  obs::ObsSnapshot snap;
+  snap.enabled = true;
+  for (size_t op = 0; op < obs::kObsOpCount; ++op) {
+    snap.ops[op] = s.ops[op].Merge();
+  }
+  for (size_t o = 0; o < obs::kWalkOutcomeCount; ++o) {
+    snap.outcomes[o] = s.outcomes[o].value();
+  }
+  return snap;
 }
 
 obs::ObsSnapshot Observability::Snapshot(const CacheStats* stats) const {
@@ -41,12 +123,9 @@ obs::ObsSnapshot Observability::Snapshot(const CacheStats* stats) const {
     return snap;
   }
   const State& s = *state_;
-  for (size_t op = 0; op < obs::kObsOpCount; ++op) {
-    snap.ops[op] = s.ops[op].Merge();
-  }
-  for (size_t o = 0; o < obs::kWalkOutcomeCount; ++o) {
-    snap.outcomes[o] = s.outcomes[o].value();
-  }
+  obs::ObsSnapshot core = CoreSample(s);
+  snap.ops = core.ops;
+  snap.outcomes = core.outcomes;
   std::vector<obs::WalkTraceEvent> events;
   for (const auto& ring : s.rings) {
     ring->Drain(&events);
@@ -55,12 +134,39 @@ obs::ObsSnapshot Observability::Snapshot(const CacheStats* stats) const {
             [](const obs::WalkTraceEvent& a, const obs::WalkTraceEvent& b) {
               return a.timestamp_ns < b.timestamp_ns;
             });
-  if (events.size() > s.snapshot_limit) {
+  if (events.size() > s.cfg.trace_snapshot_limit) {
     events.erase(events.begin(),
-                 events.end() - static_cast<ptrdiff_t>(s.snapshot_limit));
+                 events.end() -
+                     static_cast<ptrdiff_t>(s.cfg.trace_snapshot_limit));
   }
   snap.trace = std::move(events);
+  snap.heat.hot_paths = s.hot_paths.Drain(s.cfg.heat_snapshot_topk);
+  snap.heat.slow_paths = s.slow_paths.Drain(s.cfg.heat_snapshot_topk);
+  snap.heat.miss_dirs = s.miss_dirs.Drain(s.cfg.heat_snapshot_topk);
+  std::vector<obs::JournalEventRecord> journal;
+  for (size_t i = 0; i < s.journals.size(); ++i) {
+    s.journals[i]->Drain(static_cast<uint32_t>(i), &journal);
+  }
+  std::sort(journal.begin(), journal.end(),
+            [](const obs::JournalEventRecord& a,
+               const obs::JournalEventRecord& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  if (journal.size() > s.cfg.journal_snapshot_limit) {
+    journal.erase(journal.begin(),
+                  journal.end() -
+                      static_cast<ptrdiff_t>(s.cfg.journal_snapshot_limit));
+  }
+  snap.journal = std::move(journal);
+  snap.timeline = Timeline();
   return snap;
+}
+
+obs::ObsTimeline Observability::Timeline() const {
+  if (!enabled() || state_->sampler == nullptr) {
+    return obs::ObsTimeline{};
+  }
+  return state_->sampler->Timeline();
 }
 
 void Observability::Reset() {
@@ -73,8 +179,13 @@ void Observability::Reset() {
   for (auto& c : state_->outcomes) {
     c.Reset();
   }
-  // Trace rings are not cleared: the "most recent walks" window is already
-  // self-evicting, and zeroing slots under concurrent writers buys nothing.
+  state_->hot_paths.Reset();
+  state_->slow_paths.Reset();
+  state_->miss_dirs.Reset();
+  // Trace and journal rings are not cleared: the "most recent events"
+  // windows are already self-evicting, and zeroing slots under concurrent
+  // writers buys nothing. The sampler's clamped deltas (see
+  // HistogramSummary::Since) absorb the counter reset.
 }
 
 }  // namespace dircache

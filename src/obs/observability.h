@@ -1,28 +1,37 @@
-// Observability: per-kernel latency histograms + walk-outcome tracing
-// (DESIGN.md §9).
+// Observability: per-kernel latency histograms, walk-outcome tracing, and
+// (since schema v2) continuous telemetry — background sampler, path heat
+// sketches, coherence event journal (DESIGN.md §9–§10).
 //
 // One instance lives inside each Kernel. When disabled (the default) it
 // owns no memory and every recording entry point is a single plain-bool
 // branch — the warm-hit read path stays exactly as shared-write-free as the
 // scalability work left it. When enabled, recording goes to sharded
-// structures (histograms, outcome counters, trace rings) that follow the
-// same thread->shard mapping as ShardedCounter, so concurrent recorders do
-// not contend.
+// structures (histograms, outcome counters, trace rings, heat sketches,
+// journal rings) that follow the same thread->shard mapping as
+// ShardedCounter, so concurrent recorders do not contend. The optional
+// sampler thread only *reads* that sharded state.
 //
 // The read side is Kernel::Observe(), which asks this class for a
-// versioned ObsSnapshot (see snapshot.h).
+// versioned ObsSnapshot (see snapshot.h), and Kernel::Timeline() for the
+// sampler's time series alone.
 #ifndef DIRCACHE_OBS_OBSERVABILITY_H_
 #define DIRCACHE_OBS_OBSERVABILITY_H_
 
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "src/obs/event_journal.h"
+#include "src/obs/heat_sketch.h"
 #include "src/obs/histogram.h"
 #include "src/obs/obs_config.h"
+#include "src/obs/sampler.h"
 #include "src/obs/snapshot.h"
 #include "src/obs/walk_trace.h"
+#include "src/util/clock.h"
+#include "src/util/hash.h"
 #include "src/util/stats.h"
 
 namespace dircache {
@@ -30,12 +39,15 @@ namespace dircache {
 class Observability {
  public:
   Observability() = default;
+  ~Observability();
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
 
-  // Applies the config. Enabling allocates the recording state; disabling
-  // frees it. Not thread-safe against concurrent recorders — configure
-  // before the kernel starts serving (Kernel does this in its constructor).
+  // Applies the config. Enabling allocates the recording state (and starts
+  // the sampler thread when cfg.sampler is set); disabling frees it and
+  // joins any sampler. Not thread-safe against concurrent recorders —
+  // configure before the kernel starts serving (Kernel does this in its
+  // constructor).
   void Configure(const ObsConfig& cfg);
 
   bool enabled() const { return kObsCompiledIn && state_ != nullptr; }
@@ -47,18 +59,37 @@ class Observability {
     state_->ops[static_cast<size_t>(op)].Record(ns);
   }
 
-  // Records one finished walk: outcome counter, lookup-latency histogram,
-  // and a slot in the calling thread's trace ring.
-  void RecordWalk(const obs::WalkTraceEvent& ev) {
+  // Records one finished walk: outcome counter, lookup-latency histogram, a
+  // slot in the calling thread's trace ring, and the path heat sketches
+  // (`path` is the observed request text; it is hashed, never copied, on
+  // this path).
+  void RecordWalk(const obs::WalkTraceEvent& ev, std::string_view path) {
     if (!enabled()) {
       return;
     }
-    RecordWalkSlow(ev);
+    RecordWalkSlow(ev, path);
+  }
+
+  // Records one coherence journal span (instants pass duration 0) into the
+  // calling thread's journal ring.
+  void RecordJournal(obs::JournalEvent type, uint64_t begin_ns,
+                     uint64_t duration_ns, uint64_t arg0 = 0,
+                     uint64_t arg1 = 0) {
+    if (!enabled()) {
+      return;
+    }
+    state_->journals[internal::StatsShardId()]->Record(type, begin_ns,
+                                                       duration_ns, arg0,
+                                                       arg1);
   }
 
   // Builds the versioned snapshot; `stats` (may be null) supplies the flat
   // counter section.
   obs::ObsSnapshot Snapshot(const CacheStats* stats) const;
+
+  // The sampler's time series; `active == false` when disabled or the
+  // sampler was never started.
+  obs::ObsTimeline Timeline() const;
 
   void Reset();
 
@@ -66,16 +97,64 @@ class Observability {
   struct State {
     explicit State(const ObsConfig& cfg);
 
+    ObsConfig cfg;
     std::array<obs::LatencyHistogram, obs::kObsOpCount> ops;
     std::array<ShardedCounter, obs::kWalkOutcomeCount> outcomes;
     // One trace ring per stats shard (same mapping as ShardedCounter).
     std::vector<std::unique_ptr<obs::WalkTraceRing>> rings;
-    size_t snapshot_limit;
+
+    // §3.3 hash family for heat-sketch keys. A fixed seed (not the kernel's
+    // signer key): heat keys only need distribution, and a stable seed
+    // makes sketch contents reproducible across runs.
+    PathHashKey heat_key;
+    PathHasher heat_hasher;
+    obs::PathHeatSketch hot_paths;
+    obs::PathHeatSketch slow_paths;
+    obs::PathHeatSketch miss_dirs;
+
+    // One journal ring per stats shard.
+    std::vector<std::unique_ptr<obs::JournalRing>> journals;
+
+    // Declared last: destroyed first, joining the thread while every
+    // structure its snapshot callback reads is still alive.
+    std::unique_ptr<obs::Sampler> sampler;
   };
 
-  void RecordWalkSlow(const obs::WalkTraceEvent& ev);
+  void RecordWalkSlow(const obs::WalkTraceEvent& ev, std::string_view path);
+
+  // ops + outcomes only — the cheap periodic sample the sampler diffs.
+  static obs::ObsSnapshot CoreSample(const State& s);
 
   std::unique_ptr<State> state_;
+};
+
+// RAII coherence-journal span: captures the begin timestamp at
+// construction, records the event at destruction. When obs is disabled the
+// whole thing is one plain-bool branch and no clock read.
+class JournalSpan {
+ public:
+  JournalSpan(Observability& obs, obs::JournalEvent type)
+      : obs_(obs), type_(type), begin_ns_(obs.enabled() ? NowNanos() : 0) {}
+  ~JournalSpan() {
+    if (begin_ns_ != 0) {
+      obs_.RecordJournal(type_, begin_ns_, NowNanos() - begin_ns_, arg0_,
+                         arg1_);
+    }
+  }
+  JournalSpan(const JournalSpan&) = delete;
+  JournalSpan& operator=(const JournalSpan&) = delete;
+
+  void SetArgs(uint64_t arg0, uint64_t arg1 = 0) {
+    arg0_ = arg0;
+    arg1_ = arg1;
+  }
+
+ private:
+  Observability& obs_;
+  const obs::JournalEvent type_;
+  const uint64_t begin_ns_;
+  uint64_t arg0_ = 0;
+  uint64_t arg1_ = 0;
 };
 
 }  // namespace dircache

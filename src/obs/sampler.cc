@@ -1,0 +1,132 @@
+#include "src/obs/sampler.h"
+
+#include <chrono>
+#include <utility>
+
+#include "src/util/clock.h"
+
+namespace dircache {
+namespace obs {
+
+namespace {
+
+uint64_t DeltaClamped(uint64_t cur, uint64_t prev) {
+  return cur >= prev ? cur - prev : 0;
+}
+
+}  // namespace
+
+Sampler::Sampler(const ObsConfig& cfg, SnapshotFn snapshot_fn)
+    : interval_ms_(cfg.sample_interval_ms == 0 ? 1 : cfg.sample_interval_ms),
+      capacity_(cfg.timeline_capacity == 0 ? 1 : cfg.timeline_capacity),
+      min_hit_rate_(cfg.watchdog_min_hit_rate),
+      min_walks_(cfg.watchdog_min_walks),
+      max_inval_per_sec_(cfg.watchdog_max_invalidations_per_sec),
+      snapshot_fn_(std::move(snapshot_fn)) {
+  ring_.reserve(capacity_);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+Sampler::~Sampler() { Stop(); }
+
+void Sampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+ObsTimeline Sampler::Timeline() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ObsTimeline t;
+  t.active = !stop_;
+  t.interval_ms = interval_ms_;
+  t.samples_taken = samples_taken_;
+  t.hit_rate_collapse = hit_rate_collapse_;
+  t.invalidation_spike = invalidation_spike_;
+  t.samples.reserve(ring_.size());
+  // ring_next_ is the oldest slot once the ring has wrapped.
+  if (ring_.size() == capacity_) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      t.samples.push_back(ring_[(ring_next_ + i) % capacity_]);
+    }
+  } else {
+    t.samples = ring_;
+  }
+  return t;
+}
+
+TimelineSample Sampler::Reduce(const ObsSnapshot& prev, const ObsSnapshot& cur,
+                               uint64_t t_prev, uint64_t t_now) const {
+  TimelineSample s;
+  s.t_ns = t_now;
+  s.window_ns = t_now >= t_prev ? t_now - t_prev : 0;
+  for (size_t o = 0; o < kWalkOutcomeCount; ++o) {
+    uint64_t d = DeltaClamped(cur.outcomes[o], prev.outcomes[o]);
+    s.walks += d;
+    switch (static_cast<WalkOutcome>(o)) {
+      case WalkOutcome::kFastHit:
+      case WalkOutcome::kFastNegative:
+        s.fast_hits += d;
+        break;
+      case WalkOutcome::kSlowOptimistic:
+      case WalkOutcome::kSlowRetried:
+      case WalkOutcome::kSlowLocked:
+        s.slow_walks += d;
+        break;
+      default:
+        break;
+    }
+  }
+  s.invalidations = DeltaClamped(cur.Op(ObsOp::kInvalidate).count,
+                                 prev.Op(ObsOp::kInvalidate).count);
+  HistogramSummary lookups =
+      cur.Op(ObsOp::kLookup).Since(prev.Op(ObsOp::kLookup));
+  s.p50_ns = lookups.P50();
+  s.p95_ns = lookups.P95();
+  s.p99_ns = lookups.P99();
+  s.hit_rate = s.walks == 0 ? 0.0
+                            : static_cast<double>(s.fast_hits) /
+                                  static_cast<double>(s.walks);
+  return s;
+}
+
+void Sampler::Loop() {
+  ObsSnapshot prev = snapshot_fn_();
+  uint64_t t_prev = NowNanos();
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_; });
+    if (stop_) {
+      break;
+    }
+    lk.unlock();
+    ObsSnapshot cur = snapshot_fn_();
+    uint64_t t_now = NowNanos();
+    TimelineSample sample = Reduce(prev, cur, t_prev, t_now);
+    prev = std::move(cur);
+    t_prev = t_now;
+    lk.lock();
+    if (ring_.size() < capacity_) {
+      ring_.push_back(sample);
+    } else {
+      ring_[ring_next_] = sample;
+      ring_next_ = (ring_next_ + 1) % capacity_;
+    }
+    ++samples_taken_;
+    if (sample.walks >= min_walks_ && sample.hit_rate < min_hit_rate_) {
+      hit_rate_collapse_ = true;
+    }
+    if (sample.InvalidationsPerSec() > max_inval_per_sec_) {
+      invalidation_spike_ = true;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace dircache

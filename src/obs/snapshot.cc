@@ -1,9 +1,11 @@
 #include "src/obs/snapshot.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/util/result.h"
 
@@ -47,6 +49,62 @@ void AppendEventJson(std::string* out, const WalkTraceEvent& ev) {
           ev.retries, ev.latency_ns, ev.timestamp_ns);
 }
 
+void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          Appendf(out, "\\u%04x", static_cast<unsigned>(c));
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendHeatListJson(std::string* out, const char* key,
+                        const std::vector<HeatEntry>& entries) {
+  Appendf(out, "\"%s\":[", key);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const HeatEntry& e = entries[i];
+    Appendf(out, "%s{\"path\":\"", i == 0 ? "" : ",");
+    AppendJsonEscaped(out, e.path);
+    Appendf(out,
+            "\",\"count\":%" PRIu64 ",\"err\":%" PRIu64 ",\"cm_est\":%" PRIu64
+            "}",
+            e.count, e.err, e.cm_est);
+  }
+  *out += "]";
+}
+
+void AppendJournalEventJson(std::string* out, const JournalEventRecord& ev) {
+  Appendf(out,
+          "{\"type\":\"%s\",\"shard\":%u,\"begin_ns\":%" PRIu64
+          ",\"duration_ns\":%" PRIu64 ",\"%s\":%" PRIu64 ",\"%s\":%" PRIu64
+          "}",
+          JournalEventName(ev.type), ev.shard, ev.begin_ns, ev.duration_ns,
+          JournalArgName(ev.type, 0), ev.arg0, JournalArgName(ev.type, 1),
+          ev.arg1);
+}
+
+void AppendHeatListText(std::string* out, const char* title,
+                        const std::vector<HeatEntry>& entries) {
+  if (entries.empty()) {
+    return;
+  }
+  Appendf(out, "  %s:\n", title);
+  for (const HeatEntry& e : entries) {
+    Appendf(out, "    %8" PRIu64 " (+-%" PRIu64 ", cm<=%" PRIu64 ")  %s\n",
+            e.count, e.err, e.cm_est, e.path.c_str());
+  }
+}
+
 }  // namespace
 
 std::string ObsSnapshot::ToText() const {
@@ -85,6 +143,36 @@ std::string ObsSnapshot::ToText() const {
               ev.mount_crossings, ev.retries, ev.latency_ns);
     }
   }
+  AppendHeatListText(&out, "hottest paths (fastpath hits)", heat.hot_paths);
+  AppendHeatListText(&out, "slowpath paths", heat.slow_paths);
+  AppendHeatListText(&out, "top miss directories", heat.miss_dirs);
+  if (!journal.empty()) {
+    Appendf(&out, "  coherence journal (oldest first):\n");
+    for (const JournalEventRecord& ev : journal) {
+      Appendf(&out,
+              "    %-18s shard=%-2u dur=%-10" PRIu64 "ns %s=%" PRIu64
+              " %s=%" PRIu64 "\n",
+              JournalEventName(ev.type), ev.shard, ev.duration_ns,
+              JournalArgName(ev.type, 0), ev.arg0,
+              JournalArgName(ev.type, 1), ev.arg1);
+    }
+  }
+  if (timeline.active) {
+    Appendf(&out,
+            "  timeline (every %" PRIu64 "ms, %zu retained of %" PRIu64
+            " taken%s%s):\n",
+            timeline.interval_ms, timeline.samples.size(),
+            timeline.samples_taken,
+            timeline.hit_rate_collapse ? ", HIT-RATE COLLAPSE" : "",
+            timeline.invalidation_spike ? ", INVALIDATION SPIKE" : "");
+    for (const TimelineSample& s : timeline.samples) {
+      Appendf(&out,
+              "    +%8.1fms walks=%-8" PRIu64 " hit=%5.1f%% slow=%-6" PRIu64
+              " inval=%-5" PRIu64 " p50=%-7" PRIu64 " p99=%" PRIu64 "\n",
+              static_cast<double>(s.t_ns) / 1e6, s.walks, s.hit_rate * 100.0,
+              s.slow_walks, s.invalidations, s.p50_ns, s.p99_ns);
+    }
+  }
   if (!counters.empty()) {
     Appendf(&out, "  counters:\n");
     for (const auto& [label, value] : counters) {
@@ -120,7 +208,95 @@ std::string ObsSnapshot::ToJson() const {
     Appendf(&out, "%s\"%s\":%" PRIu64, i == 0 ? "" : ",",
             counters[i].first.c_str(), counters[i].second);
   }
-  out += "}}";
+  // v2 sections follow every v1 field (additions only; see the version-bump
+  // note in snapshot.h).
+  Appendf(&out,
+          "},\"timeline\":{\"active\":%s,\"interval_ms\":%" PRIu64
+          ",\"samples_taken\":%" PRIu64
+          ",\"hit_rate_collapse\":%s,\"invalidation_spike\":%s,\"samples\":[",
+          timeline.active ? "true" : "false", timeline.interval_ms,
+          timeline.samples_taken,
+          timeline.hit_rate_collapse ? "true" : "false",
+          timeline.invalidation_spike ? "true" : "false");
+  for (size_t i = 0; i < timeline.samples.size(); ++i) {
+    const TimelineSample& s = timeline.samples[i];
+    Appendf(&out,
+            "%s{\"t_ns\":%" PRIu64 ",\"window_ns\":%" PRIu64
+            ",\"walks\":%" PRIu64 ",\"fast_hits\":%" PRIu64
+            ",\"slow_walks\":%" PRIu64 ",\"invalidations\":%" PRIu64
+            ",\"p50_ns\":%" PRIu64 ",\"p95_ns\":%" PRIu64
+            ",\"p99_ns\":%" PRIu64 ",\"hit_rate\":%.4f}",
+            i == 0 ? "" : ",", s.t_ns, s.window_ns, s.walks, s.fast_hits,
+            s.slow_walks, s.invalidations, s.p50_ns, s.p95_ns, s.p99_ns,
+            s.hit_rate);
+  }
+  out += "]},\"heat\":{";
+  AppendHeatListJson(&out, "hot_paths", heat.hot_paths);
+  out += ",";
+  AppendHeatListJson(&out, "slow_paths", heat.slow_paths);
+  out += ",";
+  AppendHeatListJson(&out, "miss_dirs", heat.miss_dirs);
+  out += "},\"journal\":[";
+  for (size_t i = 0; i < journal.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    AppendJournalEventJson(&out, journal[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ObsSnapshot::ToChromeTrace() const {
+  // The Trace Event "JSON Array Format": every span renders as one complete
+  // ("X") event with microsecond ts/dur. The journal and the walk trace
+  // share the timeline; tid carries the recording shard so concurrent
+  // writers land on separate tracks.
+  struct Row {
+    uint64_t ts_ns;
+    std::string json;
+  };
+  std::vector<Row> rows;
+  rows.reserve(journal.size() + trace.size());
+  for (const JournalEventRecord& ev : journal) {
+    std::string j;
+    Appendf(&j,
+            "{\"name\":\"%s\",\"cat\":\"coherence\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
+            "\"args\":{\"%s\":%" PRIu64 ",\"%s\":%" PRIu64 "}}",
+            JournalEventName(ev.type),
+            static_cast<double>(ev.begin_ns) / 1e3,
+            static_cast<double>(ev.duration_ns) / 1e3, ev.shard + 1,
+            JournalArgName(ev.type, 0), ev.arg0,
+            JournalArgName(ev.type, 1), ev.arg1);
+    rows.push_back({ev.begin_ns, std::move(j)});
+  }
+  for (const WalkTraceEvent& ev : trace) {
+    std::string_view err = ErrnoName(ev.err);
+    uint64_t begin =
+        ev.timestamp_ns >= ev.latency_ns ? ev.timestamp_ns - ev.latency_ns
+                                         : 0;
+    std::string j;
+    Appendf(&j,
+            "{\"name\":\"walk:%s\",\"cat\":\"walk\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":0,"
+            "\"args\":{\"err\":\"%.*s\",\"components\":%u,\"retries\":%u}}",
+            WalkOutcomeName(ev.outcome), static_cast<double>(begin) / 1e3,
+            static_cast<double>(ev.latency_ns) / 1e3,
+            static_cast<int>(err.size()), err.data(), ev.components,
+            ev.retries);
+    rows.push_back({begin, std::move(j)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.ts_ns < b.ts_ns; });
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    out += rows[i].json;
+  }
+  out += "]}";
   return out;
 }
 

@@ -21,6 +21,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/obs/event_journal.h"
+#include "src/obs/heat_sketch.h"
 #include "src/obs/histogram.h"
 #include "src/obs/walk_trace.h"
 
@@ -28,7 +30,14 @@ namespace dircache {
 namespace obs {
 
 // Bump on any breaking schema change (see contract above).
-inline constexpr int kObsSchemaVersion = 1;
+//
+// v1 -> v2: the continuous-telemetry sections (`timeline`, `heat`,
+// `journal`) were ADDED; every v1 field is unchanged in name, position, and
+// meaning. The bump exists because v2 consumers need a way to distinguish
+// "no timeline section because the producer predates it" from "no timeline
+// section because the sampler is off" — a v1 document simply has none of
+// the new keys. Readers of v1 documents parse v2 documents unmodified.
+inline constexpr int kObsSchemaVersion = 2;
 
 // Operations with a dedicated latency histogram. Keep in sync with
 // ObsOpName(). kInvalidate is the write-side cost the paper's Figure 7
@@ -68,6 +77,39 @@ inline const char* ObsOpName(ObsOp op) {
   return "unknown";
 }
 
+// One periodic sample the background sampler took: the deltas of one
+// window, already reduced to rates and percentile estimates.
+struct TimelineSample {
+  uint64_t t_ns = 0;        // sample completion time (NowNanos clock)
+  uint64_t window_ns = 0;   // covered window length
+  uint64_t walks = 0;       // walks finished in the window
+  uint64_t fast_hits = 0;   // fast_hit + fast_negative outcomes
+  uint64_t slow_walks = 0;  // kSlow* outcomes
+  uint64_t invalidations = 0;  // subtree invalidation passes
+  uint64_t p50_ns = 0;      // lookup latency within the window
+  uint64_t p95_ns = 0;
+  uint64_t p99_ns = 0;
+  double hit_rate = 0.0;    // fast_hits / walks (0 when no walks)
+
+  double InvalidationsPerSec() const {
+    return window_ns == 0
+               ? 0.0
+               : static_cast<double>(invalidations) * 1e9 /
+                     static_cast<double>(window_ns);
+  }
+};
+
+// The sampler's read surface: the retained sample ring plus the sticky
+// watchdog flags (schema v2 `timeline` section; Kernel::Timeline()).
+struct ObsTimeline {
+  bool active = false;             // a sampler thread is running
+  uint64_t interval_ms = 0;
+  uint64_t samples_taken = 0;      // total, including overwritten ones
+  bool hit_rate_collapse = false;  // sticky: some window collapsed
+  bool invalidation_spike = false; // sticky: some window spiked
+  std::vector<TimelineSample> samples;  // oldest first, ring-bounded
+};
+
 struct ObsSnapshot {
   int schema_version = kObsSchemaVersion;
   bool enabled = false;
@@ -85,6 +127,18 @@ struct ObsSnapshot {
   // Flat cache counters (label, value), in CacheStats declaration order.
   std::vector<std::pair<std::string, uint64_t>> counters;
 
+  // --- schema v2 additions (absent from v1 documents) ----------------------
+  // Background-sampler time series + watchdogs (empty/inactive when the
+  // sampler is off).
+  ObsTimeline timeline;
+
+  // Top-K path heat (hottest paths, slowpath paths, top miss directories).
+  HeatSnapshot heat;
+
+  // Most recent coherence journal events, oldest first (bounded by the
+  // config's journal_snapshot_limit).
+  std::vector<JournalEventRecord> journal;
+
   uint64_t TotalWalks() const {
     uint64_t n = 0;
     for (uint64_t v : outcomes) {
@@ -101,8 +155,15 @@ struct ObsSnapshot {
   std::string ToText() const;
 
   // Stable JSON object (no trailing newline). Field order is fixed; every
-  // number is decimal; the only floating-point field is mean_ns.
+  // number is decimal; floating-point fields are mean_ns, hit_rate, and the
+  // timeline rates.
   std::string ToJson() const;
+
+  // Chrome trace-event JSON (the chrome://tracing / Perfetto "JSON Array
+  // Format"): an object whose `traceEvents` array holds one complete ("X")
+  // event per journal span and per traced walk, ts/dur in microseconds,
+  // tid = recording shard. Load via chrome://tracing or ui.perfetto.dev.
+  std::string ToChromeTrace() const;
 };
 
 }  // namespace obs

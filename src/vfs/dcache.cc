@@ -391,6 +391,8 @@ void DentryCache::InvalidateSubtree(Dentry* dir) {
   // The write-side cost the paper's Figure 7 worries about: time the whole
   // subtree pass into the obs invalidate histogram when enabled.
   uint64_t t0 = kernel_->obs().enabled() ? NowNanos() : 0;
+  uint64_t bumped = 0;        // version counters advanced (dentries visited)
+  uint64_t dlht_evicted = 0;  // DLHT entries actually unhashed
   std::vector<Dentry*> stack{dir};
   // Visited set guards against mount cycles (a bind mount of an ancestor
   // inside the subtree would otherwise loop forever).
@@ -405,7 +407,9 @@ void DentryCache::InvalidateSubtree(Dentry* dir) {
       SpinGuard guard(d->lock);
       d->fast.seq.store(NewVersion(), std::memory_order_release);
       d->fast.path_valid.store(false, std::memory_order_release);
-      Dlht::RemoveFromCurrent(&d->fast);
+      if (Dlht::RemoveFromCurrent(&d->fast)) {
+        ++dlht_evicted;
+      }
       for (Dentry* child : d->children) {
         stack.push_back(child);
       }
@@ -418,10 +422,14 @@ void DentryCache::InvalidateSubtree(Dentry* dir) {
         stack.push_back(m->root);
       }
     }
+    ++bumped;
     kernel_->stats().invalidated_dentries.Add();
   }
   if (t0 != 0) {
-    kernel_->obs().RecordLatency(obs::ObsOp::kInvalidate, NowNanos() - t0);
+    uint64_t t1 = NowNanos();
+    kernel_->obs().RecordLatency(obs::ObsOp::kInvalidate, t1 - t0);
+    kernel_->obs().RecordJournal(obs::JournalEvent::kInvalidateSubtree, t0,
+                                 t1 - t0, bumped, dlht_evicted);
   }
 }
 

@@ -24,6 +24,12 @@
 namespace dircache {
 
 class Kernel;
+class Pcc;
+
+namespace obs {
+struct AuditReport;
+AuditReport RunAudit(Kernel&, const std::vector<const Pcc*>&);
+}  // namespace obs
 
 class DentryCache {
  public:
@@ -112,6 +118,11 @@ class DentryCache {
   std::vector<size_t> ChainHistogram(size_t max_len = 10) const;
 
  private:
+  // The invariant auditor cross-checks the hash chains, LRU, and counters
+  // directly (src/obs/audit.cc).
+  friend obs::AuditReport obs::RunAudit(Kernel&,
+                                        const std::vector<const Pcc*>&);
+
   // One cache line per bucket: a writer spinning on (or unlocking) bucket i
   // must never invalidate the line a lock-free reader of bucket i±1 is
   // probing. The sizing static_assert lives in dcache.cc.

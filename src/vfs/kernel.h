@@ -21,8 +21,10 @@
 
 #include "src/core/config.h"
 #include "src/core/signature.h"
+#include "src/obs/audit.h"
 #include "src/obs/obs_config.h"
 #include "src/obs/observability.h"
+#include "src/util/clock.h"
 #include "src/util/spinlock.h"
 #include "src/util/stats.h"
 #include "src/vfs/dcache.h"
@@ -59,10 +61,23 @@ class Kernel {
   Observability& obs() { return obs_; }
 
   // The introspection API: a versioned snapshot of latency histograms,
-  // walk-outcome counts, recent traces, and the flat cache counters.
-  // Supersedes reading stats().ToString(). Safe to call concurrently with
-  // lookups; always includes the counter section even when obs is disabled.
+  // walk-outcome counts, recent traces, path heat, the coherence journal,
+  // the sampler timeline, and the flat cache counters. Supersedes reading
+  // stats().ToString(). Safe to call concurrently with lookups; always
+  // includes the counter section even when obs is disabled.
   obs::ObsSnapshot Observe() const { return obs_.Snapshot(&stats_); }
+
+  // The background sampler's time series alone (schema v2 `timeline`
+  // section); `active == false` when obs or the sampler is off. Safe to
+  // call concurrently with lookups.
+  obs::ObsTimeline Timeline() const { return obs_.Timeline(); }
+
+  // Online invariant auditor (DESIGN.md §10): cross-checks the dcache /
+  // DLHT / LRU structural invariants and (optionally) the supplied PCCs,
+  // returning a typed violation report. Holds the tree lock exclusive;
+  // expects quiescence — no concurrent mutators or lock-free walkers — for
+  // exact results.
+  obs::AuditReport Audit(const std::vector<const Pcc*>& pccs = {});
 
   // --- global synchronization ---------------------------------------------
   std::shared_mutex& tree_lock() { return tree_mutex_; }
@@ -75,7 +90,13 @@ class Kernel {
     return pcc_epoch_.load(std::memory_order_acquire);
   }
   void BumpPccEpoch() {
-    pcc_epoch_.fetch_add(1, std::memory_order_acq_rel);
+    uint64_t next = pcc_epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (obs_.enabled()) {
+      // Epoch advances are rare (32-bit version wraparound) but flush every
+      // PCC in the system — worth an instant in the coherence journal.
+      obs_.RecordJournal(obs::JournalEvent::kEpochAdvance, NowNanos(),
+                         /*duration_ns=*/0, next);
+    }
   }
 
   // --- file systems and namespaces ----------------------------------------
@@ -108,6 +129,9 @@ class Kernel {
 
  private:
   friend class Task;
+  // The invariant auditor walks the namespace list directly (audit.cc).
+  friend obs::AuditReport obs::RunAudit(Kernel&,
+                                        const std::vector<const Pcc*>&);
 
   KernelConfig config_;
   CacheStats stats_;

@@ -476,6 +476,7 @@ Status Task::Chmod(std::string_view path, uint16_t mode) {
   if (p->mnt()->flags.read_only) {
     return Errno::kEROFS;
   }
+  JournalSpan span(kernel_->obs(), obs::JournalEvent::kChmod);
   std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
   if (inode->IsDir() && kernel_->config().fastpath) {
     // §3.2: invalidate cached prefix checks through this directory BEFORE
@@ -515,6 +516,7 @@ Status Task::Chown(std::string_view path, Uid uid, Gid gid) {
   if (p->mnt()->flags.read_only) {
     return Errno::kEROFS;
   }
+  JournalSpan span(kernel_->obs(), obs::JournalEvent::kChown);
   std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
   if (inode->IsDir() && kernel_->config().fastpath) {
     kernel_->dcache().InvalidateSubtree(p->dentry());
@@ -544,6 +546,7 @@ Status Task::SetSecurityLabel(std::string_view path, std::string label) {
     return Errno::kEPERM;
   }
   Inode* inode = p->inode();
+  JournalSpan span(kernel_->obs(), obs::JournalEvent::kSetLabel);
   std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
   if (inode->IsDir() && kernel_->config().fastpath) {
     kernel_->dcache().InvalidateSubtree(p->dentry());
@@ -799,6 +802,8 @@ Status Task::DoUnlink(const PathHandle* base, std::string_view path,
     return Errno::kEPERM;
   }
 
+  JournalSpan span(kernel_->obs(), obs::JournalEvent::kUnlink);
+  span.SetArgs(rmdir ? 1 : 0);
   // §3.2: invalidate before the structure changes.
   if (kernel_->config().fastpath) {
     kernel_->dcache().InvalidateSubtree(victim);
@@ -884,6 +889,7 @@ Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
     return Errno::kEROFS;
   }
 
+  JournalSpan rename_span(kernel_->obs(), obs::JournalEvent::kRename);
   std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
   EpochDomain::ReadGuard guard(EpochDomain::Global());
   Dentry* old_dir = oldp->dentry();
@@ -980,6 +986,7 @@ Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
     }
   }
 
+  uint64_t lock_t0 = kernel_->obs().enabled() ? NowNanos() : 0;
   kernel_->rename_seq().WriteBegin();
   IoChargeScope charge(&io_clock_);
   FileSystem* fs = old_dir->sb()->fs();
@@ -1006,6 +1013,14 @@ Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
     new_dir->inode()->set_mtime(new_dir->inode()->mtime() + 1);
   }
   kernel_->rename_seq().WriteEnd();
+  if (lock_t0 != 0) {
+    // The §3.2 cost renames actually pay: how long concurrent optimistic
+    // walks were forced to retry (rename_seq write section).
+    uint64_t hold_ns = NowNanos() - lock_t0;
+    kernel_->obs().RecordJournal(obs::JournalEvent::kRenameLock, lock_t0,
+                                 hold_ns);
+    rename_span.SetArgs(hold_ns);
+  }
   if (target != nullptr) {
     kernel_->dcache().Dput(target);
   }

@@ -84,6 +84,30 @@ uint8_t ClampU8(T v) {
   return v > 0xff ? 0xff : static_cast<uint8_t>(v);
 }
 
+// Coherence-journal span for one locked walk: records how long the tree
+// lock era lasted and how many components were walked under it (arg0).
+class LockedWalkSpan {
+ public:
+  explicit LockedWalkSpan(Observability& obs) : obs_(obs) {
+    if (obs_.enabled()) {
+      t0_ = NowNanos();
+      components0_ = g_walk_trace.components;
+    }
+  }
+  ~LockedWalkSpan() {
+    if (t0_ != 0) {
+      obs_.RecordJournal(obs::JournalEvent::kLockedWalk, t0_,
+                         NowNanos() - t0_,
+                         g_walk_trace.components - components0_);
+    }
+  }
+
+ private:
+  Observability& obs_;
+  uint64_t t0_ = 0;
+  uint16_t components0_ = 0;
+};
+
 }  // namespace
 
 namespace {
@@ -394,7 +418,7 @@ Result<PathHandle> PathWalker::Resolve(Task& task, const PathHandle* base,
   ev.latency_ns = t1 - t0;
   ev.timestamp_ns = t1;
   g_walk_trace = saved;
-  obs.RecordWalk(ev);
+  obs.RecordWalk(ev, path);
   return r;
 }
 
@@ -739,6 +763,7 @@ Result<PathHandle> PathWalker::LockedWalk(Task& task, const PathHandle& start,
   const CacheConfig& cfg = k->config();
   CacheStats& stats = k->stats();
 
+  LockedWalkSpan span(k->obs());
   std::shared_lock<std::shared_mutex> tree(k->tree_lock());
   // Even a shared acquisition is an RMW on the mutex word — a shared-line
   // write the lock-free paths never pay.

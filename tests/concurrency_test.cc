@@ -15,6 +15,15 @@ class ConcurrencyTest : public ::testing::TestWithParam<bool> {
   ConcurrencyTest()
       : world_(GetParam() ? CacheConfig::Optimized()
                           : CacheConfig::Baseline()) {}
+
+  // Post-condition for every race in this suite: once the threads are
+  // joined, the dcache/DLHT/LRU cross-structure invariants must hold
+  // (DESIGN.md §10) — a lifecycle race that didn't crash still fails here.
+  void TearDown() override {
+    obs::AuditReport report = world_.kernel->Audit();
+    EXPECT_TRUE(report.clean()) << report.ToText();
+  }
+
   TestWorld world_;
 };
 

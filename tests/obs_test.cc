@@ -1,11 +1,19 @@
-// Observability subsystem tests (DESIGN.md §9): histogram bucketing, the
-// lock-free trace ring, the versioned snapshot, and — most load-bearing —
-// that a disabled kernel records nothing and keeps the warm hit path
-// shared-write-free.
+// Observability subsystem tests (DESIGN.md §9–§10): histogram bucketing,
+// the lock-free trace and journal rings (including multi-writer wraparound
+// and torn-read skipping), the path heat sketches, the background sampler's
+// timeline and watchdogs, the versioned snapshot and its Chrome-trace
+// export, the invariant auditor, and — most load-bearing — that a disabled
+// kernel records nothing and keeps the warm hit path shared-write-free.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/obs/audit.h"
+#include "src/obs/event_journal.h"
+#include "src/obs/heat_sketch.h"
 #include "src/obs/histogram.h"
 #include "src/obs/snapshot.h"
 #include "src/obs/walk_trace.h"
@@ -18,8 +26,12 @@ using obs::BucketFor;
 using obs::BucketHigh;
 using obs::BucketLow;
 using obs::HistogramSummary;
+using obs::JournalEvent;
+using obs::JournalEventRecord;
+using obs::JournalRing;
 using obs::LatencyHistogram;
 using obs::ObsOp;
+using obs::PathHeatSketch;
 using obs::WalkOutcome;
 using obs::WalkTraceEvent;
 using obs::WalkTraceRing;
@@ -85,6 +97,28 @@ TEST(Histogram, SinceIsTheLoopDelta) {
   EXPECT_LE(d.P50(), 1023u);
 }
 
+// Regression: `cur.Since(prev)` where prev has MORE in some field than cur
+// (a Reset() raced between the two snapshots) must clamp the deltas to zero
+// instead of wrapping to ~2^64 — the sampler diffs snapshots continuously
+// and a reset mid-window used to poison the whole timeline.
+TEST(Histogram, SinceClampsUnderflowFromAReset) {
+  LatencyHistogram h;
+  for (int i = 0; i < 40; ++i) {
+    h.Record(1000);
+  }
+  HistogramSummary before = h.Merge();
+  h.Reset();
+  h.Record(10);  // post-reset state is "smaller" than `before` everywhere
+  HistogramSummary d = h.Merge().Since(before);
+  // Buckets clamp per-slot, so the post-reset recording (bucket 4) survives
+  // while the vanished 40 (bucket 10) clamp to 0 instead of wrapping.
+  EXPECT_EQ(d.count, 1u);
+  // sum_ns is one scalar: 10 < 40000 clamps the whole field to 0 — the
+  // regression is that it must not wrap to ~2^64.
+  EXPECT_EQ(d.sum_ns, 0u);
+  EXPECT_LE(d.P99(), 15u);  // quantiles from clamped buckets stay sane
+}
+
 // --- trace ring -----------------------------------------------------------
 
 TEST(WalkTraceRing, CapacityRoundsToPowerOfTwo) {
@@ -144,6 +178,179 @@ TEST(WalkTraceRing, PacksEveryField) {
   EXPECT_EQ(out[0].wflags, 0x5u);
   EXPECT_EQ(out[0].latency_ns, 12345u);
   EXPECT_EQ(out[0].timestamp_ns, 42u);
+}
+
+// Wraparound under concurrent writers, with a reader draining mid-storm:
+// every drained event must be internally consistent (the publication
+// protocol either skips a torn slot or yields a fully published one — never
+// a mix of two writers' fields). Writers encode a checkable invariant into
+// each event: latency = seq * 8 + writer, components = seq & 0xffff,
+// retries = writer.
+TEST(WalkTraceRing, ConcurrentWritersNeverYieldTornEvents) {
+  WalkTraceRing ring(16);  // tiny: maximize slot reuse / wraparound
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<WalkTraceEvent> out;
+      ring.Drain(&out);
+      for (const WalkTraceEvent& ev : out) {
+        uint64_t writer = ev.retries;
+        uint64_t seq = ev.latency_ns / 8;
+        if (ev.latency_ns % 8 != writer ||
+            ev.components != (seq & 0xffff) ||
+            ev.outcome != WalkOutcome::kFastHit) {
+          torn.fetch_add(1);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t seq = 0; seq < kEventsPerWriter; ++seq) {
+        WalkTraceEvent ev;
+        ev.outcome = WalkOutcome::kFastHit;
+        ev.err = Errno::kOk;
+        ev.components = static_cast<uint16_t>(seq & 0xffff);
+        ev.retries = static_cast<uint8_t>(w);
+        ev.latency_ns = seq * 8 + static_cast<uint64_t>(w);
+        // Globally unique (and even, so the |1 valid-bit keeps them
+        // distinct): the torn-read re-check is timestamp-based, like the
+        // real recorder's nanosecond clock.
+        ev.timestamp_ns = (seq * kWriters + static_cast<uint64_t>(w)) * 2;
+        ring.Record(ev);
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  // Quiescent drain still works and yields at most `capacity` events.
+  std::vector<WalkTraceEvent> out;
+  ring.Drain(&out);
+  EXPECT_LE(out.size(), ring.capacity());
+  EXPECT_FALSE(out.empty());
+}
+
+// --- journal ring ---------------------------------------------------------
+
+TEST(JournalRing, WraparoundKeepsTheNewestEvents) {
+  JournalRing ring(8);
+  for (uint64_t i = 1; i <= 20; ++i) {
+    ring.Record(JournalEvent::kChmod, /*begin_ns=*/i * 100,
+                /*duration_ns=*/i * 10, /*arg0=*/i, /*arg1=*/i * 2);
+  }
+  std::vector<JournalEventRecord> out;
+  ring.Drain(/*shard=*/3, &out);
+  ASSERT_EQ(out.size(), 8u);
+  uint64_t min_begin = ~0ull;
+  for (const JournalEventRecord& ev : out) {
+    EXPECT_EQ(ev.type, JournalEvent::kChmod);
+    EXPECT_EQ(ev.shard, 3u);
+    EXPECT_EQ(ev.duration_ns, ev.arg0 * 10);
+    EXPECT_EQ(ev.arg1, ev.arg0 * 2);
+    min_begin = std::min(min_begin, ev.begin_ns);
+  }
+  EXPECT_EQ(min_begin, 13u * 100);  // events 13..20 survive
+}
+
+TEST(JournalRing, ConcurrentWritersNeverYieldTornEvents) {
+  JournalRing ring(16);
+  constexpr int kWriters = 4;
+  constexpr int kEventsPerWriter = 20000;
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<JournalEventRecord> out;
+      ring.Drain(0, &out);
+      for (const JournalEventRecord& ev : out) {
+        // Writers encode: arg0 = seq*8 + writer, arg1 = arg0*3,
+        // dur = arg0*7 — any cross-writer mix breaks the relation.
+        if (ev.arg1 != ev.arg0 * 3 || ev.duration_ns != ev.arg0 * 7 ||
+            ev.type != JournalEvent::kInvalidateSubtree) {
+          torn.fetch_add(1);
+        }
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (uint64_t seq = 0; seq < kEventsPerWriter; ++seq) {
+        uint64_t a = seq * 8 + static_cast<uint64_t>(w);
+        // Globally unique even begin timestamps — see the walk-ring test.
+        uint64_t begin = (seq * kWriters + static_cast<uint64_t>(w) + 1) * 2;
+        ring.Record(JournalEvent::kInvalidateSubtree, begin,
+                    /*duration_ns=*/a * 7, a, a * 3);
+      }
+    });
+  }
+  for (auto& t : writers) {
+    t.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0);
+
+  std::vector<JournalEventRecord> out;
+  ring.Drain(0, &out);
+  EXPECT_LE(out.size(), ring.capacity());
+  EXPECT_FALSE(out.empty());
+}
+
+// --- heat sketch ----------------------------------------------------------
+
+TEST(HeatSketch, CountsAndLabelsHeavyHitters) {
+  PathHeatSketch sketch(8);
+  for (int i = 0; i < 100; ++i) {
+    sketch.Record(/*key=*/1, "/hot/a");
+  }
+  for (int i = 0; i < 50; ++i) {
+    sketch.Record(/*key=*/2, "/hot/b");
+  }
+  sketch.Record(/*key=*/3, "/cold");
+  std::vector<obs::HeatEntry> top = sketch.Drain(/*topk=*/2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].path, "/hot/a");
+  EXPECT_EQ(top[0].count, 100u);
+  EXPECT_EQ(top[0].err, 0u);  // seated in an empty slot: exact
+  EXPECT_GE(top[0].cm_est, 100u);  // Count-Min never underestimates
+  EXPECT_EQ(top[1].path, "/hot/b");
+  EXPECT_EQ(top[1].count, 50u);
+}
+
+TEST(HeatSketch, TakeoverInheritsErrorBoundAndKeepsHeavyKeys) {
+  PathHeatSketch sketch(2);  // 2 slots: force Space-Saving evictions
+  for (int i = 0; i < 1000; ++i) {
+    sketch.Record(1, "/heavy");
+  }
+  // A stream of distinct one-shot keys churns the second slot.
+  for (uint64_t k = 100; k < 200; ++k) {
+    sketch.Record(k, "/churn");
+  }
+  std::vector<obs::HeatEntry> top = sketch.Drain(10);
+  ASSERT_FALSE(top.empty());
+  // The classic Space-Saving guarantee: the heavy key survives the churn,
+  // its count is >= truth, overstating by at most err.
+  EXPECT_EQ(top[0].path, "/heavy");
+  EXPECT_GE(top[0].count, 1000u);
+  EXPECT_LE(top[0].count - top[0].err, 1000u);
+  // Churn keys carry a nonzero inherited error bound.
+  if (top.size() > 1) {
+    EXPECT_GT(top[1].err, 0u);
+  }
+  sketch.Reset();
+  EXPECT_TRUE(sketch.Drain(10).empty());
 }
 
 // --- kernel integration ---------------------------------------------------
@@ -226,21 +433,27 @@ TEST(Observe, SnapshotJsonShape) {
   std::string json = snap.ToJson();
   // Versioned, fixed-field-order contract (scripts/bench_smoke.sh greps
   // for the schema_version; renames here are schema bumps).
-  EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
   for (const char* key :
        {"\"ops\"", "\"walk_outcomes\"", "\"trace\"", "\"counters\"",
         "\"lookup\"", "\"p50_ns\"", "\"p95_ns\"", "\"p99_ns\"",
-        "\"fast_hit\""}) {
+        "\"fast_hit\"", "\"timeline\"", "\"heat\"", "\"journal\"",
+        "\"hot_paths\"", "\"slow_paths\"", "\"miss_dirs\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
-  // Field order is part of the contract: version first, ops before trace.
+  // Field order is part of the contract: version first, ops before trace,
+  // and every v2 section strictly after the last v1 field (v1 readers parse
+  // a prefix-compatible document).
   EXPECT_LT(json.find("\"schema_version\""), json.find("\"ops\""));
   EXPECT_LT(json.find("\"ops\""), json.find("\"walk_outcomes\""));
   EXPECT_LT(json.find("\"walk_outcomes\""), json.find("\"trace\""));
+  EXPECT_LT(json.find("\"counters\""), json.find("\"timeline\""));
+  EXPECT_LT(json.find("\"timeline\""), json.find("\"heat\""));
+  EXPECT_LT(json.find("\"heat\""), json.find("\"journal\""));
 
   std::string text = snap.ToText();
-  EXPECT_NE(text.find("schema v1"), std::string::npos) << text;
+  EXPECT_NE(text.find("schema v2"), std::string::npos) << text;
   EXPECT_NE(text.find("fast_hit"), std::string::npos);
 }
 
@@ -276,6 +489,230 @@ TEST(Observe, SyscallHistogramsCoverTheTaxonomy) {
   // Rename invalidates the renamed entry's subtree — the write-side cost
   // has its own histogram.
   EXPECT_GT(snap.Op(ObsOp::kInvalidate).count, 0u);
+}
+
+// --- heat sketches through the kernel -------------------------------------
+
+TEST(Observe, HeatSectionAttributesHitsAndMisses) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/h"));
+  auto fd = w.root->Open("/h/hot", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  EXPECT_OK(w.root->StatPath("/h/hot"));  // populate the fastpath
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_OK(w.root->StatPath("/h/hot"));
+  }
+  // Fresh (uncached) paths fast-miss; their parent dir is the miss source.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_ERR(w.root->StatPath("/h/miss" + std::to_string(i)),
+               Errno::kENOENT);
+  }
+
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  ASSERT_FALSE(snap.heat.hot_paths.empty());
+  EXPECT_EQ(snap.heat.hot_paths[0].path, "/h/hot");
+  EXPECT_GE(snap.heat.hot_paths[0].count, 50u);
+  EXPECT_GE(snap.heat.hot_paths[0].cm_est, snap.heat.hot_paths[0].count -
+                                               snap.heat.hot_paths[0].err);
+  ASSERT_FALSE(snap.heat.miss_dirs.empty());
+  EXPECT_EQ(snap.heat.miss_dirs[0].path, "/h");
+  EXPECT_GE(snap.heat.miss_dirs[0].count, 20u);
+  // The cold walks those misses fell back to show up as slowpath paths.
+  EXPECT_FALSE(snap.heat.slow_paths.empty());
+}
+
+// --- coherence journal through the kernel ---------------------------------
+
+TEST(Observe, JournalRecordsCoherenceEvents) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/j"));
+  ASSERT_OK(w.root->Mkdir("/j/sub"));
+  auto fd = w.root->Open("/j/sub/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  EXPECT_OK(w.root->StatPath("/j/sub/f"));  // cache the subtree
+  ASSERT_OK(w.root->Rename("/j/sub", "/j/sub2"));
+  ASSERT_OK(w.root->Chmod("/j/sub2", 0700));
+  ASSERT_OK(w.root->Unlink("/j/sub2/f"));
+
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  auto count_of = [&](JournalEvent type) {
+    size_t n = 0;
+    for (const JournalEventRecord& ev : snap.journal) {
+      if (ev.type == type) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GE(count_of(JournalEvent::kRename), 1u);
+  EXPECT_GE(count_of(JournalEvent::kRenameLock), 1u);
+  EXPECT_GE(count_of(JournalEvent::kChmod), 1u);
+  EXPECT_GE(count_of(JournalEvent::kUnlink), 1u);
+  EXPECT_GE(count_of(JournalEvent::kInvalidateSubtree), 1u);
+  // Journal is oldest-first, and a subtree invalidation reports its work:
+  // the rename pass covered /j/sub (itself + f), so arg0 (version bumps)
+  // must be at least 2.
+  uint64_t prev = 0;
+  uint64_t max_bumped = 0;
+  for (const JournalEventRecord& ev : snap.journal) {
+    EXPECT_GE(ev.begin_ns, prev);
+    prev = ev.begin_ns;
+    if (ev.type == JournalEvent::kInvalidateSubtree) {
+      max_bumped = std::max(max_bumped, ev.arg0);
+    }
+  }
+  EXPECT_GE(max_bumped, 2u);
+  // The rename span carries its rename_lock hold time as arg0.
+  for (const JournalEventRecord& ev : snap.journal) {
+    if (ev.type == JournalEvent::kRename) {
+      EXPECT_GT(ev.arg0, 0u);
+      EXPECT_GE(ev.duration_ns, ev.arg0);  // the span contains the lock
+    }
+  }
+}
+
+// --- chrome trace export --------------------------------------------------
+
+TEST(Observe, ChromeTraceExportsJournalAndWalks) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/t"));
+  auto fd = w.root->Open("/t/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  EXPECT_OK(w.root->StatPath("/t/f"));
+  ASSERT_OK(w.root->Rename("/t/f", "/t/g"));
+  std::string trace = w.kernel->Observe().ToChromeTrace();
+  // Shape: an object with a traceEvents array of complete events carrying
+  // the two categories; chrome://tracing requires ph/ts/dur/pid/tid.
+  EXPECT_EQ(trace.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u);
+  EXPECT_EQ(trace.back(), '}');
+  for (const char* key :
+       {"\"ph\":\"X\"", "\"cat\":\"walk\"", "\"cat\":\"coherence\"",
+        "\"name\":\"rename\"", "\"ts\":", "\"dur\":", "\"pid\":1,",
+        "\"tid\":"}) {
+    EXPECT_NE(trace.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+// --- background sampler ---------------------------------------------------
+
+TEST(Observe, SamplerBuildsATimeline) {
+  ObsConfig cfg = ObsConfig::EnabledWithSampler();
+  cfg.sample_interval_ms = 2;
+  TestWorld w(CacheConfig::Optimized(), nullptr, cfg);
+  ASSERT_OK(w.root->Mkdir("/s"));
+  auto fd = w.root->Open("/s/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  // Keep walking while the sampler ticks a few windows.
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_OK(w.root->StatPath("/s/f"));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  obs::ObsTimeline tl = w.kernel->Timeline();
+  EXPECT_TRUE(tl.active);
+  EXPECT_EQ(tl.interval_ms, 2u);
+  EXPECT_GT(tl.samples_taken, 0u);
+  ASSERT_FALSE(tl.samples.empty());
+  uint64_t total_walks = 0;
+  uint64_t total_fast = 0;
+  uint64_t prev_t = 0;
+  for (const obs::TimelineSample& s : tl.samples) {
+    EXPECT_GT(s.t_ns, prev_t);  // strictly ordered, oldest first
+    prev_t = s.t_ns;
+    EXPECT_GT(s.window_ns, 0u);
+    EXPECT_GE(s.walks, s.fast_hits);
+    total_walks += s.walks;
+    total_fast += s.fast_hits;
+  }
+  EXPECT_GT(total_walks, 0u);
+  EXPECT_GT(total_fast, 0u);  // warm stats dominate: fast hits observed
+  // A healthy warm workload must not have tripped the watchdogs.
+  EXPECT_FALSE(tl.invalidation_spike);
+  // The v2 snapshot embeds the same timeline.
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  EXPECT_TRUE(snap.timeline.active);
+  EXPECT_GT(snap.timeline.samples_taken, 0u);
+}
+
+TEST(Observe, SamplerWatchdogFlagsInvalidationSpike) {
+  ObsConfig cfg = ObsConfig::EnabledWithSampler();
+  cfg.sample_interval_ms = 2;
+  // Any invalidation traffic at all trips this threshold (≥1 pass in a
+  // ~2ms window is ≥500/s).
+  cfg.watchdog_max_invalidations_per_sec = 400.0;
+  TestWorld w(CacheConfig::Optimized(), nullptr, cfg);
+  ASSERT_OK(w.root->Mkdir("/w"));
+  auto fd = w.root->Open("/w/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  EXPECT_OK(w.root->StatPath("/w/f"));
+  // An invalidation storm: rename the cached entry back and forth while
+  // the sampler watches.
+  for (int round = 0; round < 25; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_OK(w.root->Rename("/w/f", "/w/g"));
+      ASSERT_OK(w.root->Rename("/w/g", "/w/f"));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    if (w.kernel->Timeline().invalidation_spike) {
+      break;  // sticky — no need to keep storming
+    }
+  }
+  EXPECT_TRUE(w.kernel->Timeline().invalidation_spike);
+}
+
+// --- invariant auditor ----------------------------------------------------
+
+TEST(Audit, CleanAfterMixedWorkload) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/a"));
+  ASSERT_OK(w.root->Mkdir("/a/b"));
+  ASSERT_OK(w.root->Mkdir("/a/b/c"));
+  for (int i = 0; i < 32; ++i) {
+    std::string p = "/a/b/c/f" + std::to_string(i);
+    auto fd = w.root->Open(p, kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(w.root->Close(*fd));
+    EXPECT_OK(w.root->StatPath(p));
+  }
+  ASSERT_OK(w.root->Rename("/a/b", "/a/b2"));
+  ASSERT_OK(w.root->Chmod("/a/b2", 0700));
+  ASSERT_OK(w.root->Unlink("/a/b2/c/f0"));
+  ASSERT_OK(w.root->Symlink("/a/b2", "/link"));
+  EXPECT_OK(w.root->StatPath("/link/c/f1"));
+  EXPECT_ERR(w.root->StatPath("/a/b2/c/missing"), Errno::kENOENT);
+
+  obs::AuditReport report = w.kernel->Audit();
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  // Coverage: "clean" must mean "checked plenty", not "checked nothing".
+  EXPECT_GT(report.dentries_visited, 30u);
+  EXPECT_GT(report.hash_chain_entries, 0u);
+  EXPECT_GT(report.dlht_entries, 0u);
+  EXPECT_GT(report.lru_entries, 0u);
+  EXPECT_NE(report.Summary().find("clean"), std::string::npos);
+}
+
+TEST(Audit, CleanAfterDropCachesAndOnBaseline) {
+  TestWorld w(CacheConfig::Optimized());
+  ASSERT_OK(w.root->Mkdir("/d"));
+  auto fd = w.root->Open("/d/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  EXPECT_OK(w.root->StatPath("/d/f"));
+  w.kernel->DropCaches();
+  obs::AuditReport report = w.kernel->Audit();
+  EXPECT_TRUE(report.clean()) << report.ToText();
+
+  TestWorld base(CacheConfig::Baseline());
+  ASSERT_OK(base.root->Mkdir("/x"));
+  EXPECT_OK(base.root->StatPath("/x"));
+  obs::AuditReport base_report = base.kernel->Audit();
+  EXPECT_TRUE(base_report.clean()) << base_report.ToText();
 }
 
 }  // namespace

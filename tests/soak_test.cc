@@ -148,6 +148,12 @@ TEST(SoakTest, EverythingAtOnce) {
   // And the on-disk state is consistent.
   FsckReport report = RunFsck(*fs);
   EXPECT_TRUE(report.clean()) << report.Summary();
+
+  // The in-memory structures survived too: the invariant auditor
+  // (DESIGN.md §10) cross-checks dcache/DLHT/LRU consistency at quiescence.
+  obs::AuditReport audit = w.kernel->Audit();
+  EXPECT_TRUE(audit.clean()) << audit.ToText();
+  EXPECT_GT(audit.dentries_visited, 0u);
 }
 
 }  // namespace
