@@ -12,6 +12,7 @@
 // scaling curve (see DESIGN.md).
 #include <atomic>
 #include <cstdlib>
+#include <chrono>
 #include <ctime>
 #include <fstream>
 #include <thread>
@@ -190,6 +191,14 @@ SamplerOverhead MeasureSamplerOverhead(int ops) {
       }
     }
     if (samples != nullptr) {
+      // Quick runs can finish inside one sampling interval; give the
+      // background thread a bounded grace period to prove it is alive
+      // before reading the count (the overhead numbers above are already
+      // settled — this only de-flakes the samples_taken > 0 assertion).
+      for (int spin = 0;
+           spin < 40 && env.kernel->Timeline().samples_taken == 0; ++spin) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
       *samples = env.kernel->Timeline().samples_taken;
     }
     return best_ns / ops;

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Quick benchmark smoke pass: build Release, run a shortened Figure 8 plus
-# the stat/open microbenchmarks, and leave machine-readable results at the
-# repo root (BENCH_fig8.json, BENCH_micro.json). Exits nonzero if fig8's
-# verdict fails (the optimized warm hit path took locks or shared writes),
-# if either artifact is missing the expected obs schema version, if the
-# background sampler's overhead exceeds its budget, or if the shell's
-# trace-export does not produce loadable Chrome trace-event JSON.
+# Quick benchmark smoke pass: build Release, run a shortened Figure 8, the
+# Figure 7 write-cost bench, plus the stat/open microbenchmarks, and leave
+# machine-readable results at the repo root (BENCH_fig8.json,
+# BENCH_fig7.json, BENCH_micro.json). Exits nonzero if fig8's verdict fails
+# (the optimized warm hit path took locks or shared writes), if fig7's
+# verdict fails (no parallel speedup on big subtrees, a heap allocation on a
+# small-subtree invalidation, shared writes on warm hits, or a rename
+# write-section that scales with the subtree), if an artifact is missing the
+# expected obs schema version or budget, or if the shell's trace-export does
+# not produce loadable Chrome trace-event JSON.
 #
 #   scripts/bench_smoke.sh            # uses ./build (configured if absent)
 #   BUILD_DIR=out scripts/bench_smoke.sh
@@ -16,11 +19,16 @@ BUILD_DIR="${BUILD_DIR:-build}"
 if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target fig8_scalability microbench \
-  shell
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target fig8_scalability \
+  fig7_mutation_cost microbench shell
 
 echo "== fig8 (quick) =="
 FIG8_QUICK=1 "$BUILD_DIR/bench/fig8_scalability"
+
+echo "== fig7 mutation cost (quick) =="
+# Exits nonzero itself when any verdict fails; the schema/budget assertions
+# below re-check the artifact it wrote.
+FIG7_QUICK=1 "$BUILD_DIR/bench/fig7_mutation_cost"
 
 echo "== microbench (quick) =="
 "$BUILD_DIR/bench/microbench" \
@@ -89,6 +97,73 @@ else
   echo "obs schema v2 OK (grep fallback)"
 fi
 
+echo "== fig7 schema + budget check =="
+# The write-cost artifact must carry the full verdict block with every bar
+# cleared, and the raw numbers must respect the budgets: the 10k-dentry
+# parallel pass at least 2x cheaper than serial on the critical path, zero
+# heap allocations invalidating the 64-dentry subtree, and a reader p99
+# under the open coherence gate bounded at 5 ms (generous: warm slowpath
+# walks on this host measure in the hundreds of nanoseconds).
+if command -v python3 >/dev/null; then
+  python3 - <<'PY'
+import json
+
+READER_GATE_P99_BUDGET_NS = 5_000_000
+
+fig7 = json.load(open("BENCH_fig7.json"))
+assert fig7["benchmark"] == "fig7_mutation_cost", fig7.get("benchmark")
+
+verdict = fig7["verdict"]
+for key in ("parallel_speedup_ok", "small_subtree_alloc_free",
+            "warm_hit_shared_write_free", "rename_hold_decoupled"):
+    assert verdict[key] is True, f"fig7 verdict {key} = {verdict[key]}"
+
+sizes = fig7["sizes"]
+assert sizes, "BENCH_fig7.json has no size points"
+big = max(sizes, key=lambda s: s["dentries"])
+assert big["dentries"] >= 10000, f"largest subtree {big['dentries']} < 10k"
+serial_ns = big["serial"]["critical_path_ns"]
+parallel_ns = big["parallel"]["critical_path_ns"]
+assert parallel_ns > 0 and serial_ns >= 2 * parallel_ns, (
+    f"parallel pass not >=2x cheaper: serial {serial_ns} ns vs "
+    f"parallel {parallel_ns} ns")
+assert big["parallel"]["workers"] == 8, big["parallel"]["workers"]
+assert big["parallel"]["dlht_batches"] > 0, "no batched DLHT eviction"
+
+small = min(sizes, key=lambda s: s["dentries"])
+for side in ("serial", "parallel"):
+    allocs = small[side]["allocs_per_invalidate"]
+    assert allocs == 0, (
+        f"{side} invalidation of {small['dentries']}-dentry subtree "
+        f"allocated {allocs} times")
+
+reader = fig7["reader"]
+assert reader["shared_writes_per_op"] < 1e-3, reader["shared_writes_per_op"]
+p99 = reader["gate_open_p99_ns"]
+assert 0 < p99 < READER_GATE_P99_BUDGET_NS, (
+    f"reader p99 under open gate {p99} ns exceeds "
+    f"{READER_GATE_P99_BUDGET_NS} ns budget")
+
+rename = fig7["rename"]
+assert rename["journaled"] is True, "rename events missing from obs journal"
+assert rename["lock_hold_ns"] < rename["inval_pass_ns"], (
+    f"rename write-section hold {rename['lock_hold_ns']} ns not decoupled "
+    f"from the {rename['inval_pass_ns']} ns descendant pass")
+
+speedup = verdict["parallel_speedup_10k"]
+print(f"fig7 OK: {speedup:.2f}x parallel speedup at {big['dentries']} "
+      f"dentries, 0 allocs at {small['dentries']}, gate-open reader p99 "
+      f"{p99} ns, rename hold {rename['lock_hold_ns']} ns vs pass "
+      f"{rename['inval_pass_ns']} ns")
+PY
+else
+  grep -q '"parallel_speedup_ok": true' BENCH_fig7.json
+  grep -q '"small_subtree_alloc_free": true' BENCH_fig7.json
+  grep -q '"warm_hit_shared_write_free": true' BENCH_fig7.json
+  grep -q '"rename_hold_decoupled": true' BENCH_fig7.json
+  echo "fig7 verdict OK (grep fallback)"
+fi
+
 echo "== chrome trace export check =="
 # The shell's trace-export must emit loadable Chrome trace-event JSON
 # (an object with a traceEvents array of complete "X" events).
@@ -117,4 +192,4 @@ else
   echo "chrome trace OK (grep fallback)"
 fi
 
-echo "wrote BENCH_fig8.json and BENCH_micro.json"
+echo "wrote BENCH_fig8.json, BENCH_fig7.json, and BENCH_micro.json"

@@ -8,19 +8,32 @@
 #                               #   concurrency-sensitive suites (labels
 #                               #   obs + concurrency)
 #   scripts/check.sh --bench    # + run every benchmark binary
+#   scripts/check.sh --bench fig7
+#                               # + run only benchmarks whose name starts
+#                               #   with the given prefix (e.g. the fig7
+#                               #   write-cost bench, whose exit code gates
+#                               #   on its verdict block)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FULL=0
 BENCH=0
+BENCH_FILTER=""
 TSAN=0
-for arg in "$@"; do
-  case "$arg" in
+while [[ $# -gt 0 ]]; do
+  case "$1" in
     --full) FULL=1 ;;
     --tsan) TSAN=1 ;;
-    --bench) BENCH=1 ;;
-    *) echo "unknown option: $arg" >&2; exit 2 ;;
+    --bench)
+      BENCH=1
+      if [[ $# -gt 1 && "${2:0:2}" != "--" ]]; then
+        BENCH_FILTER="$2"
+        shift
+      fi
+      ;;
+    *) echo "unknown option: $1" >&2; exit 2 ;;
   esac
+  shift
 done
 
 echo "== release build =="
@@ -49,16 +62,29 @@ if [[ "$TSAN" == 1 ]]; then
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
   cmake --build build-tsan
   # Only the suites with real cross-thread traffic: the lock-free walkers,
-  # the obs recorders/sampler, and the ring-buffer stress tests.
-  ctest --test-dir build-tsan --output-on-failure -L 'obs|concurrency'
+  # the obs recorders/sampler, and the ring-buffer stress tests. The
+  # suppressions file whitelists ONLY the documented validate-after-read
+  # idioms (seqlock-guarded rename splice / signature publish, epoch
+  # reclamation) — everything else, including the invalidation engine and
+  # the telemetry rings, runs under full TSan scrutiny.
+  TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp history_size=7" \
+    ctest --test-dir build-tsan --output-on-failure -L 'obs|concurrency'
 fi
 
 if [[ "$BENCH" == 1 ]]; then
-  echo "== benchmarks =="
+  echo "== benchmarks${BENCH_FILTER:+ (filter: $BENCH_FILTER*)} =="
+  ran=0
   for b in build/bench/*; do
     [[ -f "$b" && -x "$b" ]] || continue
+    name="$(basename "$b")"
+    [[ -z "$BENCH_FILTER" || "$name" == "$BENCH_FILTER"* ]] || continue
     "$b"
+    ran=1
   done
+  if [[ "$ran" == 0 ]]; then
+    echo "no benchmark matches '$BENCH_FILTER'" >&2
+    exit 2
+  fi
 fi
 
 echo "all checks passed"

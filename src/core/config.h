@@ -60,6 +60,15 @@ struct CacheConfig {
   // process (e.g. a setuid helper fed an attacker path) to the wrong file.
   bool fastpath_for_privileged = true;
 
+  // --- §3.2 write side: subtree invalidation engine ----------------------
+  // Subtree size (dentries visited) at which an invalidation pass spills
+  // from the serial zero-allocation DFS onto the worker pool. Passes below
+  // the threshold never touch the pool (or the heap).
+  size_t inval_parallel_threshold = 1024;
+  // Worker-pool size cap for parallel passes. 0 disables parallelism
+  // entirely (every pass runs serially on the mutating thread).
+  size_t inval_max_workers = 8;
+
   // --- §5.1: directory completeness -------------------------------------
   bool dir_completeness = false;
 

@@ -47,23 +47,64 @@ FastDentry* Dlht::Lookup(const Signature& sig, CacheStats* stats) const {
 }
 
 void Dlht::Insert(FastDentry* fd) {
-  assert(fd->on_dlht == nullptr);
+  assert(fd->on_dlht.load(std::memory_order_relaxed) == nullptr);
   Bucket& bucket = BucketFor(fd->signature);
   SpinGuard guard(bucket.lock);
   bucket.chain.PushFront(&fd->dlht_node);
-  fd->on_dlht = this;
+  fd->on_dlht.store(this, std::memory_order_release);
 }
 
 bool Dlht::RemoveFromCurrent(FastDentry* fd) {
-  Dlht* table = fd->on_dlht;
-  if (table == nullptr) {
-    return false;
+  while (true) {
+    Dlht* table = fd->on_dlht.load(std::memory_order_acquire);
+    if (table == nullptr) {
+      return false;
+    }
+    // The signature is stable here (the caller holds the dentry lock, which
+    // guards signature rewrites), so it still names the bucket the entry
+    // was inserted under. A concurrent batched flush may unhash the entry
+    // between the load above and taking the lock — re-check under it.
+    Bucket& bucket = table->BucketFor(fd->signature);
+    SpinGuard guard(bucket.lock);
+    if (fd->on_dlht.load(std::memory_order_relaxed) != table) {
+      continue;  // flushed concurrently; re-examine (it can only go null)
+    }
+    bucket.chain.Remove(&fd->dlht_node);
+    fd->on_dlht.store(nullptr, std::memory_order_release);
+    return true;
   }
-  Bucket& bucket = table->BucketFor(fd->signature);
+}
+
+size_t Dlht::RemoveBatch(size_t bucket_index, FastDentry* const* fds,
+                         size_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  Bucket& bucket = buckets_[bucket_index & mask_];
   SpinGuard guard(bucket.lock);
-  bucket.chain.Remove(&fd->dlht_node);
-  fd->on_dlht = nullptr;
-  return true;
+  size_t removed = 0;
+  for (size_t i = 0; i < n; ++i) {
+    FastDentry* fd = fds[i];
+    // Between batching (under the dentry lock) and this flush the entry may
+    // have been unhashed, or unhashed and re-inserted under a different
+    // signature (a different bucket, possibly of a different table). Only a
+    // node found on THIS locked chain may be spliced out of it.
+    bool present = false;
+    for (HNode* node = bucket.chain.First(); node != nullptr;
+         node = node->next.load(std::memory_order_acquire)) {
+      if (node == &fd->dlht_node) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) {
+      continue;
+    }
+    bucket.chain.Remove(&fd->dlht_node);
+    fd->on_dlht.store(nullptr, std::memory_order_release);
+    ++removed;
+  }
+  return removed;
 }
 
 size_t Dlht::SizeSlow() const {

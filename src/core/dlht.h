@@ -45,8 +45,24 @@ class Dlht {
   // Remove `fd` from whatever table holds it (no-op when unhashed, in which
   // case false is returned). Caller holds the owning dentry's lock. Static
   // because an invalidation may need to evict a dentry from a *different*
-  // namespace's table (§4.3).
+  // namespace's table (§4.3). Revalidates `on_dlht` under the bucket lock:
+  // a concurrent RemoveBatch flush may have unhashed the entry first.
   static bool RemoveFromCurrent(FastDentry* fd);
+
+  // Batched eviction for subtree invalidation (§3.2): remove the subset of
+  // `fds[0..n)` actually present in bucket `bucket_index`'s chain under ONE
+  // bucket-lock acquisition, clearing their `on_dlht`. Entries that moved
+  // (re-hashed under a new signature) or were already unhashed since they
+  // were batched are skipped — membership is verified by walking the locked
+  // chain, never trusted from the caller. Returns the count removed.
+  // Unlike Insert/RemoveFromCurrent the caller does NOT hold the owning
+  // dentries' locks; that is the point of deferring the flush.
+  size_t RemoveBatch(size_t bucket_index, FastDentry* const* fds, size_t n);
+
+  // The bucket a signature maps to, for grouping batched removals.
+  size_t BucketIndexFor(const Signature& sig) const {
+    return sig.bucket & mask_;
+  }
 
   size_t bucket_count() const { return buckets_.size(); }
   // Approximate number of entries (for the space report).

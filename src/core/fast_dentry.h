@@ -42,9 +42,11 @@ struct FastDentry {
   std::atomic<bool> path_valid{false};
 
   // DLHT membership: the table currently holding this dentry — at most one
-  // at a time, even across mount aliases and namespaces (§4.3). Guarded by
-  // the DLHT bucket lock.
-  Dlht* on_dlht = nullptr;
+  // at a time, even across mount aliases and namespaces (§4.3). Transitions
+  // happen under the holding bucket's lock; atomic because a batched
+  // invalidation flush (Dlht::RemoveBatch) clears it while holding only
+  // that bucket lock, racing readers that hold the dentry lock instead.
+  std::atomic<Dlht*> on_dlht{nullptr};
 
   // --- hot: the fastpath probe path ----------------------------------------
   HNode dlht_node;

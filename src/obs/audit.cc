@@ -110,12 +110,13 @@ struct Auditor {
   void CheckDlhtEntry(FastDentry* fd, Dlht* table, uint64_t ns_id) {
     ++report.dlht_entries;
     const Dentry* d = DentryFromFast(fd);
-    if (fd->on_dlht != table) {
+    if (fd->on_dlht.load(std::memory_order_acquire) != table) {
       Violate(AuditCheck::kDlhtEntry,
               Format("dentry %p '%s' chained on namespace %" PRIu64
                      "'s DLHT but on_dlht says %p",
                      static_cast<const void*>(d), DentName(d), ns_id,
-                     static_cast<void*>(fd->on_dlht)));
+                     static_cast<void*>(
+                         fd->on_dlht.load(std::memory_order_acquire))));
     }
     if (d->IsDead()) {
       Violate(AuditCheck::kDlhtEntry,

@@ -6,7 +6,18 @@ namespace obs {
 const char* JournalArgName(JournalEvent e, int arg) {
   switch (e) {
     case JournalEvent::kInvalidateSubtree:
-      return arg == 0 ? "dentries_bumped" : "dlht_evicted";
+      switch (arg) {
+        case 0:
+          return "dentries_bumped";
+        case 1:
+          return "dlht_evicted";
+        case 2:
+          return "workers";
+        default:
+          return "dlht_batches";
+      }
+    case JournalEvent::kInvalWorker:
+      return arg == 0 ? "worker" : "visited";
     case JournalEvent::kRename:
       return arg == 0 ? "lock_hold_ns" : "arg1";
     case JournalEvent::kLockedWalk:
@@ -16,8 +27,21 @@ const char* JournalArgName(JournalEvent e, int arg) {
     case JournalEvent::kEpochAdvance:
       return arg == 0 ? "epoch" : "arg1";
     default:
-      return arg == 0 ? "arg0" : "arg1";
+      switch (arg) {
+        case 0:
+          return "arg0";
+        case 1:
+          return "arg1";
+        case 2:
+          return "arg2";
+        default:
+          return "arg3";
+      }
   }
+}
+
+int JournalArgCount(JournalEvent e) {
+  return e == JournalEvent::kInvalidateSubtree ? 4 : 2;
 }
 
 }  // namespace obs

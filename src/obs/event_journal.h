@@ -34,9 +34,13 @@ enum class JournalEvent : uint8_t {
   kChown,             // chown invalidation+apply section
   kSetLabel,          // security-label invalidation+apply section
   kUnlink,            // unlink/rmdir victim invalidation+kill section
-  kInvalidateSubtree, // one §3.2 subtree pass (arg0=bumped, arg1=evicted)
+  kInvalidateSubtree, // one §3.2 subtree pass (arg0=bumped, arg1=evicted,
+                      //   arg2=workers, arg3=dlht_batches)
   kLockedWalk,        // locked slow walk span (arg0=components)
   kEpochAdvance,      // global PCC epoch bump (instant, §3.1)
+  kInvalWorker,       // one worker's share of a parallel invalidation pass
+                      //   (arg0=worker index, arg1=dentries visited); nested
+                      //   inside the owning kInvalidateSubtree span
   kCount,
 };
 
@@ -63,14 +67,19 @@ inline const char* JournalEventName(JournalEvent e) {
       return "locked_walk";
     case JournalEvent::kEpochAdvance:
       return "epoch_advance";
+    case JournalEvent::kInvalWorker:
+      return "inval_worker";
     case JournalEvent::kCount:
       break;
   }
   return "unknown";
 }
 
-// The meaning of arg0/arg1 per event type, for rendering.
+// The meaning of arg0..arg3 per event type, for rendering.
 const char* JournalArgName(JournalEvent e, int arg);
+// How many payload args the event type carries (2 or 4). Renderers emit
+// exactly this many keys; the ring always stores all four words.
+int JournalArgCount(JournalEvent e);
 
 // One journal span, in unpacked (snapshot) form.
 struct JournalEventRecord {
@@ -80,6 +89,8 @@ struct JournalEventRecord {
   uint64_t duration_ns = 0;  // 0 for instants
   uint64_t arg0 = 0;         // per-type payload (see taxonomy above)
   uint64_t arg1 = 0;
+  uint64_t arg2 = 0;         // schema v2 addition: parallel-pass payloads
+  uint64_t arg3 = 0;
 };
 
 // Fixed-capacity lock-free ring of journal events.
@@ -91,7 +102,8 @@ class JournalRing {
   JournalRing& operator=(const JournalRing&) = delete;
 
   void Record(JournalEvent type, uint64_t begin_ns, uint64_t duration_ns,
-              uint64_t arg0, uint64_t arg1) {
+              uint64_t arg0, uint64_t arg1, uint64_t arg2 = 0,
+              uint64_t arg3 = 0) {
     Slot& s = slots_[head_.fetch_add(1, std::memory_order_relaxed) & mask_];
     // Same publication protocol as WalkTraceRing: invalidate, write the
     // payload, publish a nonzero begin timestamp last.
@@ -99,6 +111,8 @@ class JournalRing {
     s.dur.store(duration_ns, std::memory_order_relaxed);
     s.arg0.store(arg0, std::memory_order_relaxed);
     s.arg1.store(arg1, std::memory_order_relaxed);
+    s.arg2.store(arg2, std::memory_order_relaxed);
+    s.arg3.store(arg3, std::memory_order_relaxed);
     s.type.store(static_cast<uint64_t>(type), std::memory_order_relaxed);
     s.ts.store(begin_ns | 1, std::memory_order_release);
   }
@@ -115,6 +129,8 @@ class JournalRing {
       rec.duration_ns = s.dur.load(std::memory_order_relaxed);
       rec.arg0 = s.arg0.load(std::memory_order_relaxed);
       rec.arg1 = s.arg1.load(std::memory_order_relaxed);
+      rec.arg2 = s.arg2.load(std::memory_order_relaxed);
+      rec.arg3 = s.arg3.load(std::memory_order_relaxed);
       uint64_t type = s.type.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (s.ts.load(std::memory_order_relaxed) != ts1) {
@@ -138,6 +154,8 @@ class JournalRing {
     std::atomic<uint64_t> dur{0};
     std::atomic<uint64_t> arg0{0};
     std::atomic<uint64_t> arg1{0};
+    std::atomic<uint64_t> arg2{0};
+    std::atomic<uint64_t> arg3{0};
     std::atomic<uint64_t> type{0};
   };
 

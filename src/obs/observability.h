@@ -71,16 +71,18 @@ class Observability {
   }
 
   // Records one coherence journal span (instants pass duration 0) into the
-  // calling thread's journal ring.
+  // calling thread's journal ring. arg2/arg3 carry the parallel-pass
+  // payloads (workers, batches) on kInvalidateSubtree events.
   void RecordJournal(obs::JournalEvent type, uint64_t begin_ns,
                      uint64_t duration_ns, uint64_t arg0 = 0,
-                     uint64_t arg1 = 0) {
+                     uint64_t arg1 = 0, uint64_t arg2 = 0,
+                     uint64_t arg3 = 0) {
     if (!enabled()) {
       return;
     }
     state_->journals[internal::StatsShardId()]->Record(type, begin_ns,
                                                        duration_ns, arg0,
-                                                       arg1);
+                                                       arg1, arg2, arg3);
   }
 
   // Builds the versioned snapshot; `stats` (may be null) supplies the flat

@@ -86,11 +86,16 @@ void AppendHeatListJson(std::string* out, const char* key,
 void AppendJournalEventJson(std::string* out, const JournalEventRecord& ev) {
   Appendf(out,
           "{\"type\":\"%s\",\"shard\":%u,\"begin_ns\":%" PRIu64
-          ",\"duration_ns\":%" PRIu64 ",\"%s\":%" PRIu64 ",\"%s\":%" PRIu64
-          "}",
+          ",\"duration_ns\":%" PRIu64 ",\"%s\":%" PRIu64 ",\"%s\":%" PRIu64,
           JournalEventName(ev.type), ev.shard, ev.begin_ns, ev.duration_ns,
           JournalArgName(ev.type, 0), ev.arg0, JournalArgName(ev.type, 1),
           ev.arg1);
+  if (JournalArgCount(ev.type) > 2) {
+    Appendf(out, ",\"%s\":%" PRIu64 ",\"%s\":%" PRIu64,
+            JournalArgName(ev.type, 2), ev.arg2, JournalArgName(ev.type, 3),
+            ev.arg3);
+  }
+  *out += "}";
 }
 
 void AppendHeatListText(std::string* out, const char* title,
@@ -263,12 +268,18 @@ std::string ObsSnapshot::ToChromeTrace() const {
     Appendf(&j,
             "{\"name\":\"%s\",\"cat\":\"coherence\",\"ph\":\"X\","
             "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,"
-            "\"args\":{\"%s\":%" PRIu64 ",\"%s\":%" PRIu64 "}}",
+            "\"args\":{\"%s\":%" PRIu64 ",\"%s\":%" PRIu64,
             JournalEventName(ev.type),
             static_cast<double>(ev.begin_ns) / 1e3,
             static_cast<double>(ev.duration_ns) / 1e3, ev.shard + 1,
             JournalArgName(ev.type, 0), ev.arg0,
             JournalArgName(ev.type, 1), ev.arg1);
+    if (JournalArgCount(ev.type) > 2) {
+      Appendf(&j, ",\"%s\":%" PRIu64 ",\"%s\":%" PRIu64,
+              JournalArgName(ev.type, 2), ev.arg2,
+              JournalArgName(ev.type, 3), ev.arg3);
+    }
+    j += "}}";
     rows.push_back({ev.begin_ns, std::move(j)});
   }
   for (const WalkTraceEvent& ev : trace) {

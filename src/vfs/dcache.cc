@@ -1,7 +1,6 @@
 #include "src/vfs/dcache.h"
 
 #include <cassert>
-#include <unordered_set>
 
 #include "src/core/dlht.h"
 #include "src/util/clock.h"
@@ -28,7 +27,8 @@ DentryCache::DentryCache(Kernel* kernel, const CacheConfig& config)
     : kernel_(kernel),
       buckets_(RoundUpPow2(config.dcache_buckets)),
       bucket_mask_(buckets_.size() - 1),
-      hash_seed_(0x6ca32015d15cULL) {}
+      hash_seed_(0x6ca32015d15cULL),
+      engine_(std::make_unique<InvalidationEngine>(kernel, config)) {}
 
 DentryCache::~DentryCache() = default;
 
@@ -386,51 +386,22 @@ size_t DentryCache::ShrinkAll() {
 }
 
 void DentryCache::InvalidateSubtree(Dentry* dir) {
-  BumpInvalidation();
-  kernel_->stats().invalidation_walks.Add();
-  // The write-side cost the paper's Figure 7 worries about: time the whole
-  // subtree pass into the obs invalidate histogram when enabled.
-  uint64_t t0 = kernel_->obs().enabled() ? NowNanos() : 0;
-  uint64_t bumped = 0;        // version counters advanced (dentries visited)
-  uint64_t dlht_evicted = 0;  // DLHT entries actually unhashed
-  std::vector<Dentry*> stack{dir};
-  // Visited set guards against mount cycles (a bind mount of an ancestor
-  // inside the subtree would otherwise loop forever).
-  std::unordered_set<Dentry*> visited;
-  while (!stack.empty()) {
-    Dentry* d = stack.back();
-    stack.pop_back();
-    if (!visited.insert(d).second) {
-      continue;
-    }
-    {
-      SpinGuard guard(d->lock);
-      d->fast.seq.store(NewVersion(), std::memory_order_release);
-      d->fast.path_valid.store(false, std::memory_order_release);
-      if (Dlht::RemoveFromCurrent(&d->fast)) {
-        ++dlht_evicted;
-      }
-      for (Dentry* child : d->children) {
-        stack.push_back(child);
-      }
-    }
-    // Prefix checks span mount boundaries: everything cached under a mount
-    // whose mountpoint lies in this subtree depends on the changed
-    // directory's permissions too (§3.2).
-    if (d->TestFlags(kDentMountpoint)) {
-      for (Mount* m : kernel_->MountsOn(d)) {
-        stack.push_back(m->root);
-      }
-    }
-    ++bumped;
-    kernel_->stats().invalidated_dentries.Add();
-  }
-  if (t0 != 0) {
-    uint64_t t1 = NowNanos();
-    kernel_->obs().RecordLatency(obs::ObsOp::kInvalidate, t1 - t0);
-    kernel_->obs().RecordJournal(obs::JournalEvent::kInvalidateSubtree, t0,
-                                 t1 - t0, bumped, dlht_evicted);
-  }
+  // Self-contained synchronous form: gate open, one engine pass, gate
+  // close. Mutation paths that need the pass deferred past their critical
+  // section (rename) open the CoherenceSection themselves and call
+  // InvalidateNow at the right moment instead. The traversal, parallelism,
+  // batched DLHT eviction, and obs recording all live in the engine
+  // (src/vfs/inval.cc).
+  CoherenceSection section(this);
+  section.InvalidateNow(dir);
+}
+
+void DentryCache::InvalidateDentry(Dentry* d) {
+  SpinGuard guard(d->lock);
+  d->fast.seq.store(NewVersion(), std::memory_order_release);
+  d->fast.path_valid.store(false, std::memory_order_release);
+  Dlht::RemoveFromCurrent(&d->fast);
+  kernel_->stats().invalidated_dentries.Add();
 }
 
 uint32_t DentryCache::NewVersion() {

@@ -12,6 +12,7 @@
 #define DIRCACHE_VFS_DCACHE_H_
 
 #include <atomic>
+#include <memory>
 #include <string_view>
 #include <vector>
 
@@ -20,9 +21,11 @@
 #include "src/util/spinlock.h"
 #include "src/util/stats.h"
 #include "src/vfs/dentry.h"
+#include "src/vfs/inval.h"
 
 namespace dircache {
 
+class CoherenceSection;
 class Kernel;
 class Pcc;
 
@@ -94,8 +97,49 @@ class DentryCache {
 
   // --- §3.2 coherence ------------------------------------------------------
   // Bump version counters and evict from DLHTs across the whole cached
-  // subtree rooted at `dir` (inclusive). Caller holds the tree write lock.
+  // subtree rooted at `dir` (inclusive). Opens its own coherence section
+  // (fast-path gate) around the pass; unlike the pre-engine implementation
+  // it does NOT require the tree write lock — mutation paths call it after
+  // dropping the lock, shrinking their critical sections (ISSUE: minimal
+  // rename critical section). Large subtrees are traversed in parallel and
+  // evicted from DLHTs in per-bucket batches (src/vfs/inval.h).
   void InvalidateSubtree(Dentry* dir);
+
+  // O(1) single-dentry invalidation: bump the version counter, drop path
+  // validity, unhash from the current DLHT. This is what remains inside the
+  // rename_seq write section for the moved dentry itself; the descendant
+  // pass runs deferred, under the caller's still-open CoherenceSection.
+  void InvalidateDentry(Dentry* d);
+
+  // --- the fast-path coherence gate ---------------------------------------
+  // A mutation that defers its subtree pass past the rename_seq write
+  // section opens a "coherence section" (see CoherenceSection below) for
+  // the whole mutation+pass window. While any section is open, the
+  // lock-free fast path refuses to produce results and walks take the slow
+  // path, whose invalidation-counter double-check (bumped at both section
+  // open and close) prevents stale memoization. Readers only *load* these
+  // counters — warm hits stay shared-write-free.
+  //
+  // Returns true (and fills `token`) iff no section is open. A later
+  // InvalidationTokenValid(token) confirms no section opened since.
+  bool InvalidationQuiescent(uint64_t* token = nullptr) const {
+    uint64_t completed = inval_completed_.load(std::memory_order_acquire);
+    uint64_t started = inval_started_.load(std::memory_order_acquire);
+    if (token != nullptr) {
+      *token = started;
+    }
+    // Conservative on races: a section opening between the two loads reads
+    // started > completed; one closing reads the stale (open) state.
+    return started == completed;
+  }
+  bool InvalidationTokenValid(uint64_t token) const {
+    return inval_started_.load(std::memory_order_acquire) == token;
+  }
+
+  // Stats of the most recently completed invalidation pass (benchmarks).
+  InvalPassStats last_inval_stats() const {
+    return engine_->last_pass_stats();
+  }
 
   // Fresh version-counter value (global monotonic; handles 32-bit
   // wraparound by bumping the kernel-wide PCC epoch, §3.1).
@@ -122,6 +166,23 @@ class DentryCache {
   // directly (src/obs/audit.cc).
   friend obs::AuditReport obs::RunAudit(Kernel&,
                                         const std::vector<const Pcc*>&);
+  friend class CoherenceSection;
+
+  // Open/close the fast-path coherence gate. The invalidation counter is
+  // bumped at BOTH edges: the open bump catches walks that snapshotted the
+  // counter before the gate appeared; the close bump catches walks that
+  // snapshotted it while the gate was open and would otherwise memoize
+  // after it closed (see DESIGN.md §11 for the three-case argument).
+  void BeginCoherence() {
+    inval_started_.fetch_add(1, std::memory_order_acq_rel);
+    BumpInvalidation();
+  }
+  void EndCoherence() {
+    BumpInvalidation();
+    inval_completed_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  // Run one engine pass (gate state unchanged; callers hold a section).
+  void RunDeferredPass(Dentry* dir) { engine_->Invalidate(dir); }
 
   // One cache line per bucket: a writer spinning on (or unlocking) bucket i
   // must never invalidate the line a lock-free reader of bucket i±1 is
@@ -165,6 +226,49 @@ class DentryCache {
   std::atomic<uint64_t> version_counter_{1};
   std::atomic<uint64_t> invalidation_counter_{1};
   std::atomic<size_t> count_{0};
+
+  // Fast-path coherence gate: sections open (started > completed) while a
+  // deferred subtree pass may still be pending. Monotonic; started doubles
+  // as the quiescence token.
+  std::atomic<uint64_t> inval_started_{0};
+  std::atomic<uint64_t> inval_completed_{0};
+
+  std::unique_ptr<InvalidationEngine> engine_;
+};
+
+// RAII coherence section: opens the fast-path gate for the lifetime of a
+// mutation whose subtree invalidation runs AFTER the structural change
+// (deferred past the rename_seq write section and the tree lock). Typical
+// shape (task.cc):
+//
+//   CoherenceSection section(&dc);    // gate opens, counter bumps
+//   ... structural splice + InvalidateDentry(moved) under locks ...
+//   ... release rename_seq / tree lock ...
+//   section.InvalidateNow(subtree);   // the O(subtree) pass, unlocked
+//   // ~CoherenceSection: counter bumps again, gate closes
+class CoherenceSection {
+ public:
+  explicit CoherenceSection(DentryCache* dc) : dc_(dc) {
+    if (dc_ != nullptr) {
+      dc_->BeginCoherence();
+    }
+  }
+  ~CoherenceSection() { Close(); }
+  CoherenceSection(const CoherenceSection&) = delete;
+  CoherenceSection& operator=(const CoherenceSection&) = delete;
+
+  // Run a subtree pass while the gate is (still) open.
+  void InvalidateNow(Dentry* dir) { dc_->RunDeferredPass(dir); }
+
+  void Close() {
+    if (dc_ != nullptr) {
+      dc_->EndCoherence();
+      dc_ = nullptr;
+    }
+  }
+
+ private:
+  DentryCache* dc_;
 };
 
 }  // namespace dircache

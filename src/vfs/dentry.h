@@ -178,6 +178,16 @@ class Dentry {
     return true;
   }
 
+  // --- subtree invalidation engine linkage (§3.2, src/vfs/inval.h) ----------
+  // Intrusive work-list link + visit-generation stamp: an invalidation pass
+  // claims a dentry by exchanging `inval_gen` to the pass's generation
+  // (guaranteeing single-queue membership even across mount aliases) and
+  // threads it through `inval_next`, so the common small-subtree pass
+  // allocates nothing. Only the engine touches these, and the engine-wide
+  // pass mutex serializes passes, so the link is never shared.
+  std::atomic<Dentry*> inval_next{nullptr};
+  std::atomic<uint64_t> inval_gen{0};
+
   // --- the paper's extension (§3, Fig. 5) -----------------------------------
   FastDentry fast;
 

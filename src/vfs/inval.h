@@ -1,0 +1,167 @@
+// Subtree invalidation engine (§3.2): the write-side pass that bumps every
+// cached descendant's version counter and evicts it from its DLHT when a
+// directory's permissions or position change.
+//
+// Design (DESIGN.md §11):
+//  - Allocation-free traversal: dentries are claimed with a per-dentry
+//    visit-generation stamp (Dentry::inval_gen) and threaded through an
+//    intrusive work-list link (Dentry::inval_next), so the common
+//    small-subtree pass performs zero heap allocations.
+//  - Parallel above a threshold: once the serial DFS has visited
+//    `inval_parallel_threshold` dentries with work remaining, the rest of
+//    the work-list is dealt round-robin across a lazily-spawned reusable
+//    worker pool. Each participant owns its slot outright (work it
+//    discovers goes back on its own stack; there is no stealing): the deal
+//    balances fanout-shaped subtrees, keeps the drained-queue exit
+//    condition trivial, and keeps per-worker CPU time attributable — which
+//    is what `critical_path_ns` reports on hosts without real parallelism.
+//  - Batched DLHT eviction: each participant collects (table, bucket,
+//    entry) triples into a fixed-size buffer and flushes them grouped by
+//    bucket through Dlht::RemoveBatch — N evictions in one bucket cost one
+//    lock acquisition.
+//  - Passes are serialized by an engine-wide mutex (the intrusive links are
+//    shared state); memory safety against concurrent eviction/kill comes
+//    from holding an epoch read guard for the duration of the pass, which
+//    the deferred call sites (task.cc) rely on to run the pass OUTSIDE the
+//    tree lock and rename_seq write section.
+//
+// The engine does NOT touch the coherence gate (DentryCache's
+// started/completed counters); DentryCache::CoherenceSection owns that.
+#ifndef DIRCACHE_VFS_INVAL_H_
+#define DIRCACHE_VFS_INVAL_H_
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/util/align.h"
+#include "src/util/spinlock.h"
+
+namespace dircache {
+
+class Dentry;
+class Dlht;
+class Kernel;
+struct FastDentry;
+
+// What one completed invalidation pass did and cost. `critical_path_ns`
+// substitutes for parallel wall time on hosts without real parallelism
+// (this repo's benchmarks run on a single CPU; see DESIGN.md §11): it is
+// the largest per-participant CPU time, i.e. the pass's wall time on a
+// machine with one core per worker.
+struct InvalPassStats {
+  uint64_t visited = 0;           // version counters bumped
+  uint64_t dlht_evicted = 0;      // DLHT entries actually unhashed
+  uint64_t dlht_batches = 0;      // bucket-lock acquisitions used for that
+  uint32_t workers = 0;           // parallel participants (0 = pure serial)
+  uint64_t span_ns = 0;           // wall-clock duration of the pass
+  uint64_t critical_path_ns = 0;  // max per-participant CPU time
+  uint64_t total_cpu_ns = 0;      // CPU time summed over participants
+};
+
+class InvalidationEngine {
+ public:
+  InvalidationEngine(Kernel* kernel, const CacheConfig& config);
+  ~InvalidationEngine();
+  InvalidationEngine(const InvalidationEngine&) = delete;
+  InvalidationEngine& operator=(const InvalidationEngine&) = delete;
+
+  // Run one §3.2 pass over the cached subtree rooted at `root` (inclusive,
+  // propagating across mountpoints). Serializes against concurrent passes.
+  // Does not require the tree lock; takes per-dentry locks and bucket locks
+  // only, and holds an epoch read guard throughout.
+  InvalPassStats Invalidate(Dentry* root);
+
+  // Copy of the most recently completed pass's stats (benchmarks/tests).
+  InvalPassStats last_pass_stats() const;
+
+ private:
+  // Fixed-capacity buffer of pending DLHT removals, flushed grouped by
+  // (table, bucket) so co-bucketed evictions share one lock acquisition.
+  struct BatchBuffer {
+    static constexpr size_t kCapacity = 64;
+    struct Entry {
+      Dlht* table;
+      size_t bucket;
+      FastDentry* fd;
+    };
+    std::array<Entry, kCapacity> entries;
+    size_t count = 0;
+  };
+
+  // One participant's work queue and per-pass results. Padded so two
+  // workers' queue locks never share a line.
+  struct alignas(kCacheLineSize) WorkerSlot {
+    CacheAlignedSpinLock lock;  // guards `top`
+    Dentry* top = nullptr;      // intrusive LIFO through Dentry::inval_next
+    // Results, written by the owning participant, read by the coordinator
+    // after the completion barrier.
+    uint64_t visited = 0;
+    uint64_t dlht_evicted = 0;
+    uint64_t dlht_batches = 0;
+    uint64_t cpu_ns = 0;
+    uint64_t begin_ns = 0;  // wall begin of this participant's span
+    uint64_t span_ns = 0;   // wall duration of this participant's span
+  };
+
+  // One participant's traversal-local state: the removal buffer plus the
+  // counters it folds into when it flushes.
+  struct VisitCtx {
+    BatchBuffer batch;
+    uint64_t visited = 0;
+    uint64_t evicted = 0;
+    uint64_t batches = 0;
+  };
+
+  // Visit one claimed dentry: bump seq, drop path validity, batch its DLHT
+  // entry, claim+push children (and mount roots hanging on it). `slot` is
+  // null on the serial path, where pushes go to `*serial_top` instead.
+  void VisitOne(Dentry* d, uint64_t gen, VisitCtx* ctx, WorkerSlot* slot,
+                Dentry** serial_top);
+
+  void BatchAdd(VisitCtx* ctx, Dlht* table, size_t bucket, FastDentry* fd);
+  static void FlushBatch(BatchBuffer* batch, uint64_t* evicted,
+                         uint64_t* batches);
+
+  void PushTo(WorkerSlot* slot, Dentry* d);
+  Dentry* PopFrom(WorkerSlot* slot);
+
+  void EnsurePool();    // spawn the worker threads once (pool_mu_ held)
+  void WorkerMain(size_t slot_index);
+  void WorkLoop(size_t slot_index, uint64_t gen);
+
+  Kernel* const kernel_;
+  const size_t parallel_threshold_;
+  const size_t max_workers_;  // participants incl. the coordinating thread
+
+  // Serializes whole passes: the intrusive links and slot array are shared.
+  mutable std::mutex pass_mu_;
+  uint64_t generation_ = 0;  // guarded by pass_mu_; never reused
+  InvalPassStats last_stats_;  // guarded by pass_mu_
+
+  // Worker pool (lazily spawned on the first parallel pass).
+  std::mutex pool_mu_;
+  std::condition_variable pool_cv_;  // workers wait for a new start epoch
+  std::condition_variable done_cv_;  // coordinator waits for running == 0
+  std::vector<std::thread> threads_;
+  uint64_t start_epoch_ = 0;  // bumped to release workers into a pass
+  uint64_t job_gen_ = 0;      // the generation workers claim with
+  size_t running_workers_ = 0;
+  bool shutdown_ = false;
+
+  // Fixed array (WorkerSlot holds atomics and a lock; never resized after
+  // the pool spawns).
+  std::unique_ptr<WorkerSlot[]> slots_;
+  size_t slot_count_ = 0;
+};
+
+}  // namespace dircache
+
+#endif  // DIRCACHE_VFS_INVAL_H_

@@ -477,23 +477,26 @@ Status Task::Chmod(std::string_view path, uint16_t mode) {
     return Errno::kEROFS;
   }
   JournalSpan span(kernel_->obs(), obs::JournalEvent::kChmod);
-  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
-  if (inode->IsDir() && kernel_->config().fastpath) {
-    // §3.2: invalidate cached prefix checks through this directory BEFORE
-    // the permission change becomes visible.
-    kernel_->dcache().InvalidateSubtree(p->dentry());
+  const bool inval = inode->IsDir() && kernel_->config().fastpath;
+  // §3.2, deferred: the coherence section opens BEFORE the permission
+  // change becomes visible (fast path stands down, slowpath results cannot
+  // be memoized), and the O(cached-subtree) pass runs ONCE, after the tree
+  // lock is released. This replaces the old invalidate-twice-under-the-lock
+  // scheme: the section's open/close counter bumps retire anything an
+  // overlapping walk memoized, so the second pass is no longer needed.
+  CoherenceSection section(inval ? &kernel_->dcache() : nullptr);
+  {
+    std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+    IoChargeScope charge(&io_clock_);
+    AttrUpdate update;
+    update.mode = mode;
+    DIRCACHE_RETURN_IF_ERROR(
+        inode->sb()->fs()->SetAttr(inode->ino(), update));
+    inode->set_mode(mode & kModePermMask);
+    inode->set_ctime(inode->ctime() + 1);
   }
-  IoChargeScope charge(&io_clock_);
-  AttrUpdate update;
-  update.mode = mode;
-  DIRCACHE_RETURN_IF_ERROR(inode->sb()->fs()->SetAttr(inode->ino(), update));
-  inode->set_mode(mode & kModePermMask);
-  inode->set_ctime(inode->ctime() + 1);
-  if (inode->IsDir() && kernel_->config().fastpath) {
-    // Invalidate again AFTER the change: an overlapping slowpath walk may
-    // have read the old mode after the first invalidation; bumping the
-    // version counters now retires anything it memoized (§3.2).
-    kernel_->dcache().InvalidateSubtree(p->dentry());
+  if (inval) {
+    section.InvalidateNow(p->dentry());
   }
   return Status::Ok();
 }
@@ -517,20 +520,22 @@ Status Task::Chown(std::string_view path, Uid uid, Gid gid) {
     return Errno::kEROFS;
   }
   JournalSpan span(kernel_->obs(), obs::JournalEvent::kChown);
-  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
-  if (inode->IsDir() && kernel_->config().fastpath) {
-    kernel_->dcache().InvalidateSubtree(p->dentry());
+  const bool inval = inode->IsDir() && kernel_->config().fastpath;
+  CoherenceSection section(inval ? &kernel_->dcache() : nullptr);  // see Chmod
+  {
+    std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+    IoChargeScope charge(&io_clock_);
+    AttrUpdate update;
+    update.uid = uid;
+    update.gid = gid;
+    DIRCACHE_RETURN_IF_ERROR(
+        inode->sb()->fs()->SetAttr(inode->ino(), update));
+    inode->set_uid(uid);
+    inode->set_gid(gid);
+    inode->set_ctime(inode->ctime() + 1);
   }
-  IoChargeScope charge(&io_clock_);
-  AttrUpdate update;
-  update.uid = uid;
-  update.gid = gid;
-  DIRCACHE_RETURN_IF_ERROR(inode->sb()->fs()->SetAttr(inode->ino(), update));
-  inode->set_uid(uid);
-  inode->set_gid(gid);
-  inode->set_ctime(inode->ctime() + 1);
-  if (inode->IsDir() && kernel_->config().fastpath) {
-    kernel_->dcache().InvalidateSubtree(p->dentry());  // see Chmod
+  if (inval) {
+    section.InvalidateNow(p->dentry());
   }
   return Status::Ok();
 }
@@ -547,13 +552,14 @@ Status Task::SetSecurityLabel(std::string_view path, std::string label) {
   }
   Inode* inode = p->inode();
   JournalSpan span(kernel_->obs(), obs::JournalEvent::kSetLabel);
-  std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
-  if (inode->IsDir() && kernel_->config().fastpath) {
-    kernel_->dcache().InvalidateSubtree(p->dentry());
+  const bool inval = inode->IsDir() && kernel_->config().fastpath;
+  CoherenceSection section(inval ? &kernel_->dcache() : nullptr);  // see Chmod
+  {
+    std::unique_lock<std::shared_mutex> tree(kernel_->tree_lock());
+    inode->set_security_label(std::move(label));
   }
-  inode->set_security_label(std::move(label));
-  if (inode->IsDir() && kernel_->config().fastpath) {
-    kernel_->dcache().InvalidateSubtree(p->dentry());  // see Chmod
+  if (inval) {
+    section.InvalidateNow(p->dentry());
   }
   return Status::Ok();
 }
@@ -977,14 +983,14 @@ Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
     return Errno::kEBUSY;
   }
 
-  // §3.2: invalidate the moved subtree (and the replaced target) before the
-  // structural change; block fastpath hits on stale paths.
-  if (kernel_->config().fastpath) {
-    kernel_->dcache().InvalidateSubtree(src);
-    if (target != nullptr) {
-      kernel_->dcache().InvalidateSubtree(target);
-    }
-  }
+  // §3.2, minimal critical section: the coherence section opens BEFORE the
+  // structural change (the fast path stands down globally, so no stale DLHT
+  // hit can be produced), but the O(cached-subtree) descendant pass is
+  // DEFERRED until after the rename_seq write section and the tree lock are
+  // released. Inside the write section only O(1) work remains: the backing
+  // fs op, the structural splice, and the moved dentry's own seq bump.
+  const bool fastpath = kernel_->config().fastpath;
+  CoherenceSection section(fastpath ? &kernel_->dcache() : nullptr);
 
   uint64_t lock_t0 = kernel_->obs().enabled() ? NowNanos() : 0;
   kernel_->rename_seq().WriteBegin();
@@ -993,6 +999,11 @@ Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
   Status st = fs->Rename(old_dir->inode()->ino(), old_last,
                          new_dir->inode()->ino(), new_last);
   if (st.ok()) {
+    if (fastpath) {
+      // Retire the moved dentry's own identity (version bump + DLHT
+      // eviction) before the splice publishes its new position.
+      kernel_->dcache().InvalidateDentry(src);
+    }
     if (target != nullptr) {
       kernel_->dcache().KillCachedChildren(target);
       kernel_->dcache().Kill(target);
@@ -1015,12 +1026,25 @@ Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
   kernel_->rename_seq().WriteEnd();
   if (lock_t0 != 0) {
     // The §3.2 cost renames actually pay: how long concurrent optimistic
-    // walks were forced to retry (rename_seq write section).
+    // walks were forced to retry (rename_seq write section). With the
+    // deferred pass this no longer scales with the cached subtree size.
     uint64_t hold_ns = NowNanos() - lock_t0;
     kernel_->obs().RecordJournal(obs::JournalEvent::kRenameLock, lock_t0,
                                  hold_ns);
     rename_span.SetArgs(hold_ns);
   }
+  tree.unlock();
+  if (st.ok() && fastpath) {
+    // The descendant pass (deferred): every cached dentry under the moved
+    // subtree — and under a replaced target — carries stale prefix checks.
+    // Runs outside every lock; the still-open coherence section keeps the
+    // fast path honest until it completes.
+    section.InvalidateNow(src);
+    if (target != nullptr) {
+      section.InvalidateNow(target);
+    }
+  }
+  section.Close();
   if (target != nullptr) {
     kernel_->dcache().Dput(target);
   }

@@ -236,9 +236,11 @@ Dentry* BuildDeepNegatives(Task& task, Mount* mnt, Dentry* from,
 
 // Compute (and memoize) the canonical hash state of `d` as reached through
 // `mnt`. Fills ancestors on the way. Fails on over-long paths or dead
-// parents. Requires: caller in epoch guard, holds a reference on d.
-static Result<HashState> EnsurePathState(Kernel* kernel, Dentry* d,
-                                         Mount* mnt) {
+// parents, or with kESTALE if a splice / subtree invalidation overlapped the
+// recomputation (`inval_snapshot` is the caller's walk-entry counter value).
+// Requires: caller in epoch guard, holds a reference on d.
+static Result<HashState> EnsurePathState(Kernel* kernel, Dentry* d, Mount* mnt,
+                                         uint64_t inval_snapshot) {
   HashState st;
   if (CopyStateIfValid(d, mnt->ns, &st)) {
     return st;
@@ -248,7 +250,8 @@ static Result<HashState> EnsurePathState(Kernel* kernel, Dentry* d,
     if (mnt->parent == nullptr) {
       st = signer.RootState();
     } else {
-      auto base = EnsurePathState(kernel, mnt->mountpoint, mnt->parent);
+      auto base = EnsurePathState(kernel, mnt->mountpoint, mnt->parent,
+                                  inval_snapshot);
       if (!base.ok()) {
         return base.error();
       }
@@ -259,7 +262,7 @@ static Result<HashState> EnsurePathState(Kernel* kernel, Dentry* d,
     if (p == nullptr) {
       return Errno::kESTALE;
     }
-    auto base = EnsurePathState(kernel, p, mnt);
+    auto base = EnsurePathState(kernel, p, mnt, inval_snapshot);
     if (!base.ok()) {
       return base.error();
     }
@@ -273,6 +276,19 @@ static Result<HashState> EnsurePathState(Kernel* kernel, Dentry* d,
   HashState raced;
   if (CopyStateIfValid(d, mnt->ns, &raced)) {
     return raced;  // a racer published first
+  }
+  DentryCache& dc = kernel->dcache();
+  if (dc.invalidation_counter() != inval_snapshot ||
+      !dc.InvalidationQuiescent()) {
+    // A rename splice or deferred invalidation pass overlapped the
+    // recomputation above: `st` may encode a parent chain that no longer
+    // exists. Publishing it would re-arm path_valid AFTER the pass swept
+    // this dentry, letting Populate() insert a stale signature into the
+    // DLHT where it would resolve the OLD path forever. The d->lock we
+    // hold orders this check against the pass's VisitOne (same lock): if
+    // the counter is clean here, no splice has happened since the walk
+    // began, so `st` is current and any later pass will sweep the publish.
+    return Errno::kESTALE;
   }
   bool had_other_path = d->fast.path_valid.load(std::memory_order_acquire);
   Dlht::RemoveFromCurrent(&d->fast);
@@ -307,7 +323,7 @@ static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
   if (dc.invalidation_counter() != inval_snapshot) {
     return;
   }
-  auto st = EnsurePathState(kernel, d, mnt);
+  auto st = EnsurePathState(kernel, d, mnt, inval_snapshot);
   if (!st.ok()) {
     return;
   }
@@ -318,7 +334,7 @@ static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
     if (!d->fast.path_valid.load(std::memory_order_acquire)) {
       return;  // raced with an invalidation
     }
-    if (d->fast.on_dlht != &dlht) {
+    if (d->fast.on_dlht.load(std::memory_order_acquire) != &dlht) {
       Dlht::RemoveFromCurrent(&d->fast);
       dlht.Insert(&d->fast);
     }
@@ -326,6 +342,13 @@ static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
   }
   if (dc.invalidation_counter() != inval_snapshot) {
     return;  // a mutation overlapped our walk; don't memoize its results
+  }
+  if (!dc.InvalidationQuiescent()) {
+    // A deferred subtree pass is in flight (coherence gate open): the seq we
+    // just read may predate a bump the pass has yet to apply, and the
+    // close-side counter bump has not happened yet, so the snapshot check
+    // above cannot catch it. Don't memoize.
+    return;
   }
   const CacheConfig& cfg = kernel->config();
   Pcc* pcc = task.cred()->GetOrCreatePcc(cfg.pcc_bytes, cfg.pcc_autosize);
@@ -372,6 +395,9 @@ static void PopulatePrefixDirs(Kernel* kernel, Task& task,
   }
   if (kernel->dcache().invalidation_counter() != inval_snapshot) {
     return;
+  }
+  if (!kernel->dcache().InvalidationQuiescent()) {
+    return;  // deferred pass in flight; see Populate()
   }
   const CacheConfig& pcfg = kernel->config();
   Pcc* pcc = task.cred()->GetOrCreatePcc(pcfg.pcc_bytes, pcfg.pcc_autosize);
@@ -1207,12 +1233,12 @@ void RecordSymlinkTarget(Task& task, Mount* link_mnt, Dentry* link,
   if (!k->config().fastpath) {
     return;
   }
-  auto fst = EnsurePathState(k, final_d, final_mnt);
+  auto fst = EnsurePathState(k, final_d, final_mnt, inval_snapshot);
   if (!fst.ok()) {
     return;
   }
   Signature fsig = k->signer().Finalize(*fst);
-  auto lst = EnsurePathState(k, link, link_mnt);
+  auto lst = EnsurePathState(k, link, link_mnt, inval_snapshot);
   if (!lst.ok()) {
     return;
   }
@@ -1310,6 +1336,17 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
 
   EpochDomain::ReadGuard guard(EpochDomain::Global());
   PhaseTimer init_timer(&WalkPhaseProfile::init_ns);
+
+  // Coherence gate (§3.2 deferred invalidation): while a mutation's subtree
+  // pass is in flight, DLHT/PCC contents may be arbitrarily stale — the
+  // pass has not yet reached every descendant. Take the slowpath, which
+  // revalidates against the real tree. The token lets the success paths
+  // below confirm no section opened mid-walk. Loads only: warm hits stay
+  // shared-write-free.
+  uint64_t inval_token;
+  if (!k->dcache().InvalidationQuiescent(&inval_token)) {
+    return false;
+  }
 
   Pcc* pcc = task.cred()->GetOrCreatePcc(cfg.pcc_bytes, cfg.pcc_autosize);
   const bool epoch_flushed = pcc->EnsureEpoch(k->pcc_epoch());
@@ -1525,6 +1562,9 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
     if (fd->seq.load(std::memory_order_seq_cst) != seq) {
       return false;
     }
+    if (!k->dcache().InvalidationTokenValid(inval_token)) {
+      return false;  // a coherence section opened mid-walk (§3.2)
+    }
     if (d->MarkReferenced()) {
       stats.shared_writes.Add();
     }
@@ -1542,6 +1582,9 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
   if ((wflags & kWalkDirectory) != 0 && !inode->IsDir()) {
     if (fd->seq.load(std::memory_order_seq_cst) != seq) {
       return false;
+    }
+    if (!k->dcache().InvalidationTokenValid(inval_token)) {
+      return false;  // a coherence section opened mid-walk (§3.2)
     }
     if (d->MarkReferenced()) {
       stats.shared_writes.Add();
@@ -1566,6 +1609,12 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
     return false;
   }
   if (fd->seq.load(std::memory_order_seq_cst) != seq) {
+    k->dcache().Dput(d);
+    return false;
+  }
+  if (!k->dcache().InvalidationTokenValid(inval_token)) {
+    // A coherence section opened mid-walk: the deferred pass may not have
+    // reached this dentry yet, so the stable seq proves nothing (§3.2).
     k->dcache().Dput(d);
     return false;
   }

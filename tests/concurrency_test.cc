@@ -2,9 +2,12 @@
 // Readers must never crash, never see torn state, and never observe a
 // result that was not true at some point during the race window.
 #include <atomic>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "src/util/rng.h"
+#include "src/vfs/walk.h"
 #include "tests/test_util.h"
 
 namespace dircache {
@@ -229,10 +232,330 @@ TEST_P(ConcurrencyTest, EvictionRacesLookups) {
   }
 }
 
+// Rename of a directory with a large cached subtree must be equivalent to
+// an atomic move: once a rename returns (which, in the optimized kernel,
+// includes its DEFERRED subtree invalidation pass completing and the
+// coherence gate closing), no observer may still resolve the old path or
+// fail to resolve the new one. The monotonic phase word gives readers a
+// stable window in which to make that definitive claim.
+TEST_P(ConcurrencyTest, RenameOfCachedSubtreeLinearizes) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Mkdir("/r"));
+  ASSERT_OK(t.Mkdir("/r/d"));
+  std::vector<std::string> files;
+  for (int i = 0; i < 32; ++i) {
+    std::string p = "/r/d/f" + std::to_string(i);
+    auto fd = t.Open(p, kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(t.Close(*fd));
+    files.push_back(p);
+  }
+  // Warm the caches so the rename's invalidation pass has a real subtree.
+  for (const std::string& p : files) {
+    ASSERT_OK(t.StatPath(p));
+  }
+
+  std::atomic<bool> stop{false};
+  // Monotonic, never-repeating phase word; low 2 bits: 0 = subtree at /r,
+  // 1 = at /r2, 2 = rename in flight.
+  std::atomic<uint64_t> phase{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) {
+    readers.emplace_back([&, i] {
+      TaskPtr task = world_.root->Fork();
+      Rng rng(static_cast<uint64_t>(i) + 99);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::string leaf = "/d/f" + std::to_string(rng.Below(32));
+        uint64_t before = phase.load(std::memory_order_acquire);
+        auto at_old = task->StatPath("/r" + leaf);
+        auto at_new = task->StatPath("/r2" + leaf);
+        uint64_t after = phase.load(std::memory_order_acquire);
+        if (before != after) {
+          continue;  // a rename overlapped: no definitive claim
+        }
+        if ((before & 3) == 0) {
+          EXPECT_OK(at_old);
+          EXPECT_FALSE(at_new.ok()) << "old AND new path both resolved";
+        } else if ((before & 3) == 1) {
+          EXPECT_FALSE(at_old.ok()) << "old path resolved after rename";
+          EXPECT_OK(at_new);
+        }
+        if (at_old.ok()) {
+          EXPECT_TRUE(at_old->IsRegular());
+        }
+        if (at_new.ok()) {
+          EXPECT_TRUE(at_new->IsRegular());
+        }
+      }
+    });
+  }
+  TaskPtr mut = world_.root->Fork();
+  for (uint64_t i = 1; i <= 120; ++i) {
+    phase.store(i * 8 + 2, std::memory_order_release);
+    ASSERT_OK(mut->Rename("/r", "/r2"));
+    phase.store(i * 8 + 1, std::memory_order_release);
+    std::this_thread::yield();
+    phase.store(i * 8 + 6, std::memory_order_release);
+    ASSERT_OK(mut->Rename("/r2", "/r"));
+    phase.store(i * 8 + 4, std::memory_order_release);
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) {
+    r.join();
+  }
+}
+
+// The ISSUE's mutator storm: renames of directories with large cached
+// subtrees racing stat/open traffic on those same subtrees, with a full
+// invariant audit after every phase (build, storm, settle).
+TEST_P(ConcurrencyTest, MutatorStormOnLargeCachedSubtrees) {
+  Task& t = *world_.root;
+  constexpr int kDirs = 8;
+  constexpr int kFiles = 24;
+  for (int d = 0; d < kDirs; ++d) {
+    std::string dir = "/big/d" + std::to_string(d);
+    if (d == 0) {
+      ASSERT_OK(t.Mkdir("/big"));
+    }
+    ASSERT_OK(t.Mkdir(dir));
+    for (int f = 0; f < kFiles; ++f) {
+      auto fd = t.Open(dir + "/f" + std::to_string(f), kOCreat | kOWrite);
+      ASSERT_OK(fd);
+      ASSERT_OK(t.Close(*fd));
+    }
+  }
+  // Warm every path so the storm's invalidation passes do real work.
+  for (int d = 0; d < kDirs; ++d) {
+    for (int f = 0; f < kFiles; ++f) {
+      ASSERT_OK(t.StatPath("/big/d" + std::to_string(d) + "/f" +
+                           std::to_string(f)));
+    }
+  }
+  {
+    obs::AuditReport built = world_.kernel->Audit();
+    ASSERT_TRUE(built.clean()) << built.ToText();
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 3; ++i) {
+    readers.emplace_back([&, i] {
+      TaskPtr task = world_.root->Fork();
+      Rng rng(static_cast<uint64_t>(i) * 31 + 7);
+      while (!stop.load(std::memory_order_acquire)) {
+        std::string leaf = "/d" + std::to_string(rng.Below(kDirs)) + "/f" +
+                           std::to_string(rng.Below(kFiles));
+        const char* base = rng.Below(2) == 0 ? "/big" : "/big2";
+        if (rng.Below(2) == 0) {
+          auto r = task->StatPath(base + leaf);
+          if (r.ok()) {
+            hits.fetch_add(1);
+            EXPECT_TRUE(r->IsRegular());
+          } else {
+            misses.fetch_add(1);
+            EXPECT_TRUE(r.error() == Errno::kENOENT ||
+                        r.error() == Errno::kENOTDIR)
+                << ErrnoName(r.error());
+          }
+        } else {
+          auto fd = task->Open(base + leaf, kORead);
+          if (fd.ok()) {
+            hits.fetch_add(1);
+            EXPECT_OK(task->Close(*fd));
+          } else {
+            misses.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  TaskPtr mut = world_.root->Fork();
+  int renames = 0;
+  for (; renames < 100000; ++renames) {
+    ASSERT_OK(mut->Rename((renames & 1) != 0 ? "/big2" : "/big",
+                          (renames & 1) != 0 ? "/big" : "/big2"));
+    if (renames >= 200 && hits.load() > 0 && misses.load() > 0) {
+      break;
+    }
+    if ((renames & 63) == 0) {
+      std::this_thread::yield();
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) {
+    r.join();
+  }
+  {
+    obs::AuditReport stormed = world_.kernel->Audit();
+    ASSERT_TRUE(stormed.clean()) << stormed.ToText();
+  }
+  EXPECT_GT(hits.load(), 0u);
+  EXPECT_GT(misses.load(), 0u);
+
+  // Settle: everything must resolve under the final name.
+  const char* base = (renames & 1) == 0 ? "/big2" : "/big";
+  for (int d = 0; d < kDirs; ++d) {
+    for (int f = 0; f < kFiles; ++f) {
+      EXPECT_OK(t.StatPath(std::string(base) + "/d" + std::to_string(d) +
+                           "/f" + std::to_string(f)));
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(BothKernels, ConcurrencyTest, ::testing::Bool(),
                          [](const ::testing::TestParamInfo<bool>& info) {
                            return info.param ? "Optimized" : "Baseline";
                          });
+
+// ---------------------------------------------------------------------------
+// Invalidation engine: parallel passes, gate progress, overlapping subtrees.
+// Runs on the optimized kernel with a low parallel threshold so the worker
+// pool actually engages at test-sized subtrees.
+
+class InvalEngineTest : public ::testing::Test {
+ protected:
+  static CacheConfig Config() {
+    CacheConfig cfg = CacheConfig::Optimized();
+    cfg.inval_parallel_threshold = 256;
+    cfg.inval_max_workers = 4;
+    return cfg;
+  }
+
+  InvalEngineTest() : world_(Config()) {}
+
+  void TearDown() override {
+    obs::AuditReport report = world_.kernel->Audit();
+    EXPECT_TRUE(report.clean()) << report.ToText();
+  }
+
+  TestWorld world_;
+};
+
+// Acceptance: concurrent lookups make bounded-retry progress while a
+// 10k-dentry invalidation is in flight. Deterministic on a single CPU: the
+// coherence gate is held open explicitly (exactly the state every walk
+// observes mid-pass), lookups are required to complete through the
+// slowpath, and the pass itself then runs concurrently with more lookups.
+TEST_F(InvalEngineTest, LookupsProgressDuringTenThousandDentryInvalidation) {
+  Task& t = *world_.root;
+  constexpr int kDirs = 50;
+  constexpr int kFiles = 200;  // 50*200 files + 50 dirs + root > 10k dentries
+  ASSERT_OK(t.Mkdir("/huge"));
+  for (int d = 0; d < kDirs; ++d) {
+    std::string dir = "/huge/d" + std::to_string(d);
+    ASSERT_OK(t.Mkdir(dir));
+    for (int f = 0; f < kFiles; ++f) {
+      auto fd = t.Open(dir + "/f" + std::to_string(f), kOCreat | kOWrite);
+      ASSERT_OK(fd);
+      ASSERT_OK(t.Close(*fd));
+    }
+  }
+  ASSERT_OK(t.Mkdir("/other"));
+  auto ofd = t.Open("/other/f", kOCreat | kOWrite);
+  ASSERT_OK(ofd);
+  ASSERT_OK(t.Close(*ofd));
+  ASSERT_OK(t.StatPath("/other/f"));  // warm
+
+  PathWalker walker(world_.kernel.get());
+  auto huge = walker.Resolve(*world_.root, nullptr, "/huge", 0);
+  ASSERT_OK(huge);
+
+  TaskPtr reader = world_.root->Fork();
+  {
+    CoherenceSection section(&world_.kernel->dcache());
+    // Gate open == a deferred pass is in flight somewhere. Every lookup
+    // must still complete (falling back to the slowpath), not spin or
+    // block on the gate.
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_OK(reader->StatPath("/other/f"));
+      ASSERT_OK(reader->StatPath("/huge/d0/f0"));
+    }
+    // Now run the real 10k-dentry pass while lookups keep flowing.
+    std::thread inval(
+        [&] { section.InvalidateNow(huge->dentry()); });
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_OK(reader->StatPath("/other/f"));
+      ASSERT_OK(reader->StatPath("/huge/d1/f1"));
+    }
+    inval.join();
+    section.Close();
+  }
+
+  InvalPassStats stats = world_.kernel->dcache().last_inval_stats();
+  EXPECT_GE(stats.visited, 10000u);
+  EXPECT_EQ(stats.workers, 4u);  // threshold 256 << 10k: pool engaged
+  EXPECT_GT(stats.dlht_batches, 0u);
+  // Everything still resolves after the pass.
+  ASSERT_OK(reader->StatPath("/huge/d49/f199"));
+  ASSERT_OK(reader->StatPath("/other/f"));
+}
+
+// Overlapping subtree invalidations (chmod on nested directories from many
+// threads) racing readers: no sequence number may be reused or skipped in a
+// way the auditor's pcc_seq family can detect, and the structures must be
+// clean afterwards (TearDown runs the audit; PCC checks included via the
+// reader credentials' caches being validated lazily on their next use).
+TEST_F(InvalEngineTest, OverlappingSubtreeInvalidationsKeepSeqsCoherent) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Mkdir("/s"));
+  ASSERT_OK(t.Mkdir("/s/a"));
+  ASSERT_OK(t.Mkdir("/s/a/b"));
+  for (int i = 0; i < 300; ++i) {
+    std::string dir = i % 3 == 0 ? "/s" : (i % 3 == 1 ? "/s/a" : "/s/a/b");
+    auto fd = t.Open(dir + "/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(t.Close(*fd));
+  }
+  for (int i = 0; i < 300; ++i) {
+    std::string dir = i % 3 == 0 ? "/s" : (i % 3 == 1 ? "/s/a" : "/s/a/b");
+    ASSERT_OK(t.StatPath(dir + "/f" + std::to_string(i)));
+  }
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int i = 0; i < 2; ++i) {
+    readers.emplace_back([&, i] {
+      TaskPtr task = world_.root->Fork();
+      Rng rng(static_cast<uint64_t>(i) + 17);
+      while (!stop.load(std::memory_order_acquire)) {
+        int n = static_cast<int>(rng.Below(300));
+        std::string dir =
+            n % 3 == 0 ? "/s" : (n % 3 == 1 ? "/s/a" : "/s/a/b");
+        auto r = task->StatPath(dir + "/f" + std::to_string(n));
+        EXPECT_OK(r);
+      }
+    });
+  }
+  // Three mutators chmodding the three nested roots: their invalidation
+  // passes overlap arbitrarily (the engine serializes whole passes, but
+  // the coherence sections and counter bumps interleave).
+  std::vector<std::thread> mutators;
+  for (int m = 0; m < 3; ++m) {
+    mutators.emplace_back([&, m] {
+      TaskPtr task = world_.root->Fork();
+      const char* dir = m == 0 ? "/s" : (m == 1 ? "/s/a" : "/s/a/b");
+      for (int i = 0; i < 25; ++i) {
+        ASSERT_OK(task->Chmod(dir, (i & 1) != 0 ? 0750 : 0755));
+        std::this_thread::yield();
+      }
+    });
+  }
+  for (auto& m : mutators) {
+    m.join();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) {
+    r.join();
+  }
+  // Every path still resolves with final modes applied.
+  for (int i = 0; i < 300; ++i) {
+    std::string dir = i % 3 == 0 ? "/s" : (i % 3 == 1 ? "/s/a" : "/s/a/b");
+    EXPECT_OK(t.StatPath(dir + "/f" + std::to_string(i)));
+  }
+}
 
 }  // namespace
 }  // namespace dircache

@@ -186,7 +186,7 @@ TEST_F(DcacheTest, InvalidateSubtreeBumpsAllVersions) {
   EXPECT_NE(top->fast.seq.load(), top_seq);
   EXPECT_NE(leaf->fast.seq.load(), leaf_seq);
   EXPECT_GT(dc().invalidation_counter(), inval);
-  EXPECT_EQ(leaf->fast.on_dlht, nullptr);  // evicted from the DLHT
+  EXPECT_EQ(leaf->fast.on_dlht.load(), nullptr);  // evicted from the DLHT
   dc().Dput(top);
 }
 

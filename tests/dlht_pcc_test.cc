@@ -36,7 +36,7 @@ TEST(DlhtTest, InsertLookupRemove) {
   EXPECT_EQ(table.Lookup(other, &stats), nullptr);
   Dlht::RemoveFromCurrent(&fd);
   EXPECT_EQ(table.Lookup(fd.signature, &stats), nullptr);
-  EXPECT_EQ(fd.on_dlht, nullptr);
+  EXPECT_EQ(fd.on_dlht.load(), nullptr);
   Dlht::RemoveFromCurrent(&fd);  // idempotent
 }
 
@@ -47,14 +47,68 @@ TEST(DlhtTest, OneTableAtATime) {
   FastDentry fd;
   fd.signature = SigOf(signer, "a");
   t1.Insert(&fd);
-  EXPECT_EQ(fd.on_dlht, &t1);
+  EXPECT_EQ(fd.on_dlht.load(), &t1);
   // Moving to another table requires removal first (§4.3 discipline).
   Dlht::RemoveFromCurrent(&fd);
   t2.Insert(&fd);
-  EXPECT_EQ(fd.on_dlht, &t2);
+  EXPECT_EQ(fd.on_dlht.load(), &t2);
   CacheStats stats;
   EXPECT_EQ(t1.Lookup(fd.signature, &stats), nullptr);
   EXPECT_EQ(t2.Lookup(fd.signature, &stats), &fd);
+  Dlht::RemoveFromCurrent(&fd);
+}
+
+TEST(DlhtTest, RemoveBatchEvictsOnlyPresentEntries) {
+  PathSigner signer(7);
+  Dlht table(1 << 2);  // tiny: everything shares few buckets
+  CacheStats stats;
+  FastDentry a;
+  FastDentry b;
+  FastDentry c;
+  a.signature = SigOf(signer, "a");
+  b.signature = SigOf(signer, "b");
+  c.signature = SigOf(signer, "c");
+  // Force all three into one bucket so a single batch covers them.
+  b.signature.bucket = a.signature.bucket;
+  c.signature.bucket = a.signature.bucket;
+  table.Insert(&a);
+  table.Insert(&b);
+  // `c` was never inserted: the batch must skip it (the invalidation engine
+  // batches entries while holding the dentry lock, but by flush time a
+  // concurrent writer may already have unhashed them).
+  const size_t bucket = table.BucketIndexFor(a.signature);
+  FastDentry* batch[] = {&a, &c, &b};
+  EXPECT_EQ(table.RemoveBatch(bucket, batch, 3), 2u);
+  EXPECT_EQ(table.Lookup(a.signature, &stats), nullptr);
+  EXPECT_EQ(table.Lookup(b.signature, &stats), nullptr);
+  EXPECT_EQ(a.on_dlht.load(), nullptr);
+  EXPECT_EQ(b.on_dlht.load(), nullptr);
+  EXPECT_EQ(table.SizeSlow(), 0u);
+  // Repeating the batch is a no-op.
+  EXPECT_EQ(table.RemoveBatch(bucket, batch, 3), 0u);
+}
+
+TEST(DlhtTest, RemoveBatchSkipsEntriesMovedToAnotherBucket) {
+  PathSigner signer(8);
+  Dlht table(1 << 4);
+  CacheStats stats;
+  FastDentry fd;
+  fd.signature = SigOf(signer, "original");
+  table.Insert(&fd);
+  const size_t old_bucket = table.BucketIndexFor(fd.signature);
+  // Simulate a concurrent re-signature + re-insert between the engine
+  // batching this entry and the flush: the entry now lives in a different
+  // bucket of the same table.
+  Dlht::RemoveFromCurrent(&fd);
+  Signature moved = SigOf(signer, "rehashed");
+  moved.bucket = fd.signature.bucket + 1;  // guarantee a different bucket
+  fd.signature = moved;
+  table.Insert(&fd);
+  // The stale-bucket batch finds no matching node and removes nothing.
+  FastDentry* batch[] = {&fd};
+  EXPECT_EQ(table.RemoveBatch(old_bucket, batch, 1), 0u);
+  EXPECT_EQ(table.Lookup(fd.signature, &stats), &fd);
+  EXPECT_EQ(fd.on_dlht.load(), &table);
   Dlht::RemoveFromCurrent(&fd);
 }
 

@@ -573,6 +573,67 @@ TEST(Observe, JournalRecordsCoherenceEvents) {
   }
 }
 
+// A parallel invalidation pass journals its shape: the kInvalidateSubtree
+// span carries worker/batch payloads in arg2/arg3, and one kInvalWorker
+// span per participant nests inside it.
+TEST(Observe, JournalCarriesParallelInvalidationPayloads) {
+  CacheConfig cfg = CacheConfig::Optimized();
+  cfg.inval_parallel_threshold = 64;  // engage the pool at test size
+  cfg.inval_max_workers = 3;
+  TestWorld w(cfg, nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/p"));
+  for (int i = 0; i < 400; ++i) {
+    auto fd = w.root->Open("/p/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(w.root->Close(*fd));
+  }
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_OK(w.root->StatPath("/p/f" + std::to_string(i)));  // cache it
+  }
+  ASSERT_OK(w.root->Chmod("/p", 0700));
+
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  const JournalEventRecord* parallel_pass = nullptr;
+  size_t worker_spans = 0;
+  for (const JournalEventRecord& ev : snap.journal) {
+    if (ev.type == JournalEvent::kInvalidateSubtree && ev.arg2 > 0) {
+      parallel_pass = &ev;
+    }
+    if (ev.type == JournalEvent::kInvalWorker) {
+      ++worker_spans;
+      EXPECT_LT(ev.arg0, 3u);  // worker index < configured pool size
+    }
+  }
+  ASSERT_NE(parallel_pass, nullptr) << "no parallel pass journaled";
+  EXPECT_EQ(parallel_pass->arg2, 3u);         // workers
+  EXPECT_GT(parallel_pass->arg3, 0u);         // dlht_batches
+  EXPECT_GE(parallel_pass->arg0, 400u);       // dentries bumped
+  EXPECT_GE(parallel_pass->arg1, 400u);       // dlht entries evicted
+  EXPECT_EQ(worker_spans, 3u);  // one span per participant
+  // Worker spans nest inside the owning pass span.
+  for (const JournalEventRecord& ev : snap.journal) {
+    if (ev.type == JournalEvent::kInvalWorker) {
+      EXPECT_GE(ev.begin_ns, parallel_pass->begin_ns);
+      EXPECT_LE(ev.begin_ns + ev.duration_ns,
+                parallel_pass->begin_ns + parallel_pass->duration_ns);
+    }
+  }
+
+  // The JSON rendering names the extended payloads; 2-arg events must NOT
+  // grow extra keys (schema v2 append-only rule).
+  std::string json = snap.ToJson();
+  for (const char* key : {"\"workers\"", "\"dlht_batches\"",
+                          "\"inval_worker\"", "\"visited\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  // The Chrome trace renders the pass and its nested worker spans.
+  std::string trace = snap.ToChromeTrace();
+  EXPECT_NE(trace.find("\"name\":\"invalidate_subtree\""),
+            std::string::npos);
+  EXPECT_NE(trace.find("\"name\":\"inval_worker\""), std::string::npos);
+  EXPECT_NE(trace.find("\"workers\":3"), std::string::npos);
+}
+
 // --- chrome trace export --------------------------------------------------
 
 TEST(Observe, ChromeTraceExportsJournalAndWalks) {
