@@ -71,13 +71,13 @@ int main() {
   std::printf("%s\n", buf.c_str());
 
   // Same binary visible through the bind mount.
-  auto st = container->StatPath("/bin/sh");
+  auto st = container->Statx(kAtFdCwd, "/bin/sh", 0);
   std::printf("container sees /bin/sh: %s\n", st.ok() ? "yes" : "no");
 
   // The same proc instance is mounted at two places (mount alias): one
   // dentry, one DLHT entry, most-recent path wins (§4.3).
-  auto host_proc = host->StatPath("/proc/version");
-  auto cont_proc = container->StatPath("/proc/version");
+  auto host_proc = host->Statx(kAtFdCwd, "/proc/version", 0);
+  auto cont_proc = container->Statx(kAtFdCwd, "/proc/version", 0);
   std::printf("proc alias: host ino=%llu container ino=%llu (same file)\n",
               static_cast<unsigned long long>(host_proc.ok() ? host_proc->ino
                                                              : 0),
@@ -85,7 +85,7 @@ int main() {
                                                              : 0));
 
   // Escape-proofing: the container cannot see the host tree.
-  auto escape = container->StatPath("/../../etc/hostname");
+  auto escape = container->Statx(kAtFdCwd, "/../../etc/hostname", 0);
   buf.clear();
   fd = container->Open("/../../etc/hostname", kORead);
   if (fd.ok()) {
@@ -98,7 +98,7 @@ int main() {
 
   // Repeat lookups inside the namespace ride the namespace-private DLHT.
   for (int i = 0; i < 3; ++i) {
-    (void)container->StatPath("/etc/hostname");
+    (void)container->Statx(kAtFdCwd, "/etc/hostname", 0);
   }
   std::printf("\nfastpath hits so far: %llu\n",
               static_cast<unsigned long long>(

@@ -48,7 +48,7 @@ int main() {
   // 6. Resolve paths. The first lookup walks component-at-a-time and
   //    memoizes; repeats hit the DLHT + PCC fastpath.
   for (int i = 0; i < 3; ++i) {
-    auto st = alice->StatPath("/alice/notes.txt");  // through the symlink
+    auto st = alice->Statx(kAtFdCwd, "/alice/notes.txt", 0);  // through the symlink
     if (st.ok()) {
       std::printf("stat #%d: ino=%llu size=%llu mode=%o\n", i + 1,
                   static_cast<unsigned long long>(st->ino),
@@ -59,7 +59,7 @@ int main() {
   // 7. Permission enforcement: bob can't get into alice's 0750 home.
   TaskPtr bob = root->Fork();
   bob->SetCred(MakeCred(1001, 1001));
-  auto denied = bob->StatPath("/home/alice/notes.txt");
+  auto denied = bob->Statx(kAtFdCwd, "/home/alice/notes.txt", 0);
   std::printf("bob's stat: %s (expected EACCES)\n",
               std::string(ErrnoName(denied.error())).c_str());
 

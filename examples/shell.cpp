@@ -12,8 +12,15 @@
 //   stats' | ./examples/shell
 //
 // Commands: mkdir ls stat lstat cat write rm rmdir mv ln ln -s cd pwd
-// chmod chown mount-mem umount su stats observe observe-json trace
-// trace-export audit drop help
+// chmod chown mount-mem umount su batch serve stats observe observe-json
+// trace trace-export audit drop help
+//
+// `batch <stat|lstat|mkdir|rm|rmdir> <path>...` submits every path as one
+// SQE batch through `Task::SubmitBatch` (DESIGN.md §12) and prints one
+// completion per entry; `serve <dir> [ops] [depth]` spins up the
+// run-to-completion server frontend, replays `ops` warm stats over the
+// directory's entries through the submission rings at the given batch
+// depth, and reports throughput plus the batch_* histograms.
 //
 // `observe` prints the kernel's versioned observability snapshot (latency
 // histograms + walk outcomes + timeline/heat/journal, DESIGN.md §9–§10);
@@ -31,8 +38,11 @@
 #include <iostream>
 #include <sstream>
 #include <string_view>
+#include <thread>
 #include <vector>
 
+#include "src/server/batch.h"
+#include "src/server/server.h"
 #include "src/storage/diskfs.h"
 #include "src/storage/memfs.h"
 #include "src/vfs/kernel.h"
@@ -84,6 +94,10 @@ int Run(std::istream& in) {
           "mkdir ls stat lstat cat write rm rmdir mv ln [-s] cd pwd chmod "
           "chown mount-mem umount su stats observe observe-json trace "
           "trace-export [file] audit drop\n"
+          "batch <stat|lstat|mkdir|rm|rmdir> <path>...   one SQE per path, "
+          "one SubmitBatch\n"
+          "serve <dir> [ops] [depth]   run-to-completion server frontend "
+          "demo\n"
           "observe-json/trace-export fail (exit nonzero) when observability "
           "is disabled (DIRCACHE_SHELL_OBS=0)\n");
     } else if (cmd == "mkdir") {
@@ -112,7 +126,8 @@ int Run(std::istream& in) {
     } else if (cmd == "stat" || cmd == "lstat") {
       std::string p;
       ss >> p;
-      auto st = cmd == "stat" ? task->StatPath(p) : task->LstatPath(p);
+      auto st = task->Statx(kAtFdCwd, p,
+                            cmd == "stat" ? 0 : kAtSymlinkNoFollow);
       if (st.ok()) {
         PrintStat(*st, p);
       } else {
@@ -209,6 +224,146 @@ int Run(std::istream& in) {
       ss >> uid >> gid;
       task->SetCred(MakeCred(uid, gid));
       std::printf("now uid=%u gid=%u\n", uid, gid);
+    } else if (cmd == "batch") {
+      // batch <stat|lstat|mkdir|rm|rmdir> <path>... — every path becomes
+      // one SQE; one SubmitBatch executes them all, one CQE per entry.
+      std::string sub;
+      ss >> sub;
+      std::vector<std::string> paths;
+      std::string p;
+      while (ss >> p) {
+        paths.push_back(p);
+      }
+      if (paths.empty()) {
+        std::printf("batch: usage: batch <stat|lstat|mkdir|rm|rmdir> "
+                    "<path>...\n");
+        continue;
+      }
+      std::vector<Stat> stats(paths.size());
+      std::vector<server::Sqe> sqes;
+      sqes.reserve(paths.size());
+      bool known = true;
+      for (size_t i = 0; i < paths.size(); ++i) {
+        server::Sqe s;
+        if (sub == "stat") {
+          s = server::Sqe::Statx(kAtFdCwd, paths[i], 0, &stats[i]);
+        } else if (sub == "lstat") {
+          s = server::Sqe::Statx(kAtFdCwd, paths[i], kAtSymlinkNoFollow,
+                                 &stats[i]);
+        } else if (sub == "mkdir") {
+          s = server::Sqe::Mkdir(kAtFdCwd, paths[i]);
+        } else if (sub == "rm") {
+          s = server::Sqe::Unlink(kAtFdCwd, paths[i]);
+        } else if (sub == "rmdir") {
+          s = server::Sqe::Unlink(kAtFdCwd, paths[i], /*rmdir=*/true);
+        } else {
+          std::printf("batch: unknown op '%s'\n", sub.c_str());
+          known = false;
+          break;
+        }
+        s.user_data = i;
+        sqes.push_back(s);
+      }
+      if (!known) {
+        continue;
+      }
+      std::vector<server::Cqe> cqes(sqes.size());
+      task->SubmitBatch(sqes.data(), sqes.size(), cqes.data());
+      for (const server::Cqe& c : cqes) {
+        const std::string& path = paths[c.user_data];
+        if (!c.ok()) {
+          std::printf("[%llu] error: %.*s  %s\n",
+                      static_cast<unsigned long long>(c.user_data),
+                      static_cast<int>(c.error_name().size()),
+                      c.error_name().data(), path.c_str());
+        } else if (sub == "stat" || sub == "lstat") {
+          PrintStat(stats[c.user_data], path);
+        } else {
+          std::printf("[%llu] ok  %s\n",
+                      static_cast<unsigned long long>(c.user_data),
+                      path.c_str());
+        }
+      }
+    } else if (cmd == "serve") {
+      // serve <dir> [ops] [depth] — drive warm stats over the directory's
+      // entries through the server frontend's submission rings.
+      std::string dir;
+      uint64_t ops = 10000;
+      uint32_t depth = 32;
+      ss >> dir >> ops >> depth;
+      if (dir.empty()) {
+        std::printf("serve: usage: serve <dir> [ops] [depth]\n");
+        continue;
+      }
+      auto dfd = task->Open(dir, kORead | kODirectory);
+      if (!dfd.ok()) {
+        report(Status(dfd.error()));
+        continue;
+      }
+      std::vector<std::string> names;
+      while (true) {
+        auto batch = task->ReadDirFd(*dfd, 256);
+        if (!batch.ok() || batch->empty()) {
+          break;
+        }
+        for (const auto& e : *batch) {
+          names.push_back(dir + "/" + e.name);
+        }
+      }
+      report(task->Close(*dfd));
+      if (names.empty()) {
+        std::printf("serve: %s has no entries\n", dir.c_str());
+        continue;
+      }
+      server::ServerOptions opts;
+      opts.max_batch = depth == 0 ? 1 : depth;
+      server::Server srv(&kernel, task, opts);
+      srv.Start();
+      std::vector<server::Cqe> cqes(256);
+      uint64_t submitted = 0;
+      uint64_t reaped = 0;
+      uint64_t t0 = NowNanos();
+      while (reaped < ops) {
+        while (submitted < ops && submitted - reaped < opts.max_batch) {
+          server::Sqe s = server::Sqe::Statx(
+              kAtFdCwd, names[submitted % names.size()], 0, nullptr);
+          s.user_data = submitted;
+          if (!srv.Submit(0, s)) {
+            break;
+          }
+          ++submitted;
+        }
+        size_t got = srv.Reap(0, cqes.data(), cqes.size());
+        reaped += got;
+        if (got == 0) {
+          std::this_thread::yield();  // single-CPU: let the shard run
+        }
+      }
+      uint64_t elapsed = NowNanos() - t0;
+      srv.Stop();
+      double secs = static_cast<double>(elapsed) / 1e9;
+      std::printf("serve: %llu ops in %.3fs = %.0f ops/sec "
+                  "(depth %u, %llu batches)\n",
+                  static_cast<unsigned long long>(reaped), secs,
+                  secs > 0 ? static_cast<double>(reaped) / secs : 0.0, depth,
+                  static_cast<unsigned long long>(srv.batches()));
+      if (kernel.obs().enabled()) {
+        obs::ObsSnapshot snap = kernel.Observe();
+        auto show = [&](obs::ObsOp op, const char* unit) {
+          const auto& h = snap.Op(op);
+          double mean = h.count == 0 ? 0.0
+                                     : static_cast<double>(h.sum_ns) /
+                                           static_cast<double>(h.count);
+          std::printf("  %-15s count=%llu mean=%.1f%s p99=%llu%s\n",
+                      obs::ObsOpName(op),
+                      static_cast<unsigned long long>(h.count), mean, unit,
+                      static_cast<unsigned long long>(h.Quantile(0.99)),
+                      unit);
+        };
+        show(obs::ObsOp::kBatchDepth, "");
+        show(obs::ObsOp::kBatchOccupancy, "");
+        show(obs::ObsOp::kBatchDispatch, "ns");
+      }
     } else if (cmd == "stats") {
       std::printf("%s\n", kernel.stats().ToString().c_str());
     } else if (cmd == "observe") {

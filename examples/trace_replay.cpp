@@ -121,11 +121,11 @@ int DoOp(Task& t, const TraceOp& op) {
     return s.ok() ? 0 : static_cast<int>(s.error());
   };
   if (op.verb == "stat") {
-    auto r = t.StatPath(op.arg1);
+    auto r = t.Statx(kAtFdCwd, op.arg1, 0);
     return r.ok() ? 0 : static_cast<int>(r.error());
   }
   if (op.verb == "lstat") {
-    auto r = t.LstatPath(op.arg1);
+    auto r = t.Statx(kAtFdCwd, op.arg1, kAtSymlinkNoFollow);
     return r.ok() ? 0 : static_cast<int>(r.error());
   }
   if (op.verb == "open") {

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # Quick benchmark smoke pass: build Release, run a shortened Figure 8, the
-# Figure 7 write-cost bench, plus the stat/open microbenchmarks, and leave
-# machine-readable results at the repo root (BENCH_fig8.json,
-# BENCH_fig7.json, BENCH_micro.json). Exits nonzero if fig8's verdict fails
+# Figure 7 write-cost bench, the batched-server throughput bench, plus the
+# stat/open microbenchmarks, and leave machine-readable results at the repo
+# root (BENCH_fig8.json, BENCH_fig7.json, BENCH_server.json,
+# BENCH_micro.json). Exits nonzero if fig8's verdict fails
 # (the optimized warm hit path took locks or shared writes), if fig7's
 # verdict fails (no parallel speedup on big subtrees, a heap allocation on a
 # small-subtree invalidation, shared writes on warm hits, or a rename
-# write-section that scales with the subtree), if an artifact is missing the
+# write-section that scales with the subtree), if the server bench's verdict
+# fails (batched submission < 2x over one-call-per-op, or warm hits through
+# the rings took shared writes), if an artifact is missing the
 # expected obs schema version or budget, or if the shell's trace-export does
 # not produce loadable Chrome trace-event JSON.
 #
@@ -20,7 +23,7 @@ if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target fig8_scalability \
-  fig7_mutation_cost microbench shell
+  fig7_mutation_cost microbench server_throughput shell
 
 echo "== fig8 (quick) =="
 FIG8_QUICK=1 "$BUILD_DIR/bench/fig8_scalability"
@@ -29,6 +32,12 @@ echo "== fig7 mutation cost (quick) =="
 # Exits nonzero itself when any verdict fails; the schema/budget assertions
 # below re-check the artifact it wrote.
 FIG7_QUICK=1 "$BUILD_DIR/bench/fig7_mutation_cost"
+
+echo "== server throughput (quick) =="
+# Exits nonzero itself when its verdict block fails (batched speedup < 2x
+# or warm hits took shared writes); the schema assertions below re-check
+# the artifact it wrote.
+SERVER_QUICK=1 "$BUILD_DIR/bench/server_throughput"
 
 echo "== microbench (quick) =="
 "$BUILD_DIR/bench/microbench" \
@@ -164,6 +173,60 @@ else
   echo "fig7 verdict OK (grep fallback)"
 fi
 
+echo "== server batch schema + verdict check =="
+# The batched-API artifact must carry the batch ABI version, a verdict
+# block with both bars cleared, the >=2x batched speedup the redesign
+# promises at depth >= 32, warm-hit purity (shared_writes_per_op = 0
+# through the server rings), and the batch_* histograms from the obs-ON
+# rerun under the v2 introspection schema.
+if command -v python3 >/dev/null; then
+  python3 - <<'PY'
+import json
+
+OBS_SCHEMA = 2
+
+srv = json.load(open("BENCH_server.json"))
+assert srv["benchmark"] == "server_throughput", srv.get("benchmark")
+assert srv["batch_abi_version"] == 1, srv.get("batch_abi_version")
+
+verdict = srv["verdict"]
+for key in ("batched_speedup_ok", "warm_hit_shared_write_free"):
+    assert verdict[key] is True, f"server verdict {key} = {verdict[key]}"
+speedup = verdict["batched_speedup"]
+assert speedup >= 2.0, f"batched speedup {speedup:.2f}x < 2x"
+
+warm = srv["warm"]
+assert warm["batch_depth"] >= 32, f"batch depth {warm['batch_depth']} < 32"
+sw = warm["shared_writes_per_op"]
+assert sw < 1e-3, f"warm-hit shared_writes_per_op {sw} != 0"
+assert warm["batched_ops_per_sec"] > warm["unbatched_ops_per_sec"], warm
+
+mixed = srv["mixed"]
+assert mixed["ops"] > 0 and mixed["ops_per_sec"] > 0, mixed
+assert 0.05 < mixed["mutation_fraction"] < 0.25, mixed["mutation_fraction"]
+assert mixed["p50_ns"] <= mixed["p99_ns"] <= mixed["p999_ns"], mixed
+
+got = srv["obs"]["schema_version"]
+assert got == OBS_SCHEMA, f"BENCH_server.json obs schema {got} != {OBS_SCHEMA}"
+batch_ops = {
+    name: op for name, op in srv["obs"]["ops"].items()
+    if name.startswith("batch_")
+}
+for name in ("batch_depth", "batch_occupancy", "batch_dispatch"):
+    assert name in batch_ops, f"{name} histogram missing from obs rerun"
+    assert batch_ops[name]["count"] > 0, f"{name} histogram empty"
+
+print(f"server batch OK: {speedup:.2f}x at depth {warm['batch_depth']}, "
+      f"warm shared_writes/op {sw}, mixed p99 {mixed['p99_ns']} ns, "
+      f"batch_* histograms present under schema v{OBS_SCHEMA}")
+PY
+else
+  grep -q '"batched_speedup_ok": true' BENCH_server.json
+  grep -q '"warm_hit_shared_write_free": true' BENCH_server.json
+  grep -q '"batch_abi_version": 1' BENCH_server.json
+  echo "server verdict OK (grep fallback)"
+fi
+
 echo "== chrome trace export check =="
 # The shell's trace-export must emit loadable Chrome trace-event JSON
 # (an object with a traceEvents array of complete "X" events).
@@ -192,4 +255,4 @@ else
   echo "chrome trace OK (grep fallback)"
 fi
 
-echo "wrote BENCH_fig8.json, BENCH_fig7.json, and BENCH_micro.json"
+echo "wrote BENCH_fig8.json, BENCH_fig7.json, BENCH_server.json, and BENCH_micro.json"

@@ -7,6 +7,9 @@
 #   scripts/check.sh --tsan     # + thread sanitizer pass over the
 #                               #   concurrency-sensitive suites (labels
 #                               #   obs + concurrency)
+#   scripts/check.sh --server   # + thread sanitizer pass over just the
+#                               #   batch/server suite (label server: the
+#                               #   SQ/CQ rings and the shard drain loop)
 #   scripts/check.sh --bench    # + run every benchmark binary
 #   scripts/check.sh --bench fig7
 #                               # + run only benchmarks whose name starts
@@ -20,10 +23,12 @@ FULL=0
 BENCH=0
 BENCH_FILTER=""
 TSAN=0
+SERVER=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) FULL=1 ;;
     --tsan) TSAN=1 ;;
+    --server) SERVER=1 ;;
     --bench)
       BENCH=1
       if [[ $# -gt 1 && "${2:0:2}" != "--" ]]; then
@@ -69,6 +74,19 @@ if [[ "$TSAN" == 1 ]]; then
   # the telemetry rings, runs under full TSan scrutiny.
   TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp history_size=7" \
     ctest --test-dir build-tsan --output-on-failure -L 'obs|concurrency'
+fi
+
+if [[ "$SERVER" == 1 ]]; then
+  echo "== thread sanitizer (batch/server suite) =="
+  # The new cross-thread surface from the batch API redesign: the Vyukov
+  # SQ/CQ rings, multi-producer Submit against the shard drain loop, and
+  # Stop()'s drain-everything guarantee. Reuses the --tsan build tree.
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan
+  TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp history_size=7" \
+    ctest --test-dir build-tsan --output-on-failure -L server
 fi
 
 if [[ "$BENCH" == 1 ]]; then

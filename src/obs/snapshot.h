@@ -50,6 +50,14 @@ enum class ObsOp : uint8_t {
   kChmod,
   kReaddir,
   kInvalidate,  // subtree invalidation passes (dcache write side)
+  // Server-frontend batch telemetry (DESIGN.md §12). These reuse the
+  // histogram machinery with non-latency units where noted: kBatchDepth and
+  // kBatchOccupancy record entry counts, kBatchDispatch records the
+  // submit->dispatch queue wait in nanoseconds. Added fields, no schema
+  // version bump (see the evolution contract above).
+  kBatchDepth,      // SQEs executed per run-to-completion turn (count)
+  kBatchOccupancy,  // SQ ring occupancy seen at drain time (count)
+  kBatchDispatch,   // queue wait: SQE submit -> shard dispatch (ns)
   kCount,
 };
 
@@ -71,6 +79,12 @@ inline const char* ObsOpName(ObsOp op) {
       return "readdir";
     case ObsOp::kInvalidate:
       return "invalidate";
+    case ObsOp::kBatchDepth:
+      return "batch_depth";
+    case ObsOp::kBatchOccupancy:
+      return "batch_occupancy";
+    case ObsOp::kBatchDispatch:
+      return "batch_dispatch";
     case ObsOp::kCount:
       break;
   }

@@ -1,0 +1,189 @@
+// The versioned batch submission/completion ABI (DESIGN.md §12).
+//
+// This is the ONE public op surface of the VFS: every path-based operation
+// is described by a SubmissionQueueEntry (SQE) and answered by a
+// CompletionQueueEntry (CQE), io_uring style. `Task::SubmitBatch` executes
+// a batch run-to-completion in submission order; the classic single-call
+// methods (`Task::Statx`, `Open`, `ReadDirFd`, ...) are thin one-entry
+// shims over that same path — there is no second codepath to drift.
+//
+// Buffer ownership follows io_uring: an SQE *references* caller memory
+// (`path`, `statbuf`, `dirents`); the caller must keep those buffers alive
+// and untouched until the matching CQE has been reaped. Results travel in
+// the out-buffers; the CQE itself carries only `user_data`, a small `res`,
+// and renders failures through the unified `ErrnoName` spelling — the same
+// `Status::error_name()` convention the shell and the test suite use.
+#ifndef DIRCACHE_SERVER_BATCH_H_
+#define DIRCACHE_SERVER_BATCH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/vfs/types.h"
+
+namespace dircache {
+namespace server {
+
+// Bump on any incompatible SQE/CQE layout or semantics change. Adding
+// opcodes or flag bits is backward compatible and does not bump it.
+inline constexpr int kBatchAbiVersion = 1;
+
+enum class OpCode : uint8_t {
+  kNop = 0,   // completes immediately with res = 0 (ring plumbing tests)
+  kStatx,     // statx(dirfd, path, flags, mask) -> *statbuf
+  kAccess,    // access-style permission probe (MAY_* mask in `mode`)
+  kOpen,      // openat(dirfd, path, flags, mode) -> res = new fd
+  kClose,     // close(fd)
+  kReaddir,   // getdents(fd, max_entries) -> *dirents, res = entry count
+  kMkdir,     // mkdirat(dirfd, path, mode)
+  kUnlink,    // unlinkat(dirfd, path, flags & kAtRemoveDir)
+  kRename,    // renameat(dirfd, path, fd2, path2)
+};
+
+inline const char* OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kNop:
+      return "nop";
+    case OpCode::kStatx:
+      return "statx";
+    case OpCode::kAccess:
+      return "access";
+    case OpCode::kOpen:
+      return "open";
+    case OpCode::kClose:
+      return "close";
+    case OpCode::kReaddir:
+      return "readdir";
+    case OpCode::kMkdir:
+      return "mkdir";
+    case OpCode::kUnlink:
+      return "unlink";
+    case OpCode::kRename:
+      return "rename";
+  }
+  return "unknown";
+}
+
+// One submitted operation. Trivially copyable so it can travel through the
+// lock-free rings by value.
+struct SubmissionQueueEntry {
+  OpCode op = OpCode::kNop;
+  // dirfd for path ops (kAtFdCwd = relative to the task's cwd); the target
+  // fd for kClose/kReaddir. fd identity is per shard task — route fd ops to
+  // the shard that completed the kOpen (io_uring fixed-file discipline).
+  int32_t fd = kAtFdCwd;
+  int32_t fd2 = kAtFdCwd;  // rename destination dirfd
+  int32_t flags = 0;       // statx/open flags; kUnlink honors kAtRemoveDir
+  uint32_t mode = 0;       // open/mkdir mode; kAccess MAY_* mask
+  uint32_t mask = kStatxBasicStats;  // statx field-request mask
+  uint32_t max_entries = 256;        // kReaddir batch size
+  std::string_view path;
+  std::string_view path2;  // rename destination
+  // Caller out-buffers (referenced, not copied; see header comment).
+  Stat* statbuf = nullptr;
+  std::vector<DirEntry>* dirents = nullptr;
+  uint64_t user_data = 0;
+  // Stamped by Server::Submit when observability is armed; drives the
+  // batch_dispatch queue-wait histogram. 0 = unstamped.
+  uint64_t submit_ns = 0;
+
+  // --- builders: the idiomatic way to fill an entry -------------------------
+  static SubmissionQueueEntry Statx(FdNum dirfd, std::string_view path,
+                                    int flags, Stat* out,
+                                    uint32_t mask = kStatxBasicStats) {
+    SubmissionQueueEntry s;
+    s.op = OpCode::kStatx;
+    s.fd = dirfd;
+    s.path = path;
+    s.flags = flags;
+    s.mask = mask;
+    s.statbuf = out;
+    return s;
+  }
+  static SubmissionQueueEntry Access(std::string_view path, int may_mask) {
+    SubmissionQueueEntry s;
+    s.op = OpCode::kAccess;
+    s.path = path;
+    s.mode = static_cast<uint32_t>(may_mask);
+    return s;
+  }
+  static SubmissionQueueEntry Open(FdNum dirfd, std::string_view path,
+                                   int flags, uint16_t mode = 0644) {
+    SubmissionQueueEntry s;
+    s.op = OpCode::kOpen;
+    s.fd = dirfd;
+    s.path = path;
+    s.flags = flags;
+    s.mode = mode;
+    return s;
+  }
+  static SubmissionQueueEntry Close(FdNum fd) {
+    SubmissionQueueEntry s;
+    s.op = OpCode::kClose;
+    s.fd = fd;
+    return s;
+  }
+  static SubmissionQueueEntry Readdir(FdNum fd, std::vector<DirEntry>* out,
+                                      uint32_t max_entries = 256) {
+    SubmissionQueueEntry s;
+    s.op = OpCode::kReaddir;
+    s.fd = fd;
+    s.dirents = out;
+    s.max_entries = max_entries;
+    return s;
+  }
+  static SubmissionQueueEntry Mkdir(FdNum dirfd, std::string_view path,
+                                    uint16_t mode = 0755) {
+    SubmissionQueueEntry s;
+    s.op = OpCode::kMkdir;
+    s.fd = dirfd;
+    s.path = path;
+    s.mode = mode;
+    return s;
+  }
+  static SubmissionQueueEntry Unlink(FdNum dirfd, std::string_view path,
+                                     bool rmdir = false) {
+    SubmissionQueueEntry s;
+    s.op = OpCode::kUnlink;
+    s.fd = dirfd;
+    s.path = path;
+    s.flags = rmdir ? kAtRemoveDir : 0;
+    return s;
+  }
+  static SubmissionQueueEntry Rename(FdNum olddirfd, std::string_view oldpath,
+                                     FdNum newdirfd,
+                                     std::string_view newpath) {
+    SubmissionQueueEntry s;
+    s.op = OpCode::kRename;
+    s.fd = olddirfd;
+    s.path = oldpath;
+    s.fd2 = newdirfd;
+    s.path2 = newpath;
+    return s;
+  }
+};
+
+// One completed operation. `res` follows the kernel convention: >= 0 is the
+// operation's small result (a new fd for kOpen, the entry count for
+// kReaddir, 0 otherwise); < 0 is the negated errno.
+struct CompletionQueueEntry {
+  uint64_t user_data = 0;
+  int32_t res = 0;
+
+  bool ok() const { return res >= 0; }
+  Errno error() const {
+    return res >= 0 ? Errno::kOk : static_cast<Errno>(-res);
+  }
+  // The one errno spelling every layer renders (Status::error_name()).
+  std::string_view error_name() const { return ErrnoName(error()); }
+};
+
+using Sqe = SubmissionQueueEntry;
+using Cqe = CompletionQueueEntry;
+
+}  // namespace server
+}  // namespace dircache
+
+#endif  // DIRCACHE_SERVER_BATCH_H_

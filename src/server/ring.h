@@ -1,0 +1,121 @@
+// Bounded lock-free MPMC ring (Vyukov's array queue) — the submission and
+// completion queues of the server frontend (DESIGN.md §12).
+//
+// Each cell carries a sequence number that encodes its state relative to
+// the head/tail tickets: producers claim a ticket with one fetch_add and
+// publish by storing `ticket + 1` into the cell's seq; consumers observe
+// that store (acquire) and release the cell for the next lap by storing
+// `ticket + capacity`. Push and pop are therefore one RMW plus one
+// store/load pair each — no locks, no unbounded spinning (a full/empty
+// ring fails fast with `false`).
+//
+// Single-producer or single-consumer use degenerates to the same code with
+// an uncontended CAS; the server uses one ring pair per shard with
+// multi-producer submit and a single run-to-completion consumer.
+#ifndef DIRCACHE_SERVER_RING_H_
+#define DIRCACHE_SERVER_RING_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+
+#include "src/util/align.h"
+
+namespace dircache {
+namespace server {
+
+template <typename T>
+class MpmcRing {
+ public:
+  // `capacity` is rounded up to a power of two, minimum 2.
+  explicit MpmcRing(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  // False when the ring is full.
+  bool TryPush(const T& v) {
+    Cell* cell;
+    size_t ticket = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[ticket & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(ticket);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // the cell is still occupied from the previous lap
+      } else {
+        ticket = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = v;
+    cell->seq.store(ticket + 1, std::memory_order_release);
+    return true;
+  }
+
+  // False when the ring is empty.
+  bool TryPop(T* out) {
+    Cell* cell;
+    size_t ticket = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[ticket & mask_];
+      size_t seq = cell->seq.load(std::memory_order_acquire);
+      intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(ticket + 1);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // nothing published at this slot yet
+      } else {
+        ticket = head_.load(std::memory_order_relaxed);
+      }
+    }
+    *out = cell->value;
+    cell->seq.store(ticket + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Racy occupancy estimate — telemetry only (the batch_occupancy
+  // histogram), never a correctness signal.
+  size_t SizeApprox() const {
+    size_t t = tail_.load(std::memory_order_relaxed);
+    size_t h = head_.load(std::memory_order_relaxed);
+    return t >= h ? t - h : 0;
+  }
+
+ private:
+  struct alignas(kCacheLineSize) Cell {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  std::unique_ptr<Cell[]> cells_;
+  size_t mask_ = 0;
+  alignas(kCacheLineSize) std::atomic<size_t> tail_{0};  // producers
+  alignas(kCacheLineSize) std::atomic<size_t> head_{0};  // consumers
+};
+
+}  // namespace server
+}  // namespace dircache
+
+#endif  // DIRCACHE_SERVER_RING_H_

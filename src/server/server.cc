@@ -1,0 +1,130 @@
+#include "src/server/server.h"
+
+#include "src/obs/snapshot.h"
+#include "src/util/clock.h"
+#include "src/vfs/kernel.h"
+
+namespace dircache {
+namespace server {
+
+Server::Server(Kernel* kernel, const TaskPtr& base, ServerOptions opts)
+    : kernel_(kernel), opts_(opts) {
+  uint32_t n = opts_.shards == 0 ? 1 : opts_.shards;
+  for (uint32_t i = 0; i < n; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->sq = std::make_unique<MpmcRing<Sqe>>(opts_.ring_depth);
+    sh->cq = std::make_unique<MpmcRing<Cqe>>(opts_.ring_depth);
+    sh->task = base->Fork();
+    shards_.push_back(std::move(sh));
+  }
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  stop_.store(false, std::memory_order_release);
+  for (auto& sh : shards_) {
+    sh->thread = std::thread([this, shard = sh.get()] { RunShard(*shard); });
+  }
+}
+
+void Server::Stop() {
+  if (!started_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  for (auto& sh : shards_) {
+    if (sh->thread.joinable()) {
+      sh->thread.join();
+    }
+  }
+  started_ = false;
+}
+
+bool Server::Submit(uint32_t shard, const Sqe& sqe) {
+  Shard& sh = *shards_[shard % shards_.size()];
+  if (kernel_->obs().enabled() && sqe.submit_ns == 0) {
+    Sqe stamped = sqe;
+    stamped.submit_ns = NowNanos();
+    return sh.sq->TryPush(stamped);
+  }
+  return sh.sq->TryPush(sqe);
+}
+
+void Server::SubmitWait(uint32_t shard, const Sqe& sqe) {
+  while (!Submit(shard, sqe)) {
+    std::this_thread::yield();
+  }
+}
+
+size_t Server::Reap(uint32_t shard, Cqe* out, size_t max) {
+  Shard& sh = *shards_[shard % shards_.size()];
+  size_t n = 0;
+  while (n < max && sh.cq->TryPop(&out[n])) {
+    ++n;
+  }
+  return n;
+}
+
+uint64_t Server::ops_completed() const {
+  uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->completed.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+uint64_t Server::batches() const {
+  uint64_t n = 0;
+  for (const auto& sh : shards_) {
+    n += sh->batches.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+void Server::RunShard(Shard& sh) {
+  std::vector<Sqe> batch(opts_.max_batch);
+  std::vector<Cqe> cqes(opts_.max_batch);
+  for (;;) {
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    const size_t occupancy = sh.sq->SizeApprox();
+    size_t n = 0;
+    while (n < opts_.max_batch && sh.sq->TryPop(&batch[n])) {
+      ++n;
+    }
+    if (n == 0) {
+      if (stopping) {
+        return;  // drained everything submitted before Stop()
+      }
+      std::this_thread::yield();
+      continue;
+    }
+    Observability& obs = kernel_->obs();
+    const uint64_t dispatch_ns = obs.enabled() ? NowNanos() : 0;
+    sh.task->SubmitBatch(batch.data(), n, cqes.data());
+    if (dispatch_ns != 0) {
+      obs.RecordLatency(obs::ObsOp::kBatchDepth, n);
+      obs.RecordLatency(obs::ObsOp::kBatchOccupancy, occupancy);
+      for (size_t i = 0; i < n; ++i) {
+        if (batch[i].submit_ns != 0 && dispatch_ns > batch[i].submit_ns) {
+          obs.RecordLatency(obs::ObsOp::kBatchDispatch,
+                            dispatch_ns - batch[i].submit_ns);
+        }
+      }
+    }
+    sh.batches.fetch_add(1, std::memory_order_relaxed);
+    sh.completed.fetch_add(n, std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      while (!sh.cq->TryPush(cqes[i])) {
+        std::this_thread::yield();  // client is slow to reap
+      }
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace dircache

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/server/batch.h"
 #include "src/storage/block_device.h"
 #include "src/util/epoch.h"
 #include "src/vfs/kernel.h"
@@ -204,6 +205,148 @@ Stat Task::StatFromInode(const Inode& inode) {
 }
 
 // ---------------------------------------------------------------------------
+// batched submission (DESIGN.md §12)
+//
+// SubmitBatch is THE op surface: every public single-call syscall below is
+// a one-entry shim over it. ExecuteSqe decodes one entry, installs the same
+// per-op Scope the single calls always had (so profiler and obs histograms
+// see batched and single-call traffic identically), and routes to the Do*
+// implementation. Entries execute run-to-completion in submission order;
+// one entry's failure never disturbs its neighbors.
+
+void Task::SubmitBatch(const server::SubmissionQueueEntry* sqes, size_t n,
+                       server::CompletionQueueEntry* cqes) {
+  for (size_t i = 0; i < n; ++i) {
+    ExecuteSqe(sqes[i], &cqes[i]);
+  }
+}
+
+namespace {
+
+int32_t ResOf(const Status& st) {
+  return st.ok() ? 0 : -static_cast<int32_t>(st.error());
+}
+
+}  // namespace
+
+void Task::ExecuteSqe(const server::SubmissionQueueEntry& s,
+                      server::CompletionQueueEntry* c) {
+  using server::OpCode;
+  c->user_data = s.user_data;
+  c->res = 0;
+  switch (s.op) {
+    case OpCode::kNop:
+      return;
+    case OpCode::kStatx: {
+      Scope sc(this, SyscallKind::kStat);
+      auto r = DoStatx(s.fd, s.path, s.flags, s.mask);
+      if (!r.ok()) {
+        c->res = -static_cast<int32_t>(r.error());
+      } else if (s.statbuf != nullptr) {
+        *s.statbuf = *r;
+      }
+      return;
+    }
+    case OpCode::kAccess: {
+      Scope sc(this, SyscallKind::kAccess);
+      c->res = ResOf(DoAccess(s.path, static_cast<int>(s.mode)));
+      return;
+    }
+    case OpCode::kOpen: {
+      Scope sc(this, SyscallKind::kOpen);
+      auto fd = [&]() -> Result<FdNum> {
+        if (s.fd == kAtFdCwd || s.path.empty() || s.path.front() == '/') {
+          return DoOpen(nullptr, s.path, s.flags,
+                        static_cast<uint16_t>(s.mode));
+        }
+        auto file = GetFile(s.fd);
+        if (!file.ok()) {
+          return file.error();
+        }
+        return DoOpen(&(*file)->path(), s.path, s.flags,
+                      static_cast<uint16_t>(s.mode));
+      }();
+      c->res = fd.ok() ? static_cast<int32_t>(*fd)
+                       : -static_cast<int32_t>(fd.error());
+      return;
+    }
+    case OpCode::kClose: {
+      Scope sc(this, SyscallKind::kOther);
+      c->res = ResOf(DoClose(s.fd));
+      return;
+    }
+    case OpCode::kReaddir: {
+      Scope sc(this, SyscallKind::kReaddir);
+      auto r = DoReadDir(s.fd, s.max_entries);
+      if (!r.ok()) {
+        c->res = -static_cast<int32_t>(r.error());
+      } else {
+        c->res = static_cast<int32_t>(r->size());
+        if (s.dirents != nullptr) {
+          *s.dirents = *std::move(r);
+        }
+      }
+      return;
+    }
+    case OpCode::kMkdir: {
+      Scope sc(this, SyscallKind::kMkdirRmdir);
+      if (s.fd == kAtFdCwd || s.path.empty() || s.path.front() == '/') {
+        c->res =
+            ResOf(DoMkdir(nullptr, s.path, static_cast<uint16_t>(s.mode)));
+        return;
+      }
+      auto file = GetFile(s.fd);
+      if (!file.ok()) {
+        c->res = -static_cast<int32_t>(file.error());
+        return;
+      }
+      c->res = ResOf(
+          DoMkdir(&(*file)->path(), s.path, static_cast<uint16_t>(s.mode)));
+      return;
+    }
+    case OpCode::kUnlink: {
+      const bool rmdir = (s.flags & kAtRemoveDir) != 0;
+      Scope sc(this, rmdir ? SyscallKind::kMkdirRmdir : SyscallKind::kUnlink);
+      if (s.fd == kAtFdCwd || s.path.empty() || s.path.front() == '/') {
+        c->res = ResOf(DoUnlink(nullptr, s.path, rmdir));
+        return;
+      }
+      auto file = GetFile(s.fd);
+      if (!file.ok()) {
+        c->res = -static_cast<int32_t>(file.error());
+        return;
+      }
+      c->res = ResOf(DoUnlink(&(*file)->path(), s.path, rmdir));
+      return;
+    }
+    case OpCode::kRename: {
+      Scope sc(this, SyscallKind::kRename);
+      const PathHandle* ob = nullptr;
+      const PathHandle* nb = nullptr;
+      if (s.fd != kAtFdCwd && !s.path.empty() && s.path.front() != '/') {
+        auto f = GetFile(s.fd);
+        if (!f.ok()) {
+          c->res = -static_cast<int32_t>(f.error());
+          return;
+        }
+        ob = &(*f)->path();
+      }
+      if (s.fd2 != kAtFdCwd && !s.path2.empty() && s.path2.front() != '/') {
+        auto f = GetFile(s.fd2);
+        if (!f.ok()) {
+          c->res = -static_cast<int32_t>(f.error());
+          return;
+        }
+        nb = &(*f)->path();
+      }
+      c->res = ResOf(DoRename(ob, s.path, nb, s.path2));
+      return;
+    }
+  }
+  c->res = -static_cast<int32_t>(Errno::kEINVAL);  // unknown opcode
+}
+
+// ---------------------------------------------------------------------------
 // stat / access
 
 Result<Stat> Task::DoStat(const PathHandle* base, std::string_view path,
@@ -220,9 +363,8 @@ Result<Stat> Task::DoStat(const PathHandle* base, std::string_view path,
   return StatFromInode(*inode);
 }
 
-Result<Stat> Task::Statx(FdNum dirfd, std::string_view path, int flags,
-                         uint32_t mask) {
-  Scope s(this, SyscallKind::kStat);
+Result<Stat> Task::DoStatx(FdNum dirfd, std::string_view path, int flags,
+                           uint32_t mask) {
   if ((flags & ~(kAtSymlinkNoFollow | kAtEmptyPath)) != 0) {
     return Errno::kEINVAL;
   }
@@ -260,6 +402,18 @@ Result<Stat> Task::Statx(FdNum dirfd, std::string_view path, int flags,
   return DoStat(&(*file)->path(), path, follow);
 }
 
+Result<Stat> Task::Statx(FdNum dirfd, std::string_view path, int flags,
+                         uint32_t mask) {
+  Stat st;
+  server::Sqe sqe = server::Sqe::Statx(dirfd, path, flags, &st, mask);
+  server::Cqe cqe;
+  SubmitBatch(&sqe, 1, &cqe);
+  if (!cqe.ok()) {
+    return cqe.error();
+  }
+  return st;
+}
+
 Result<Stat> Task::StatPath(std::string_view path) {
   return Statx(kAtFdCwd, path, 0);
 }
@@ -276,8 +430,7 @@ Result<Stat> Task::Fstat(FdNum fd) {
   return Statx(fd, {}, kAtEmptyPath);
 }
 
-Status Task::Access(std::string_view path, int may_mask) {
-  Scope s(this, SyscallKind::kAccess);
+Status Task::DoAccess(std::string_view path, int may_mask) {
   PathWalker walker(kernel_);
   auto p = walker.Resolve(*this, nullptr, path, kWalkFollow);
   if (!p.ok()) {
@@ -291,25 +444,29 @@ Status Task::Access(std::string_view path, int may_mask) {
                                         p->dentry());
 }
 
+Status Task::Access(std::string_view path, int may_mask) {
+  server::Sqe sqe = server::Sqe::Access(path, may_mask);
+  server::Cqe cqe;
+  SubmitBatch(&sqe, 1, &cqe);
+  return cqe.error();
+}
+
 // ---------------------------------------------------------------------------
 // open / close
 
 Result<FdNum> Task::Open(std::string_view path, int flags, uint16_t mode) {
-  Scope s(this, SyscallKind::kOpen);
-  return DoOpen(nullptr, path, flags, mode);
+  return OpenAt(kAtFdCwd, path, flags, mode);
 }
 
 Result<FdNum> Task::OpenAt(FdNum dirfd, std::string_view path, int flags,
                            uint16_t mode) {
-  Scope s(this, SyscallKind::kOpen);
-  if (dirfd == kAtFdCwd || path.empty() || path.front() == '/') {
-    return DoOpen(nullptr, path, flags, mode);
+  server::Sqe sqe = server::Sqe::Open(dirfd, path, flags, mode);
+  server::Cqe cqe;
+  SubmitBatch(&sqe, 1, &cqe);
+  if (!cqe.ok()) {
+    return cqe.error();
   }
-  auto file = GetFile(dirfd);
-  if (!file.ok()) {
-    return file.error();
-  }
-  return DoOpen(&(*file)->path(), path, flags, mode);
+  return static_cast<FdNum>(cqe.res);
 }
 
 Result<FdNum> Task::DoOpen(const PathHandle* base, std::string_view path,
@@ -449,14 +606,20 @@ Result<FdNum> Task::DoOpen(const PathHandle* base, std::string_view path,
   return InstallFile(std::move(file));
 }
 
-Status Task::Close(FdNum fd) {
-  Scope s(this, SyscallKind::kOther);
+Status Task::DoClose(FdNum fd) {
   if (fd < 0 || static_cast<size_t>(fd) >= fds_.size() ||
       fds_[static_cast<size_t>(fd)] == nullptr) {
     return Errno::kEBADF;
   }
   fds_[static_cast<size_t>(fd)] = nullptr;
   return Status::Ok();
+}
+
+Status Task::Close(FdNum fd) {
+  server::Sqe sqe = server::Sqe::Close(fd);
+  server::Cqe cqe;
+  SubmitBatch(&sqe, 1, &cqe);
+  return cqe.error();
 }
 
 // ---------------------------------------------------------------------------
@@ -638,20 +801,14 @@ Result<std::string> Task::Getcwd() {
 // mkdir / rmdir / unlink
 
 Status Task::Mkdir(std::string_view path, uint16_t mode) {
-  Scope s(this, SyscallKind::kMkdirRmdir);
-  return DoMkdir(nullptr, path, mode);
+  return MkdirAt(kAtFdCwd, path, mode);
 }
 
 Status Task::MkdirAt(FdNum dirfd, std::string_view path, uint16_t mode) {
-  Scope s(this, SyscallKind::kMkdirRmdir);
-  if (dirfd == kAtFdCwd || path.empty() || path.front() == '/') {
-    return DoMkdir(nullptr, path, mode);
-  }
-  auto file = GetFile(dirfd);
-  if (!file.ok()) {
-    return file.error();
-  }
-  return DoMkdir(&(*file)->path(), path, mode);
+  server::Sqe sqe = server::Sqe::Mkdir(dirfd, path, mode);
+  server::Cqe cqe;
+  SubmitBatch(&sqe, 1, &cqe);
+  return cqe.error();
 }
 
 Status Task::DoMkdir(const PathHandle* base, std::string_view path,
@@ -717,25 +874,18 @@ Status Task::DoMkdir(const PathHandle* base, std::string_view path,
 }
 
 Status Task::Unlink(std::string_view path) {
-  Scope s(this, SyscallKind::kUnlink);
-  return DoUnlink(nullptr, path, /*rmdir=*/false);
+  return UnlinkAt(kAtFdCwd, path, /*rmdir=*/false);
 }
 
 Status Task::Rmdir(std::string_view path) {
-  Scope s(this, SyscallKind::kMkdirRmdir);
-  return DoUnlink(nullptr, path, /*rmdir=*/true);
+  return UnlinkAt(kAtFdCwd, path, /*rmdir=*/true);
 }
 
 Status Task::UnlinkAt(FdNum dirfd, std::string_view path, bool rmdir) {
-  Scope s(this, rmdir ? SyscallKind::kMkdirRmdir : SyscallKind::kUnlink);
-  if (dirfd == kAtFdCwd || path.empty() || path.front() == '/') {
-    return DoUnlink(nullptr, path, rmdir);
-  }
-  auto file = GetFile(dirfd);
-  if (!file.ok()) {
-    return file.error();
-  }
-  return DoUnlink(&(*file)->path(), path, rmdir);
+  server::Sqe sqe = server::Sqe::Unlink(dirfd, path, rmdir);
+  server::Cqe cqe;
+  SubmitBatch(&sqe, 1, &cqe);
+  return cqe.error();
 }
 
 Status Task::DoUnlink(const PathHandle* base, std::string_view path,
@@ -844,30 +994,15 @@ Status Task::DoUnlink(const PathHandle* base, std::string_view path,
 // rename
 
 Status Task::Rename(std::string_view oldpath, std::string_view newpath) {
-  Scope s(this, SyscallKind::kRename);
-  return DoRename(nullptr, oldpath, nullptr, newpath);
+  return RenameAt(kAtFdCwd, oldpath, kAtFdCwd, newpath);
 }
 
 Status Task::RenameAt(FdNum olddirfd, std::string_view oldpath,
                       FdNum newdirfd, std::string_view newpath) {
-  Scope s(this, SyscallKind::kRename);
-  const PathHandle* ob = nullptr;
-  const PathHandle* nb = nullptr;
-  if (olddirfd != kAtFdCwd && !oldpath.empty() && oldpath.front() != '/') {
-    auto f = GetFile(olddirfd);
-    if (!f.ok()) {
-      return f.error();
-    }
-    ob = &(*f)->path();
-  }
-  if (newdirfd != kAtFdCwd && !newpath.empty() && newpath.front() != '/') {
-    auto f = GetFile(newdirfd);
-    if (!f.ok()) {
-      return f.error();
-    }
-    nb = &(*f)->path();
-  }
-  return DoRename(ob, oldpath, nb, newpath);
+  server::Sqe sqe = server::Sqe::Rename(olddirfd, oldpath, newdirfd, newpath);
+  server::Cqe cqe;
+  SubmitBatch(&sqe, 1, &cqe);
+  return cqe.error();
 }
 
 Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
@@ -1323,8 +1458,7 @@ Result<uint64_t> Task::Lseek(FdNum fd, uint64_t offset) {
 // ---------------------------------------------------------------------------
 // readdir (§5.1)
 
-Result<std::vector<DirEntry>> Task::ReadDirFd(FdNum fd, size_t max_entries) {
-  Scope s(this, SyscallKind::kReaddir);
+Result<std::vector<DirEntry>> Task::DoReadDir(FdNum fd, size_t max_entries) {
   auto filer = GetFile(fd);
   if (!filer.ok()) {
     return filer.error();
@@ -1420,6 +1554,17 @@ Result<std::vector<DirEntry>> Task::ReadDirFd(FdNum fd, size_t max_entries) {
     }
   }
   return std::move(r->entries);
+}
+
+Result<std::vector<DirEntry>> Task::ReadDirFd(FdNum fd, size_t max_entries) {
+  std::vector<DirEntry> entries;
+  server::Sqe sqe = server::Sqe::Readdir(fd, &entries, max_entries);
+  server::Cqe cqe;
+  SubmitBatch(&sqe, 1, &cqe);
+  if (!cqe.ok()) {
+    return cqe.error();
+  }
+  return entries;
 }
 
 // ---------------------------------------------------------------------------

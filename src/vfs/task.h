@@ -20,6 +20,11 @@
 
 namespace dircache {
 
+namespace server {
+struct SubmissionQueueEntry;
+struct CompletionQueueEntry;
+}  // namespace server
+
 // Open file description.
 class File {
  public:
@@ -109,15 +114,29 @@ class Task : public std::enable_shared_from_this<Task> {
   // Private mount namespace (unshare(CLONE_NEWNS)).
   Status UnshareMountNs();
 
+  // --- batched submission (DESIGN.md §12) ------------------------------------
+  // THE op surface: executes `n` submission entries run-to-completion, in
+  // submission order, writing one completion per entry (src/server/batch.h
+  // defines the versioned SQE/CQE ABI). Every single-call path syscall
+  // below is a thin one-entry shim over this — one codepath, not two. A
+  // batch amortizes dispatch (one call, one profiler/obs arm per entry, no
+  // per-op thread handoff when driven through server::Server's rings) while
+  // each entry still runs the identical walk fastpath.
+  void SubmitBatch(const server::SubmissionQueueEntry* sqes, size_t n,
+                   server::CompletionQueueEntry* cqes);
+
   // --- path syscalls ---------------------------------------------------------
   // The unified stat entry point (statx(2) shape). `flags` accepts
   // kAtSymlinkNoFollow and kAtEmptyPath (empty path + kAtEmptyPath stats
   // `dirfd` itself, or the cwd for kAtFdCwd); any other bit is EINVAL.
   // `mask` must be a subset of kStatxBasicStats (the simulated Stat always
   // carries every field; the mask is validated, not partially filled).
-  // StatPath/LstatPath/FstatAt/Fstat below are thin shims over this.
   Result<Stat> Statx(FdNum dirfd, std::string_view path, int flags,
                      uint32_t mask = kStatxBasicStats);
+  // LEGACY SHIMS — StatPath/LstatPath predate the unified Statx entry point
+  // and survive only for the benches; new code calls Statx (or batches via
+  // SubmitBatch where a loop makes it natural). [[deprecated]]-ready: no
+  // in-tree workload or example uses them anymore.
   Result<Stat> StatPath(std::string_view path);
   Result<Stat> LstatPath(std::string_view path);
   Result<Stat> FstatAt(FdNum dirfd, std::string_view path, int flags);
@@ -173,6 +192,11 @@ class Task : public std::enable_shared_from_this<Task> {
   // Syscall prologue/epilogue helper.
   class Scope;
 
+  // The batch execution core: decode one SQE, run it through the Do*
+  // implementation (installing the per-op Scope), encode the CQE.
+  void ExecuteSqe(const server::SubmissionQueueEntry& sqe,
+                  server::CompletionQueueEntry* cqe);
+
   Result<PathHandle> ResolveArg(FdNum dirfd, std::string_view path,
                                 int wflags, std::string* last_out = nullptr);
   Result<File*> GetFile(FdNum fd);
@@ -186,6 +210,11 @@ class Task : public std::enable_shared_from_this<Task> {
                   const PathHandle* newbase, std::string_view newpath);
   Result<Stat> DoStat(const PathHandle* base, std::string_view path,
                       bool follow);
+  Result<Stat> DoStatx(FdNum dirfd, std::string_view path, int flags,
+                       uint32_t mask);
+  Status DoAccess(std::string_view path, int may_mask);
+  Status DoClose(FdNum fd);
+  Result<std::vector<DirEntry>> DoReadDir(FdNum fd, size_t max_entries);
   static Stat StatFromInode(const Inode& inode);
 
   Kernel* const kernel_;

@@ -31,6 +31,8 @@ inline constexpr int kONoFollow = 0x20000;
 
 // fstatat()/statx()-style flags.
 inline constexpr int kAtSymlinkNoFollow = 0x100;
+// unlinkat(): remove a directory instead of a file (AT_REMOVEDIR).
+inline constexpr int kAtRemoveDir = 0x200;
 // With an empty path, operate on `dirfd` itself (statx/fstatat semantics).
 inline constexpr int kAtEmptyPath = 0x1000;
 // *at() dirfd meaning "relative to the cwd".

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/server/batch.h"
 #include "tests/test_util.h"
 
 namespace dircache {
@@ -549,6 +550,38 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return "Unknown";
     });
+
+// --- errno surface ---------------------------------------------------------
+// The batch ABI carries failures as negated errnos in `Cqe::res`
+// (io_uring's convention). Every Errno the kernel can produce must
+// round-trip through that encoding and come back out with the same
+// unified `ErrnoName` spelling the Status surface uses.
+TEST(ErrnoSurface, NegativeErrnoRoundTripsThroughCqe) {
+  const Errno all[] = {
+      Errno::kEPERM,   Errno::kENOENT, Errno::kEIO,     Errno::kEBADF,
+      Errno::kEACCES,  Errno::kEBUSY,  Errno::kEEXIST,  Errno::kEXDEV,
+      Errno::kENODEV,  Errno::kENOTDIR, Errno::kEISDIR, Errno::kEINVAL,
+      Errno::kENFILE,  Errno::kEMFILE, Errno::kENOSPC,  Errno::kEROFS,
+      Errno::kEMLINK,  Errno::kERANGE, Errno::kENAMETOOLONG,
+      Errno::kENOTEMPTY, Errno::kELOOP, Errno::kEOVERFLOW, Errno::kESTALE,
+  };
+  for (Errno e : all) {
+    server::Cqe c{};
+    c.res = -static_cast<int32_t>(e);
+    EXPECT_FALSE(c.ok());
+    EXPECT_EQ(c.error(), e);
+    EXPECT_EQ(c.error_name(), ErrnoName(e));
+    EXPECT_NE(c.error_name(), "E???") << static_cast<int>(e);
+  }
+  server::Cqe ok{};
+  ok.res = 0;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.error(), Errno::kOk);
+  server::Cqe fd{};
+  fd.res = 42;  // a positive result (an fd, a readdir count) is success
+  EXPECT_TRUE(fd.ok());
+  EXPECT_EQ(fd.error(), Errno::kOk);
+}
 
 }  // namespace
 }  // namespace dircache
