@@ -61,13 +61,13 @@ Scores Measure(const CacheConfig& cfg) {
     }
   }
   std::string target = deep + "/FFF";
-  (void)t.StatPath(target);
+  (void)t.Statx(kAtFdCwd, target, 0);
   s.stat8_ns =
-      MeasureLatency([&] { (void)t.StatPath(target); }, 20'000'000).p50_ns;
+      MeasureLatency([&] { (void)t.Statx(kAtFdCwd, target, 0); }, 20'000'000).p50_ns;
 
-  (void)t.StatPath("/XXX/YYY/missing/leaf");
+  (void)t.Statx(kAtFdCwd, "/XXX/YYY/missing/leaf", 0);
   s.neg_stat_ns = MeasureLatency(
-                      [&] { (void)t.StatPath("/XXX/YYY/missing/leaf"); },
+                      [&] { (void)t.Statx(kAtFdCwd, "/XXX/YYY/missing/leaf", 0); },
                       20'000'000)
                       .p50_ns;
 
@@ -197,9 +197,9 @@ int main() {
       (void)t.Close(*fd);
     }
     const char* path = "/a/b/c/../../x/y/file";
-    (void)t.StatPath(path);
+    (void)t.Statx(kAtFdCwd, path, 0);
     double ns =
-        MeasureLatency([&] { (void)t.StatPath(path); }, 20'000'000).p50_ns;
+        MeasureLatency([&] { (void)t.Statx(kAtFdCwd, path, 0); }, 20'000'000).p50_ns;
     std::printf("  %-8s %8.0f ns\n",
                 mode == DotDotMode::kPosix ? "posix" : "lexical", ns);
   }

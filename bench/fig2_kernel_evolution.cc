@@ -29,8 +29,8 @@ void Build(Task& t) {
 double MeasureStat(const CacheConfig& cfg) {
   Env env = MakeEnv(cfg);
   Build(env.T());
-  (void)env.T().StatPath(kPath);
-  return MeasureLatency([&] { (void)env.T().StatPath(kPath); }, 40'000'000)
+  (void)env.T().Statx(kAtFdCwd, kPath, 0);
+  return MeasureLatency([&] { (void)env.T().Statx(kAtFdCwd, kPath, 0); }, 40'000'000)
       .p50_ns;
 }
 

@@ -49,14 +49,14 @@ void Decompose(const char* config_label, const CacheConfig& cfg) {
   for (const PathCase& pc : kCases) {
     // Warm.
     for (int i = 0; i < 1000; ++i) {
-      (void)env.T().StatPath(pc.path);
+      (void)env.T().Statx(kAtFdCwd, pc.path, 0);
     }
     WalkPhaseProfile profile;
     g_walk_profile = &profile;
     constexpr int kIters = 60000;
     Stopwatch sw;
     for (int i = 0; i < kIters; ++i) {
-      (void)env.T().StatPath(pc.path);
+      (void)env.T().Statx(kAtFdCwd, pc.path, 0);
     }
     uint64_t total = sw.ElapsedNanos();
     g_walk_profile = nullptr;

@@ -72,7 +72,7 @@ void BuildFixture(Task& t) {
 
 double MeasureStat(Task& t, const Pattern& pat) {
   return MeasureLatency([&] {
-           auto r = t.StatPath(pat.path);
+           auto r = t.Statx(kAtFdCwd, pat.path, 0);
            (void)r;
          },
                         20'000'000)

@@ -29,7 +29,7 @@ void BuildSubtree(Task& t, const std::string& root, const Shape& shape) {
     if (fd.ok()) {
       (void)t.Close(*fd);
     }
-    (void)t.StatPath(root);
+    (void)t.Statx(kAtFdCwd, root, 0);
     return;
   }
   (void)t.Mkdir(root);
@@ -59,7 +59,7 @@ void BuildSubtree(Task& t, const std::string& root, const Shape& shape) {
       if (fd.ok()) {
         (void)t.Close(*fd);
       }
-      (void)t.StatPath(f);  // ensure cached
+      (void)t.Statx(kAtFdCwd, f, 0);  // ensure cached
     }
   }
 }

@@ -135,7 +135,7 @@ std::vector<std::string> BuildSubtree(Task& t, const std::string& root,
     }
   }
   for (const std::string& f : paths) {
-    (void)t.StatPath(f);  // publish to the DLHT
+    (void)t.Statx(kAtFdCwd, f, 0);  // publish to the DLHT
   }
   return paths;
 }
@@ -176,7 +176,7 @@ PassResult MeasureInvalidation(const CacheConfig& cfg, size_t files,
 
   for (int i = 0; i < iters; ++i) {
     for (const std::string& f : paths) {
-      (void)t.StatPath(f);  // re-publish so every pass evicts a warm table
+      (void)t.Statx(kAtFdCwd, f, 0);  // re-publish so every pass evicts a warm table
     }
     uint64_t a0 = g_thread_allocs;
     dc.InvalidateSubtree(h->dentry());
@@ -224,13 +224,13 @@ ReaderResult MeasureReader(int ops) {
   BuildSubtree(t, "/sub", 256);  // 256 files land flat under /sub
   const char* kHot = "/sub/f0";
   for (int i = 0; i < 8; ++i) {
-    (void)t.StatPath(kHot);
+    (void)t.Statx(kAtFdCwd, kHot, 0);
   }
   auto loop = [&](std::vector<uint64_t>* lat) {
     lat->reserve(static_cast<size_t>(ops));
     for (int i = 0; i < ops; ++i) {
       uint64_t t0 = MonoNanos();
-      (void)t.StatPath(kHot);
+      (void)t.Statx(kAtFdCwd, kHot, 0);
       lat->push_back(MonoNanos() - t0);
     }
   };
@@ -250,11 +250,11 @@ ReaderResult MeasureReader(int ops) {
   // Settle the caches past the post-gate repopulation writes, then assert
   // the steady state: warm hits perform no shared-cacheline writes.
   for (int i = 0; i < 8; ++i) {
-    (void)t.StatPath(kHot);
+    (void)t.Statx(kAtFdCwd, kHot, 0);
   }
   env.kernel->stats().shared_writes.Reset();
   for (int i = 0; i < ops; ++i) {
-    (void)t.StatPath(kHot);
+    (void)t.Statx(kAtFdCwd, kHot, 0);
   }
   r.shared_writes_per_op =
       static_cast<double>(env.kernel->stats().shared_writes.value()) / ops;

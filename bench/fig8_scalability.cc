@@ -73,7 +73,7 @@ Point Measure(const CacheConfig& cfg, int threads) {
   // dentries on the LRU, arm the second-chance bits, and settle the PCC
   // entries at the most-recent tick. Only then is the steady state measured.
   for (int i = 0; i < 4; ++i) {
-    (void)env.T().StatPath(kPath);
+    (void)env.T().Statx(kAtFdCwd, kPath, 0);
   }
   if (auto fd = env.T().Open(kPath, kORead); fd.ok()) {
     (void)env.T().Close(*fd);
@@ -104,7 +104,7 @@ Point Measure(const CacheConfig& cfg, int threads) {
               (void)task->Close(*fd);
             }
           } else {
-            (void)task->StatPath(kPath);
+            (void)task->Statx(kAtFdCwd, kPath, 0);
           }
         }
         timespec t1{};
@@ -145,10 +145,10 @@ obs::ObsSnapshot ObservedRun(int ops) {
   Env env = MakeEnv(Optimized(), 1 << 17, 1 << 16, ObsConfig::Enabled());
   Build(env.T());
   for (int i = 0; i < 4; ++i) {
-    (void)env.T().StatPath(kPath);
+    (void)env.T().Statx(kAtFdCwd, kPath, 0);
   }
   for (int op = 0; op < ops; ++op) {
-    (void)env.T().StatPath(kPath);
+    (void)env.T().Statx(kAtFdCwd, kPath, 0);
     if (auto fd = env.T().Open(kPath, kORead); fd.ok()) {
       (void)env.T().Close(*fd);
     }
@@ -173,14 +173,14 @@ SamplerOverhead MeasureSamplerOverhead(int ops) {
     Env env = MakeEnv(Optimized(), 1 << 17, 1 << 16, obs_cfg);
     Build(env.T());
     for (int i = 0; i < 4; ++i) {
-      (void)env.T().StatPath(kPath);
+      (void)env.T().Statx(kAtFdCwd, kPath, 0);
     }
     double best_ns = 0;
     for (int rep = 0; rep < 5; ++rep) {
       timespec t0{};
       clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t0);
       for (int op = 0; op < ops; ++op) {
-        (void)env.T().StatPath(kPath);
+        (void)env.T().Statx(kAtFdCwd, kPath, 0);
       }
       timespec t1{};
       clock_gettime(CLOCK_THREAD_CPUTIME_ID, &t1);

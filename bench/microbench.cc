@@ -75,6 +75,22 @@ Env& SamplerEnv() {
   return env;
 }
 
+// A fifth environment with request tracing armed at a 1-in-100 sampling
+// rate (DESIGN.md §13) but no sampler thread, so BM_Stat8CompTraced vs
+// BM_Stat8CompObs isolates the tracing cost alone (same recording, no
+// background noise). bench_smoke gates the regression at < 5%, and the
+// untraced 99% must keep shared_writes_per_op = 0.
+Env& TracedEnv() {
+  static Env env = [] {
+    ObsConfig obs = ObsConfig::Enabled();
+    obs.trace_sample_every = 100;
+    Env e = MakeEnv(Optimized(), 1 << 17, 1 << 16, obs);
+    BuildTree(e.T());
+    return e;
+  }();
+  return env;
+}
+
 // Attach per-op lock / shared-write counters to a benchmark's report: the
 // delta of the kernel-wide statistics across the timed loop, divided by the
 // iteration count. On a warm optimized hit path both must read 0.
@@ -147,7 +163,7 @@ void BM_Stat8Comp(benchmark::State& state) {
   Env& env = EnvFor(state.range(0) != 0);
   StatCounterScope counters(env);
   for (auto _ : state) {
-    auto r = env.T().StatPath("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
+    auto r = env.T().Statx(kAtFdCwd, "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF", 0);
     benchmark::DoNotOptimize(r);
   }
   counters.Report(state);
@@ -157,7 +173,7 @@ BENCHMARK(BM_Stat8Comp)->Arg(0)->Arg(1);
 void BM_Stat1Comp(benchmark::State& state) {
   Env& env = EnvFor(state.range(0) != 0);
   for (auto _ : state) {
-    auto r = env.T().StatPath("/XXX");
+    auto r = env.T().Statx(kAtFdCwd, "/XXX", 0);
     benchmark::DoNotOptimize(r);
   }
 }
@@ -184,12 +200,33 @@ void BM_Stat8CompObs(benchmark::State& state) {
   Env& env = ObsEnv();
   ObsCounterScope counters(env, obs::ObsOp::kStat);
   for (auto _ : state) {
-    auto r = env.T().StatPath("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
+    auto r = env.T().Statx(kAtFdCwd, "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF", 0);
     benchmark::DoNotOptimize(r);
   }
   counters.Report(state);
 }
 BENCHMARK(BM_Stat8CompObs);
+
+// The warm stat loop with sampled request tracing armed (1 in 100). Its
+// delta vs BM_Stat8CompObs is the price of the trace hooks on the 99% of
+// ops that only roll the dice; shared_writes_per_op must stay 0 because
+// trace state is thread-local and the span rings are only written for the
+// sampled 1%. bench_smoke gates Traced/Obs p50 at < 5%.
+void BM_Stat8CompTraced(benchmark::State& state) {
+  Env& env = TracedEnv();
+  StatCounterScope counters(env);
+  ObsCounterScope obs_counters(env, obs::ObsOp::kStat);
+  for (auto _ : state) {
+    auto r = env.T().Statx(kAtFdCwd, "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF", 0);
+    benchmark::DoNotOptimize(r);
+  }
+  counters.Report(state);
+  obs_counters.Report(state);
+  state.counters["traced_requests"] = benchmark::Counter(static_cast<double>(
+      env.kernel->Observe().attribution[static_cast<size_t>(
+          obs::TraceOp::kStatx)].traced));
+}
+BENCHMARK(BM_Stat8CompTraced);
 
 void BM_OpenCloseObs(benchmark::State& state) {
   Env& env = ObsEnv();
@@ -213,7 +250,7 @@ void BM_Stat8CompObsSampler(benchmark::State& state) {
   StatCounterScope counters(env);
   ObsCounterScope obs_counters(env, obs::ObsOp::kStat);
   for (auto _ : state) {
-    auto r = env.T().StatPath("/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF");
+    auto r = env.T().Statx(kAtFdCwd, "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF", 0);
     benchmark::DoNotOptimize(r);
   }
   counters.Report(state);
@@ -227,7 +264,7 @@ BENCHMARK(BM_Stat8CompObsSampler);
 void BM_StatNegative(benchmark::State& state) {
   Env& env = EnvFor(state.range(0) != 0);
   for (auto _ : state) {
-    auto r = env.T().StatPath("/XXX/YYY/ZZZ/MISSING");
+    auto r = env.T().Statx(kAtFdCwd, "/XXX/YYY/ZZZ/MISSING", 0);
     benchmark::DoNotOptimize(r);
   }
 }

@@ -40,7 +40,7 @@ NetPoint Measure(const CacheConfig& cfg, RemoteProtocol protocol) {
     (void)t.Close(*fd);
   }
   std::string target = p + "/file";
-  (void)t.StatPath(target);
+  (void)t.Statx(kAtFdCwd, target, 0);
 
   constexpr int kOps = 20000;
   uint64_t rpcs0 = raw->rpcs();
@@ -48,7 +48,7 @@ NetPoint Measure(const CacheConfig& cfg, RemoteProtocol protocol) {
   t.io_clock().Reset();
   Stopwatch sw;
   for (int i = 0; i < kOps; ++i) {
-    (void)t.StatPath(target);
+    (void)t.Statx(kAtFdCwd, target, 0);
   }
   NetPoint point;
   point.stat_us =

@@ -142,6 +142,7 @@ double ServerOpsPerSec(Kernel* kernel, const TaskPtr& base, const Workload& w,
   std::vector<server::Cqe> cqes(256);
   uint64_t submitted = 0;
   uint64_t reaped = 0;
+  server::ReapBackoff backoff;  // single CPU: hand the shard the slice
   uint64_t t0 = NowNanos();
   while (reaped < ops) {
     while (submitted < ops && submitted - reaped < opts.max_batch) {
@@ -155,9 +156,7 @@ double ServerOpsPerSec(Kernel* kernel, const TaskPtr& base, const Workload& w,
     }
     size_t got = srv.Reap(0, cqes.data(), cqes.size());
     reaped += got;
-    if (got == 0) {
-      std::this_thread::yield();  // single CPU: hand the shard the slice
-    }
+    backoff.Update(got);
   }
   uint64_t el = NowNanos() - t0;
   srv.Stop();
@@ -182,6 +181,7 @@ double HotPathSharedWritesPerOp(Kernel* kernel, const TaskPtr& base,
   auto run = [&](uint64_t n) {
     uint64_t submitted = 0;
     uint64_t reaped = 0;
+    server::ReapBackoff backoff;
     while (reaped < n) {
       while (submitted < n && submitted - reaped < opts.max_batch) {
         server::Sqe s = server::Sqe::Statx(kAtFdCwd, hot, 0, nullptr);
@@ -193,9 +193,7 @@ double HotPathSharedWritesPerOp(Kernel* kernel, const TaskPtr& base,
       }
       size_t got = srv.Reap(0, cqes.data(), cqes.size());
       reaped += got;
-      if (got == 0) {
-        std::this_thread::yield();
-      }
+      backoff.Update(got);
     }
   };
   run(512);  // settle one-time writes before counting
@@ -241,12 +239,11 @@ MixedResult MixedPhase(Kernel* kernel, const TaskPtr& base, Workload& w,
     }
     size_t got = 0;
     std::vector<server::Cqe> cqes(sqes.size());
+    server::ReapBackoff backoff;
     while (got < sqes.size()) {
       size_t n = srv.Reap(0, cqes.data() + got, cqes.size() - got);
       got += n;
-      if (n == 0) {
-        std::this_thread::yield();
-      }
+      backoff.Update(n);
     }
     for (size_t i = 0; i < got; ++i) {
       if (cqes[i].ok()) {
@@ -280,6 +277,7 @@ MixedResult MixedPhase(Kernel* kernel, const TaskPtr& base, Workload& w,
   uint64_t reaped = 0;
   uint64_t mutations = 0;
   std::vector<server::Cqe> cqes(256);
+  server::ReapBackoff backoff;
   while (reaped < ops) {
     uint64_t now = NowNanos();
     while (submitted < ops && arrive_ns[submitted] <= now) {
@@ -318,9 +316,7 @@ MixedResult MixedPhase(Kernel* kernel, const TaskPtr& base, Workload& w,
       done_ns[cqes[k].user_data] = now;
     }
     reaped += got;
-    if (got == 0) {
-      std::this_thread::yield();
-    }
+    backoff.Update(got);
   }
   uint64_t el = NowNanos() - start;
   srv.Stop();

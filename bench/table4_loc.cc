@@ -122,7 +122,7 @@ int main() {
   auto tree = GenerateSourceTree(env.T(), "/src", spec);
   if (tree.ok()) {
     for (const auto& f : tree->files) {
-      (void)env.T().StatPath(f);
+      (void)env.T().Statx(kAtFdCwd, f, 0);
     }
     auto hist = env.kernel->dcache().ChainHistogram(10);
     size_t buckets = env.kernel->dcache().bucket_count();

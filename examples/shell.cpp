@@ -13,7 +13,7 @@
 //
 // Commands: mkdir ls stat lstat cat write rm rmdir mv ln ln -s cd pwd
 // chmod chown mount-mem umount su batch serve stats observe observe-json
-// trace trace-export audit drop help
+// trace trace-request flight-recorder trace-export audit drop help
 //
 // `batch <stat|lstat|mkdir|rm|rmdir> <path>...` submits every path as one
 // SQE batch through `Task::SubmitBatch` (DESIGN.md §12) and prints one
@@ -24,10 +24,14 @@
 //
 // `observe` prints the kernel's versioned observability snapshot (latency
 // histograms + walk outcomes + timeline/heat/journal, DESIGN.md §9–§10);
-// `trace` dumps the most recent traced walks; `observe-json` emits the
-// stable JSON form; `trace-export [file]` writes the coherence journal and
-// traced walks as Chrome trace-event JSON (load in chrome://tracing or
-// ui.perfetto.dev); `audit` runs the online invariant auditor.
+// `trace` dumps the most recent traced walks; `trace-request <path>`
+// force-traces one statx end to end (DESIGN.md §13) and prints its span
+// tree from the flight recorder; `flight-recorder` prints the last traced
+// requests without submitting anything; `observe-json` emits the stable
+// JSON form; `trace-export [file]` writes the coherence journal, traced
+// walks, and request span trees as Chrome trace-event JSON (load in
+// chrome://tracing or ui.perfetto.dev); `audit` runs the online invariant
+// auditor.
 //
 // Observability (including the background sampler) is on by default; set
 // DIRCACHE_SHELL_OBS=0 to run with it disabled (the obs commands then fail
@@ -64,11 +68,12 @@ int Run(std::istream& in) {
   KernelConfig config;
   config.cache = CacheConfig::Optimized();
   // The shell is a debugging tool: run with full observability — sampler
-  // included — so `observe`, `trace`, and `trace-export` have something to
-  // show. DIRCACHE_SHELL_OBS=0 opts out.
+  // and request tracing included — so `observe`, `trace`, `trace-request`,
+  // and `trace-export` have something to show. DIRCACHE_SHELL_OBS=0 opts
+  // out.
   const char* obs_env = std::getenv("DIRCACHE_SHELL_OBS");
   if (obs_env == nullptr || std::string_view(obs_env) != "0") {
-    config.obs = ObsConfig::EnabledWithSampler();
+    config.obs = ObsConfig::EnabledWithTracing();
     config.obs.sample_interval_ms = 50;
   }
   Kernel kernel(config);
@@ -98,8 +103,11 @@ int Run(std::istream& in) {
           "one SubmitBatch\n"
           "serve <dir> [ops] [depth]   run-to-completion server frontend "
           "demo\n"
-          "observe-json/trace-export fail (exit nonzero) when observability "
-          "is disabled (DIRCACHE_SHELL_OBS=0)\n");
+          "trace-request <path>   force-trace one statx, print its span "
+          "tree\n"
+          "flight-recorder        print the last traced requests per shard\n"
+          "observe-json/trace-export/trace-request fail (exit nonzero) when "
+          "observability is disabled (DIRCACHE_SHELL_OBS=0)\n");
     } else if (cmd == "mkdir") {
       std::string p;
       ss >> p;
@@ -322,6 +330,7 @@ int Run(std::istream& in) {
       std::vector<server::Cqe> cqes(256);
       uint64_t submitted = 0;
       uint64_t reaped = 0;
+      server::ReapBackoff backoff;  // single-CPU: let the shard run
       uint64_t t0 = NowNanos();
       while (reaped < ops) {
         while (submitted < ops && submitted - reaped < opts.max_batch) {
@@ -335,9 +344,7 @@ int Run(std::istream& in) {
         }
         size_t got = srv.Reap(0, cqes.data(), cqes.size());
         reaped += got;
-        if (got == 0) {
-          std::this_thread::yield();  // single-CPU: let the shard run
-        }
+        backoff.Update(got);
       }
       uint64_t elapsed = NowNanos() - t0;
       srv.Stop();
@@ -423,6 +430,44 @@ int Run(std::istream& in) {
                     ev.symlink_crossings, ev.mount_crossings, ev.retries,
                     static_cast<unsigned long long>(ev.latency_ns));
       }
+    } else if (cmd == "trace-request") {
+      // trace-request <path> — force-trace one statx end to end and print
+      // its span tree from the flight recorder (DESIGN.md §13).
+      std::string p;
+      ss >> p;
+      if (p.empty()) {
+        std::printf("trace-request: usage: trace-request <path>\n");
+        continue;
+      }
+      if (!kernel.obs().enabled()) {
+        std::fprintf(stderr,
+                     "trace-request: observability is disabled "
+                     "(unset DIRCACHE_SHELL_OBS)\n");
+        status = 1;
+        continue;
+      }
+      Stat st;
+      server::Sqe s = server::Sqe::Statx(kAtFdCwd, p, 0, &st);
+      s.trace_force = 1;
+      server::Cqe c;
+      task->SubmitBatch(&s, 1, &c);
+      if (c.ok()) {
+        PrintStat(st, p);
+      } else {
+        std::printf("error: %.*s  %s\n",
+                    static_cast<int>(c.error_name().size()),
+                    c.error_name().data(), p.c_str());
+      }
+      std::printf("%s", kernel.obs().FlightRecorderReport().c_str());
+    } else if (cmd == "flight-recorder") {
+      if (!kernel.obs().enabled()) {
+        std::fprintf(stderr,
+                     "flight-recorder: observability is disabled "
+                     "(unset DIRCACHE_SHELL_OBS)\n");
+        status = 1;
+        continue;
+      }
+      std::printf("%s", kernel.obs().FlightRecorderReport().c_str());
     } else if (cmd == "drop") {
       kernel.DropCaches();
       std::printf("caches dropped\n");

@@ -10,6 +10,10 @@
 #   scripts/check.sh --server   # + thread sanitizer pass over just the
 #                               #   batch/server suite (label server: the
 #                               #   SQ/CQ rings and the shard drain loop)
+#   scripts/check.sh --obs      # + address sanitizer pass over the obs +
+#                               #   server suites (span rings, flight
+#                               #   recorder, trace plumbing) on top of the
+#                               #   TSan coverage --tsan/--server give them
 #   scripts/check.sh --bench    # + run every benchmark binary
 #   scripts/check.sh --bench fig7
 #                               # + run only benchmarks whose name starts
@@ -24,11 +28,13 @@ BENCH=0
 BENCH_FILTER=""
 TSAN=0
 SERVER=0
+OBS=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) FULL=1 ;;
     --tsan) TSAN=1 ;;
     --server) SERVER=1 ;;
+    --obs) OBS=1 ;;
     --bench)
       BENCH=1
       if [[ $# -gt 1 && "${2:0:2}" != "--" ]]; then
@@ -87,6 +93,19 @@ if [[ "$SERVER" == 1 ]]; then
   cmake --build build-tsan
   TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp history_size=7" \
     ctest --test-dir build-tsan --output-on-failure -L server
+fi
+
+if [[ "$OBS" == 1 ]]; then
+  echo "== address sanitizer (obs + server suites) =="
+  # The request-tracing surfaces (span rings, the flight recorder's by-value
+  # RequestTrace copies, Chrome-trace rendering) are memory-layout heavy;
+  # ASan catches the overflow/use-after-free class TSan doesn't. Reuses the
+  # --full ASan build tree.
+  cmake -B build-asan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address" >/dev/null
+  cmake --build build-asan
+  ctest --test-dir build-asan --output-on-failure -L 'obs|server'
 fi
 
 if [[ "$BENCH" == 1 ]]; then

@@ -17,7 +17,13 @@
 namespace dircache {
 
 obs::AuditReport Kernel::Audit(const std::vector<const Pcc*>& pccs) {
-  return obs::RunAudit(*this, pccs);
+  obs::AuditReport report = obs::RunAudit(*this, pccs);
+  if (!report.clean()) {
+    // Ship the anomaly with its evidence: the last fully traced requests
+    // (span trees + attribution) go to stderr alongside the violations.
+    obs_.DumpFlightRecorder("audit_failure");
+  }
+  return report;
 }
 
 namespace obs {

@@ -16,6 +16,7 @@
 #define DIRCACHE_OBS_OBS_CONFIG_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace dircache {
 
@@ -59,6 +60,19 @@ struct ObsConfig {
   // Maximum number of (most recent) journal events included in a snapshot.
   size_t journal_snapshot_limit = 64;
 
+  // --- request-scoped tracing (schema v3) ---------------------------------
+  // Sampling rate: trace 1 in N submitted requests. 0 traces only entries
+  // carrying the force flag (Sqe::trace_force); 1 traces everything. The
+  // dice are per-thread counters, so untraced requests never share state.
+  uint32_t trace_sample_every = 0;
+  // Capacity (spans) of each per-shard span ring. Power of two.
+  size_t span_ring_events = 256;
+  // Maximum number of (most recent) spans included in a snapshot.
+  size_t span_snapshot_limit = 96;
+  // Flight recorder: last N fully traced requests retained per shard,
+  // dumped when a watchdog flag trips or Kernel::Audit() fails.
+  size_t flight_recorder_depth = 4;
+
   static ObsConfig Enabled() {
     ObsConfig c;
     c.enabled = true;
@@ -69,6 +83,14 @@ struct ObsConfig {
   static ObsConfig EnabledWithSampler() {
     ObsConfig c = Enabled();
     c.sampler = true;
+    return c;
+  }
+
+  // Continuous-telemetry profile: sampler plus sampled request tracing, so
+  // a watchdog trip always has flight-recorder evidence to dump.
+  static ObsConfig EnabledWithTracing(uint32_t sample_every = 64) {
+    ObsConfig c = EnabledWithSampler();
+    c.trace_sample_every = sample_every;
     return c;
   }
 };

@@ -1,11 +1,31 @@
 #include "src/obs/observability.h"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
 #include <string_view>
 
 namespace dircache {
 
 namespace {
+
+void Appendf(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void Appendf(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                         ? static_cast<size_t>(n)
+                         : sizeof(buf) - 1);
+  }
+}
 
 // Obs-local seed for the heat-sketch hash family (see State::heat_key).
 constexpr uint64_t kHeatHashSeed = 0x0b5e7ull;
@@ -36,11 +56,20 @@ Observability::State::State(const ObsConfig& c)
       miss_dirs(c.heat_slots) {
   rings.reserve(kStatsShardCount);
   journals.reserve(kStatsShardCount);
+  span_rings.reserve(kStatsShardCount);
+  flight.reserve(kStatsShardCount);
+  const size_t depth =
+      cfg.flight_recorder_depth == 0 ? 1 : cfg.flight_recorder_depth;
   for (size_t i = 0; i < kStatsShardCount; ++i) {
     rings.push_back(
         std::make_unique<obs::WalkTraceRing>(cfg.trace_ring_events));
     journals.push_back(
         std::make_unique<obs::JournalRing>(cfg.journal_ring_events));
+    span_rings.push_back(
+        std::make_unique<obs::SpanRing>(cfg.span_ring_events));
+    auto fr = std::make_unique<FlightRecorder>();
+    fr->ring.resize(depth);
+    flight.push_back(std::move(fr));
   }
 }
 
@@ -53,12 +82,107 @@ void Observability::Configure(const ObsConfig& cfg) {
   }
   state_ = std::make_unique<State>(cfg);
   if (cfg.sampler) {
-    // The callback captures the raw State: the sampler is the State's last
-    // member, so its thread is joined before anything it reads dies.
+    // The callbacks capture the raw State / this: the sampler is the
+    // State's last member, so its thread is joined before anything either
+    // callback reads dies.
     State* s = state_.get();
     state_->sampler = std::make_unique<obs::Sampler>(
-        cfg, [s] { return CoreSample(*s); });
+        cfg, [s] { return CoreSample(*s); },
+        [this](const char* reason) { DumpFlightRecorder(reason); });
   }
+}
+
+void Observability::CompleteTrace(const obs::RequestTrace& t) {
+  if (!enabled() || t.trace_id == 0) {
+    return;
+  }
+  State& s = *state_;
+  const uint32_t shard = internal::StatsShardId();
+  obs::SpanRing& ring = *s.span_rings[shard];
+
+  // The framing spans are synthesized from the SQE timestamps: the whole
+  // request, then the ring wait and the batch-position cost when the entry
+  // travelled through a server shard (both 0-width on the direct path).
+  const uint64_t start = t.submit_ns != 0 ? t.submit_ns : t.begin_ns;
+  const uint64_t total = t.complete_ns >= start ? t.complete_ns - start : 0;
+  ring.Record(obs::SpanKind::kRequest, t.op, t.trace_id, start, total,
+              static_cast<uint64_t>(static_cast<int64_t>(t.res)),
+              t.span_count);
+  uint64_t queue_ns = 0;
+  uint64_t dispatch_ns = 0;
+  if (t.submit_ns != 0 && t.dequeue_ns > t.submit_ns) {
+    queue_ns = t.dequeue_ns - t.submit_ns;
+    ring.Record(obs::SpanKind::kQueue, t.op, t.trace_id, t.submit_ns,
+                queue_ns, 0, 0);
+  }
+  if (t.dequeue_ns != 0 && t.begin_ns > t.dequeue_ns) {
+    dispatch_ns = t.begin_ns - t.dequeue_ns;
+    ring.Record(obs::SpanKind::kDispatch, t.op, t.trace_id, t.dequeue_ns,
+                dispatch_ns, 0, 0);
+  }
+
+  uint64_t walk_fast_ns = 0;
+  uint64_t walk_slow_ns = 0;
+  uint64_t io_ns = 0;
+  uint64_t inval_ns = 0;
+  uint64_t gate_waits = 0;
+  uint64_t epoch_retries = 0;
+  for (uint32_t i = 0; i < t.span_count; ++i) {
+    const obs::TraceSpan& sp = t.spans[i];
+    ring.Record(sp.kind, t.op, t.trace_id, sp.begin_ns, sp.duration_ns,
+                sp.arg0, sp.arg1);
+    switch (sp.kind) {
+      case obs::SpanKind::kWalkFast:
+        walk_fast_ns += sp.duration_ns;
+        break;
+      case obs::SpanKind::kWalkSlow:
+        walk_slow_ns += sp.duration_ns;
+        break;
+      case obs::SpanKind::kIo:
+        io_ns += sp.duration_ns;
+        break;
+      case obs::SpanKind::kInval:
+        inval_ns += sp.duration_ns;
+        break;
+      case obs::SpanKind::kGate:
+        ++gate_waits;
+        break;
+      case obs::SpanKind::kEpochRetry:
+        ++epoch_retries;
+        break;
+      default:
+        break;
+    }
+  }
+  // Where did the time go: the execute-side remainder no layer claimed is
+  // "other". io_ns is *simulated* device time, so the clamp matters — a
+  // cold walk can attribute more virtual time than real time elapsed.
+  const uint64_t exec_ns =
+      t.complete_ns >= t.begin_ns ? t.complete_ns - t.begin_ns : 0;
+  const uint64_t attributed = walk_fast_ns + walk_slow_ns + io_ns + inval_ns;
+  const uint64_t other_ns = exec_ns > attributed ? exec_ns - attributed : 0;
+
+  State::AttributionCell& cell =
+      s.attribution[static_cast<size_t>(t.op) < obs::kTraceOpCount
+                        ? static_cast<size_t>(t.op)
+                        : static_cast<size_t>(obs::TraceOp::kOther)];
+  cell.traced.fetch_add(1, std::memory_order_relaxed);
+  cell.total_ns.fetch_add(total, std::memory_order_relaxed);
+  cell.queue_ns.fetch_add(queue_ns, std::memory_order_relaxed);
+  cell.dispatch_ns.fetch_add(dispatch_ns, std::memory_order_relaxed);
+  cell.walk_fast_ns.fetch_add(walk_fast_ns, std::memory_order_relaxed);
+  cell.walk_slow_ns.fetch_add(walk_slow_ns, std::memory_order_relaxed);
+  cell.io_ns.fetch_add(io_ns, std::memory_order_relaxed);
+  cell.inval_ns.fetch_add(inval_ns, std::memory_order_relaxed);
+  cell.other_ns.fetch_add(other_ns, std::memory_order_relaxed);
+  cell.gate_waits.fetch_add(gate_waits, std::memory_order_relaxed);
+  cell.epoch_retries.fetch_add(epoch_retries, std::memory_order_relaxed);
+  cell.spans_dropped.fetch_add(t.spans_dropped, std::memory_order_relaxed);
+
+  State::FlightRecorder& fr = *s.flight[shard];
+  std::lock_guard<std::mutex> lock(fr.mu);
+  fr.ring[fr.seq % fr.ring.size()] = t;
+  ++fr.seq;
 }
 
 void Observability::RecordWalkSlow(const obs::WalkTraceEvent& ev,
@@ -158,8 +282,138 @@ obs::ObsSnapshot Observability::Snapshot(const CacheStats* stats) const {
                       static_cast<ptrdiff_t>(s.cfg.journal_snapshot_limit));
   }
   snap.journal = std::move(journal);
+  // v3 sections: drained span rings, attribution totals, dump count.
+  std::vector<obs::SpanEvent> spans;
+  for (size_t i = 0; i < s.span_rings.size(); ++i) {
+    s.span_rings[i]->Drain(static_cast<uint32_t>(i), &spans);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const obs::SpanEvent& a, const obs::SpanEvent& b) {
+              return a.begin_ns < b.begin_ns;
+            });
+  if (spans.size() > s.cfg.span_snapshot_limit) {
+    spans.erase(spans.begin(),
+                spans.end() -
+                    static_cast<ptrdiff_t>(s.cfg.span_snapshot_limit));
+  }
+  snap.spans = std::move(spans);
+  for (size_t i = 0; i < obs::kTraceOpCount; ++i) {
+    const State::AttributionCell& c = s.attribution[i];
+    obs::OpAttribution& a = snap.attribution[i];
+    a.traced = c.traced.load(std::memory_order_relaxed);
+    a.total_ns = c.total_ns.load(std::memory_order_relaxed);
+    a.queue_ns = c.queue_ns.load(std::memory_order_relaxed);
+    a.dispatch_ns = c.dispatch_ns.load(std::memory_order_relaxed);
+    a.walk_fast_ns = c.walk_fast_ns.load(std::memory_order_relaxed);
+    a.walk_slow_ns = c.walk_slow_ns.load(std::memory_order_relaxed);
+    a.io_ns = c.io_ns.load(std::memory_order_relaxed);
+    a.inval_ns = c.inval_ns.load(std::memory_order_relaxed);
+    a.other_ns = c.other_ns.load(std::memory_order_relaxed);
+    a.gate_waits = c.gate_waits.load(std::memory_order_relaxed);
+    a.epoch_retries = c.epoch_retries.load(std::memory_order_relaxed);
+    a.spans_dropped = c.spans_dropped.load(std::memory_order_relaxed);
+  }
+  snap.flight_dumps = s.flight_dumps.load(std::memory_order_relaxed);
   snap.timeline = Timeline();
   return snap;
+}
+
+std::string Observability::FlightRecorderReport() const {
+  std::string out;
+  if (!enabled()) {
+    out = "flight recorder: observability disabled\n";
+    return out;
+  }
+  const State& s = *state_;
+  std::vector<obs::RequestTrace> entries;
+  for (const auto& frp : s.flight) {
+    const State::FlightRecorder& fr = *frp;
+    std::lock_guard<std::mutex> lock(fr.mu);
+    const size_t n = fr.seq < fr.ring.size() ? fr.seq : fr.ring.size();
+    for (size_t i = 0; i < n; ++i) {
+      entries.push_back(fr.ring[i]);
+    }
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const obs::RequestTrace& a, const obs::RequestTrace& b) {
+              return a.complete_ns < b.complete_ns;
+            });
+  Appendf(&out, "flight recorder: %zu traced request(s), %" PRIu64
+                " dump(s) so far\n",
+          entries.size(), s.flight_dumps.load(std::memory_order_relaxed));
+  for (const obs::RequestTrace& t : entries) {
+    const uint64_t start = t.submit_ns != 0 ? t.submit_ns : t.begin_ns;
+    const uint64_t total = t.complete_ns >= start ? t.complete_ns - start : 0;
+    Appendf(&out,
+            "  request id=%016" PRIx64 " op=%s res=%d shard=%u%s total=%" PRIu64
+            "ns spans=%u dropped=%u\n",
+            t.trace_id, obs::TraceOpName(t.op), t.res, t.shard,
+            t.forced ? " forced" : "", total, t.span_count, t.spans_dropped);
+    // Per-request attribution: the breakdown the dump exists to ship.
+    uint64_t walk_fast = 0, walk_slow = 0, io = 0, inval = 0;
+    for (uint32_t i = 0; i < t.span_count; ++i) {
+      switch (t.spans[i].kind) {
+        case obs::SpanKind::kWalkFast:
+          walk_fast += t.spans[i].duration_ns;
+          break;
+        case obs::SpanKind::kWalkSlow:
+          walk_slow += t.spans[i].duration_ns;
+          break;
+        case obs::SpanKind::kIo:
+          io += t.spans[i].duration_ns;
+          break;
+        case obs::SpanKind::kInval:
+          inval += t.spans[i].duration_ns;
+          break;
+        default:
+          break;
+      }
+    }
+    const uint64_t queue =
+        t.submit_ns != 0 && t.dequeue_ns > t.submit_ns
+            ? t.dequeue_ns - t.submit_ns
+            : 0;
+    const uint64_t dispatch =
+        t.dequeue_ns != 0 && t.begin_ns > t.dequeue_ns
+            ? t.begin_ns - t.dequeue_ns
+            : 0;
+    const uint64_t exec =
+        t.complete_ns >= t.begin_ns ? t.complete_ns - t.begin_ns : 0;
+    const uint64_t attributed = walk_fast + walk_slow + io + inval;
+    Appendf(&out,
+            "    attribution: queue=%" PRIu64 " dispatch=%" PRIu64
+            " walk_fast=%" PRIu64 " walk_slow=%" PRIu64 " io=%" PRIu64
+            " inval=%" PRIu64 " other=%" PRIu64 "\n",
+            queue, dispatch, walk_fast, walk_slow, io, inval,
+            exec > attributed ? exec - attributed : 0);
+    for (uint32_t i = 0; i < t.span_count; ++i) {
+      const obs::TraceSpan& sp = t.spans[i];
+      Appendf(&out,
+              "    span %-11s +%-10" PRIu64 " dur=%-10" PRIu64
+              " a0=%" PRIu64 " a1=%" PRIu64 "\n",
+              obs::SpanKindName(sp.kind),
+              sp.begin_ns >= start ? sp.begin_ns - start : 0, sp.duration_ns,
+              sp.arg0, sp.arg1);
+    }
+  }
+  return out;
+}
+
+void Observability::DumpFlightRecorder(const char* reason) {
+  if (!enabled()) {
+    return;
+  }
+  state_->flight_dumps.fetch_add(1, std::memory_order_relaxed);
+  std::string report = FlightRecorderReport();
+  std::fprintf(stderr, "[dircache obs] flight-recorder dump (%s):\n%s",
+               reason, report.c_str());
+}
+
+void Observability::ClearWatchdogFlags() {
+  if (!enabled() || state_->sampler == nullptr) {
+    return;
+  }
+  state_->sampler->ClearWatchdogFlags();
 }
 
 obs::ObsTimeline Observability::Timeline() const {
@@ -182,7 +436,21 @@ void Observability::Reset() {
   state_->hot_paths.Reset();
   state_->slow_paths.Reset();
   state_->miss_dirs.Reset();
-  // Trace and journal rings are not cleared: the "most recent events"
+  for (auto& cell : state_->attribution) {
+    cell.traced.store(0, std::memory_order_relaxed);
+    cell.total_ns.store(0, std::memory_order_relaxed);
+    cell.queue_ns.store(0, std::memory_order_relaxed);
+    cell.dispatch_ns.store(0, std::memory_order_relaxed);
+    cell.walk_fast_ns.store(0, std::memory_order_relaxed);
+    cell.walk_slow_ns.store(0, std::memory_order_relaxed);
+    cell.io_ns.store(0, std::memory_order_relaxed);
+    cell.inval_ns.store(0, std::memory_order_relaxed);
+    cell.other_ns.store(0, std::memory_order_relaxed);
+    cell.gate_waits.store(0, std::memory_order_relaxed);
+    cell.epoch_retries.store(0, std::memory_order_relaxed);
+    cell.spans_dropped.store(0, std::memory_order_relaxed);
+  }
+  // Trace, journal, span, and flight-recorder rings are not cleared: the "most recent events"
   // windows are already self-evicting, and zeroing slots under concurrent
   // writers buys nothing. The sampler's clamped deltas (see
   // HistogramSummary::Since) absorb the counter reset.

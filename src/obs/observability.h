@@ -18,8 +18,11 @@
 #define DIRCACHE_OBS_OBSERVABILITY_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -27,8 +30,10 @@
 #include "src/obs/heat_sketch.h"
 #include "src/obs/histogram.h"
 #include "src/obs/obs_config.h"
+#include "src/obs/request_trace.h"
 #include "src/obs/sampler.h"
 #include "src/obs/snapshot.h"
+#include "src/obs/span_ring.h"
 #include "src/obs/walk_trace.h"
 #include "src/util/clock.h"
 #include "src/util/hash.h"
@@ -85,6 +90,52 @@ class Observability {
                                                        arg1, arg2, arg3);
   }
 
+  // --- request-scoped tracing (schema v3, DESIGN.md §13) -------------------
+  // Sampling decision for one submitted request: the force flag always
+  // wins; otherwise 1 in trace_sample_every on a per-thread counter (no
+  // shared dice state).
+  bool ShouldTrace(bool force) {
+    if (!enabled()) {
+      return false;
+    }
+    if (force) {
+      return true;
+    }
+    const uint32_t every = state_->cfg.trace_sample_every;
+    if (every == 0) {
+      return false;
+    }
+    if (every == 1) {
+      return true;
+    }
+    thread_local uint64_t dice = 0;
+    return (dice++ % every) == 0;
+  }
+
+  // Folds one completed trace into the span rings, the tail-latency
+  // attributor, and the flight recorder. Called by RequestTraceScope.
+  void CompleteTrace(const obs::RequestTrace& trace);
+
+  // Renders every retained flight-recorder entry (the last N fully traced
+  // requests per shard) with a per-request attribution breakdown.
+  std::string FlightRecorderReport() const;
+
+  // Writes the flight-recorder report to stderr tagged with `reason` and
+  // bumps the dump counter. Fired on a sampler watchdog transition and on
+  // Kernel::Audit() failure.
+  void DumpFlightRecorder(const char* reason);
+
+  uint64_t flight_dumps() const {
+    return enabled()
+               ? state_->flight_dumps.load(std::memory_order_relaxed)
+               : 0;
+  }
+
+  // Clears the sampler's sticky watchdog flags (Kernel::ClearWatchdogFlags;
+  // they latch forever otherwise, so one transient spike would poison every
+  // later Timeline() reading).
+  void ClearWatchdogFlags();
+
   // Builds the versioned snapshot; `stats` (may be null) supplies the flat
   // counter section.
   obs::ObsSnapshot Snapshot(const CacheStats* stats) const;
@@ -116,6 +167,41 @@ class Observability {
 
     // One journal ring per stats shard.
     std::vector<std::unique_ptr<obs::JournalRing>> journals;
+
+    // One request-trace span ring per stats shard (schema v3).
+    std::vector<std::unique_ptr<obs::SpanRing>> span_rings;
+
+    // Tail-latency attribution cells, one per TraceOp. Relaxed atomics:
+    // written only when a *traced* request completes (the sampling rate),
+    // never on the untraced warm path.
+    struct AttributionCell {
+      std::atomic<uint64_t> traced{0};
+      std::atomic<uint64_t> total_ns{0};
+      std::atomic<uint64_t> queue_ns{0};
+      std::atomic<uint64_t> dispatch_ns{0};
+      std::atomic<uint64_t> walk_fast_ns{0};
+      std::atomic<uint64_t> walk_slow_ns{0};
+      std::atomic<uint64_t> io_ns{0};
+      std::atomic<uint64_t> inval_ns{0};
+      std::atomic<uint64_t> other_ns{0};
+      std::atomic<uint64_t> gate_waits{0};
+      std::atomic<uint64_t> epoch_retries{0};
+      std::atomic<uint64_t> spans_dropped{0};
+    };
+    std::array<AttributionCell, obs::kTraceOpCount> attribution;
+
+    // Flight recorder: the last flight_recorder_depth fully traced requests
+    // per stats shard. A per-shard mutex (touched at the sampling rate, not
+    // per op) keeps the ~1 KiB RequestTrace copies torn-read-free without a
+    // word-by-word atomic protocol.
+    struct FlightRecorder {
+      mutable std::mutex mu;
+      std::vector<obs::RequestTrace> ring;  // slot = seq % ring.size()
+      uint64_t seq = 0;                     // total traces recorded
+    };
+    std::vector<std::unique_ptr<FlightRecorder>> flight;
+
+    std::atomic<uint64_t> flight_dumps{0};
 
     // Declared last: destroyed first, joining the thread while every
     // structure its snapshot callback reads is still alive.
@@ -157,6 +243,62 @@ class JournalSpan {
   const uint64_t begin_ns_;
   uint64_t arg0_ = 0;
   uint64_t arg1_ = 0;
+};
+
+// RAII request-trace context (DESIGN.md §13): arms the thread-local active
+// trace for one SQE execution and folds the finished tree into the obs
+// subsystem on destruction. The trace storage is one reused thread-local
+// slot — no allocation, no zeroing of untouched span slots beyond the
+// header fields. If a trace is somehow already active on this thread the
+// scope is a no-op and the outer trace keeps collecting.
+class RequestTraceScope {
+ public:
+  RequestTraceScope(Observability& obs, obs::TraceOp op, uint64_t trace_id,
+                    bool forced, uint16_t shard, uint64_t submit_ns,
+                    uint64_t dequeue_ns)
+      : obs_(obs), armed_(obs::g_active_trace == nullptr) {
+    if (!armed_) {
+      return;
+    }
+    obs::RequestTrace& t = Slot();
+    t.trace_id = trace_id;
+    t.op = op;
+    t.forced = forced;
+    t.shard = shard;
+    t.submit_ns = submit_ns;
+    t.dequeue_ns = dequeue_ns;
+    t.begin_ns = NowNanos();
+    t.complete_ns = 0;
+    t.res = 0;
+    t.span_count = 0;
+    t.spans_dropped = 0;
+    obs::g_active_trace = &t;
+  }
+  ~RequestTraceScope() {
+    if (!armed_) {
+      return;
+    }
+    obs::RequestTrace& t = *obs::g_active_trace;
+    obs::g_active_trace = nullptr;
+    t.complete_ns = NowNanos();
+    t.res = res_;
+    obs_.CompleteTrace(t);
+  }
+  RequestTraceScope(const RequestTraceScope&) = delete;
+  RequestTraceScope& operator=(const RequestTraceScope&) = delete;
+
+  // The CQE result, recorded into the kRequest span at fold time.
+  void set_res(int32_t res) { res_ = res; }
+
+ private:
+  static obs::RequestTrace& Slot() {
+    static thread_local obs::RequestTrace slot;
+    return slot;
+  }
+
+  Observability& obs_;
+  const bool armed_;
+  int32_t res_ = 0;
 };
 
 }  // namespace dircache

@@ -16,13 +16,15 @@ uint64_t DeltaClamped(uint64_t cur, uint64_t prev) {
 
 }  // namespace
 
-Sampler::Sampler(const ObsConfig& cfg, SnapshotFn snapshot_fn)
+Sampler::Sampler(const ObsConfig& cfg, SnapshotFn snapshot_fn,
+                 WatchdogFn on_watchdog)
     : interval_ms_(cfg.sample_interval_ms == 0 ? 1 : cfg.sample_interval_ms),
       capacity_(cfg.timeline_capacity == 0 ? 1 : cfg.timeline_capacity),
       min_hit_rate_(cfg.watchdog_min_hit_rate),
       min_walks_(cfg.watchdog_min_walks),
       max_inval_per_sec_(cfg.watchdog_max_invalidations_per_sec),
-      snapshot_fn_(std::move(snapshot_fn)) {
+      snapshot_fn_(std::move(snapshot_fn)),
+      on_watchdog_(std::move(on_watchdog)) {
   ring_.reserve(capacity_);
   thread_ = std::thread([this] { Loop(); });
 }
@@ -119,13 +121,34 @@ void Sampler::Loop() {
       ring_next_ = (ring_next_ + 1) % capacity_;
     }
     ++samples_taken_;
+    // Fire the watchdog callback only on the false -> true transition, and
+    // off-lock: the callee (the flight-recorder dump) takes its own locks
+    // and renders a report.
+    const char* fired = nullptr;
     if (sample.walks >= min_walks_ && sample.hit_rate < min_hit_rate_) {
+      if (!hit_rate_collapse_) {
+        fired = "hit_rate_collapse";
+      }
       hit_rate_collapse_ = true;
     }
     if (sample.InvalidationsPerSec() > max_inval_per_sec_) {
+      if (!invalidation_spike_) {
+        fired = fired == nullptr ? "invalidation_spike" : fired;
+      }
       invalidation_spike_ = true;
     }
+    if (fired != nullptr && on_watchdog_) {
+      lk.unlock();
+      on_watchdog_(fired);
+      lk.lock();
+    }
   }
+}
+
+void Sampler::ClearWatchdogFlags() {
+  std::lock_guard<std::mutex> lk(mu_);
+  hit_rate_collapse_ = false;
+  invalidation_spike_ = false;
 }
 
 }  // namespace obs

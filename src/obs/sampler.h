@@ -38,8 +38,13 @@ class Sampler {
   // `snapshot_fn` must return a core snapshot (ops + outcomes filled in)
   // and stay callable until the Sampler is destroyed.
   using SnapshotFn = std::function<ObsSnapshot()>;
+  // Fired (off-lock, from the sampler thread) when a watchdog flag goes
+  // false -> true; the argument names the flag. The observability layer
+  // uses this to dump the flight recorder exactly once per trip.
+  using WatchdogFn = std::function<void(const char*)>;
 
-  Sampler(const ObsConfig& cfg, SnapshotFn snapshot_fn);
+  Sampler(const ObsConfig& cfg, SnapshotFn snapshot_fn,
+          WatchdogFn on_watchdog = nullptr);
   ~Sampler();
   Sampler(const Sampler&) = delete;
   Sampler& operator=(const Sampler&) = delete;
@@ -49,6 +54,11 @@ class Sampler {
 
   // The retained time series plus watchdog state, oldest sample first.
   ObsTimeline Timeline() const;
+
+  // Resets the sticky watchdog flags so one transient spike does not poison
+  // every later Timeline() reading. A later trip latches (and fires the
+  // callback) again.
+  void ClearWatchdogFlags();
 
  private:
   void Loop();
@@ -63,6 +73,7 @@ class Sampler {
   const uint64_t min_walks_;
   const double max_inval_per_sec_;
   const SnapshotFn snapshot_fn_;
+  const WatchdogFn on_watchdog_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -98,6 +98,33 @@ void AppendJournalEventJson(std::string* out, const JournalEventRecord& ev) {
   *out += "}";
 }
 
+void AppendSpanJson(std::string* out, const SpanEvent& ev) {
+  Appendf(out,
+          "{\"kind\":\"%s\",\"op\":\"%s\",\"shard\":%u,\"trace_id\":%" PRIu64,
+          SpanKindName(ev.kind), TraceOpName(ev.op), ev.shard, ev.trace_id);
+  Appendf(out,
+          ",\"begin_ns\":%" PRIu64 ",\"duration_ns\":%" PRIu64
+          ",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}",
+          ev.begin_ns, ev.duration_ns, ev.arg0, ev.arg1);
+}
+
+// Split across Appendf calls: 12 wide fields overflow the 256-byte stack
+// buffer in the worst case.
+void AppendAttributionJson(std::string* out, const OpAttribution& a) {
+  Appendf(out,
+          "{\"traced\":%" PRIu64 ",\"total_ns\":%" PRIu64
+          ",\"queue_ns\":%" PRIu64 ",\"dispatch_ns\":%" PRIu64
+          ",\"walk_fast_ns\":%" PRIu64 ",\"walk_slow_ns\":%" PRIu64,
+          a.traced, a.total_ns, a.queue_ns, a.dispatch_ns, a.walk_fast_ns,
+          a.walk_slow_ns);
+  Appendf(out,
+          ",\"io_ns\":%" PRIu64 ",\"inval_ns\":%" PRIu64
+          ",\"other_ns\":%" PRIu64 ",\"gate_waits\":%" PRIu64
+          ",\"epoch_retries\":%" PRIu64 ",\"spans_dropped\":%" PRIu64 "}",
+          a.io_ns, a.inval_ns, a.other_ns, a.gate_waits, a.epoch_retries,
+          a.spans_dropped);
+}
+
 void AppendHeatListText(std::string* out, const char* title,
                         const std::vector<HeatEntry>& entries) {
   if (entries.empty()) {
@@ -160,6 +187,52 @@ std::string ObsSnapshot::ToText() const {
               JournalEventName(ev.type), ev.shard, ev.duration_ns,
               JournalArgName(ev.type, 0), ev.arg0,
               JournalArgName(ev.type, 1), ev.arg1);
+    }
+  }
+  if (!spans.empty()) {
+    Appendf(&out, "  recent request spans (oldest first):\n");
+    for (const SpanEvent& ev : spans) {
+      Appendf(&out,
+              "    %-11s op=%-8s shard=%-2u id=%016" PRIx64 " dur=%-10" PRIu64
+              "ns a0=%" PRIu64 " a1=%" PRIu64 "\n",
+              SpanKindName(ev.kind), TraceOpName(ev.op), ev.shard,
+              ev.trace_id, ev.duration_ns, ev.arg0, ev.arg1);
+    }
+  }
+  {
+    uint64_t traced = 0;
+    for (const OpAttribution& a : attribution) {
+      traced += a.traced;
+    }
+    if (traced != 0) {
+      Appendf(&out,
+              "  attribution (%" PRIu64 " traced requests, %" PRIu64
+              " dumps):\n",
+              traced, flight_dumps);
+      for (size_t i = 0; i < kTraceOpCount; ++i) {
+        const OpAttribution& a = attribution[i];
+        if (a.traced == 0) {
+          continue;
+        }
+        Appendf(&out,
+                "    %-8s n=%-6" PRIu64 " total=%-10" PRIu64
+                " queue=%-8" PRIu64 " dispatch=%-8" PRIu64 "\n",
+                TraceOpName(static_cast<TraceOp>(i)), a.traced, a.total_ns,
+                a.queue_ns, a.dispatch_ns);
+        Appendf(&out,
+                "             walk_fast=%-8" PRIu64 " walk_slow=%-8" PRIu64
+                " io=%-8" PRIu64 " inval=%-8" PRIu64 " other=%-8" PRIu64
+                "\n",
+                a.walk_fast_ns, a.walk_slow_ns, a.io_ns, a.inval_ns,
+                a.other_ns);
+        if (a.gate_waits != 0 || a.epoch_retries != 0 ||
+            a.spans_dropped != 0) {
+          Appendf(&out,
+                  "             gate_waits=%" PRIu64 " epoch_retries=%" PRIu64
+                  " spans_dropped=%" PRIu64 "\n",
+                  a.gate_waits, a.epoch_retries, a.spans_dropped);
+        }
+      }
     }
   }
   if (timeline.active) {
@@ -248,7 +321,22 @@ std::string ObsSnapshot::ToJson() const {
     }
     AppendJournalEventJson(&out, journal[i]);
   }
-  out += "]}";
+  // v3 sections follow every v2 field (additions only; see the version-bump
+  // note in snapshot.h).
+  out += "],\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    if (i != 0) {
+      out += ",";
+    }
+    AppendSpanJson(&out, spans[i]);
+  }
+  out += "],\"attribution\":{";
+  for (size_t i = 0; i < kTraceOpCount; ++i) {
+    Appendf(&out, "%s\"%s\":", i == 0 ? "" : ",",
+            TraceOpName(static_cast<TraceOp>(i)));
+    AppendAttributionJson(&out, attribution[i]);
+  }
+  Appendf(&out, "},\"flight_dumps\":%" PRIu64 "}", flight_dumps);
   return out;
 }
 
@@ -262,7 +350,7 @@ std::string ObsSnapshot::ToChromeTrace() const {
     std::string json;
   };
   std::vector<Row> rows;
-  rows.reserve(journal.size() + trace.size());
+  rows.reserve(journal.size() + trace.size() + spans.size());
   for (const JournalEventRecord& ev : journal) {
     std::string j;
     Appendf(&j,
@@ -297,6 +385,25 @@ std::string ObsSnapshot::ToChromeTrace() const {
             static_cast<int>(err.size()), err.data(), ev.components,
             ev.retries);
     rows.push_back({begin, std::move(j)});
+  }
+  // Request-trace spans (schema v3): one track per recording shard, offset
+  // past the journal tids. All spans of a trace land on the same tid, so
+  // ts-containment renders the children nested inside their kRequest span.
+  for (const SpanEvent& ev : spans) {
+    std::string j;
+    if (ev.kind == SpanKind::kRequest) {
+      Appendf(&j, "{\"name\":\"req:%s\",", TraceOpName(ev.op));
+    } else {
+      Appendf(&j, "{\"name\":\"%s\",", SpanKindName(ev.kind));
+    }
+    Appendf(&j,
+            "\"cat\":\"request\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,"
+            "\"pid\":1,\"tid\":%u,\"args\":{\"trace_id\":%" PRIu64
+            ",\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}}",
+            static_cast<double>(ev.begin_ns) / 1e3,
+            static_cast<double>(ev.duration_ns) / 1e3, 100 + ev.shard,
+            ev.trace_id, ev.arg0, ev.arg1);
+    rows.push_back({ev.begin_ns, std::move(j)});
   }
   std::sort(rows.begin(), rows.end(),
             [](const Row& a, const Row& b) { return a.ts_ns < b.ts_ns; });

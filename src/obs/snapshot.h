@@ -24,6 +24,8 @@
 #include "src/obs/event_journal.h"
 #include "src/obs/heat_sketch.h"
 #include "src/obs/histogram.h"
+#include "src/obs/request_trace.h"
+#include "src/obs/span_ring.h"
 #include "src/obs/walk_trace.h"
 
 namespace dircache {
@@ -37,7 +39,13 @@ namespace obs {
 // "no timeline section because the producer predates it" from "no timeline
 // section because the sampler is off" — a v1 document simply has none of
 // the new keys. Readers of v1 documents parse v2 documents unmodified.
-inline constexpr int kObsSchemaVersion = 2;
+//
+// v2 -> v3: the request-tracing sections (`spans`, `attribution`,
+// `flight_dumps`) were ADDED after every v2 field, same contract as v1->v2:
+// nothing renamed, removed, or re-meant. The bump distinguishes "no spans
+// because the producer predates request tracing" from "no spans because
+// tracing is off". Readers of v2 documents parse v3 documents unmodified.
+inline constexpr int kObsSchemaVersion = 3;
 
 // Operations with a dedicated latency histogram. Keep in sync with
 // ObsOpName(). kInvalidate is the write-side cost the paper's Figure 7
@@ -124,6 +132,26 @@ struct ObsTimeline {
   std::vector<TimelineSample> samples;  // oldest first, ring-bounded
 };
 
+// Per-op "where did the time go" totals over every completed traced
+// request (schema v3 `attribution` section). All fields are nanosecond
+// sums except the trailing counts. exec = complete - execute-begin;
+// other_ns = exec minus every attributed child, clamped at zero — the
+// dispatch-loop and syscall-decode overhead no layer claimed.
+struct OpAttribution {
+  uint64_t traced = 0;         // completed traced requests
+  uint64_t total_ns = 0;       // submit (or execute-begin) -> complete
+  uint64_t queue_ns = 0;       // submit -> shard dequeue
+  uint64_t dispatch_ns = 0;    // dequeue -> execute-begin
+  uint64_t walk_fast_ns = 0;
+  uint64_t walk_slow_ns = 0;
+  uint64_t io_ns = 0;          // simulated block-device time
+  uint64_t inval_ns = 0;       // subtree invalidation passes
+  uint64_t other_ns = 0;       // unattributed execute-side remainder
+  uint64_t gate_waits = 0;     // fastpath coherence-gate bails
+  uint64_t epoch_retries = 0;  // optimistic -> locked walk fallbacks
+  uint64_t spans_dropped = 0;  // spans lost to the per-trace cap
+};
+
 struct ObsSnapshot {
   int schema_version = kObsSchemaVersion;
   bool enabled = false;
@@ -153,6 +181,17 @@ struct ObsSnapshot {
   // config's journal_snapshot_limit).
   std::vector<JournalEventRecord> journal;
 
+  // --- schema v3 additions (absent from v1/v2 documents) -------------------
+  // Most recent request-trace spans, oldest first (bounded by the config's
+  // span_snapshot_limit). Spans sharing a trace_id form one request tree.
+  std::vector<SpanEvent> spans;
+
+  // Tail-latency attribution totals, indexed by TraceOp.
+  std::array<OpAttribution, kTraceOpCount> attribution{};
+
+  // Flight-recorder dumps fired so far (watchdog trips + audit failures).
+  uint64_t flight_dumps = 0;
+
   uint64_t TotalWalks() const {
     uint64_t n = 0;
     for (uint64_t v : outcomes) {
@@ -175,8 +214,10 @@ struct ObsSnapshot {
 
   // Chrome trace-event JSON (the chrome://tracing / Perfetto "JSON Array
   // Format"): an object whose `traceEvents` array holds one complete ("X")
-  // event per journal span and per traced walk, ts/dur in microseconds,
-  // tid = recording shard. Load via chrome://tracing or ui.perfetto.dev.
+  // event per journal span, per traced walk, and per request-trace span
+  // (request trees nest by ts containment on tid 100+shard), ts/dur in
+  // microseconds, tid = recording shard. Load via chrome://tracing or
+  // ui.perfetto.dev.
   std::string ToChromeTrace() const;
 };
 

@@ -1,0 +1,122 @@
+// Per-shard lock-free span rings (DESIGN.md §13): where completed request
+// traces land.
+//
+// When a traced request completes, Observability::CompleteTrace folds its
+// span tree — one kRequest span plus every child — into the completing
+// thread's ring. Snapshot readers drain all rings, sort by begin time, and
+// reconstruct trees by trace id; ToChromeTrace renders them as nested "X"
+// events (ts-containment nesting, one track per recording shard).
+//
+// Ring design follows JournalRing: one ring per stats shard, lock-free
+// writers (relaxed fetch_add claims a slot, payload words stored relaxed, a
+// nonzero begin-timestamp word published last with release order doubles as
+// the valid flag), torn reads detected by re-sampling the timestamp and
+// skipped.
+#ifndef DIRCACHE_OBS_SPAN_RING_H_
+#define DIRCACHE_OBS_SPAN_RING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/obs/request_trace.h"
+
+namespace dircache {
+namespace obs {
+
+// One drained span, in unpacked (snapshot) form.
+struct SpanEvent {
+  SpanKind kind = SpanKind::kCount;
+  TraceOp op = TraceOp::kNop;  // the owning request's operation
+  uint32_t shard = 0;          // recording ring (exported as Chrome tid)
+  uint64_t trace_id = 0;
+  uint64_t begin_ns = 0;
+  uint64_t duration_ns = 0;    // 0 for instants
+  uint64_t arg0 = 0;           // per-kind payload (see request_trace.h)
+  uint64_t arg1 = 0;
+};
+
+// Fixed-capacity lock-free ring of packed spans.
+class SpanRing {
+ public:
+  explicit SpanRing(size_t capacity)
+      : slots_(RoundPow2(capacity)), mask_(slots_.size() - 1) {}
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  void Record(SpanKind kind, TraceOp op, uint64_t trace_id, uint64_t begin_ns,
+              uint64_t duration_ns, uint64_t arg0, uint64_t arg1) {
+    Slot& s = slots_[head_.fetch_add(1, std::memory_order_relaxed) & mask_];
+    uint64_t meta = static_cast<uint64_t>(kind) |
+                    (static_cast<uint64_t>(op) << 8);
+    // Same publication protocol as WalkTraceRing/JournalRing: invalidate,
+    // write the payload, publish a nonzero begin timestamp last.
+    s.ts.store(0, std::memory_order_relaxed);
+    s.dur.store(duration_ns, std::memory_order_relaxed);
+    s.trace_id.store(trace_id, std::memory_order_relaxed);
+    s.arg0.store(arg0, std::memory_order_relaxed);
+    s.arg1.store(arg1, std::memory_order_relaxed);
+    s.meta.store(meta, std::memory_order_relaxed);
+    s.ts.store(begin_ns | 1, std::memory_order_release);
+  }
+
+  // Append all consistent spans to `out` (unordered; caller sorts).
+  // `shard` stamps the records' origin ring.
+  void Drain(uint32_t shard, std::vector<SpanEvent>* out) const {
+    for (const Slot& s : slots_) {
+      uint64_t ts1 = s.ts.load(std::memory_order_acquire);
+      if (ts1 == 0) {
+        continue;
+      }
+      SpanEvent ev;
+      ev.duration_ns = s.dur.load(std::memory_order_relaxed);
+      ev.trace_id = s.trace_id.load(std::memory_order_relaxed);
+      ev.arg0 = s.arg0.load(std::memory_order_relaxed);
+      ev.arg1 = s.arg1.load(std::memory_order_relaxed);
+      uint64_t meta = s.meta.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.ts.load(std::memory_order_relaxed) != ts1) {
+        continue;  // torn by a concurrent writer; skip
+      }
+      uint64_t kind = meta & 0xff;
+      uint64_t op = (meta >> 8) & 0xff;
+      if (kind >= kSpanKindCount || op >= kTraceOpCount) {
+        continue;
+      }
+      ev.kind = static_cast<SpanKind>(kind);
+      ev.op = static_cast<TraceOp>(op);
+      ev.shard = shard;
+      ev.begin_ns = ts1 & ~1ull;
+      out->push_back(ev);
+    }
+  }
+
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> ts{0};  // 0 = empty; low bit forced to 1 when set
+    std::atomic<uint64_t> dur{0};
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint64_t> arg0{0};
+    std::atomic<uint64_t> arg1{0};
+    std::atomic<uint64_t> meta{0};
+  };
+
+  static size_t RoundPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) {
+      p *= 2;
+    }
+    return p;
+  }
+
+  std::vector<Slot> slots_;
+  std::atomic<uint64_t> head_{0};
+  const size_t mask_;
+};
+
+}  // namespace obs
+}  // namespace dircache
+
+#endif  // DIRCACHE_OBS_SPAN_RING_H_

@@ -13,6 +13,11 @@
 // the out-buffers; the CQE itself carries only `user_data`, a small `res`,
 // and renders failures through the unified `ErrnoName` spelling — the same
 // `Status::error_name()` convention the shell and the test suite use.
+//
+// Deletion notice: the pre-batch `Task::StatPath`/`Task::LstatPath` shims
+// have no in-repo callers left outside the shim-equivalence tests and will
+// be deleted in an upcoming ABI cleanup — new code calls `Task::Statx` or
+// batches through `Task::SubmitBatch`.
 #ifndef DIRCACHE_SERVER_BATCH_H_
 #define DIRCACHE_SERVER_BATCH_H_
 
@@ -28,7 +33,13 @@ namespace server {
 
 // Bump on any incompatible SQE/CQE layout or semantics change. Adding
 // opcodes or flag bits is backward compatible and does not bump it.
-inline constexpr int kBatchAbiVersion = 1;
+//
+// v1 -> v2: the request-tracing fields (`trace_id`, `dequeue_ns`,
+// `trace_shard`, `trace_force`) grew the SQE — a layout change, hence the
+// bump. Semantics of every v1 field are unchanged; zero-initialized trace
+// fields mean "untraced", so v1-shaped call sites keep working after a
+// recompile.
+inline constexpr int kBatchAbiVersion = 2;
 
 enum class OpCode : uint8_t {
   kNop = 0,   // completes immediately with res = 0 (ring plumbing tests)
@@ -88,6 +99,21 @@ struct SubmissionQueueEntry {
   // Stamped by Server::Submit when observability is armed; drives the
   // batch_dispatch queue-wait histogram. 0 = unstamped.
   uint64_t submit_ns = 0;
+  // --- request-scoped tracing (ABI v2, DESIGN.md §13) -----------------------
+  // Nonzero = this entry is traced: Server::Submit assigns an id when the
+  // sampling dice hit (or trace_force is set); Task::SubmitBatch rolls its
+  // own dice for entries that never crossed a ring. 0 = untraced.
+  uint64_t trace_id = 0;
+  // Stamped by the shard loop at drain time (trace entries only); with
+  // submit_ns it splits the pre-execute tail into queue wait and batch
+  // dispatch. 0 = direct submission, no queue.
+  uint64_t dequeue_ns = 0;
+  // The serving shard (stamped with trace_id; 0 on the direct path).
+  uint16_t trace_shard = 0;
+  // Force-trace flag: nonzero traces this entry regardless of the sampling
+  // rate (the shell's `trace-request`, tests, targeted debugging).
+  uint8_t trace_force = 0;
+  uint8_t trace_reserved[5] = {0, 0, 0, 0, 0};
 
   // --- builders: the idiomatic way to fill an entry -------------------------
   static SubmissionQueueEntry Statx(FdNum dirfd, std::string_view path,

@@ -18,7 +18,9 @@
 #include <atomic>
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <thread>
 
 #include "src/util/align.h"
 
@@ -113,6 +115,36 @@ class MpmcRing {
   size_t mask_ = 0;
   alignas(kCacheLineSize) std::atomic<size_t> tail_{0};  // producers
   alignas(kCacheLineSize) std::atomic<size_t> head_{0};  // consumers
+};
+
+// Backoff policy for completion-reap loops. A client that busy-spins on an
+// empty CQ starves the shard thread of its quantum on a loaded host — on
+// this repo's 1-CPU box that is the difference between 8.8K and 1.9M ops/s
+// (DESIGN.md §12). Poll a little for latency, then yield: call Update()
+// with each Reap's return; after `yield_after` consecutive empty polls the
+// calling thread yields and the streak resets. Any progress also resets
+// the streak, so a busy CQ is never penalized.
+class ReapBackoff {
+ public:
+  explicit ReapBackoff(uint32_t yield_after = 64)
+      : yield_after_(yield_after == 0 ? 1 : yield_after) {}
+
+  void Update(size_t reaped) {
+    if (reaped != 0) {
+      empty_polls_ = 0;
+      return;
+    }
+    if (++empty_polls_ >= yield_after_) {
+      empty_polls_ = 0;
+      std::this_thread::yield();
+    }
+  }
+
+  uint32_t empty_polls() const { return empty_polls_; }
+
+ private:
+  const uint32_t yield_after_;
+  uint32_t empty_polls_ = 0;
 };
 
 }  // namespace server

@@ -46,10 +46,21 @@ void Server::Stop() {
 }
 
 bool Server::Submit(uint32_t shard, const Sqe& sqe) {
-  Shard& sh = *shards_[shard % shards_.size()];
-  if (kernel_->obs().enabled() && sqe.submit_ns == 0) {
+  const uint32_t idx = shard % static_cast<uint32_t>(shards_.size());
+  Shard& sh = *shards_[idx];
+  Observability& obs = kernel_->obs();
+  if (obs.enabled()) {
     Sqe stamped = sqe;
-    stamped.submit_ns = NowNanos();
+    if (stamped.submit_ns == 0) {
+      stamped.submit_ns = NowNanos();
+    }
+    // The sampling dice roll happens at submit time so a traced request
+    // measures its whole life, ring wait included. A caller-assigned id is
+    // kept (idempotent resubmission, cross-layer ids).
+    if (stamped.trace_id == 0 && obs.ShouldTrace(stamped.trace_force != 0)) {
+      stamped.trace_id = obs::NextTraceId();
+      stamped.trace_shard = static_cast<uint16_t>(idx);
+    }
     return sh.sq->TryPush(stamped);
   }
   return sh.sq->TryPush(sqe);
@@ -105,6 +116,16 @@ void Server::RunShard(Shard& sh) {
     }
     Observability& obs = kernel_->obs();
     const uint64_t dispatch_ns = obs.enabled() ? NowNanos() : 0;
+    if (dispatch_ns != 0) {
+      // Shard-dequeue timestamp for traced entries: splits their
+      // pre-execute tail into queue wait (submit -> here) and batch
+      // dispatch (here -> execute-begin).
+      for (size_t i = 0; i < n; ++i) {
+        if (batch[i].trace_id != 0 && batch[i].dequeue_ns == 0) {
+          batch[i].dequeue_ns = dispatch_ns;
+        }
+      }
+    }
     sh.task->SubmitBatch(batch.data(), n, cqes.data());
     if (dispatch_ns != 0) {
       obs.RecordLatency(obs::ObsOp::kBatchDepth, n);

@@ -2,7 +2,23 @@
 
 #include <cstring>
 
+#include "src/obs/request_trace.h"
+
 namespace dircache {
+
+namespace {
+
+// Child span for traced requests. The duration is *simulated* device time
+// (the cost model charge), not wall time — the attributor reports it as
+// such, and it may legitimately exceed the request's wall-clock exec span.
+inline void TraceIo(uint64_t block_no, uint64_t cost_ns, bool is_write) {
+  if (obs::RequestTrace* t = obs::ActiveTrace()) {
+    t->AddSpan(obs::SpanKind::kIo, NowNanos(), cost_ns, block_no,
+               is_write ? 1 : 0);
+  }
+}
+
+}  // namespace
 
 thread_local VirtualClock* IoChargeScope::current_ = nullptr;
 
@@ -37,6 +53,7 @@ Status BlockDevice::Read(uint64_t block_no, Block* out) {
   total_io_ns_.Add(cost);
   reads_.Add();
   IoChargeScope::Charge(cost);
+  TraceIo(block_no, cost, /*is_write=*/false);
   if (read_faults_ > 0) {
     --read_faults_;
     io_errors_.Add();
@@ -55,6 +72,7 @@ Status BlockDevice::Write(uint64_t block_no, const Block& data) {
   total_io_ns_.Add(cost);
   writes_.Add();
   IoChargeScope::Charge(cost);
+  TraceIo(block_no, cost, /*is_write=*/true);
   if (write_faults_ > 0) {
     --write_faults_;
     io_errors_.Add();

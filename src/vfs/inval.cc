@@ -330,6 +330,10 @@ InvalPassStats InvalidationEngine::Invalidate(Dentry* root) {
     ob.RecordJournal(obs::JournalEvent::kInvalidateSubtree, wall0,
                      stats.span_ns, stats.visited, stats.dlht_evicted,
                      stats.workers, stats.dlht_batches);
+    // Child span for traced requests (a traced rename/unlink attributes its
+    // subtree pass here; arg0 = dentries visited, arg1 = DLHT evictions).
+    obs::TraceAddSpan(obs::SpanKind::kInval, wall0, stats.span_ns,
+                      stats.visited, stats.dlht_evicted);
     if (stats.workers != 0) {
       // Worker spans recorded from this (coordinator) thread so they land
       // on the same journal shard as the parent span and nest under it in

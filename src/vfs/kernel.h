@@ -72,6 +72,13 @@ class Kernel {
   // call concurrently with lookups.
   obs::ObsTimeline Timeline() const { return obs_.Timeline(); }
 
+  // Resets the sampler's sticky watchdog flags (hit-rate collapse,
+  // invalidation spike). Without this, one transient spike latches into
+  // every later Timeline() reading; an operator acknowledges the incident
+  // and re-arms the watchdogs here. A later trip latches (and dumps the
+  // flight recorder) again. No-op when obs or the sampler is off.
+  void ClearWatchdogFlags() { obs_.ClearWatchdogFlags(); }
+
   // Online invariant auditor (DESIGN.md §10): cross-checks the dcache /
   // DLHT / LRU structural invariants and (optionally) the supplied PCCs,
   // returning a typed violation report. Holds the tree lock exclusive;

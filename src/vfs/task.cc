@@ -214,10 +214,63 @@ Stat Task::StatFromInode(const Inode& inode) {
 // implementation. Entries execute run-to-completion in submission order;
 // one entry's failure never disturbs its neighbors.
 
+namespace {
+
+// server::OpCode -> the obs-side trace taxonomy (obs cannot depend on the
+// server ABI, so the map lives here at the boundary).
+obs::TraceOp TraceOpFor(server::OpCode op) {
+  switch (op) {
+    case server::OpCode::kNop:
+      return obs::TraceOp::kNop;
+    case server::OpCode::kStatx:
+      return obs::TraceOp::kStatx;
+    case server::OpCode::kAccess:
+      return obs::TraceOp::kAccess;
+    case server::OpCode::kOpen:
+      return obs::TraceOp::kOpen;
+    case server::OpCode::kClose:
+      return obs::TraceOp::kClose;
+    case server::OpCode::kReaddir:
+      return obs::TraceOp::kReaddir;
+    case server::OpCode::kMkdir:
+      return obs::TraceOp::kMkdir;
+    case server::OpCode::kUnlink:
+      return obs::TraceOp::kUnlink;
+    case server::OpCode::kRename:
+      return obs::TraceOp::kRename;
+  }
+  return obs::TraceOp::kOther;
+}
+
+}  // namespace
+
 void Task::SubmitBatch(const server::SubmissionQueueEntry* sqes, size_t n,
                        server::CompletionQueueEntry* cqes) {
+  Observability& obs = kernel_->obs();
+  if (!obs.enabled()) {
+    // The warm path: no dice, no clock reads, nothing but the execute loop.
+    for (size_t i = 0; i < n; ++i) {
+      ExecuteSqe(sqes[i], &cqes[i]);
+    }
+    return;
+  }
   for (size_t i = 0; i < n; ++i) {
-    ExecuteSqe(sqes[i], &cqes[i]);
+    const server::SubmissionQueueEntry& s = sqes[i];
+    uint64_t trace_id = s.trace_id;
+    if (trace_id == 0 && obs.ShouldTrace(s.trace_force != 0)) {
+      // Direct submission (no ring crossed): roll the dice here so shimmed
+      // single calls are sampled too.
+      trace_id = obs::NextTraceId();
+    }
+    if (trace_id == 0) {
+      ExecuteSqe(s, &cqes[i]);
+      continue;
+    }
+    RequestTraceScope trace(obs, TraceOpFor(s.op), trace_id,
+                            s.trace_force != 0, s.trace_shard, s.submit_ns,
+                            s.dequeue_ns);
+    ExecuteSqe(s, &cqes[i]);
+    trace.set_res(cqes[i].res);
   }
 }
 

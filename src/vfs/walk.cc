@@ -47,6 +47,9 @@ inline void TraceOutcome(obs::WalkOutcome o) {
 inline void TraceComponent() {
   if (g_walk_trace.armed) {
     ++g_walk_trace.components;
+    // Per-component child span for traced requests (instant; arg0 = the
+    // component's ordinal within this walk).
+    obs::TraceInstant(obs::SpanKind::kComponent, g_walk_trace.components);
   }
 }
 
@@ -65,6 +68,7 @@ inline void TraceMountCrossing() {
 inline void TraceRetry() {
   if (g_walk_trace.armed) {
     ++g_walk_trace.retries;
+    obs::TraceInstant(obs::SpanKind::kEpochRetry, g_walk_trace.retries);
   }
 }
 
@@ -445,6 +449,15 @@ Result<PathHandle> PathWalker::Resolve(Task& task, const PathHandle* base,
   ev.timestamp_ns = t1;
   g_walk_trace = saved;
   obs.RecordWalk(ev, path);
+  // Child span for traced requests: one walk = one span, classified fast
+  // vs slow by its outcome (arg0 = components, arg1 = the outcome code).
+  if (obs::g_active_trace != nullptr) {
+    const bool fast = ev.outcome == obs::WalkOutcome::kFastHit ||
+                      ev.outcome == obs::WalkOutcome::kFastNegative;
+    obs::TraceAddSpan(fast ? obs::SpanKind::kWalkFast : obs::SpanKind::kWalkSlow,
+                      t0, ev.latency_ns, ev.components,
+                      static_cast<uint64_t>(ev.outcome));
+  }
   return r;
 }
 
@@ -1345,6 +1358,7 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
   // shared-write-free.
   uint64_t inval_token;
   if (!k->dcache().InvalidationQuiescent(&inval_token)) {
+    obs::TraceInstant(obs::SpanKind::kGate);
     return false;
   }
 

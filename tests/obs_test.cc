@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <string>
 #include <thread>
 #include <vector>
@@ -15,8 +16,11 @@
 #include "src/obs/event_journal.h"
 #include "src/obs/heat_sketch.h"
 #include "src/obs/histogram.h"
+#include "src/obs/request_trace.h"
 #include "src/obs/snapshot.h"
+#include "src/obs/span_ring.h"
 #include "src/obs/walk_trace.h"
+#include "src/server/batch.h"
 #include "tests/test_util.h"
 
 namespace dircache {
@@ -433,27 +437,32 @@ TEST(Observe, SnapshotJsonShape) {
   std::string json = snap.ToJson();
   // Versioned, fixed-field-order contract (scripts/bench_smoke.sh greps
   // for the schema_version; renames here are schema bumps).
-  EXPECT_NE(json.find("\"schema_version\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos) << json;
   EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
   for (const char* key :
        {"\"ops\"", "\"walk_outcomes\"", "\"trace\"", "\"counters\"",
         "\"lookup\"", "\"p50_ns\"", "\"p95_ns\"", "\"p99_ns\"",
         "\"fast_hit\"", "\"timeline\"", "\"heat\"", "\"journal\"",
-        "\"hot_paths\"", "\"slow_paths\"", "\"miss_dirs\""}) {
+        "\"hot_paths\"", "\"slow_paths\"", "\"miss_dirs\"", "\"spans\"",
+        "\"attribution\"", "\"flight_dumps\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
   // Field order is part of the contract: version first, ops before trace,
-  // and every v2 section strictly after the last v1 field (v1 readers parse
-  // a prefix-compatible document).
+  // every v2 section strictly after the last v1 field, and every v3 section
+  // strictly after the last v2 field (older readers parse a
+  // prefix-compatible document).
   EXPECT_LT(json.find("\"schema_version\""), json.find("\"ops\""));
   EXPECT_LT(json.find("\"ops\""), json.find("\"walk_outcomes\""));
   EXPECT_LT(json.find("\"walk_outcomes\""), json.find("\"trace\""));
   EXPECT_LT(json.find("\"counters\""), json.find("\"timeline\""));
   EXPECT_LT(json.find("\"timeline\""), json.find("\"heat\""));
   EXPECT_LT(json.find("\"heat\""), json.find("\"journal\""));
+  EXPECT_LT(json.find("\"journal\""), json.find("\"spans\""));
+  EXPECT_LT(json.find("\"spans\""), json.find("\"attribution\""));
+  EXPECT_LT(json.find("\"attribution\""), json.find("\"flight_dumps\""));
 
   std::string text = snap.ToText();
-  EXPECT_NE(text.find("schema v2"), std::string::npos) << text;
+  EXPECT_NE(text.find("schema v3"), std::string::npos) << text;
   EXPECT_NE(text.find("fast_hit"), std::string::npos);
 }
 
@@ -725,6 +734,312 @@ TEST(Observe, SamplerWatchdogFlagsInvalidationSpike) {
     }
   }
   EXPECT_TRUE(w.kernel->Timeline().invalidation_spike);
+}
+
+// --- watchdog clear/re-arm (schema v3) ------------------------------------
+
+TEST(Observe, WatchdogFlagsClearAndRearm) {
+  ObsConfig cfg = ObsConfig::EnabledWithSampler();
+  cfg.sample_interval_ms = 2;
+  cfg.watchdog_max_invalidations_per_sec = 400.0;
+  TestWorld w(CacheConfig::Optimized(), nullptr, cfg);
+  ASSERT_OK(w.root->Mkdir("/w"));
+  auto fd = w.root->Open("/w/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  auto storm_until_flagged = [&] {
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 20; ++i) {
+        ASSERT_OK(w.root->Rename("/w/f", "/w/g"));
+        ASSERT_OK(w.root->Rename("/w/g", "/w/f"));
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(4));
+      if (w.kernel->Timeline().invalidation_spike) {
+        return;
+      }
+    }
+  };
+  storm_until_flagged();
+  ASSERT_TRUE(w.kernel->Timeline().invalidation_spike);
+  // Let the storm's trailing windows flush so the flag can't immediately
+  // re-trip from stale traffic, then acknowledge.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  w.kernel->ClearWatchdogFlags();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  obs::ObsTimeline tl = w.kernel->Timeline();
+  EXPECT_FALSE(tl.invalidation_spike);  // was sticky forever before v3
+  EXPECT_FALSE(tl.hit_rate_collapse);
+  // The watchdog still works after an acknowledgment: a new storm re-trips.
+  storm_until_flagged();
+  EXPECT_TRUE(w.kernel->Timeline().invalidation_spike);
+}
+
+// --- span ring (schema v3) ------------------------------------------------
+
+TEST(SpanRing, WraparoundKeepsTheNewestSpans) {
+  obs::SpanRing ring(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  for (uint64_t i = 1; i <= 20; ++i) {
+    ring.Record(obs::SpanKind::kWalkFast, obs::TraceOp::kStatx,
+                /*trace_id=*/i, /*begin_ns=*/i * 100, /*duration_ns=*/i,
+                /*arg0=*/i, /*arg1=*/i * 2);
+  }
+  std::vector<obs::SpanEvent> out;
+  ring.Drain(3, &out);
+  ASSERT_EQ(out.size(), 8u);  // exactly one lap survives
+  for (const obs::SpanEvent& ev : out) {
+    EXPECT_GT(ev.trace_id, 12u);  // only the newest 8 of 20
+    EXPECT_EQ(ev.kind, obs::SpanKind::kWalkFast);
+    EXPECT_EQ(ev.op, obs::TraceOp::kStatx);
+    EXPECT_EQ(ev.shard, 3u);
+    EXPECT_EQ(ev.arg0, ev.trace_id);
+    EXPECT_EQ(ev.arg1, ev.trace_id * 2);
+    EXPECT_EQ(ev.begin_ns, ev.trace_id * 100);
+  }
+}
+
+TEST(SpanRing, ConcurrentWritersNeverYieldTornSpans) {
+  obs::SpanRing ring(64);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kPerThread = 5000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t i = 1; i <= kPerThread; ++i) {
+        // Self-consistent payload: every field derives from (t, i), so any
+        // cross-writer tearing is detectable on drain.
+        uint64_t id = (static_cast<uint64_t>(t) << 32) | i;
+        ring.Record(obs::SpanKind::kIo, obs::TraceOp::kOpen, id,
+                    /*begin_ns=*/id * 2, /*duration_ns=*/id * 3,
+                    /*arg0=*/id * 5, /*arg1=*/id * 7);
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      std::vector<obs::SpanEvent> out;
+      ring.Drain(0, &out);
+      for (const obs::SpanEvent& ev : out) {
+        ASSERT_EQ(ev.kind, obs::SpanKind::kIo);
+        ASSERT_EQ(ev.op, obs::TraceOp::kOpen);
+        ASSERT_EQ(ev.begin_ns, (ev.trace_id * 2) & ~1ull);
+        ASSERT_EQ(ev.duration_ns, ev.trace_id * 3);
+        ASSERT_EQ(ev.arg0, ev.trace_id * 5);
+        ASSERT_EQ(ev.arg1, ev.trace_id * 7);
+      }
+    }
+  });
+  go.store(true, std::memory_order_release);
+  for (auto& th : writers) {
+    th.join();
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  std::vector<obs::SpanEvent> out;
+  ring.Drain(0, &out);
+  EXPECT_EQ(out.size(), 64u);  // quiescent ring: every slot consistent
+}
+
+// --- request tracing (schema v3) ------------------------------------------
+
+TEST(Trace, ForcedStatxProducesSpanTreeAndAttribution) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/a"));
+  auto fd = w.root->Open("/a/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  EXPECT_OK(w.root->StatPath("/a/f"));  // warm the fastpath
+
+  // trace_sample_every defaults to 0: nothing is traced without the force
+  // flag, so the warm loop above left the attributor untouched.
+  obs::ObsSnapshot before = w.kernel->Observe();
+  constexpr size_t kStatxIdx = static_cast<size_t>(obs::TraceOp::kStatx);
+  EXPECT_EQ(before.attribution[kStatxIdx].traced, 0u);
+  EXPECT_TRUE(before.spans.empty());
+
+  Stat st;
+  server::Sqe s = server::Sqe::Statx(kAtFdCwd, "/a/f", 0, &st);
+  s.trace_force = 1;
+  server::Cqe c;
+  w.root->SubmitBatch(&s, 1, &c);
+  ASSERT_TRUE(c.ok()) << c.error_name();
+
+  obs::ObsSnapshot after = w.kernel->Observe();
+  const obs::OpAttribution& at = after.attribution[kStatxIdx];
+  EXPECT_EQ(at.traced, 1u);
+  EXPECT_GT(at.total_ns, 0u);
+  // Direct submission: no ring, so no queue/dispatch share.
+  EXPECT_EQ(at.queue_ns, 0u);
+  EXPECT_EQ(at.dispatch_ns, 0u);
+
+  // The span tree: a kRequest root plus the walk child, all sharing one
+  // nonzero trace id.
+  ASSERT_FALSE(after.spans.empty());
+  uint64_t trace_id = 0;
+  bool saw_request = false;
+  bool saw_walk = false;
+  for (const obs::SpanEvent& ev : after.spans) {
+    EXPECT_NE(ev.trace_id, 0u);
+    if (trace_id == 0) {
+      trace_id = ev.trace_id;
+    }
+    EXPECT_EQ(ev.trace_id, trace_id);  // one traced request, one id
+    EXPECT_EQ(ev.op, obs::TraceOp::kStatx);
+    if (ev.kind == obs::SpanKind::kRequest) {
+      saw_request = true;
+      EXPECT_EQ(ev.arg0, 0u);  // res
+    }
+    if (ev.kind == obs::SpanKind::kWalkFast ||
+        ev.kind == obs::SpanKind::kWalkSlow) {
+      saw_walk = true;
+    }
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_walk);
+
+  // The flight recorder retained the request with its breakdown.
+  std::string report = w.kernel->obs().FlightRecorderReport();
+  EXPECT_NE(report.find("1 traced request"), std::string::npos) << report;
+  EXPECT_NE(report.find("op=statx"), std::string::npos) << report;
+  EXPECT_NE(report.find("forced"), std::string::npos) << report;
+  EXPECT_NE(report.find("attribution:"), std::string::npos) << report;
+  EXPECT_NE(report.find("span "), std::string::npos) << report;
+}
+
+TEST(Trace, SamplingIsDeterministicPerThread) {
+  ObsConfig cfg = ObsConfig::Enabled();
+  cfg.trace_sample_every = 4;
+  TestWorld w(CacheConfig::Optimized(), nullptr, cfg);
+  ASSERT_OK(w.root->Mkdir("/s"));
+  auto fd = w.root->Open("/s/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  constexpr size_t kStatxIdx = static_cast<size_t>(obs::TraceOp::kStatx);
+  uint64_t traced0 = w.kernel->Observe().attribution[kStatxIdx].traced;
+  // 16 consecutive submissions on one thread at 1-in-4 sampling trace
+  // exactly 4, whatever phase the thread's dice were left in.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/s/f", 0));
+  }
+  uint64_t traced = w.kernel->Observe().attribution[kStatxIdx].traced;
+  EXPECT_EQ(traced - traced0, 4u);
+}
+
+TEST(Trace, UntracedWarmHitsStaySharedWriteFree) {
+  ObsConfig cfg = ObsConfig::Enabled();
+  cfg.trace_sample_every = 0;  // hooks armed, dice never hit
+  TestWorld w(CacheConfig::Optimized(), nullptr, cfg);
+  ASSERT_OK(w.root->Mkdir("/p"));
+  auto fd = w.root->Open("/p/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  for (int i = 0; i < 4; ++i) {  // settle one-time writes
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/p/f", 0));
+  }
+  uint64_t writes0 = w.kernel->stats().shared_writes.value();
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/p/f", 0));
+  }
+  EXPECT_EQ(w.kernel->stats().shared_writes.value(), writes0);
+}
+
+TEST(Trace, WatchdogTripDumpsFlightRecorder) {
+  ObsConfig cfg = ObsConfig::EnabledWithTracing(/*sample_every=*/1);
+  cfg.sample_interval_ms = 2;
+  cfg.watchdog_max_invalidations_per_sec = 400.0;
+  TestWorld w(CacheConfig::Optimized(), nullptr, cfg);
+  ASSERT_OK(w.root->Mkdir("/w"));
+  auto fd = w.root->Open("/w/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  // Seed the flight recorder with a forced end-to-end trace, then storm
+  // renames until the watchdog transition fires the automatic dump.
+  Stat st;
+  server::Sqe s = server::Sqe::Statx(kAtFdCwd, "/w/f", 0, &st);
+  s.trace_force = 1;
+  server::Cqe c;
+  w.root->SubmitBatch(&s, 1, &c);
+  ASSERT_TRUE(c.ok()) << c.error_name();
+  EXPECT_EQ(w.kernel->obs().flight_dumps(), 0u);
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_OK(w.root->Rename("/w/f", "/w/g"));
+      ASSERT_OK(w.root->Rename("/w/g", "/w/f"));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(4));
+    if (w.kernel->obs().flight_dumps() > 0) {
+      break;
+    }
+  }
+  EXPECT_GT(w.kernel->obs().flight_dumps(), 0u);
+  EXPECT_TRUE(w.kernel->Timeline().invalidation_spike);
+  // The dumped evidence is a full span tree with a per-request breakdown.
+  std::string report = w.kernel->obs().FlightRecorderReport();
+  EXPECT_NE(report.find("request id="), std::string::npos) << report;
+  EXPECT_NE(report.find("attribution:"), std::string::npos) << report;
+  EXPECT_NE(report.find("span "), std::string::npos) << report;
+  // The snapshot surfaces the dump count (schema v3).
+  EXPECT_GT(w.kernel->Observe().flight_dumps, 0u);
+}
+
+TEST(Trace, ManualDumpBumpsCounterAndAuditStaysQuiet) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/d"));
+  EXPECT_OK(w.root->StatPath("/d"));
+  // A clean audit must NOT dump the flight recorder.
+  obs::AuditReport report = w.kernel->Audit();
+  EXPECT_TRUE(report.clean()) << report.ToText();
+  EXPECT_EQ(w.kernel->obs().flight_dumps(), 0u);
+  w.kernel->obs().DumpFlightRecorder("test");
+  EXPECT_EQ(w.kernel->obs().flight_dumps(), 1u);
+}
+
+TEST(Trace, ChromeTraceStaysWellFormedUnderWraparound) {
+  // Tiny rings + trace-everything: every structure wraps several times and
+  // the exported document must stay loadable and time-ordered.
+  ObsConfig cfg = ObsConfig::Enabled();
+  cfg.trace_sample_every = 1;
+  cfg.span_ring_events = 8;
+  cfg.journal_ring_events = 8;
+  cfg.trace_ring_events = 8;
+  TestWorld w(CacheConfig::Optimized(), nullptr, cfg);
+  ASSERT_OK(w.root->Mkdir("/c"));
+  auto fd = w.root->Open("/c/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_OK(w.root->Statx(kAtFdCwd, "/c/f", 0));
+    }
+    ASSERT_OK(w.root->Rename("/c/f", "/c/g"));
+    ASSERT_OK(w.root->Rename("/c/g", "/c/f"));
+  }
+  std::string trace = w.kernel->Observe().ToChromeTrace();
+  ASSERT_EQ(trace.find("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["), 0u);
+  ASSERT_EQ(trace.back(), '}');
+  // No emitted string contains braces/brackets, so raw counts must balance
+  // — the cheap proxy for "json.load would succeed".
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '{'),
+            std::count(trace.begin(), trace.end(), '}'));
+  EXPECT_EQ(std::count(trace.begin(), trace.end(), '['),
+            std::count(trace.begin(), trace.end(), ']'));
+  EXPECT_NE(trace.find("\"cat\":\"request\""), std::string::npos);
+  // Events are globally sorted by ts (hence monotonic per tid, which Chrome
+  // requires for containment nesting).
+  double prev = -1.0;
+  size_t events = 0;
+  for (size_t pos = trace.find("\"ts\":"); pos != std::string::npos;
+       pos = trace.find("\"ts\":", pos + 1)) {
+    double ts = std::strtod(trace.c_str() + pos + 5, nullptr);
+    EXPECT_GE(ts, prev);
+    prev = ts;
+    ++events;
+  }
+  EXPECT_GT(events, 8u);  // journal + walks + spans all contributed
 }
 
 // --- invariant auditor ----------------------------------------------------

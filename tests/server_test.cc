@@ -417,5 +417,82 @@ TEST(Server, BatchCountersShowUpInSnapshot) {
       << "batching never kicked in: every turn drained a single SQE";
 }
 
+TEST(Server, ReapBackoffYieldsOnEmptyStreaksOnly) {
+  server::ReapBackoff b(/*yield_after=*/4);
+  EXPECT_EQ(b.empty_polls(), 0u);
+  // Progress never builds a streak.
+  for (int i = 0; i < 10; ++i) {
+    b.Update(3);
+    EXPECT_EQ(b.empty_polls(), 0u);
+  }
+  // Empty polls accumulate until yield_after, then the streak resets (the
+  // yield itself is unobservable; the reset is the contract).
+  b.Update(0);
+  b.Update(0);
+  b.Update(0);
+  EXPECT_EQ(b.empty_polls(), 3u);
+  b.Update(0);  // 4th empty: yields and resets
+  EXPECT_EQ(b.empty_polls(), 0u);
+  // Any progress mid-streak also resets.
+  b.Update(0);
+  b.Update(0);
+  EXPECT_EQ(b.empty_polls(), 2u);
+  b.Update(1);
+  EXPECT_EQ(b.empty_polls(), 0u);
+  // yield_after = 0 is clamped to 1: every empty poll yields, none linger.
+  server::ReapBackoff always(0);
+  always.Update(0);
+  EXPECT_EQ(always.empty_polls(), 0u);
+}
+
+TEST(Server, ForcedTraceThroughRingsRecordsQueueWait) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  ASSERT_OK(w.root->Mkdir("/tr"));
+  auto fd = w.root->Open("/tr/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(w.root->Close(*fd));
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/tr/f", 0));  // warm the fastpath
+  server::Server srv(w.kernel.get(), w.root, {});
+  srv.Start();
+  Stat st;
+  Sqe s = Sqe::Statx(kAtFdCwd, "/tr/f", 0, &st);
+  s.trace_force = 1;  // trace_sample_every = 0: only the flag traces
+  srv.SubmitWait(0, s);
+  Cqe c;
+  server::ReapBackoff backoff;
+  while (srv.Reap(0, &c, 1) == 0) {
+    backoff.Update(0);
+  }
+  srv.Stop();
+  ASSERT_TRUE(c.ok()) << c.error_name();
+
+  // A ring-submitted trace carries all four timestamps, so the synthesized
+  // framing spans include the queue wait (submit -> shard dequeue); the
+  // attributor banks it under kStatx.
+  obs::ObsSnapshot snap = w.kernel->Observe();
+  const obs::OpAttribution& at =
+      snap.attribution[static_cast<size_t>(obs::TraceOp::kStatx)];
+  EXPECT_EQ(at.traced, 1u);
+  EXPECT_GT(at.total_ns, 0u);
+  EXPECT_GT(at.queue_ns, 0u);
+  bool saw_request = false;
+  bool saw_queue = false;
+  for (const obs::SpanEvent& ev : snap.spans) {
+    if (ev.kind == obs::SpanKind::kRequest) {
+      saw_request = true;
+    }
+    if (ev.kind == obs::SpanKind::kQueue) {
+      saw_queue = true;
+      EXPECT_EQ(ev.op, obs::TraceOp::kStatx);
+    }
+  }
+  EXPECT_TRUE(saw_request);
+  EXPECT_TRUE(saw_queue);
+  // The flight recorder on the shard thread retained the request.
+  std::string report = w.kernel->obs().FlightRecorderReport();
+  EXPECT_NE(report.find("request id="), std::string::npos) << report;
+  EXPECT_NE(report.find("attribution:"), std::string::npos) << report;
+}
+
 }  // namespace
 }  // namespace dircache
