@@ -1,0 +1,325 @@
+// Directory-shortcut miss fallback (DESIGN.md §14): what does resuming the
+// slowpath from the deepest cached ancestor buy on miss-heavy workloads,
+// and what does the feature cost when it never triggers?
+//
+// Three measurements, one JSON artifact (BENCH_shortcut.json):
+//  - churn: fresh leaves keep appearing under a warm directory chain (the
+//    maildir/build-dir pattern). Every first lookup is a final-probe DLHT
+//    miss; shortcut-off walks the full path, shortcut-on walks only the
+//    new suffix. Reported as mean slow-walk components per slowpath
+//    lookup; the verdict wants shortcut-on >= 2x fewer.
+//  - cold Dovecot replay: drop all caches, then replay IMAP mark/unmark
+//    ops. The verdict wants the fast_miss_shortcut_hit taxonomy row
+//    nonzero — cold traffic really does resume mid-tree.
+//  - idle overhead: the warm 8-component stat path with the feature
+//    compiled in but never triggering, on vs off. The verdict wants p50
+//    within 2% and the warm loop probe- and shared-write-free.
+//
+// Exits nonzero when any verdict fails (scripts/bench_smoke.sh re-checks
+// the artifact it wrote).
+#include <fstream>
+
+#include "bench/common.h"
+#include "src/util/rng.h"
+#include "src/workload/maildir.h"
+
+namespace dircache {
+namespace bench {
+namespace {
+
+struct ChurnResult {
+  uint64_t walks = 0;
+  uint64_t components = 0;
+  uint64_t resumes = 0;
+  double mean_components = 0;
+};
+
+// Fresh leaves under a warm depth-4 chain: create (parent fast-hits), then
+// stat (final-probe miss). The stat is the measured miss.
+ChurnResult MeasureChurn(bool shortcut_on, int ops) {
+  CacheConfig cfg = Optimized();
+  cfg.shortcut = shortcut_on;
+  Env env = MakeEnv(cfg);
+  Task& t = env.T();
+  constexpr int kDirs = 16;
+  for (int d = 0; d < kDirs; ++d) {
+    std::string dir = "/churn/d" + std::to_string(d);
+    (void)t.Mkdir("/churn");
+    (void)t.Mkdir(dir);
+    (void)t.Mkdir(dir + "/obj");
+    (void)t.Mkdir(dir + "/obj/deep");
+    // Warm the chain so its directories live in the DLHT and PCC.
+    auto fd = t.Open(dir + "/obj/deep/seed", kOCreat | kOWrite);
+    if (fd.ok()) {
+      (void)t.Close(*fd);
+    }
+    (void)t.Statx(kAtFdCwd, dir + "/obj/deep/seed", 0);
+  }
+  CacheStats& stats = env.kernel->stats();
+  const uint64_t walks0 = stats.slowpath_walks.value();
+  const uint64_t comps0 = stats.slow_components.value();
+  const uint64_t resumes0 = stats.shortcut_resumes.value();
+  Rng rng(42);
+  for (int i = 0; i < ops; ++i) {
+    std::string p = "/churn/d" + std::to_string(rng.Below(kDirs)) +
+                    "/obj/deep/n" + std::to_string(i);
+    auto fd = t.Open(p, kOCreat | kOWrite);
+    if (fd.ok()) {
+      (void)t.Close(*fd);
+    }
+    (void)t.Statx(kAtFdCwd, p, 0);
+  }
+  ChurnResult r;
+  r.walks = stats.slowpath_walks.value() - walks0;
+  r.components = stats.slow_components.value() - comps0;
+  r.resumes = stats.shortcut_resumes.value() - resumes0;
+  r.mean_components =
+      r.walks == 0 ? 0
+                   : static_cast<double>(r.components) /
+                         static_cast<double>(r.walks);
+  return r;
+}
+
+struct ColdResult {
+  uint64_t shortcut_hit_walks = 0;  // fast_miss_shortcut_hit taxonomy row
+  uint64_t resumes = 0;
+  uint64_t skipped = 0;
+};
+
+// Cold Dovecot replay: mailbox built warm, caches dropped, then an IMAP
+// session replayed against the cold tree — STORE flag toggles (rename +
+// rescan, via MarkRandom) interleaved with FETCHes that open message
+// files by name. The first FETCH of each message is a final-probe miss
+// with .../cur already re-cached by the rescans: exactly the shape the
+// ancestor probe exists for.
+ColdResult MeasureColdDovecot(int ops) {
+  Env env = MakeEnv(Optimized(), 1 << 18, 1 << 17, ObsConfig::Enabled());
+  Task& t = env.T();
+  MaildirServer server(t, "/mail");
+  if (!server.CreateMailbox("inbox", 400).ok()) {
+    return {};
+  }
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    (void)server.MarkRandom("inbox", rng);
+  }
+  env.kernel->DropCaches();
+  CacheStats& stats = env.kernel->stats();
+  const uint64_t resumes0 = stats.shortcut_resumes.value();
+  const uint64_t skipped0 = stats.shortcut_skipped.value();
+  obs::ObsSnapshot before = env.kernel->Observe();
+  // SELECT: list the mailbox once (rebuilds the directory chain and the
+  // server's message list; renames below make parts of it stale, which is
+  // fine — a stale FETCH is still a resumed walk, just one that ENOENTs).
+  std::vector<std::string> names;
+  {
+    auto dfd = t.Open("/mail/inbox/cur", kORead | kODirectory);
+    if (!dfd.ok()) {
+      return {};
+    }
+    while (true) {
+      auto batch = t.ReadDirFd(*dfd, 128);
+      if (!batch.ok() || batch->empty()) {
+        break;
+      }
+      for (auto& e : *batch) {
+        names.push_back(std::move(e.name));
+      }
+    }
+    (void)t.Close(*dfd);
+  }
+  for (int i = 0; i < ops; ++i) {
+    (void)server.MarkRandom("inbox", rng);
+    for (int f = 0; f < 4 && !names.empty(); ++f) {  // FETCH a few bodies
+      std::string p = "/mail/inbox/cur/" + names[rng.Below(names.size())];
+      auto fd = t.Open(p, kORead);
+      if (fd.ok()) {
+        std::string buf;
+        (void)t.ReadFd(*fd, 64, &buf);
+        (void)t.Close(*fd);
+      }
+    }
+  }
+  obs::ObsSnapshot after = env.kernel->Observe();
+  auto row = [](const obs::ObsSnapshot& s, obs::WalkOutcome o) {
+    return s.outcomes[static_cast<size_t>(o)];
+  };
+  ColdResult r;
+  r.shortcut_hit_walks =
+      row(after, obs::WalkOutcome::kFastMissShortcutHit) -
+      row(before, obs::WalkOutcome::kFastMissShortcutHit);
+  r.resumes = stats.shortcut_resumes.value() - resumes0;
+  r.skipped = stats.shortcut_skipped.value() - skipped0;
+  return r;
+}
+
+struct IdleResult {
+  double p50_off_ns = 0;
+  double p50_on_ns = 0;
+  double overhead_pct = 0;
+  double shared_writes_per_op = 0;  // warm loop, shortcut on
+  uint64_t probes = 0;              // warm loop, shortcut on: must be 0
+};
+
+// The warm 8-component stat path: the shortcut code must add nothing when
+// the fastpath hits. Alternate on/off rounds and keep each side's best p50
+// so scheduler drift doesn't masquerade as feature overhead.
+IdleResult MeasureIdleOverhead() {
+  auto make = [](bool on) {
+    CacheConfig cfg = Optimized();
+    cfg.shortcut = on;
+    Env env = MakeEnv(cfg);
+    Task& t = env.T();
+    std::string p;
+    for (const char* c : {"/XXX", "/YYY", "/ZZZ", "/AAA", "/BBB", "/CCC",
+                          "/DDD"}) {
+      p += c;
+      (void)t.Mkdir(p);
+    }
+    p += "/FFF";
+    auto fd = t.Open(p, kOCreat | kOWrite);
+    if (fd.ok()) {
+      (void)t.Close(*fd);
+    }
+    (void)t.Statx(kAtFdCwd, p, 0);  // populate: everything after is a hit
+    return env;
+  };
+  Env off = make(false);
+  Env on = make(true);
+  const char* kPath = "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF";
+
+  IdleResult r;
+  r.p50_off_ns = 1e18;
+  r.p50_on_ns = 1e18;
+  for (int round = 0; round < 5; ++round) {
+    LatencyResult a = MeasureLatency(
+        [&] { (void)off.T().Statx(kAtFdCwd, kPath, 0); });
+    LatencyResult b = MeasureLatency(
+        [&] { (void)on.T().Statx(kAtFdCwd, kPath, 0); });
+    r.p50_off_ns = std::min(r.p50_off_ns, a.p50_ns);
+    r.p50_on_ns = std::min(r.p50_on_ns, b.p50_ns);
+  }
+  r.overhead_pct =
+      r.p50_off_ns == 0
+          ? 0
+          : (r.p50_on_ns - r.p50_off_ns) / r.p50_off_ns * 100.0;
+
+  // Purity of the warm loop with the feature on: no prefix probes, no
+  // shared writes.
+  CacheStats& stats = on.kernel->stats();
+  const uint64_t sw0 = stats.shared_writes.value();
+  const uint64_t probes0 = stats.shortcut_probes.value();
+  constexpr int kOps = 20000;
+  for (int i = 0; i < kOps; ++i) {
+    (void)on.T().Statx(kAtFdCwd, kPath, 0);
+  }
+  r.shared_writes_per_op =
+      static_cast<double>(stats.shared_writes.value() - sw0) / kOps;
+  r.probes = stats.shortcut_probes.value() - probes0;
+  return r;
+}
+
+void WriteJson(const ChurnResult& on, const ChurnResult& off,
+               double churn_speedup, bool churn_ok, const ColdResult& cold,
+               bool cold_ok, const IdleResult& idle, bool idle_ok,
+               bool warm_pure) {
+  std::ofstream out("BENCH_shortcut.json");
+  if (!out) {
+    return;
+  }
+  auto churn = [&](const ChurnResult& c) {
+    out << "{\"slow_walks\": " << c.walks
+        << ", \"slow_components\": " << c.components
+        << ", \"resumes\": " << c.resumes
+        << ", \"mean_components\": " << c.mean_components << "}";
+  };
+  out << "{\n  \"benchmark\": \"shortcut_miss\",\n"
+      << "  \"churn\": {\"shortcut_on\": ";
+  churn(on);
+  out << ", \"shortcut_off\": ";
+  churn(off);
+  out << ", \"component_reduction\": " << churn_speedup << "},\n"
+      << "  \"cold_dovecot\": {\"fast_miss_shortcut_hit\": "
+      << cold.shortcut_hit_walks << ", \"resumes\": " << cold.resumes
+      << ", \"components_skipped\": " << cold.skipped << "},\n"
+      << "  \"idle\": {\"p50_off_ns\": " << idle.p50_off_ns
+      << ", \"p50_on_ns\": " << idle.p50_on_ns
+      << ", \"overhead_pct\": " << idle.overhead_pct
+      << ", \"warm_shared_writes_per_op\": " << idle.shared_writes_per_op
+      << ", \"warm_probes\": " << idle.probes << "},\n"
+      << "  \"verdict\": {\"component_reduction\": " << churn_speedup
+      << ", \"churn_reduction_ok\": " << (churn_ok ? "true" : "false")
+      << ", \"cold_replay_resumes_ok\": " << (cold_ok ? "true" : "false")
+      << ", \"idle_overhead_pct\": " << idle.overhead_pct
+      << ", \"idle_overhead_ok\": " << (idle_ok ? "true" : "false")
+      << ", \"warm_loop_pure\": " << (warm_pure ? "true" : "false")
+      << "}\n}\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dircache
+
+int main() {
+  using namespace dircache;
+  using namespace dircache::bench;
+  Banner("Shortcut miss fallback",
+         "resume slowpath walks from the deepest cached ancestor "
+         "(DESIGN.md §14)");
+
+  const int churn_ops = 4000;
+  ChurnResult on = MeasureChurn(true, churn_ops);
+  ChurnResult off = MeasureChurn(false, churn_ops);
+  double churn_speedup =
+      on.mean_components == 0 ? 0 : off.mean_components / on.mean_components;
+  bool churn_ok = churn_speedup >= 2.0;
+  std::printf("churn (fresh leaves under a warm depth-4 chain, %d misses)\n",
+              churn_ops);
+  std::printf("  %-14s | %10s %12s %10s\n", "config", "slow-walks",
+              "components", "mean/walk");
+  std::printf("  %-14s | %10llu %12llu %10.2f\n", "shortcut-off",
+              static_cast<unsigned long long>(off.walks),
+              static_cast<unsigned long long>(off.components),
+              off.mean_components);
+  std::printf("  %-14s | %10llu %12llu %10.2f   (%llu resumes)\n",
+              "shortcut-on", static_cast<unsigned long long>(on.walks),
+              static_cast<unsigned long long>(on.components),
+              on.mean_components,
+              static_cast<unsigned long long>(on.resumes));
+  std::printf("  component reduction: %.2fx (>=2x %s)\n", churn_speedup,
+              churn_ok ? "OK" : "FAIL");
+
+  ColdResult cold = MeasureColdDovecot(80);
+  bool cold_ok = cold.shortcut_hit_walks > 0;
+  std::printf("\ncold Dovecot replay (400-msg mailbox, caches dropped)\n");
+  std::printf("  fast_miss_shortcut_hit walks: %llu (resumes %llu, "
+              "components skipped %llu) %s\n",
+              static_cast<unsigned long long>(cold.shortcut_hit_walks),
+              static_cast<unsigned long long>(cold.resumes),
+              static_cast<unsigned long long>(cold.skipped),
+              cold_ok ? "OK" : "FAIL");
+
+  IdleResult idle = MeasureIdleOverhead();
+  bool idle_ok = idle.overhead_pct < 2.0;
+  bool warm_pure = idle.shared_writes_per_op < 1e-3 && idle.probes == 0;
+  std::printf("\nidle overhead (warm 8-component stat, feature never "
+              "triggers)\n");
+  std::printf("  p50 off %.1f ns | p50 on %.1f ns | overhead %+.2f%% "
+              "(<2%% %s)\n",
+              idle.p50_off_ns, idle.p50_on_ns, idle.overhead_pct,
+              idle_ok ? "OK" : "FAIL");
+  std::printf("  warm loop: shared_writes/op %.6f, prefix probes %llu (%s)\n",
+              idle.shared_writes_per_op,
+              static_cast<unsigned long long>(idle.probes),
+              warm_pure ? "OK" : "FAIL");
+
+  WriteJson(on, off, churn_speedup, churn_ok, cold, cold_ok, idle, idle_ok,
+            warm_pure);
+  std::printf("\nwrote BENCH_shortcut.json\n");
+  if (!churn_ok || !cold_ok || !idle_ok || !warm_pure) {
+    std::printf("verdict: FAIL\n");
+    return 1;
+  }
+  std::printf("verdict: OK\n");
+  return 0;
+}

@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
 # Quick benchmark smoke pass: build Release, run a shortened Figure 8, the
 # Figure 7 write-cost bench, the batched-server throughput bench, plus the
-# stat/open microbenchmarks, and leave machine-readable results at the repo
-# root (BENCH_fig8.json, BENCH_fig7.json, BENCH_server.json,
-# BENCH_micro.json). Exits nonzero if fig8's verdict fails
+# stat/open microbenchmarks, plus the miss-shortcut bench, and leave
+# machine-readable results at the repo root (BENCH_fig8.json,
+# BENCH_fig7.json, BENCH_server.json, BENCH_micro.json,
+# BENCH_shortcut.json). Exits nonzero if fig8's verdict fails
 # (the optimized warm hit path took locks or shared writes), if fig7's
 # verdict fails (no parallel speedup on big subtrees, a heap allocation on a
 # small-subtree invalidation, shared writes on warm hits, or a rename
 # write-section that scales with the subtree), if the server bench's verdict
 # fails (batched submission < 2x over one-call-per-op, or warm hits through
-# the rings took shared writes), if an artifact is missing the
+# the rings took shared writes), if the shortcut bench's verdict fails
+# (resumed walks not >=2x fewer slow components on churn, no resumes on a
+# cold Dovecot replay, or idle overhead/impurity on the warm path), if an
+# artifact is missing the
 # expected obs schema version or budget, or if the shell's trace-export does
 # not produce loadable Chrome trace-event JSON.
 #
@@ -23,7 +27,7 @@ if [[ ! -f "$BUILD_DIR/CMakeCache.txt" ]]; then
   cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 fi
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target fig8_scalability \
-  fig7_mutation_cost microbench server_throughput shell
+  fig7_mutation_cost microbench server_throughput shortcut_miss shell
 
 echo "== fig8 (quick) =="
 FIG8_QUICK=1 "$BUILD_DIR/bench/fig8_scalability"
@@ -38,6 +42,12 @@ echo "== server throughput (quick) =="
 # or warm hits took shared writes); the schema assertions below re-check
 # the artifact it wrote.
 SERVER_QUICK=1 "$BUILD_DIR/bench/server_throughput"
+
+echo "== shortcut miss fallback =="
+# Exits nonzero itself when any verdict fails (churn component reduction
+# < 2x, no cold-replay resumes, idle p50 regression >= 2%, or an impure
+# warm loop); the schema assertions below re-check the artifact it wrote.
+"$BUILD_DIR/bench/shortcut_miss"
 
 echo "== microbench (quick) =="
 "$BUILD_DIR/bench/microbench" \
@@ -262,6 +272,64 @@ else
   echo "server verdict OK (grep fallback)"
 fi
 
+echo "== shortcut schema + verdict check =="
+# The miss-shortcut artifact (DESIGN.md §14) must carry the full verdict
+# block with every bar cleared, and the raw numbers must respect the
+# budgets: churn walks resume >=2x fewer slow components with the shortcut
+# on, the cold Dovecot replay classifies fast_miss_shortcut_hit walks, and
+# the warm 8-component loop stays probe-free and shared-write-free with
+# p50 within 2% of the shortcut-off build.
+if command -v python3 >/dev/null; then
+  python3 - <<'PY'
+import json
+
+IDLE_OVERHEAD_BUDGET_PCT = 2.0
+
+sc = json.load(open("BENCH_shortcut.json"))
+assert sc["benchmark"] == "shortcut_miss", sc.get("benchmark")
+
+verdict = sc["verdict"]
+for key in ("churn_reduction_ok", "cold_replay_resumes_ok",
+            "idle_overhead_ok", "warm_loop_pure"):
+    assert verdict[key] is True, f"shortcut verdict {key} = {verdict[key]}"
+
+churn = sc["churn"]
+on, off = churn["shortcut_on"], churn["shortcut_off"]
+assert on["resumes"] > 0, "churn phase never resumed a walk"
+assert on["mean_components"] > 0 and off["mean_components"] > 0, churn
+reduction = churn["component_reduction"]
+assert reduction >= 2.0, (
+    f"churn component reduction {reduction:.2f}x < 2x "
+    f"(on {on['mean_components']:.2f} vs off {off['mean_components']:.2f} "
+    f"components/walk)")
+
+cold = sc["cold_dovecot"]
+assert cold["fast_miss_shortcut_hit"] > 0, (
+    "cold Dovecot replay produced no fast_miss_shortcut_hit walks")
+assert cold["components_skipped"] >= cold["resumes"], cold
+
+idle = sc["idle"]
+pct = idle["overhead_pct"]
+assert pct < IDLE_OVERHEAD_BUDGET_PCT, (
+    f"idle p50 overhead {pct:.2f}% exceeds "
+    f"{IDLE_OVERHEAD_BUDGET_PCT}% budget")
+assert idle["warm_shared_writes_per_op"] < 1e-3, idle
+assert idle["warm_probes"] == 0, (
+    f"warm loop issued {idle['warm_probes']} prefix probes")
+
+print(f"shortcut OK: {reduction:.2f}x fewer slow components on churn "
+      f"({on['mean_components']:.2f} vs {off['mean_components']:.2f}/walk), "
+      f"{cold['fast_miss_shortcut_hit']} cold-replay shortcut hits, "
+      f"idle overhead {pct:+.2f}%, warm loop probe- and shared-write-free")
+PY
+else
+  grep -q '"churn_reduction_ok": true' BENCH_shortcut.json
+  grep -q '"cold_replay_resumes_ok": true' BENCH_shortcut.json
+  grep -q '"idle_overhead_ok": true' BENCH_shortcut.json
+  grep -q '"warm_loop_pure": true' BENCH_shortcut.json
+  echo "shortcut verdict OK (grep fallback)"
+fi
+
 echo "== chrome trace export check =="
 # The shell's trace-export must emit loadable Chrome trace-event JSON
 # (an object with a traceEvents array of complete "X" events).
@@ -291,4 +359,4 @@ else
   echo "chrome trace OK (grep fallback)"
 fi
 
-echo "wrote BENCH_fig8.json, BENCH_fig7.json, BENCH_server.json, and BENCH_micro.json"
+echo "wrote BENCH_fig8.json, BENCH_fig7.json, BENCH_server.json, BENCH_micro.json, and BENCH_shortcut.json"

@@ -14,6 +14,9 @@
 #                               #   server suites (span rings, flight
 #                               #   recorder, trace plumbing) on top of the
 #                               #   TSan coverage --tsan/--server give them
+#   scripts/check.sh --shortcut # + thread sanitizer pass over just the
+#                               #   miss-shortcut suite (label shortcut:
+#                               #   ancestor probes racing renames)
 #   scripts/check.sh --bench    # + run every benchmark binary
 #   scripts/check.sh --bench fig7
 #                               # + run only benchmarks whose name starts
@@ -29,12 +32,14 @@ BENCH_FILTER=""
 TSAN=0
 SERVER=0
 OBS=0
+SHORTCUT=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) FULL=1 ;;
     --tsan) TSAN=1 ;;
     --server) SERVER=1 ;;
     --obs) OBS=1 ;;
+    --shortcut) SHORTCUT=1 ;;
     --bench)
       BENCH=1
       if [[ $# -gt 1 && "${2:0:2}" != "--" ]]; then
@@ -93,6 +98,19 @@ if [[ "$SERVER" == 1 ]]; then
   cmake --build build-tsan
   TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp history_size=7" \
     ctest --test-dir build-tsan --output-on-failure -L server
+fi
+
+if [[ "$SHORTCUT" == 1 ]]; then
+  echo "== thread sanitizer (miss-shortcut suite) =="
+  # The ancestor-probe fallback's cross-thread surface: prefix-signature
+  # probes and resumed walks racing renames, evictions, and epoch
+  # reclamation (label shortcut). Reuses the --tsan build tree.
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan
+  TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp history_size=7" \
+    ctest --test-dir build-tsan --output-on-failure -L shortcut
 fi
 
 if [[ "$OBS" == 1 ]]; then

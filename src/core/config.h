@@ -54,6 +54,14 @@ struct CacheConfig {
   DotDotMode dotdot = DotDotMode::kPosix;
   // Cache symlink resolutions as alias dentries (§4.2).
   bool symlink_aliases = true;
+  // Miss fallback: on a DLHT miss, probe signatures of successively shorter
+  // path prefixes and resume the slowpath from the deepest cached ancestor
+  // instead of the walk base (DESIGN.md §14). Costs nothing until a final
+  // probe actually misses.
+  bool shortcut = false;
+  // Deepest path (in components) the shortcut fallback will probe; longer
+  // paths fall back to the ordinary full walk.
+  size_t shortcut_max_depth = 32;
   // §3.3 hardening (described but not implemented in the paper's
   // prototype): root-credential lookups skip signature-based acceleration,
   // so a brute-forced signature collision can never steer a privileged
@@ -83,6 +91,7 @@ struct CacheConfig {
   static CacheConfig Optimized() {
     CacheConfig c;
     c.fastpath = true;
+    c.shortcut = true;
     c.dir_completeness = true;
     c.negative_on_unlink = true;
     c.negative_on_pseudo_fs = true;

@@ -46,6 +46,29 @@ FastDentry* Dlht::Lookup(const Signature& sig, CacheStats* stats) const {
   return nullptr;
 }
 
+FastDentry* Dlht::ProbePrefix(const Signature& sig, CacheStats* stats) const {
+  if (stats != nullptr) {
+    stats->shortcut_probes.Add();
+  }
+  const Bucket& bucket = BucketFor(sig);
+  for (HNode* n = bucket.chain.First(); n != nullptr;
+       n = n->next.load(std::memory_order_acquire)) {
+    auto* fd = FromHNode<FastDentry, &FastDentry::dlht_node>(n);
+    uint32_t s = fd->state_seq.ReadBegin();
+    bool match = fd->signature == sig;
+    if (fd->state_seq.ReadRetry(s)) {
+      continue;  // concurrent rewrite; treat as non-match
+    }
+    if (match) {
+      return fd;
+    }
+    if (stats != nullptr) {
+      stats->dlht_collisions.Add();
+    }
+  }
+  return nullptr;
+}
+
 void Dlht::Insert(FastDentry* fd) {
   assert(fd->on_dlht.load(std::memory_order_relaxed) == nullptr);
   Bucket& bucket = BucketFor(fd->signature);

@@ -37,6 +37,13 @@ class Dlht {
   // Counts skipped chain entries into `stats` for the collision statistic.
   FastDentry* Lookup(const Signature& sig, CacheStats* stats) const;
 
+  // Ancestor probe for the shortcut miss fallback (DESIGN.md §14): the same
+  // chain walk as Lookup, but counted into shortcut_probes (not
+  // dlht_hits/dlht_misses) so the longest-prefix search neither inflates
+  // the hit rate nor shows up as extra misses — one lookup, one taxonomy
+  // row, however many prefixes were probed on the way.
+  FastDentry* ProbePrefix(const Signature& sig, CacheStats* stats) const;
+
   // Publish `fd` under fd->signature. If `fd` is currently on another table
   // (or on this one under an old signature), the caller must Remove it
   // first. Caller holds the owning dentry's lock.

@@ -55,7 +55,24 @@ size_t Pcc::SetFor(uint64_t key) const { return MixPointer(key) & set_mask_; }
 
 bool Pcc::Lookup(const void* dentry, uint32_t seq, CacheStats* stats,
                  PccMiss* miss) {
-  const uint64_t key = KeyFor(dentry);
+  return LookupKey(KeyFor(dentry), seq, stats, miss);
+}
+
+bool Pcc::LookupPrefix(const Signature& sig, uint32_t seq, CacheStats* stats,
+                       PccMiss* miss) {
+  return LookupKey(PrefixKeyFor(sig), seq, stats, miss);
+}
+
+uint64_t Pcc::PrefixKeyFor(const Signature& sig) {
+  uint64_t h = sig.words[0];
+  h = MixPointer(h ^ (sig.words[1] * 0x9e3779b97f4a7c15ULL));
+  h = MixPointer(h ^ (sig.words[2] * 0xc2b2ae3d27d4eb4fULL));
+  h ^= sig.words[3];
+  return h | (1ULL << 63);
+}
+
+bool Pcc::LookupKey(uint64_t key, uint32_t seq, CacheStats* stats,
+                    PccMiss* miss) {
   Entry* set = &entries_[SetFor(key) * kWays];
   for (size_t way = 0; way < kWays; ++way) {
     Entry& e = set[way];
@@ -115,7 +132,14 @@ bool Pcc::Lookup(const void* dentry, uint32_t seq, CacheStats* stats,
 }
 
 void Pcc::Insert(const void* dentry, uint32_t seq) {
-  const uint64_t key = KeyFor(dentry);
+  InsertKey(KeyFor(dentry), seq);
+}
+
+void Pcc::InsertPrefix(const Signature& sig, uint32_t seq) {
+  InsertKey(PrefixKeyFor(sig), seq);
+}
+
+void Pcc::InsertKey(uint64_t key, uint32_t seq) {
   Entry* set = &entries_[SetFor(key) * kWays];
   uint32_t now = tick_.fetch_add(1, std::memory_order_relaxed);
   uint64_t meta = (static_cast<uint64_t>(seq) << 32) | now;

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/util/hash.h"
 #include "src/util/stats.h"
 
 namespace dircache {
@@ -64,6 +65,22 @@ class Pcc {
 
   // Record a passed prefix check.
   void Insert(const void* dentry, uint32_t seq);
+
+  // Prefix entries for the shortcut miss fallback (DESIGN.md §14): the same
+  // memo keyed by the directory's *path signature* instead of its dentry
+  // pointer. Signature keys hash to different sets than the pointer key of
+  // the same directory, so a scan that thrashes the pointer entries can
+  // leave the directory's prefix memo standing; the probe consults both.
+  // Prefix entries share the table, the seq-validation rule, and every
+  // flush/epoch path with pointer entries.
+  bool LookupPrefix(const Signature& sig, uint32_t seq,
+                    CacheStats* stats = nullptr, PccMiss* miss = nullptr);
+  void InsertPrefix(const Signature& sig, uint32_t seq);
+
+  // Folds the four signature words into a table key. The top bit is forced
+  // set so a prefix key can never collide with a pointer key (shifted
+  // user-space addresses keep it clear) nor with 0 (empty) or kBusy (1).
+  static uint64_t PrefixKeyFor(const Signature& sig);
 
   // Drop every entry (used for the global version-counter wraparound,
   // §3.1, and by tests).
@@ -116,6 +133,9 @@ class Pcc {
     return reinterpret_cast<uintptr_t>(dentry) >> 3;
   }
   size_t SetFor(uint64_t key) const;
+
+  bool LookupKey(uint64_t key, uint32_t seq, CacheStats* stats, PccMiss* miss);
+  void InsertKey(uint64_t key, uint32_t seq);
 
   void NoteLookup(bool hit);
 

@@ -9,11 +9,25 @@
 #ifndef DIRCACHE_CORE_SIGNATURE_H_
 #define DIRCACHE_CORE_SIGNATURE_H_
 
+#include <array>
+#include <cstdint>
 #include <string_view>
 
 #include "src/util/hash.h"
 
 namespace dircache {
+
+// Prefix-state snapshots for the shortcut miss fallback (DESIGN.md §14):
+// the incremental hash state after every component of a path, plus the
+// offset where the remaining suffix starts. Finalizing state[k] yields the
+// signature of the prefix holding components 0..k, so a longest-prefix DLHT
+// probe is one Finalize per candidate depth — no re-hashing.
+struct PrefixStates {
+  static constexpr size_t kMaxDepth = 32;
+  std::array<HashState, kMaxDepth> state;    // state[i]: after component i
+  std::array<uint32_t, kMaxDepth> suffix_off; // offset just past component i
+  size_t depth = 0;                           // components recorded
+};
 
 class PathSigner {
  public:
@@ -43,6 +57,42 @@ class PathSigner {
 
   Signature Finalize(const HashState& state) const {
     return hasher_.Finalize(state);
+  }
+
+  // Hash `path` component-by-component from `base`, snapshotting the state
+  // after every component into `out`. Returns false — and the caller must
+  // not use `out` — for shapes the shortcut fallback does not handle:
+  // "." / ".." components (their canonical form diverges from the textual
+  // prefix), paths deeper than kMaxDepth, or a PATH_MAX overflow.
+  bool SnapshotPrefixes(HashState base, std::string_view path,
+                        PrefixStates* out) const {
+    out->depth = 0;
+    size_t i = 0;
+    while (i < path.size()) {
+      while (i < path.size() && path[i] == '/') {
+        ++i;
+      }
+      if (i >= path.size()) {
+        break;
+      }
+      size_t end = i;
+      while (end < path.size() && path[end] != '/') {
+        ++end;
+      }
+      std::string_view name = path.substr(i, end - i);
+      if (name == "." || name == ".." ||
+          out->depth >= PrefixStates::kMaxDepth) {
+        return false;
+      }
+      if (!AppendComponent(base, name)) {
+        return false;
+      }
+      out->state[out->depth] = base;
+      out->suffix_off[out->depth] = static_cast<uint32_t>(end);
+      ++out->depth;
+      i = end;
+    }
+    return out->depth > 0;
   }
 
  private:

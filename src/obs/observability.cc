@@ -127,6 +127,7 @@ void Observability::CompleteTrace(const obs::RequestTrace& t) {
   uint64_t inval_ns = 0;
   uint64_t gate_waits = 0;
   uint64_t epoch_retries = 0;
+  uint64_t shortcut_resumes = 0;
   for (uint32_t i = 0; i < t.span_count; ++i) {
     const obs::TraceSpan& sp = t.spans[i];
     ring.Record(sp.kind, t.op, t.trace_id, sp.begin_ns, sp.duration_ns,
@@ -149,6 +150,9 @@ void Observability::CompleteTrace(const obs::RequestTrace& t) {
         break;
       case obs::SpanKind::kEpochRetry:
         ++epoch_retries;
+        break;
+      case obs::SpanKind::kWalkShortcut:
+        ++shortcut_resumes;
         break;
       default:
         break;
@@ -177,6 +181,8 @@ void Observability::CompleteTrace(const obs::RequestTrace& t) {
   cell.other_ns.fetch_add(other_ns, std::memory_order_relaxed);
   cell.gate_waits.fetch_add(gate_waits, std::memory_order_relaxed);
   cell.epoch_retries.fetch_add(epoch_retries, std::memory_order_relaxed);
+  cell.shortcut_resumes.fetch_add(shortcut_resumes,
+                                  std::memory_order_relaxed);
   cell.spans_dropped.fetch_add(t.spans_dropped, std::memory_order_relaxed);
 
   State::FlightRecorder& fr = *s.flight[shard];
@@ -209,7 +215,10 @@ void Observability::RecordWalkSlow(const obs::WalkTraceEvent& ev,
     case obs::WalkOutcome::kFastMissPccCred:
     case obs::WalkOutcome::kFastMissPccStale:
     case obs::WalkOutcome::kFastMissPccEpoch:
-    case obs::WalkOutcome::kFastMissStructural: {
+    case obs::WalkOutcome::kFastMissStructural:
+    case obs::WalkOutcome::kFastMissShortcutHit:
+    case obs::WalkOutcome::kFastMissShortcutPartial:
+    case obs::WalkOutcome::kFastMissShortcutNone: {
       std::string_view dir = DirnameOf(path);
       HashState dh = s.heat_hasher.Init();
       s.heat_hasher.Update(dh, dir);
@@ -311,6 +320,7 @@ obs::ObsSnapshot Observability::Snapshot(const CacheStats* stats) const {
     a.other_ns = c.other_ns.load(std::memory_order_relaxed);
     a.gate_waits = c.gate_waits.load(std::memory_order_relaxed);
     a.epoch_retries = c.epoch_retries.load(std::memory_order_relaxed);
+    a.shortcut_resumes = c.shortcut_resumes.load(std::memory_order_relaxed);
     a.spans_dropped = c.spans_dropped.load(std::memory_order_relaxed);
   }
   snap.flight_dumps = s.flight_dumps.load(std::memory_order_relaxed);
@@ -448,6 +458,7 @@ void Observability::Reset() {
     cell.other_ns.store(0, std::memory_order_relaxed);
     cell.gate_waits.store(0, std::memory_order_relaxed);
     cell.epoch_retries.store(0, std::memory_order_relaxed);
+    cell.shortcut_resumes.store(0, std::memory_order_relaxed);
     cell.spans_dropped.store(0, std::memory_order_relaxed);
   }
   // Trace, journal, span, and flight-recorder rings are not cleared: the "most recent events"

@@ -186,6 +186,7 @@ class Observability {
       std::atomic<uint64_t> other_ns{0};
       std::atomic<uint64_t> gate_waits{0};
       std::atomic<uint64_t> epoch_retries{0};
+      std::atomic<uint64_t> shortcut_resumes{0};
       std::atomic<uint64_t> spans_dropped{0};
     };
     std::array<AttributionCell, obs::kTraceOpCount> attribution;

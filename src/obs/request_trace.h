@@ -86,6 +86,8 @@ enum class SpanKind : uint8_t {
   kEpochRetry,    // optimistic walk fell back to the locked walk (instant)
   kIo,            // block-device access (duration = simulated device ns)
   kInval,         // subtree invalidation pass run by this request
+  kWalkShortcut,  // walk resumed from a cached ancestor (instant;
+                  // arg0 = ancestor depth, arg1 = suffix components)
   kCount,
 };
 
@@ -113,6 +115,8 @@ inline const char* SpanKindName(SpanKind k) {
       return "block_io";
     case SpanKind::kInval:
       return "invalidate";
+    case SpanKind::kWalkShortcut:
+      return "walk_shortcut";
     case SpanKind::kCount:
       break;
   }

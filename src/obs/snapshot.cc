@@ -42,11 +42,11 @@ void AppendEventJson(std::string* out, const WalkTraceEvent& ev) {
   std::string_view err = ErrnoName(ev.err);
   Appendf(out,
           "{\"outcome\":\"%s\",\"err\":\"%.*s\",\"components\":%u,"
-          "\"symlinks\":%u,\"mounts\":%u,\"retries\":%u,\"latency_ns\":%" PRIu64
-          ",\"timestamp_ns\":%" PRIu64 "}",
+          "\"symlinks\":%u,\"mounts\":%u,\"retries\":%u,\"resumed_depth\":%u,"
+          "\"latency_ns\":%" PRIu64 ",\"timestamp_ns\":%" PRIu64 "}",
           WalkOutcomeName(ev.outcome), static_cast<int>(err.size()),
           err.data(), ev.components, ev.symlink_crossings, ev.mount_crossings,
-          ev.retries, ev.latency_ns, ev.timestamp_ns);
+          ev.retries, ev.resumed_depth, ev.latency_ns, ev.timestamp_ns);
 }
 
 void AppendJsonEscaped(std::string* out, std::string_view s) {
@@ -120,9 +120,10 @@ void AppendAttributionJson(std::string* out, const OpAttribution& a) {
   Appendf(out,
           ",\"io_ns\":%" PRIu64 ",\"inval_ns\":%" PRIu64
           ",\"other_ns\":%" PRIu64 ",\"gate_waits\":%" PRIu64
-          ",\"epoch_retries\":%" PRIu64 ",\"spans_dropped\":%" PRIu64 "}",
+          ",\"epoch_retries\":%" PRIu64 ",\"shortcut_resumes\":%" PRIu64
+          ",\"spans_dropped\":%" PRIu64 "}",
           a.io_ns, a.inval_ns, a.other_ns, a.gate_waits, a.epoch_retries,
-          a.spans_dropped);
+          a.shortcut_resumes, a.spans_dropped);
 }
 
 void AppendHeatListText(std::string* out, const char* title,
@@ -169,10 +170,11 @@ std::string ObsSnapshot::ToText() const {
       std::string_view err = ErrnoName(ev.err);
       Appendf(&out,
               "    %-20s err=%-12.*s comps=%-3u sym=%u mnt=%u retry=%u "
-              "%" PRIu64 "ns\n",
+              "resume=%u %" PRIu64 "ns\n",
               WalkOutcomeName(ev.outcome), static_cast<int>(err.size()),
               err.data(), ev.components, ev.symlink_crossings,
-              ev.mount_crossings, ev.retries, ev.latency_ns);
+              ev.mount_crossings, ev.retries, ev.resumed_depth,
+              ev.latency_ns);
     }
   }
   AppendHeatListText(&out, "hottest paths (fastpath hits)", heat.hot_paths);
@@ -226,11 +228,12 @@ std::string ObsSnapshot::ToText() const {
                 a.walk_fast_ns, a.walk_slow_ns, a.io_ns, a.inval_ns,
                 a.other_ns);
         if (a.gate_waits != 0 || a.epoch_retries != 0 ||
-            a.spans_dropped != 0) {
+            a.shortcut_resumes != 0 || a.spans_dropped != 0) {
           Appendf(&out,
                   "             gate_waits=%" PRIu64 " epoch_retries=%" PRIu64
-                  " spans_dropped=%" PRIu64 "\n",
-                  a.gate_waits, a.epoch_retries, a.spans_dropped);
+                  " shortcut_resumes=%" PRIu64 " spans_dropped=%" PRIu64 "\n",
+                  a.gate_waits, a.epoch_retries, a.shortcut_resumes,
+                  a.spans_dropped);
         }
       }
     }

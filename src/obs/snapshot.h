@@ -149,6 +149,7 @@ struct OpAttribution {
   uint64_t other_ns = 0;       // unattributed execute-side remainder
   uint64_t gate_waits = 0;     // fastpath coherence-gate bails
   uint64_t epoch_retries = 0;  // optimistic -> locked walk fallbacks
+  uint64_t shortcut_resumes = 0;  // walks resumed from a cached ancestor
   uint64_t spans_dropped = 0;  // spans lost to the per-trace cap
 };
 

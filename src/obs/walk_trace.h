@@ -36,6 +36,12 @@ enum class WalkOutcome : uint8_t {
   kFastMissPccStale,   // PCC entry found but its seq counter moved
   kFastMissPccEpoch,   // PCC self-flushed on a global epoch bump this walk
   kFastMissStructural, // symlink / mount boundary / base state / lexical cap
+  // DLHT-miss shortcut fallback (DESIGN.md §14). These replace
+  // kFastMissDlht when the shortcut is enabled and the final probe missed
+  // on an eligible path shape.
+  kFastMissShortcutHit,     // resumed from a cached ancestor; resume held
+  kFastMissShortcutPartial, // resume invalidated under us; walked from base
+  kFastMissShortcutNone,    // probe found no usable ancestor
   kSlowOptimistic,     // optimistic (lock-free) component walk completed
   kSlowRetried,        // optimistic walk fell back to the locked walk
   kSlowLocked,         // locked walk ran directly (locking mode / config)
@@ -58,6 +64,12 @@ inline const char* WalkOutcomeName(WalkOutcome o) {
       return "fast_miss_pcc_epoch";
     case WalkOutcome::kFastMissStructural:
       return "fast_miss_structural";
+    case WalkOutcome::kFastMissShortcutHit:
+      return "fast_miss_shortcut_hit";
+    case WalkOutcome::kFastMissShortcutPartial:
+      return "fast_miss_shortcut_partial";
+    case WalkOutcome::kFastMissShortcutNone:
+      return "fast_miss_shortcut_none";
     case WalkOutcome::kSlowOptimistic:
       return "slow_optimistic";
     case WalkOutcome::kSlowRetried:
@@ -82,6 +94,7 @@ struct WalkTraceEvent {
   uint8_t mount_crossings = 0;
   uint8_t retries = 0;             // optimistic->locked fallbacks
   uint8_t wflags = 0;              // kWalk* flags of the request
+  uint16_t resumed_depth = 0;      // components skipped by a shortcut resume
   uint64_t latency_ns = 0;
   uint64_t timestamp_ns = 0;       // completion time (snapshot ordering key)
 };
@@ -110,6 +123,8 @@ class WalkTraceRing {
     s.ts.store(0, std::memory_order_relaxed);
     s.meta.store(meta, std::memory_order_relaxed);
     s.latency.store(ev.latency_ns, std::memory_order_relaxed);
+    s.extra.store(static_cast<uint64_t>(ev.resumed_depth),
+                  std::memory_order_relaxed);
     s.ts.store(ev.timestamp_ns | 1, std::memory_order_release);
   }
 
@@ -122,6 +137,7 @@ class WalkTraceRing {
       }
       uint64_t meta = s.meta.load(std::memory_order_relaxed);
       uint64_t latency = s.latency.load(std::memory_order_relaxed);
+      uint64_t extra = s.extra.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
       if (s.ts.load(std::memory_order_relaxed) != ts1) {
         continue;  // torn by a concurrent writer; skip
@@ -134,6 +150,7 @@ class WalkTraceRing {
       ev.mount_crossings = static_cast<uint8_t>((meta >> 48) & 0xff);
       ev.retries = static_cast<uint8_t>((meta >> 56) & 0xf);
       ev.wflags = static_cast<uint8_t>((meta >> 60) & 0xf);
+      ev.resumed_depth = static_cast<uint16_t>(extra & 0xffff);
       ev.latency_ns = latency;
       ev.timestamp_ns = ts1 & ~1ull;
       if (static_cast<size_t>(ev.outcome) < kWalkOutcomeCount) {
@@ -149,6 +166,7 @@ class WalkTraceRing {
     std::atomic<uint64_t> ts{0};  // 0 = empty; low bit forced to 1 when set
     std::atomic<uint64_t> meta{0};
     std::atomic<uint64_t> latency{0};
+    std::atomic<uint64_t> extra{0};  // resumed_depth (low 16 bits)
   };
 
   static size_t RoundPow2(size_t n) {

@@ -14,10 +14,9 @@
 // and renders failures through the unified `ErrnoName` spelling — the same
 // `Status::error_name()` convention the shell and the test suite use.
 //
-// Deletion notice: the pre-batch `Task::StatPath`/`Task::LstatPath` shims
-// have no in-repo callers left outside the shim-equivalence tests and will
-// be deleted in an upcoming ABI cleanup — new code calls `Task::Statx` or
-// batches through `Task::SubmitBatch`.
+// The pre-batch `Task::StatPath`/`Task::LstatPath` shims announced here in
+// the v2 cycle are gone: every caller goes through `Task::Statx` (or
+// batches through `Task::SubmitBatch`).
 #ifndef DIRCACHE_SERVER_BATCH_H_
 #define DIRCACHE_SERVER_BATCH_H_
 

@@ -88,55 +88,85 @@ EpochDomain::ReadGuard::~ReadGuard() { domain_.Exit(); }
 void EpochDomain::Retire(void* obj, void (*deleter)(void*)) {
   auto* node = new Retired{obj, deleter, nullptr};
   retired_total_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(limbo_mu_);
-  uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
-  size_t idx = e % 3;
-  // The slot for the current epoch is always free of older garbage: any list
-  // parked there was freed when the epoch advanced past it.
-  if (limbo_epoch_[idx] != e && limbo_[idx] != nullptr) {
-    FreeList(limbo_[idx]);
-    limbo_[idx] = nullptr;
+  // Deleters run strictly OUTSIDE limbo_mu_: a deleter may itself Retire
+  // (the dcache's deferred dentry deleter Iputs, which retires the inode),
+  // and running it under the mutex would self-deadlock. Lists that become
+  // safe are detached under the lock and freed after it is released.
+  Retired* to_free = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    size_t idx = e % 3;
+    // The slot for the current epoch is always free of older garbage: any
+    // list parked there was freed when the epoch advanced past it.
+    if (limbo_epoch_[idx] != e && limbo_[idx] != nullptr) {
+      to_free = Concat(to_free, limbo_[idx]);
+      limbo_[idx] = nullptr;
+    }
+    limbo_epoch_[idx] = e;
+    node->next = limbo_[idx];
+    limbo_[idx] = node;
+    if (++retire_since_advance_ >= 64) {
+      retire_since_advance_ = 0;
+      to_free = Concat(to_free, TryAdvance());
+    }
   }
-  limbo_epoch_[idx] = e;
-  node->next = limbo_[idx];
-  limbo_[idx] = node;
-  if (++retire_since_advance_ >= 64) {
-    retire_since_advance_ = 0;
-    TryAdvance();
-  }
+  FreeList(to_free);
 }
 
-void EpochDomain::TryAdvance() {
-  // Caller holds limbo_mu_.
+EpochDomain::Retired* EpochDomain::TryAdvance() {
+  // Caller holds limbo_mu_ and frees the returned list after releasing it.
   uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
   for (Slot* s = slots_.load(std::memory_order_acquire); s != nullptr;
        s = s->next) {
     uint64_t pinned = s->epoch.load(std::memory_order_seq_cst);
     if (pinned != 0 && pinned != e) {
-      return;  // a straggling reader is pinned to an older epoch
+      return nullptr;  // a straggling reader is pinned to an older epoch
     }
   }
   uint64_t new_e = e + 1;
   global_epoch_.store(new_e, std::memory_order_seq_cst);
   // Everything retired at epoch <= new_e - 2 is now unreachable.
+  Retired* safe = nullptr;
   for (size_t i = 0; i < 3; ++i) {
     if (limbo_[i] != nullptr && limbo_epoch_[i] + 2 <= new_e) {
-      FreeList(limbo_[i]);
+      safe = Concat(safe, limbo_[i]);
       limbo_[i] = nullptr;
     }
   }
+  return safe;
+}
+
+EpochDomain::Retired* EpochDomain::Concat(Retired* a, Retired* b) {
+  if (a == nullptr) {
+    return b;
+  }
+  Retired* tail = a;
+  while (tail->next != nullptr) {
+    tail = tail->next;
+  }
+  tail->next = b;
+  return a;
 }
 
 void EpochDomain::Synchronize() {
-  uint64_t target = global_epoch_.load(std::memory_order_seq_cst) + 2;
+  // Drain until the limbo lists are empty and an advance round found
+  // nothing more to free. Deleters may retire further garbage (a dentry's
+  // deferred deleter Iputs, retiring the inode), so one pass is not enough:
+  // loop until a round observes a fully quiet domain.
   while (true) {
+    Retired* to_free = nullptr;
+    bool drained = false;
     {
       std::lock_guard<std::mutex> lock(limbo_mu_);
-      TryAdvance();
-      if (global_epoch_.load(std::memory_order_seq_cst) >= target) {
-        return;
-      }
+      to_free = TryAdvance();
+      drained = limbo_[0] == nullptr && limbo_[1] == nullptr &&
+                limbo_[2] == nullptr;
     }
+    if (to_free == nullptr && drained) {
+      return;
+    }
+    FreeList(to_free);
     std::this_thread::yield();
   }
 }

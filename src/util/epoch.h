@@ -85,8 +85,12 @@ class EpochDomain {
   Slot* SlotForThisThread();
   void Enter();
   void Exit();
-  // Attempt to advance the global epoch; frees limbo lists that became safe.
-  void TryAdvance();
+  // Attempt to advance the global epoch; returns the limbo lists that became
+  // safe to free (caller holds limbo_mu_ and must run FreeList AFTER
+  // releasing it — deleters may themselves call Retire, e.g. a dentry's
+  // deferred deleter dropping an inode reference that retires the inode).
+  Retired* TryAdvance();
+  static Retired* Concat(Retired* a, Retired* b);
   void FreeList(Retired* head);
 
   const uint64_t id_;  // unique per instance; keys the per-thread slot cache

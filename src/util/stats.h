@@ -121,6 +121,12 @@ class ShardedCounter {
   X(dlht_hits, "dlht_hit")                                                  \
   X(dlht_misses, "dlht_miss")                                               \
   X(dlht_collisions, "dlht_coll")     /* chain entries skipped */           \
+  /* Shortcut miss fallback (DESIGN.md §14). */                             \
+  X(shortcut_probes, "sc_probe")      /* prefix-signature DLHT probes */    \
+  X(shortcut_resumes, "sc_resume")    /* walks resumed from an ancestor */  \
+  X(shortcut_restarts, "sc_restart")  /* resumes invalidated; walked again */\
+  X(shortcut_skipped, "sc_skipped")   /* components the resumes skipped */  \
+  X(slow_components, "slow_comps")    /* components walked by slowpaths */  \
   /* Invalidation work. */                                                  \
   X(invalidation_walks, "inval_walks")                                      \
   X(invalidated_dentries, "inval_dentries")                                 \

@@ -184,15 +184,22 @@ void DentryCache::Release(Dentry* d) {
       --lru_len_;
     }
   }
-  Inode* inode = d->inode();
-  if (inode != nullptr) {
-    inode->sb()->Iput(inode);
-    d->set_inode(nullptr);
-  }
   Dentry* alias = d->alias_target.exchange(nullptr);
   Dentry* parent = d->parent();
   count_.fetch_sub(1, std::memory_order_relaxed);
-  EpochDomain::Global().RetireObject(d);
+  // The inode reference is dropped by the *deferred* deleter, not here:
+  // optimistic readers that found this dentry before it was unhashed may
+  // still dereference d->inode() until the epoch turns over. An eager Iput
+  // could free the inode under them (heap corruption under eviction/lookup
+  // races). Kernel teardown runs ShrinkAll() + Synchronize() before the
+  // superblocks die, so the deferred Iput always finds its sb alive.
+  EpochDomain::Global().Retire(d, [](void* p) {
+    Dentry* dd = static_cast<Dentry*>(p);
+    if (Inode* i = dd->inode()) {
+      i->sb()->Iput(i);
+    }
+    delete dd;
+  });
   if (alias != nullptr) {
     Dput(alias);
   }

@@ -90,11 +90,19 @@ void SuperBlock::IgetHeld(Inode* inode) {
 }
 
 void SuperBlock::Iput(Inode* inode) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (inode->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    map_.erase(inode->ino_);
+  bool dead = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inode->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      map_.erase(inode->ino_);
+      dead = true;
+    }
+  }
+  if (dead) {
     // Lock-free walkers may still be reading attribute words during the
-    // grace period; reclaim through the epoch domain.
+    // grace period; reclaim through the epoch domain. Outside mu_: Retire
+    // may run pending deleters synchronously, and a deferred dentry
+    // deleter's Iput on this same superblock would deadlock under mu_.
     EpochDomain::Global().RetireObject(inode);
   }
 }

@@ -467,14 +467,6 @@ Result<Stat> Task::Statx(FdNum dirfd, std::string_view path, int flags,
   return st;
 }
 
-Result<Stat> Task::StatPath(std::string_view path) {
-  return Statx(kAtFdCwd, path, 0);
-}
-
-Result<Stat> Task::LstatPath(std::string_view path) {
-  return Statx(kAtFdCwd, path, kAtSymlinkNoFollow);
-}
-
 Result<Stat> Task::FstatAt(FdNum dirfd, std::string_view path, int flags) {
   return Statx(dirfd, path, flags & (kAtSymlinkNoFollow | kAtEmptyPath));
 }

@@ -133,12 +133,6 @@ class Task : public std::enable_shared_from_this<Task> {
   // carries every field; the mask is validated, not partially filled).
   Result<Stat> Statx(FdNum dirfd, std::string_view path, int flags,
                      uint32_t mask = kStatxBasicStats);
-  // LEGACY SHIMS — StatPath/LstatPath predate the unified Statx entry point
-  // and survive only for the benches; new code calls Statx (or batches via
-  // SubmitBatch where a loop makes it natural). [[deprecated]]-ready: no
-  // in-tree workload or example uses them anymore.
-  Result<Stat> StatPath(std::string_view path);
-  Result<Stat> LstatPath(std::string_view path);
   Result<Stat> FstatAt(FdNum dirfd, std::string_view path, int flags);
   Result<Stat> Fstat(FdNum fd);
   Status Access(std::string_view path, int may_mask);

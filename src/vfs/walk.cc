@@ -32,6 +32,7 @@ struct WalkTraceScratch {
   uint16_t symlinks = 0;    // symlink resolutions spliced in
   uint16_t mounts = 0;      // mount boundaries crossed
   uint16_t retries = 0;     // optimistic -> locked fallbacks
+  uint16_t resumed_depth = 0;  // components a shortcut resume skipped
 };
 thread_local WalkTraceScratch g_walk_trace;
 
@@ -41,6 +42,23 @@ inline void TraceOutcome(obs::WalkOutcome o) {
   if (g_walk_trace.armed && !g_walk_trace.classified) {
     g_walk_trace.outcome = o;
     g_walk_trace.classified = true;
+  }
+}
+
+// Reclassification for the shortcut fallback only: a resume is classified
+// as a hit *before* the resumed walk runs (so the walk's own slow-outcome
+// sites stay quiet), then downgraded to "partial" if the post-walk
+// validation rejects the ancestor.
+inline void TraceOutcomeForce(obs::WalkOutcome o) {
+  if (g_walk_trace.armed) {
+    g_walk_trace.outcome = o;
+    g_walk_trace.classified = true;
+  }
+}
+
+inline void TraceResumedDepth(uint16_t depth) {
+  if (g_walk_trace.armed) {
+    g_walk_trace.resumed_depth = depth;
   }
 }
 
@@ -333,6 +351,7 @@ static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
   }
   Dlht& dlht = mnt->ns->dlht();
   uint32_t seq;
+  Signature sig;
   {
     SpinGuard guard(d->lock);
     if (!d->fast.path_valid.load(std::memory_order_acquire)) {
@@ -343,6 +362,7 @@ static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
       dlht.Insert(&d->fast);
     }
     seq = d->fast.seq.load(std::memory_order_acquire);
+    sig = d->fast.signature;  // stable under d->lock (rewrites hold it)
   }
   if (dc.invalidation_counter() != inval_snapshot) {
     return;  // a mutation overlapped our walk; don't memoize its results
@@ -367,6 +387,15 @@ static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
     }
   }
   pcc->Insert(d, seq);
+  if (cfg.shortcut) {
+    // Shortcut fallback (DESIGN.md §14): directories additionally memoize
+    // their prefix check under the *signature* key, so an ancestor probe
+    // can validate them even after a scan evicted the pointer entry.
+    Inode* di = d->inode();
+    if (di != nullptr && di->IsDir()) {
+      pcc->InsertPrefix(sig, seq);
+    }
+  }
   if (cfg.pcc_autosize && pcc->ShouldGrow()) {
     // §6.5 future work: the PCC is thrashing (working set exceeds it);
     // grow it rather than keep taking slowpaths.
@@ -381,12 +410,17 @@ static void Populate(Kernel* kernel, Task& task, Mount* mnt, Dentry* d,
 // the walk, or if a stale-base relative walk may not memoize (§3.2).
 struct PrefixDirs {
   static constexpr size_t kMax = 24;
-  std::array<std::pair<Dentry*, uint32_t>, kMax> dirs;
+  struct Item {
+    Dentry* d;
+    Mount* mnt;  // raw is safe: mounts are freed with their namespace
+    uint32_t seq;
+  };
+  std::array<Item, kMax> dirs;
   size_t count = 0;
 
-  void Note(Dentry* d) {
+  void Note(Dentry* d, Mount* mnt) {
     if (count < kMax) {
-      dirs[count++] = {d, d->fast.seq.load(std::memory_order_acquire)};
+      dirs[count++] = {d, mnt, d->fast.seq.load(std::memory_order_acquire)};
     }
   }
 };
@@ -414,7 +448,112 @@ static void PopulatePrefixDirs(Kernel* kernel, Task& task,
     }
   }
   for (size_t i = 0; i < prefixes.count; ++i) {
-    pcc->Insert(prefixes.dirs[i].first, prefixes.dirs[i].second);
+    if (pcfg.shortcut) {
+      // Shortcut fallback (DESIGN.md §14): intermediate directories get
+      // full DLHT entries (plus pointer- and signature-keyed PCC memos),
+      // so the next miss in this subtree finds a deeper resume point.
+      Populate(kernel, task, prefixes.dirs[i].mnt, prefixes.dirs[i].d,
+               inval_snapshot);
+    } else {
+      pcc->Insert(prefixes.dirs[i].d, prefixes.dirs[i].seq);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shortcut miss fallback (DESIGN.md §14)
+
+// On a final-probe DLHT miss, search for the deepest cached ancestor of the
+// missed path: finalize successively shorter prefix states (longest first)
+// and probe each signature. A candidate is usable only if it is a live,
+// uncovered directory in this namespace whose prefix-permission check is
+// memoized for this credential (pointer- or signature-keyed) — without the
+// memo, resuming would skip the credential's search checks on every
+// directory above the ancestor. Aliases are rejected rather than chased: a
+// prefix that crosses a symlink resolves under the slowpath anyway, and a
+// stale candidate costs one wasted probe, never a wrong result.
+//
+// Caller must be inside an epoch read guard. On success `sc->ancestor`
+// carries real references and `sc->ancestor_seq`/`sc->inval_token` the
+// validation snapshot the resumed walk is judged against.
+static void ProbeShortcutAncestor(Kernel* k, Task& task,
+                                  const PathHandle& start,
+                                  std::string_view path, MountNamespace* ns,
+                                  Pcc* pcc, uint64_t inval_token,
+                                  ShortcutResume* sc) {
+  const CacheConfig& cfg = k->config();
+  CacheStats& stats = k->stats();
+  const PathSigner& signer = k->signer();
+  HashState base_st;
+  if (!CopyStateIfValid(start.dentry(), ns, &base_st)) {
+    return;
+  }
+  PrefixStates prefixes;
+  if (!signer.SnapshotPrefixes(base_st, path, &prefixes)) {
+    return;  // "." / ".." or over-deep shapes: plain full walk
+  }
+  const size_t depth = prefixes.depth;
+  if (depth < 2 || depth > cfg.shortcut_max_depth) {
+    return;  // no proper prefix to resume from
+  }
+  sc->attempted = true;
+  sc->total_depth = static_cast<uint16_t>(depth);
+  // Longest prefix first: prefix of depth pd covers components [0, pd), so
+  // its state is prefixes.state[pd - 1] and the un-walked suffix starts at
+  // prefixes.suffix_off[pd - 1]. Depth == `depth` already missed above.
+  for (size_t pd = depth - 1; pd >= 1; --pd) {
+    Signature psig = signer.Finalize(prefixes.state[pd - 1]);
+    FastDentry* fd = ns->dlht().ProbePrefix(psig, &stats);
+    if (fd == nullptr) {
+      continue;
+    }
+    Dentry* a = DentryFromFast(fd);
+    uint32_t seq = fd->seq.load(std::memory_order_acquire);
+    uint32_t aflags = a->flags();
+    if ((aflags & (kDentNegative | kDentStub | kDentAlias)) != 0) {
+      continue;
+    }
+    Inode* ai = a->inode();
+    if (ai == nullptr || !ai->IsDir()) {
+      continue;
+    }
+    if (a->sb()->needs_revalidation()) {
+      continue;  // §4.3: never resume into a stateless network FS
+    }
+    Mount* m = fd->mount.load(std::memory_order_acquire);
+    if (m == nullptr || m->ns != ns) {
+      continue;
+    }
+    if ((aflags & kDentMountpoint) != 0 &&
+        task.ns()->MountAt(m, a) != nullptr) {
+      continue;  // covered by a mount: the suffix lives in another tree
+    }
+    // Prefix-permission memo (stats deliberately not passed: probe-time
+    // lookups must not skew the pcc hit/stale counters the hit path
+    // reports). On a signature-keyed hit, promote to a pointer entry so
+    // the resumed walk's Populate base re-check hits too.
+    if (!pcc->Lookup(a, seq)) {
+      if (!pcc->LookupPrefix(psig, seq)) {
+        continue;  // a shallower ancestor may still hold a memo
+      }
+      pcc->Insert(a, seq);
+    }
+    if (!a->DgetLive()) {
+      continue;
+    }
+    if (fd->seq.load(std::memory_order_seq_cst) != seq ||
+        !k->dcache().InvalidationTokenValid(inval_token)) {
+      k->dcache().Dput(a);
+      return;  // the tree moved mid-probe; take the plain full walk
+    }
+    m->Get();
+    sc->found = true;
+    sc->ancestor = PathHandle::Adopt(m, a);
+    sc->suffix_offset = prefixes.suffix_off[pd - 1];
+    sc->ancestor_seq = seq;
+    sc->inval_token = inval_token;
+    sc->ancestor_depth = static_cast<uint16_t>(pd);
+    return;
   }
 }
 
@@ -445,6 +584,7 @@ Result<PathHandle> PathWalker::Resolve(Task& task, const PathHandle* base,
   ev.mount_crossings = ClampU8(g_walk_trace.mounts);
   ev.retries = ClampU8(g_walk_trace.retries);
   ev.wflags = static_cast<uint8_t>(wflags & 0xf);
+  ev.resumed_depth = g_walk_trace.resumed_depth;
   ev.latency_ns = t1 - t0;
   ev.timestamp_ns = t1;
   g_walk_trace = saved;
@@ -513,13 +653,54 @@ Result<PathHandle> PathWalker::DoResolve(Task& task, const PathHandle* base,
       !rcfg.fastpath_for_privileged && task.cred()->uid() == kRootUid;
   if (rcfg.fastpath && !force_fastpath_miss && !privileged_blocked) {
     Result<PathHandle> result = Errno::kENOENT;
-    if (TryFastResolve(task, start, effective, wflags, &result)) {
+    ShortcutResume resume;
+    if (TryFastResolve(task, start, effective, wflags, &result, &resume)) {
       stats.fastpath_hits.Add();
       TraceOutcome(result.ok() ? obs::WalkOutcome::kFastHit
                                : obs::WalkOutcome::kFastNegative);
       return result;
     }
     stats.fastpath_misses.Add();
+    if (resume.found) {
+      // Resume the slowpath from the cached ancestor: walk only the
+      // suffix, with the ancestor as the untrusted memoization base (its
+      // own prefix check must still hit before the suffix's intermediate
+      // dirs are memoized — same rule as relative walks). The result is
+      // trusted only if the ancestor's seq and the coherence token are
+      // still valid afterwards (DESIGN.md §14); otherwise discard it and
+      // restart the full walk from the real base.
+      assert(!forbid_slowpath && "slowpath forbidden by test hook");
+      stats.shortcut_resumes.Add();
+      stats.shortcut_skipped.Add(resume.ancestor_depth);
+      TraceOutcome(obs::WalkOutcome::kFastMissShortcutHit);
+      TraceResumedDepth(resume.ancestor_depth);
+      obs::TraceInstant(
+          obs::SpanKind::kWalkShortcut, resume.ancestor_depth,
+          static_cast<uint64_t>(resume.total_depth - resume.ancestor_depth));
+      Result<PathHandle> r = Errno::kENOENT;
+      {
+        UntrustedBaseScope resume_scope(resume.ancestor.dentry());
+        r = SlowResolve(task, resume.ancestor,
+                        effective.substr(resume.suffix_offset), wflags,
+                        nullptr);
+      }
+      Dentry* a = resume.ancestor.dentry();
+      if (a->fast.seq.load(std::memory_order_seq_cst) == resume.ancestor_seq &&
+          kernel_->dcache().InvalidationTokenValid(resume.inval_token)) {
+        return r;
+      }
+      // The ancestor moved while we walked under it: the suffix walk may
+      // have produced an answer for a path that no longer spells this
+      // name. Never return it — restart from the root (at worst a wasted
+      // probe, never a wrong result).
+      stats.shortcut_restarts.Add();
+      TraceOutcomeForce(obs::WalkOutcome::kFastMissShortcutPartial);
+      return SlowResolve(task, start, effective, wflags, nullptr);
+    }
+    if (resume.attempted) {
+      // Probe ran on an eligible shape but no usable ancestor was cached.
+      TraceOutcome(obs::WalkOutcome::kFastMissShortcutNone);
+    }
     // If no specific miss site classified this walk, it fell off the
     // fastpath for a structural reason (base state, lexical depth, mount
     // boundary, symlink shape, ...).
@@ -607,6 +788,7 @@ Result<PathHandle> PathWalker::OptimisticWalk(Task& task,
       break;
     }
     TraceComponent();
+    stats.slow_components.Add();
     if (comp.size() > kMaxNameLen) {
       return validated_error(Errno::kENAMETOOLONG);
     }
@@ -627,7 +809,7 @@ Result<PathHandle> PathWalker::OptimisticWalk(Task& task,
       if (!st.ok()) {
         return validated_error(st.error());
       }
-      prefixes.Note(d);
+      prefixes.Note(d, mnt);
     }
     if (on_negative_chain && (comp == "." || comp == "..")) {
       // "." or ".." under a nonexistent directory: the directory itself is
@@ -871,6 +1053,7 @@ Result<PathHandle> PathWalker::LockedWalk(Task& task, const PathHandle& start,
       break;
     }
     TraceComponent();
+    stats.slow_components.Add();
     if (comp.size() > kMaxNameLen) {
       return fail(Errno::kENAMETOOLONG);
     }
@@ -901,7 +1084,7 @@ Result<PathHandle> PathWalker::LockedWalk(Task& task, const PathHandle& start,
         return fail(st.error());
       }
     }
-    prefixes.Note(pos.d);
+    prefixes.Note(pos.d, pos.mnt);
     if (comp == ".") {
       continue;
     }
@@ -1340,7 +1523,8 @@ Result<Dentry*> PathWalker::LookupOrInstantiate(Task& task, Dentry* parent,
 
 bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
                                 std::string_view path, int wflags,
-                                Result<PathHandle>* result) {
+                                Result<PathHandle>* result,
+                                ShortcutResume* resume) {
   Kernel* k = kernel_;
   const CacheConfig& cfg = k->config();
   CacheStats& stats = k->stats();
@@ -1468,6 +1652,16 @@ bool PathWalker::TryFastResolve(Task& task, const PathHandle& start,
   }
   if (fd == nullptr) {
     stats.dlht_misses.Add();
+    if (resume != nullptr && cfg.shortcut) {
+      // The exact path is not cached, but an ancestor may be (§14). The
+      // probe runs inside this epoch guard so any ancestor it pins stays
+      // memory-safe; DoResolve classifies the outcome (hit/none).
+      ProbeShortcutAncestor(k, task, start, path, ns, pcc, inval_token,
+                            resume);
+      if (resume->attempted) {
+        return false;
+      }
+    }
     TraceOutcome(obs::WalkOutcome::kFastMissDlht);
     return false;
   }

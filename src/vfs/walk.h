@@ -24,6 +24,22 @@ namespace dircache {
 
 class Task;
 
+// Outcome of the shortcut ancestor probe (DESIGN.md §14): where a DLHT-miss
+// walk may resume from, carried from the failed fastpath attempt to the
+// slowpath driver. `ancestor` holds real references (mount + dentry) when
+// `found`; the validation snapshot (seq + coherence token) lets the caller
+// decide after the resumed walk whether the ancestor stayed trustworthy.
+struct ShortcutResume {
+  bool attempted = false;     // probe ran (feature on, eligible path shape)
+  bool found = false;         // a validated ancestor was produced
+  PathHandle ancestor;        // referenced resume point when `found`
+  uint32_t suffix_offset = 0; // byte offset of the un-walked suffix
+  uint32_t ancestor_seq = 0;  // fast.seq sampled when validated
+  uint64_t inval_token = 0;   // PR-4 coherence-gate token from probe time
+  uint16_t ancestor_depth = 0; // components from the walk base to ancestor
+  uint16_t total_depth = 0;    // components in the whole path
+};
+
 // Walk flags.
 inline constexpr int kWalkFollow = 1;     // follow a trailing symlink
 inline constexpr int kWalkDirectory = 2;  // final must be a directory
@@ -75,10 +91,12 @@ class PathWalker {
                                std::string* last_out);
 
   // Fastpath attempt. Returns true if it produced a definitive outcome
-  // (hit or fast negative) in *result.
+  // (hit or fast negative) in *result. On a final-probe DLHT miss with the
+  // shortcut enabled, fills `resume` (never null) with the deepest cached
+  // ancestor so DoResolve can restart the slowpath mid-tree.
   bool TryFastResolve(Task& task, const PathHandle& start,
                       std::string_view path, int wflags,
-                      Result<PathHandle>* result);
+                      Result<PathHandle>* result, ShortcutResume* resume);
 
   // Slowpath drivers.
   Result<PathHandle> SlowResolve(Task& task, const PathHandle& start,

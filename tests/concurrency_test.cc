@@ -47,7 +47,7 @@ TEST_P(ConcurrencyTest, StatsRaceRenames) {
       TaskPtr task = world_.root->Fork();
       while (!stop.load(std::memory_order_acquire)) {
         for (const char* p : {"/a/b/f", "/a2/b/f"}) {
-          auto r = task->StatPath(p);
+          auto r = task->Statx(kAtFdCwd, p, 0);
           if (r.ok()) {
             oks.fetch_add(1);
             // Any successful stat must describe the real file.
@@ -105,7 +105,7 @@ TEST_P(ConcurrencyTest, PermissionRevocationIsNeverLeaked) {
       TaskPtr alice = world_.UserTask(1000, 1000);
       while (!stop.load(std::memory_order_acquire)) {
         uint64_t before = phase.load(std::memory_order_acquire);
-        auto r = alice->StatPath("/home/alice/secret");
+        auto r = alice->Statx(kAtFdCwd, "/home/alice/secret", 0);
         uint64_t after = phase.load(std::memory_order_acquire);
         // Only a definitive claim when the phase word was stable around
         // the op (exact equality: the word never repeats).
@@ -185,9 +185,9 @@ TEST_P(ConcurrencyTest, CreateUnlinkChurnWithReaders) {
   workers.emplace_back([&] {
     TaskPtr task = world_.root->Fork();
     while (!stop.load(std::memory_order_acquire)) {
-      (void)task->StatPath("/churn/w0_3");
-      (void)task->StatPath("/churn/w1_7");
-      (void)task->StatPath("/churn/none");
+      (void)task->Statx(kAtFdCwd, "/churn/w0_3", 0);
+      (void)task->Statx(kAtFdCwd, "/churn/w1_7", 0);
+      (void)task->Statx(kAtFdCwd, "/churn/none", 0);
     }
   });
   workers[0].join();
@@ -213,7 +213,7 @@ TEST_P(ConcurrencyTest, EvictionRacesLookups) {
       Rng rng(static_cast<uint64_t>(i) + 1);
       while (!stop.load(std::memory_order_acquire)) {
         std::string p = "/pool/f" + std::to_string(rng.Below(200));
-        auto r = task->StatPath(p);
+        auto r = task->Statx(kAtFdCwd, p, 0);
         EXPECT_TRUE(r.ok()) << ErrnoName(r.error()) << " for " << p;
       }
     });
@@ -228,7 +228,51 @@ TEST_P(ConcurrencyTest, EvictionRacesLookups) {
   }
   // Everything must still resolve afterwards.
   for (int i = 0; i < 200; ++i) {
-    EXPECT_OK(t.StatPath("/pool/f" + std::to_string(i)));
+    EXPECT_OK(t.Statx(kAtFdCwd, "/pool/f" + std::to_string(i), 0));
+  }
+}
+
+// Regression for a use-after-free in DentryCache::Release: eviction used to
+// Iput the inode eagerly while epoch-retiring only the dentry, so an
+// optimistic reader that had found the dentry before it was unhashed could
+// dereference a freed inode (heap corruption, flaky under ASan). The fix
+// defers the Iput into the dentry's epoch deleter. This loops the repro
+// body many times with short racing windows — before the fix it tripped
+// ASan within a handful of iterations.
+TEST_P(ConcurrencyTest, EvictionReleasesInodeAfterGrace) {
+  Task& t = *world_.root;
+  ASSERT_OK(t.Mkdir("/evict"));
+  constexpr int kFiles = 64;
+  for (int i = 0; i < kFiles; ++i) {
+    auto fd = t.Open("/evict/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(t.Close(*fd));
+  }
+  for (int iter = 0; iter < 50; ++iter) {
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int i = 0; i < 2; ++i) {
+      readers.emplace_back([&, i, iter] {
+        TaskPtr task = world_.root->Fork();
+        Rng rng(static_cast<uint64_t>(iter) * 31 + i + 1);
+        while (!stop.load(std::memory_order_acquire)) {
+          std::string p = "/evict/f" + std::to_string(rng.Below(kFiles));
+          auto r = task->Statx(kAtFdCwd, p, 0);
+          EXPECT_TRUE(r.ok()) << ErrnoName(r.error()) << " for " << p;
+        }
+      });
+    }
+    for (int round = 0; round < 8; ++round) {
+      std::unique_lock<std::shared_mutex> tree(world_.kernel->tree_lock());
+      world_.kernel->dcache().Shrink(32);
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& r : readers) {
+      r.join();
+    }
+  }
+  for (int i = 0; i < kFiles; ++i) {
+    EXPECT_OK(t.Statx(kAtFdCwd, "/evict/f" + std::to_string(i), 0));
   }
 }
 
@@ -252,7 +296,7 @@ TEST_P(ConcurrencyTest, RenameOfCachedSubtreeLinearizes) {
   }
   // Warm the caches so the rename's invalidation pass has a real subtree.
   for (const std::string& p : files) {
-    ASSERT_OK(t.StatPath(p));
+    ASSERT_OK(t.Statx(kAtFdCwd, p, 0));
   }
 
   std::atomic<bool> stop{false};
@@ -267,8 +311,8 @@ TEST_P(ConcurrencyTest, RenameOfCachedSubtreeLinearizes) {
       while (!stop.load(std::memory_order_acquire)) {
         std::string leaf = "/d/f" + std::to_string(rng.Below(32));
         uint64_t before = phase.load(std::memory_order_acquire);
-        auto at_old = task->StatPath("/r" + leaf);
-        auto at_new = task->StatPath("/r2" + leaf);
+        auto at_old = task->Statx(kAtFdCwd, "/r" + leaf, 0);
+        auto at_new = task->Statx(kAtFdCwd, "/r2" + leaf, 0);
         uint64_t after = phase.load(std::memory_order_acquire);
         if (before != after) {
           continue;  // a rename overlapped: no definitive claim
@@ -328,8 +372,8 @@ TEST_P(ConcurrencyTest, MutatorStormOnLargeCachedSubtrees) {
   // Warm every path so the storm's invalidation passes do real work.
   for (int d = 0; d < kDirs; ++d) {
     for (int f = 0; f < kFiles; ++f) {
-      ASSERT_OK(t.StatPath("/big/d" + std::to_string(d) + "/f" +
-                           std::to_string(f)));
+      ASSERT_OK(t.Statx(kAtFdCwd, "/big/d" + std::to_string(d) + "/f" +
+                           std::to_string(f), 0));
     }
   }
   {
@@ -350,7 +394,7 @@ TEST_P(ConcurrencyTest, MutatorStormOnLargeCachedSubtrees) {
                            std::to_string(rng.Below(kFiles));
         const char* base = rng.Below(2) == 0 ? "/big" : "/big2";
         if (rng.Below(2) == 0) {
-          auto r = task->StatPath(base + leaf);
+          auto r = task->Statx(kAtFdCwd, base + leaf, 0);
           if (r.ok()) {
             hits.fetch_add(1);
             EXPECT_TRUE(r->IsRegular());
@@ -399,8 +443,8 @@ TEST_P(ConcurrencyTest, MutatorStormOnLargeCachedSubtrees) {
   const char* base = (renames & 1) == 0 ? "/big2" : "/big";
   for (int d = 0; d < kDirs; ++d) {
     for (int f = 0; f < kFiles; ++f) {
-      EXPECT_OK(t.StatPath(std::string(base) + "/d" + std::to_string(d) +
-                           "/f" + std::to_string(f)));
+      EXPECT_OK(t.Statx(kAtFdCwd, std::string(base) + "/d" + std::to_string(d) +
+                           "/f" + std::to_string(f), 0));
     }
   }
 }
@@ -457,7 +501,7 @@ TEST_F(InvalEngineTest, LookupsProgressDuringTenThousandDentryInvalidation) {
   auto ofd = t.Open("/other/f", kOCreat | kOWrite);
   ASSERT_OK(ofd);
   ASSERT_OK(t.Close(*ofd));
-  ASSERT_OK(t.StatPath("/other/f"));  // warm
+  ASSERT_OK(t.Statx(kAtFdCwd, "/other/f", 0));  // warm
 
   PathWalker walker(world_.kernel.get());
   auto huge = walker.Resolve(*world_.root, nullptr, "/huge", 0);
@@ -470,15 +514,15 @@ TEST_F(InvalEngineTest, LookupsProgressDuringTenThousandDentryInvalidation) {
     // must still complete (falling back to the slowpath), not spin or
     // block on the gate.
     for (int i = 0; i < 200; ++i) {
-      ASSERT_OK(reader->StatPath("/other/f"));
-      ASSERT_OK(reader->StatPath("/huge/d0/f0"));
+      ASSERT_OK(reader->Statx(kAtFdCwd, "/other/f", 0));
+      ASSERT_OK(reader->Statx(kAtFdCwd, "/huge/d0/f0", 0));
     }
     // Now run the real 10k-dentry pass while lookups keep flowing.
     std::thread inval(
         [&] { section.InvalidateNow(huge->dentry()); });
     for (int i = 0; i < 200; ++i) {
-      ASSERT_OK(reader->StatPath("/other/f"));
-      ASSERT_OK(reader->StatPath("/huge/d1/f1"));
+      ASSERT_OK(reader->Statx(kAtFdCwd, "/other/f", 0));
+      ASSERT_OK(reader->Statx(kAtFdCwd, "/huge/d1/f1", 0));
     }
     inval.join();
     section.Close();
@@ -489,8 +533,8 @@ TEST_F(InvalEngineTest, LookupsProgressDuringTenThousandDentryInvalidation) {
   EXPECT_EQ(stats.workers, 4u);  // threshold 256 << 10k: pool engaged
   EXPECT_GT(stats.dlht_batches, 0u);
   // Everything still resolves after the pass.
-  ASSERT_OK(reader->StatPath("/huge/d49/f199"));
-  ASSERT_OK(reader->StatPath("/other/f"));
+  ASSERT_OK(reader->Statx(kAtFdCwd, "/huge/d49/f199", 0));
+  ASSERT_OK(reader->Statx(kAtFdCwd, "/other/f", 0));
 }
 
 // Overlapping subtree invalidations (chmod on nested directories from many
@@ -511,7 +555,7 @@ TEST_F(InvalEngineTest, OverlappingSubtreeInvalidationsKeepSeqsCoherent) {
   }
   for (int i = 0; i < 300; ++i) {
     std::string dir = i % 3 == 0 ? "/s" : (i % 3 == 1 ? "/s/a" : "/s/a/b");
-    ASSERT_OK(t.StatPath(dir + "/f" + std::to_string(i)));
+    ASSERT_OK(t.Statx(kAtFdCwd, dir + "/f" + std::to_string(i), 0));
   }
 
   std::atomic<bool> stop{false};
@@ -524,7 +568,7 @@ TEST_F(InvalEngineTest, OverlappingSubtreeInvalidationsKeepSeqsCoherent) {
         int n = static_cast<int>(rng.Below(300));
         std::string dir =
             n % 3 == 0 ? "/s" : (n % 3 == 1 ? "/s/a" : "/s/a/b");
-        auto r = task->StatPath(dir + "/f" + std::to_string(n));
+        auto r = task->Statx(kAtFdCwd, dir + "/f" + std::to_string(n), 0);
         EXPECT_OK(r);
       }
     });
@@ -553,7 +597,7 @@ TEST_F(InvalEngineTest, OverlappingSubtreeInvalidationsKeepSeqsCoherent) {
   // Every path still resolves with final modes applied.
   for (int i = 0; i < 300; ++i) {
     std::string dir = i % 3 == 0 ? "/s" : (i % 3 == 1 ? "/s/a" : "/s/a/b");
-    EXPECT_OK(t.StatPath(dir + "/f" + std::to_string(i)));
+    EXPECT_OK(t.Statx(kAtFdCwd, dir + "/f" + std::to_string(i), 0));
   }
 }
 

@@ -168,7 +168,7 @@ TEST_F(DcacheTest, InvalidateSubtreeBumpsAllVersions) {
   ASSERT_OK(world_.root->Mkdir("/top"));
   ASSERT_OK(world_.root->Mkdir("/top/mid"));
   dc().Dput(MakeFile("/top/mid/leaf"));
-  ASSERT_OK(world_.root->StatPath("/top/mid/leaf"));  // publish to DLHT
+  ASSERT_OK(world_.root->Statx(kAtFdCwd, "/top/mid/leaf", 0));  // publish to DLHT
   Dentry* top = dc().LookupRef(Root(), "top");
   ASSERT_NE(top, nullptr);
   EpochDomain::ReadGuard guard(EpochDomain::Global());

@@ -52,7 +52,7 @@ TEST_F(DirCompleteTest, MkdirStartsComplete) {
   // A miss inside it never consults the FS (§5.1 file-creation case).
   uint64_t misses = world_.kernel->stats().dcache_misses.value();
   uint64_t elided = world_.kernel->stats().dir_complete_hits.value();
-  EXPECT_ERR(T().StatPath("/fresh/nothing"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/fresh/nothing", 0), Errno::kENOENT);
   EXPECT_EQ(world_.kernel->stats().dir_complete_hits.value(), elided + 1);
   (void)misses;
 }
@@ -68,7 +68,7 @@ TEST_F(DirCompleteTest, FullScanSetsCompleteness) {
   // Drop the cache so /scan's children are unknown; re-instantiate the
   // directory dentry itself with a stat.
   world_.kernel->DropCaches();
-  ASSERT_OK(T().StatPath("/scan"));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/scan", 0));
   Dentry* scan = DirDentry("scan");
   EXPECT_FALSE(scan->TestFlags(kDentDirComplete));
   ListAll("/scan");
@@ -89,7 +89,7 @@ TEST_F(DirCompleteTest, SeekInterruptsCompletenessScan) {
     ASSERT_OK(T().Close(*fd));
   }
   world_.kernel->DropCaches();
-  ASSERT_OK(T().StatPath("/seeky"));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/seeky", 0));
   Dentry* dir = DirDentry("seeky");
   auto dfd = T().Open("/seeky", kORead | kODirectory);
   ASSERT_OK(dfd);
@@ -126,7 +126,7 @@ TEST_F(DirCompleteTest, ReaddirStubsMaterializeOnStat) {
   EXPECT_EQ(stub->inode(), nullptr);
   dc().Dput(stub);
   // Stat materializes the inode from the stub's inode number.
-  auto st = T().StatPath("/stubs/s3");
+  auto st = T().Statx(kAtFdCwd, "/stubs/s3", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 8u);
   Dentry* real = dc().LookupRef(dir, "s3");

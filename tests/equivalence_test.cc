@@ -62,7 +62,7 @@ std::string Observe(World& w, Rng& rng, PathPool& pool, int op_kind) {
   switch (op_kind) {
     case 0: {  // stat
       std::string p = pool.Path();
-      auto r = task.StatPath(p);
+      auto r = task.Statx(kAtFdCwd, p, 0);
       out << "stat " << p << " -> ";
       if (r.ok()) {
         out << "type=" << static_cast<int>(r->type) << " size=" << r->size
@@ -75,7 +75,7 @@ std::string Observe(World& w, Rng& rng, PathPool& pool, int op_kind) {
     }
     case 1: {  // lstat
       std::string p = pool.Path();
-      auto r = task.LstatPath(p);
+      auto r = task.Statx(kAtFdCwd, p, kAtSymlinkNoFollow);
       out << "lstat " << p << " -> "
           << (r.ok() ? std::to_string(static_cast<int>(r->type)) : err(r));
       break;
@@ -217,7 +217,7 @@ std::string Observe(World& w, Rng& rng, PathPool& pool, int op_kind) {
       out << "chdir " << p << " -> " << ErrnoName(r.error());
       if (r.ok()) {
         std::string rel = pool.Component();
-        auto st = task.StatPath(rel);
+        auto st = task.Statx(kAtFdCwd, rel, 0);
         out << " ; rstat " << rel << " -> "
             << (st.ok() ? std::to_string(static_cast<int>(st->type))
                         : err(st));
@@ -240,14 +240,20 @@ TEST_P(EquivalenceTest, RandomTraceMatchesBaseline) {
   fastpath_only.fastpath = true;
   CacheConfig features_only = CacheConfig::Optimized();
   features_only.fastpath = false;
+  // Optimized() carries the miss-shortcut; run its exact complement too so
+  // a divergence pins on the shortcut itself, not some other optimization.
+  CacheConfig no_shortcut = CacheConfig::Optimized();
+  no_shortcut.shortcut = false;
 
   World baseline(CacheConfig::Baseline());
   World optimized(lexless);
   World fastpath(fastpath_only);
   World features(features_only);
-  World* worlds[] = {&baseline, &optimized, &fastpath, &features};
+  World noshortcut(no_shortcut);
+  World* worlds[] = {&baseline, &optimized, &fastpath, &features,
+                     &noshortcut};
   const char* labels[] = {"baseline", "optimized", "fastpath-only",
-                          "features-only"};
+                          "features-only", "no-shortcut"};
 
   // Each world gets an identical RNG so tasks/paths/ops line up exactly.
   for (int step = 0; step < 1500; ++step) {

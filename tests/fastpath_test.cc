@@ -29,53 +29,53 @@ class FastpathTest : public ::testing::Test {
 
 TEST_F(FastpathTest, SecondLookupHitsFastpath) {
   Task& t = *world_.root;
-  ASSERT_OK(t.StatPath("/home/alice/docs/file"));  // slowpath, populates
+  ASSERT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));  // slowpath, populates
   uint64_t before = FastHits();
-  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   EXPECT_EQ(FastHits(), before + 1);
 }
 
 TEST_F(FastpathTest, FastpathSurvivesSlowpathForbidden) {
   Task& t = *world_.root;
-  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   PathWalker::forbid_slowpath = true;
-  EXPECT_OK(t.StatPath("/home/alice/docs/file"));
+  EXPECT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   PathWalker::forbid_slowpath = false;
 }
 
 TEST_F(FastpathTest, ChmodOfAncestorInvalidatesPrefixChecks) {
   TaskPtr alice = world_.UserTask(1000, 1000);
-  ASSERT_OK(alice->StatPath("/home/alice/docs/file"));
-  ASSERT_OK(alice->StatPath("/home/alice/docs/file"));  // fastpath warm
+  ASSERT_OK(alice->Statx(kAtFdCwd, "/home/alice/docs/file", 0));
+  ASSERT_OK(alice->Statx(kAtFdCwd, "/home/alice/docs/file", 0));  // fastpath warm
   // Root revokes search permission on an ancestor.
   ASSERT_OK(world_.root->Chmod("/home/alice", 0700));
   // Alice (uid 1000, not the owner — dirs are root-owned here) must now be
   // denied, with NO stale fastpath grant.
-  EXPECT_ERR(alice->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+  EXPECT_ERR(alice->Statx(kAtFdCwd, "/home/alice/docs/file", 0), Errno::kEACCES);
   // Restore and verify recovery.
   ASSERT_OK(world_.root->Chmod("/home/alice", 0755));
-  EXPECT_OK(alice->StatPath("/home/alice/docs/file"));
-  EXPECT_OK(alice->StatPath("/home/alice/docs/file"));
+  EXPECT_OK(alice->Statx(kAtFdCwd, "/home/alice/docs/file", 0));
+  EXPECT_OK(alice->Statx(kAtFdCwd, "/home/alice/docs/file", 0));
 }
 
 TEST_F(FastpathTest, ChownOfAncestorInvalidates) {
   TaskPtr bob = world_.UserTask(1001, 1001);
   ASSERT_OK(world_.root->Chmod("/home/alice", 0750));
   ASSERT_OK(world_.root->Chown("/home/alice", 1001, 1001));
-  EXPECT_OK(bob->StatPath("/home/alice/docs/file"));
-  EXPECT_OK(bob->StatPath("/home/alice/docs/file"));  // warm
+  EXPECT_OK(bob->Statx(kAtFdCwd, "/home/alice/docs/file", 0));
+  EXPECT_OK(bob->Statx(kAtFdCwd, "/home/alice/docs/file", 0));  // warm
   ASSERT_OK(world_.root->Chown("/home/alice", 0, 0));
-  EXPECT_ERR(bob->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+  EXPECT_ERR(bob->Statx(kAtFdCwd, "/home/alice/docs/file", 0), Errno::kEACCES);
 }
 
 TEST_F(FastpathTest, RenameInvalidatesOldPath) {
   Task& t = *world_.root;
-  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
-  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   ASSERT_OK(t.Rename("/home/alice/docs", "/home/alice/papers"));
-  EXPECT_ERR(t.StatPath("/home/alice/docs/file"), Errno::kENOENT);
-  EXPECT_OK(t.StatPath("/home/alice/papers/file"));
-  EXPECT_OK(t.StatPath("/home/alice/papers/file"));
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0), Errno::kENOENT);
+  EXPECT_OK(t.Statx(kAtFdCwd, "/home/alice/papers/file", 0));
+  EXPECT_OK(t.Statx(kAtFdCwd, "/home/alice/papers/file", 0));
 }
 
 TEST_F(FastpathTest, CredentialsDoNotShareGrants) {
@@ -88,18 +88,18 @@ TEST_F(FastpathTest, CredentialsDoNotShareGrants) {
   ASSERT_OK(fd);
   ASSERT_OK(alice->Close(*fd));
   // Alice warms her PCC on the path.
-  ASSERT_OK(alice->StatPath("/private/secret"));
-  ASSERT_OK(alice->StatPath("/private/secret"));
+  ASSERT_OK(alice->Statx(kAtFdCwd, "/private/secret", 0));
+  ASSERT_OK(alice->Statx(kAtFdCwd, "/private/secret", 0));
   // Bob must not ride Alice's memoized prefix checks.
-  EXPECT_ERR(bob->StatPath("/private/secret"), Errno::kEACCES);
+  EXPECT_ERR(bob->Statx(kAtFdCwd, "/private/secret", 0), Errno::kEACCES);
 }
 
 TEST_F(FastpathTest, SameCredSharesPcc) {
   TaskPtr a1 = world_.UserTask(1000, 1000);
   TaskPtr a2 = a1->Fork();  // same cred object
-  ASSERT_OK(a1->StatPath("/home/alice/docs/file"));
+  ASSERT_OK(a1->Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   uint64_t before = FastHits();
-  ASSERT_OK(a2->StatPath("/home/alice/docs/file"));
+  ASSERT_OK(a2->Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   EXPECT_EQ(FastHits(), before + 1);  // a2 benefits from a1's prefix check
   EXPECT_EQ(a1->cred().get(), a2->cred().get());
 }
@@ -117,28 +117,28 @@ TEST_F(FastpathTest, CommitCredsDedupPreservesPcc) {
 
 TEST_F(FastpathTest, NegativeLookupsHitFastpath) {
   Task& t = *world_.root;
-  EXPECT_ERR(t.StatPath("/home/alice/docs/nope"), Errno::kENOENT);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/home/alice/docs/nope", 0), Errno::kENOENT);
   uint64_t before = FastHits();
-  EXPECT_ERR(t.StatPath("/home/alice/docs/nope"), Errno::kENOENT);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/home/alice/docs/nope", 0), Errno::kENOENT);
   EXPECT_EQ(FastHits(), before + 1);
   // Creating the file must kill the negative.
   auto fd = t.Open("/home/alice/docs/nope", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(t.Close(*fd));
-  EXPECT_OK(t.StatPath("/home/alice/docs/nope"));
+  EXPECT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/nope", 0));
 }
 
 TEST_F(FastpathTest, DeepNegativesServeFullPaths) {
   Task& t = *world_.root;
-  EXPECT_ERR(t.StatPath("/home/alice/gone/x/y/z"), Errno::kENOENT);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/home/alice/gone/x/y/z", 0), Errno::kENOENT);
   uint64_t before = FastHits();
-  EXPECT_ERR(t.StatPath("/home/alice/gone/x/y/z"), Errno::kENOENT);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/home/alice/gone/x/y/z", 0), Errno::kENOENT);
   EXPECT_EQ(FastHits(), before + 1);
   // Creating the intermediate as a file flips the suffix to ENOTDIR.
   auto fd = t.Open("/home/alice/gone", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(t.Close(*fd));
-  EXPECT_ERR(t.StatPath("/home/alice/gone/x/y/z"), Errno::kENOTDIR);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/home/alice/gone/x/y/z", 0), Errno::kENOTDIR);
 }
 
 TEST_F(FastpathTest, EnotdirDeepNegatives) {
@@ -146,59 +146,59 @@ TEST_F(FastpathTest, EnotdirDeepNegatives) {
   auto fd = t.Open("/plainfile", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(t.Close(*fd));
-  EXPECT_ERR(t.StatPath("/plainfile/below"), Errno::kENOTDIR);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/plainfile/below", 0), Errno::kENOTDIR);
   uint64_t before = FastHits();
-  EXPECT_ERR(t.StatPath("/plainfile/below"), Errno::kENOTDIR);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/plainfile/below", 0), Errno::kENOTDIR);
   EXPECT_EQ(FastHits(), before + 1);  // cached ENOTDIR (§5.2)
 }
 
 TEST_F(FastpathTest, TrailingSymlinkFollowUsesTargetSignature) {
   Task& t = *world_.root;
   ASSERT_OK(t.Symlink("/home/alice/docs/file", "/shortcut"));
-  ASSERT_OK(t.StatPath("/shortcut"));  // slowpath: memoizes target sig
+  ASSERT_OK(t.Statx(kAtFdCwd, "/shortcut", 0));  // slowpath: memoizes target sig
   uint64_t before = FastHits();
-  ASSERT_OK(t.StatPath("/shortcut"));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/shortcut", 0));
   EXPECT_EQ(FastHits(), before + 1);
 }
 
 TEST_F(FastpathTest, MidPathSymlinkAliasHits) {
   Task& t = *world_.root;
   ASSERT_OK(t.Symlink("/home/alice", "/al"));
-  ASSERT_OK(t.StatPath("/al/docs/file"));  // builds alias chain
+  ASSERT_OK(t.Statx(kAtFdCwd, "/al/docs/file", 0));  // builds alias chain
   uint64_t before = FastHits();
-  ASSERT_OK(t.StatPath("/al/docs/file"));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/al/docs/file", 0));
   EXPECT_EQ(FastHits(), before + 1);
   // Target-side permission changes must invalidate alias-path access too.
   TaskPtr alice = world_.UserTask(1000, 1000);
-  ASSERT_OK(alice->StatPath("/al/docs/file"));
-  ASSERT_OK(alice->StatPath("/al/docs/file"));
+  ASSERT_OK(alice->Statx(kAtFdCwd, "/al/docs/file", 0));
+  ASSERT_OK(alice->Statx(kAtFdCwd, "/al/docs/file", 0));
   ASSERT_OK(world_.root->Chmod("/home/alice/docs", 0700));
-  EXPECT_ERR(alice->StatPath("/al/docs/file"), Errno::kEACCES);
+  EXPECT_ERR(alice->Statx(kAtFdCwd, "/al/docs/file", 0), Errno::kEACCES);
 }
 
 TEST_F(FastpathTest, SymlinkRemovalDropsAliases) {
   Task& t = *world_.root;
   ASSERT_OK(t.Symlink("/home/alice", "/al2"));
-  ASSERT_OK(t.StatPath("/al2/docs/file"));
-  ASSERT_OK(t.StatPath("/al2/docs/file"));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/al2/docs/file", 0));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/al2/docs/file", 0));
   ASSERT_OK(t.Unlink("/al2"));
-  EXPECT_ERR(t.StatPath("/al2/docs/file"), Errno::kENOENT);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/al2/docs/file", 0), Errno::kENOENT);
 }
 
 TEST_F(FastpathTest, DotDotPathsStayCorrect) {
   Task& t = *world_.root;
   ASSERT_OK(t.Mkdir("/home/alice/music"));
   for (int i = 0; i < 3; ++i) {
-    EXPECT_OK(t.StatPath("/home/alice/music/../docs/file"));
+    EXPECT_OK(t.Statx(kAtFdCwd, "/home/alice/music/../docs/file", 0));
   }
   // Permission change on the dir being exited must be honored.
   TaskPtr alice = world_.UserTask(1000, 1000);
-  EXPECT_OK(alice->StatPath("/home/alice/music/../docs/file"));
-  EXPECT_OK(alice->StatPath("/home/alice/music/../docs/file"));
+  EXPECT_OK(alice->Statx(kAtFdCwd, "/home/alice/music/../docs/file", 0));
+  EXPECT_OK(alice->Statx(kAtFdCwd, "/home/alice/music/../docs/file", 0));
   ASSERT_OK(world_.root->Chmod("/home/alice/music", 0700));
   // POSIX semantics: alice needs search permission on music to pass
   // through it, even though ".." leaves immediately.
-  EXPECT_ERR(alice->StatPath("/home/alice/music/../docs/file"),
+  EXPECT_ERR(alice->Statx(kAtFdCwd, "/home/alice/music/../docs/file", 0),
              Errno::kEACCES);
 }
 
@@ -208,22 +208,22 @@ TEST_F(FastpathTest, DirectoryReferenceSemantics) {
   TaskPtr alice = world_.UserTask(1000, 1000);
   ASSERT_OK(world_.root->Chmod("/home/alice", 0755));
   ASSERT_OK(alice->Chdir("/home/alice/docs"));
-  EXPECT_OK(alice->StatPath("file"));
+  EXPECT_OK(alice->Statx(kAtFdCwd, "file", 0));
   ASSERT_OK(world_.root->Chmod("/home/alice", 0700));  // revoke
   // Relative access through the retained cwd still works...
-  EXPECT_OK(alice->StatPath("file"));
-  EXPECT_OK(alice->StatPath("file"));
+  EXPECT_OK(alice->Statx(kAtFdCwd, "file", 0));
+  EXPECT_OK(alice->Statx(kAtFdCwd, "file", 0));
   // ...but absolute access is now denied — including right after the
   // relative lookups above (no PCC laundering).
-  EXPECT_ERR(alice->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+  EXPECT_ERR(alice->Statx(kAtFdCwd, "/home/alice/docs/file", 0), Errno::kEACCES);
 }
 
 TEST_F(FastpathTest, ForcedMissFallsBackCorrectly) {
   Task& t = *world_.root;
-  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   PathWalker::force_fastpath_miss = true;
   uint64_t before = FastHits();
-  EXPECT_OK(t.StatPath("/home/alice/docs/file"));
+  EXPECT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   EXPECT_EQ(FastHits(), before);  // fastpath bypassed
   PathWalker::force_fastpath_miss = false;
 }
@@ -239,31 +239,31 @@ TEST_F(FastpathTest, PrivilegedBypassDisablesAcceleration) {
   auto fd = root.Open("/sys/shadow", kOCreat | kOWrite, 0600);
   ASSERT_OK(fd);
   ASSERT_OK(root.Close(*fd));
-  ASSERT_OK(root.StatPath("/sys/shadow"));
+  ASSERT_OK(root.Statx(kAtFdCwd, "/sys/shadow", 0));
   uint64_t fast_before = hardened.kernel->stats().fastpath_hits.value();
   for (int i = 0; i < 5; ++i) {
-    ASSERT_OK(root.StatPath("/sys/shadow"));  // root: slowpath only
+    ASSERT_OK(root.Statx(kAtFdCwd, "/sys/shadow", 0));  // root: slowpath only
   }
   EXPECT_EQ(hardened.kernel->stats().fastpath_hits.value(), fast_before);
   // Unprivileged tasks still ride the fastpath.
   ASSERT_OK(root.Chmod("/sys", 0755));
   ASSERT_OK(root.Chmod("/sys/shadow", 0644));
   TaskPtr user = hardened.UserTask(1000, 1000);
-  ASSERT_OK(user->StatPath("/sys/shadow"));
-  ASSERT_OK(user->StatPath("/sys/shadow"));
+  ASSERT_OK(user->Statx(kAtFdCwd, "/sys/shadow", 0));
+  ASSERT_OK(user->Statx(kAtFdCwd, "/sys/shadow", 0));
   EXPECT_GT(hardened.kernel->stats().fastpath_hits.value(), fast_before);
 }
 
 TEST_F(FastpathTest, PccEpochFlushOnWraparound) {
   Task& t = *world_.root;
-  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
-  ASSERT_OK(t.StatPath("/home/alice/docs/file"));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));
   // Simulate the version-counter wraparound: bump the global PCC epoch.
   world_.kernel->BumpPccEpoch();
   uint64_t before = FastHits();
-  EXPECT_OK(t.StatPath("/home/alice/docs/file"));  // PCC self-flushed: slow
+  EXPECT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));  // PCC self-flushed: slow
   EXPECT_EQ(FastHits(), before);
-  EXPECT_OK(t.StatPath("/home/alice/docs/file"));  // repopulated
+  EXPECT_OK(t.Statx(kAtFdCwd, "/home/alice/docs/file", 0));  // repopulated
   EXPECT_EQ(FastHits(), before + 1);
 }
 
@@ -274,16 +274,16 @@ TEST_F(FastpathTest, LabelLsmDecisionsAreMemoizedAndInvalidated) {
   ASSERT_OK(world_.root->SetSecurityLabel("/home/alice", "alice_home"));
   TaskPtr agent = world_.UserTask(1000, 1000, {}, "agent_t");
   // No rule: (agent_t, alice_home) denied for exec.
-  EXPECT_ERR(agent->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+  EXPECT_ERR(agent->Statx(kAtFdCwd, "/home/alice/docs/file", 0), Errno::kEACCES);
   lsm_ptr->Allow("agent_t", "alice_home", kMayRead | kMayExec);
   // Policy changed: caller must invalidate (the LSM contract). Relabeling
   // with the same label reuses the subtree invalidation path.
   ASSERT_OK(world_.root->SetSecurityLabel("/home/alice", "alice_home"));
-  EXPECT_OK(agent->StatPath("/home/alice/docs/file"));
-  EXPECT_OK(agent->StatPath("/home/alice/docs/file"));  // memoized
+  EXPECT_OK(agent->Statx(kAtFdCwd, "/home/alice/docs/file", 0));
+  EXPECT_OK(agent->Statx(kAtFdCwd, "/home/alice/docs/file", 0));  // memoized
   lsm_ptr->ClearRule("agent_t", "alice_home");
   ASSERT_OK(world_.root->SetSecurityLabel("/home/alice", "alice_home"));
-  EXPECT_ERR(agent->StatPath("/home/alice/docs/file"), Errno::kEACCES);
+  EXPECT_ERR(agent->Statx(kAtFdCwd, "/home/alice/docs/file", 0), Errno::kEACCES);
 }
 
 }  // namespace

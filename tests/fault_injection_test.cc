@@ -44,7 +44,7 @@ TEST_P(FaultInjectionTest, ColdLookupEioIsNotCachedAsNegative) {
   // Every device read fails while the fault is armed; the cold lookup must
   // surface EIO, not invent ENOENT.
   fs_->device().InjectReadFaults(1000);
-  auto st = T().StatPath("/d/f");
+  auto st = T().Statx(kAtFdCwd, "/d/f", 0);
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.error(), Errno::kEIO);
   EXPECT_GT(fs_->device().io_errors(), 0u);
@@ -52,8 +52,8 @@ TEST_P(FaultInjectionTest, ColdLookupEioIsNotCachedAsNegative) {
   // Fault clears: the same path must resolve — proving neither a negative
   // dentry nor a poisoned buffer survived the failure.
   fs_->device().InjectReadFaults(0);
-  ASSERT_OK(T().StatPath("/d/f"));
-  ASSERT_OK(T().StatPath("/d/f"));  // and again via whatever cache applies
+  ASSERT_OK(T().Statx(kAtFdCwd, "/d/f", 0));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/d/f", 0));  // and again via whatever cache applies
 }
 
 TEST_P(FaultInjectionTest, ReaddirEioPropagatesAndRecovers) {
@@ -104,7 +104,7 @@ TEST_P(FaultInjectionTest, TransientEioDoesNotCorruptTheTree) {
         (void)T().Unlink(name);
         break;
       case 2:
-        (void)T().StatPath(name);
+        (void)T().Statx(kAtFdCwd, name, 0);
         break;
       default:
         world_.kernel->DropCaches();
@@ -143,8 +143,8 @@ TEST(FaultInjectionOptimizedTest, DirCompletenessServesMissesDespiteFaults) {
 
   fs->device().InjectReadFaults(1000);
   uint64_t reads_before = fs->device().reads();
-  EXPECT_ERR(t.StatPath("/spool/job2"), Errno::kENOENT);  // not EIO
-  EXPECT_OK(t.StatPath("/spool/job1"));                   // warm hit
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/spool/job2", 0), Errno::kENOENT);  // not EIO
+  EXPECT_OK(t.Statx(kAtFdCwd, "/spool/job1", 0));                   // warm hit
   EXPECT_EQ(fs->device().reads(), reads_before);  // device never consulted
   fs->device().InjectReadFaults(0);
 }

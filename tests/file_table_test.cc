@@ -84,7 +84,7 @@ TEST_P(FileTableTest, AppendAlwaysWritesAtEnd) {
   ASSERT_OK(a1);
   ASSERT_OK(T().Lseek(*a1, 0));            // ignored by append writes
   ASSERT_OK(T().WriteFd(*a1, "+second"));
-  auto st = T().StatPath("/log");
+  auto st = T().Statx(kAtFdCwd, "/log", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 12u);
   std::string buf;
@@ -104,8 +104,8 @@ TEST_P(FileTableTest, DirfdSurvivesRenameOfItsDirectory) {
   ASSERT_OK(T().Rename("/olddir", "/newdir"));
   // The open handle tracks the dentry, not the name (POSIX).
   EXPECT_OK(T().FstatAt(*dfd, "inside", 0));
-  EXPECT_ERR(T().StatPath("/olddir/inside"), Errno::kENOENT);
-  EXPECT_OK(T().StatPath("/newdir/inside"));
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/olddir/inside", 0), Errno::kENOENT);
+  EXPECT_OK(T().Statx(kAtFdCwd, "/newdir/inside", 0));
 }
 
 TEST_P(FileTableTest, ForkDoesNotShareFdTable) {
@@ -126,7 +126,7 @@ TEST_P(FileTableTest, TruncateViaOpenFlagAndSyscall) {
   ASSERT_OK(T().Close(*fd));
   auto tr = T().Open("/t", kOWrite | kOTrunc);
   ASSERT_OK(tr);
-  auto st = T().StatPath("/t");
+  auto st = T().Statx(kAtFdCwd, "/t", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 0u);
   ASSERT_OK(T().Close(*tr));

@@ -22,18 +22,18 @@ TEST_F(CrossMountTest, PermissionChangeAboveMountpointInvalidatesInside) {
   ASSERT_OK(T().Mount("/outer/mnt", fs));
 
   TaskPtr user = world_.UserTask(1000, 1000);
-  ASSERT_OK(user->StatPath("/outer/mnt/inside"));
-  ASSERT_OK(user->StatPath("/outer/mnt/inside"));  // fastpath warm
+  ASSERT_OK(user->Statx(kAtFdCwd, "/outer/mnt/inside", 0));
+  ASSERT_OK(user->Statx(kAtFdCwd, "/outer/mnt/inside", 0));  // fastpath warm
   // Revoke search permission ABOVE the mountpoint: cached prefix checks
   // for dentries INSIDE the mounted FS must die with it.
   ASSERT_OK(T().Chmod("/outer", 0700));
-  EXPECT_ERR(user->StatPath("/outer/mnt/inside"), Errno::kEACCES);
+  EXPECT_ERR(user->Statx(kAtFdCwd, "/outer/mnt/inside", 0), Errno::kEACCES);
   // Missing-name results inside the mount are equally protected.
   ASSERT_OK(T().Chmod("/outer", 0755));
-  EXPECT_ERR(user->StatPath("/outer/mnt/nothing"), Errno::kENOENT);
-  EXPECT_ERR(user->StatPath("/outer/mnt/nothing"), Errno::kENOENT);
+  EXPECT_ERR(user->Statx(kAtFdCwd, "/outer/mnt/nothing", 0), Errno::kENOENT);
+  EXPECT_ERR(user->Statx(kAtFdCwd, "/outer/mnt/nothing", 0), Errno::kENOENT);
   ASSERT_OK(T().Chmod("/outer", 0700));
-  EXPECT_ERR(user->StatPath("/outer/mnt/nothing"), Errno::kEACCES);
+  EXPECT_ERR(user->Statx(kAtFdCwd, "/outer/mnt/nothing", 0), Errno::kEACCES);
 }
 
 TEST_F(CrossMountTest, RootPermissionChangeReachesEveryMount) {
@@ -43,13 +43,13 @@ TEST_F(CrossMountTest, RootPermissionChangeReachesEveryMount) {
                        0));
   ASSERT_OK(T().Mount("/m1", fs));
   TaskPtr user = world_.UserTask(1000, 1000);
-  ASSERT_OK(user->StatPath("/m1/f"));
-  ASSERT_OK(user->StatPath("/m1/f"));
+  ASSERT_OK(user->Statx(kAtFdCwd, "/m1/f", 0));
+  ASSERT_OK(user->Statx(kAtFdCwd, "/m1/f", 0));
   // chmod of "/" itself (via the dot-dot alias the oracle used).
   ASSERT_OK(T().Chmod("/..", 0700));
-  EXPECT_ERR(user->StatPath("/m1/f"), Errno::kEACCES);
+  EXPECT_ERR(user->Statx(kAtFdCwd, "/m1/f", 0), Errno::kEACCES);
   ASSERT_OK(T().Chmod("/", 0755));
-  EXPECT_OK(user->StatPath("/m1/f"));
+  EXPECT_OK(user->Statx(kAtFdCwd, "/m1/f", 0));
 }
 
 TEST_F(CrossMountTest, BindMountCycleDoesNotHangInvalidation) {
@@ -58,14 +58,14 @@ TEST_F(CrossMountTest, BindMountCycleDoesNotHangInvalidation) {
   ASSERT_OK(T().Mkdir("/a"));
   ASSERT_OK(T().Mkdir("/a/loop"));
   ASSERT_OK(T().BindMount("/", "/a/loop"));
-  ASSERT_OK(T().StatPath("/a/loop/a/loop"));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/a/loop/a/loop", 0));
   // Mounts are keyed by (mount, dentry), so the inner "loop" is the plain
   // underlying (empty) directory — nothing is mounted there (Linux
   // semantics for a recursive-looking bind of "/").
-  EXPECT_ERR(T().StatPath("/a/loop/a/loop/a"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/a/loop/a/loop/a", 0), Errno::kENOENT);
   ASSERT_OK(T().Chmod("/a", 0700));  // invalidates; must not loop forever
   ASSERT_OK(T().Chmod("/a", 0755));
-  EXPECT_OK(T().StatPath("/a/loop/a"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/a/loop/a", 0));
 }
 
 TEST_F(CrossMountTest, ClonedNamespaceSeesInvalidationFromOriginal) {
@@ -80,22 +80,22 @@ TEST_F(CrossMountTest, ClonedNamespaceSeesInvalidationFromOriginal) {
 
   TaskPtr user = world_.UserTask(1000, 1000);
   ASSERT_OK(user->UnshareMountNs());
-  ASSERT_OK(user->StatPath("/priv/sub/f"));
-  ASSERT_OK(user->StatPath("/priv/sub/f"));  // warm the clone's DLHT + PCC
+  ASSERT_OK(user->Statx(kAtFdCwd, "/priv/sub/f", 0));
+  ASSERT_OK(user->Statx(kAtFdCwd, "/priv/sub/f", 0));  // warm the clone's DLHT + PCC
   ASSERT_OK(T().Chmod("/priv", 0700));       // in the ORIGINAL namespace
-  EXPECT_ERR(user->StatPath("/priv/sub/f"), Errno::kEACCES);
+  EXPECT_ERR(user->Statx(kAtFdCwd, "/priv/sub/f", 0), Errno::kEACCES);
   ASSERT_OK(T().Chmod("/priv", 0755));
-  EXPECT_OK(user->StatPath("/priv/sub/f"));
+  EXPECT_OK(user->Statx(kAtFdCwd, "/priv/sub/f", 0));
 
   // And the reverse direction: a root task that unshared first still
   // invalidates walks in the original namespace.
   TaskPtr admin = T().Fork();
   ASSERT_OK(admin->UnshareMountNs());
   TaskPtr orig_user = world_.UserTask(1000, 1000);
-  ASSERT_OK(orig_user->StatPath("/priv/sub/f"));
-  ASSERT_OK(orig_user->StatPath("/priv/sub/f"));
+  ASSERT_OK(orig_user->Statx(kAtFdCwd, "/priv/sub/f", 0));
+  ASSERT_OK(orig_user->Statx(kAtFdCwd, "/priv/sub/f", 0));
   ASSERT_OK(admin->Chmod("/priv/sub", 0700));
-  EXPECT_ERR(orig_user->StatPath("/priv/sub/f"), Errno::kEACCES);
+  EXPECT_ERR(orig_user->Statx(kAtFdCwd, "/priv/sub/f", 0), Errno::kEACCES);
 }
 
 TEST_F(CrossMountTest, RenameOfOrOntoMountpointIsBusy) {

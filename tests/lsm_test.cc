@@ -44,13 +44,13 @@ TEST_P(PermissionTest, SearchPermissionGatesTraversal) {
   ASSERT_OK(Root().Close(*fd));
   TaskPtr user = world_.UserTask(1000, 1000);
   // Search permission allows lookup of a known name...
-  EXPECT_OK(user->StatPath("/gate/known"));
+  EXPECT_OK(user->Statx(kAtFdCwd, "/gate/known", 0));
   // ...but not enumeration: read permission is required to open the
   // directory for listing.
   EXPECT_ERR(user->Open("/gate", kORead | kODirectory), Errno::kEACCES);
   // Remove search permission entirely: lookup now fails.
   ASSERT_OK(Root().Chmod("/gate", 0700));
-  EXPECT_ERR(user->StatPath("/gate/known"), Errno::kEACCES);
+  EXPECT_ERR(user->Statx(kAtFdCwd, "/gate/known", 0), Errno::kEACCES);
 }
 
 TEST_P(PermissionTest, RootOverridesDacExceptExec) {
@@ -60,7 +60,7 @@ TEST_P(PermissionTest, RootOverridesDacExceptExec) {
   ASSERT_OK(Root().Close(*fd));
   // Root reads and writes anything.
   EXPECT_OK(Root().Open("/locked/f", kORdWr));
-  EXPECT_OK(Root().StatPath("/locked/f"));
+  EXPECT_OK(Root().Statx(kAtFdCwd, "/locked/f", 0));
   // Exec of a file with no x bits is denied even for root.
   EXPECT_ERR(Root().Access("/locked/f", kMayExec), Errno::kEACCES);
   // Search of a directory is always allowed for root.

@@ -22,11 +22,11 @@ TEST_P(MountTest, MountAndCrossInto) {
   ASSERT_OK(fs->Create(MemFs::kRootIno, "inside", FileType::kRegular, 0644,
                        0, 0));
   ASSERT_OK(T().Mount("/mnt", fs));
-  auto st = T().StatPath("/mnt/inside");
+  auto st = T().Statx(kAtFdCwd, "/mnt/inside", 0);
   ASSERT_OK(st);
-  EXPECT_OK(T().StatPath("/mnt/inside"));  // repeat: fastpath crossing
+  EXPECT_OK(T().Statx(kAtFdCwd, "/mnt/inside", 0));  // repeat: fastpath crossing
   // The mount root's stat shows the mounted FS, not the covered dir.
-  auto root_st = T().StatPath("/mnt");
+  auto root_st = T().Statx(kAtFdCwd, "/mnt", 0);
   ASSERT_OK(root_st);
   EXPECT_EQ(root_st->ino, MemFs::kRootIno);
   EXPECT_NE(root_st->dev, 1u);  // different superblock than the root FS
@@ -37,14 +37,14 @@ TEST_P(MountTest, MountShadowsCoveredContents) {
   auto fd = T().Open("/cover/original", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  ASSERT_OK(T().StatPath("/cover/original"));
-  ASSERT_OK(T().StatPath("/cover/original"));  // warm the caches
+  ASSERT_OK(T().Statx(kAtFdCwd, "/cover/original", 0));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/cover/original", 0));  // warm the caches
   ASSERT_OK(T().Mount("/cover", std::make_shared<MemFs>()));
-  EXPECT_ERR(T().StatPath("/cover/original"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/cover/original", 0), Errno::kENOENT);
   // Unmount restores visibility.
   ASSERT_OK(T().Umount("/cover"));
-  EXPECT_OK(T().StatPath("/cover/original"));
-  EXPECT_OK(T().StatPath("/cover/original"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/cover/original", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/cover/original", 0));
 }
 
 TEST_P(MountTest, ReadOnlyMountRejectsWrites) {
@@ -70,22 +70,22 @@ TEST_P(MountTest, BindMountAliasesContent) {
   ASSERT_OK(T().WriteFd(*fd, "shared"));
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().BindMount("/data", "/view"));
-  auto st1 = T().StatPath("/data/file");
-  auto st2 = T().StatPath("/view/file");
+  auto st1 = T().Statx(kAtFdCwd, "/data/file", 0);
+  auto st2 = T().Statx(kAtFdCwd, "/view/file", 0);
   ASSERT_OK(st1);
   ASSERT_OK(st2);
   EXPECT_EQ(st1->ino, st2->ino);
   // Alternate between alias paths: the most-recent-path rule (§4.3) must
   // keep both correct.
   for (int i = 0; i < 4; ++i) {
-    EXPECT_OK(T().StatPath(i % 2 != 0 ? "/data/file" : "/view/file"));
+    EXPECT_OK(T().Statx(kAtFdCwd, i % 2 != 0 ? "/data/file" : "/view/file", 0));
   }
   // A write through the alias is visible through the origin.
   fd = T().Open("/view/file", kOWrite | kOTrunc);
   ASSERT_OK(fd);
   ASSERT_OK(T().WriteFd(*fd, "updated!"));
   ASSERT_OK(T().Close(*fd));
-  auto st3 = T().StatPath("/data/file");
+  auto st3 = T().Statx(kAtFdCwd, "/data/file", 0);
   ASSERT_OK(st3);
   EXPECT_EQ(st3->size, 8u);
 }
@@ -101,10 +101,10 @@ TEST_P(MountTest, StackedMountsShadowAndUnwind) {
   ASSERT_OK(T().Mount("/m1", fs1));
   // Mounting again stacks on top (Linux semantics) and shadows fs1.
   ASSERT_OK(T().Mount("/m1", fs2));
-  EXPECT_OK(T().StatPath("/m1/two"));
-  EXPECT_ERR(T().StatPath("/m1/one"), Errno::kENOENT);
+  EXPECT_OK(T().Statx(kAtFdCwd, "/m1/two", 0));
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/m1/one", 0), Errno::kENOENT);
   ASSERT_OK(T().Umount("/m1"));
-  EXPECT_OK(T().StatPath("/m1/one"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/m1/one", 0));
   EXPECT_ERR(T().Umount("/"), Errno::kEINVAL);
   ASSERT_OK(T().Umount("/m1"));
 }
@@ -123,13 +123,13 @@ TEST_P(MountTest, NamespaceIsolation) {
                        0, 0));
   ASSERT_OK(isolated->Mount("/private", fs));
   // Visible inside the namespace...
-  EXPECT_OK(isolated->StatPath("/private/secret"));
-  EXPECT_OK(isolated->StatPath("/private/secret"));
+  EXPECT_OK(isolated->Statx(kAtFdCwd, "/private/secret", 0));
+  EXPECT_OK(isolated->Statx(kAtFdCwd, "/private/secret", 0));
   // ...but not outside (the host namespace has no such mount).
-  EXPECT_ERR(T().StatPath("/private/secret"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/private/secret", 0), Errno::kENOENT);
   // Shared underlying files remain visible to both.
-  EXPECT_OK(isolated->StatPath("/shared/base"));
-  EXPECT_OK(T().StatPath("/shared/base"));
+  EXPECT_OK(isolated->Statx(kAtFdCwd, "/shared/base", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/shared/base", 0));
 }
 
 TEST_P(MountTest, SamePathDifferentNamespacesDifferentFiles) {
@@ -146,15 +146,15 @@ TEST_P(MountTest, SamePathDifferentNamespacesDifferentFiles) {
                         0));
   ASSERT_OK(ns1->Mount("/app", fs1));
   ASSERT_OK(ns2->Mount("/app", fs2));
-  auto st1 = ns1->StatPath("/app/cfg");
-  auto st2 = ns2->StatPath("/app/cfg");
+  auto st1 = ns1->Statx(kAtFdCwd, "/app/cfg", 0);
+  auto st2 = ns2->Statx(kAtFdCwd, "/app/cfg", 0);
   ASSERT_OK(st1);
   ASSERT_OK(st2);
   EXPECT_NE(st1->dev, st2->dev);  // same path, different files (§4.3)
   // Warm both, re-check: the per-namespace DLHTs must not cross-talk.
   for (int i = 0; i < 3; ++i) {
-    auto r1 = ns1->StatPath("/app/cfg");
-    auto r2 = ns2->StatPath("/app/cfg");
+    auto r1 = ns1->Statx(kAtFdCwd, "/app/cfg", 0);
+    auto r2 = ns2->Statx(kAtFdCwd, "/app/cfg", 0);
     ASSERT_OK(r1);
     ASSERT_OK(r2);
     EXPECT_NE(r1->dev, r2->dev);
@@ -173,15 +173,15 @@ TEST_P(MountTest, ChrootConfinesAndResolvesFromNewRoot) {
 
   TaskPtr jailed = T().Fork();
   ASSERT_OK(jailed->Chroot("/jail"));
-  EXPECT_OK(jailed->StatPath("/etc/conf"));
-  EXPECT_OK(jailed->StatPath("/etc/conf"));
-  EXPECT_ERR(jailed->StatPath("/outside"), Errno::kENOENT);
-  EXPECT_ERR(jailed->StatPath("/../outside"), Errno::kENOENT);
+  EXPECT_OK(jailed->Statx(kAtFdCwd, "/etc/conf", 0));
+  EXPECT_OK(jailed->Statx(kAtFdCwd, "/etc/conf", 0));
+  EXPECT_ERR(jailed->Statx(kAtFdCwd, "/outside", 0), Errno::kENOENT);
+  EXPECT_ERR(jailed->Statx(kAtFdCwd, "/../outside", 0), Errno::kENOENT);
   // The host keeps its view.
-  EXPECT_OK(T().StatPath("/outside"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/outside", 0));
   // And the same literal path means different things (chroot-aware
   // signatures).
-  EXPECT_ERR(jailed->StatPath("/jail/etc/conf"), Errno::kENOENT);
+  EXPECT_ERR(jailed->Statx(kAtFdCwd, "/jail/etc/conf", 0), Errno::kENOENT);
 }
 
 TEST_P(MountTest, MountAliasSameInstanceTwice) {
@@ -193,8 +193,8 @@ TEST_P(MountTest, MountAliasSameInstanceTwice) {
                          0444, 0, 0));
   ASSERT_OK(T().Mount("/proc1", proc));
   ASSERT_OK(T().Mount("/proc2", proc));
-  auto st1 = T().StatPath("/proc1/version");
-  auto st2 = T().StatPath("/proc2/version");
+  auto st1 = T().Statx(kAtFdCwd, "/proc1/version", 0);
+  auto st2 = T().Statx(kAtFdCwd, "/proc2/version", 0);
   ASSERT_OK(st1);
   ASSERT_OK(st2);
   EXPECT_EQ(st1->ino, st2->ino);
@@ -202,7 +202,7 @@ TEST_P(MountTest, MountAliasSameInstanceTwice) {
   // Ping-pong between the aliases; §4.3's one-DLHT-entry rule must keep
   // every answer correct.
   for (int i = 0; i < 6; ++i) {
-    auto st = T().StatPath(i % 2 != 0 ? "/proc1/version" : "/proc2/version");
+    auto st = T().Statx(kAtFdCwd, i % 2 != 0 ? "/proc1/version" : "/proc2/version", 0);
     ASSERT_OK(st);
     EXPECT_EQ(st->ino, st1->ino);
   }

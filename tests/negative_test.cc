@@ -21,8 +21,8 @@ TEST_F(NegativeTest, UnlinkLeavesNegativeDentry) {
   ASSERT_OK(T().Unlink("/lockfile"));
   uint64_t neg_before = stats().negative_hits.value();
   uint64_t misses_before = stats().dcache_misses.value();
-  EXPECT_ERR(T().StatPath("/lockfile"), Errno::kENOENT);
-  EXPECT_ERR(T().StatPath("/lockfile"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/lockfile", 0), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/lockfile", 0), Errno::kENOENT);
   // Both stats were answered from cached state, no FS consultation.
   EXPECT_EQ(stats().dcache_misses.value(), misses_before);
   EXPECT_GE(stats().negative_hits.value() +
@@ -32,7 +32,7 @@ TEST_F(NegativeTest, UnlinkLeavesNegativeDentry) {
   fd = T().Open("/lockfile", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  EXPECT_OK(T().StatPath("/lockfile"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/lockfile", 0));
 }
 
 TEST_F(NegativeTest, UnlinkOfOpenFileStillCachesNegative) {
@@ -41,7 +41,7 @@ TEST_F(NegativeTest, UnlinkOfOpenFileStillCachesNegative) {
   ASSERT_OK(T().WriteFd(*fd, "still here"));
   ASSERT_OK(T().Unlink("/busy"));  // file is open: inode must live on
   uint64_t misses_before = stats().dcache_misses.value();
-  EXPECT_ERR(T().StatPath("/busy"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/busy", 0), Errno::kENOENT);
   EXPECT_EQ(stats().dcache_misses.value(), misses_before);
   // The open handle keeps working (paper: "unlink of a file still in use").
   auto st = T().Fstat(*fd);
@@ -56,16 +56,16 @@ TEST_F(NegativeTest, RenameSourceBecomesNegative) {
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().Rename("/old", "/new"));
   uint64_t misses_before = stats().dcache_misses.value();
-  EXPECT_ERR(T().StatPath("/old"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/old", 0), Errno::kENOENT);
   EXPECT_EQ(stats().dcache_misses.value(), misses_before);
 }
 
 TEST_F(NegativeTest, PseudoFsGetsNegativesWhenEnabled) {
   ASSERT_OK(T().Mkdir("/proc"));
   ASSERT_OK(T().Mount("/proc", std::make_shared<MemFs>()));
-  EXPECT_ERR(T().StatPath("/proc/no_such_node"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/proc/no_such_node", 0), Errno::kENOENT);
   uint64_t misses_before = stats().dcache_misses.value();
-  EXPECT_ERR(T().StatPath("/proc/no_such_node"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/proc/no_such_node", 0), Errno::kENOENT);
   // §5.2: with the optimization, the repeat is served from the cache even
   // though MemFs declines negative dentries by default.
   EXPECT_EQ(stats().dcache_misses.value(), misses_before);
@@ -76,9 +76,9 @@ TEST_F(NegativeTest, BaselinePseudoFsSkipsNegatives) {
   Task& t = *baseline.root;
   ASSERT_OK(t.Mkdir("/proc"));
   ASSERT_OK(t.Mount("/proc", std::make_shared<MemFs>()));
-  EXPECT_ERR(t.StatPath("/proc/nothing"), Errno::kENOENT);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/proc/nothing", 0), Errno::kENOENT);
   uint64_t misses_before = baseline.kernel->stats().dcache_misses.value();
-  EXPECT_ERR(t.StatPath("/proc/nothing"), Errno::kENOENT);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/proc/nothing", 0), Errno::kENOENT);
   // Baseline Linux behaviour: every miss goes back to the pseudo FS.
   EXPECT_GT(baseline.kernel->stats().dcache_misses.value(), misses_before);
 }
@@ -86,45 +86,45 @@ TEST_F(NegativeTest, BaselinePseudoFsSkipsNegatives) {
 TEST_F(NegativeTest, DeepNegativeChainsAnswerFullPaths) {
   ASSERT_OK(T().Mkdir("/lib"));
   // LD_LIBRARY_PATH-style probing of a nonexistent subtree.
-  EXPECT_ERR(T().StatPath("/lib/arch/x86/libfoo.so"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/lib/arch/x86/libfoo.so", 0), Errno::kENOENT);
   uint64_t misses_before = stats().dcache_misses.value();
   uint64_t fast_before = stats().fastpath_hits.value();
-  EXPECT_ERR(T().StatPath("/lib/arch/x86/libfoo.so"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/lib/arch/x86/libfoo.so", 0), Errno::kENOENT);
   EXPECT_EQ(stats().dcache_misses.value(), misses_before);
   EXPECT_EQ(stats().fastpath_hits.value(), fast_before + 1);
   // Intermediate prefixes are cached too.
-  EXPECT_ERR(T().StatPath("/lib/arch"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/lib/arch", 0), Errno::kENOENT);
   EXPECT_EQ(stats().dcache_misses.value(), misses_before);
 }
 
 TEST_F(NegativeTest, CreatingIntermediateInvalidatesDeepChain) {
   ASSERT_OK(T().Mkdir("/base"));
-  EXPECT_ERR(T().StatPath("/base/sub/leaf"), Errno::kENOENT);
-  EXPECT_ERR(T().StatPath("/base/sub/leaf"), Errno::kENOENT);  // cached
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/base/sub/leaf", 0), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/base/sub/leaf", 0), Errno::kENOENT);  // cached
   ASSERT_OK(T().Mkdir("/base/sub"));
   // The chain under "sub" referred to a nonexistent directory; now that it
   // exists (empty), the leaf is still ENOENT — but for the right reason.
-  EXPECT_ERR(T().StatPath("/base/sub/leaf"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/base/sub/leaf", 0), Errno::kENOENT);
   auto fd = T().Open("/base/sub/leaf", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  EXPECT_OK(T().StatPath("/base/sub/leaf"));
-  EXPECT_OK(T().StatPath("/base/sub/leaf"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/base/sub/leaf", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/base/sub/leaf", 0));
 }
 
 TEST_F(NegativeTest, EnotdirChainsUnderRegularFiles) {
   auto fd = T().Open("/notadir", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  EXPECT_ERR(T().StatPath("/notadir/x/y"), Errno::kENOTDIR);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/notadir/x/y", 0), Errno::kENOTDIR);
   uint64_t misses_before = stats().dcache_misses.value();
-  EXPECT_ERR(T().StatPath("/notadir/x/y"), Errno::kENOTDIR);
-  EXPECT_ERR(T().StatPath("/notadir/x"), Errno::kENOTDIR);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/notadir/x/y", 0), Errno::kENOTDIR);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/notadir/x", 0), Errno::kENOTDIR);
   EXPECT_EQ(stats().dcache_misses.value(), misses_before);
   // Replacing the file with a directory flips the answers.
   ASSERT_OK(T().Unlink("/notadir"));
   ASSERT_OK(T().Mkdir("/notadir"));
-  EXPECT_ERR(T().StatPath("/notadir/x"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/notadir/x", 0), Errno::kENOENT);
 }
 
 TEST_F(NegativeTest, DeepNegativeLimitBoundsChainLength) {
@@ -134,7 +134,7 @@ TEST_F(NegativeTest, DeepNegativeLimitBoundsChainLength) {
   Task& t = *limited.root;
   ASSERT_OK(t.Mkdir("/top"));
   size_t before = limited.kernel->dcache().dentry_count();
-  EXPECT_ERR(t.StatPath("/top/a/b/c/d/e/f/g/h"), Errno::kENOENT);
+  EXPECT_ERR(t.Statx(kAtFdCwd, "/top/a/b/c/d/e/f/g/h", 0), Errno::kENOENT);
   // Chain creation stopped at the limit: at most limit+1 new dentries.
   EXPECT_LE(limited.kernel->dcache().dentry_count(), before + 3);
 }
@@ -143,10 +143,10 @@ TEST_F(NegativeTest, NegativesDoNotLeakAcrossPermissions) {
   // A cached ENOENT must not be revealed to a cred lacking search
   // permission on the prefix.
   ASSERT_OK(T().Mkdir("/secret", 0700));
-  EXPECT_ERR(T().StatPath("/secret/ghost"), Errno::kENOENT);
-  EXPECT_ERR(T().StatPath("/secret/ghost"), Errno::kENOENT);  // cached
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/secret/ghost", 0), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/secret/ghost", 0), Errno::kENOENT);  // cached
   TaskPtr mallory = world_.UserTask(1003, 1003);
-  EXPECT_ERR(mallory->StatPath("/secret/ghost"), Errno::kEACCES);
+  EXPECT_ERR(mallory->Statx(kAtFdCwd, "/secret/ghost", 0), Errno::kEACCES);
 }
 
 }  // namespace

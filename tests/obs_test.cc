@@ -364,7 +364,7 @@ TEST(Observe, DisabledKernelRecordsNothing) {
   EXPECT_FALSE(w.kernel->obs().enabled());
   ASSERT_OK(w.root->Mkdir("/d"));
   for (int i = 0; i < 8; ++i) {
-    EXPECT_OK(w.root->StatPath("/d"));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/d", 0));
   }
   obs::ObsSnapshot snap = w.kernel->Observe();
   EXPECT_EQ(snap.schema_version, obs::kObsSchemaVersion);
@@ -385,11 +385,11 @@ TEST(Observe, DisabledWarmHitPathStaysSharedWriteFree) {
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
   for (int i = 0; i < 4; ++i) {  // warm past the one-time writes
-    EXPECT_OK(w.root->StatPath("/a/b/f"));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/a/b/f", 0));
   }
   uint64_t writes0 = w.kernel->stats().shared_writes.value();
   for (int i = 0; i < 100; ++i) {
-    EXPECT_OK(w.root->StatPath("/a/b/f"));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/a/b/f", 0));
   }
   EXPECT_EQ(w.kernel->stats().shared_writes.value(), writes0);
 }
@@ -401,12 +401,12 @@ TEST(Observe, EnabledKernelClassifiesWalks) {
   auto fd = w.root->Open("/a/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
-  EXPECT_OK(w.root->StatPath("/a/f"));  // populates the fastpath
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/a/f", 0));  // populates the fastpath
   obs::ObsSnapshot before = w.kernel->Observe();
   for (int i = 0; i < 10; ++i) {
-    EXPECT_OK(w.root->StatPath("/a/f"));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/a/f", 0));
   }
-  EXPECT_ERR(w.root->StatPath("/a/missing"), Errno::kENOENT);
+  EXPECT_ERR(w.root->Statx(kAtFdCwd, "/a/missing", 0), Errno::kENOENT);
   obs::ObsSnapshot after = w.kernel->Observe();
 
   auto hits = [](const obs::ObsSnapshot& s, WalkOutcome o) {
@@ -431,8 +431,8 @@ TEST(Observe, EnabledKernelClassifiesWalks) {
 TEST(Observe, SnapshotJsonShape) {
   TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
   ASSERT_OK(w.root->Mkdir("/j"));
-  EXPECT_OK(w.root->StatPath("/j"));
-  EXPECT_OK(w.root->StatPath("/j"));
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/j", 0));
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/j", 0));
   obs::ObsSnapshot snap = w.kernel->Observe();
   std::string json = snap.ToJson();
   // Versioned, fixed-field-order contract (scripts/bench_smoke.sh greps
@@ -469,7 +469,7 @@ TEST(Observe, SnapshotJsonShape) {
 TEST(Observe, ResetClearsHistogramsAndOutcomes) {
   TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
   ASSERT_OK(w.root->Mkdir("/r"));
-  EXPECT_OK(w.root->StatPath("/r"));
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/r", 0));
   ASSERT_GT(w.kernel->Observe().TotalWalks(), 0u);
   w.kernel->obs().Reset();
   obs::ObsSnapshot snap = w.kernel->Observe();
@@ -508,13 +508,13 @@ TEST(Observe, HeatSectionAttributesHitsAndMisses) {
   auto fd = w.root->Open("/h/hot", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
-  EXPECT_OK(w.root->StatPath("/h/hot"));  // populate the fastpath
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/h/hot", 0));  // populate the fastpath
   for (int i = 0; i < 50; ++i) {
-    EXPECT_OK(w.root->StatPath("/h/hot"));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/h/hot", 0));
   }
   // Fresh (uncached) paths fast-miss; their parent dir is the miss source.
   for (int i = 0; i < 20; ++i) {
-    EXPECT_ERR(w.root->StatPath("/h/miss" + std::to_string(i)),
+    EXPECT_ERR(w.root->Statx(kAtFdCwd, "/h/miss" + std::to_string(i), 0),
                Errno::kENOENT);
   }
 
@@ -540,7 +540,7 @@ TEST(Observe, JournalRecordsCoherenceEvents) {
   auto fd = w.root->Open("/j/sub/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
-  EXPECT_OK(w.root->StatPath("/j/sub/f"));  // cache the subtree
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/j/sub/f", 0));  // cache the subtree
   ASSERT_OK(w.root->Rename("/j/sub", "/j/sub2"));
   ASSERT_OK(w.root->Chmod("/j/sub2", 0700));
   ASSERT_OK(w.root->Unlink("/j/sub2/f"));
@@ -597,7 +597,7 @@ TEST(Observe, JournalCarriesParallelInvalidationPayloads) {
     ASSERT_OK(w.root->Close(*fd));
   }
   for (int i = 0; i < 400; ++i) {
-    EXPECT_OK(w.root->StatPath("/p/f" + std::to_string(i)));  // cache it
+    EXPECT_OK(w.root->Statx(kAtFdCwd, "/p/f" + std::to_string(i), 0));  // cache it
   }
   ASSERT_OK(w.root->Chmod("/p", 0700));
 
@@ -651,7 +651,7 @@ TEST(Observe, ChromeTraceExportsJournalAndWalks) {
   auto fd = w.root->Open("/t/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
-  EXPECT_OK(w.root->StatPath("/t/f"));
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/t/f", 0));
   ASSERT_OK(w.root->Rename("/t/f", "/t/g"));
   std::string trace = w.kernel->Observe().ToChromeTrace();
   // Shape: an object with a traceEvents array of complete events carrying
@@ -679,7 +679,7 @@ TEST(Observe, SamplerBuildsATimeline) {
   // Keep walking while the sampler ticks a few windows.
   for (int round = 0; round < 10; ++round) {
     for (int i = 0; i < 200; ++i) {
-      EXPECT_OK(w.root->StatPath("/s/f"));
+      EXPECT_OK(w.root->Statx(kAtFdCwd, "/s/f", 0));
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
@@ -720,7 +720,7 @@ TEST(Observe, SamplerWatchdogFlagsInvalidationSpike) {
   auto fd = w.root->Open("/w/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
-  EXPECT_OK(w.root->StatPath("/w/f"));
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/w/f", 0));
   // An invalidation storm: rename the cached entry back and forth while
   // the sampler watches.
   for (int round = 0; round < 25; ++round) {
@@ -852,7 +852,7 @@ TEST(Trace, ForcedStatxProducesSpanTreeAndAttribution) {
   auto fd = w.root->Open("/a/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
-  EXPECT_OK(w.root->StatPath("/a/f"));  // warm the fastpath
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/a/f", 0));  // warm the fastpath
 
   // trace_sample_every defaults to 0: nothing is traced without the force
   // flag, so the warm loop above left the attributor untouched.
@@ -989,7 +989,7 @@ TEST(Trace, WatchdogTripDumpsFlightRecorder) {
 TEST(Trace, ManualDumpBumpsCounterAndAuditStaysQuiet) {
   TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
   ASSERT_OK(w.root->Mkdir("/d"));
-  EXPECT_OK(w.root->StatPath("/d"));
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/d", 0));
   // A clean audit must NOT dump the flight recorder.
   obs::AuditReport report = w.kernel->Audit();
   EXPECT_TRUE(report.clean()) << report.ToText();
@@ -1054,14 +1054,14 @@ TEST(Audit, CleanAfterMixedWorkload) {
     auto fd = w.root->Open(p, kOCreat | kOWrite);
     ASSERT_OK(fd);
     ASSERT_OK(w.root->Close(*fd));
-    EXPECT_OK(w.root->StatPath(p));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, p, 0));
   }
   ASSERT_OK(w.root->Rename("/a/b", "/a/b2"));
   ASSERT_OK(w.root->Chmod("/a/b2", 0700));
   ASSERT_OK(w.root->Unlink("/a/b2/c/f0"));
   ASSERT_OK(w.root->Symlink("/a/b2", "/link"));
-  EXPECT_OK(w.root->StatPath("/link/c/f1"));
-  EXPECT_ERR(w.root->StatPath("/a/b2/c/missing"), Errno::kENOENT);
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/link/c/f1", 0));
+  EXPECT_ERR(w.root->Statx(kAtFdCwd, "/a/b2/c/missing", 0), Errno::kENOENT);
 
   obs::AuditReport report = w.kernel->Audit();
   EXPECT_TRUE(report.clean()) << report.ToText();
@@ -1079,14 +1079,14 @@ TEST(Audit, CleanAfterDropCachesAndOnBaseline) {
   auto fd = w.root->Open("/d/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
-  EXPECT_OK(w.root->StatPath("/d/f"));
+  EXPECT_OK(w.root->Statx(kAtFdCwd, "/d/f", 0));
   w.kernel->DropCaches();
   obs::AuditReport report = w.kernel->Audit();
   EXPECT_TRUE(report.clean()) << report.ToText();
 
   TestWorld base(CacheConfig::Baseline());
   ASSERT_OK(base.root->Mkdir("/x"));
-  EXPECT_OK(base.root->StatPath("/x"));
+  EXPECT_OK(base.root->Statx(kAtFdCwd, "/x", 0));
   obs::AuditReport base_report = base.kernel->Audit();
   EXPECT_TRUE(base_report.clean()) << base_report.ToText();
 }

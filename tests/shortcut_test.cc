@@ -1,0 +1,287 @@
+// Directory-shortcut miss fallback (DESIGN.md §14): on a final-probe DLHT
+// miss the walker resumes from the deepest cached ancestor instead of the
+// walk base. These tests pin the probe order (longest prefix first), the
+// signature-keyed prefix-PCC entries, the taxonomy rows, and the soundness
+// story under racing renames (a stale ancestor must force a root restart,
+// never a wrong answer).
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/pcc.h"
+#include "src/core/signature.h"
+#include "src/util/rng.h"
+#include "src/vfs/walk.h"
+#include "tests/test_util.h"
+
+namespace dircache {
+namespace {
+
+class ShortcutTest : public ::testing::Test {
+ protected:
+  ShortcutTest() : world_(CacheConfig::Optimized()) {}
+
+  CacheStats& S() { return world_.kernel->stats(); }
+  Task& T() { return *world_.root; }
+
+  TestWorld world_;
+};
+
+// The probe tries the longest prefix first: with the whole chain warm, a
+// miss on a fresh leaf resumes one component short of the full path.
+TEST_F(ShortcutTest, ResumesFromDeepestCachedAncestor) {
+  ASSERT_OK(T().Mkdir("/a"));
+  ASSERT_OK(T().Mkdir("/a/b"));
+  ASSERT_OK(T().Mkdir("/a/b/c"));
+  auto fd = T().Open("/a/b/c/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  // Warm the chain: the slowpath populates /a, /a/b, /a/b/c and f.
+  ASSERT_OK(T().Statx(kAtFdCwd, "/a/b/c/f", 0));
+  auto g = T().Open("/a/b/c/g", kOCreat | kOWrite);
+  ASSERT_OK(g);
+  ASSERT_OK(T().Close(*g));
+
+  const uint64_t resumes = S().shortcut_resumes.value();
+  const uint64_t skipped = S().shortcut_skipped.value();
+  // g is in the dcache (the create walked to its parent) but not in the
+  // DLHT: the final probe misses, and the deepest cached ancestor is its
+  // direct parent /a/b/c — three components skipped out of four.
+  ASSERT_OK(T().Statx(kAtFdCwd, "/a/b/c/g", 0));
+  EXPECT_EQ(S().shortcut_resumes.value() - resumes, 1u);
+  EXPECT_EQ(S().shortcut_skipped.value() - skipped, 3u);
+  // The resumed walk populated g: the next lookup is a plain fast hit.
+  const uint64_t fast = S().fastpath_hits.value();
+  ASSERT_OK(T().Statx(kAtFdCwd, "/a/b/c/g", 0));
+  EXPECT_EQ(S().fastpath_hits.value() - fast, 1u);
+}
+
+// Probe order across a gap: when only a shallow ancestor is cached, every
+// deeper prefix is probed (and misses) before the shallow one is taken.
+TEST_F(ShortcutTest, ProbesSuccessivelyShorterPrefixes) {
+  ASSERT_OK(T().Mkdir("/a"));
+  ASSERT_OK(T().Mkdir("/a/b"));
+  ASSERT_OK(T().Mkdir("/a/b/c"));
+  auto fd = T().Open("/a/b/c/g", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  // Start cold, then warm ONLY /a.
+  world_.kernel->DropCaches();
+  ASSERT_OK(T().Statx(kAtFdCwd, "/a", 0));
+
+  const uint64_t probes = S().shortcut_probes.value();
+  const uint64_t resumes = S().shortcut_resumes.value();
+  const uint64_t skipped = S().shortcut_skipped.value();
+  ASSERT_OK(T().Statx(kAtFdCwd, "/a/b/c/g", 0));
+  // Longest-first: /a/b/c (miss), /a/b (miss), then /a (hit) — exactly
+  // three prefix probes, one resume, one component of walking saved.
+  EXPECT_EQ(S().shortcut_probes.value() - probes, 3u);
+  EXPECT_EQ(S().shortcut_resumes.value() - resumes, 1u);
+  EXPECT_EQ(S().shortcut_skipped.value() - skipped, 1u);
+  // The resumed suffix walk populated the intermediate dirs: a sibling
+  // lookup now resumes from /a/b/c, skipping three components.
+  const uint64_t skipped2 = S().shortcut_skipped.value();
+  auto h = T().Open("/a/b/c/h", kOCreat | kOWrite);
+  ASSERT_OK(h);
+  ASSERT_OK(T().Close(*h));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/a/b/c/h", 0));
+  EXPECT_EQ(S().shortcut_skipped.value() - skipped2, 3u);
+}
+
+// A single-component path has no proper prefix: the probe must not run.
+TEST_F(ShortcutTest, SingleComponentPathsSkipTheProbe) {
+  auto fd = T().Open("/only", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  const uint64_t probes = S().shortcut_probes.value();
+  ASSERT_OK(T().Statx(kAtFdCwd, "/only", 0));
+  EXPECT_EQ(S().shortcut_probes.value() - probes, 0u);
+}
+
+// Resumed walks return the same errors a full walk would: a missing leaf
+// under a cached ancestor is ENOENT through the shortcut too, and the
+// permission outcome for an unprivileged cred is unchanged.
+TEST_F(ShortcutTest, ResumedWalkPreservesErrorsAndPermissions) {
+  ASSERT_OK(T().Mkdir("/p"));
+  ASSERT_OK(T().Mkdir("/p/q"));
+  ASSERT_OK(T().Chmod("/p/q", 0700));
+  auto fd = T().Open("/p/q/secret", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/p/q/secret", 0));
+
+  const uint64_t resumes = S().shortcut_resumes.value();
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/p/q/absent", 0), Errno::kENOENT);
+  EXPECT_EQ(S().shortcut_resumes.value() - resumes, 1u);
+
+  // An unprivileged cred has no prefix memo for root's warm chain; its
+  // walk must take the ordinary slowpath and still be denied at /p/q.
+  TaskPtr user = world_.UserTask(1000, 1000);
+  EXPECT_ERR(user->Statx(kAtFdCwd, "/p/q/secret", 0), Errno::kEACCES);
+}
+
+// The prefix memo is per-credential: one cred's warm chain must never seed
+// another cred's resume (that would skip the second cred's search checks).
+TEST_F(ShortcutTest, PrefixMemoIsPerCredential) {
+  ASSERT_OK(T().Mkdir("/shared"));
+  ASSERT_OK(T().Mkdir("/shared/open"));
+  ASSERT_OK(T().Chmod("/shared", 0755));
+  ASSERT_OK(T().Chmod("/shared/open", 0755));
+  auto fd = T().Open("/shared/open/f", kOCreat | kOWrite, 0644);
+  ASSERT_OK(fd);
+  ASSERT_OK(T().Close(*fd));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/shared/open/f", 0));
+
+  TaskPtr user = world_.UserTask(1000, 1000);
+  auto g = T().Open("/shared/open/g", kOCreat | kOWrite, 0644);
+  ASSERT_OK(g);
+  ASSERT_OK(T().Close(*g));
+  const uint64_t resumes = S().shortcut_resumes.value();
+  // The user's first look at g: the DLHT holds /shared/open (inserted under
+  // root's walks, DLHT is namespace-global) but the USER's PCC has no memo
+  // for it yet, so the probe must decline and the full slowpath runs — the
+  // result is still correct.
+  ASSERT_OK(user->Statx(kAtFdCwd, "/shared/open/g", 0));
+  EXPECT_EQ(S().shortcut_resumes.value() - resumes, 0u);
+}
+
+// Signature-keyed prefix entries share the table with pointer-keyed ones
+// without colliding, and go stale the moment the seq moves.
+TEST(PrefixPcc, KeyingAndStaleness) {
+  Pcc pcc(64 * 1024);
+  Signature sig{};
+  sig.words = {0x1111111111111111ull, 0x2222222222222222ull,
+               0x3333333333333333ull, 0x4444444444444444ull};
+  sig.bucket = 7;
+
+  EXPECT_FALSE(pcc.LookupPrefix(sig, 5));
+  pcc.InsertPrefix(sig, 5);
+  EXPECT_TRUE(pcc.LookupPrefix(sig, 5));
+  // Seq moved (ancestor invalidated): the memo is dead.
+  EXPECT_FALSE(pcc.LookupPrefix(sig, 6));
+
+  // A different signature maps to a different key.
+  Signature other = sig;
+  other.words[2] ^= 0xff;
+  EXPECT_FALSE(pcc.LookupPrefix(other, 5));
+
+  // The bucket hint is not part of signature identity (equality is words
+  // only): the same words under a different bucket are the same entry.
+  Signature rebucketed = sig;
+  rebucketed.bucket = 99;
+  EXPECT_TRUE(pcc.LookupPrefix(rebucketed, 5));
+
+  // Keys never collide with the pointer-keyed space: user-space pointers
+  // shifted right by 3 have bit 63 clear, prefix keys force it set — and
+  // the reserved empty/busy encodings (0 and 1) are unreachable.
+  const uint64_t key = Pcc::PrefixKeyFor(sig);
+  EXPECT_NE(key, 0u);
+  EXPECT_NE(key, 1u);
+  EXPECT_NE(key & (1ull << 63), 0u);
+}
+
+// Rename/invalidation racing resumed walks: every observed result must be
+// one that was true at some point, and the structures must audit clean.
+// The mutator's subtree invalidations continually kill ancestors that
+// readers are resuming from; the seq/coherence-gate validation then forces
+// the root restart path (shortcut_restarts) rather than a wrong answer.
+TEST_F(ShortcutTest, RenameRacesResumedWalks) {
+  ASSERT_OK(T().Mkdir("/warm"));
+  ASSERT_OK(T().Mkdir("/warm/sub"));
+  constexpr int kFiles = 32;
+  for (int i = 0; i < kFiles; ++i) {
+    auto fd = T().Open("/warm/sub/f" + std::to_string(i), kOCreat | kOWrite);
+    ASSERT_OK(fd);
+    ASSERT_OK(T().Close(*fd));
+  }
+  ASSERT_OK(T().Statx(kAtFdCwd, "/warm/sub/f0", 0));  // warm the chain
+
+  std::atomic<int> active{2};
+  std::atomic<uint64_t> fresh{kFiles};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      TaskPtr task = world_.root->Fork();
+      // Bounded iterations (not a stop flag): each fresh ENOENT may cache
+      // a negative dentry, and an unbounded subtree would make the
+      // mutator's per-rename invalidation pass quadratically slow.
+      for (int it = 0; it < 2500; ++it) {
+        // Never-seen leaves under a warm dir: each stat is a final-probe
+        // miss that tries to resume from /warm/sub (or /warm) mid-rename.
+        std::string p =
+            "/warm/sub/n" + std::to_string(fresh.fetch_add(1));
+        auto st = task->Statx(kAtFdCwd, p, 0);
+        EXPECT_TRUE(!st.ok()) << "fresh name cannot exist";
+        EXPECT_TRUE(st.error() == Errno::kENOENT)
+            << ErrnoName(st.error()) << " for " << p;
+        // And a real file that exists under exactly one of the two names.
+        auto real = task->Statx(kAtFdCwd, "/warm/sub/f7", 0);
+        EXPECT_TRUE(real.ok() || real.error() == Errno::kENOENT)
+            << ErrnoName(real.error());
+      }
+      active.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  TaskPtr mut = world_.root->Fork();
+  // Keep renaming until the readers drain; stop on the name-restoring
+  // (odd) iteration so the tree settles at /warm.
+  for (int i = 0;; ++i) {
+    ASSERT_OK(mut->Rename((i & 1) != 0 ? "/warm2" : "/warm",
+                          (i & 1) != 0 ? "/warm" : "/warm2"));
+    if ((i & 1) != 0 && active.load(std::memory_order_acquire) == 0) {
+      break;
+    }
+    if ((i & 63) == 0) {
+      std::this_thread::yield();
+    }
+  }
+  for (auto& t : readers) {
+    t.join();
+  }
+  EXPECT_GT(S().shortcut_resumes.value(), 0u);
+  for (int i = 0; i < kFiles; ++i) {
+    EXPECT_OK(T().Statx(kAtFdCwd, "/warm/sub/f" + std::to_string(i), 0));
+  }
+  obs::AuditReport report = world_.kernel->Audit();
+  EXPECT_TRUE(report.clean()) << report.ToText();
+}
+
+// The new taxonomy rows flow through the observability snapshot: a resumed
+// walk classifies as fast_miss_shortcut_hit, an eligible miss with nothing
+// cached as fast_miss_shortcut_none.
+TEST(ShortcutObs, TaxonomyRowsClassify) {
+  TestWorld w(CacheConfig::Optimized(), nullptr, ObsConfig::Enabled());
+  Task& t = *w.root;
+  ASSERT_OK(t.Mkdir("/o"));
+  ASSERT_OK(t.Mkdir("/o/d"));
+  auto fd = t.Open("/o/d/f", kOCreat | kOWrite);
+  ASSERT_OK(fd);
+  ASSERT_OK(t.Close(*fd));
+  ASSERT_OK(t.Statx(kAtFdCwd, "/o/d/f", 0));
+  auto g = t.Open("/o/d/g", kOCreat | kOWrite);
+  ASSERT_OK(g);
+  ASSERT_OK(t.Close(*g));
+
+  obs::ObsSnapshot before = w.kernel->Observe();
+  ASSERT_OK(t.Statx(kAtFdCwd, "/o/d/g", 0));  // resume from /o/d
+  obs::ObsSnapshot after = w.kernel->Observe();
+  auto row = [](const obs::ObsSnapshot& s, obs::WalkOutcome o) {
+    return s.outcomes[static_cast<size_t>(o)];
+  };
+  EXPECT_EQ(row(after, obs::WalkOutcome::kFastMissShortcutHit) -
+                row(before, obs::WalkOutcome::kFastMissShortcutHit),
+            1u);
+
+  // Cold caches, warm nothing: the probe runs and finds no ancestor.
+  w.kernel->DropCaches();
+  before = w.kernel->Observe();
+  ASSERT_OK(t.Statx(kAtFdCwd, "/o/d/g", 0));
+  after = w.kernel->Observe();
+  EXPECT_EQ(row(after, obs::WalkOutcome::kFastMissShortcutNone) -
+                row(before, obs::WalkOutcome::kFastMissShortcutNone),
+            1u);
+}
+
+}  // namespace
+}  // namespace dircache

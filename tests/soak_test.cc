@@ -61,7 +61,7 @@ TEST(SoakTest, EverythingAtOnce) {
                                       std::to_string(rng.Below(24)));
             break;
           case 3:
-            (void)task->StatPath(f);
+            (void)task->Statx(kAtFdCwd, f, 0);
             break;
           case 4: {
             auto dfd = task->Open(prefix, kORead | kODirectory);
@@ -91,9 +91,9 @@ TEST(SoakTest, EverythingAtOnce) {
     ASSERT_OK(ns_task->Mkdir("/nsmnt"));
     ASSERT_OK(ns_task->Mount("/nsmnt", priv));
     while (!stop.load(std::memory_order_acquire)) {
-      EXPECT_OK(ns_task->StatPath("/nsmnt/flag"));
-      (void)ns_task->StatPath("/work/t0/f1");
-      (void)ns_task->StatPath("/proc/nothing");
+      EXPECT_OK(ns_task->Statx(kAtFdCwd, "/nsmnt/flag", 0));
+      (void)ns_task->Statx(kAtFdCwd, "/work/t0/f1", 0);
+      (void)ns_task->Statx(kAtFdCwd, "/proc/nothing", 0);
     }
   });
 
@@ -140,8 +140,8 @@ TEST(SoakTest, EverythingAtOnce) {
     // Everything listed must stat, through both the real path and the
     // symlinked alias path.
     for (const auto& name : listed) {
-      EXPECT_OK(root.StatPath(base + "/" + name));
-      EXPECT_OK(root.StatPath("/w/t" + std::to_string(id) + "/" + name));
+      EXPECT_OK(root.Statx(kAtFdCwd, base + "/" + name, 0));
+      EXPECT_OK(root.Statx(kAtFdCwd, "/w/t" + std::to_string(id) + "/" + name, 0));
     }
   }
 

@@ -88,7 +88,7 @@ class SyscallTest : public ::testing::TestWithParam<Variant> {
 TEST_P(SyscallTest, MkdirStatRoundTrip) {
   ASSERT_OK(T().Mkdir("/a"));
   ASSERT_OK(T().Mkdir("/a/b", 0700));
-  auto st = T().StatPath("/a/b");
+  auto st = T().Statx(kAtFdCwd, "/a/b", 0);
   ASSERT_OK(st);
   EXPECT_TRUE(st->IsDir());
   EXPECT_EQ(st->mode, 0700);
@@ -106,7 +106,7 @@ TEST_P(SyscallTest, CreateWriteReadFile) {
   ASSERT_OK(n);
   EXPECT_EQ(buf, "hello world");
   ASSERT_OK(T().Close(*fd));
-  auto st = T().StatPath("/d/file.txt");
+  auto st = T().Statx(kAtFdCwd, "/d/file.txt", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 11u);
   EXPECT_TRUE(st->IsRegular());
@@ -119,7 +119,7 @@ TEST_P(SyscallTest, RepeatedStatsHitCache) {
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
   for (int i = 0; i < 100; ++i) {
-    ASSERT_OK(T().StatPath("/x/y/z"));
+    ASSERT_OK(T().Statx(kAtFdCwd, "/x/y/z", 0));
   }
   if (world_.kernel->config().fastpath) {
     // After warmup, almost all of those resolve on the fastpath.
@@ -129,19 +129,19 @@ TEST_P(SyscallTest, RepeatedStatsHitCache) {
 
 TEST_P(SyscallTest, EnoentOnMissing) {
   ASSERT_OK(T().Mkdir("/p"));
-  EXPECT_ERR(T().StatPath("/p/missing"), Errno::kENOENT);
-  EXPECT_ERR(T().StatPath("/p/missing"), Errno::kENOENT);  // cached negative
-  EXPECT_ERR(T().StatPath("/nope/deep/path"), Errno::kENOENT);
-  EXPECT_ERR(T().StatPath("/nope/deep/path"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/p/missing", 0), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/p/missing", 0), Errno::kENOENT);  // cached negative
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/nope/deep/path", 0), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/nope/deep/path", 0), Errno::kENOENT);
 }
 
 TEST_P(SyscallTest, EnotdirOnFileComponent) {
   auto fd = T().Open("/plain", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  EXPECT_ERR(T().StatPath("/plain/sub"), Errno::kENOTDIR);
-  EXPECT_ERR(T().StatPath("/plain/sub"), Errno::kENOTDIR);
-  EXPECT_ERR(T().StatPath("/plain/sub/deeper"), Errno::kENOTDIR);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/plain/sub", 0), Errno::kENOTDIR);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/plain/sub", 0), Errno::kENOTDIR);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/plain/sub/deeper", 0), Errno::kENOTDIR);
 }
 
 TEST_P(SyscallTest, UnlinkRemovesAndNegativeCaches) {
@@ -149,13 +149,13 @@ TEST_P(SyscallTest, UnlinkRemovesAndNegativeCaches) {
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().Unlink("/victim"));
-  EXPECT_ERR(T().StatPath("/victim"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/victim", 0), Errno::kENOENT);
   EXPECT_ERR(T().Unlink("/victim"), Errno::kENOENT);
   // Re-create over the (possibly cached-negative) name.
   auto fd2 = T().Open("/victim", kOCreat | kOWrite);
   ASSERT_OK(fd2);
   ASSERT_OK(T().Close(*fd2));
-  EXPECT_OK(T().StatPath("/victim"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/victim", 0));
 }
 
 TEST_P(SyscallTest, RmdirSemantics) {
@@ -164,7 +164,7 @@ TEST_P(SyscallTest, RmdirSemantics) {
   EXPECT_ERR(T().Rmdir("/dir"), Errno::kENOTEMPTY);
   ASSERT_OK(T().Rmdir("/dir/sub"));
   ASSERT_OK(T().Rmdir("/dir"));
-  EXPECT_ERR(T().StatPath("/dir"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/dir", 0), Errno::kENOENT);
   auto fd = T().Open("/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
@@ -180,8 +180,8 @@ TEST_P(SyscallTest, RenameFileBasic) {
   ASSERT_OK(T().WriteFd(*fd, "data"));
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().Rename("/a/f", "/b/g"));
-  EXPECT_ERR(T().StatPath("/a/f"), Errno::kENOENT);
-  auto st = T().StatPath("/b/g");
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/a/f", 0), Errno::kENOENT);
+  auto st = T().Statx(kAtFdCwd, "/b/g", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 4u);
 }
@@ -193,12 +193,12 @@ TEST_P(SyscallTest, RenameDirectoryMovesSubtree) {
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
   // Warm the caches on the old paths.
-  ASSERT_OK(T().StatPath("/src/kid/leaf"));
-  ASSERT_OK(T().StatPath("/src/kid/leaf"));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/src/kid/leaf", 0));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/src/kid/leaf", 0));
   ASSERT_OK(T().Rename("/src", "/dst"));
-  EXPECT_ERR(T().StatPath("/src/kid/leaf"), Errno::kENOENT);
-  EXPECT_OK(T().StatPath("/dst/kid/leaf"));
-  EXPECT_OK(T().StatPath("/dst/kid/leaf"));
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/src/kid/leaf", 0), Errno::kENOENT);
+  EXPECT_OK(T().Statx(kAtFdCwd, "/dst/kid/leaf", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/dst/kid/leaf", 0));
 }
 
 TEST_P(SyscallTest, RenameOntoExistingFileReplaces) {
@@ -211,10 +211,10 @@ TEST_P(SyscallTest, RenameOntoExistingFileReplaces) {
   mk("/one", "111");
   mk("/two", "22222");
   ASSERT_OK(T().Rename("/one", "/two"));
-  auto st = T().StatPath("/two");
+  auto st = T().Statx(kAtFdCwd, "/two", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 3u);
-  EXPECT_ERR(T().StatPath("/one"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/one", 0), Errno::kENOENT);
 }
 
 TEST_P(SyscallTest, RenameDirIntoOwnSubtreeFails) {
@@ -229,14 +229,14 @@ TEST_P(SyscallTest, HardLinksShareInode) {
   ASSERT_OK(T().WriteFd(*fd, "shared"));
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().Link("/orig", "/alias"));
-  auto st1 = T().StatPath("/orig");
-  auto st2 = T().StatPath("/alias");
+  auto st1 = T().Statx(kAtFdCwd, "/orig", 0);
+  auto st2 = T().Statx(kAtFdCwd, "/alias", 0);
   ASSERT_OK(st1);
   ASSERT_OK(st2);
   EXPECT_EQ(st1->ino, st2->ino);
   EXPECT_EQ(st2->nlink, 2u);
   ASSERT_OK(T().Unlink("/orig"));
-  auto st3 = T().StatPath("/alias");
+  auto st3 = T().Statx(kAtFdCwd, "/alias", 0);
   ASSERT_OK(st3);
   EXPECT_EQ(st3->nlink, 1u);
 }
@@ -248,15 +248,15 @@ TEST_P(SyscallTest, SymlinkResolution) {
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().Symlink("/real", "/link"));
   // stat follows; lstat does not.
-  auto st = T().StatPath("/link");
+  auto st = T().Statx(kAtFdCwd, "/link", 0);
   ASSERT_OK(st);
   EXPECT_TRUE(st->IsDir());
-  auto lst = T().LstatPath("/link");
+  auto lst = T().Statx(kAtFdCwd, "/link", kAtSymlinkNoFollow);
   ASSERT_OK(lst);
   EXPECT_TRUE(lst->IsSymlink());
   // Resolution through the link (repeatedly — exercises alias caching).
   for (int i = 0; i < 5; ++i) {
-    EXPECT_OK(T().StatPath("/link/file"));
+    EXPECT_OK(T().Statx(kAtFdCwd, "/link/file", 0));
   }
   auto target = T().ReadLink("/link");
   ASSERT_OK(target);
@@ -270,16 +270,16 @@ TEST_P(SyscallTest, RelativeSymlink) {
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().Symlink("sub", "/dir/rel"));
-  EXPECT_OK(T().StatPath("/dir/rel/f"));
-  EXPECT_OK(T().StatPath("/dir/rel/f"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/dir/rel/f", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/dir/rel/f", 0));
 }
 
 TEST_P(SyscallTest, SymlinkLoopsReturnEloop) {
   ASSERT_OK(T().Symlink("/self", "/self"));
-  EXPECT_ERR(T().StatPath("/self/x"), Errno::kELOOP);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/self/x", 0), Errno::kELOOP);
   ASSERT_OK(T().Symlink("/ping", "/pong"));
   ASSERT_OK(T().Symlink("/pong", "/ping"));
-  EXPECT_ERR(T().StatPath("/ping/x"), Errno::kELOOP);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/ping/x", 0), Errno::kELOOP);
 }
 
 TEST_P(SyscallTest, DotAndDotDot) {
@@ -288,12 +288,12 @@ TEST_P(SyscallTest, DotAndDotDot) {
   auto fd = T().Open("/w/file", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  EXPECT_OK(T().StatPath("/w/./file"));
-  EXPECT_OK(T().StatPath("/w/in/../file"));
-  EXPECT_OK(T().StatPath("/w/in/../file"));  // repeat: fastpath dot-dot
-  EXPECT_OK(T().StatPath("/w/in/../../w/file"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/w/./file", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/w/in/../file", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/w/in/../file", 0));  // repeat: fastpath dot-dot
+  EXPECT_OK(T().Statx(kAtFdCwd, "/w/in/../../w/file", 0));
   // ".." above root stays at root.
-  EXPECT_OK(T().StatPath("/../../w/file"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/../../w/file", 0));
 }
 
 TEST_P(SyscallTest, ChdirAndRelativePaths) {
@@ -306,10 +306,10 @@ TEST_P(SyscallTest, ChdirAndRelativePaths) {
   auto cwd = T().Getcwd();
   ASSERT_OK(cwd);
   EXPECT_EQ(*cwd, "/home/alice");
-  EXPECT_OK(T().StatPath("doc"));
-  EXPECT_OK(T().StatPath("doc"));  // relative fastpath (resumed hash state)
-  EXPECT_OK(T().StatPath("./doc"));
-  EXPECT_OK(T().StatPath("../alice/doc"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "doc", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "doc", 0));  // relative fastpath (resumed hash state)
+  EXPECT_OK(T().Statx(kAtFdCwd, "./doc", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "../alice/doc", 0));
   ASSERT_OK(T().Chdir("/"));
 }
 
@@ -335,8 +335,7 @@ TEST_P(SyscallTest, StatxUnifiedEntryPoint) {
   ASSERT_OK(T().WriteFd(*fd, "abc"));
   ASSERT_OK(T().Symlink("/sx/file", "/sx/link"));
 
-  // Plain path stat follows symlinks; NOFOLLOW stats the link itself —
-  // exactly what the StatPath/LstatPath shims forward to.
+  // Plain path stat follows symlinks; NOFOLLOW stats the link itself.
   auto st = T().Statx(kAtFdCwd, "/sx/link", 0);
   ASSERT_OK(st);
   EXPECT_TRUE(st->IsRegular());
@@ -344,7 +343,7 @@ TEST_P(SyscallTest, StatxUnifiedEntryPoint) {
   auto lst = T().Statx(kAtFdCwd, "/sx/link", kAtSymlinkNoFollow);
   ASSERT_OK(lst);
   EXPECT_TRUE(lst->IsSymlink());
-  auto via_lstat = T().LstatPath("/sx/link");
+  auto via_lstat = T().Statx(kAtFdCwd, "/sx/link", kAtSymlinkNoFollow);
   ASSERT_OK(via_lstat);
   EXPECT_EQ(lst->ino, via_lstat->ino);
 
@@ -458,14 +457,14 @@ TEST_P(SyscallTest, TruncateAndAppend) {
   ASSERT_OK(T().WriteFd(*fd, "0123456789"));
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().Truncate("/t", 4));
-  auto st = T().StatPath("/t");
+  auto st = T().Statx(kAtFdCwd, "/t", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 4u);
   auto afd = T().Open("/t", kOWrite | kOAppend);
   ASSERT_OK(afd);
   ASSERT_OK(T().WriteFd(*afd, "xy"));
   ASSERT_OK(T().Close(*afd));
-  st = T().StatPath("/t");
+  st = T().Statx(kAtFdCwd, "/t", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 6u);
 }
@@ -489,7 +488,7 @@ TEST_P(SyscallTest, UnlinkedButOpenFileStillUsable) {
   ASSERT_OK(fd);
   ASSERT_OK(T().WriteFd(*fd, "spooky"));
   ASSERT_OK(T().Unlink("/ghost"));
-  EXPECT_ERR(T().StatPath("/ghost"), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/ghost", 0), Errno::kENOENT);
   auto st = T().Fstat(*fd);
   ASSERT_OK(st);
   EXPECT_EQ(st->size, 6u);
@@ -506,7 +505,7 @@ TEST_P(SyscallTest, DeepPathsWork) {
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
   for (int i = 0; i < 3; ++i) {
-    EXPECT_OK(T().StatPath(path + "/leaf"));
+    EXPECT_OK(T().Statx(kAtFdCwd, path + "/leaf", 0));
   }
 }
 
@@ -515,7 +514,7 @@ TEST_P(SyscallTest, TrailingSlashRequiresDirectory) {
   auto fd = T().Open("/sd/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  EXPECT_OK(T().StatPath("/sd/"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/sd/", 0));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -11,7 +11,7 @@ TEST(InodeCacheTest, IgetDedupsAndRefCounts) {
   auto fd = w.root->Open("/f", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(w.root->Close(*fd));
-  auto st = w.root->StatPath("/f");
+  auto st = w.root->Statx(kAtFdCwd, "/f", 0);
   ASSERT_OK(st);
   // Reaching into the superblock: same ino yields the same object.
   Dentry* d = w.kernel->dcache().LookupRef(w.root->root().dentry(), "f");
@@ -37,7 +37,7 @@ TEST(InodeCacheTest, AttrsMirrorSyscalls) {
   ASSERT_OK(w.root->Close(*fd));
   ASSERT_OK(w.root->Chmod("/attrs", 0600));
   ASSERT_OK(w.root->Chown("/attrs", 5, 6));
-  auto st = w.root->StatPath("/attrs");
+  auto st = w.root->Statx(kAtFdCwd, "/attrs", 0);
   ASSERT_OK(st);
   EXPECT_EQ(st->mode, 0600);
   EXPECT_EQ(st->uid, 5u);
@@ -97,8 +97,8 @@ TEST(ProfilerTest, RecordsPerSyscallTime) {
   ASSERT_OK(fd);
   ASSERT_OK(w.root->WriteFd(*fd, "x"));
   ASSERT_OK(w.root->Close(*fd));
-  ASSERT_OK(w.root->StatPath("/p"));
-  ASSERT_OK(w.root->StatPath("/p"));
+  ASSERT_OK(w.root->Statx(kAtFdCwd, "/p", 0));
+  ASSERT_OK(w.root->Statx(kAtFdCwd, "/p", 0));
   ASSERT_OK(w.root->Unlink("/p"));
   w.root->set_profiler(nullptr);
   EXPECT_EQ(profile.calls[static_cast<size_t>(SyscallKind::kStat)], 2u);
@@ -121,7 +121,7 @@ TEST(TeardownTest, KernelsComeAndGoCleanly) {
       auto fd = w.root->Open("/t/f" + std::to_string(i), kOCreat | kOWrite);
       ASSERT_OK(fd);
       ASSERT_OK(w.root->Close(*fd));
-      ASSERT_OK(w.root->StatPath("/t/f" + std::to_string(i)));
+      ASSERT_OK(w.root->Statx(kAtFdCwd, "/t/f" + std::to_string(i), 0));
     }
     ASSERT_OK(w.root->Mount("/t", std::make_shared<MemFs>()));
     TaskPtr other = w.root->Fork();
@@ -133,7 +133,7 @@ TEST(TeardownTest, KernelsComeAndGoCleanly) {
 TEST(StatsTest, ToStringMentionsEveryCounter) {
   TestWorld w(CacheConfig::Optimized());
   ASSERT_OK(w.root->Mkdir("/s"));
-  ASSERT_OK(w.root->StatPath("/s"));
+  ASSERT_OK(w.root->Statx(kAtFdCwd, "/s", 0));
   std::string s = w.kernel->stats().ToString();
   for (const char* key : {"lookups=", "fast_hit=", "slow=", "dc_hit=",
                           "neg=", "pcc_miss=", "dlht_miss=", "inval_walks=",

@@ -24,38 +24,38 @@ TEST_P(WalkEdgeTest, SlashRunsAndDotChainsNormalize) {
   for (const char* p :
        {"//a/b/f", "/a//b//f", "/a/./b/./f", "/././a/b/f", "/a/b/f",
         "/a/././b/f"}) {
-    EXPECT_OK(T().StatPath(p));
-    EXPECT_OK(T().StatPath(p));  // cached round
+    EXPECT_OK(T().Statx(kAtFdCwd, p, 0));
+    EXPECT_OK(T().Statx(kAtFdCwd, p, 0));  // cached round
   }
-  EXPECT_OK(T().StatPath("/a/b/"));
-  EXPECT_OK(T().StatPath("/a/b/."));
-  EXPECT_OK(T().StatPath("/a/b/.."));
-  EXPECT_ERR(T().StatPath("/a/b/f/."), Errno::kENOTDIR);
-  EXPECT_ERR(T().StatPath("/a/b/f/."), Errno::kENOTDIR);  // cached round
+  EXPECT_OK(T().Statx(kAtFdCwd, "/a/b/", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/a/b/.", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/a/b/..", 0));
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/a/b/f/.", 0), Errno::kENOTDIR);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/a/b/f/.", 0), Errno::kENOTDIR);  // cached round
 }
 
 TEST_P(WalkEdgeTest, NameAndPathLengthLimits) {
   std::string long_name(255, 'n');
   ASSERT_OK(T().Mkdir("/" + long_name));
-  EXPECT_OK(T().StatPath("/" + long_name));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/" + long_name, 0));
   std::string too_long(256, 'n');
   EXPECT_ERR(T().Mkdir("/" + too_long), Errno::kENAMETOOLONG);
-  EXPECT_ERR(T().StatPath("/" + too_long), Errno::kENAMETOOLONG);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/" + too_long, 0), Errno::kENAMETOOLONG);
   // Whole-path limit (PATH_MAX = 4096).
   std::string deep = "/" + long_name;
   std::string path(5000, 'x');
-  EXPECT_ERR(T().StatPath("/" + path), Errno::kENAMETOOLONG);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/" + path, 0), Errno::kENAMETOOLONG);
 }
 
 TEST_P(WalkEdgeTest, EmptyAndRootPaths) {
-  EXPECT_ERR(T().StatPath(""), Errno::kENOENT);
-  EXPECT_OK(T().StatPath("/"));
-  auto st = T().StatPath("/");
+  EXPECT_ERR(T().Statx(kAtFdCwd, "", 0), Errno::kENOENT);
+  EXPECT_OK(T().Statx(kAtFdCwd, "/", 0));
+  auto st = T().Statx(kAtFdCwd, "/", 0);
   ASSERT_OK(st);
   EXPECT_TRUE(st->IsDir());
-  EXPECT_OK(T().StatPath("///"));
-  EXPECT_OK(T().StatPath("/.."));
-  EXPECT_OK(T().StatPath("/../.."));
+  EXPECT_OK(T().Statx(kAtFdCwd, "///", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/..", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/../..", 0));
 }
 
 TEST_P(WalkEdgeTest, SymlinkChainsUpToDepthLimit) {
@@ -69,14 +69,14 @@ TEST_P(WalkEdgeTest, SymlinkChainsUpToDepthLimit) {
     ASSERT_OK(T().Symlink(prev, link));
     prev = link;
   }
-  EXPECT_OK(T().StatPath(prev));
-  EXPECT_OK(T().StatPath(prev));
+  EXPECT_OK(T().Statx(kAtFdCwd, prev, 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, prev, 0));
   for (int i = 30; i < 45; ++i) {
     std::string link = "/l" + std::to_string(i);
     ASSERT_OK(T().Symlink(prev, link));
     prev = link;
   }
-  EXPECT_ERR(T().StatPath(prev), Errno::kELOOP);
+  EXPECT_ERR(T().Statx(kAtFdCwd, prev, 0), Errno::kELOOP);
 }
 
 TEST_P(WalkEdgeTest, SymlinkWithEmbeddedDotDot) {
@@ -87,22 +87,22 @@ TEST_P(WalkEdgeTest, SymlinkWithEmbeddedDotDot) {
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
   ASSERT_OK(T().Symlink("../r/goal", "/p/q/jump"));
-  EXPECT_OK(T().StatPath("/p/q/jump"));
-  EXPECT_OK(T().StatPath("/p/q/jump"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/p/q/jump", 0));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/p/q/jump", 0));
 }
 
 TEST_P(WalkEdgeTest, DanglingSymlink) {
   ASSERT_OK(T().Symlink("/nowhere/far", "/dangle"));
-  EXPECT_ERR(T().StatPath("/dangle"), Errno::kENOENT);
-  EXPECT_ERR(T().StatPath("/dangle"), Errno::kENOENT);
-  EXPECT_OK(T().LstatPath("/dangle"));
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/dangle", 0), Errno::kENOENT);
+  EXPECT_ERR(T().Statx(kAtFdCwd, "/dangle", 0), Errno::kENOENT);
+  EXPECT_OK(T().Statx(kAtFdCwd, "/dangle", kAtSymlinkNoFollow));
   EXPECT_ERR(T().Open("/dangle", kORead), Errno::kENOENT);
   // Creating the target repairs resolution.
   ASSERT_OK(T().Mkdir("/nowhere"));
   auto fd = T().Open("/nowhere/far", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  EXPECT_OK(T().StatPath("/dangle"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/dangle", 0));
 }
 
 TEST_P(WalkEdgeTest, AtSyscallsFollowDirfdSemantics) {
@@ -127,7 +127,7 @@ TEST_P(WalkEdgeTest, AtSyscallsFollowDirfdSemantics) {
   EXPECT_ERR(T().FstatAt(*ffd, "x", 0), Errno::kENOTDIR);
   EXPECT_ERR(T().FstatAt(999, "x", 0), Errno::kEBADF);
   ASSERT_OK(T().MkdirAt(*dfd, "newdir"));
-  EXPECT_OK(T().StatPath("/base/newdir"));
+  EXPECT_OK(T().Statx(kAtFdCwd, "/base/newdir", 0));
   ASSERT_OK(T().UnlinkAt(*dfd, "newdir", /*rmdir=*/true));
 }
 
@@ -136,11 +136,11 @@ TEST_P(WalkEdgeTest, ForcedFastpathMissAlwaysCorrect) {
   auto fd = T().Open("/fm/file", kOCreat | kOWrite);
   ASSERT_OK(fd);
   ASSERT_OK(T().Close(*fd));
-  ASSERT_OK(T().StatPath("/fm/file"));
+  ASSERT_OK(T().Statx(kAtFdCwd, "/fm/file", 0));
   PathWalker::force_fastpath_miss = true;
   for (int i = 0; i < 10; ++i) {
-    EXPECT_OK(T().StatPath("/fm/file"));
-    EXPECT_ERR(T().StatPath("/fm/none"), Errno::kENOENT);
+    EXPECT_OK(T().Statx(kAtFdCwd, "/fm/file", 0));
+    EXPECT_ERR(T().Statx(kAtFdCwd, "/fm/none", 0), Errno::kENOENT);
   }
   PathWalker::force_fastpath_miss = false;
 }

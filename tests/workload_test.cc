@@ -29,17 +29,17 @@ TEST(TreeGenTest, DeterministicAndWellFormed) {
   EXPECT_GE(t1->files.size(), 400u);
   // Every recorded path must exist.
   for (const auto& f : t1->files) {
-    auto st = w1.root->StatPath(f);
+    auto st = w1.root->Statx(kAtFdCwd, f, 0);
     ASSERT_OK(st);
     EXPECT_TRUE(st->IsRegular());
   }
   for (const auto& d : t1->dirs) {
-    auto st = w1.root->StatPath(d);
+    auto st = w1.root->Statx(kAtFdCwd, d, 0);
     ASSERT_OK(st);
     EXPECT_TRUE(st->IsDir());
   }
   for (const auto& l : t1->symlinks) {
-    EXPECT_OK(w1.root->LstatPath(l));
+    EXPECT_OK(w1.root->Statx(kAtFdCwd, l, kAtSymlinkNoFollow));
   }
 }
 
@@ -85,11 +85,11 @@ TEST(AppsTest, TarThenRmRoundTrip) {
   // Every file has a copy.
   for (const auto& f : tree->files) {
     std::string copy = "/copy" + f.substr(4);  // strip "/src"
-    EXPECT_OK(w.root->StatPath(copy));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, copy, 0));
   }
   auto rm = RunRmRecursive(*w.root, "/copy");
   ASSERT_OK(rm);
-  EXPECT_ERR(w.root->StatPath("/copy"), Errno::kENOENT);
+  EXPECT_ERR(w.root->Statx(kAtFdCwd, "/copy", 0), Errno::kENOENT);
 }
 
 TEST(AppsTest, MakeCreatesObjects) {
@@ -105,7 +105,7 @@ TEST(AppsTest, MakeCreatesObjects) {
   size_t objs = 0;
   for (const auto& f : tree->files) {
     if (f.size() > 2 && f.compare(f.size() - 2, 2, ".c") == 0) {
-      if (w.root->StatPath(f.substr(0, f.size() - 2) + ".obj").ok()) {
+      if (w.root->Statx(kAtFdCwd, f.substr(0, f.size() - 2) + ".obj", 0).ok()) {
         ++objs;
       }
     }
@@ -126,7 +126,7 @@ TEST(AppsTest, UpdatedbWritesDatabase) {
   ASSERT_OK(tree);
   auto r = RunUpdatedb(*w.root, "/src", "/db");
   ASSERT_OK(r);
-  auto st = w.root->StatPath("/db");
+  auto st = w.root->Statx(kAtFdCwd, "/db", 0);
   ASSERT_OK(st);
   EXPECT_GT(st->size, 0u);
   EXPECT_GE(r->entries_visited, tree->files.size());
@@ -141,7 +141,7 @@ TEST(AppsTest, MkstempCreatesUniqueFiles) {
     auto name = RunMkstemp(*w.root, "/tmp", rng);
     ASSERT_OK(name);
     EXPECT_TRUE(names.insert(*name).second);
-    EXPECT_OK(w.root->StatPath(*name));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, *name, 0));
   }
 }
 
@@ -203,7 +203,7 @@ TEST(PccAutosizeTest, GrowsUnderThrash) {
   // Full-path stats of every file churn per-file PCC entries.
   for (int round = 0; round < 12; ++round) {
     for (const auto& f : tree->files) {
-      ASSERT_OK(w.root->StatPath(f));
+      ASSERT_OK(w.root->Statx(kAtFdCwd, f, 0));
     }
   }
   Pcc* pcc = w.root->cred()->pcc();
@@ -212,7 +212,7 @@ TEST(PccAutosizeTest, GrowsUnderThrash) {
   EXPECT_LE(pcc->bytes(), 64u * 1024u);
   // Behaviour stays correct throughout.
   for (const auto& f : tree->files) {
-    EXPECT_OK(w.root->StatPath(f));
+    EXPECT_OK(w.root->Statx(kAtFdCwd, f, 0));
   }
 }
 
