@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/common.h"
+#include "src/vfs/governor.h"
 #include "src/workload/apps.h"
 
 namespace dircache {
@@ -85,6 +86,22 @@ Env& TracedEnv() {
     ObsConfig obs = ObsConfig::Enabled();
     obs.trace_sample_every = 100;
     Env e = MakeEnv(Optimized(), 1 << 17, 1 << 16, obs);
+    BuildTree(e.T());
+    return e;
+  }();
+  return env;
+}
+
+// A sixth environment with the cache governor's policy thread running at
+// its default interval (DESIGN.md §15) and no byte budget, so every tick
+// is an idle measure-and-do-nothing pass. BM_Stat8CompGoverned vs
+// BM_Stat8Comp/1 prices that idle loop on the warm read path; bench_smoke
+// gates the regression at < 1% and the loop must stay shared-write-free.
+Env& GovernedEnv() {
+  static Env env = [] {
+    CacheConfig cfg = Optimized();
+    cfg.governor = true;
+    Env e = MakeEnv(cfg);
     BuildTree(e.T());
     return e;
   }();
@@ -260,6 +277,28 @@ void BM_Stat8CompObsSampler(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(tl.samples_taken));
 }
 BENCHMARK(BM_Stat8CompObsSampler);
+
+// Warm stat loop with the governor thread awake. governor_ticks proves the
+// policy loop really ran during the timed region; shared_writes_per_op
+// must stay 0 (the governor reads atomics, it does not touch the hit
+// path's cache lines unless it is actually resizing or evicting).
+void BM_Stat8CompGoverned(benchmark::State& state) {
+  Env& env = GovernedEnv();
+  StatCounterScope counters(env);
+  uint64_t ticks0 = env.kernel->governor() != nullptr
+                        ? env.kernel->governor()->ticks()
+                        : 0;
+  for (auto _ : state) {
+    auto r = env.T().Statx(kAtFdCwd, "/XXX/YYY/ZZZ/AAA/BBB/CCC/DDD/FFF", 0);
+    benchmark::DoNotOptimize(r);
+  }
+  counters.Report(state);
+  state.counters["governor_ticks"] = benchmark::Counter(
+      static_cast<double>(env.kernel->governor() != nullptr
+                              ? env.kernel->governor()->ticks() - ticks0
+                              : 0));
+}
+BENCHMARK(BM_Stat8CompGoverned);
 
 void BM_StatNegative(benchmark::State& state) {
   Env& env = EnvFor(state.range(0) != 0);

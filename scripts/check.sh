@@ -17,6 +17,10 @@
 #   scripts/check.sh --shortcut # + thread sanitizer pass over just the
 #                               #   miss-shortcut suite (label shortcut:
 #                               #   ancestor probes racing renames)
+#   scripts/check.sh --resize   # + thread sanitizer pass over just the
+#                               #   elastic-resize + governor suite (label
+#                               #   resize: readers and mutators racing
+#                               #   online table migration)
 #   scripts/check.sh --bench    # + run every benchmark binary
 #   scripts/check.sh --bench fig7
 #                               # + run only benchmarks whose name starts
@@ -33,6 +37,7 @@ TSAN=0
 SERVER=0
 OBS=0
 SHORTCUT=0
+RESIZE=0
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --full) FULL=1 ;;
@@ -40,6 +45,7 @@ while [[ $# -gt 0 ]]; do
     --server) SERVER=1 ;;
     --obs) OBS=1 ;;
     --shortcut) SHORTCUT=1 ;;
+    --resize) RESIZE=1 ;;
     --bench)
       BENCH=1
       if [[ $# -gt 1 && "${2:0:2}" != "--" ]]; then
@@ -111,6 +117,20 @@ if [[ "$SHORTCUT" == 1 ]]; then
   cmake --build build-tsan
   TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp history_size=7" \
     ctest --test-dir build-tsan --output-on-failure -L shortcut
+fi
+
+if [[ "$RESIZE" == 1 ]]; then
+  echo "== thread sanitizer (elastic-resize + governor suite) =="
+  # The elastic DLHT's cross-thread surface: the two-candidate reader probe
+  # and validated-lock writers racing BeginResize/MigrateStep, epoch
+  # retirement of old tables under concurrent readers, and the governor's
+  # eviction/steering passes (label resize). Reuses the --tsan build tree.
+  cmake -B build-tsan -G Ninja -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+  cmake --build build-tsan
+  TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp history_size=7" \
+    ctest --test-dir build-tsan --output-on-failure -L resize
 fi
 
 if [[ "$OBS" == 1 ]]; then

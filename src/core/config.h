@@ -87,6 +87,28 @@ struct CacheConfig {
   // Cap on deep-negative chain length created per lookup (memory guard).
   size_t deep_negative_limit = 8;
 
+  // --- DESIGN.md §15: elastic DLHT + memory-budget governor ---------------
+  // Byte budget the CacheGovernor keeps the cache complex under (DLHT
+  // tables + dentries + negatives + PCC memos). 0 = unlimited (the
+  // governor never shrinks on memory pressure).
+  size_t cache_memory_budget = 0;
+  // Run the background governor thread. Off by default: policy actions are
+  // deliberately not part of the paper-equivalence configurations, and
+  // tests/benches that want determinism drive CacheGovernor::Tick() by
+  // hand instead.
+  bool governor = false;
+  uint64_t governor_interval_us = 10 * 1000;
+  // Geometry fence for online resize (both powers of two).
+  size_t dlht_min_buckets = 1 << 6;
+  size_t dlht_max_buckets = 1 << 22;
+  // Old buckets migrated per governor tick while a resize is in flight.
+  size_t dlht_resize_step = 512;
+  // Grow when the sampled chain-length p99 of the target table exceeds
+  // this (and the byte budget has headroom); shrink the table when the
+  // load factor falls below dlht_shrink_load (entries per bucket).
+  size_t dlht_grow_chain_p99 = 4;
+  double dlht_shrink_load = 0.125;
+
   // A fully optimized configuration (every paper feature on).
   static CacheConfig Optimized() {
     CacheConfig c;

@@ -1,5 +1,6 @@
 #include "src/core/dlht.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace dircache {
@@ -10,17 +11,27 @@ bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
 }  // namespace
 
-Dlht::Dlht(size_t buckets) : buckets_(buckets), mask_(buckets - 1) {
+Dlht::Dlht(size_t buckets) {
   assert(IsPowerOfTwo(buckets));
+  Table* t = new Table(buckets);
+  View* v = new View{t, t};
+  view_.store(v, std::memory_order_release);
 }
 
 Dlht::~Dlht() {
-  // The owning namespace unhashes all dentries before destroying the table.
-  // Nothing to free here: nodes are embedded in dentries.
+  // The owning namespace unhashes all dentries before destroying the table;
+  // by contract no readers are probing a table being destroyed. Generations
+  // retired by completed resizes free through the epoch domain on their own.
+  View* v = view_.load(std::memory_order_relaxed);
+  if (v->from != v->to) {
+    delete v->to;
+  }
+  delete v->from;
+  delete v;
 }
 
-FastDentry* Dlht::Lookup(const Signature& sig, CacheStats* stats) const {
-  const Bucket& bucket = BucketFor(sig);
+FastDentry* Dlht::ProbeChain(const Bucket& bucket, const Signature& sig,
+                             CacheStats* stats, bool count_hit) {
   for (HNode* n = bucket.chain.First(); n != nullptr;
        n = n->next.load(std::memory_order_acquire)) {
     auto* fd = FromHNode<FastDentry, &FastDentry::dlht_node>(n);
@@ -34,7 +45,7 @@ FastDentry* Dlht::Lookup(const Signature& sig, CacheStats* stats) const {
       continue;  // concurrent rewrite; treat as non-match
     }
     if (match) {
-      if (stats != nullptr) {
+      if (count_hit && stats != nullptr) {
         stats->dlht_hits.Add();
       }
       return fd;
@@ -46,35 +57,125 @@ FastDentry* Dlht::Lookup(const Signature& sig, CacheStats* stats) const {
   return nullptr;
 }
 
+FastDentry* Dlht::Lookup(const Signature& sig, CacheStats* stats) const {
+  const View* v = view_.load(std::memory_order_acquire);
+  const Table* from = v->from;
+  const size_t bo = sig.bucket & from->mask;
+  if (v->from == v->to) {
+    return ProbeChain(from->buckets[bo], sig, stats, /*count_hit=*/true);
+  }
+  // Split in flight: at most two candidates, no stores, no locks. If the
+  // old home is already behind the cursor its chain has been emptied into
+  // the new table, so only the new home can hold the entry. If it is not,
+  // probe old-then-new: the second probe closes the window where the
+  // migrator moved this very bucket after our cursor sample.
+  const Table* to = v->to;
+  const Bucket& nb = to->buckets[sig.bucket & to->mask];
+  if (v->cursor.load(std::memory_order_acquire) <= bo) {
+    if (FastDentry* fd =
+            ProbeChain(from->buckets[bo], sig, stats, /*count_hit=*/true)) {
+      return fd;
+    }
+  }
+  return ProbeChain(nb, sig, stats, /*count_hit=*/true);
+}
+
 FastDentry* Dlht::ProbePrefix(const Signature& sig, CacheStats* stats) const {
   if (stats != nullptr) {
     stats->shortcut_probes.Add();
   }
-  const Bucket& bucket = BucketFor(sig);
-  for (HNode* n = bucket.chain.First(); n != nullptr;
-       n = n->next.load(std::memory_order_acquire)) {
-    auto* fd = FromHNode<FastDentry, &FastDentry::dlht_node>(n);
-    uint32_t s = fd->state_seq.ReadBegin();
-    bool match = fd->signature == sig;
-    if (fd->state_seq.ReadRetry(s)) {
-      continue;  // concurrent rewrite; treat as non-match
-    }
-    if (match) {
+  const View* v = view_.load(std::memory_order_acquire);
+  const Table* from = v->from;
+  const size_t bo = sig.bucket & from->mask;
+  if (v->from == v->to) {
+    return ProbeChain(from->buckets[bo], sig, stats, /*count_hit=*/false);
+  }
+  const Table* to = v->to;
+  const Bucket& nb = to->buckets[sig.bucket & to->mask];
+  if (v->cursor.load(std::memory_order_acquire) <= bo) {
+    if (FastDentry* fd =
+            ProbeChain(from->buckets[bo], sig, stats, /*count_hit=*/false)) {
       return fd;
     }
-    if (stats != nullptr) {
-      stats->dlht_collisions.Add();
-    }
   }
-  return nullptr;
+  return ProbeChain(nb, sig, stats, /*count_hit=*/false);
+}
+
+Dlht::Bucket* Dlht::WriterBucketFor(View* v, const Signature& sig,
+                                    bool* is_from, size_t* from_index) {
+  if (v->from == v->to) {
+    *is_from = true;
+    *from_index = sig.bucket & v->from->mask;
+    return &v->from->buckets[*from_index];
+  }
+  const size_t bo = sig.bucket & v->from->mask;
+  if (v->cursor.load(std::memory_order_acquire) > bo) {
+    *is_from = false;
+    *from_index = bo;
+    return &v->to->buckets[sig.bucket & v->to->mask];
+  }
+  *is_from = true;
+  *from_index = bo;
+  return &v->from->buckets[bo];
 }
 
 void Dlht::Insert(FastDentry* fd) {
   assert(fd->on_dlht.load(std::memory_order_relaxed) == nullptr);
-  Bucket& bucket = BucketFor(fd->signature);
-  SpinGuard guard(bucket.lock);
-  bucket.chain.PushFront(&fd->dlht_node);
-  fd->on_dlht.store(this, std::memory_order_release);
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  while (true) {
+    View* v = view_.load(std::memory_order_acquire);
+    bool is_from;
+    size_t bo;
+    Bucket* bucket = WriterBucketFor(v, fd->signature, &is_from, &bo);
+    SpinGuard guard(bucket->lock);
+    // Validated-lock protocol: the view may have advanced (resize started
+    // or completed) or the migrator may have drained this very bucket
+    // between the unlocked choice and taking the lock. Re-check both; with
+    // the checks passing, an old bucket we hold cannot migrate (the
+    // migrator needs this lock) and a new bucket stays a valid home (the
+    // cursor never regresses).
+    if (view_.load(std::memory_order_acquire) != v) {
+      continue;
+    }
+    if (is_from && v->from != v->to &&
+        v->cursor.load(std::memory_order_acquire) > bo) {
+      continue;
+    }
+    bucket->chain.PushFront(&fd->dlht_node);
+    fd->on_dlht.store(this, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+}
+
+bool Dlht::RemoveOwned(FastDentry* fd) {
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  while (true) {
+    View* v = view_.load(std::memory_order_acquire);
+    bool is_from;
+    size_t bo;
+    // The signature is stable here (the caller holds the dentry lock, which
+    // guards signature rewrites), so it still names the entry's home under
+    // whatever view we validate against.
+    Bucket* bucket = WriterBucketFor(v, fd->signature, &is_from, &bo);
+    SpinGuard guard(bucket->lock);
+    if (view_.load(std::memory_order_acquire) != v) {
+      continue;
+    }
+    if (is_from && v->from != v->to &&
+        v->cursor.load(std::memory_order_acquire) > bo) {
+      continue;
+    }
+    // A concurrent batched flush may unhash the entry between the caller's
+    // on_dlht load and this lock — re-check under it.
+    if (fd->on_dlht.load(std::memory_order_relaxed) != this) {
+      return false;
+    }
+    bucket->chain.Remove(&fd->dlht_node);
+    fd->on_dlht.store(nullptr, std::memory_order_release);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
 }
 
 bool Dlht::RemoveFromCurrent(FastDentry* fd) {
@@ -83,62 +184,266 @@ bool Dlht::RemoveFromCurrent(FastDentry* fd) {
     if (table == nullptr) {
       return false;
     }
-    // The signature is stable here (the caller holds the dentry lock, which
-    // guards signature rewrites), so it still names the bucket the entry
-    // was inserted under. A concurrent batched flush may unhash the entry
-    // between the load above and taking the lock — re-check under it.
-    Bucket& bucket = table->BucketFor(fd->signature);
-    SpinGuard guard(bucket.lock);
-    if (fd->on_dlht.load(std::memory_order_relaxed) != table) {
-      continue;  // flushed concurrently; re-examine (it can only go null)
+    if (table->RemoveOwned(fd)) {
+      return true;
     }
-    bucket.chain.Remove(&fd->dlht_node);
-    fd->on_dlht.store(nullptr, std::memory_order_release);
-    return true;
+    // Flushed concurrently; re-examine (it can only go null while the
+    // dentry lock is held).
   }
 }
 
-size_t Dlht::RemoveBatch(size_t bucket_index, FastDentry* const* fds,
-                         size_t n) {
+bool Dlht::RemoveEntryUnowned(FastDentry* fd) {
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  while (true) {
+    if (fd->on_dlht.load(std::memory_order_acquire) != this) {
+      return false;
+    }
+    // No dentry lock here, so the signature may be mid-rewrite — but a
+    // rewrite unhashes first, so a torn read means the entry left the
+    // table; loop back to the membership check.
+    uint32_t s = fd->state_seq.ReadBegin();
+    Signature sig = fd->signature;
+    if (fd->state_seq.ReadRetry(s)) {
+      continue;
+    }
+    View* v = view_.load(std::memory_order_acquire);
+    bool is_from;
+    size_t bo;
+    Bucket* bucket = WriterBucketFor(v, sig, &is_from, &bo);
+    SpinGuard guard(bucket->lock);
+    if (view_.load(std::memory_order_acquire) != v) {
+      continue;
+    }
+    if (is_from && v->from != v->to &&
+        v->cursor.load(std::memory_order_acquire) > bo) {
+      continue;
+    }
+    if (fd->on_dlht.load(std::memory_order_relaxed) != this) {
+      return false;
+    }
+    // The signature sample may already be stale (unhashed and re-inserted
+    // under a new name): only a node found on THIS locked chain may be
+    // spliced out of it.
+    for (HNode* node = bucket->chain.First(); node != nullptr;
+         node = node->next.load(std::memory_order_acquire)) {
+      if (node == &fd->dlht_node) {
+        bucket->chain.Remove(&fd->dlht_node);
+        fd->on_dlht.store(nullptr, std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;  // moved buckets since it was sampled; skip
+  }
+}
+
+size_t Dlht::RemoveBatch(size_t bucket_key, FastDentry* const* fds, size_t n) {
   if (n == 0) {
     return 0;
   }
-  Bucket& bucket = buckets_[bucket_index & mask_];
-  SpinGuard guard(bucket.lock);
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  View* v = view_.load(std::memory_order_acquire);
+  if (v->from == v->to) {
+    Bucket& bucket = v->from->buckets[bucket_key & v->from->mask];
+    SpinGuard guard(bucket.lock);
+    if (view_.load(std::memory_order_acquire) == v) {
+      // Stable fastpath: the whole batch against one locked chain.
+      size_t removed = 0;
+      for (size_t i = 0; i < n; ++i) {
+        FastDentry* fd = fds[i];
+        // Between batching (under the dentry lock) and this flush the entry
+        // may have been unhashed, or unhashed and re-inserted under a
+        // different signature (a different bucket, possibly of a different
+        // table). Only a node found on THIS locked chain may be spliced out
+        // of it.
+        bool present = false;
+        for (HNode* node = bucket.chain.First(); node != nullptr;
+             node = node->next.load(std::memory_order_acquire)) {
+          if (node == &fd->dlht_node) {
+            present = true;
+            break;
+          }
+        }
+        if (!present) {
+          continue;
+        }
+        bucket.chain.Remove(&fd->dlht_node);
+        fd->on_dlht.store(nullptr, std::memory_order_release);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        ++removed;
+      }
+      return removed;
+    }
+    // A resize raced the flush; fall through to the per-entry path.
+  }
+  // Resize in flight: the batch's shared key no longer pins one bucket for
+  // certain (its members may straddle the split cursor), so flush each
+  // entry through the validated-lock protocol instead.
   size_t removed = 0;
   for (size_t i = 0; i < n; ++i) {
-    FastDentry* fd = fds[i];
-    // Between batching (under the dentry lock) and this flush the entry may
-    // have been unhashed, or unhashed and re-inserted under a different
-    // signature (a different bucket, possibly of a different table). Only a
-    // node found on THIS locked chain may be spliced out of it.
-    bool present = false;
-    for (HNode* node = bucket.chain.First(); node != nullptr;
-         node = node->next.load(std::memory_order_acquire)) {
-      if (node == &fd->dlht_node) {
-        present = true;
-        break;
-      }
+    if (RemoveEntryUnowned(fds[i])) {
+      ++removed;
     }
-    if (!present) {
-      continue;
-    }
-    bucket.chain.Remove(&fd->dlht_node);
-    fd->on_dlht.store(nullptr, std::memory_order_release);
-    ++removed;
   }
   return removed;
 }
 
-size_t Dlht::SizeSlow() const {
-  size_t n = 0;
-  for (const Bucket& bucket : buckets_) {
-    for (HNode* node = bucket.chain.First(); node != nullptr;
-         node = node->next.load(std::memory_order_acquire)) {
-      ++n;
-    }
+bool Dlht::BeginResize(size_t new_buckets, CacheStats* stats) {
+  SpinGuard control(resize_mu_);
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  View* v = view_.load(std::memory_order_acquire);
+  if (v->from != v->to) {
+    return false;  // already in flight
   }
-  return n;
+  const size_t cur = v->from->buckets.size();
+  if (!IsPowerOfTwo(new_buckets) ||
+      (new_buckets != cur * 2 && new_buckets != cur / 2)) {
+    return false;  // one doubling or halving per resize
+  }
+  Table* to = new Table(new_buckets);
+  View* nv = new View{v->from, to};
+  view_.store(nv, std::memory_order_release);
+  EpochDomain::Global().RetireObject(v);
+  if (stats != nullptr) {
+    stats->dlht_resizes.Add();
+  }
+  return true;
+}
+
+size_t Dlht::MigrateStep(size_t max_buckets, CacheStats* stats) {
+  SpinGuard control(resize_mu_);
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  View* v = view_.load(std::memory_order_acquire);
+  if (v->from == v->to) {
+    return 0;
+  }
+  Table* from = v->from;
+  Table* to = v->to;
+  const size_t old_count = from->buckets.size();
+  const bool grow = to->buckets.size() > old_count;
+  size_t done = 0;
+  while (done < max_buckets) {
+    // Only the control plane advances the cursor and we hold resize_mu_.
+    const size_t b = v->cursor.load(std::memory_order_relaxed);
+    if (b >= old_count) {
+      break;
+    }
+    Bucket& src = from->buckets[b];
+    SpinGuard src_guard(src.lock);
+    if (grow) {
+      // Old bucket b splits into new buckets b and b + old_count.
+      Bucket& lo = to->buckets[b];
+      Bucket& hi = to->buckets[b + old_count];
+      SpinGuard lo_guard(lo.lock);
+      SpinGuard hi_guard(hi.lock);
+      HNode* n = src.chain.First();
+      while (n != nullptr) {
+        // PushFront repoints n->next at the destination chain, so a reader
+        // standing on a migrated node walks into the new chain — every next
+        // still terminates, the worst case is a safe false miss.
+        HNode* next = n->next.load(std::memory_order_relaxed);
+        auto* fd = FromHNode<FastDentry, &FastDentry::dlht_node>(n);
+        // Signature words are stable: a rewrite requires unhashing, which
+        // needs the src lock we hold.
+        Bucket& dst = (fd->signature.bucket & to->mask) == b ? lo : hi;
+        src.chain.Remove(n);
+        dst.chain.PushFront(n);
+        n = next;
+      }
+      // Publish the migrated cursor BEFORE dropping the src lock (guards
+      // unwind destinations first, src last): any writer that then locks
+      // old bucket b sees cursor > b and retries against the new table.
+      v->cursor.store(b + 1, std::memory_order_release);
+    } else {
+      Bucket& dst = to->buckets[b & to->mask];
+      SpinGuard dst_guard(dst.lock);
+      HNode* n = src.chain.First();
+      while (n != nullptr) {
+        HNode* next = n->next.load(std::memory_order_relaxed);
+        src.chain.Remove(n);
+        dst.chain.PushFront(n);
+        n = next;
+      }
+      v->cursor.store(b + 1, std::memory_order_release);
+    }
+    ++done;
+  }
+  if (stats != nullptr && done > 0) {
+    stats->dlht_buckets_migrated.Add(done);
+  }
+  if (v->cursor.load(std::memory_order_relaxed) >= old_count) {
+    // Migration complete: publish the stable view, retire the old
+    // generation through the epoch domain (readers may still be probing
+    // the old table's empty chains until they exit their guards).
+    View* nv = new View{to, to};
+    view_.store(nv, std::memory_order_release);
+    EpochDomain::Global().RetireObject(v);
+    EpochDomain::Global().RetireObject(from);
+  }
+  return done;
+}
+
+bool Dlht::resize_in_flight() const {
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  View* v = view_.load(std::memory_order_acquire);
+  return v->from != v->to;
+}
+
+size_t Dlht::bucket_count() const {
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  return view_.load(std::memory_order_acquire)->to->buckets.size();
+}
+
+size_t Dlht::memory_bytes() const {
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  View* v = view_.load(std::memory_order_acquire);
+  size_t bytes = sizeof(Dlht) + sizeof(View) +
+                 sizeof(Table) + v->to->buckets.size() * sizeof(Bucket);
+  if (v->from != v->to) {
+    bytes += sizeof(Table) + v->from->buckets.size() * sizeof(Bucket);
+  }
+  return bytes;
+}
+
+Dlht::ChainSample Dlht::SampleChains(size_t samples) const {
+  ChainSample out;
+  if (samples == 0) {
+    return out;
+  }
+  EpochDomain::ReadGuard epoch(EpochDomain::Global());
+  View* v = view_.load(std::memory_order_acquire);
+  Table* t = v->to;
+  const size_t nbuckets = t->buckets.size();
+  const size_t stride = nbuckets > samples ? nbuckets / samples : 1;
+  std::vector<size_t> lengths;
+  lengths.reserve(samples);
+  for (size_t b = 0; b < nbuckets && lengths.size() < samples; b += stride) {
+    size_t len = 0;
+    for (HNode* n = t->buckets[b].chain.First();
+         n != nullptr && len < 1024;  // bound a torn walk
+         n = n->next.load(std::memory_order_acquire)) {
+      ++len;
+    }
+    lengths.push_back(len);
+  }
+  out.sampled = lengths.size();
+  if (lengths.empty()) {
+    return out;
+  }
+  std::sort(lengths.begin(), lengths.end());
+  out.max_len = lengths.back();
+  size_t idx = (lengths.size() * 99) / 100;
+  if (idx >= lengths.size()) {
+    idx = lengths.size() - 1;
+  }
+  out.p99_len = lengths[idx];
+  return out;
+}
+
+size_t Dlht::SizeSlow() const {
+  size_t total = 0;
+  const_cast<Dlht*>(this)->ForEachEntry([&total](FastDentry*) { ++total; });
+  return total;
 }
 
 }  // namespace dircache

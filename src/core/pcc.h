@@ -38,9 +38,11 @@ class Pcc {
   static constexpr size_t kWays = 4;
 
   // `bytes` is the total table size; entries are 16 bytes each. When
-  // `track_occupancy` is set, lookups maintain a miss-rate window so a
-  // kernel policy can grow the table (§6.5's future-work item: a
-  // "production system would dynamically resize the PCC").
+  // `track_occupancy` is set, lookups maintain a miss-rate window that
+  // feeds two consumers: Cred::GrowPcc's per-walk autosize step and the
+  // CacheGovernor's PCC-pressure attribution (src/vfs/governor.cc), which
+  // journals when the PCC — not the DLHT — is the bottleneck under a
+  // memory budget.
   explicit Pcc(size_t bytes, bool track_occupancy = false);
 
   // True if (dentry, seq) is present — i.e. the memoized prefix check for
@@ -102,6 +104,18 @@ class Pcc {
   size_t sets() const { return sets_; }
   size_t capacity_entries() const { return sets_ * kWays; }
   size_t bytes() const { return capacity_entries() * sizeof(Entry); }
+
+  // Occupied (non-empty) entries, for the snapshot memory block and the
+  // governor's PCC-pressure signal. O(capacity) racy scan; policy-grade.
+  size_t OccupiedEntries() const {
+    size_t n = 0;
+    for (const Entry& e : entries_) {
+      if (e.key.load(std::memory_order_relaxed) != 0) {
+        ++n;
+      }
+    }
+    return n;
+  }
 
   // Audit iteration: invoke `fn(key, seq)` for every occupied entry, where
   // `key` is the shifted dentry pointer and `seq` the memoized version

@@ -314,11 +314,24 @@ AuditReport RunAudit(Kernel& kernel, const std::vector<const Pcc*>& pccs) {
     }
   }
 
-  // 5. DLHT entries, per namespace.
+  // 5. DLHT entries, per namespace. The iteration is resize-aware (it
+  // covers un-migrated old buckets plus the new table when a migration is
+  // parked mid-flight), so the walked count must match the maintained size
+  // counter exactly at quiescence.
   for (const MountNamespacePtr& ns : kernel.namespaces_) {
     Dlht* table = &ns->dlht();
-    table->ForEachEntry(
-        [&](FastDentry* fd) { a.CheckDlhtEntry(fd, table, ns->id()); });
+    uint64_t walked = 0;
+    table->ForEachEntry([&](FastDentry* fd) {
+      ++walked;
+      a.CheckDlhtEntry(fd, table, ns->id());
+    });
+    if (walked != table->size()) {
+      a.Violate(AuditCheck::kDlhtEntry,
+                Format("namespace %" PRIu64 "'s DLHT size counter says %zu "
+                       "but the table holds %" PRIu64
+                       " entries (lost during a resize?)",
+                       ns->id(), table->size(), walked));
+    }
   }
 
   // 6. PCC sequence sanity: no entry memoizes a version the global counter

@@ -26,6 +26,14 @@ const char* JournalArgName(JournalEvent e, int arg) {
       return arg == 0 ? "rmdir" : "arg1";
     case JournalEvent::kEpochAdvance:
       return arg == 0 ? "epoch" : "arg1";
+    case JournalEvent::kDlhtResize:
+      return arg == 0 ? "old_buckets" : "new_buckets";
+    case JournalEvent::kDlhtMigrate:
+      return arg == 0 ? "migrated" : "buckets";
+    case JournalEvent::kGovernorShrink:
+      return arg == 0 ? "total_bytes" : "evicted";
+    case JournalEvent::kPccPressure:
+      return arg == 0 ? "occupied" : "capacity";
     default:
       switch (arg) {
         case 0:

@@ -41,6 +41,14 @@ enum class JournalEvent : uint8_t {
   kInvalWorker,       // one worker's share of a parallel invalidation pass
                       //   (arg0=worker index, arg1=dentries visited); nested
                       //   inside the owning kInvalidateSubtree span
+  kDlhtResize,        // elastic DLHT resize begun (instant, DESIGN.md §15;
+                      //   arg0=old buckets, arg1=new buckets)
+  kDlhtMigrate,       // elastic DLHT resize completed (instant; arg0=buckets
+                      //   migrated, arg1=final bucket count)
+  kGovernorShrink,    // governor budget-enforcement pass (arg0=accounted
+                      //   bytes at entry, arg1=dentries evicted)
+  kPccPressure,       // PCC (not the DLHT) is the bottleneck under budget
+                      //   (instant; arg0=occupied entries, arg1=capacity)
   kCount,
 };
 
@@ -69,6 +77,14 @@ inline const char* JournalEventName(JournalEvent e) {
       return "epoch_advance";
     case JournalEvent::kInvalWorker:
       return "inval_worker";
+    case JournalEvent::kDlhtResize:
+      return "dlht_resize";
+    case JournalEvent::kDlhtMigrate:
+      return "dlht_migrate";
+    case JournalEvent::kGovernorShrink:
+      return "governor_shrink";
+    case JournalEvent::kPccPressure:
+      return "pcc_pressure";
     case JournalEvent::kCount:
       break;
   }

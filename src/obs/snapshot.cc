@@ -254,6 +254,32 @@ std::string ObsSnapshot::ToText() const {
               s.slow_walks, s.invalidations, s.p50_ns, s.p99_ns);
     }
   }
+  if (memory.dentry_count != 0 || memory.dlht_buckets != 0) {
+    Appendf(&out,
+            "  memory: %" PRIu64 " bytes accounted%s (budget %" PRIu64
+            ")\n",
+            memory.total_bytes,
+            memory.dlht_resize_in_flight ? ", DLHT resize in flight" : "",
+            memory.budget_bytes);
+    Appendf(&out,
+            "    dentries=%" PRIu64 " (%" PRIu64 " neg, %" PRIu64
+            " bytes) dlht=%" PRIu64 " buckets/%" PRIu64 " entries/%" PRIu64
+            " bytes\n",
+            memory.dentry_count, memory.negative_dentries,
+            memory.dentry_bytes, memory.dlht_buckets, memory.dlht_entries,
+            memory.dlht_bytes);
+    Appendf(&out,
+            "    pcc=%" PRIu64 " tables/%" PRIu64 "/%" PRIu64
+            " entries/%" PRIu64 " bytes\n",
+            memory.pcc_count, memory.pcc_entries, memory.pcc_capacity,
+            memory.pcc_bytes);
+    for (const TenantMemory& t : memory.tenants) {
+      Appendf(&out,
+              "    tenant %-10u dentries=%-8" PRIu64 " negatives=%" PRIu64
+              "\n",
+              t.tenant, t.dentries, t.negatives);
+    }
+  }
   if (!counters.empty()) {
     Appendf(&out, "  counters:\n");
     for (const auto& [label, value] : counters) {
@@ -339,7 +365,33 @@ std::string ObsSnapshot::ToJson() const {
             TraceOpName(static_cast<TraceOp>(i)));
     AppendAttributionJson(&out, attribution[i]);
   }
-  Appendf(&out, "},\"flight_dumps\":%" PRIu64 "}", flight_dumps);
+  // v4 section (additions only; see the version-bump note in snapshot.h).
+  out += "},\"memory\":{";
+  Appendf(&out,
+          "\"budget_bytes\":%" PRIu64 ",\"total_bytes\":%" PRIu64
+          ",\"dentry_count\":%" PRIu64 ",\"dentry_bytes\":%" PRIu64
+          ",\"negative_dentries\":%" PRIu64,
+          memory.budget_bytes, memory.total_bytes, memory.dentry_count,
+          memory.dentry_bytes, memory.negative_dentries);
+  Appendf(&out,
+          ",\"dlht_bytes\":%" PRIu64 ",\"dlht_buckets\":%" PRIu64
+          ",\"dlht_entries\":%" PRIu64 ",\"dlht_resize_in_flight\":%s",
+          memory.dlht_bytes, memory.dlht_buckets, memory.dlht_entries,
+          memory.dlht_resize_in_flight ? "true" : "false");
+  Appendf(&out,
+          ",\"pcc_count\":%" PRIu64 ",\"pcc_bytes\":%" PRIu64
+          ",\"pcc_entries\":%" PRIu64 ",\"pcc_capacity\":%" PRIu64
+          ",\"tenants\":[",
+          memory.pcc_count, memory.pcc_bytes, memory.pcc_entries,
+          memory.pcc_capacity);
+  for (size_t i = 0; i < memory.tenants.size(); ++i) {
+    const TenantMemory& t = memory.tenants[i];
+    Appendf(&out,
+            "%s{\"tenant\":%u,\"dentries\":%" PRIu64 ",\"negatives\":%" PRIu64
+            "}",
+            i == 0 ? "" : ",", t.tenant, t.dentries, t.negatives);
+  }
+  Appendf(&out, "]},\"flight_dumps\":%" PRIu64 "}", flight_dumps);
   return out;
 }
 

@@ -45,7 +45,14 @@ namespace obs {
 // nothing renamed, removed, or re-meant. The bump distinguishes "no spans
 // because the producer predates request tracing" from "no spans because
 // tracing is off". Readers of v2 documents parse v3 documents unmodified.
-inline constexpr int kObsSchemaVersion = 3;
+//
+// v3 -> v4: the `memory` section (cache memory accounting: dentry/DLHT/PCC
+// bytes, elastic-resize state, per-tenant charges; DESIGN.md §15) was ADDED
+// before `flight_dumps`, same contract: nothing renamed, removed, or
+// re-meant. The bump distinguishes "no memory section because the producer
+// predates the governor" from a zeroed section. Readers of v3 documents
+// parse v4 documents unmodified.
+inline constexpr int kObsSchemaVersion = 4;
 
 // Operations with a dedicated latency histogram. Keep in sync with
 // ObsOpName(). kInvalidate is the write-side cost the paper's Figure 7
@@ -153,6 +160,36 @@ struct OpAttribution {
   uint64_t spans_dropped = 0;  // spans lost to the per-trace cap
 };
 
+// One tenant's dentry-cache charge (schema v4 `memory.tenants` rows). The
+// governor's proportional shrinker reads the same counters; tenant 0 is the
+// kernel itself (roots, pre-cred instantiation), kTenantOverflow aggregates
+// every uid beyond the tracked-slot budget.
+struct TenantMemory {
+  uint32_t tenant = 0;
+  uint64_t dentries = 0;
+  uint64_t negatives = 0;
+};
+
+// Cache memory accounting (schema v4 `memory` section; DESIGN.md §15).
+// Filled by Kernel::Observe() from the live structures — always present,
+// even when obs recording is disabled, like the counter section.
+struct MemoryAccounting {
+  uint64_t budget_bytes = 0;    // Config::cache_memory_budget (0=unlimited)
+  uint64_t total_bytes = 0;     // the governor's accounted total
+  uint64_t dentry_count = 0;
+  uint64_t dentry_bytes = 0;    // dentry_count * approx per-dentry cost
+  uint64_t negative_dentries = 0;
+  uint64_t dlht_bytes = 0;      // bucket arrays across all namespaces
+  uint64_t dlht_buckets = 0;    // target geometry sum across namespaces
+  uint64_t dlht_entries = 0;
+  bool dlht_resize_in_flight = false;  // any namespace mid-migration
+  uint64_t pcc_count = 0;       // live PCC tables across registered creds
+  uint64_t pcc_bytes = 0;
+  uint64_t pcc_entries = 0;     // occupied entries (racy scan)
+  uint64_t pcc_capacity = 0;    // total entry slots
+  std::vector<TenantMemory> tenants;
+};
+
 struct ObsSnapshot {
   int schema_version = kObsSchemaVersion;
   bool enabled = false;
@@ -189,6 +226,10 @@ struct ObsSnapshot {
 
   // Tail-latency attribution totals, indexed by TraceOp.
   std::array<OpAttribution, kTraceOpCount> attribution{};
+
+  // --- schema v4 additions (absent from v1..v3 documents) ------------------
+  // Cache memory accounting + elastic-resize state (DESIGN.md §15).
+  MemoryAccounting memory;
 
   // Flight-recorder dumps fired so far (watchdog trips + audit failures).
   uint64_t flight_dumps = 0;

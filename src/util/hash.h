@@ -17,14 +17,17 @@
 
 namespace dircache {
 
-// 240-bit path signature + 16-bit hash bucket index.
+// 240-bit path signature + a pool of hash bucket-index bits.
 //
-// Four 64-bit lanes give 256 output bits, split exactly as §3.3 describes:
-// 240 signature bits plus a 16-bit bucket index taken from the low bits
-// (safe to expose alongside the signature in this construction).
+// Four 64-bit lanes give 256 output bits, split as §3.3 describes: the
+// signature words plus bucket-index bits taken from the low bits (safe to
+// expose alongside the signature in this construction). The paper pins 16
+// index bits; we carry 32 so an elastically resized DLHT (DESIGN.md §15)
+// can keep doubling past 2^16 buckets — each table uses only the low
+// log2(buckets) bits of the pool.
 struct Signature {
   std::array<uint64_t, 4> words{};
-  uint16_t bucket = 0;
+  uint32_t bucket = 0;
 
   friend bool operator==(const Signature& a, const Signature& b) {
     return a.words == b.words;  // bucket is derived; words decide equality
@@ -224,9 +227,9 @@ inline Signature PathHasher::Finalize(const HashState& state) const {
     auto li = static_cast<size_t>(lane);
     sig.words[li] = Fmix64(sums[li] + klen[lane] * len_plus_one);
   }
-  // Bucket index from the low bits, which are safe to expose alongside the
-  // signature (§3.3 discusses exactly this split).
-  sig.bucket = static_cast<uint16_t>(sig.words[3]);
+  // Bucket-index bits from the low bits, which are safe to expose alongside
+  // the signature (§3.3 discusses exactly this split).
+  sig.bucket = static_cast<uint32_t>(sig.words[3]);
   return sig;
 }
 

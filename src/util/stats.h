@@ -130,6 +130,10 @@ class ShardedCounter {
   /* Invalidation work. */                                                  \
   X(invalidation_walks, "inval_walks")                                      \
   X(invalidated_dentries, "inval_dentries")                                 \
+  /* Elastic DLHT + memory governor (DESIGN.md §15). */                     \
+  X(dlht_resizes, "dlht_resizes")     /* resize cycles started */           \
+  X(dlht_buckets_migrated, "dlht_migrated") /* buckets moved by steps */    \
+  X(governor_shrinks, "gov_shrinks")  /* budget-pressure shrink actions */  \
   /* Synchronization behaviour (for the scalability experiment). */         \
   X(locks_taken, "locks")             /* lock acquisitions on lookups */    \
   X(shared_writes, "shared_writes")   /* see below */

@@ -61,6 +61,12 @@ class Cred {
   }
   // The PCC if one exists (may be null).
   Pcc* pcc() const { return pcc_cache_.load(std::memory_order_acquire); }
+  // Shared ownership of the PCC, for the kernel's registry (the governor
+  // accounts PCC bytes across creds; DESIGN.md §15). May be null.
+  std::shared_ptr<Pcc> pcc_shared() const {
+    SpinGuard guard(pcc_lock_);
+    return pcc_;
+  }
 
   // Dynamic PCC resizing (§6.5 future work): replace the table with a
   // larger one, up to `max_bytes`. The old table drains through the epoch

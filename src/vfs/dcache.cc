@@ -82,7 +82,8 @@ Dentry* DentryCache::LookupRef(Dentry* parent, std::string_view name) {
 
 Result<Dentry*> DentryCache::AddChild(Dentry* parent, std::string_view name,
                                       Inode* inode, uint32_t flags,
-                                      InodeNum stub_ino, FileType stub_type,
+                                      uint32_t tenant, InodeNum stub_ino,
+                                      FileType stub_type,
                                       Dentry* alias_target) {
   auto drop_inputs = [&] {
     if (inode != nullptr) {
@@ -111,6 +112,7 @@ Result<Dentry*> DentryCache::AddChild(Dentry* parent, std::string_view name,
       }
     }
     fresh = new Dentry(parent->sb(), parent, std::string(name), inode, flags);
+    fresh->tenant = tenant;
     fresh->alias_target.store(alias_target, std::memory_order_release);
     fresh->fast.seq.store(NewVersion(), std::memory_order_release);
   } else {
@@ -130,6 +132,7 @@ Result<Dentry*> DentryCache::AddChild(Dentry* parent, std::string_view name,
       }
     }
     fresh = new Dentry(parent->sb(), parent, std::string(name), inode, flags);
+    fresh->tenant = tenant;
     fresh->hash_key = key;
     fresh->stub_ino = stub_ino;
     fresh->stub_type = stub_type;
@@ -139,6 +142,7 @@ Result<Dentry*> DentryCache::AddChild(Dentry* parent, std::string_view name,
   parent->children.PushBack(fresh);
   parent_guard.Release();
   count_.fetch_add(1, std::memory_order_relaxed);
+  ChargeTenant(tenant, (flags & kDentNegative) != 0, +1);
   return fresh;
 }
 
@@ -146,6 +150,7 @@ Dentry* DentryCache::MakeRoot(SuperBlock* sb, Inode* inode) {
   auto* d = new Dentry(sb, nullptr, "", inode, kDentRoot);
   d->fast.seq.store(NewVersion(), std::memory_order_release);
   count_.fetch_add(1, std::memory_order_relaxed);
+  ChargeTenant(/*tenant=*/0, /*negative=*/false, +1);
   return d;
 }
 
@@ -187,6 +192,7 @@ void DentryCache::Release(Dentry* d) {
   Dentry* alias = d->alias_target.exchange(nullptr);
   Dentry* parent = d->parent();
   count_.fetch_sub(1, std::memory_order_relaxed);
+  ChargeTenant(d->tenant, d->TestFlags(kDentNegative), -1);
   // The inode reference is dropped by the *deferred* deleter, not here:
   // optimistic readers that found this dentry before it was unhashed may
   // still dereference d->inode() until the epoch turns over. An eager Iput
@@ -339,44 +345,149 @@ size_t DentryCache::ShrinkInternal(size_t max, bool second_chance) {
         break;
       }
     }
-    Dentry* parent = d->parent();
-    if (parent != nullptr) {
-      parent->lock.lock();
+    if (EvictOne(d)) {
+      ++evicted;
     }
-    d->lock.lock();
-    // Children, mounts, open files, and tasks all hold references, so a
-    // successful freeze (count 0 -> dead) proves the dentry is an unused
-    // leaf that is safe to tear down.
-    if (!d->FreezeForEviction()) {
-      d->lock.unlock();
-      if (parent != nullptr) {
-        parent->lock.unlock();
-      }
-      continue;  // busy; it re-enters the LRU at its next idle moment
-    }
-    Dlht::RemoveFromCurrent(&d->fast);
-    if (d->hash_node.hashed) {
-      HBucket& bucket = BucketForKey(d->hash_key);
-      SpinGuard guard(bucket.lock);
-      bucket.chain.Remove(&d->hash_node);
-    }
-    if (d->child_node.linked()) {
-      d->child_node.Unlink();
-    }
-    if (parent != nullptr) {
-      // Losing a cached child for space reasons invalidates directory
-      // completeness (§5.1).
-      parent->ClearFlags(kDentDirComplete);
-      parent->child_evict_gen.fetch_add(1, std::memory_order_acq_rel);
-    }
+  }
+  return evicted;
+}
+
+bool DentryCache::EvictOne(Dentry* d) {
+  Dentry* parent = d->parent();
+  if (parent != nullptr) {
+    parent->lock.lock();
+  }
+  d->lock.lock();
+  // Children, mounts, open files, and tasks all hold references, so a
+  // successful freeze (count 0 -> dead) proves the dentry is an unused
+  // leaf that is safe to tear down.
+  if (!d->FreezeForEviction()) {
     d->lock.unlock();
     if (parent != nullptr) {
       parent->lock.unlock();
     }
-    Release(d);
-    ++evicted;
+    return false;  // busy; it re-enters the LRU at its next idle moment
+  }
+  Dlht::RemoveFromCurrent(&d->fast);
+  if (d->hash_node.hashed) {
+    HBucket& bucket = BucketForKey(d->hash_key);
+    SpinGuard guard(bucket.lock);
+    bucket.chain.Remove(&d->hash_node);
+  }
+  if (d->child_node.linked()) {
+    d->child_node.Unlink();
+  }
+  if (parent != nullptr) {
+    // Losing a cached child for space reasons invalidates directory
+    // completeness (§5.1).
+    parent->ClearFlags(kDentDirComplete);
+    parent->child_evict_gen.fetch_add(1, std::memory_order_acq_rel);
+  }
+  d->lock.unlock();
+  if (parent != nullptr) {
+    parent->lock.unlock();
+  }
+  Release(d);
+  return true;
+}
+
+size_t DentryCache::ShrinkTenant(uint32_t tenant, size_t max) {
+  size_t evicted = 0;
+  size_t scan_budget;
+  {
+    SpinGuard lru_guard(lru_lock_);
+    scan_budget = lru_len_;
+  }
+  while (evicted < max && scan_budget > 0) {
+    Dentry* d = nullptr;
+    {
+      SpinGuard lru_guard(lru_lock_);
+      while (scan_budget > 0) {
+        d = lru_.Back();
+        if (d == nullptr) {
+          break;
+        }
+        --scan_budget;
+        if (d->tenant != tenant) {
+          // Someone else's entry: rotate it past the clock hand without
+          // consuming its reference bit — a noisy tenant's penalty scan
+          // must not age out quiet tenants' hot sets.
+          d->lru_node.Unlink();
+          lru_.PushFront(d);
+          d = nullptr;
+          continue;
+        }
+        d->lru_node.Unlink();
+        --lru_len_;
+        d->ClearFlags(kDentOnLru);
+        break;
+      }
+    }
+    if (d == nullptr) {
+      break;
+    }
+    if (EvictOne(d)) {
+      ++evicted;
+    }
   }
   return evicted;
+}
+
+DentryCache::TenantSlot* DentryCache::TenantSlotFor(uint32_t tenant) {
+  // Open addressing over the first kTenantSlots-1 rows; the last row is the
+  // shared overflow bucket. Rows are claimed with a CAS and never freed —
+  // real deployments have few distinct uids per kernel instance.
+  const size_t probes = kTenantSlots - 1;
+  const uint64_t key = static_cast<uint64_t>(tenant) + 1;
+  size_t h = tenant % probes;
+  for (size_t i = 0; i < probes; ++i) {
+    TenantSlot& slot = tenants_[(h + i) % probes];
+    uint64_t cur = slot.key.load(std::memory_order_acquire);
+    if (cur == key) {
+      return &slot;
+    }
+    if (cur == 0) {
+      uint64_t expected = 0;
+      if (slot.key.compare_exchange_strong(expected, key,
+                                           std::memory_order_acq_rel)) {
+        return &slot;
+      }
+      if (expected == key) {
+        return &slot;  // a racer claimed it for the same tenant
+      }
+    }
+  }
+  return &tenants_[kTenantSlots - 1];  // overflow row
+}
+
+void DentryCache::ChargeTenant(uint32_t tenant, bool negative, int64_t delta) {
+  TenantSlot* slot = TenantSlotFor(tenant);
+  slot->dentries.fetch_add(delta, std::memory_order_relaxed);
+  if (negative) {
+    slot->negatives.fetch_add(delta, std::memory_order_relaxed);
+    negative_count_.fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+std::vector<DentryCache::TenantUsage> DentryCache::TenantUsages() const {
+  std::vector<TenantUsage> out;
+  for (size_t i = 0; i < kTenantSlots; ++i) {
+    const TenantSlot& slot = tenants_[i];
+    const bool overflow = i == kTenantSlots - 1;
+    uint64_t key = slot.key.load(std::memory_order_acquire);
+    int64_t dentries = slot.dentries.load(std::memory_order_relaxed);
+    int64_t negatives = slot.negatives.load(std::memory_order_relaxed);
+    if ((key == 0 && !overflow) || (dentries == 0 && negatives == 0)) {
+      continue;
+    }
+    TenantUsage u;
+    u.tenant =
+        overflow ? kTenantOverflow : static_cast<uint32_t>(key - 1);
+    u.dentries = dentries > 0 ? static_cast<uint64_t>(dentries) : 0;
+    u.negatives = negatives > 0 ? static_cast<uint64_t>(negatives) : 0;
+    out.push_back(u);
+  }
+  return out;
 }
 
 size_t DentryCache::ShrinkAll() {

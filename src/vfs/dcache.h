@@ -58,8 +58,11 @@ class DentryCache {
   // Alias dentries (kDentAlias) are not hashed in the primary table (they
   // are only reachable through the DLHT, §4.2); `alias_target` must carry a
   // reference, which the alias dentry adopts.
+  // `tenant` is the credential uid the new dentry is charged to (DESIGN.md
+  // §15 per-tenant accounting); pass the acting task's uid.
   Result<Dentry*> AddChild(Dentry* parent, std::string_view name,
-                           Inode* inode, uint32_t flags, InodeNum stub_ino = 0,
+                           Inode* inode, uint32_t flags, uint32_t tenant,
+                           InodeNum stub_ino = 0,
                            FileType stub_type = FileType::kRegular,
                            Dentry* alias_target = nullptr);
 
@@ -94,6 +97,13 @@ class DentryCache {
   // Evict everything unused, ignoring reference bits (echo 2 >
   // drop_caches). Returns count.
   size_t ShrinkAll();
+  // Targeted eviction for the governor's proportional shrink (DESIGN.md
+  // §15): evict up to `max` unused dentries charged to `tenant`, scanning
+  // from the LRU tail. Other tenants' entries are rotated past untouched
+  // (their reference bits are not consumed), so a noisy tenant's penalty
+  // cannot age out a quiet tenant's hot set. The scan is bounded by the
+  // LRU length at entry. Returns the count evicted.
+  size_t ShrinkTenant(uint32_t tenant, size_t max);
 
   // --- §3.2 coherence ------------------------------------------------------
   // Bump version counters and evict from DLHTs across the whole cached
@@ -157,9 +167,29 @@ class DentryCache {
   size_t dentry_count() const {
     return count_.load(std::memory_order_relaxed);
   }
+  size_t negative_count() const {
+    auto n = negative_count_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<size_t>(n) : 0;
+  }
   size_t bucket_count() const { return buckets_.size(); }
   // Chain-length histogram of the primary hash table (for §6.5 statistics).
   std::vector<size_t> ChainHistogram(size_t max_len = 10) const;
+
+  // Per-tenant charge counters (DESIGN.md §15). A fixed number of tenant
+  // slots is tracked exactly; everything beyond that folds into one
+  // overflow row reported as tenant = kTenantOverflow.
+  struct TenantUsage {
+    uint32_t tenant = 0;
+    uint64_t dentries = 0;
+    uint64_t negatives = 0;
+  };
+  static constexpr uint32_t kTenantOverflow = 0xffffffffu;
+  std::vector<TenantUsage> TenantUsages() const;
+
+  // The governor's per-dentry byte cost: the object itself plus an
+  // allowance for the name string, hash-chain membership, and children-list
+  // links. Policy-grade, not an allocator-exact figure.
+  static constexpr size_t kApproxDentryBytes = sizeof(Dentry) + 48;
 
  private:
   // The invariant auditor cross-checks the hash chains, LRU, and counters
@@ -209,6 +239,24 @@ class DentryCache {
   // Shared implementation of Shrink/ShrinkAll; `second_chance` toggles
   // whether referenced entries get rotated back or evicted outright.
   size_t ShrinkInternal(size_t max, bool second_chance);
+  // Tear down one dentry already popped off the LRU: freeze, unhash from
+  // the DLHT/primary table/children list, invalidate the parent's
+  // completeness, release. Returns false if the dentry was busy (it
+  // re-enters the LRU at its next idle moment).
+  bool EvictOne(Dentry* d);
+
+  // One tenant charge row. Cache-line aligned: charges are writer-path
+  // traffic (dentry birth/death) and must not bounce a line shared with
+  // another tenant's row.
+  struct alignas(kCacheLineSize) TenantSlot {
+    std::atomic<uint64_t> key{0};  // tenant uid + 1; 0 = free
+    std::atomic<int64_t> dentries{0};
+    std::atomic<int64_t> negatives{0};
+  };
+  static constexpr size_t kTenantSlots = 16;
+  // Claim (or find) the row for `tenant`; the last slot absorbs overflow.
+  TenantSlot* TenantSlotFor(uint32_t tenant);
+  void ChargeTenant(uint32_t tenant, bool negative, int64_t delta);
 
   Kernel* const kernel_;
   std::vector<HBucket> buckets_;
@@ -226,6 +274,8 @@ class DentryCache {
   std::atomic<uint64_t> version_counter_{1};
   std::atomic<uint64_t> invalidation_counter_{1};
   std::atomic<size_t> count_{0};
+  std::atomic<int64_t> negative_count_{0};
+  TenantSlot tenants_[kTenantSlots];
 
   // Fast-path coherence gate: sections open (started > completed) while a
   // deferred subtree pass may still be pending. Monotonic; started doubles

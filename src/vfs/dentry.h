@@ -145,6 +145,12 @@ class Dentry {
   FileType stub_type = FileType::kRegular;
   std::atomic<Dentry*> alias_target{nullptr};  // kDentAlias: holds a ref
 
+  // Credential uid whose activity instantiated this dentry (0 = root /
+  // system), for the governor's per-tenant charge counters and
+  // proportional shrink (DESIGN.md §15). Written exactly once, before the
+  // dentry is published.
+  uint32_t tenant = 0;
+
   // --- linkage --------------------------------------------------------------
   SpinLock lock;  // guards children list, DLHT moves, stub materialization
 

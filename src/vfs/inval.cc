@@ -135,8 +135,7 @@ void InvalidationEngine::VisitOne(Dentry* d, uint64_t gen, VisitCtx* ctx,
       // Signature is stable under d->lock; the batch flush revalidates
       // actual chain membership under the bucket lock, so a concurrent
       // re-insert under a new signature cannot corrupt anything.
-      BatchAdd(ctx, table, table->BucketIndexFor(d->fast.signature),
-               &d->fast);
+      BatchAdd(ctx, table, Dlht::BucketKeyFor(d->fast.signature), &d->fast);
     }
     for (Dentry* child : d->children) {
       // Claim-at-push: the generation exchange guarantees each dentry is

@@ -2,7 +2,9 @@
 
 #include <random>
 
+#include "src/core/pcc.h"
 #include "src/util/epoch.h"
+#include "src/vfs/governor.h"
 #include "src/vfs/task.h"
 
 namespace dircache {
@@ -16,16 +18,91 @@ Kernel::Kernel(const KernelConfig& config) : config_(config) {
   signer_ = std::make_unique<PathSigner>(seed);
   dcache_ = std::make_unique<DentryCache>(this, config_.cache);
   obs_.Configure(config_.obs);
+  if (config_.cache.governor) {
+    governor_ = std::make_unique<CacheGovernor>(this);
+    governor_->Start();
+  }
 }
 
 Kernel::~Kernel() {
-  // Contract: all tasks and file handles have been destroyed by now.
+  // Contract: all tasks and file handles have been destroyed by now. The
+  // governor goes first — its loop walks namespaces and drives migrations.
+  if (governor_ != nullptr) {
+    governor_->Stop();
+  }
   for (auto& ns : namespaces_) {
     ns->DetachAll();
   }
   dcache_->ShrinkAll();
   // Let deferred frees run before superblocks disappear.
   EpochDomain::Global().Synchronize();
+}
+
+obs::ObsSnapshot Kernel::Observe() const {
+  obs::ObsSnapshot snap = obs_.Snapshot(&stats_);
+  obs::MemoryAccounting& mem = snap.memory;
+  mem.budget_bytes = config_.cache.cache_memory_budget;
+  mem.dentry_count = dcache_->dentry_count();
+  mem.dentry_bytes = mem.dentry_count * DentryCache::kApproxDentryBytes;
+  mem.negative_dentries = dcache_->negative_count();
+  for (const MountNamespacePtr& ns : AllNamespaces()) {
+    Dlht& table = ns->dlht();
+    mem.dlht_bytes += table.memory_bytes();
+    mem.dlht_buckets += table.bucket_count();
+    mem.dlht_entries += table.size();
+    mem.dlht_resize_in_flight |= table.resize_in_flight();
+  }
+  for (const std::shared_ptr<Pcc>& pcc : LivePccs()) {
+    ++mem.pcc_count;
+    mem.pcc_bytes += pcc->bytes();
+    mem.pcc_entries += pcc->OccupiedEntries();
+    mem.pcc_capacity += pcc->capacity_entries();
+  }
+  mem.total_bytes = mem.dentry_bytes + mem.dlht_bytes + mem.pcc_bytes;
+  for (const DentryCache::TenantUsage& t : dcache_->TenantUsages()) {
+    mem.tenants.push_back({t.tenant, t.dentries, t.negatives});
+  }
+  return snap;
+}
+
+std::vector<MountNamespacePtr> Kernel::AllNamespaces() const {
+  std::lock_guard<std::mutex> lock(sb_mu_);
+  return namespaces_;
+}
+
+void Kernel::RegisterCred(const CredPtr& cred) {
+  if (cred == nullptr) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(cred_mu_);
+  for (auto it = creds_.begin(); it != creds_.end();) {
+    auto held = it->lock();
+    if (held == nullptr) {
+      it = creds_.erase(it);
+      continue;
+    }
+    if (held == cred) {
+      return;  // already registered
+    }
+    ++it;
+  }
+  creds_.push_back(cred);
+}
+
+std::vector<std::shared_ptr<Pcc>> Kernel::LivePccs() const {
+  std::vector<std::shared_ptr<Pcc>> out;
+  std::lock_guard<std::mutex> lock(cred_mu_);
+  for (const auto& weak : creds_) {
+    auto cred = weak.lock();
+    if (cred == nullptr) {
+      continue;
+    }
+    auto pcc = cred->pcc_shared();
+    if (pcc != nullptr) {
+      out.push_back(std::move(pcc));
+    }
+  }
+  return out;
 }
 
 SuperBlock* Kernel::RegisterFs(std::shared_ptr<FileSystem> fs) {

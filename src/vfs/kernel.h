@@ -33,6 +33,7 @@
 
 namespace dircache {
 
+class CacheGovernor;
 class Task;
 
 struct KernelConfig {
@@ -62,10 +63,11 @@ class Kernel {
 
   // The introspection API: a versioned snapshot of latency histograms,
   // walk-outcome counts, recent traces, path heat, the coherence journal,
-  // the sampler timeline, and the flat cache counters. Supersedes reading
-  // stats().ToString(). Safe to call concurrently with lookups; always
-  // includes the counter section even when obs is disabled.
-  obs::ObsSnapshot Observe() const { return obs_.Snapshot(&stats_); }
+  // the sampler timeline, the flat cache counters, and (schema v4) the
+  // cache memory-accounting block. Supersedes reading stats().ToString().
+  // Safe to call concurrently with lookups; always includes the counter and
+  // memory sections even when obs is disabled.
+  obs::ObsSnapshot Observe() const;
 
   // The background sampler's time series alone (schema v2 `timeline`
   // section); `active == false` when obs or the sampler is off. Safe to
@@ -134,6 +136,24 @@ class Kernel {
   // Drop all unused dentries and each file system's clean buffers.
   void DropCaches();
 
+  // --- cache governor (DESIGN.md §15) ---------------------------------------
+  // The memory-budget policy loop; null unless Config::governor is set.
+  // Tests and benches drive governor()->Tick() directly for determinism.
+  CacheGovernor* governor() { return governor_.get(); }
+
+  // Every registered mount namespace (each owns one elastic DLHT), copied
+  // under sb_mu_ so the governor and Observe() can walk tables without
+  // holding the registry lock.
+  std::vector<MountNamespacePtr> AllNamespaces() const;
+
+  // Cred registry for PCC accounting: creds create their PCC lazily on the
+  // first slowpath walk, so the kernel tracks the cred (weakly) and asks it
+  // for the table at accounting time. Called from Task construction and
+  // SetCred — cold paths.
+  void RegisterCred(const CredPtr& cred);
+  // Every live PCC across registered creds (expired creds are pruned).
+  std::vector<std::shared_ptr<Pcc>> LivePccs() const;
+
  private:
   friend class Task;
   // The invariant auditor walks the namespace list directly (audit.cc).
@@ -152,12 +172,18 @@ class Kernel {
   std::mutex global_walk_mutex_;
   std::atomic<uint64_t> pcc_epoch_{1};
 
-  std::mutex sb_mu_;
+  mutable std::mutex sb_mu_;
   std::vector<std::unique_ptr<SuperBlock>> superblocks_;
   uint64_t next_dev_id_ = 1;
 
   MountNamespacePtr root_ns_;
   std::vector<MountNamespacePtr> namespaces_;
+
+  // Cred registry for PCC memory accounting (DESIGN.md §15).
+  mutable std::mutex cred_mu_;
+  std::vector<std::weak_ptr<const Cred>> creds_;
+
+  std::unique_ptr<CacheGovernor> governor_;
 };
 
 }  // namespace dircache

@@ -94,7 +94,11 @@ Task::Task(Kernel* kernel, CredPtr cred, MountNamespacePtr ns,
       cred_(std::move(cred)),
       ns_(std::move(ns)),
       root_(std::move(root)),
-      cwd_(std::move(cwd)) {}
+      cwd_(std::move(cwd)) {
+  // PCC memory accounting (DESIGN.md §15): the governor asks registered
+  // creds for their (lazily created) PCC tables.
+  kernel_->RegisterCred(cred_);
+}
 
 Task::~Task() = default;
 
@@ -110,6 +114,7 @@ void Task::SetCred(CredPtr cred) {
     return;
   }
   cred_ = std::move(cred);
+  kernel_->RegisterCred(cred_);
 }
 
 Status Task::UnshareMountNs() {
@@ -591,7 +596,8 @@ Result<FdNum> Task::DoOpen(const PathHandle* base, std::string_view path,
         kernel_->dcache().Kill(neg);
         kernel_->dcache().Dput(neg);
       }
-      auto fresh = kernel_->dcache().AddChild(dir, last, *inode, 0);
+      auto fresh =
+          kernel_->dcache().AddChild(dir, last, *inode, 0, cred_->uid());
       if (!fresh.ok()) {
         return fresh.error();
       }
@@ -908,7 +914,8 @@ Status Task::DoMkdir(const PathHandle* base, std::string_view path,
   // A brand-new directory has all (zero) children cached (§5.1).
   uint32_t flags =
       kernel_->config().dir_completeness ? kDentDirComplete : 0u;
-  auto fresh = kernel_->dcache().AddChild(dir, last, *inode, flags);
+  auto fresh =
+      kernel_->dcache().AddChild(dir, last, *inode, flags, cred_->uid());
   if (!fresh.ok()) {
     return fresh.error();
   }
@@ -1027,7 +1034,8 @@ Status Task::DoUnlink(const PathHandle* base, std::string_view path,
   put_victim();
   // §5.2: keep a negative dentry for the removed name.
   if (kernel_->config().negative_on_unlink) {
-    auto neg = kernel_->dcache().AddChild(dir, last, nullptr, kDentNegative);
+    auto neg = kernel_->dcache().AddChild(dir, last, nullptr, kDentNegative,
+                                          cred_->uid());
     if (neg.ok()) {
       kernel_->dcache().Dput(*neg);
     }
@@ -1235,7 +1243,8 @@ Status Task::DoRename(const PathHandle* oldbase, std::string_view oldpath,
   // §5.2: the source name now does not exist — cache that.
   if (kernel_->config().negative_on_unlink) {
     auto neg =
-        kernel_->dcache().AddChild(old_dir, old_last, nullptr, kDentNegative);
+        kernel_->dcache().AddChild(old_dir, old_last, nullptr,
+                                   kDentNegative, cred_->uid());
     if (neg.ok()) {
       kernel_->dcache().Dput(*neg);
     }
@@ -1292,7 +1301,8 @@ Status Task::Link(std::string_view oldpath, std::string_view newpath) {
     kernel_->dcache().Dput(neg);
   }
   dir->sb()->IgetHeld(target_inode);
-  auto fresh = kernel_->dcache().AddChild(dir, last, target_inode, 0);
+  auto fresh = kernel_->dcache().AddChild(dir, last, target_inode, 0,
+                                          cred_->uid());
   if (fresh.ok()) {
     kernel_->dcache().Dput(*fresh);
   }
@@ -1341,7 +1351,8 @@ Status Task::Symlink(std::string_view target, std::string_view linkpath) {
     kernel_->dcache().Kill(neg);
     kernel_->dcache().Dput(neg);
   }
-  auto fresh = kernel_->dcache().AddChild(dir, last, *inode, 0);
+  auto fresh =
+      kernel_->dcache().AddChild(dir, last, *inode, 0, cred_->uid());
   if (fresh.ok()) {
     kernel_->dcache().Dput(*fresh);
   }
@@ -1587,7 +1598,7 @@ Result<std::vector<DirEntry>> Task::DoReadDir(FdNum fd, size_t max_entries) {
         continue;
       }
       auto stub = kernel_->dcache().AddChild(dir, e.name, nullptr, kDentStub,
-                                             e.ino, e.type);
+                                             cred_->uid(), e.ino, e.type);
       if (stub.ok()) {
         kernel_->dcache().Dput(*stub);
       }

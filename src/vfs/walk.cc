@@ -1334,6 +1334,7 @@ Result<Dentry*> MissLookup(Task& task, Dentry* parent,
                            std::string_view name) {
   Kernel* k = parent->sb()->kernel();
   const CacheConfig& cfg = k->config();
+  const uint32_t tenant = task.cred()->uid();
   Inode* dir_inode = parent->inode();
   std::lock_guard<std::mutex> io(dir_inode->io_mu);
   // A racer may have instantiated the child while we waited.
@@ -1344,7 +1345,8 @@ Result<Dentry*> MissLookup(Task& task, Dentry* parent,
     // Everything under this directory is cached: the miss is definitive
     // without consulting the file system (§5.1).
     k->stats().dir_complete_hits.Add();
-    return k->dcache().AddChild(parent, name, nullptr, kDentNegative);
+    return k->dcache().AddChild(parent, name, nullptr, kDentNegative,
+                                tenant);
   }
   FileSystem* fs = parent->sb()->fs();
   IoChargeScope charge(&task.io_clock());
@@ -1359,13 +1361,14 @@ Result<Dentry*> MissLookup(Task& task, Dentry* parent,
     if (!want_negative) {
       return Errno::kENOENT;
     }
-    return k->dcache().AddChild(parent, name, nullptr, kDentNegative);
+    return k->dcache().AddChild(parent, name, nullptr, kDentNegative,
+                                tenant);
   }
   auto inode = parent->sb()->Iget(*ino);
   if (!inode.ok()) {
     return inode.error();
   }
-  return k->dcache().AddChild(parent, name, *inode, 0);
+  return k->dcache().AddChild(parent, name, *inode, 0, tenant);
 }
 
 // Attach a real inode to a readdir stub dentry (§5.1).
@@ -1398,7 +1401,8 @@ Dentry* MakeAlias(Task& task, Mount* mnt, Dentry* alias_parent,
     return nullptr;
   }
   auto alias = k->dcache().AddChild(alias_parent, name, nullptr, kDentAlias,
-                                    0, FileType::kRegular, target);
+                                    task.cred()->uid(), 0, FileType::kRegular,
+                                    target);
   if (!alias.ok()) {
     return nullptr;  // AddChild dropped the target reference
   }
@@ -1477,7 +1481,8 @@ Dentry* BuildDeepNegatives(Task& task, Mount* mnt, Dentry* from,
       complete = false;
       break;
     }
-    auto child = k->dcache().AddChild(cur, comp, nullptr, neg_flags);
+    auto child = k->dcache().AddChild(cur, comp, nullptr, neg_flags,
+                                      task.cred()->uid());
     if (!child.ok()) {
       complete = false;
       break;

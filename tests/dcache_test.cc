@@ -63,7 +63,7 @@ TEST_F(DcacheTest, LookupFindsHashedChild) {
 TEST_F(DcacheTest, AddChildDeduplicatesConcurrentInsert) {
   Dentry* a = MakeFile("/dup");
   // A second AddChild with the same name returns the existing dentry.
-  auto again = dc().AddChild(Root(), "dup", nullptr, kDentNegative);
+  auto again = dc().AddChild(Root(), "dup", nullptr, kDentNegative, 0);
   ASSERT_OK(again);
   EXPECT_EQ(*again, a);
   EXPECT_TRUE((*again)->IsPositive());  // kept the existing positive

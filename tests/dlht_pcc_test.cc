@@ -76,7 +76,7 @@ TEST(DlhtTest, RemoveBatchEvictsOnlyPresentEntries) {
   // `c` was never inserted: the batch must skip it (the invalidation engine
   // batches entries while holding the dentry lock, but by flush time a
   // concurrent writer may already have unhashed them).
-  const size_t bucket = table.BucketIndexFor(a.signature);
+  const size_t bucket = Dlht::BucketKeyFor(a.signature);
   FastDentry* batch[] = {&a, &c, &b};
   EXPECT_EQ(table.RemoveBatch(bucket, batch, 3), 2u);
   EXPECT_EQ(table.Lookup(a.signature, &stats), nullptr);
@@ -95,7 +95,7 @@ TEST(DlhtTest, RemoveBatchSkipsEntriesMovedToAnotherBucket) {
   FastDentry fd;
   fd.signature = SigOf(signer, "original");
   table.Insert(&fd);
-  const size_t old_bucket = table.BucketIndexFor(fd.signature);
+  const size_t old_bucket = Dlht::BucketKeyFor(fd.signature);
   // Simulate a concurrent re-signature + re-insert between the engine
   // batching this entry and the flush: the entry now lives in a different
   // bucket of the same table.

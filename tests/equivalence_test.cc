@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/core/dlht.h"
 #include "src/util/rng.h"
 #include "tests/test_util.h"
 
@@ -244,16 +245,24 @@ TEST_P(EquivalenceTest, RandomTraceMatchesBaseline) {
   // a divergence pins on the shortcut itself, not some other optimization.
   CacheConfig no_shortcut = CacheConfig::Optimized();
   no_shortcut.shortcut = false;
+  // A deliberately tiny elastic table that the trace below keeps almost
+  // permanently mid-resize: equivalence through perpetual migration is the
+  // transparency proof for the elastic DLHT (DESIGN.md §15).
+  CacheConfig elastic = CacheConfig::Optimized();
+  elastic.dlht_buckets = 1 << 5;
+  elastic.dlht_min_buckets = 1 << 4;
+  elastic.dlht_resize_step = 4;
 
   World baseline(CacheConfig::Baseline());
   World optimized(lexless);
   World fastpath(fastpath_only);
   World features(features_only);
   World noshortcut(no_shortcut);
-  World* worlds[] = {&baseline, &optimized, &fastpath, &features,
-                     &noshortcut};
-  const char* labels[] = {"baseline", "optimized", "fastpath-only",
-                          "features-only", "no-shortcut"};
+  World resizechurn(elastic);
+  World* worlds[] = {&baseline, &optimized, &fastpath,    &features,
+                     &noshortcut, &resizechurn};
+  const char* labels[] = {"baseline",    "optimized",   "fastpath-only",
+                          "features-only", "no-shortcut", "resize-churn"};
 
   // Each world gets an identical RNG so tasks/paths/ops line up exactly.
   for (int step = 0; step < 1500; ++step) {
@@ -268,6 +277,23 @@ TEST_P(EquivalenceTest, RandomTraceMatchesBaseline) {
       } else {
         ASSERT_EQ(got, expected)
             << "divergence at step " << step << " in " << labels[w];
+      }
+    }
+    // Keep the resize-churn world's tables (every namespace — mounts get
+    // their own DLHT) migrating: a few buckets move after each step, and a
+    // table that goes stable is immediately sent back the other way.
+    {
+      Kernel& k = *resizechurn.world.kernel;
+      for (const auto& ns : k.AllNamespaces()) {
+        Dlht& t = ns->dlht();
+        if (t.resize_in_flight()) {
+          t.MigrateStep(4, &k.stats());
+        } else if (step % 3 == 0) {
+          size_t target = t.bucket_count() <= (1u << 5)
+                              ? t.bucket_count() * 2
+                              : t.bucket_count() / 2;
+          (void)t.BeginResize(target, &k.stats());
+        }
       }
     }
     // Periodic memory pressure on the optimized worlds only: eviction must

@@ -437,20 +437,22 @@ TEST(Observe, SnapshotJsonShape) {
   std::string json = snap.ToJson();
   // Versioned, fixed-field-order contract (scripts/bench_smoke.sh greps
   // for the schema_version; renames here are schema bumps).
-  EXPECT_NE(json.find("\"schema_version\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos) << json;
   EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
   for (const char* key :
        {"\"ops\"", "\"walk_outcomes\"", "\"trace\"", "\"counters\"",
         "\"lookup\"", "\"p50_ns\"", "\"p95_ns\"", "\"p99_ns\"",
         "\"fast_hit\"", "\"timeline\"", "\"heat\"", "\"journal\"",
         "\"hot_paths\"", "\"slow_paths\"", "\"miss_dirs\"", "\"spans\"",
-        "\"attribution\"", "\"flight_dumps\""}) {
+        "\"attribution\"", "\"memory\"", "\"budget_bytes\"",
+        "\"dlht_resize_in_flight\"", "\"tenants\"", "\"flight_dumps\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
   // Field order is part of the contract: version first, ops before trace,
-  // every v2 section strictly after the last v1 field, and every v3 section
-  // strictly after the last v2 field (older readers parse a
-  // prefix-compatible document).
+  // every v2 section strictly after the last v1 field, every v3 section
+  // strictly after the last v2 field, and the v4 memory section between
+  // attribution and flight_dumps (older readers parse a prefix-compatible
+  // document).
   EXPECT_LT(json.find("\"schema_version\""), json.find("\"ops\""));
   EXPECT_LT(json.find("\"ops\""), json.find("\"walk_outcomes\""));
   EXPECT_LT(json.find("\"walk_outcomes\""), json.find("\"trace\""));
@@ -459,10 +461,11 @@ TEST(Observe, SnapshotJsonShape) {
   EXPECT_LT(json.find("\"heat\""), json.find("\"journal\""));
   EXPECT_LT(json.find("\"journal\""), json.find("\"spans\""));
   EXPECT_LT(json.find("\"spans\""), json.find("\"attribution\""));
-  EXPECT_LT(json.find("\"attribution\""), json.find("\"flight_dumps\""));
+  EXPECT_LT(json.find("\"attribution\""), json.find("\"memory\""));
+  EXPECT_LT(json.find("\"memory\""), json.find("\"flight_dumps\""));
 
   std::string text = snap.ToText();
-  EXPECT_NE(text.find("schema v3"), std::string::npos) << text;
+  EXPECT_NE(text.find("schema v4"), std::string::npos) << text;
   EXPECT_NE(text.find("fast_hit"), std::string::npos);
 }
 
